@@ -1,0 +1,144 @@
+// Command gctool inspects the gc tables of a compiled module: encoded
+// sizes per scheme, per-procedure breakdowns, encode/decode round-trip
+// verification, and decoded views of individual gc-points.
+//
+// Usage:
+//
+//	gctool [flags] file.m3
+//
+// Flags:
+//
+//	-O          optimize before measuring
+//	-verify     round-trip every gc-point through every scheme
+//	-pc N       decode and print the tables for gc-point byte PC N
+//	-proc NAME  restrict listings to one procedure
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"reflect"
+
+	"repro/internal/driver"
+	"repro/internal/gctab"
+)
+
+var allSchemes = []gctab.Scheme{
+	gctab.FullPlain, gctab.FullPacking, gctab.DeltaPlain,
+	gctab.DeltaPrev, gctab.DeltaPacking, gctab.DeltaPP,
+}
+
+func main() {
+	optimize := flag.Bool("O", false, "optimize")
+	verify := flag.Bool("verify", false, "verify all schemes decode identically")
+	pc := flag.Int("pc", -1, "decode the gc-point at this byte PC")
+	procName := flag.String("proc", "", "restrict to one procedure")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gctool [flags] file.m3")
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	c, err := driver.Compile(flag.Arg(0), string(src),
+		driver.Options{Optimize: *optimize, GCSupport: true, Scheme: gctab.DeltaPP})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("%s: code %d bytes\n", c.Prog.Name, c.Prog.CodeSize())
+	for _, s := range allSchemes {
+		e := gctab.Encode(c.Tables, s)
+		fmt.Printf("  %-22s %6d bytes (%5.1f%% of code)\n",
+			s, e.Size(), 100*float64(e.Size())/float64(c.Prog.CodeSize()))
+	}
+
+	for i := range c.Tables.Procs {
+		p := &c.Tables.Procs[i]
+		if *procName != "" && p.Name != *procName {
+			continue
+		}
+		fmt.Printf("proc %-20s gc-points=%3d ground=%2d saves=%d\n",
+			p.Name, len(p.Points), len(p.Ground), len(p.Saves))
+	}
+
+	if *pc >= 0 {
+		dec := gctab.NewDecoder(c.Encoded)
+		v, ok := dec.Lookup(*pc)
+		if !ok {
+			fatal(fmt.Errorf("pc %d is not a gc-point", *pc))
+		}
+		fmt.Printf("gc-point %d in %s:\n  live=%v\n  regs=%016b\n  derivs=%d\n",
+			*pc, v.ProcName, v.Live, v.RegPtrs, len(v.Derivs))
+	}
+
+	if *verify {
+		if err := verifySchemes(c); err != nil {
+			fatal(err)
+		}
+		fmt.Println("verify: all schemes decode every gc-point identically")
+	}
+}
+
+// verifySchemes decodes every gc-point under every scheme and checks
+// the views agree.
+func verifySchemes(c *driver.Compiled) error {
+	var decs []*gctab.Decoder
+	for _, s := range allSchemes {
+		decs = append(decs, gctab.NewDecoder(gctab.Encode(c.Tables, s)))
+	}
+	for i := range c.Tables.Procs {
+		p := &c.Tables.Procs[i]
+		for _, pt := range p.Points {
+			var ref *gctab.PointView
+			for si, d := range decs {
+				v, ok := d.Lookup(pt.PC)
+				if !ok {
+					return fmt.Errorf("scheme %v: pc %d not found", allSchemes[si], pt.PC)
+				}
+				if ref == nil {
+					ref = v
+					continue
+				}
+				if !sameView(ref, v) {
+					return fmt.Errorf("scheme %v: pc %d decodes differently", allSchemes[si], pt.PC)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func sameView(a, b *gctab.PointView) bool {
+	return a.RegPtrs == b.RegPtrs &&
+		sameLocSet(a.Live, b.Live) &&
+		reflect.DeepEqual(a.Derivs, b.Derivs) &&
+		reflect.DeepEqual(a.Saves, b.Saves)
+}
+
+// sameLocSet compares live-slot lists as sets (full-info and δ-main may
+// order them differently).
+func sameLocSet(a, b []gctab.Location) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := make(map[gctab.Location]int)
+	for _, l := range a {
+		m[l]++
+	}
+	for _, l := range b {
+		m[l]--
+		if m[l] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gctool:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,147 @@
+// Command mthreec compiles an mthree (Modula-3 subset) module and
+// prints listings and gc-table statistics.
+//
+// Usage:
+//
+//	mthreec [flags] file.m3
+//
+// Flags:
+//
+//	-O            enable the optimizer
+//	-gc=false     disable gc support (the paper's §6.2 baseline)
+//	-mt           multithreaded gc-point selection (loop gc-polls)
+//	-elide        elide gc-points at calls to non-allocating procedures
+//	-split        disambiguate derivations by path splitting
+//	-ir           dump the optimized IR
+//	-asm          dump the VM assembly listing
+//	-tables       dump the gc tables per procedure
+//	-sizes        print table sizes under every encoding scheme
+//	-o file.mxo   write an object file runnable with mthree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/driver"
+	"repro/internal/gctab"
+)
+
+func main() {
+	optimize := flag.Bool("O", false, "enable the optimizer")
+	gcSupport := flag.Bool("gc", true, "enable gc support")
+	mt := flag.Bool("mt", false, "multithreaded gc-point selection")
+	elide := flag.Bool("elide", false, "elide gc-points at non-allocating calls")
+	split := flag.Bool("split", false, "path splitting instead of path variables")
+	dumpIR := flag.Bool("ir", false, "dump IR")
+	dumpAsm := flag.Bool("asm", false, "dump assembly")
+	dumpTables := flag.Bool("tables", false, "dump gc tables")
+	sizes := flag.Bool("sizes", false, "print table sizes per scheme")
+	output := flag.String("o", "", "write an object file (.mxo)")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mthreec [flags] file.m3")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	opts := driver.Options{
+		Optimize:      *optimize,
+		GCSupport:     *gcSupport,
+		Multithreaded: *mt,
+		ElideNonAlloc: *elide,
+		PathSplitting: *split,
+		Scheme:        gctab.DeltaPP,
+	}
+	c, err := driver.Compile(path, string(src), opts)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d instructions, %d code bytes, %d procedures\n",
+		c.Prog.Name, len(c.Prog.Code), c.Prog.CodeSize(), len(c.Prog.Procs))
+	if *output != "" {
+		f, err := os.Create(*output)
+		if err != nil {
+			fatal(err)
+		}
+		if err := c.WriteObject(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *output)
+	}
+	if *dumpIR {
+		for _, p := range c.IR.Procs {
+			fmt.Println(p.String())
+		}
+	}
+	if *dumpAsm {
+		c.Prog.Disassemble(os.Stdout)
+	}
+	if c.Tables != nil {
+		st := c.Tables.ComputeStats()
+		fmt.Printf("gc-points: NGC=%d NPTRS=%d NDEL=%d NREG=%d NDER=%d\n",
+			st.NGC, st.NPTRS, st.NDEL, st.NREG, st.NDER)
+		if *dumpTables {
+			dumpTableObject(c.Tables)
+		}
+		if *sizes {
+			for _, s := range []gctab.Scheme{
+				gctab.FullPlain, gctab.FullPacking, gctab.DeltaPlain,
+				gctab.DeltaPrev, gctab.DeltaPacking, gctab.DeltaPP,
+			} {
+				e := gctab.Encode(c.Tables, s)
+				fmt.Printf("  %-22s %6d bytes  (%5.1f%% of code)\n",
+					s, e.Size(), 100*float64(e.Size())/float64(c.Prog.CodeSize()))
+			}
+		}
+	}
+}
+
+func dumpTableObject(o *gctab.Object) {
+	for i := range o.Procs {
+		p := &o.Procs[i]
+		fmt.Printf("proc %s [%d..%d): %d ground slots, %d saves, %d gc-points\n",
+			p.Name, p.Entry, p.End, len(p.Ground), len(p.Saves), len(p.Points))
+		for _, g := range p.Ground {
+			fmt.Printf("  ground %s\n", g)
+		}
+		for _, sv := range p.Saves {
+			fmt.Printf("  save R%d at FP%+d\n", sv.Reg, sv.Off)
+		}
+		for _, pt := range p.Points {
+			fmt.Printf("  @%d live=%v regs=%016b", pt.PC, pt.Live, pt.RegPtrs)
+			for _, d := range pt.Derivs {
+				fmt.Printf(" deriv{%s:", d.Target)
+				for vi, variant := range d.Variants {
+					if vi > 0 {
+						fmt.Printf(" |")
+					}
+					for _, b := range variant {
+						sign := "+"
+						if b.Sign < 0 {
+							sign = "-"
+						}
+						fmt.Printf(" %s%s", sign, b.Loc)
+					}
+				}
+				if d.Sel != nil {
+					fmt.Printf(" sel=%s", *d.Sel)
+				}
+				fmt.Printf("}")
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mthreec:", err)
+	os.Exit(1)
+}

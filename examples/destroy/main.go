@@ -1,0 +1,52 @@
+// The paper's §6.3 workload: destroy builds a complete tree and then
+// repeatedly replaces random subtrees, triggering frequent collections
+// with deep stacks. This example runs it under the precise compacting
+// collector and reports the stack-tracing share of total gc time — the
+// paper's headline measurement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	mthree "repro"
+	"repro/internal/bench"
+)
+
+func main() {
+	branch := flag.Int("branch", 4, "tree branching factor")
+	depth := flag.Int("depth", 7, "tree depth")
+	iters := flag.Int("iters", 60, "subtree replacements")
+	replDepth := flag.Int("repl", 3, "replacement depth")
+	heap := flag.Int64("heap", 1<<18, "heap words")
+	flag.Parse()
+
+	src := bench.DestroySource(*branch, *depth, *iters, *replDepth, 0)
+	c, err := mthree.Compile("destroy.m3", src, mthree.NewOptions())
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := mthree.DefaultConfig()
+	cfg.HeapWords = *heap
+	cfg.Out = os.Stdout
+	m, col, err := c.NewMachine(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("destroy: branch=%d depth=%d iters=%d (heap %d words)\n",
+		*branch, *depth, *iters, *heap)
+	if err := m.Run(0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("collections:        %d\n", col.Collections)
+	fmt.Printf("frames traced:      %d\n", col.FramesTraced)
+	fmt.Printf("words copied:       %d\n", col.WordsCopied)
+	fmt.Printf("stack-trace time:   %v\n", col.StackTraceTime)
+	fmt.Printf("total gc time:      %v\n", col.TotalTime)
+	if col.TotalTime > 0 {
+		fmt.Printf("trace share of gc:  %.2f%%  (the paper reports well under 6%%)\n",
+			100*float64(col.StackTraceTime)/float64(col.TotalTime))
+	}
+}

@@ -1,0 +1,53 @@
+package analysis
+
+import "repro/internal/ir"
+
+// AllocInfo records which procedures can allocate, directly or through
+// calls. The paper selects gc-points at all calls except calls to
+// statically known non-allocating procedures; this interprocedural
+// analysis is the refinement the paper proposes for future work (§5.3),
+// used here as an ablation of gc-point selection.
+type AllocInfo struct {
+	// Allocates[i] is true if procedure i can trigger an allocation.
+	Allocates []bool
+}
+
+// ComputeAllocInfo runs a fixpoint over the call graph.
+func ComputeAllocInfo(prog *ir.Program) *AllocInfo {
+	ai := &AllocInfo{Allocates: make([]bool, len(prog.Procs))}
+	// Direct allocations.
+	for i, p := range prog.Procs {
+		for _, b := range p.Blocks {
+			for j := range b.Instrs {
+				switch b.Instrs[j].Op {
+				case ir.OpNew, ir.OpText:
+					ai.Allocates[i] = true
+				case ir.OpCallBuiltin:
+					// GcCollect behaves like an allocation site.
+					if b.Instrs[j].Builtin == ir.BGcCollect {
+						ai.Allocates[i] = true
+					}
+				}
+			}
+		}
+	}
+	// Propagate through calls to fixpoint.
+	for changed := true; changed; {
+		changed = false
+		for i, p := range prog.Procs {
+			if ai.Allocates[i] {
+				continue
+			}
+			for _, b := range p.Blocks {
+				for j := range b.Instrs {
+					in := &b.Instrs[j]
+					if in.Op == ir.OpCall && in.Callee < len(ai.Allocates) && ai.Allocates[in.Callee] {
+						ai.Allocates[i] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return ai
+}

@@ -1,0 +1,300 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/irtest"
+)
+
+// TestKeepAliveBases: the dead-base rule — a use of a derived value
+// keeps its base alive past the base's last direct use.
+func TestKeepAliveBases(t *testing.T) {
+	b := irtest.NewProc("p")
+	base := b.New(0)
+	one := b.Const(1)
+	d := b.AddPtr(base, one) // d derived from base
+	// base has no further direct uses; d is used after a gc-point.
+	b.Poll()
+	v := b.Load(d, 0, ir.ClassScalar)
+	b.Ret(v)
+
+	lv := analysis.ComputeLiveness(b.P)
+	after := lv.LiveAfter(b.P.Entry)
+	// Find the poll instruction.
+	pollIdx := -1
+	for i := range b.P.Entry.Instrs {
+		if b.P.Entry.Instrs[i].Op == ir.OpGcPoll {
+			pollIdx = i
+		}
+	}
+	if pollIdx < 0 {
+		t.Fatal("no poll")
+	}
+	if !after[pollIdx].Has(int(d)) {
+		t.Error("derived value not live across the poll")
+	}
+	if !after[pollIdx].Has(int(base)) {
+		t.Error("base not kept alive across the poll (dead base problem)")
+	}
+
+	// Without keep-alive (the §6.2 baseline), the base dies.
+	lv2 := analysis.ComputeLivenessOpt(b.P, false)
+	after2 := lv2.LiveAfter(b.P.Entry)
+	if after2[pollIdx].Has(int(base)) {
+		t.Error("base live even without keep-alive; test is vacuous")
+	}
+}
+
+// TestKeepAliveChain: derived-from-derived keeps the whole chain alive.
+func TestKeepAliveChain(t *testing.T) {
+	b := irtest.NewProc("p")
+	base := b.New(0)
+	one := b.Const(1)
+	d1 := b.AddPtr(base, one)
+	d2 := b.AddImmPtr(d1, 2) // chained derivation
+	b.Poll()
+	v := b.Load(d2, 0, ir.ClassScalar)
+	b.Ret(v)
+
+	lv := analysis.ComputeLiveness(b.P)
+	after := lv.LiveAfter(b.P.Entry)
+	pollIdx := 3 + 1 // new, const, add, addimm, poll -> poll is index 4
+	if b.P.Entry.Instrs[pollIdx].Op != ir.OpGcPoll {
+		t.Fatalf("instruction %d is %v", pollIdx, b.P.Entry.Instrs[pollIdx].Op)
+	}
+	for _, r := range []ir.Reg{base, d1, d2} {
+		if !after[pollIdx].Has(int(r)) {
+			t.Errorf("r%d not live across poll", r)
+		}
+	}
+}
+
+// TestCallArgBaseLiveThrough: a derived call argument's base is live
+// through the call (the collector updates the outgoing slot during the
+// callee).
+func TestCallArgBaseLiveThrough(t *testing.T) {
+	b := irtest.NewProc("p")
+	base := b.New(0)
+	d := b.AddImmPtr(base, 1)
+	b.Emit(ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, Callee: 0, Args: []ir.Reg{d}})
+	zero := b.Const(0)
+	b.Ret(zero)
+
+	lv := analysis.ComputeLiveness(b.P)
+	after := lv.LiveAfter(b.P.Entry)
+	callIdx := 2
+	if b.P.Entry.Instrs[callIdx].Op != ir.OpCall {
+		t.Fatalf("instr %d is %v", callIdx, b.P.Entry.Instrs[callIdx].Op)
+	}
+	if !after[callIdx].Has(int(base)) {
+		t.Error("derived argument's base not live through the call")
+	}
+}
+
+// TestLivenessBranches: a value used on one branch only is live into
+// the branch point.
+func TestLivenessBranches(t *testing.T) {
+	b := irtest.NewProc("p")
+	x := b.Const(1)
+	y := b.Const(2)
+	cond := b.Const(1)
+	yes := b.P.NewBlock()
+	no := b.P.NewBlock()
+	b.Br(cond, yes, no)
+	b.In(yes)
+	b.Ret(x)
+	b.In(no)
+	b.Ret(y)
+
+	lv := analysis.ComputeLiveness(b.P)
+	if !lv.LiveIn[yes.ID].Has(int(x)) || lv.LiveIn[yes.ID].Has(int(y)) {
+		t.Error("yes-branch live-in wrong")
+	}
+	if !lv.LiveIn[no.ID].Has(int(y)) || lv.LiveIn[no.ID].Has(int(x)) {
+		t.Error("no-branch live-in wrong")
+	}
+	if !lv.LiveOut[b.P.Entry.ID].Has(int(x)) || !lv.LiveOut[b.P.Entry.ID].Has(int(y)) {
+		t.Error("entry live-out wrong")
+	}
+}
+
+// buildLoop makes entry -> head; head -> body|exit; body -> head.
+func buildLoop(t *testing.T) (*irtest.B, *ir.Block, *ir.Block, *ir.Block) {
+	t.Helper()
+	b := irtest.NewProc("p")
+	entry := b.Cur()
+	head := b.P.NewBlock()
+	body := b.P.NewBlock()
+	exit := b.P.NewBlock()
+	cond := b.Const(1)
+	b.Jmp(head)
+	b.In(head)
+	b.Br(cond, body, exit)
+	b.In(body)
+	b.Jmp(head)
+	b.In(exit)
+	b.Ret(ir.NoReg)
+	_ = entry
+	return b, head, body, exit
+}
+
+func TestDominatorsAndLoops(t *testing.T) {
+	b, head, body, exit := buildLoop(t)
+	dom := analysis.ComputeDominators(b.P)
+	if !dom.Dominates(b.P.Entry, exit) || !dom.Dominates(head, body) {
+		t.Error("dominance wrong")
+	}
+	if dom.Dominates(body, head) {
+		t.Error("body must not dominate head")
+	}
+	loops := analysis.FindLoops(b.P, dom)
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops", len(loops))
+	}
+	l := loops[0]
+	if l.Header != head || !l.Blocks[body] || l.Blocks[exit] {
+		t.Errorf("loop shape wrong: header=%d", l.Header.ID)
+	}
+}
+
+func TestGuaranteedGCPoint(t *testing.T) {
+	// Loop without any gc-point: not guaranteed.
+	b, _, _, _ := buildLoop(t)
+	dom := analysis.ComputeDominators(b.P)
+	loops := analysis.FindLoops(b.P, dom)
+	if loops[0].HasGuaranteedGCPoint() {
+		t.Error("empty loop claims a guaranteed gc-point")
+	}
+
+	// Loop whose body allocates: guaranteed.
+	b2 := irtest.NewProc("p2")
+	head := b2.P.NewBlock()
+	body := b2.P.NewBlock()
+	exit := b2.P.NewBlock()
+	cond := b2.Const(1)
+	b2.Jmp(head)
+	b2.In(head)
+	b2.Br(cond, body, exit)
+	b2.In(body)
+	b2.New(0)
+	b2.Jmp(head)
+	b2.In(exit)
+	b2.Ret(ir.NoReg)
+	dom2 := analysis.ComputeDominators(b2.P)
+	loops2 := analysis.FindLoops(b2.P, dom2)
+	if !loops2[0].HasGuaranteedGCPoint() {
+		t.Error("allocating loop lacks a guaranteed gc-point")
+	}
+
+	// Diamond loop where only one path allocates: NOT guaranteed.
+	b3 := irtest.NewProc("p3")
+	head3 := b3.P.NewBlock()
+	left := b3.P.NewBlock()
+	right := b3.P.NewBlock()
+	latch := b3.P.NewBlock()
+	exit3 := b3.P.NewBlock()
+	cond3 := b3.Const(1)
+	b3.Jmp(head3)
+	b3.In(head3)
+	b3.Br(cond3, left, exit3)
+	b3.In(left)
+	b3.Br(cond3, right, latch)
+	b3.In(right)
+	b3.New(0)
+	b3.Jmp(latch)
+	b3.In(latch)
+	b3.Jmp(head3)
+	b3.In(exit3)
+	b3.Ret(ir.NoReg)
+	dom3 := analysis.ComputeDominators(b3.P)
+	loops3 := analysis.FindLoops(b3.P, dom3)
+	if len(loops3) != 1 {
+		t.Fatalf("found %d loops", len(loops3))
+	}
+	if loops3[0].HasGuaranteedGCPoint() {
+		t.Error("one gc-free path through the loop exists; must not be guaranteed")
+	}
+}
+
+func TestDerivInfoVariants(t *testing.T) {
+	b := irtest.NewProc("p")
+	p1 := b.New(0)
+	p2 := b.New(0)
+	d := b.Reg(ir.ClassDerived)
+	// Two defs with different derivations: ambiguous.
+	b.Emit(ir.Instr{Op: ir.OpAddImm, Dst: d, A: p1, Imm: 1,
+		Deriv: []ir.BaseRef{{Reg: p1, Sign: 1}}})
+	b.Emit(ir.Instr{Op: ir.OpAddImm, Dst: d, A: p2, Imm: 1,
+		Deriv: []ir.BaseRef{{Reg: p2, Sign: 1}}})
+	// Derivation-preserving increment adds no variant.
+	b.AddImmInto(d, d, 8)
+	b.Ret(ir.NoReg)
+
+	di := analysis.ComputeDerivInfo(b.P)
+	amb := di.Ambiguous()
+	if len(amb) != 1 || amb[0] != d {
+		t.Fatalf("ambiguous = %v, want [%d]", amb, d)
+	}
+	if n := len(di.Summaries[d].Variants); n != 2 {
+		t.Errorf("%d variants, want 2 (self-increment must not count)", n)
+	}
+}
+
+func TestAllocInfo(t *testing.T) {
+	// p0 allocates directly; p1 calls p0; p2 calls nothing.
+	mk := func(name string, body func(b *irtest.B)) *ir.Proc {
+		b := irtest.NewProc(name)
+		body(b)
+		b.Ret(ir.NoReg)
+		return b.P
+	}
+	p0 := mk("alloc", func(b *irtest.B) { b.New(0) })
+	p1 := mk("caller", func(b *irtest.B) {
+		b.Emit(ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, Callee: 0})
+	})
+	p2 := mk("pure", func(b *irtest.B) { b.Const(1) })
+	prog := &ir.Program{Procs: []*ir.Proc{p0, p1, p2}}
+	ai := analysis.ComputeAllocInfo(prog)
+	if !ai.Allocates[0] || !ai.Allocates[1] || ai.Allocates[2] {
+		t.Errorf("alloc info wrong: %v", ai.Allocates)
+	}
+}
+
+func TestBitSetOps(t *testing.T) {
+	s := analysis.NewBitSet(200)
+	s.Add(0)
+	s.Add(63)
+	s.Add(64)
+	s.Add(199)
+	if !s.Has(63) || !s.Has(64) || s.Has(65) {
+		t.Error("membership wrong")
+	}
+	if s.Count() != 4 {
+		t.Errorf("count %d", s.Count())
+	}
+	s.Remove(63)
+	if s.Has(63) || s.Count() != 3 {
+		t.Error("remove wrong")
+	}
+	o := analysis.NewBitSet(200)
+	o.Add(100)
+	if !s.UnionWith(o) || !s.Has(100) {
+		t.Error("union wrong")
+	}
+	if s.UnionWith(o) {
+		t.Error("union reported change on no-op")
+	}
+	var got []int
+	s.ForEach(func(i int) { got = append(got, i) })
+	want := []int{0, 64, 100, 199}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach %v, want %v", got, want)
+		}
+	}
+}

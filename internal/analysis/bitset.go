@@ -1,0 +1,70 @@
+// Package analysis provides the dataflow analyses used by the
+// optimizer, the register allocator, and the gc-table builder: liveness
+// (with the paper's rule that a use of a derived value is a use of each
+// of its base values), dominators, natural loops, derivation summaries,
+// and interprocedural allocation analysis.
+package analysis
+
+import "math/bits"
+
+// BitSet is a fixed-capacity set of small non-negative integers.
+type BitSet []uint64
+
+// NewBitSet returns a set with capacity for n elements.
+func NewBitSet(n int) BitSet { return make(BitSet, (n+63)/64) }
+
+// Has reports whether i is in the set.
+func (b BitSet) Has(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+// Add inserts i.
+func (b BitSet) Add(i int) { b[i/64] |= 1 << (uint(i) % 64) }
+
+// Remove deletes i.
+func (b BitSet) Remove(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+
+// UnionWith adds all elements of o, reporting whether b changed.
+func (b BitSet) UnionWith(o BitSet) bool {
+	changed := false
+	for i := range o {
+		nv := b[i] | o[i]
+		if nv != b[i] {
+			b[i] = nv
+			changed = true
+		}
+	}
+	return changed
+}
+
+// Copy returns an independent copy.
+func (b BitSet) Copy() BitSet {
+	c := make(BitSet, len(b))
+	copy(c, b)
+	return c
+}
+
+// Clear empties the set.
+func (b BitSet) Clear() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// Count returns the number of elements.
+func (b BitSet) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// ForEach calls f for each element in ascending order.
+func (b BitSet) ForEach(f func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			bit := bits.TrailingZeros64(w)
+			f(wi*64 + bit)
+			w &^= 1 << uint(bit)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import "repro/internal/ir"
+
+// Dominators computes the immediate dominator of each block using the
+// classic iterative algorithm (Cooper/Harvey/Kennedy).
+type Dominators struct {
+	Proc *ir.Proc
+	Idom []*ir.Block // indexed by block ID; entry's idom is itself
+	rpo  []*ir.Block
+	rpoN []int // reverse postorder number per block ID
+}
+
+// ComputeDominators builds dominator information for p.
+func ComputeDominators(p *ir.Proc) *Dominators {
+	d := &Dominators{Proc: p, Idom: make([]*ir.Block, len(p.Blocks)), rpoN: make([]int, len(p.Blocks))}
+	// Reverse postorder from entry.
+	seen := make([]bool, len(p.Blocks))
+	var post []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b.ID] = true
+		for _, s := range b.Succs {
+			if !seen[s.ID] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	dfs(p.Entry)
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	d.rpo = post
+	for i, b := range post {
+		d.rpoN[b.ID] = i
+	}
+	d.Idom[p.Entry.ID] = p.Entry
+	for changed := true; changed; {
+		changed = false
+		for _, b := range d.rpo {
+			if b == p.Entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, pr := range b.Preds {
+				if d.Idom[pr.ID] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = pr
+				} else {
+					newIdom = d.intersect(pr, newIdom)
+				}
+			}
+			if newIdom != nil && d.Idom[b.ID] != newIdom {
+				d.Idom[b.ID] = newIdom
+				changed = true
+			}
+		}
+	}
+	return d
+}
+
+func (d *Dominators) intersect(a, b *ir.Block) *ir.Block {
+	for a != b {
+		for d.rpoN[a.ID] > d.rpoN[b.ID] {
+			a = d.Idom[a.ID]
+		}
+		for d.rpoN[b.ID] > d.rpoN[a.ID] {
+			b = d.Idom[b.ID]
+		}
+	}
+	return a
+}
+
+// Dominates reports whether a dominates b.
+func (d *Dominators) Dominates(a, b *ir.Block) bool {
+	for {
+		if a == b {
+			return true
+		}
+		idom := d.Idom[b.ID]
+		if idom == nil || idom == b {
+			return false
+		}
+		b = idom
+	}
+}
+
+// Loop is a natural loop.
+type Loop struct {
+	Header *ir.Block
+	Blocks map[*ir.Block]bool
+	// Latches are the in-loop predecessors of the header (back edges).
+	Latches []*ir.Block
+}
+
+// FindLoops locates the natural loops of p. Loops sharing a header are
+// merged.
+func FindLoops(p *ir.Proc, dom *Dominators) []*Loop {
+	byHeader := make(map[*ir.Block]*Loop)
+	var order []*ir.Block
+	for _, b := range p.Blocks {
+		for _, s := range b.Succs {
+			if dom.Idom[b.ID] == nil {
+				continue // unreachable block
+			}
+			if dom.Dominates(s, b) {
+				// Back edge b -> s: natural loop with header s.
+				l := byHeader[s]
+				if l == nil {
+					l = &Loop{Header: s, Blocks: map[*ir.Block]bool{s: true}}
+					byHeader[s] = l
+					order = append(order, s)
+				}
+				l.Latches = append(l.Latches, b)
+				// Collect the loop body: all blocks reaching b without
+				// passing through s.
+				var stack []*ir.Block
+				if !l.Blocks[b] {
+					l.Blocks[b] = true
+					stack = append(stack, b)
+				}
+				for len(stack) > 0 {
+					x := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					for _, pr := range x.Preds {
+						if !l.Blocks[pr] {
+							l.Blocks[pr] = true
+							stack = append(stack, pr)
+						}
+					}
+				}
+			}
+		}
+	}
+	loops := make([]*Loop, 0, len(order))
+	for _, h := range order {
+		loops = append(loops, byHeader[h])
+	}
+	return loops
+}
+
+// HasGuaranteedGCPoint reports whether every cycle through the loop's
+// header passes an instruction that is a gc-point. When false, the
+// multithreaded code generator must insert a gc-poll so resumed threads
+// reach a gc-point in bounded time (paper §5.3).
+func (l *Loop) HasGuaranteedGCPoint() bool {
+	// Remove blocks containing gc-points from the loop subgraph; if the
+	// header can still complete a cycle, a thread could spin forever
+	// without passing a gc-point.
+	clean := func(b *ir.Block) bool {
+		for i := range b.Instrs {
+			if b.Instrs[i].IsGCPoint() {
+				return false
+			}
+		}
+		return true
+	}
+	if !clean(l.Header) {
+		return true
+	}
+	// DFS from header through clean loop blocks; if we can reach a
+	// latch (whose back edge returns to the header) the cycle is dirty.
+	seen := map[*ir.Block]bool{l.Header: true}
+	stack := []*ir.Block{l.Header}
+	for len(stack) > 0 {
+		x := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range x.Succs {
+			if !l.Blocks[s] {
+				continue
+			}
+			if s == l.Header {
+				return false // completed a gc-point-free cycle
+			}
+			if !seen[s] && clean(s) {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,186 @@
+package analysis
+
+import "repro/internal/ir"
+
+// Liveness holds per-block live-in/live-out register sets.
+//
+// Two gc-specific rules are folded into the transfer function:
+//
+//  1. A use of a derived value is a use of each of its base values
+//     (transitively), so bases stay live while derived values are live —
+//     the paper's solution to the dead base problem (§4).
+//
+//  2. At a gc-point instruction, the derivation bases of its operands
+//     are live *after* the instruction as well: a call's outgoing
+//     derived argument slot is updated by the caller's derivations
+//     table while the callee runs, which requires the bases to be live
+//     (and locatable) for the entire call.
+type Liveness struct {
+	Proc    *ir.Proc
+	LiveIn  []BitSet // indexed by block ID
+	LiveOut []BitSet
+
+	// KeepAlive maps each register to the transitive closure of base
+	// registers its derivations mention (over every definition),
+	// including path-variable selectors.
+	KeepAlive map[ir.Reg][]ir.Reg
+}
+
+// BaseClosure computes, for every register, the transitive closure of
+// derivation bases across all of its definitions.
+func BaseClosure(p *ir.Proc) map[ir.Reg][]ir.Reg {
+	direct := make(map[ir.Reg]map[ir.Reg]bool)
+	addDirect := func(dst, base ir.Reg) {
+		if base == dst {
+			return
+		}
+		m := direct[dst]
+		if m == nil {
+			m = make(map[ir.Reg]bool)
+			direct[dst] = m
+		}
+		m[base] = true
+	}
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			if in.Dst == ir.NoReg {
+				continue
+			}
+			for _, br := range in.Deriv {
+				addDirect(in.Dst, br.Reg)
+			}
+		}
+	}
+	// Path variables must be live (and locatable) wherever their
+	// ambiguously derived register is live, so the collector can pick
+	// the right derivation variant.
+	for r, pv := range p.PathVars {
+		addDirect(r, pv.Sel)
+		for _, v := range pv.Variants {
+			for _, br := range v {
+				addDirect(r, br.Reg)
+			}
+		}
+	}
+	closure := make(map[ir.Reg][]ir.Reg)
+	var expand func(r ir.Reg, seen map[ir.Reg]bool, out *[]ir.Reg)
+	expand = func(r ir.Reg, seen map[ir.Reg]bool, out *[]ir.Reg) {
+		for b := range direct[r] {
+			if seen[b] {
+				continue
+			}
+			seen[b] = true
+			*out = append(*out, b)
+			expand(b, seen, out)
+		}
+	}
+	for r := range direct {
+		var out []ir.Reg
+		expand(r, map[ir.Reg]bool{r: true}, &out)
+		closure[r] = out
+	}
+	return closure
+}
+
+// ComputeLiveness runs backward liveness over the procedure with the
+// gc keep-alive rules enabled.
+func ComputeLiveness(p *ir.Proc) *Liveness { return ComputeLivenessOpt(p, true) }
+
+// ComputeLivenessOpt is ComputeLiveness with the derived-base
+// keep-alive rules optionally disabled (the paper's "without gc
+// restrictions" baseline for §6.2).
+func ComputeLivenessOpt(p *ir.Proc, keepAlive bool) *Liveness {
+	lv := &Liveness{
+		Proc:    p,
+		LiveIn:  make([]BitSet, len(p.Blocks)),
+		LiveOut: make([]BitSet, len(p.Blocks)),
+	}
+	if keepAlive {
+		lv.KeepAlive = BaseClosure(p)
+	} else {
+		lv.KeepAlive = make(map[ir.Reg][]ir.Reg)
+	}
+	n := p.NumRegs()
+	for _, b := range p.Blocks {
+		lv.LiveIn[b.ID] = NewBitSet(n)
+		lv.LiveOut[b.ID] = NewBitSet(n)
+	}
+	var buf []ir.Reg
+	for changed := true; changed; {
+		changed = false
+		for i := len(p.Blocks) - 1; i >= 0; i-- {
+			b := p.Blocks[i]
+			out := lv.LiveOut[b.ID]
+			for _, s := range b.Succs {
+				if out.UnionWith(lv.LiveIn[s.ID]) {
+					changed = true
+				}
+			}
+			in := out.Copy()
+			for j := len(b.Instrs) - 1; j >= 0; j-- {
+				lv.transfer(&b.Instrs[j], in, &buf)
+			}
+			for wi := range in {
+				if in[wi] != lv.LiveIn[b.ID][wi] {
+					lv.LiveIn[b.ID][wi] = in[wi]
+					changed = true
+				}
+			}
+		}
+	}
+	return lv
+}
+
+// transfer applies one instruction's backward liveness transfer to cur
+// (which holds the live-after set and is updated to the live-before
+// set).
+func (lv *Liveness) transfer(in *ir.Instr, cur BitSet, buf *[]ir.Reg) {
+	*buf = in.Uses((*buf)[:0])
+	// Rule 2: gc-point operands' bases live through the instruction.
+	if in.IsGCPoint() {
+		for _, r := range *buf {
+			for _, kb := range lv.KeepAlive[r] {
+				cur.Add(int(kb))
+			}
+		}
+	}
+	if in.Dst != ir.NoReg {
+		cur.Remove(int(in.Dst))
+		// Rule 1 at definitions: deriving consumes the bases.
+		for _, kb := range lv.KeepAlive[in.Dst] {
+			cur.Add(int(kb))
+		}
+	}
+	for _, r := range *buf {
+		cur.Add(int(r))
+		for _, kb := range lv.KeepAlive[r] {
+			cur.Add(int(kb))
+		}
+	}
+}
+
+// LiveAfter walks block b backwards and returns, for each instruction
+// index, the set of registers live immediately after that instruction
+// (including gc-point base extensions).
+func (lv *Liveness) LiveAfter(b *ir.Block) []BitSet {
+	res := make([]BitSet, len(b.Instrs))
+	cur := lv.LiveOut[b.ID].Copy()
+	var buf []ir.Reg
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		// Record the after-set including the gc-point extension so
+		// table builders and the register allocator both see bases as
+		// live across the instruction.
+		if b.Instrs[i].IsGCPoint() {
+			buf = b.Instrs[i].Uses(buf[:0])
+			for _, r := range buf {
+				for _, kb := range lv.KeepAlive[r] {
+					cur.Add(int(kb))
+				}
+			}
+		}
+		res[i] = cur.Copy()
+		lv.transfer(&b.Instrs[i], cur, &buf)
+	}
+	return res
+}

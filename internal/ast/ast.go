@@ -1,0 +1,380 @@
+// Package ast defines the abstract syntax trees produced by the parser
+// for the mthree source language (a Modula-3 subset).
+package ast
+
+import (
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// Node is implemented by every syntax tree node.
+type Node interface {
+	Pos() source.Pos
+}
+
+// ---------- Module structure ----------
+
+// Module is a whole compilation unit:
+//
+//	MODULE Name; decls BEGIN stmts END Name.
+type Module struct {
+	NamePos source.Pos
+	Name    string
+	Decls   []Decl
+	Body    []Stmt
+}
+
+func (m *Module) Pos() source.Pos { return m.NamePos }
+
+// Decl is a top-level or procedure-local declaration.
+type Decl interface {
+	Node
+	declNode()
+}
+
+// TypeDecl declares TYPE Name = Type.
+type TypeDecl struct {
+	NamePos source.Pos
+	Name    string
+	Type    TypeExpr
+}
+
+// ConstDecl declares CONST Name = Expr.
+type ConstDecl struct {
+	NamePos source.Pos
+	Name    string
+	Value   Expr
+}
+
+// VarDecl declares VAR a, b: Type [:= Init].
+type VarDecl struct {
+	NamePos source.Pos
+	Names   []string
+	Type    TypeExpr
+	Init    Expr // optional
+}
+
+// ProcDecl declares a procedure with optional return type.
+type ProcDecl struct {
+	NamePos source.Pos
+	Name    string
+	Params  []*Param
+	Result  TypeExpr // nil if proper procedure
+	Decls   []Decl   // local CONST/TYPE/VAR declarations
+	Body    []Stmt
+}
+
+// Param is one formal parameter; ByRef marks VAR parameters.
+type Param struct {
+	NamePos source.Pos
+	Name    string
+	ByRef   bool
+	Type    TypeExpr
+}
+
+func (d *TypeDecl) Pos() source.Pos  { return d.NamePos }
+func (d *ConstDecl) Pos() source.Pos { return d.NamePos }
+func (d *VarDecl) Pos() source.Pos   { return d.NamePos }
+func (d *ProcDecl) Pos() source.Pos  { return d.NamePos }
+
+func (*TypeDecl) declNode()  {}
+func (*ConstDecl) declNode() {}
+func (*VarDecl) declNode()   {}
+func (*ProcDecl) declNode()  {}
+
+// ---------- Type expressions ----------
+
+// TypeExpr is a syntactic type.
+type TypeExpr interface {
+	Node
+	typeNode()
+}
+
+// NamedType refers to a declared or built-in type by name.
+type NamedType struct {
+	NamePos source.Pos
+	Name    string
+}
+
+// RefType is REF T.
+type RefType struct {
+	RefPos source.Pos
+	Elem   TypeExpr
+}
+
+// ArrayType is ARRAY [lo..hi] OF T (fixed) or ARRAY OF T (open).
+// Open arrays may appear only under REF or as VAR parameter types.
+type ArrayType struct {
+	ArrayPos source.Pos
+	Lo, Hi   Expr // nil for open arrays
+	Elem     TypeExpr
+}
+
+// RecordType is RECORD fields END.
+type RecordType struct {
+	RecordPos source.Pos
+	Fields    []*Field
+}
+
+// Field is one record field group: a, b: T.
+type Field struct {
+	NamePos source.Pos
+	Names   []string
+	Type    TypeExpr
+}
+
+func (t *NamedType) Pos() source.Pos  { return t.NamePos }
+func (t *RefType) Pos() source.Pos    { return t.RefPos }
+func (t *ArrayType) Pos() source.Pos  { return t.ArrayPos }
+func (t *RecordType) Pos() source.Pos { return t.RecordPos }
+
+func (*NamedType) typeNode()  {}
+func (*RefType) typeNode()    {}
+func (*ArrayType) typeNode()  {}
+func (*RecordType) typeNode() {}
+
+// ---------- Statements ----------
+
+// Stmt is a statement node.
+type Stmt interface {
+	Node
+	stmtNode()
+}
+
+// AssignStmt is LHS := RHS.
+type AssignStmt struct {
+	LHS Expr
+	RHS Expr
+}
+
+// CallStmt invokes a proper procedure.
+type CallStmt struct {
+	Call *CallExpr
+}
+
+// IfStmt is IF/ELSIF/ELSE END. Elifs are flattened by the parser into
+// nested IfStmts in Else.
+type IfStmt struct {
+	IfPos source.Pos
+	Cond  Expr
+	Then  []Stmt
+	Else  []Stmt // nil if absent
+}
+
+// WhileStmt is WHILE cond DO body END.
+type WhileStmt struct {
+	WhilePos source.Pos
+	Cond     Expr
+	Body     []Stmt
+}
+
+// RepeatStmt is REPEAT body UNTIL cond.
+type RepeatStmt struct {
+	RepeatPos source.Pos
+	Body      []Stmt
+	Cond      Expr
+}
+
+// LoopStmt is LOOP body END, exited with EXIT.
+type LoopStmt struct {
+	LoopPos source.Pos
+	Body    []Stmt
+}
+
+// ExitStmt leaves the innermost LOOP/WHILE/REPEAT/FOR.
+type ExitStmt struct {
+	ExitPos source.Pos
+}
+
+// ForStmt is FOR i := lo TO hi [BY step] DO body END.
+type ForStmt struct {
+	ForPos source.Pos
+	Var    string
+	VarPos source.Pos
+	Lo, Hi Expr
+	By     Expr // nil means 1
+	Body   []Stmt
+}
+
+// ReturnStmt is RETURN [expr].
+type ReturnStmt struct {
+	ReturnPos source.Pos
+	Value     Expr // nil for proper procedures
+}
+
+// WithStmt is WITH name = designator DO body END; name aliases the
+// designator's location (an interior pointer when the target is on the
+// heap — one of the paper's untidy-pointer sources).
+type WithStmt struct {
+	WithPos source.Pos
+	Name    string
+	NamePos source.Pos
+	Expr    Expr
+	Body    []Stmt
+}
+
+// CaseStmt is CASE expr OF | labels => stmts | ... ELSE stmts END.
+// Without an ELSE, a selector matching no arm is a checked runtime
+// error (Modula-3 semantics).
+type CaseStmt struct {
+	CasePos source.Pos
+	Expr    Expr
+	Arms    []*CaseArm
+	HasElse bool
+	Else    []Stmt
+}
+
+// CaseArm is one alternative: a list of labels (values or ranges) and a
+// body.
+type CaseArm struct {
+	BarPos source.Pos
+	Labels []*CaseLabel
+	Body   []Stmt
+}
+
+// CaseLabel is a constant label Lo, or a range Lo..Hi.
+type CaseLabel struct {
+	Lo, Hi Expr // Hi nil for single-value labels
+}
+
+// IncDecStmt is INC(v [, n]) or DEC(v [, n]).
+type IncDecStmt struct {
+	CallPos source.Pos
+	Dec     bool
+	Target  Expr
+	Delta   Expr // nil means 1
+}
+
+func (s *AssignStmt) Pos() source.Pos { return s.LHS.Pos() }
+func (s *CallStmt) Pos() source.Pos   { return s.Call.Pos() }
+func (s *IfStmt) Pos() source.Pos     { return s.IfPos }
+func (s *WhileStmt) Pos() source.Pos  { return s.WhilePos }
+func (s *RepeatStmt) Pos() source.Pos { return s.RepeatPos }
+func (s *LoopStmt) Pos() source.Pos   { return s.LoopPos }
+func (s *ExitStmt) Pos() source.Pos   { return s.ExitPos }
+func (s *ForStmt) Pos() source.Pos    { return s.ForPos }
+func (s *ReturnStmt) Pos() source.Pos { return s.ReturnPos }
+func (s *WithStmt) Pos() source.Pos   { return s.WithPos }
+func (s *CaseStmt) Pos() source.Pos   { return s.CasePos }
+func (s *IncDecStmt) Pos() source.Pos { return s.CallPos }
+
+func (*AssignStmt) stmtNode() {}
+func (*CallStmt) stmtNode()   {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*RepeatStmt) stmtNode() {}
+func (*LoopStmt) stmtNode()   {}
+func (*ExitStmt) stmtNode()   {}
+func (*ForStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode() {}
+func (*WithStmt) stmtNode()   {}
+func (*CaseStmt) stmtNode()   {}
+func (*IncDecStmt) stmtNode() {}
+
+// ---------- Expressions ----------
+
+// Expr is an expression node.
+type Expr interface {
+	Node
+	exprNode()
+}
+
+// Ident names a variable, constant, procedure, or WITH binding.
+type Ident struct {
+	NamePos source.Pos
+	Name    string
+}
+
+// IntLit is an integer literal.
+type IntLit struct {
+	LitPos source.Pos
+	Value  int64
+}
+
+// CharLit is a character literal.
+type CharLit struct {
+	LitPos source.Pos
+	Value  byte
+}
+
+// TextLit is a text (string) literal; allocates a REF ARRAY OF CHAR.
+type TextLit struct {
+	LitPos source.Pos
+	Value  string
+}
+
+// BoolLit is TRUE or FALSE.
+type BoolLit struct {
+	LitPos source.Pos
+	Value  bool
+}
+
+// NilLit is NIL.
+type NilLit struct {
+	LitPos source.Pos
+}
+
+// BinaryExpr applies Op to X and Y.
+type BinaryExpr struct {
+	Op token.Kind // Plus, Minus, Star, DIV, MOD, Equal, NotEqual, Less, LessEq, Greater, GreaterEq, AND, OR
+	X  Expr
+	Y  Expr
+}
+
+// UnaryExpr applies Op (Minus or NOT) to X.
+type UnaryExpr struct {
+	OpPos source.Pos
+	Op    token.Kind
+	X     Expr
+}
+
+// CallExpr calls Fun(Args...). Built-in functions (NEW, NUMBER, FIRST,
+// LAST, ORD, VAL, ABS, MIN, MAX, SUBARRAY) also parse as calls.
+type CallExpr struct {
+	Fun  Expr
+	Args []Expr
+}
+
+// IndexExpr is A[i].
+type IndexExpr struct {
+	X     Expr
+	Index Expr
+}
+
+// SelectorExpr is r.f (record field selection, with implicit deref of REF RECORD).
+type SelectorExpr struct {
+	X    Expr
+	Name string
+	Pos_ source.Pos
+}
+
+// DerefExpr is p^.
+type DerefExpr struct {
+	X Expr
+}
+
+func (e *Ident) Pos() source.Pos        { return e.NamePos }
+func (e *IntLit) Pos() source.Pos       { return e.LitPos }
+func (e *CharLit) Pos() source.Pos      { return e.LitPos }
+func (e *TextLit) Pos() source.Pos      { return e.LitPos }
+func (e *BoolLit) Pos() source.Pos      { return e.LitPos }
+func (e *NilLit) Pos() source.Pos       { return e.LitPos }
+func (e *BinaryExpr) Pos() source.Pos   { return e.X.Pos() }
+func (e *UnaryExpr) Pos() source.Pos    { return e.OpPos }
+func (e *CallExpr) Pos() source.Pos     { return e.Fun.Pos() }
+func (e *IndexExpr) Pos() source.Pos    { return e.X.Pos() }
+func (e *SelectorExpr) Pos() source.Pos { return e.Pos_ }
+func (e *DerefExpr) Pos() source.Pos    { return e.X.Pos() }
+
+func (*Ident) exprNode()        {}
+func (*IntLit) exprNode()       {}
+func (*CharLit) exprNode()      {}
+func (*TextLit) exprNode()      {}
+func (*BoolLit) exprNode()      {}
+func (*NilLit) exprNode()       {}
+func (*BinaryExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()    {}
+func (*CallExpr) exprNode()     {}
+func (*IndexExpr) exprNode()    {}
+func (*SelectorExpr) exprNode() {}
+func (*DerefExpr) exprNode()    {}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/gctab"
+)
+
+// TestHarnessFunctions exercises the measurement entry points end to
+// end (paperbench drives them interactively; this pins them in CI).
+func TestHarnessFunctions(t *testing.T) {
+	refRows, err := Refinements()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range refRows {
+		if r.PPShort >= r.PP {
+			t.Errorf("%s: short distances did not shrink tables (%d vs %d)", r.Program, r.PPShort, r.PP)
+		}
+		if r.Program == "framearray" && r.PPRuns >= r.PP {
+			t.Errorf("framearray: runs did not shrink tables (%d vs %d)", r.PPRuns, r.PP)
+		}
+	}
+
+	cmpRows, err := PreciseVsConservative(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cmpRows) != len(Names()) {
+		t.Errorf("compare rows: %d", len(cmpRows))
+	}
+
+	genRows, err := GenerationalComparison(4096)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range genRows {
+		if r.Program == "FieldList" && r.GenMinor == 0 {
+			t.Error("FieldList: generational run had no minor collections")
+		}
+	}
+
+	d, n, err := DecodeCost("takl", gctab.DeltaPP, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d <= 0 || n == 0 {
+		t.Errorf("decode cost %v over %d points", d, n)
+	}
+
+	s63, err := Sec63(3, 5, 10, 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s63.Collections == 0 {
+		t.Error("Sec63 produced no collections")
+	}
+}

@@ -1,0 +1,93 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/vmachine"
+)
+
+// expected deterministic outputs of the four benchmarks (default
+// parameters), identical under every compiler and collector
+// configuration.
+var expected = map[string]string{
+	"typereg":   "39 361 39 6479\n",
+	"FieldList": "2520 5190 946305782\n",
+	"takl":      "6\n",
+	"destroy":   "1093\n",
+}
+
+// TestBenchmarksDeterministic pins each benchmark's output across
+// optimization levels and heap regimes (including gc-stress).
+func TestBenchmarksDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		src := Sources()[name]
+		var ref string
+		for _, optimize := range []bool{false, true} {
+			c, err := driver.Compile(name+".m3", src, driver.Options{
+				Optimize: optimize, GCSupport: true, Scheme: driver.NewOptions().Scheme,
+			})
+			if err != nil {
+				t.Fatalf("%s optimize=%v: %v", name, optimize, err)
+			}
+			cfgs := []vmachine.Config{
+				{HeapWords: 1 << 20, StackWords: 1 << 16, MaxThreads: 2},
+				{HeapWords: 1 << 15, StackWords: 1 << 16, MaxThreads: 2},
+			}
+			if name != "destroy" { // destroy's live tree is too big for stress+tiny
+				cfgs = append(cfgs, vmachine.Config{
+					HeapWords: 1 << 16, StackWords: 1 << 16, MaxThreads: 2, StressGC: true,
+				})
+			}
+			for ci, cfg := range cfgs {
+				var w sink
+				cfg.Out = &w
+				m, col, err := c.NewMachine(cfg)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				col.Debug = true
+				if err := m.Run(200_000_000); err != nil {
+					t.Fatalf("%s optimize=%v cfg=%d: %v", name, optimize, ci, err)
+				}
+				out := w.String()
+				if ref == "" {
+					ref = out
+					t.Logf("%s => %q (gcs=%d)", name, out, m.GCCount)
+				} else if out != ref {
+					t.Errorf("%s optimize=%v cfg=%d: output %q differs from %q", name, optimize, ci, out, ref)
+				}
+			}
+
+			// Generational collector with store checks: same output.
+			gopts := driver.Options{Optimize: optimize, GCSupport: true,
+				Generational: true, Scheme: driver.NewOptions().Scheme}
+			gc2, err := driver.Compile(name+".m3", src, gopts)
+			if err != nil {
+				t.Fatalf("%s generational: %v", name, err)
+			}
+			gcfg := vmachine.Config{HeapWords: 1 << 17, StackWords: 1 << 16, MaxThreads: 2}
+			var gw sink
+			gcfg.Out = &gw
+			gm, gcol, err := gc2.NewGenerationalMachine(gcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			gcol.Debug = true
+			if err := gm.Run(200_000_000); err != nil {
+				t.Fatalf("%s generational: %v", name, err)
+			}
+			if gw.String() != ref {
+				t.Errorf("%s generational: output %q differs from %q", name, gw.String(), ref)
+			}
+		}
+		if want, ok := expected[name]; ok && ref != want {
+			t.Errorf("%s: output %q, want pinned %q", name, ref, want)
+		}
+	}
+}
+
+type sink struct{ b []byte }
+
+func (s *sink) Write(p []byte) (int, error) { s.b = append(s.b, p...); return len(p), nil }
+func (s *sink) String() string              { return string(s.b) }

@@ -1,0 +1,192 @@
+// Package codegen lowers IR to VM code and builds the gc tables.
+//
+// Frame layout (word offsets from FP):
+//
+//	FP+2+j  incoming argument j
+//	FP+1    return address
+//	FP+0    saved FP
+//	FP-1... callee-save register save area
+//	...     spill slots
+//	...     frame-allocated locals
+//	SP+j    outgoing argument j   (SP = FP - frameWords)
+//
+// Every gc-point is identified by the byte PC of the instruction
+// following it — the return address for calls, matching the paper's
+// PC→table mapping.
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/gctab"
+	"repro/internal/ir"
+	"repro/internal/vmachine"
+)
+
+// Options configures code generation.
+type Options struct {
+	// GCSupport enables gc-table emission and the keep-alive liveness
+	// rules. Off reproduces the paper's §6.2 baseline.
+	GCSupport bool
+	// Multithreaded inserts gc-polls in loops with no guaranteed
+	// gc-point so threads reach a rendezvous in bounded time (§5.3).
+	Multithreaded bool
+	// ElideNonAlloc skips gc-point tables for calls to procedures that
+	// can never allocate (the paper's proposed refinement, single-
+	// threaded only).
+	ElideNonAlloc bool
+	// Generational emits write-barriered stores (OpStB) for pointer
+	// stores into memory — the store checks generational schemes
+	// perform (§6.2).
+	Generational bool
+}
+
+// Generate compiles the IR program into a linked VM program plus its gc
+// tables (nil when GCSupport is off).
+func Generate(irp *ir.Program, opts Options) (*vmachine.Program, *gctab.Object, error) {
+	if opts.ElideNonAlloc && opts.Multithreaded {
+		return nil, nil, fmt.Errorf("codegen: eliding non-allocating call gc-points is unsound with threads (polls inside non-allocating code need walkable frames)")
+	}
+	var alloc *analysis.AllocInfo
+	if opts.ElideNonAlloc {
+		alloc = analysis.ComputeAllocInfo(irp)
+	}
+	g := &moduleGen{irp: irp, opts: opts, allocInfo: alloc}
+	return g.run()
+}
+
+type moduleGen struct {
+	irp       *ir.Program
+	opts      Options
+	allocInfo *analysis.AllocInfo
+
+	code         []vmachine.Instr
+	procEntry    []int // proc index -> vm instruction index
+	procEndIdx   []int
+	frameWordsOf []int64
+	fixups       []fixup
+
+	tables gctab.Object
+}
+
+type fixupKind uint8
+
+const (
+	fixBlock fixupKind = iota
+	fixProc
+)
+
+type fixup struct {
+	vmIdx   int
+	kind    fixupKind
+	proc    int // proc index (fixProc) or owning proc (fixBlock)
+	blockID int
+}
+
+// pendingPoint defers table PC resolution until byte PCs exist.
+type pendingPoint struct {
+	proc  int
+	vmIdx int // index of the gc-point VM instruction
+	point gctab.GCPoint
+}
+
+func (g *moduleGen) run() (*vmachine.Program, *gctab.Object, error) {
+	// Instruction 0 is the halt stub: byte PC 0 is both the sentinel
+	// return address of root frames and the thread exit point.
+	g.code = append(g.code, vmachine.Instr{Op: vmachine.OpHalt})
+
+	g.procEntry = make([]int, len(g.irp.Procs))
+	g.procEndIdx = make([]int, len(g.irp.Procs))
+
+	var pendings []pendingPoint
+	blockStarts := make([][]int, len(g.irp.Procs))
+
+	for pi, p := range g.irp.Procs {
+		if g.opts.Multithreaded {
+			InsertGCPolls(p)
+		}
+		pg := newProcGen(g, pi, p)
+		starts, pts, err := pg.emit()
+		if err != nil {
+			return nil, nil, err
+		}
+		blockStarts[pi] = starts
+		pendings = append(pendings, pts...)
+	}
+
+	// Layout: assign byte PCs (targets are fixed-width, so sizes are
+	// final before patching).
+	pcOf := make([]int, len(g.code)+1)
+	pc := 0
+	for i := range g.code {
+		pcOf[i] = pc
+		pc += vmachine.EncodedSize(&g.code[i])
+	}
+	pcOf[len(g.code)] = pc
+
+	// Patch branch and call targets.
+	for _, f := range g.fixups {
+		switch f.kind {
+		case fixBlock:
+			g.code[f.vmIdx].Target = pcOf[blockStarts[f.proc][f.blockID]]
+		case fixProc:
+			g.code[f.vmIdx].Target = pcOf[g.procEntry[f.proc]]
+		}
+	}
+
+	// Encode the final byte stream.
+	var bytes []byte
+	idxOf := make(map[int]int, len(g.code))
+	for i := range g.code {
+		idxOf[pcOf[i]] = i
+		bytes = vmachine.AppendInstr(bytes, &g.code[i])
+	}
+
+	prog := &vmachine.Program{
+		Name:          g.irp.Name,
+		Code:          g.code,
+		PCOf:          pcOf[:len(g.code)],
+		IdxOf:         idxOf,
+		CodeBytes:     bytes,
+		GlobalWords:   g.irp.GlobalWords,
+		GlobalPtrOffs: g.irp.GlobalPtrOffsets(),
+		Descs:         g.irp.Descs,
+		TextLits:      g.irp.TextLits,
+	}
+	// PCOf needs one extra slot for CurrentGCPointPC of the last
+	// instruction; extend with the end-of-code PC.
+	prog.PCOf = pcOf
+
+	for pi, p := range g.irp.Procs {
+		prog.Procs = append(prog.Procs, vmachine.ProcInfo{
+			Name:       p.Name,
+			Entry:      pcOf[g.procEntry[pi]],
+			End:        pcOf[g.procEndIdx[pi]],
+			FrameWords: g.frameWordsOf[pi],
+			NumArgs:    p.NumParams,
+		})
+		if p == g.irp.Main {
+			prog.MainProc = pi
+		}
+	}
+	if len(g.irp.TextLits) > 0 {
+		prog.TextDesc = g.irp.TextDescID
+	}
+
+	if !g.opts.GCSupport {
+		return prog, nil, nil
+	}
+	// Resolve pending gc-point PCs and attach to per-proc tables.
+	for _, pp := range pendings {
+		pt := pp.point
+		pt.PC = pcOf[pp.vmIdx+1]
+		g.tables.Procs[pp.proc].Points = append(g.tables.Procs[pp.proc].Points, pt)
+	}
+	for pi := range g.tables.Procs {
+		g.tables.Procs[pi].Entry = pcOf[g.procEntry[pi]]
+		g.tables.Procs[pi].End = pcOf[g.procEndIdx[pi]]
+	}
+	g.tables.SortPoints()
+	return prog, &g.tables, nil
+}

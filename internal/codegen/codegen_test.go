@@ -1,0 +1,338 @@
+package codegen_test
+
+import (
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/gctab"
+	"repro/internal/irgen"
+	"repro/internal/opt"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+	"repro/internal/vmachine"
+)
+
+func compile(t *testing.T, src string, opts codegen.Options, optimize bool) (*vmachine.Program, *gctab.Object) {
+	t.Helper()
+	f := source.NewFile("t.m3", src)
+	errs := source.NewErrorList(f)
+	mod := parser.Parse(f, errs)
+	if err := errs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	p := sem.Check(mod, errs)
+	if err := errs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	irp := irgen.Build(p)
+	level := 0
+	if optimize {
+		level = 1
+	}
+	opt.Optimize(irp, opt.Options{Level: level, GCSupport: opts.GCSupport})
+	prog, tables, err := codegen.Generate(irp, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog, tables
+}
+
+const listSrc = `
+MODULE T;
+TYPE L = REF RECORD v: INTEGER; next: L; END;
+PROCEDURE Cons(v: INTEGER; tail: L): L =
+  VAR c: L;
+  BEGIN
+    c := NEW(L);
+    c.v := v;
+    c.next := tail;
+    RETURN c;
+  END Cons;
+PROCEDURE Sum(l: L): INTEGER =
+  BEGIN
+    IF l = NIL THEN RETURN 0; END;
+    RETURN l.v + Sum(l.next);
+  END Sum;
+VAR g: L;
+BEGIN
+  g := Cons(1, Cons(2, NIL));
+  PutInt(Sum(g));
+END T.
+`
+
+// TestTablesCoverEveryGCPoint: every gc-point VM instruction has a
+// decodable table at the byte PC of the following instruction.
+func TestTablesCoverEveryGCPoint(t *testing.T) {
+	prog, tables := compile(t, listSrc, codegen.Options{GCSupport: true}, true)
+	dec := gctab.NewDecoder(gctab.Encode(tables, gctab.DeltaPP))
+	for i := range prog.Code {
+		if prog.Code[i].IsGCPoint() {
+			pc := prog.PCOf[i+1]
+			if _, ok := dec.Lookup(pc); !ok {
+				t.Errorf("gc-point %s at %d has no tables (lookup pc %d)",
+					prog.Code[i].Op, prog.PCOf[i], pc)
+			}
+		}
+	}
+	// And non-gc-points must NOT resolve.
+	for i := range prog.Code {
+		if !prog.Code[i].IsGCPoint() && i > 0 && !prog.Code[i-1].IsGCPoint() {
+			if _, ok := dec.Lookup(prog.PCOf[i]); ok {
+				t.Errorf("non-gc-point pc %d resolves to tables", prog.PCOf[i])
+			}
+		}
+	}
+}
+
+// TestCallPointRegistersAreCalleeSave: at call gc-points, the register
+// pointer bitmap mentions only callee-save registers (the register
+// reconstruction invariant).
+func TestCallPointRegistersAreCalleeSave(t *testing.T) {
+	_, tables := compile(t, listSrc, codegen.Options{GCSupport: true}, true)
+	for i := range tables.Procs {
+		for _, pt := range tables.Procs[i].Points {
+			// We cannot tell calls from allocations here, but the
+			// stricter property "no pointer below R3" must hold
+			// everywhere (R0-R2 are scratch).
+			if pt.RegPtrs&0b111 != 0 {
+				t.Errorf("%s@%d: scratch register holds a pointer: %016b",
+					tables.Procs[i].Name, pt.PC, pt.RegPtrs)
+			}
+		}
+	}
+}
+
+// TestSaveMapsMatchUsedCalleeSave: each procedure's save map is
+// consistent with its register table contents.
+func TestSaveMapsRecorded(t *testing.T) {
+	prog, tables := compile(t, listSrc, codegen.Options{GCSupport: true}, true)
+	_ = prog
+	for i := range tables.Procs {
+		p := &tables.Procs[i]
+		saved := map[uint8]bool{}
+		for _, sv := range p.Saves {
+			if sv.Reg < 8 {
+				t.Errorf("%s saves caller-save R%d", p.Name, sv.Reg)
+			}
+			if sv.Off >= 0 {
+				t.Errorf("%s save slot at FP%+d (must be negative)", p.Name, sv.Off)
+			}
+			saved[sv.Reg] = true
+		}
+		// Any callee-save register holding a pointer at some point must
+		// be in the save map (it is used, hence saved).
+		for _, pt := range p.Points {
+			for r := 8; r < 16; r++ {
+				if pt.RegPtrs&(1<<r) != 0 && !saved[uint8(r)] {
+					t.Errorf("%s@%d: R%d live with pointer but not in save map", p.Name, pt.PC, r)
+				}
+			}
+		}
+	}
+}
+
+// TestDerivedVarArgEntry: passing a heap interior by VAR produces a
+// derivation entry targeting the SP-relative outgoing argument slot.
+func TestDerivedVarArgEntry(t *testing.T) {
+	src := `
+MODULE T;
+TYPE R = REF RECORD a, b: INTEGER; END;
+PROCEDURE Q(VAR x: INTEGER) =
+  BEGIN
+    x := 1;
+  END Q;
+PROCEDURE P(r: R) =
+  BEGIN
+    Q(r.b);
+  END P;
+BEGIN
+END T.
+`
+	_, tables := compile(t, src, codegen.Options{GCSupport: true}, false)
+	var pTab *gctab.ProcTables
+	for i := range tables.Procs {
+		if tables.Procs[i].Name == "P" {
+			pTab = &tables.Procs[i]
+		}
+	}
+	if pTab == nil {
+		t.Fatal("no tables for P")
+	}
+	found := false
+	for _, pt := range pTab.Points {
+		for _, d := range pt.Derivs {
+			if !d.Target.InReg && d.Target.Base == gctab.BaseSP && d.Target.Off == 0 {
+				found = true
+				if len(d.Variants) != 1 || len(d.Variants[0]) != 1 {
+					t.Errorf("outgoing arg derivation shape: %+v", d)
+				}
+			}
+		}
+	}
+	if !found {
+		t.Errorf("no derivation entry targets SP+0 in P's tables")
+	}
+}
+
+// TestElideNonAllocating: with elision, calls to non-allocating
+// procedures get no gc-point tables.
+func TestElideNonAllocating(t *testing.T) {
+	src := `
+MODULE T;
+TYPE L = REF RECORD v: INTEGER; END;
+PROCEDURE Pure(x: INTEGER): INTEGER =
+  BEGIN
+    RETURN x * 2;
+  END Pure;
+PROCEDURE Alloc(): L =
+  BEGIN
+    RETURN NEW(L);
+  END Alloc;
+VAR l: L; n: INTEGER;
+BEGIN
+  n := Pure(3);
+  l := Alloc();
+  n := Pure(n);
+END T.
+`
+	_, full := compile(t, src, codegen.Options{GCSupport: true}, false)
+	_, elided := compile(t, src, codegen.Options{GCSupport: true, ElideNonAlloc: true}, false)
+	nFull := full.ComputeStats()
+	nElided := elided.ComputeStats()
+	fullPoints, elidedPoints := 0, 0
+	for i := range full.Procs {
+		fullPoints += len(full.Procs[i].Points)
+	}
+	for i := range elided.Procs {
+		elidedPoints += len(elided.Procs[i].Points)
+	}
+	if elidedPoints >= fullPoints {
+		t.Errorf("elision did not reduce gc-points: %d vs %d", elidedPoints, fullPoints)
+	}
+	// Two calls to Pure are elided.
+	if fullPoints-elidedPoints != 2 {
+		t.Errorf("elided %d points, want 2", fullPoints-elidedPoints)
+	}
+	_ = nFull
+	_ = nElided
+}
+
+// TestElideRejectedWithThreads: the unsound combination errors out.
+func TestElideRejectedWithThreads(t *testing.T) {
+	f := source.NewFile("t.m3", listSrc)
+	errs := source.NewErrorList(f)
+	mod := parser.Parse(f, errs)
+	p := sem.Check(mod, errs)
+	if err := errs.Err(); err != nil {
+		t.Fatal(err)
+	}
+	irp := irgen.Build(p)
+	_, _, err := codegen.Generate(irp, codegen.Options{
+		GCSupport: true, ElideNonAlloc: true, Multithreaded: true,
+	})
+	if err == nil {
+		t.Fatal("elide + multithreaded accepted; it is unsound")
+	}
+}
+
+// TestGcPollInsertion: a non-allocating loop gets a poll in
+// multithreaded mode and none otherwise.
+func TestGcPollInsertion(t *testing.T) {
+	src := `
+MODULE T;
+VAR n: INTEGER;
+BEGIN
+  WHILE n < 10 DO
+    n := n + 1;
+  END;
+END T.
+`
+	progST, _ := compile(t, src, codegen.Options{GCSupport: true}, false)
+	progMT, _ := compile(t, src, codegen.Options{GCSupport: true, Multithreaded: true}, false)
+	count := func(p *vmachine.Program) int {
+		n := 0
+		for i := range p.Code {
+			if p.Code[i].Op == vmachine.OpGcPoll {
+				n++
+			}
+		}
+		return n
+	}
+	if count(progST) != 0 {
+		t.Errorf("single-threaded code has %d polls", count(progST))
+	}
+	if count(progMT) != 1 {
+		t.Errorf("multithreaded code has %d polls, want 1", count(progMT))
+	}
+}
+
+// TestNoTablesWithoutGCSupport: §6.2 baseline emits no tables.
+func TestNoTablesWithoutGCSupport(t *testing.T) {
+	_, tables := compile(t, listSrc, codegen.Options{GCSupport: false}, true)
+	if tables != nil {
+		t.Error("tables emitted with gc support off")
+	}
+}
+
+// TestProcBounds: procedure Entry/End ranges partition the code (after
+// the halt stub) and contain their gc-points.
+func TestProcBounds(t *testing.T) {
+	prog, tables := compile(t, listSrc, codegen.Options{GCSupport: true}, true)
+	for i := range tables.Procs {
+		p := &tables.Procs[i]
+		if p.Entry >= p.End {
+			t.Errorf("%s: empty range [%d,%d)", p.Name, p.Entry, p.End)
+		}
+		for _, pt := range p.Points {
+			if pt.PC <= p.Entry || pt.PC > p.End {
+				t.Errorf("%s: gc-point %d outside (%d,%d]", p.Name, pt.PC, p.Entry, p.End)
+			}
+		}
+	}
+	// Entries must agree with the VM program's proc info.
+	for i := range prog.Procs {
+		if prog.Procs[i].Entry != tables.Procs[i].Entry {
+			t.Errorf("proc %d entry mismatch", i)
+		}
+	}
+}
+
+// TestDerivationsOrdered: within every gc-point, derived values precede
+// their bases (the phase-1 order).
+func TestDerivationsOrdered(t *testing.T) {
+	src := `
+MODULE T;
+TYPE V = REF ARRAY OF INTEGER;
+PROCEDURE P(v: V): INTEGER =
+  VAR i, s: INTEGER; junk: V;
+  BEGIN
+    s := 0;
+    FOR i := 0 TO NUMBER(v) - 1 DO
+      s := s + v[i];
+      junk := NEW(V, 2);
+    END;
+    RETURN s;
+  END P;
+BEGIN
+END T.
+`
+	_, tables := compile(t, src, codegen.Options{GCSupport: true}, true)
+	for i := range tables.Procs {
+		for _, pt := range tables.Procs[i].Points {
+			seen := map[gctab.Location]bool{}
+			for _, d := range pt.Derivs {
+				for _, variant := range d.Variants {
+					for _, b := range variant {
+						if seen[b.Loc] {
+							// a base that was an earlier target: violation
+							t.Errorf("%s@%d: base %v appears after its derivation",
+								tables.Procs[i].Name, pt.PC, b.Loc)
+						}
+					}
+				}
+				seen[d.Target] = true
+			}
+		}
+	}
+}

@@ -1,0 +1,332 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/gctab"
+	"repro/internal/ir"
+	"repro/internal/regalloc"
+	"repro/internal/vmachine"
+)
+
+var binOps = map[ir.Op]vmachine.Op{
+	ir.OpAdd: vmachine.OpAdd, ir.OpSub: vmachine.OpSub, ir.OpMul: vmachine.OpMul,
+	ir.OpDiv: vmachine.OpDiv, ir.OpMod: vmachine.OpMod,
+	ir.OpMin: vmachine.OpMin, ir.OpMax: vmachine.OpMax,
+	ir.OpCmpEQ: vmachine.OpCmpEQ, ir.OpCmpNE: vmachine.OpCmpNE,
+	ir.OpCmpLT: vmachine.OpCmpLT, ir.OpCmpLE: vmachine.OpCmpLE,
+	ir.OpCmpGT: vmachine.OpCmpGT, ir.OpCmpGE: vmachine.OpCmpGE,
+}
+
+var unOps = map[ir.Op]vmachine.Op{
+	ir.OpMov: vmachine.OpMov, ir.OpNeg: vmachine.OpNeg,
+	ir.OpNot: vmachine.OpNot, ir.OpAbs: vmachine.OpAbs,
+}
+
+var builtinOps = map[ir.Builtin]vmachine.Op{
+	ir.BPutInt: vmachine.OpPutInt, ir.BPutChar: vmachine.OpPutChar,
+	ir.BPutText: vmachine.OpPutText, ir.BPutLn: vmachine.OpPutLn,
+}
+
+// emitInstr lowers one IR instruction. liveAfter is the register set
+// live immediately after it (used for gc-point tables).
+func (pg *procGen) emitInstr(b *ir.Block, ii int, liveAfter analysis.BitSet) error {
+	in := &b.Instrs[ii]
+	switch in.Op {
+	case ir.OpConst:
+		rd := pg.defTarget(in.Dst, 0)
+		pg.ins(vmachine.Instr{Op: vmachine.OpMovI, Rd: rd, Imm: in.Imm})
+		pg.finishDef(in.Dst, rd)
+	case ir.OpMov, ir.OpNeg, ir.OpNot, ir.OpAbs:
+		ra := pg.use(in.A, 0)
+		rd := pg.defTarget(in.Dst, 1)
+		pg.ins(vmachine.Instr{Op: unOps[in.Op], Rd: rd, Ra: ra})
+		pg.finishDef(in.Dst, rd)
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod, ir.OpMin, ir.OpMax,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE:
+		ra := pg.use(in.A, 0)
+		rb := pg.use(in.B, 1)
+		rd := pg.defTarget(in.Dst, 2)
+		pg.ins(vmachine.Instr{Op: binOps[in.Op], Rd: rd, Ra: ra, Rb: rb})
+		pg.finishDef(in.Dst, rd)
+	case ir.OpAddImm:
+		ra := pg.use(in.A, 0)
+		rd := pg.defTarget(in.Dst, 1)
+		pg.ins(vmachine.Instr{Op: vmachine.OpAddI, Rd: rd, Ra: ra, Imm: in.Imm})
+		pg.finishDef(in.Dst, rd)
+	case ir.OpLoad:
+		ra := pg.use(in.A, 0)
+		rd := pg.defTarget(in.Dst, 1)
+		pg.ins(vmachine.Instr{Op: vmachine.OpLd, Rd: rd, Base: ra, Imm: in.Imm})
+		pg.finishDef(in.Dst, rd)
+	case ir.OpStore:
+		ra := pg.use(in.A, 0)
+		rb := pg.use(in.B, 1)
+		op := vmachine.OpSt
+		if pg.g.opts.Generational && pg.p.Class(in.B) == ir.ClassPointer {
+			// Store check (§6.2): generational collection needs a write
+			// barrier on pointer stores into heap objects.
+			op = vmachine.OpStB
+		}
+		pg.ins(vmachine.Instr{Op: op, Base: ra, Imm: in.Imm, Ra: rb})
+	case ir.OpAddrGlobal:
+		rd := pg.defTarget(in.Dst, 0)
+		pg.ins(vmachine.Instr{Op: vmachine.OpLeaG, Rd: rd, Imm: in.Imm})
+		pg.finishDef(in.Dst, rd)
+	case ir.OpLoadGlobal:
+		rd := pg.defTarget(in.Dst, 0)
+		pg.ins(vmachine.Instr{Op: vmachine.OpLdG, Rd: rd, Imm: in.Imm})
+		pg.finishDef(in.Dst, rd)
+	case ir.OpStoreGlobal:
+		ra := pg.use(in.A, 0)
+		pg.ins(vmachine.Instr{Op: vmachine.OpStG, Ra: ra, Imm: in.Imm})
+	case ir.OpAddrLocal:
+		rd := pg.defTarget(in.Dst, 0)
+		pg.ins(vmachine.Instr{Op: vmachine.OpLea, Rd: rd, Base: vmachine.BaseFP,
+			Imm: int64(pg.localOff[in.LocalID]) + in.Imm})
+		pg.finishDef(in.Dst, rd)
+	case ir.OpLoadLocal:
+		rd := pg.defTarget(in.Dst, 0)
+		pg.ins(vmachine.Instr{Op: vmachine.OpLd, Rd: rd, Base: vmachine.BaseFP,
+			Imm: int64(pg.localOff[in.LocalID]) + in.Imm})
+		pg.finishDef(in.Dst, rd)
+	case ir.OpStoreLocal:
+		ra := pg.use(in.A, 0)
+		pg.ins(vmachine.Instr{Op: vmachine.OpSt, Base: vmachine.BaseFP,
+			Imm: int64(pg.localOff[in.LocalID]) + in.Imm, Ra: ra})
+	case ir.OpCheckNil:
+		ra := pg.use(in.A, 0)
+		pg.ins(vmachine.Instr{Op: vmachine.OpChkNil, Ra: ra})
+	case ir.OpCheckRange:
+		ra := pg.use(in.A, 0)
+		pg.ins(vmachine.Instr{Op: vmachine.OpChkRng, Ra: ra, Imm: in.Imm, Imm2: in.Imm2})
+	case ir.OpCheckIdx:
+		ra := pg.use(in.A, 0)
+		rb := pg.use(in.B, 1)
+		pg.ins(vmachine.Instr{Op: vmachine.OpChkIdx, Ra: ra, Rb: rb})
+	case ir.OpTrap:
+		pg.ins(vmachine.Instr{Op: vmachine.OpTrap, Desc: int(in.Imm)})
+	case ir.OpCall:
+		return pg.emitCall(in, liveAfter)
+	case ir.OpCallBuiltin:
+		return pg.emitBuiltin(in, liveAfter)
+	case ir.OpNew:
+		rd := pg.defTarget(in.Dst, 0)
+		var idx int
+		if in.A != ir.NoReg {
+			ra := pg.use(in.A, 1)
+			idx = pg.ins(vmachine.Instr{Op: vmachine.OpNewArr, Rd: rd, Ra: ra, Desc: int(in.Imm)})
+		} else {
+			idx = pg.ins(vmachine.Instr{Op: vmachine.OpNewRec, Rd: rd, Desc: int(in.Imm)})
+		}
+		pg.recordPoint(in, liveAfter, idx)
+		pg.finishDef(in.Dst, rd)
+	case ir.OpText:
+		rd := pg.defTarget(in.Dst, 0)
+		idx := pg.ins(vmachine.Instr{Op: vmachine.OpNewText, Rd: rd, Desc: int(in.Imm)})
+		pg.recordPoint(in, liveAfter, idx)
+		pg.finishDef(in.Dst, rd)
+	case ir.OpGcPoll:
+		idx := pg.ins(vmachine.Instr{Op: vmachine.OpGcPoll})
+		pg.recordPoint(in, liveAfter, idx)
+	case ir.OpRet:
+		if in.A != ir.NoReg {
+			ra := pg.use(in.A, 0)
+			if ra != 0 {
+				pg.ins(vmachine.Instr{Op: vmachine.OpMov, Rd: 0, Ra: ra})
+			}
+		}
+		for _, hr := range pg.a.SavedCallee {
+			pg.ins(vmachine.Instr{Op: vmachine.OpLd, Rd: uint8(hr),
+				Base: vmachine.BaseFP, Imm: int64(pg.saveOff[hr])})
+		}
+		pg.ins(vmachine.Instr{Op: vmachine.OpRet})
+	case ir.OpJmp:
+		if len(b.Succs) != 1 {
+			return fmt.Errorf("codegen: jmp without single successor in %s", pg.p.Name)
+		}
+		pg.jumpTo(b.Succs[0].ID)
+	case ir.OpBr:
+		if len(b.Succs) != 2 {
+			return fmt.Errorf("codegen: br without two successors in %s", pg.p.Name)
+		}
+		ra := pg.use(in.A, 0)
+		bt := pg.ins(vmachine.Instr{Op: vmachine.OpBT, Ra: ra})
+		pg.g.fixups = append(pg.g.fixups, fixup{vmIdx: bt, kind: fixBlock, proc: pg.pi, blockID: b.Succs[0].ID})
+		pg.jumpTo(b.Succs[1].ID)
+	default:
+		return fmt.Errorf("codegen: unhandled IR op %s", in.Op)
+	}
+	return nil
+}
+
+func (pg *procGen) emitCall(in *ir.Instr, liveAfter analysis.BitSet) error {
+	// Write arguments to the outgoing area.
+	for j, arg := range in.Args {
+		ra := pg.use(arg, 0)
+		pg.ins(vmachine.Instr{Op: vmachine.OpSt, Base: vmachine.BaseSP, Imm: int64(j), Ra: ra})
+	}
+	idx := pg.ins(vmachine.Instr{Op: vmachine.OpCall})
+	pg.g.fixups = append(pg.g.fixups, fixup{vmIdx: idx, kind: fixProc, proc: in.Callee})
+
+	isPoint := true
+	if pg.g.opts.ElideNonAlloc && pg.g.allocInfo != nil && !pg.g.allocInfo.Allocates[in.Callee] {
+		isPoint = false
+	}
+	if isPoint {
+		pg.recordPoint(in, liveAfter, idx)
+	}
+	if in.Dst != ir.NoReg {
+		rd := pg.defTarget(in.Dst, 0)
+		if rd != 0 {
+			pg.ins(vmachine.Instr{Op: vmachine.OpMov, Rd: rd, Ra: 0})
+		}
+		pg.finishDef(in.Dst, rd)
+	}
+	return nil
+}
+
+func (pg *procGen) emitBuiltin(in *ir.Instr, liveAfter analysis.BitSet) error {
+	switch in.Builtin {
+	case ir.BPutLn:
+		pg.ins(vmachine.Instr{Op: vmachine.OpPutLn})
+	case ir.BPutInt, ir.BPutChar, ir.BPutText:
+		ra := pg.use(in.Args[0], 0)
+		pg.ins(vmachine.Instr{Op: builtinOps[in.Builtin], Ra: ra})
+	case ir.BHalt:
+		pg.ins(vmachine.Instr{Op: vmachine.OpHalt})
+	case ir.BGcCollect:
+		idx := pg.ins(vmachine.Instr{Op: vmachine.OpGcCollect})
+		pg.recordPoint(in, liveAfter, idx)
+	default:
+		return fmt.Errorf("codegen: unhandled builtin %s", in.Builtin)
+	}
+	return nil
+}
+
+// recordPoint assembles the gc tables for the gc-point whose VM
+// instruction sits at vmIdx.
+func (pg *procGen) recordPoint(in *ir.Instr, liveAfter analysis.BitSet, vmIdx int) {
+	if !pg.g.opts.GCSupport {
+		return
+	}
+	pt := gctab.GCPoint{}
+	// Frame-local pointer slots are always described (they are
+	// nil-initialized at entry).
+	pt.Live = append(pt.Live, pg.frameGrnd...)
+
+	atCall := in.Op == ir.OpCall
+
+	var derivRegs []ir.Reg
+	liveAfter.ForEach(func(ri int) {
+		r := ir.Reg(ri)
+		if r == in.Dst {
+			return // written after the collection completes
+		}
+		switch pg.p.Class(r) {
+		case ir.ClassPointer:
+			loc, err := pg.gcLocation(r)
+			if err != nil {
+				panic(err)
+			}
+			if loc.InReg {
+				if atCall && loc.Reg < regalloc.FirstCalleeSave {
+					panic(fmt.Sprintf("codegen: %s: pointer in caller-save R%d live across a call", pg.p.Name, loc.Reg))
+				}
+				pt.RegPtrs |= 1 << loc.Reg
+			} else {
+				pt.Live = append(pt.Live, pg.groundIndex(loc))
+			}
+		case ir.ClassDerived:
+			// A pinned VAR parameter's slot is maintained by the
+			// caller's derivation entry for the outgoing argument; this
+			// frame emits nothing for it.
+			if !pg.isByRefParam(r) {
+				derivRegs = append(derivRegs, r)
+			}
+		}
+	})
+	for _, r := range derivRegs {
+		loc, err := pg.gcLocation(r)
+		if err != nil {
+			panic(err)
+		}
+		if loc.InReg && atCall && loc.Reg < regalloc.FirstCalleeSave {
+			panic(fmt.Sprintf("codegen: %s: derived value in caller-save R%d live across a call", pg.p.Name, loc.Reg))
+		}
+		pt.Derivs = append(pt.Derivs, pg.derivEntry(r, loc))
+	}
+	// Outgoing derived arguments: the callee sees an opaque address in
+	// its argument slot; the caller's table names the slot SP-relative
+	// and carries the derivation (§3, call-by-reference derived values).
+	if atCall {
+		for j, arg := range in.Args {
+			if pg.p.Class(arg) == ir.ClassDerived {
+				target := gctab.Location{Base: gctab.BaseSP, Off: int32(j)}
+				pt.Derivs = append(pt.Derivs, pg.derivEntry(arg, target))
+			}
+		}
+	}
+	pt.Derivs = gctab.OrderDerivs(pt.Derivs)
+	sortInts(pt.Live)
+	pg.pts = append(pg.pts, pendingPoint{proc: pg.pi, vmIdx: vmIdx, point: pt})
+}
+
+func (pg *procGen) isByRefParam(r ir.Reg) bool {
+	return int(r) < pg.p.NumParams && int(r) < len(pg.p.ParamRefs) && pg.p.ParamRefs[r]
+}
+
+// derivEntry builds the derivations-table entry for derived vreg r
+// homed at target.
+func (pg *procGen) derivEntry(r ir.Reg, target gctab.Location) gctab.DerivEntry {
+	de := gctab.DerivEntry{Target: target}
+	if pg.isByRefParam(r) {
+		// Forwarding a VAR parameter: the outgoing slot derives from
+		// this frame's incoming argument slot (the chain the collector
+		// resolves callee-first).
+		slot, err := pg.gcLocation(r)
+		if err != nil {
+			panic(err)
+		}
+		de.Variants = [][]gctab.SignedLoc{{{Loc: slot, Sign: 1}}}
+		return de
+	}
+	if pv, ok := pg.p.PathVars[r]; ok {
+		selLoc, err := pg.gcLocation(pv.Sel)
+		if err != nil {
+			panic(err)
+		}
+		de.Sel = &selLoc
+		for _, variant := range pv.Variants {
+			de.Variants = append(de.Variants, pg.baseLocs(variant))
+		}
+		return de
+	}
+	sum := pg.di.Summaries[r]
+	if sum == nil || len(sum.Variants) != 1 {
+		panic(fmt.Sprintf("codegen: %s: derived vreg %d lacks a unique derivation", pg.p.Name, r))
+	}
+	de.Variants = [][]gctab.SignedLoc{pg.baseLocs(sum.Variants[0])}
+	return de
+}
+
+func (pg *procGen) baseLocs(bases []ir.BaseRef) []gctab.SignedLoc {
+	var out []gctab.SignedLoc
+	for _, b := range bases {
+		loc, err := pg.gcLocation(b.Reg)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, gctab.SignedLoc{Loc: loc, Sign: b.Sign})
+	}
+	return out
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

@@ -1,0 +1,23 @@
+package codegen
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// InsertGCPolls places a gc-poll at the header of every natural loop
+// that has no guaranteed gc-point on each iteration (paper §5.3): with
+// pre-emptive threads, a resumed thread must reach a gc-point in
+// bounded time for the rendezvous to terminate.
+func InsertGCPolls(p *ir.Proc) {
+	dom := analysis.ComputeDominators(p)
+	loops := analysis.FindLoops(p, dom)
+	for _, l := range loops {
+		if l.HasGuaranteedGCPoint() {
+			continue
+		}
+		poll := ir.Instr{Op: ir.OpGcPoll, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg}
+		l.Header.Instrs = append([]ir.Instr{poll}, l.Header.Instrs...)
+		l.Header.LoopHeader = true
+	}
+}

@@ -1,0 +1,230 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/analysis"
+	"repro/internal/gctab"
+	"repro/internal/ir"
+	"repro/internal/regalloc"
+	"repro/internal/vmachine"
+)
+
+type procGen struct {
+	g   *moduleGen
+	pi  int
+	p   *ir.Proc
+	a   *regalloc.Alloc
+	lv  *analysis.Liveness
+	di  *analysis.DerivInfo
+	pts []pendingPoint
+
+	saveOff    map[int]int32 // callee-save hard reg -> FP offset
+	spillOff   []int32
+	localOff   []int32
+	frameWords int64
+
+	ground    []gctab.Location
+	groundIdx map[gctab.Location]int
+	frameGrnd []int // ground indices of frame-local pointer slots (always live)
+}
+
+func newProcGen(g *moduleGen, pi int, p *ir.Proc) *procGen {
+	return &procGen{g: g, pi: pi, p: p, groundIdx: make(map[gctab.Location]int)}
+}
+
+// emit generates the procedure's code, returning per-block start
+// indices and the pending gc-point tables.
+func (pg *procGen) emit() ([]int, []pendingPoint, error) {
+	p := pg.p
+	pg.a = regalloc.Run(p, pg.g.opts.GCSupport)
+	pg.lv = pg.a.Liveness
+	pg.di = analysis.ComputeDerivInfo(p)
+	pg.layoutFrame()
+
+	g := pg.g
+	g.procEntry[pg.pi] = len(g.code)
+	g.frameWordsOf = append(g.frameWordsOf, pg.frameWords)
+
+	// Prologue.
+	pg.ins(vmachine.Instr{Op: vmachine.OpEnter, Imm: pg.frameWords})
+	for _, hr := range pg.a.SavedCallee {
+		pg.ins(vmachine.Instr{Op: vmachine.OpSt, Base: vmachine.BaseFP,
+			Imm: int64(pg.saveOff[hr]), Ra: uint8(hr)})
+	}
+	// Load register-allocated parameters from their argument slots.
+	for j := 0; j < p.NumParams; j++ {
+		loc := pg.a.LocOf[j]
+		if loc.Kind == regalloc.LocReg {
+			pg.ins(vmachine.Instr{Op: vmachine.OpLd, Rd: uint8(loc.Reg),
+				Base: vmachine.BaseFP, Imm: int64(2 + j)})
+		}
+	}
+
+	// Pre-register frame-local pointer slots in the ground table: they
+	// are zero-initialized by irgen at entry and described at every
+	// gc-point.
+	for li := range p.FrameLocals {
+		for _, off := range p.FrameLocals[li].PtrOffsets {
+			loc := gctab.Location{Base: gctab.BaseFP, Off: pg.localOff[li] + int32(off)}
+			pg.frameGrnd = append(pg.frameGrnd, pg.groundIndex(loc))
+		}
+	}
+
+	starts := make([]int, len(p.Blocks))
+	for bi, b := range p.Blocks {
+		starts[b.ID] = len(g.code)
+		liveAfter := pg.lv.LiveAfter(b)
+		for ii := range b.Instrs {
+			if err := pg.emitInstr(b, ii, liveAfter[ii]); err != nil {
+				return nil, nil, err
+			}
+		}
+		// Blocks that neither branch nor return fall through; emit an
+		// explicit jump when the successor is not next in layout.
+		if n := len(b.Instrs); n == 0 || !endsControl(&b.Instrs[n-1]) {
+			if len(b.Succs) == 1 {
+				if bi+1 >= len(p.Blocks) || p.Blocks[bi+1] != b.Succs[0] {
+					pg.jumpTo(b.Succs[0].ID)
+				}
+			}
+		}
+	}
+	g.procEndIdx[pg.pi] = len(g.code)
+
+	// Register the proc's tables (points attached later).
+	if pg.g.opts.GCSupport {
+		var saves []gctab.RegSave
+		for _, hr := range pg.a.SavedCallee {
+			saves = append(saves, gctab.RegSave{Reg: uint8(hr), Off: pg.saveOff[hr]})
+		}
+		pg.g.tables.Procs = append(pg.g.tables.Procs, gctab.ProcTables{
+			Name:   p.Name,
+			Ground: pg.ground,
+			Saves:  saves,
+		})
+	}
+	return starts, pg.pts, nil
+}
+
+func endsControl(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpJmp, ir.OpBr, ir.OpRet:
+		return true
+	}
+	return false
+}
+
+// layoutFrame assigns FP-relative offsets.
+func (pg *procGen) layoutFrame() {
+	pg.saveOff = make(map[int]int32)
+	off := int32(1)
+	for _, hr := range pg.a.SavedCallee {
+		pg.saveOff[hr] = -off
+		off++
+	}
+	pg.spillOff = make([]int32, pg.a.NumSpills)
+	for s := 0; s < pg.a.NumSpills; s++ {
+		pg.spillOff[s] = -off
+		off++
+	}
+	pg.localOff = make([]int32, len(pg.p.FrameLocals))
+	for li := range pg.p.FrameLocals {
+		z := int32(pg.p.FrameLocals[li].SizeWords)
+		// The local occupies [FP-(off+z-1), FP-off]; word w of the
+		// local lives at FP + localOff + w.
+		pg.localOff[li] = -(off + z - 1)
+		off += z
+	}
+	maxOut := 0
+	for _, b := range pg.p.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == ir.OpCall && len(b.Instrs[i].Args) > maxOut {
+				maxOut = len(b.Instrs[i].Args)
+			}
+		}
+	}
+	pg.frameWords = int64(off-1) + int64(maxOut)
+}
+
+func (pg *procGen) ins(in vmachine.Instr) int {
+	pg.g.code = append(pg.g.code, in)
+	return len(pg.g.code) - 1
+}
+
+func (pg *procGen) jumpTo(blockID int) {
+	idx := pg.ins(vmachine.Instr{Op: vmachine.OpJmp})
+	pg.g.fixups = append(pg.g.fixups, fixup{vmIdx: idx, kind: fixBlock, proc: pg.pi, blockID: blockID})
+}
+
+// ---------- operand access ----------
+
+// use returns a hard register holding vreg r's current value, loading
+// into the given scratch register when r lives in memory.
+func (pg *procGen) use(r ir.Reg, scratch uint8) uint8 {
+	loc := pg.a.LocOf[r]
+	switch loc.Kind {
+	case regalloc.LocReg:
+		return uint8(loc.Reg)
+	case regalloc.LocSpill:
+		pg.ins(vmachine.Instr{Op: vmachine.OpLd, Rd: scratch,
+			Base: vmachine.BaseFP, Imm: int64(pg.spillOff[loc.Idx])})
+		return scratch
+	case regalloc.LocArg:
+		pg.ins(vmachine.Instr{Op: vmachine.OpLd, Rd: scratch,
+			Base: vmachine.BaseFP, Imm: int64(2 + loc.Idx)})
+		return scratch
+	default: // LocNone: value provably dead; materialize zero
+		pg.ins(vmachine.Instr{Op: vmachine.OpMovI, Rd: scratch, Imm: 0})
+		return scratch
+	}
+}
+
+// defTarget picks the hard register an instruction should write for
+// vreg r; finishDef stores it home if r lives in memory.
+func (pg *procGen) defTarget(r ir.Reg, scratch uint8) uint8 {
+	if loc := pg.a.LocOf[r]; loc.Kind == regalloc.LocReg {
+		return uint8(loc.Reg)
+	}
+	return scratch
+}
+
+func (pg *procGen) finishDef(r ir.Reg, from uint8) {
+	loc := pg.a.LocOf[r]
+	switch loc.Kind {
+	case regalloc.LocReg:
+		// Already written directly.
+	case regalloc.LocSpill:
+		pg.ins(vmachine.Instr{Op: vmachine.OpSt, Base: vmachine.BaseFP,
+			Imm: int64(pg.spillOff[loc.Idx]), Ra: from})
+	case regalloc.LocArg:
+		pg.ins(vmachine.Instr{Op: vmachine.OpSt, Base: vmachine.BaseFP,
+			Imm: int64(2 + loc.Idx), Ra: from})
+	case regalloc.LocNone:
+		// Dead result: drop it.
+	}
+}
+
+// gcLocation maps a vreg's home to a table location.
+func (pg *procGen) gcLocation(r ir.Reg) (gctab.Location, error) {
+	loc := pg.a.LocOf[r]
+	switch loc.Kind {
+	case regalloc.LocReg:
+		return gctab.Location{InReg: true, Reg: uint8(loc.Reg)}, nil
+	case regalloc.LocSpill:
+		return gctab.Location{Base: gctab.BaseFP, Off: pg.spillOff[loc.Idx]}, nil
+	case regalloc.LocArg:
+		return gctab.Location{Base: gctab.BaseFP, Off: int32(2 + loc.Idx)}, nil
+	}
+	return gctab.Location{}, fmt.Errorf("codegen: %s: live vreg %d has no location", pg.p.Name, r)
+}
+
+func (pg *procGen) groundIndex(loc gctab.Location) int {
+	if i, ok := pg.groundIdx[loc]; ok {
+		return i
+	}
+	i := len(pg.ground)
+	pg.ground = append(pg.ground, loc)
+	pg.groundIdx[loc] = i
+	return i
+}

@@ -1,0 +1,235 @@
+// Package conservative implements the baseline the paper contrasts
+// with (§7, Boehm): a non-moving mark-sweep collector with ambiguous
+// roots. Every word in the globals, every word of every live stack, and
+// every register is treated as a potential pointer; any value that
+// falls inside an allocated object (header or interior) keeps that
+// object alive. Objects never move, so no compaction, no derived-value
+// updates — and none of the compiler support the paper builds is
+// needed. The cost is fragmentation and imprecision, which is exactly
+// the trade-off the comparison benchmarks measure.
+package conservative
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/types"
+	"repro/internal/vmachine"
+)
+
+// object tracks one allocation (host-side bookkeeping standing in for
+// Boehm's block headers).
+type object struct {
+	addr int64
+	size int64
+	mark bool
+}
+
+// Heap is a free-list heap with mark-sweep collection. It implements
+// both vmachine.Allocator and vmachine.Collector.
+type Heap struct {
+	Mem   []int64
+	Lo    int64
+	Hi    int64
+	Descs *types.DescTable
+
+	objects []object // sorted by addr
+	free    []span   // sorted by addr, coalesced
+
+	Collections    int64
+	MarkedObjects  int64
+	AllocatedWords int64
+	TotalTime      time.Duration
+}
+
+type span struct {
+	addr int64
+	size int64
+}
+
+// New creates a conservative heap over mem[lo:hi).
+func New(mem []int64, lo, hi int64, descs *types.DescTable) *Heap {
+	return &Heap{
+		Mem: mem, Lo: lo, Hi: hi, Descs: descs,
+		free: []span{{addr: lo, size: hi - lo}},
+	}
+}
+
+// TryAlloc implements vmachine.Allocator with first-fit allocation.
+func (h *Heap) TryAlloc(descID int, n int64) (int64, bool) {
+	d := h.Descs.Get(descID)
+	var size int64
+	if d.Kind == types.DescOpenArray {
+		if n < 0 {
+			return 0, false
+		}
+		size = 2 + n*d.ElemWords
+	} else {
+		size = 1 + d.DataWords
+	}
+	for i := range h.free {
+		if h.free[i].size >= size {
+			addr := h.free[i].addr
+			h.free[i].addr += size
+			h.free[i].size -= size
+			if h.free[i].size == 0 {
+				h.free = append(h.free[:i], h.free[i+1:]...)
+			}
+			// Zero the block (free memory may hold stale data).
+			for w := addr; w < addr+size; w++ {
+				h.Mem[w] = 0
+			}
+			h.Mem[addr] = int64(descID)
+			if d.Kind == types.DescOpenArray {
+				h.Mem[addr+1] = n
+			}
+			h.insertObject(object{addr: addr, size: size})
+			h.AllocatedWords += size
+			return addr, true
+		}
+	}
+	return 0, false
+}
+
+func (h *Heap) insertObject(o object) {
+	i := sort.Search(len(h.objects), func(i int) bool { return h.objects[i].addr >= o.addr })
+	h.objects = append(h.objects, object{})
+	copy(h.objects[i+1:], h.objects[i:])
+	h.objects[i] = o
+}
+
+// findObject returns the index of the object containing addr (header
+// or interior), or -1.
+func (h *Heap) findObject(addr int64) int {
+	if addr < h.Lo || addr >= h.Hi {
+		return -1
+	}
+	i := sort.Search(len(h.objects), func(i int) bool { return h.objects[i].addr > addr })
+	if i == 0 {
+		return -1
+	}
+	o := &h.objects[i-1]
+	if addr < o.addr+o.size {
+		return i - 1
+	}
+	return -1
+}
+
+// Collect implements vmachine.Collector: ambiguous-root mark, then
+// sweep with coalescing.
+func (h *Heap) Collect(m *vmachine.Machine) error {
+	start := time.Now()
+	defer func() { h.TotalTime += time.Since(start) }()
+	h.Collections++
+	for i := range h.objects {
+		h.objects[i].mark = false
+	}
+
+	var stack []int
+	markWord := func(v int64) {
+		if i := h.findObject(v); i >= 0 && !h.objects[i].mark {
+			h.objects[i].mark = true
+			stack = append(stack, i)
+		}
+	}
+
+	// Ambiguous roots: all global words, all live stack words, all
+	// registers of every live thread.
+	for off := int64(0); off < m.Prog.GlobalWords; off++ {
+		markWord(m.Mem[m.GlobalBase+off])
+	}
+	for _, t := range m.Threads {
+		if t.Done {
+			continue
+		}
+		for a := t.SP; a < t.StackHi; a++ {
+			markWord(m.Mem[a])
+		}
+		for r := 0; r < 16; r++ {
+			markWord(t.Regs[r])
+		}
+	}
+
+	// Transitive marking uses the descriptors (the heap itself is
+	// type-accurate; only the roots are ambiguous).
+	var offs []int64
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		addr := h.objects[i].addr
+		offs = h.pointerOffsets(addr, offs[:0])
+		for _, off := range offs {
+			markWord(h.Mem[addr+off])
+		}
+	}
+
+	// Sweep.
+	var kept []object
+	var free []span
+	addFree := func(addr, size int64) {
+		if n := len(free); n > 0 && free[n-1].addr+free[n-1].size == addr {
+			free[n-1].size += size
+			return
+		}
+		free = append(free, span{addr, size})
+	}
+	cursor := h.Lo
+	for _, o := range h.objects {
+		if o.addr > cursor {
+			addFree(cursor, o.addr-cursor)
+		}
+		if o.mark {
+			kept = append(kept, o)
+			h.MarkedObjects++
+		} else {
+			addFree(o.addr, o.size)
+			cursor = o.addr + o.size
+			continue
+		}
+		cursor = o.addr + o.size
+	}
+	if cursor < h.Hi {
+		addFree(cursor, h.Hi-cursor)
+	}
+	// Merge adjacent free spans produced around kept objects.
+	sort.Slice(free, func(i, j int) bool { return free[i].addr < free[j].addr })
+	var merged []span
+	for _, s := range free {
+		if n := len(merged); n > 0 && merged[n-1].addr+merged[n-1].size == s.addr {
+			merged[n-1].size += s.size
+		} else {
+			merged = append(merged, s)
+		}
+	}
+	h.objects = kept
+	h.free = merged
+	return nil
+}
+
+func (h *Heap) pointerOffsets(addr int64, out []int64) []int64 {
+	d := h.Descs.Get(int(h.Mem[addr]))
+	switch d.Kind {
+	case types.DescOpenArray:
+		n := h.Mem[addr+1]
+		for i := int64(0); i < n; i++ {
+			base := 2 + i*d.ElemWords
+			for _, off := range d.ElemPtrOffsets {
+				out = append(out, base+off)
+			}
+		}
+	default:
+		for _, off := range d.PtrOffsets {
+			out = append(out, 1+off)
+		}
+	}
+	return out
+}
+
+// LiveWords reports the words currently held by allocated objects.
+func (h *Heap) LiveWords() int64 {
+	var n int64
+	for _, o := range h.objects {
+		n += o.size
+	}
+	return n
+}

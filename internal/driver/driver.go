@@ -1,0 +1,196 @@
+// Package driver runs the full mthree pipeline: parse → check → lower →
+// optimize → generate code and gc tables → link → build a machine with
+// the chosen collector.
+package driver
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/codegen"
+	"repro/internal/conservative"
+	"repro/internal/gc"
+	"repro/internal/gctab"
+	"repro/internal/gengc"
+	"repro/internal/heap"
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/objfile"
+	"repro/internal/opt"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+	"repro/internal/vmachine"
+)
+
+// Options configures a compilation.
+type Options struct {
+	// Optimize enables the full optimizer (the paper's -opt variants).
+	Optimize bool
+	// GCSupport (default in NewOptions) enables gc tables and the
+	// gc-correctness passes; off reproduces §6.2's baseline compiles.
+	GCSupport bool
+	// Multithreaded inserts loop gc-polls for the rendezvous (§5.3).
+	Multithreaded bool
+	// ElideNonAlloc skips tables for calls to non-allocating
+	// procedures (§5.3 refinement; single-threaded only).
+	ElideNonAlloc bool
+	// PathSplitting uses code duplication instead of path variables
+	// for ambiguous derivations (Figure 2 ablation).
+	PathSplitting bool
+	// Generational compiles store checks (write barriers) so the
+	// program can run under the generational collector.
+	Generational bool
+	// Scheme is the table encoding used by the collector.
+	Scheme gctab.Scheme
+}
+
+// NewOptions returns the default configuration: optimized, gc support
+// on, δ-main with packing and previous-descriptors.
+func NewOptions() Options {
+	return Options{Optimize: true, GCSupport: true, Scheme: gctab.DeltaPP}
+}
+
+// Compiled is the result of a compilation.
+type Compiled struct {
+	Opts    Options
+	IR      *ir.Program
+	Prog    *vmachine.Program
+	Tables  *gctab.Object
+	Encoded *gctab.Encoded
+}
+
+// Compile runs the pipeline over one module's source text.
+func Compile(name, src string, opts Options) (*Compiled, error) {
+	file := source.NewFile(name, src)
+	errs := source.NewErrorList(file)
+	mod := parser.Parse(file, errs)
+	if err := errs.Err(); err != nil {
+		return nil, err
+	}
+	prog := sem.Check(mod, errs)
+	if err := errs.Err(); err != nil {
+		return nil, err
+	}
+	irp := irgen.Build(prog)
+	level := 0
+	if opts.Optimize {
+		level = 1
+	}
+	opt.Optimize(irp, opt.Options{
+		Level:         level,
+		GCSupport:     opts.GCSupport,
+		PathSplitting: opts.PathSplitting,
+	})
+	vmProg, tables, err := codegen.Generate(irp, codegen.Options{
+		GCSupport:     opts.GCSupport,
+		Multithreaded: opts.Multithreaded,
+		ElideNonAlloc: opts.ElideNonAlloc,
+		Generational:  opts.Generational,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{Opts: opts, IR: irp, Prog: vmProg, Tables: tables}
+	if tables != nil {
+		c.Encoded = gctab.Encode(tables, opts.Scheme)
+	}
+	return c, nil
+}
+
+// NewMachine builds a machine running under the precise compacting
+// collector and spawns the main thread.
+func (c *Compiled) NewMachine(cfg vmachine.Config) (*vmachine.Machine, *gc.Collector, error) {
+	if c.Encoded == nil {
+		return nil, nil, fmt.Errorf("driver: program compiled without gc support")
+	}
+	m := vmachine.New(c.Prog, cfg)
+	h := heap.New(m.Mem, m.HeapLo, m.HeapHi, c.Prog.Descs)
+	col := gc.New(h, c.Encoded)
+	m.Alloc = h
+	m.Collector = col
+	if _, err := m.Spawn(c.Prog.MainProc); err != nil {
+		return nil, nil, err
+	}
+	return m, col, nil
+}
+
+// NewGenerationalMachine builds a machine running under the
+// generational collector (compile with Options.Generational so the
+// store checks exist).
+func (c *Compiled) NewGenerationalMachine(cfg vmachine.Config) (*vmachine.Machine, *gengc.Collector, error) {
+	if c.Encoded == nil {
+		return nil, nil, fmt.Errorf("driver: program compiled without gc support")
+	}
+	if !c.Opts.Generational {
+		return nil, nil, fmt.Errorf("driver: program compiled without store checks (Options.Generational)")
+	}
+	m := vmachine.New(c.Prog, cfg)
+	h := gengc.NewHeap(m.Mem, m.HeapLo, m.HeapHi, c.Prog.Descs)
+	col := gengc.New(h, c.Encoded)
+	m.Alloc = h
+	m.Collector = col
+	m.Barrier = col.Barrier
+	if _, err := m.Spawn(c.Prog.MainProc); err != nil {
+		return nil, nil, err
+	}
+	return m, col, nil
+}
+
+// NewConservativeMachine builds a machine running under the
+// ambiguous-roots mark-sweep baseline.
+func (c *Compiled) NewConservativeMachine(cfg vmachine.Config) (*vmachine.Machine, *conservative.Heap, error) {
+	m := vmachine.New(c.Prog, cfg)
+	h := conservative.New(m.Mem, m.HeapLo, m.HeapHi, c.Prog.Descs)
+	m.Alloc = h
+	m.Collector = h
+	if _, err := m.Spawn(c.Prog.MainProc); err != nil {
+		return nil, nil, err
+	}
+	return m, h, nil
+}
+
+// WriteObject serializes the compiled module (program + encoded gc
+// tables) as an object file.
+func (c *Compiled) WriteObject(w io.Writer) error {
+	return objfile.Write(w, c.Prog, c.Encoded, c.Opts.Generational)
+}
+
+// LoadObject reads a previously written object file. The result can run
+// (NewMachine and friends) but carries no IR or unencoded tables.
+func LoadObject(r io.Reader) (*Compiled, error) {
+	prog, enc, generational, err := objfile.Read(r)
+	if err != nil {
+		return nil, err
+	}
+	c := &Compiled{Prog: prog, Encoded: enc}
+	c.Opts.Generational = generational
+	if enc != nil {
+		c.Opts.GCSupport = true
+		c.Opts.Scheme = enc.Scheme
+	}
+	return c, nil
+}
+
+// Run compiles and executes src with the precise collector, returning
+// the program's output. A zero cfg uses vmachine.DefaultConfig.
+func Run(name, src string, opts Options, cfg vmachine.Config) (string, error) {
+	c, err := Compile(name, src, opts)
+	if err != nil {
+		return "", err
+	}
+	if cfg.HeapWords == 0 {
+		cfg = vmachine.DefaultConfig()
+	}
+	var out bytes.Buffer
+	cfg.Out = &out
+	m, _, err := c.NewMachine(cfg)
+	if err != nil {
+		return "", err
+	}
+	if err := m.Run(0); err != nil {
+		return out.String(), err
+	}
+	return out.String(), nil
+}

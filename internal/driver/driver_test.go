@@ -1,0 +1,279 @@
+package driver
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/vmachine"
+)
+
+// run compiles and runs src with the given options, failing the test on
+// any error.
+func run(t *testing.T, src string, opts Options, cfg vmachine.Config) string {
+	t.Helper()
+	out, err := Run("test.m3", src, opts, cfg)
+	if err != nil {
+		t.Fatalf("run failed: %v\noutput so far: %q", err, out)
+	}
+	return out
+}
+
+// runBoth runs src unoptimized and optimized and checks both against
+// want.
+func runBoth(t *testing.T, src, want string) {
+	t.Helper()
+	for _, optimize := range []bool{false, true} {
+		opts := NewOptions()
+		opts.Optimize = optimize
+		got := run(t, src, opts, vmachine.Config{})
+		if got != want {
+			t.Errorf("optimize=%v: got %q, want %q", optimize, got, want)
+		}
+	}
+}
+
+func TestHello(t *testing.T) {
+	runBoth(t, `
+MODULE Hello;
+BEGIN
+  PutInt(42);
+  PutLn();
+END Hello.
+`, "42\n")
+}
+
+func TestArithmetic(t *testing.T) {
+	runBoth(t, `
+MODULE Arith;
+VAR x, y: INTEGER;
+BEGIN
+  x := 17;
+  y := 5;
+  PutInt(x + y); PutChar(' ');
+  PutInt(x - y); PutChar(' ');
+  PutInt(x * y); PutChar(' ');
+  PutInt(x DIV y); PutChar(' ');
+  PutInt(x MOD y); PutChar(' ');
+  PutInt((0 - x) DIV y); PutChar(' ');
+  PutInt((0 - x) MOD y);
+  PutLn();
+END Arith.
+`, "22 12 85 3 2 -4 3\n")
+}
+
+func TestControlFlow(t *testing.T) {
+	runBoth(t, `
+MODULE Flow;
+VAR i, s: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO 10 DO
+    IF i MOD 2 = 0 THEN s := s + i; END;
+  END;
+  PutInt(s); PutLn();
+  i := 0;
+  WHILE i < 5 DO INC(i); END;
+  PutInt(i); PutLn();
+  REPEAT DEC(i); UNTIL i = 0;
+  PutInt(i); PutLn();
+  LOOP
+    INC(i);
+    IF i >= 3 THEN EXIT; END;
+  END;
+  PutInt(i); PutLn();
+END Flow.
+`, "30\n5\n0\n3\n")
+}
+
+func TestProcedures(t *testing.T) {
+	runBoth(t, `
+MODULE Procs;
+PROCEDURE Fib(n: INTEGER): INTEGER =
+  BEGIN
+    IF n < 2 THEN RETURN n; END;
+    RETURN Fib(n - 1) + Fib(n - 2);
+  END Fib;
+PROCEDURE Swap(VAR a, b: INTEGER) =
+  VAR t: INTEGER;
+  BEGIN
+    t := a; a := b; b := t;
+  END Swap;
+VAR x, y: INTEGER;
+BEGIN
+  PutInt(Fib(10)); PutLn();
+  x := 3; y := 9;
+  Swap(x, y);
+  PutInt(x); PutInt(y); PutLn();
+END Procs.
+`, "55\n93\n")
+}
+
+func TestHeapRecords(t *testing.T) {
+	runBoth(t, `
+MODULE Heap;
+TYPE List = REF RECORD head: INTEGER; tail: List; END;
+VAR l: List; i, s: INTEGER;
+PROCEDURE Cons(h: INTEGER; t: List): List =
+  VAR c: List;
+  BEGIN
+    c := NEW(List);
+    c.head := h;
+    c.tail := t;
+    RETURN c;
+  END Cons;
+BEGIN
+  l := NIL;
+  FOR i := 1 TO 10 DO l := Cons(i, l); END;
+  s := 0;
+  WHILE l # NIL DO s := s + l.head; l := l.tail; END;
+  PutInt(s); PutLn();
+END Heap.
+`, "55\n")
+}
+
+func TestHeapArrays(t *testing.T) {
+	runBoth(t, `
+MODULE Arr;
+TYPE Vec = REF ARRAY OF INTEGER;
+TYPE Fix = REF ARRAY [3..7] OF INTEGER;
+VAR v: Vec; f: Fix; i, s: INTEGER;
+BEGIN
+  v := NEW(Vec, 10);
+  FOR i := 0 TO 9 DO v[i] := i * i; END;
+  s := 0;
+  FOR i := 0 TO NUMBER(v) - 1 DO s := s + v[i]; END;
+  PutInt(s); PutLn();
+  f := NEW(Fix);
+  FOR i := FIRST(f) TO LAST(f) DO f[i] := i; END;
+  s := 0;
+  FOR i := 3 TO 7 DO s := s + f[i]; END;
+  PutInt(s); PutLn();
+END Arr.
+`, "285\n25\n")
+}
+
+func TestTextLiterals(t *testing.T) {
+	runBoth(t, `
+MODULE Txt;
+VAR t: TEXT;
+BEGIN
+  t := "hello, world";
+  PutText(t); PutLn();
+  PutInt(NUMBER(t)); PutLn();
+END Txt.
+`, "hello, world\n12\n")
+}
+
+func TestGCUnderPressure(t *testing.T) {
+	// A tiny heap forces many collections while a long list is alive.
+	src := `
+MODULE Pressure;
+TYPE List = REF RECORD head: INTEGER; tail: List; END;
+VAR keep: List; i, s: INTEGER; junk: List;
+BEGIN
+  keep := NIL;
+  FOR i := 1 TO 100 DO
+    junk := NEW(List);     (* becomes garbage immediately *)
+    junk.head := i;
+    keep := NEW(List);
+    keep.head := i;
+    keep.tail := NIL;
+    IF i MOD 10 = 0 THEN
+      GcCollect();
+    END;
+  END;
+  s := 0;
+  keep := NIL;
+  FOR i := 1 TO 50 DO
+    junk := NEW(List);
+    junk.head := i * 2;
+    junk.tail := keep;
+    keep := junk;
+  END;
+  WHILE keep # NIL DO s := s + keep.head; keep := keep.tail; END;
+  PutInt(s); PutLn();
+END Pressure.
+`
+	for _, optimize := range []bool{false, true} {
+		opts := NewOptions()
+		opts.Optimize = optimize
+		cfg := vmachine.DefaultConfig()
+		cfg.HeapWords = 1024 // tiny: forces frequent collections
+		got := run(t, src, opts, cfg)
+		if got != "2550\n" {
+			t.Errorf("optimize=%v: got %q, want %q", optimize, got, "2550\n")
+		}
+	}
+}
+
+func TestWithAliasAndVarParams(t *testing.T) {
+	runBoth(t, `
+MODULE WithVar;
+TYPE Rec = REF RECORD a, b: INTEGER; END;
+TYPE Vec = REF ARRAY OF INTEGER;
+VAR r: Rec; v: Vec; i: INTEGER;
+PROCEDURE Bump(VAR x: INTEGER) =
+  BEGIN
+    x := x + 100;
+  END Bump;
+BEGIN
+  r := NEW(Rec);
+  r.a := 1; r.b := 2;
+  Bump(r.a);             (* interior pointer as VAR argument *)
+  PutInt(r.a); PutLn();
+  v := NEW(Vec, 5);
+  FOR i := 0 TO 4 DO v[i] := i; END;
+  Bump(v[3]);
+  PutInt(v[3]); PutLn();
+  WITH w = r.b DO        (* interior alias *)
+    w := w + 40;
+  END;
+  PutInt(r.b); PutLn();
+END WithVar.
+`, "101\n103\n42\n")
+}
+
+func TestConservativeCollector(t *testing.T) {
+	src := `
+MODULE Cons;
+TYPE List = REF RECORD head: INTEGER; tail: List; END;
+VAR keep, junk: List; i, s: INTEGER;
+BEGIN
+  keep := NIL;
+  FOR i := 1 TO 60 DO
+    junk := NEW(List); junk.head := 999;
+    IF i MOD 3 = 0 THEN
+      junk := NEW(List);
+      junk.head := i;
+      junk.tail := keep;
+      keep := junk;
+    END;
+    junk := NIL;
+  END;
+  s := 0;
+  WHILE keep # NIL DO s := s + keep.head; keep := keep.tail; END;
+  PutInt(s); PutLn();
+END Cons.
+`
+	c, err := Compile("cons.m3", src, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := vmachine.DefaultConfig()
+	cfg.HeapWords = 128 // force collections
+	var sb strings.Builder
+	cfg.Out = &sb
+	m, h, err := c.NewConservativeMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatalf("conservative run: %v", err)
+	}
+	if sb.String() != "630\n" {
+		t.Errorf("got %q, want %q", sb.String(), "630\n")
+	}
+	if h.Collections == 0 {
+		t.Error("expected at least one conservative collection")
+	}
+}

@@ -1,0 +1,232 @@
+package driver
+
+import "testing"
+
+// TestWithAliasCapturedOnce: the WITH designator's location is computed
+// once; later changes to the index or base do not re-aim the alias
+// (Modula-3 semantics).
+func TestWithAliasCapturedOnce(t *testing.T) {
+	runBoth(t, `
+MODULE T;
+TYPE V = REF ARRAY OF INTEGER;
+VAR v: V; i: INTEGER;
+BEGIN
+  v := NEW(V, 5);
+  i := 1;
+  WITH w = v[i] DO
+    i := 4;          (* must not re-aim w *)
+    w := 99;
+  END;
+  PutInt(v[1]); PutInt(v[4]); PutLn();
+END T.
+`, "990\n")
+}
+
+func TestNestedWith(t *testing.T) {
+	runBoth(t, `
+MODULE T;
+TYPE R = REF RECORD a, b: INTEGER; END;
+VAR r: R;
+BEGIN
+  r := NEW(R);
+  WITH x = r.a DO
+    WITH y = r.b DO
+      x := 3;
+      y := 4;
+      WITH z = x DO      (* alias of an alias *)
+        z := z + y;
+      END;
+    END;
+  END;
+  PutInt(r.a); PutChar(' '); PutInt(r.b); PutLn();
+END T.
+`, "7 4\n")
+}
+
+func TestVarParamOfFrameArrayElement(t *testing.T) {
+	runBoth(t, `
+MODULE T;
+VAR total: INTEGER;
+PROCEDURE Bump(VAR x: INTEGER) =
+  BEGIN
+    x := x + 5;
+  END Bump;
+PROCEDURE Go(): INTEGER =
+  VAR arr: ARRAY [0..3] OF INTEGER;
+  VAR i: INTEGER;
+  BEGIN
+    FOR i := 0 TO 3 DO arr[i] := i; END;
+    Bump(arr[2]);         (* stack address as VAR argument *)
+    RETURN arr[0] + arr[1] + arr[2] + arr[3];
+  END Go;
+BEGIN
+  total := Go();
+  PutInt(total); PutLn();
+END T.
+`, "11\n")
+}
+
+func TestManyArguments(t *testing.T) {
+	runBoth(t, `
+MODULE T;
+PROCEDURE Sum9(a, b, c, d, e, f, g, h, i: INTEGER): INTEGER =
+  BEGIN
+    RETURN a + b + c + d + e + f + g + h + i;
+  END Sum9;
+BEGIN
+  PutInt(Sum9(1, 2, 3, 4, 5, 6, 7, 8, 9)); PutLn();
+  PutInt(Sum9(Sum9(1,1,1,1,1,1,1,1,1), 0, 0, 0, 0, 0, 0, 0, 0)); PutLn();
+END T.
+`, "45\n9\n")
+}
+
+func TestGlobalMatrixOfRefs(t *testing.T) {
+	runBoth(t, `
+MODULE T;
+TYPE N = REF RECORD v: INTEGER; END;
+VAR grid: ARRAY [0..2] OF ARRAY [0..2] OF N;
+VAR i, j, s: INTEGER;
+BEGIN
+  FOR i := 0 TO 2 DO
+    FOR j := 0 TO 2 DO
+      grid[i][j] := NEW(N);
+      grid[i][j].v := i * 3 + j;
+    END;
+  END;
+  GcCollect();
+  s := 0;
+  FOR i := 0 TO 2 DO
+    FOR j := 0 TO 2 DO
+      s := s + grid[i, j].v;   (* comma sugar *)
+    END;
+  END;
+  PutInt(s); PutLn();
+END T.
+`, "36\n")
+}
+
+func TestRepeatAndExitInteraction(t *testing.T) {
+	runBoth(t, `
+MODULE T;
+VAR i, s: INTEGER;
+BEGIN
+  s := 0;
+  i := 0;
+  REPEAT
+    INC(i);
+    IF i = 4 THEN EXIT; END;
+    s := s + i;
+  UNTIL i >= 10;
+  PutInt(i); PutChar(' '); PutInt(s); PutLn();
+
+  i := 0;
+  LOOP
+    INC(i);
+    REPEAT
+      INC(s);
+    UNTIL s MOD 3 = 0;
+    IF i = 3 THEN EXIT; END;
+  END;
+  PutInt(s); PutLn();
+END T.
+`, "4 6\n15\n")
+}
+
+func TestNewTextBuiltin(t *testing.T) {
+	runBoth(t, `
+MODULE T;
+VAR t: TEXT; i: INTEGER;
+BEGIN
+  t := NEW(TEXT, 5);
+  FOR i := 0 TO 4 DO
+    t[i] := VAL(ORD('a') + i, CHAR);
+  END;
+  PutText(t); PutLn();
+END T.
+`, "abcde\n")
+}
+
+func TestCharacterLoops(t *testing.T) {
+	runBoth(t, `
+MODULE T;
+VAR t: TEXT; n, i: INTEGER;
+BEGIN
+  t := "mississippi";
+  n := 0;
+  FOR i := 0 TO NUMBER(t) - 1 DO
+    IF (t[i] = 's') OR (t[i] = 'p') THEN INC(n); END;
+  END;
+  PutInt(n); PutLn();
+END T.
+`, "6\n")
+}
+
+func TestLocalInitializers(t *testing.T) {
+	runBoth(t, `
+MODULE T;
+VAR g: INTEGER := 10;
+PROCEDURE P(): INTEGER =
+  VAR x: INTEGER := g + 5;
+  VAR y: INTEGER := x * 2;
+  BEGIN
+    RETURN x + y;
+  END P;
+BEGIN
+  PutInt(P()); PutLn();
+END T.
+`, "45\n")
+}
+
+func TestDeepExpressionSpilling(t *testing.T) {
+	// An expression wide enough to exhaust registers forces spills
+	// through the allocator's scratch discipline.
+	runBoth(t, `
+MODULE T;
+PROCEDURE F(x: INTEGER): INTEGER =
+  BEGIN
+    RETURN x + 1;
+  END F;
+BEGIN
+  PutInt(F(1) + F(2) + F(3) + F(4) + F(5) + F(6) + F(7) + F(8) +
+         F(9) + F(10) + F(11) + F(12) + F(13) + F(14) + F(15) + F(16));
+  PutLn();
+END T.
+`, "152\n")
+}
+
+func TestFirstLastOpenArrays(t *testing.T) {
+	runBoth(t, `
+MODULE T;
+TYPE V = REF ARRAY OF INTEGER;
+VAR v: V; i, s: INTEGER;
+BEGIN
+  v := NEW(V, 6);
+  FOR i := FIRST(v) TO LAST(v) DO
+    v[i] := i + 1;
+  END;
+  s := 0;
+  FOR i := 0 TO 5 DO s := s + v[i]; END;
+  PutInt(FIRST(v)); PutChar(' ');
+  PutInt(LAST(v)); PutChar(' ');
+  PutInt(s); PutLn();
+END T.
+`, "0 5 21\n")
+}
+
+func TestCharEscapes(t *testing.T) {
+	runBoth(t, `
+MODULE T;
+VAR c: CHAR;
+BEGIN
+  c := '\n';
+  PutInt(ORD(c)); PutChar(' ');
+  c := '\t';
+  PutInt(ORD(c)); PutChar(' ');
+  c := '\\';
+  PutInt(ORD(c)); PutChar(' ');
+  c := '\'';
+  PutInt(ORD(c)); PutLn();
+  PutText("tab\there\nquote\"done"); PutLn();
+END T.
+`, "10 9 92 39\ntab\there\nquote\"done\n")
+}

@@ -1,0 +1,232 @@
+package driver
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/vmachine"
+)
+
+// expectTrap compiles and runs src under both optimization levels and
+// requires a specific runtime error.
+func expectTrap(t *testing.T, src string, want vmachine.TrapCode) {
+	t.Helper()
+	for _, optimize := range []bool{false, true} {
+		opts := NewOptions()
+		opts.Optimize = optimize
+		_, err := Run("t.m3", src, opts, vmachine.Config{})
+		var re *vmachine.RuntimeError
+		if !errors.As(err, &re) {
+			t.Fatalf("optimize=%v: got %v, want runtime error", optimize, err)
+		}
+		if re.Code != want {
+			t.Fatalf("optimize=%v: trap %v, want %v", optimize, re.Code, want)
+		}
+	}
+}
+
+func TestTrapNilDeref(t *testing.T) {
+	expectTrap(t, `
+MODULE T;
+TYPE R = REF RECORD a: INTEGER; END;
+VAR r: R; x: INTEGER;
+BEGIN
+  x := r.a;
+END T.
+`, vmachine.TrapNilDeref)
+}
+
+func TestTrapIndexOutOfBounds(t *testing.T) {
+	expectTrap(t, `
+MODULE T;
+TYPE V = REF ARRAY OF INTEGER;
+VAR v: V; x, i: INTEGER;
+BEGIN
+  v := NEW(V, 3);
+  i := 3;
+  x := v[i];
+END T.
+`, vmachine.TrapIndexError)
+}
+
+func TestTrapFixedRange(t *testing.T) {
+	expectTrap(t, `
+MODULE T;
+TYPE A = REF ARRAY [2..5] OF INTEGER;
+VAR a: A; x, i: INTEGER;
+BEGIN
+  a := NEW(A);
+  i := 1;
+  x := a[i];
+END T.
+`, vmachine.TrapRangeError)
+}
+
+func TestTrapDivZero(t *testing.T) {
+	expectTrap(t, `
+MODULE T;
+VAR x, y: INTEGER;
+BEGIN
+  y := 0;
+  x := 1 DIV y;
+END T.
+`, vmachine.TrapDivByZero)
+}
+
+func TestTrapStackOverflowFromSource(t *testing.T) {
+	expectTrap(t, `
+MODULE T;
+PROCEDURE Inf(n: INTEGER): INTEGER =
+  BEGIN
+    RETURN Inf(n + 1);
+  END Inf;
+VAR x: INTEGER;
+BEGIN
+  x := Inf(0);
+END T.
+`, vmachine.TrapStackOverflow)
+}
+
+func TestTrapNegativeArrayLength(t *testing.T) {
+	expectTrap(t, `
+MODULE T;
+TYPE V = REF ARRAY OF INTEGER;
+VAR v: V; n: INTEGER;
+BEGIN
+  n := -4;
+  v := NEW(V, n);
+END T.
+`, vmachine.TrapRangeError)
+}
+
+func TestTrapSubarrayBounds(t *testing.T) {
+	expectTrap(t, `
+MODULE T;
+TYPE V = REF ARRAY OF INTEGER;
+VAR v: V; s: INTEGER;
+BEGIN
+  v := NEW(V, 10);
+  WITH w = SUBARRAY(v, 6, 5) DO
+    s := w[0];
+  END;
+END T.
+`, vmachine.TrapIndexError)
+}
+
+func TestOutOfMemoryReported(t *testing.T) {
+	src := `
+MODULE T;
+TYPE V = REF ARRAY OF INTEGER;
+VAR keep: ARRAY [0..63] OF V;
+VAR i: INTEGER;
+BEGIN
+  FOR i := 0 TO 63 DO
+    keep[i] := NEW(V, 100);
+  END;
+END T.
+`
+	opts := NewOptions()
+	cfg := vmachine.DefaultConfig()
+	cfg.HeapWords = 1024 // cannot hold 64 live arrays
+	_, err := Run("t.m3", src, opts, cfg)
+	var re *vmachine.RuntimeError
+	if !errors.As(err, &re) || re.Code != vmachine.TrapOutOfMemory {
+		t.Fatalf("got %v, want out-of-memory", err)
+	}
+}
+
+// TestSemanticsGrabBag pins a batch of fine-grained language semantics.
+func TestSemanticsGrabBag(t *testing.T) {
+	runBoth(t, `
+MODULE T;
+VAR i, s: INTEGER; b: BOOLEAN; c: CHAR;
+PROCEDURE SideEffect(): BOOLEAN =
+  BEGIN
+    INC(s, 100);
+    RETURN TRUE;
+  END SideEffect;
+BEGIN
+  (* Short-circuit: the right operand must not run. *)
+  s := 0;
+  b := FALSE;
+  IF b AND SideEffect() THEN s := s + 1; END;
+  PutInt(s); PutLn();
+  IF TRUE OR SideEffect() THEN s := s + 1; END;
+  PutInt(s); PutLn();
+
+  (* FOR with negative step, and the loop variable after EXIT. *)
+  s := 0;
+  FOR i := 10 TO 1 BY -2 DO s := s + i; END;
+  PutInt(s); PutLn();
+
+  (* FOR limit evaluated once. *)
+  s := 3;
+  FOR i := 1 TO s DO INC(s); END;
+  PutInt(s); PutLn();
+
+  (* CHAR ordering and ORD/VAL. *)
+  c := 'A';
+  IF (c < 'B') AND (ORD(c) = 65) AND (VAL(66, CHAR) = 'B') THEN
+    PutInt(1);
+  ELSE
+    PutInt(0);
+  END;
+  PutLn();
+
+  (* MIN/MAX/ABS *)
+  PutInt(MIN(3, -5)); PutInt(MAX(3, -5)); PutInt(ABS(-9)); PutLn();
+END T.
+`, "0\n1\n30\n6\n1\n-539\n")
+}
+
+func TestCaseStatement(t *testing.T) {
+	runBoth(t, `
+MODULE T;
+VAR i, s: INTEGER; c: CHAR;
+PROCEDURE Classify(x: INTEGER): INTEGER =
+  BEGIN
+    CASE x OF
+    | 0 => RETURN 100;
+    | 1, 2 => RETURN 200;
+    | 3..7 => RETURN 300;
+    ELSE
+      RETURN 400;
+    END;
+  END Classify;
+BEGIN
+  s := 0;
+  FOR i := 0 TO 9 DO
+    s := s + Classify(i);
+  END;
+  PutInt(s); PutLn();
+
+  c := 'x';
+  CASE c OF
+  | 'a'..'m' => PutInt(1);
+  | 'n'..'z' => PutInt(2);
+  ELSE PutInt(3);
+  END;
+  PutLn();
+
+  (* CASE without ELSE that always matches *)
+  CASE 5 OF
+  | 5 => PutInt(55);
+  END;
+  PutLn();
+END T.
+`, "2800\n2\n55\n")
+}
+
+func TestCaseNoMatchTraps(t *testing.T) {
+	expectTrap(t, `
+MODULE T;
+VAR x: INTEGER;
+BEGIN
+  x := 42;
+  CASE x OF
+  | 1 => PutInt(1);
+  | 2 => PutInt(2);
+  END;
+END T.
+`, vmachine.TrapNoCase)
+}

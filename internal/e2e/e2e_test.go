@@ -1,0 +1,447 @@
+// Package e2e holds adversarial end-to-end tests: every program is run
+// unoptimized and optimized, under a huge heap (no collections), a tiny
+// heap (frequent collections), and gc-stress (a full compacting
+// collection at every single gc-point). Output must be identical in all
+// configurations — this exercises the stack/register/derivation tables
+// under maximal object motion.
+package e2e
+
+import (
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/vmachine"
+)
+
+// runAllModes compiles src both ways and runs it under the three heap
+// regimes, requiring identical output everywhere.
+func runAllModes(t *testing.T, name, src, want string) {
+	t.Helper()
+	for _, optimize := range []bool{false, true} {
+		c, err := driver.Compile(name, src, driver.Options{
+			Optimize:  optimize,
+			GCSupport: true,
+			Scheme:    driver.NewOptions().Scheme,
+		})
+		if err != nil {
+			t.Fatalf("optimize=%v: compile: %v", optimize, err)
+		}
+		modes := []struct {
+			label string
+			cfg   vmachine.Config
+		}{
+			{"huge", vmachine.Config{HeapWords: 1 << 20, StackWords: 1 << 16, MaxThreads: 2}},
+			{"tiny", vmachine.Config{HeapWords: 2048, StackWords: 1 << 16, MaxThreads: 2}},
+			{"stress", vmachine.Config{HeapWords: 1 << 16, StackWords: 1 << 16, MaxThreads: 2, StressGC: true}},
+		}
+		for _, mode := range modes {
+			out := runOne(t, c, mode.cfg, optimize, mode.label)
+			if out != want {
+				t.Errorf("optimize=%v mode=%s: got %q, want %q", optimize, mode.label, out, want)
+			}
+		}
+	}
+}
+
+func runOne(t *testing.T, c *driver.Compiled, cfg vmachine.Config, optimize bool, label string) string {
+	t.Helper()
+	var sb collectingWriter
+	cfg.Out = &sb
+	m, col, err := c.NewMachine(cfg)
+	if err != nil {
+		t.Fatalf("optimize=%v mode=%s: machine: %v", optimize, label, err)
+	}
+	col.Debug = true
+	if err := m.Run(50_000_000); err != nil {
+		t.Fatalf("optimize=%v mode=%s: run: %v (output %q)", optimize, label, err, sb.String())
+	}
+	return sb.String()
+}
+
+type collectingWriter struct{ buf []byte }
+
+func (w *collectingWriter) Write(p []byte) (int, error) {
+	w.buf = append(w.buf, p...)
+	return len(p), nil
+}
+func (w *collectingWriter) String() string { return string(w.buf) }
+
+func TestStrengthReducedLoopAcrossGC(t *testing.T) {
+	// The classic *p++ loop: the optimizer turns indexing into a
+	// pointer induction variable derived from the array, which must be
+	// adjusted every time the array moves.
+	runAllModes(t, "sr.m3", `
+MODULE SR;
+TYPE Vec = REF ARRAY OF INTEGER;
+VAR total: INTEGER;
+PROCEDURE Fill(): INTEGER =
+  VAR v: Vec; junk: Vec; i, s: INTEGER;
+  BEGIN
+    v := NEW(Vec, 64);
+    FOR i := 0 TO 63 DO
+      v[i] := i + 1;
+      junk := NEW(Vec, 16);   (* allocation gc-point inside the loop *)
+    END;
+    s := 0;
+    FOR i := 0 TO 63 DO
+      s := s + v[i];
+      junk := NEW(Vec, 16);
+    END;
+    RETURN s;
+  END Fill;
+BEGIN
+  total := Fill();
+  PutInt(total); PutLn();
+END SR.
+`, "2080\n")
+}
+
+func TestFixedArrayVirtualOrigin(t *testing.T) {
+	// ARRAY [7..13]: the strength-reduced pointer starts before the
+	// object's data (the virtual array origin), an untidy pointer that
+	// may point outside the object.
+	runAllModes(t, "vo.m3", `
+MODULE VO;
+TYPE Arr = REF ARRAY [7..13] OF INTEGER;
+PROCEDURE Go(): INTEGER =
+  VAR a: Arr; junk: Arr; i, s: INTEGER;
+  BEGIN
+    a := NEW(Arr);
+    FOR i := 7 TO 13 DO
+      a[i] := i * 10;
+      junk := NEW(Arr);
+    END;
+    s := 0;
+    FOR i := 7 TO 13 DO
+      s := s + a[i];
+      junk := NEW(Arr);
+    END;
+    RETURN s;
+  END Go;
+BEGIN
+  PutInt(Go()); PutLn();
+END VO.
+`, "700\n")
+}
+
+func TestInteriorPointerWithAcrossGC(t *testing.T) {
+	runAllModes(t, "with.m3", `
+MODULE W;
+TYPE Rec = REF RECORD a, b, c: INTEGER; END;
+TYPE Vec = REF ARRAY OF INTEGER;
+PROCEDURE Go(): INTEGER =
+  VAR r: Rec; junk: Vec; i: INTEGER;
+  BEGIN
+    r := NEW(Rec);
+    r.b := 5;
+    WITH w = r.b DO          (* interior pointer alias *)
+      FOR i := 1 TO 20 DO
+        w := w + i;
+        junk := NEW(Vec, 8); (* r moves while w is live *)
+      END;
+    END;
+    RETURN r.b;
+  END Go;
+BEGIN
+  PutInt(Go()); PutLn();
+END W.
+`, "215\n")
+}
+
+func TestVarParamInteriorAcrossCallGC(t *testing.T) {
+	// The callee allocates, so the caller's outgoing derived argument
+	// slot is updated during the call.
+	runAllModes(t, "varparam.m3", `
+MODULE VP;
+TYPE Rec = REF RECORD x, y: INTEGER; END;
+TYPE Vec = REF ARRAY OF INTEGER;
+VAR junk: Vec;
+PROCEDURE Add(VAR cell: INTEGER; n: INTEGER) =
+  VAR i: INTEGER;
+  BEGIN
+    FOR i := 1 TO n DO
+      junk := NEW(Vec, 8);   (* moves the caller's record mid-call *)
+      cell := cell + 1;
+    END;
+  END Add;
+PROCEDURE Go(): INTEGER =
+  VAR r: Rec;
+  BEGIN
+    r := NEW(Rec);
+    r.y := 1000;
+    Add(r.y, 25);
+    RETURN r.y;
+  END Go;
+BEGIN
+  PutInt(Go()); PutLn();
+END VP.
+`, "1025\n")
+}
+
+func TestVarParamForwardingChain(t *testing.T) {
+	// A VAR parameter forwarded through two levels: the derivation of
+	// the innermost argument slot chains on the middle frame's incoming
+	// slot, which chains on the outermost record — the collector's
+	// callee-first / reverse-re-derive ordering resolves it.
+	runAllModes(t, "chain.m3", `
+MODULE Chain;
+TYPE Rec = REF RECORD v: INTEGER; END;
+TYPE Vec = REF ARRAY OF INTEGER;
+VAR junk: Vec;
+PROCEDURE Inner(VAR x: INTEGER) =
+  VAR i: INTEGER;
+  BEGIN
+    FOR i := 1 TO 10 DO
+      junk := NEW(Vec, 16);
+      x := x + i;
+    END;
+  END Inner;
+PROCEDURE Middle(VAR x: INTEGER) =
+  BEGIN
+    junk := NEW(Vec, 16);
+    Inner(x);
+    junk := NEW(Vec, 16);
+    x := x * 2;
+  END Middle;
+PROCEDURE Go(): INTEGER =
+  VAR r: Rec;
+  BEGIN
+    r := NEW(Rec);
+    r.v := 1;
+    Middle(r.v);
+    RETURN r.v;
+  END Go;
+BEGIN
+  PutInt(Go()); PutLn();
+END Chain.
+`, "112\n")
+}
+
+func TestSubarrayAcrossGC(t *testing.T) {
+	runAllModes(t, "subarray.m3", `
+MODULE Sub;
+TYPE Vec = REF ARRAY OF INTEGER;
+PROCEDURE Go(): INTEGER =
+  VAR v: Vec; junk: Vec; i, s: INTEGER;
+  BEGIN
+    v := NEW(Vec, 40);
+    FOR i := 0 TO 39 DO v[i] := i; END;
+    s := 0;
+    WITH w = SUBARRAY(v, 10, 20) DO
+      FOR i := 0 TO NUMBER(w) - 1 DO
+        s := s + w[i];
+        junk := NEW(Vec, 8);  (* v moves while the subarray base is live *)
+      END;
+    END;
+    RETURN s;
+  END Go;
+BEGIN
+  PutInt(Go()); PutLn();
+END Sub.
+`, "390\n")
+}
+
+func TestDeepRecursionManyFrames(t *testing.T) {
+	// Deep stacks exercise the frame walker, register reconstruction,
+	// and callee-save maps across many frames.
+	runAllModes(t, "deep.m3", `
+MODULE Deep;
+TYPE List = REF RECORD head: INTEGER; tail: List; END;
+PROCEDURE Build(n: INTEGER): List =
+  VAR c: List;
+  BEGIN
+    IF n = 0 THEN RETURN NIL; END;
+    c := NEW(List);
+    c.head := n;
+    c.tail := Build(n - 1);  (* pointer live across the recursive call *)
+    RETURN c;
+  END Build;
+PROCEDURE Sum(l: List): INTEGER =
+  BEGIN
+    IF l = NIL THEN RETURN 0; END;
+    RETURN l.head + Sum(l.tail);
+  END Sum;
+BEGIN
+  PutInt(Sum(Build(200))); PutLn();
+END Deep.
+`, "20100\n")
+}
+
+func TestSharingAndCycles(t *testing.T) {
+	// Cyclic structures must copy exactly once (forwarding pointers)
+	// and sharing must be preserved across compaction.
+	runAllModes(t, "cycle.m3", `
+MODULE Cyc;
+TYPE Node = REF RECORD id: INTEGER; next: Node; other: Node; END;
+TYPE Vec = REF ARRAY OF INTEGER;
+PROCEDURE Go(): INTEGER =
+  VAR a, b, c: Node; junk: Vec; i: INTEGER;
+  BEGIN
+    a := NEW(Node); b := NEW(Node); c := NEW(Node);
+    a.id := 1; b.id := 2; c.id := 3;
+    a.next := b; b.next := c; c.next := a;   (* cycle *)
+    a.other := c; b.other := c;              (* sharing *)
+    FOR i := 1 TO 30 DO junk := NEW(Vec, 32); END;
+    IF a.other # b.other THEN RETURN 0 - 1; END;  (* sharing preserved? *)
+    RETURN a.next.next.next.id * 100 + a.other.id;
+  END Go;
+BEGIN
+  PutInt(Go()); PutLn();
+END Cyc.
+`, "103\n")
+}
+
+func TestGlobalRootsAndArrays(t *testing.T) {
+	runAllModes(t, "globals.m3", `
+MODULE G;
+TYPE Node = REF RECORD v: INTEGER; END;
+TYPE Vec = REF ARRAY OF INTEGER;
+VAR table: ARRAY [0..9] OF Node;  (* global array of pointers: ten static roots *)
+VAR junk: Vec;
+VAR i, s: INTEGER;
+BEGIN
+  FOR i := 0 TO 9 DO
+    table[i] := NEW(Node);
+    table[i].v := i * 7;
+  END;
+  FOR i := 1 TO 40 DO junk := NEW(Vec, 16); END;
+  s := 0;
+  FOR i := 0 TO 9 DO s := s + table[i].v; END;
+  PutInt(s); PutLn();
+END G.
+`, "315\n")
+}
+
+func TestFrameLocalPointerArray(t *testing.T) {
+	// A fixed array of pointers in the stack frame: each element is a
+	// separate ground-table entry (as in the paper's implementation).
+	runAllModes(t, "framearr.m3", `
+MODULE FA;
+TYPE Node = REF RECORD v: INTEGER; END;
+TYPE Vec = REF ARRAY OF INTEGER;
+PROCEDURE Go(): INTEGER =
+  VAR slots: ARRAY [0..4] OF Node;
+  VAR junk: Vec; i, s: INTEGER;
+  BEGIN
+    FOR i := 0 TO 4 DO
+      slots[i] := NEW(Node);
+      slots[i].v := i + 1;
+      junk := NEW(Vec, 16);
+    END;
+    s := 0;
+    FOR i := 0 TO 4 DO s := s + slots[i].v; END;
+    RETURN s;
+  END Go;
+BEGIN
+  PutInt(Go()); PutLn();
+END FA.
+`, "15\n")
+}
+
+func TestNestedArraysIndirect(t *testing.T) {
+	// a[i][j] through REF ARRAY OF REF ARRAY: the intermediate
+	// reference is preserved in a register (§4, indirect references).
+	runAllModes(t, "nested.m3", `
+MODULE N;
+TYPE Row = REF ARRAY OF INTEGER;
+TYPE Mat = REF ARRAY OF Row;
+VAR junkG: Row;
+PROCEDURE Bump(VAR x: INTEGER) =
+  BEGIN
+    junkG := NEW(Row, 8);   (* force motion during the call *)
+    x := x + 1;
+  END Bump;
+PROCEDURE Go(): INTEGER =
+  VAR m: Mat; i, j, s: INTEGER;
+  BEGIN
+    m := NEW(Mat, 3);
+    FOR i := 0 TO 2 DO
+      m[i] := NEW(Row, 3);
+      FOR j := 0 TO 2 DO m[i][j] := i * 3 + j; END;
+    END;
+    Bump(m[1][2]);          (* VAR arg: interior pointer via indirect ref *)
+    s := 0;
+    FOR i := 0 TO 2 DO
+      FOR j := 0 TO 2 DO s := s + m[i][j]; END;
+    END;
+    RETURN s;
+  END Go;
+BEGIN
+  PutInt(Go()); PutLn();
+END N.
+`, "37\n")
+}
+
+func TestTextAndChars(t *testing.T) {
+	runAllModes(t, "text.m3", `
+MODULE T;
+TYPE Vec = REF ARRAY OF INTEGER;
+PROCEDURE Count(t: TEXT; c: CHAR): INTEGER =
+  VAR i, n: INTEGER; junk: Vec;
+  BEGIN
+    n := 0;
+    FOR i := 0 TO NUMBER(t) - 1 DO
+      junk := NEW(Vec, 4);
+      IF t[i] = c THEN INC(n); END;
+    END;
+    RETURN n;
+  END Count;
+BEGIN
+  PutInt(Count("abracadabra", 'a')); PutLn();
+END T.
+`, "5\n")
+}
+
+// TestRegisterReconstructionChain: three distinct procedures each keep
+// several pointers live in callee-save registers across calls; a
+// collection at the bottom must reconstruct every frame's registers
+// from the per-procedure save maps and update them all.
+func TestRegisterReconstructionChain(t *testing.T) {
+	runAllModes(t, "regrec.m3", `
+MODULE RR;
+TYPE N = REF RECORD v: INTEGER; END;
+TYPE Vec = REF ARRAY OF INTEGER;
+VAR junk: Vec;
+
+PROCEDURE Mk(v: INTEGER): N =
+  VAR n: N;
+  BEGIN
+    n := NEW(N);
+    n.v := v;
+    RETURN n;
+  END Mk;
+
+PROCEDURE Bottom(): INTEGER =
+  VAR a, b: N;
+  BEGIN
+    a := Mk(1);
+    junk := NEW(Vec, 32);    (* moves everything above *)
+    b := Mk(2);
+    junk := NEW(Vec, 32);
+    RETURN a.v + b.v;
+  END Bottom;
+
+PROCEDURE Middle(): INTEGER =
+  VAR p, q, r: N; s: INTEGER;
+  BEGIN
+    p := Mk(10);
+    q := Mk(20);
+    r := Mk(30);
+    s := Bottom();           (* p, q, r live across in callee-saves *)
+    RETURN s + p.v + q.v + r.v;
+  END Middle;
+
+PROCEDURE Top(): INTEGER =
+  VAR x, y: N; s: INTEGER;
+  BEGIN
+    x := Mk(100);
+    y := Mk(200);
+    s := Middle();           (* x, y live across *)
+    RETURN s + x.v + y.v;
+  END Top;
+
+BEGIN
+  PutInt(Top()); PutLn();
+END RR.
+`, "363\n")
+}

@@ -1,0 +1,279 @@
+package e2e
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/gc"
+	"repro/internal/gctab"
+	"repro/internal/heap"
+	"repro/internal/ir"
+	"repro/internal/irtest"
+	"repro/internal/opt"
+	"repro/internal/types"
+	"repro/internal/vmachine"
+)
+
+// runIRProgram generates code for a hand-built IR program and runs it
+// under gc-stress with the precise collector.
+func runIRProgram(t *testing.T, prog *ir.Program, scheme gctab.Scheme) string {
+	t.Helper()
+	vmProg, tables, err := codegen.Generate(prog, codegen.Options{GCSupport: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc := gctab.Encode(tables, scheme)
+	var sb strings.Builder
+	cfg := vmachine.Config{
+		HeapWords: 4096, StackWords: 1024, MaxThreads: 1,
+		Out: &sb, StressGC: true,
+	}
+	m := vmachine.New(vmProg, cfg)
+	h := heap.New(m.Mem, m.HeapLo, m.HeapHi, vmProg.Descs)
+	col := gc.New(h, enc)
+	col.Debug = true
+	m.Alloc = h
+	m.Collector = col
+	if _, err := m.Spawn(vmProg.MainProc); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v (out %q)", err, sb.String())
+	}
+	if col.Collections == 0 {
+		t.Fatal("stress mode produced no collections")
+	}
+	return sb.String()
+}
+
+// buildFigure2Program builds the paper's Figure 2 ambiguous-derivation
+// program as IR: t derives from P or Q depending on inv, and is used
+// across gc-points in a loop while objects move.
+func buildFigure2Program(inv int64) *ir.Program {
+	dt := types.NewDescTable()
+	arrDesc := dt.Intern(types.NewFixedArray(0, 7, types.IntType))
+
+	b := irtest.NewProc("__main")
+	p := b.New(arrDesc)
+	q := b.New(arrDesc)
+	// P.data[0] := 111; Q.data[0] := 222
+	v111 := b.Const(111)
+	b.Store(p, 1, v111)
+	v222 := b.Const(222)
+	b.Store(q, 1, v222)
+
+	tr := b.Reg(ir.ClassDerived)
+	cond := b.Const(inv)
+	left := b.P.NewBlock()
+	right := b.P.NewBlock()
+	head := b.P.NewBlock()
+	body := b.P.NewBlock()
+	exit := b.P.NewBlock()
+	b.Br(cond, left, right)
+	b.In(left)
+	b.AddImmInto(tr, p, 1) // t = &P[0]
+	b.Jmp(head)
+	b.In(right)
+	b.AddImmInto(tr, q, 1) // t = &Q[0]
+	b.Jmp(head)
+
+	// Loop three times: each iteration polls (stress collects) and
+	// reads through t.
+	i := b.Reg(ir.ClassScalar)
+	b.In(b.P.Entry) // nothing more in entry
+	b.In(head)
+	// head needs i initialized on entry paths; do it in left/right.
+	// Simpler: initialize i before the branch — patch: emit in entry
+	// before Br. We instead count down using a fresh register set in
+	// both paths. For clarity, initialize in left/right.
+	limit := b.Const(3)
+	cmp := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpCmpLT, Dst: cmp, A: i, B: limit})
+	b.Br(cmp, body, exit)
+	b.In(body)
+	b.Poll()
+	v := b.Load(tr, 0, ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpCallBuiltin, Dst: ir.NoReg, Builtin: ir.BPutInt, Args: []ir.Reg{v}})
+	b.Emit(ir.Instr{Op: ir.OpAddImm, Dst: i, A: i, Imm: 1})
+	b.Jmp(head)
+	b.In(exit)
+	b.Emit(ir.Instr{Op: ir.OpCallBuiltin, Dst: ir.NoReg, Builtin: ir.BPutLn})
+	b.Ret(ir.NoReg)
+
+	// Initialize i in both branch arms (before jumping to head).
+	for _, blk := range []*ir.Block{left, right} {
+		// insert before the terminator
+		n := len(blk.Instrs)
+		blk.Instrs = append(blk.Instrs, ir.Instr{})
+		copy(blk.Instrs[n:], blk.Instrs[n-1:])
+		init := ir.Instr{Op: ir.OpConst, Dst: i, Imm: 0}
+		init.Normalize()
+		blk.Instrs[n-1] = init
+	}
+
+	return &ir.Program{
+		Name:  "fig2",
+		Procs: []*ir.Proc{b.P},
+		Main:  b.P,
+		Descs: dt,
+	}
+}
+
+// TestPathVariablesAtCollection runs the Figure 2 program under
+// gc-stress with path variables: the collector must pick the correct
+// derivation variant at run time for both paths.
+func TestPathVariablesAtCollection(t *testing.T) {
+	for _, inv := range []int64{1, 0} {
+		prog := buildFigure2Program(inv)
+		opt.InsertPathVars(prog.Procs[0])
+		if len(prog.Procs[0].PathVars) != 1 {
+			t.Fatal("expected one path variable")
+		}
+		out := runIRProgram(t, prog, gctab.DeltaPP)
+		want := "111111111\n"
+		if inv == 0 {
+			want = "222222222\n"
+		}
+		if out != want {
+			t.Errorf("inv=%d: got %q, want %q", inv, out, want)
+		}
+	}
+}
+
+// TestPathSplittingAtCollection runs the same program disambiguated by
+// code duplication instead (Figure 2's transformation).
+func TestPathSplittingAtCollection(t *testing.T) {
+	for _, inv := range []int64{1, 0} {
+		prog := buildFigure2Program(inv)
+		opt.SplitPaths(prog.Procs[0])
+		if len(prog.Procs[0].PathVars) != 0 {
+			t.Fatal("path splitting fell back to path variables")
+		}
+		out := runIRProgram(t, prog, gctab.DeltaPP)
+		want := "111111111\n"
+		if inv == 0 {
+			want = "222222222\n"
+		}
+		if out != want {
+			t.Errorf("inv=%d: got %q, want %q", inv, out, want)
+		}
+	}
+}
+
+// TestDoubleIndexingAtCollection builds §2's double-indexing example:
+// t2 = &B[0] − &A[0] is a derived non-pointer value; t1 = &A[0]; the
+// access *(t1 + t2) must keep working while both arrays move.
+func TestDoubleIndexingAtCollection(t *testing.T) {
+	dt := types.NewDescTable()
+	arrDesc := dt.Intern(types.NewFixedArray(0, 7, types.IntType))
+
+	b := irtest.NewProc("__main")
+	a := b.New(arrDesc)
+	bb := b.New(arrDesc)
+	v77 := b.Const(77)
+	b.Store(bb, 1, v77) // B.data[0] := 77
+
+	t1 := b.AddImmPtr(a, 1) // &A[0]
+	t2 := b.Reg(ir.ClassDerived)
+	b.Emit(ir.Instr{Op: ir.OpSub, Dst: t2, A: bb, B: a,
+		Deriv: []ir.BaseRef{{Reg: bb, Sign: 1}, {Reg: a, Sign: -1}}})
+
+	// Several gc-points with t1 and t2 live: everything moves.
+	b.Poll()
+	junk := b.New(arrDesc)
+	_ = junk
+	b.Poll()
+
+	addr := b.Reg(ir.ClassDerived)
+	b.Emit(ir.Instr{Op: ir.OpAdd, Dst: addr, A: t1, B: t2,
+		Deriv: []ir.BaseRef{{Reg: t1, Sign: 1}, {Reg: t2, Sign: 1}}})
+	v := b.Load(addr, 0, ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpCallBuiltin, Dst: ir.NoReg, Builtin: ir.BPutInt, Args: []ir.Reg{v}})
+	b.Emit(ir.Instr{Op: ir.OpCallBuiltin, Dst: ir.NoReg, Builtin: ir.BPutLn})
+	b.Ret(ir.NoReg)
+
+	prog := &ir.Program{Name: "dbl", Procs: []*ir.Proc{b.P}, Main: b.P, Descs: dt}
+	out := runIRProgram(t, prog, gctab.DeltaPP)
+	if out != "77\n" {
+		t.Errorf("got %q, want %q", out, "77\n")
+	}
+}
+
+// TestFigure1Derivation reproduces Figure 1 directly: a = b1 + b3 − b2
+// + E with three distinct bases; the collector must strip all three
+// bases out and re-derive after they move.
+func TestFigure1Derivation(t *testing.T) {
+	dt := types.NewDescTable()
+	arrDesc := dt.Intern(types.NewFixedArray(0, 3, types.IntType))
+
+	b := irtest.NewProc("__main")
+	b1 := b.New(arrDesc)
+	b2 := b.New(arrDesc)
+	b3 := b.New(arrDesc)
+
+	// a = b1 + b3 - b2 + 1  (E = 1): built as ((b1 + b3) - b2) + 1.
+	s1 := b.Reg(ir.ClassDerived)
+	b.Emit(ir.Instr{Op: ir.OpAdd, Dst: s1, A: b1, B: b3,
+		Deriv: []ir.BaseRef{{Reg: b1, Sign: 1}, {Reg: b3, Sign: 1}}})
+	s2 := b.Reg(ir.ClassDerived)
+	b.Emit(ir.Instr{Op: ir.OpSub, Dst: s2, A: s1, B: b2,
+		Deriv: []ir.BaseRef{{Reg: s1, Sign: 1}, {Reg: b2, Sign: -1}}})
+	aReg := b.AddImmPtr(s2, 1) // derives {+s2}
+
+	// Move everything.
+	b.Poll()
+	junk := b.New(arrDesc)
+	_ = junk
+	b.Poll()
+
+	// Verify the linear relation survived: a - b1 - b3 + b2 must be 1.
+	c1 := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpSub, Dst: c1, A: aReg, B: b1})
+	c2 := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpSub, Dst: c2, A: c1, B: b3})
+	c3 := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpAdd, Dst: c3, A: c2, B: b2})
+	b.Emit(ir.Instr{Op: ir.OpCallBuiltin, Dst: ir.NoReg, Builtin: ir.BPutInt, Args: []ir.Reg{c3}})
+	b.Emit(ir.Instr{Op: ir.OpCallBuiltin, Dst: ir.NoReg, Builtin: ir.BPutLn})
+	b.Ret(ir.NoReg)
+
+	prog := &ir.Program{Name: "fig1", Procs: []*ir.Proc{b.P}, Main: b.P, Descs: dt}
+	out := runIRProgram(t, prog, gctab.DeltaPP)
+	if out != "1\n" {
+		t.Errorf("a - b1 - b3 + b2 = %q, want 1 (Figure 1 relation broken)", out)
+	}
+}
+
+// TestPathVarVsSplittingCost quantifies the §4 trade-off the paper
+// describes: "the path variable technique adds assignments to the
+// program; the path splitting technique increases the code size".
+func TestPathVarVsSplittingCost(t *testing.T) {
+	gen := func(split bool) (codeBytes, tableBytes int) {
+		prog := buildFigure2Program(1)
+		if split {
+			opt.SplitPaths(prog.Procs[0])
+		} else {
+			opt.InsertPathVars(prog.Procs[0])
+		}
+		vmProg, tables, err := codegen.Generate(prog, codegen.Options{GCSupport: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := gctab.Encode(tables, gctab.DeltaPP)
+		return vmProg.CodeSize(), enc.Size()
+	}
+	pvCode, pvTab := gen(false)
+	spCode, spTab := gen(true)
+	t.Logf("path variables: code=%dB tables=%dB; path splitting: code=%dB tables=%dB",
+		pvCode, pvTab, spCode, spTab)
+	if spCode <= pvCode {
+		t.Errorf("path splitting should duplicate code: %d <= %d", spCode, pvCode)
+	}
+	// Split code needs no selector constants and no multi-variant
+	// derivation entries; its per-point tables must not be larger than
+	// the path-variable version's.
+	if spTab > pvTab+16 {
+		t.Errorf("path splitting tables unexpectedly large: %d vs %d", spTab, pvTab)
+	}
+}

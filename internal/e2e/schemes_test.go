@@ -1,0 +1,196 @@
+package e2e
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/gctab"
+	"repro/internal/vmachine"
+)
+
+const churnProg = `
+MODULE S;
+TYPE L = REF RECORD v: INTEGER; next: L; END;
+TYPE V = REF ARRAY OF INTEGER;
+VAR keep: L; junk: V; i, s: INTEGER;
+PROCEDURE Push(v: INTEGER) =
+  VAR c: L;
+  BEGIN
+    c := NEW(L);
+    c.v := v;
+    c.next := keep;
+    keep := c;
+  END Push;
+BEGIN
+  FOR i := 1 TO 60 DO
+    Push(i);
+    junk := NEW(V, 8);
+    junk[i MOD 8] := i;
+  END;
+  s := 0;
+  WHILE keep # NIL DO s := s + keep.v; keep := keep.next; END;
+  PutInt(s); PutLn();
+END S.
+`
+
+// TestCollectorUnderEveryScheme runs the same program with the
+// collector decoding each of the six Table 2 encodings (plus the §5.2
+// refinements) under gc-stress: every scheme must drive identical,
+// correct collections.
+func TestCollectorUnderEveryScheme(t *testing.T) {
+	schemes := []gctab.Scheme{
+		gctab.FullPlain, gctab.FullPacking, gctab.DeltaPlain,
+		gctab.DeltaPrev, gctab.DeltaPacking, gctab.DeltaPP,
+		{Packing: true, Previous: true, ShortDistances: true},
+		{Packing: true, Previous: true, ArrayRuns: true},
+		{Packing: true, Previous: true, ShortDistances: true, ArrayRuns: true},
+	}
+	for _, scheme := range schemes {
+		for _, optimize := range []bool{false, true} {
+			c, err := driver.Compile("s.m3", churnProg, driver.Options{
+				Optimize: optimize, GCSupport: true, Scheme: scheme,
+			})
+			if err != nil {
+				t.Fatalf("%v: %v", scheme, err)
+			}
+			cfg := vmachine.Config{
+				HeapWords: 8192, StackWords: 4096, MaxThreads: 1, StressGC: true,
+			}
+			var sb strings.Builder
+			cfg.Out = &sb
+			m, col, err := c.NewMachine(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			col.Debug = true
+			if err := m.Run(10_000_000); err != nil {
+				t.Fatalf("%v optimize=%v: %v", scheme, optimize, err)
+			}
+			if sb.String() != "1830\n" {
+				t.Errorf("%v optimize=%v: output %q", scheme, optimize, sb.String())
+			}
+			if col.Collections == 0 {
+				t.Errorf("%v: no collections under stress", scheme)
+			}
+		}
+	}
+}
+
+// TestElideUnderGC: with non-allocating call elision, collections deep
+// inside allocating code still walk every frame correctly (elided call
+// sites never appear on the stack during a collection).
+func TestElideUnderGC(t *testing.T) {
+	src := `
+MODULE E;
+TYPE L = REF RECORD v: INTEGER; next: L; END;
+VAR keep: L; i, s: INTEGER;
+PROCEDURE PureLen(l: L): INTEGER =
+  VAR n: INTEGER;
+  BEGIN
+    n := 0;
+    WHILE l # NIL DO INC(n); l := l.next; END;
+    RETURN n;
+  END PureLen;
+PROCEDURE Grow(v: INTEGER) =
+  VAR c: L;
+  BEGIN
+    c := NEW(L);
+    c.v := v;
+    c.next := keep;
+    keep := c;
+  END Grow;
+BEGIN
+  s := 0;
+  FOR i := 1 TO 50 DO
+    Grow(i);
+    s := s + PureLen(keep);   (* elided gc-point *)
+  END;
+  PutInt(s); PutChar(' '); PutInt(PureLen(keep)); PutLn();
+END E.
+`
+	for _, elide := range []bool{false, true} {
+		c, err := driver.Compile("e.m3", src, driver.Options{
+			Optimize: true, GCSupport: true, ElideNonAlloc: elide,
+			Scheme: gctab.DeltaPP,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := vmachine.Config{HeapWords: 2048, StackWords: 4096, MaxThreads: 1, StressGC: true}
+		var sb strings.Builder
+		cfg.Out = &sb
+		m, col, err := c.NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col.Debug = true
+		if err := m.Run(10_000_000); err != nil {
+			t.Fatalf("elide=%v: %v", elide, err)
+		}
+		if sb.String() != "1275 50\n" {
+			t.Errorf("elide=%v: output %q", elide, sb.String())
+		}
+		if col.Collections == 0 {
+			t.Errorf("elide=%v: no collections", elide)
+		}
+	}
+}
+
+// TestWithValueBindingRegression pins the fuzzer-found bug: a WITH
+// binding of a non-designator expression (the allocation itself) must
+// denote the bound value, not a separate nil local.
+func TestWithValueBindingRegression(t *testing.T) {
+	runAllModes(t, "withval.m3", `
+MODULE WV;
+TYPE L = REF RECORD v: INTEGER; next: L; END;
+VAR l: L; s: INTEGER;
+BEGIN
+  WITH nw = NEW(L) DO
+    nw.v := 41;
+    nw.next := l;
+    l := nw;
+  END;
+  WITH nw = NEW(L) DO
+    nw.v := 1;
+    nw.next := l;
+    l := nw;
+  END;
+  s := 0;
+  WHILE l # NIL DO s := s + l.v; l := l.next; END;
+  PutInt(s); PutLn();
+END WV.
+`, "42\n")
+}
+
+// TestCaseUnderGC: CASE dispatch mixed with allocation and collection.
+func TestCaseUnderGC(t *testing.T) {
+	runAllModes(t, "casegc.m3", `
+MODULE CG;
+TYPE L = REF RECORD kind, v: INTEGER; next: L; END;
+VAR l: L; i, s: INTEGER;
+PROCEDURE Weigh(n: L): INTEGER =
+  BEGIN
+    CASE n.kind OF
+    | 0 => RETURN n.v;
+    | 1, 2 => RETURN n.v * 10;
+    | 3..5 => RETURN n.v * 100;
+    ELSE
+      RETURN 0;
+    END;
+  END Weigh;
+BEGIN
+  FOR i := 1 TO 40 DO
+    WITH c = NEW(L) DO
+      c.kind := i MOD 7;
+      c.v := 1;
+      c.next := l;
+      l := c;
+    END;
+  END;
+  s := 0;
+  WHILE l # NIL DO s := s + Weigh(l); l := l.next; END;
+  PutInt(s); PutLn();
+END CG.
+`, "1925\n") // 5×1 + 12×10 + 18×100 + 5×0
+}

@@ -1,0 +1,165 @@
+package e2e
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/vmachine"
+)
+
+// TestRendezvousSpinningThread runs an allocating main thread alongside
+// a worker spinning in a non-allocating loop. Without the compiler's
+// loop gc-polls (§5.3) the rendezvous could never complete; with them,
+// collections finish and both threads make progress.
+func TestRendezvousSpinningThread(t *testing.T) {
+	src := `
+MODULE MT;
+TYPE List = REF RECORD head: INTEGER; tail: List; END;
+VAR stop, spins: INTEGER;
+
+PROCEDURE Worker() =
+  BEGIN
+    WHILE stop = 0 DO
+      spins := spins + 1;   (* no allocation: the compiler inserts a gc-poll *)
+    END;
+  END Worker;
+
+PROCEDURE Churn(): INTEGER =
+  VAR keep, junk: List; i, s: INTEGER;
+  BEGIN
+    keep := NIL;
+    FOR i := 1 TO 300 DO
+      junk := NEW(List);
+      junk.head := i;
+      IF i MOD 3 = 0 THEN
+        junk.tail := keep;
+        keep := junk;
+      END;
+    END;
+    s := 0;
+    WHILE keep # NIL DO s := s + keep.head; keep := keep.tail; END;
+    RETURN s;
+  END Churn;
+
+BEGIN
+  PutInt(Churn()); PutLn();
+  stop := 1;
+END MT.
+`
+	for _, optimize := range []bool{false, true} {
+		c, err := driver.Compile("mt.m3", src, driver.Options{
+			Optimize:      optimize,
+			GCSupport:     true,
+			Multithreaded: true,
+			Scheme:        driver.NewOptions().Scheme,
+		})
+		if err != nil {
+			t.Fatalf("optimize=%v: %v", optimize, err)
+		}
+		cfg := vmachine.Config{
+			HeapWords: 1024, StackWords: 4096, MaxThreads: 4, Quantum: 37, // tiny heap: many rendezvous
+		}
+		var sb strings.Builder
+		cfg.Out = &sb
+		m, col, err := c.NewMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col.Debug = true
+		worker := c.Prog.FindProc("Worker")
+		if worker < 0 {
+			t.Fatal("Worker proc not found")
+		}
+		if _, err := m.Spawn(worker); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(100_000_000); err != nil {
+			t.Fatalf("optimize=%v: %v (out=%q)", optimize, err, sb.String())
+		}
+		if got, want := sb.String(), "15150\n"; got != want {
+			t.Errorf("optimize=%v: got %q want %q", optimize, got, want)
+		}
+		if m.GCCount == 0 {
+			t.Errorf("optimize=%v: expected rendezvous collections", optimize)
+		}
+		spins := m.Mem[m.GlobalBase+1] // VAR stop, spins: spins is the second global
+		if spins == 0 {
+			t.Errorf("optimize=%v: worker made no progress", optimize)
+		}
+		t.Logf("optimize=%v: %d collections, worker spun %d times", optimize, m.GCCount, spins)
+	}
+}
+
+// TestRendezvousBothAllocating has two allocating threads contending
+// for a tiny heap; every collection requires both to park at allocation
+// gc-points.
+func TestRendezvousBothAllocating(t *testing.T) {
+	src := `
+MODULE MT2;
+TYPE List = REF RECORD head: INTEGER; tail: List; END;
+VAR done1, done2, sum1, sum2: INTEGER;
+
+PROCEDURE Churn(n: INTEGER): INTEGER =
+  VAR keep, junk: List; i, s: INTEGER;
+  BEGIN
+    keep := NIL;
+    FOR i := 1 TO n DO
+      junk := NEW(List);
+      junk.head := i;
+      IF i MOD 5 = 0 THEN
+        junk.tail := keep;
+        keep := junk;
+      END;
+    END;
+    s := 0;
+    WHILE keep # NIL DO s := s + keep.head; keep := keep.tail; END;
+    RETURN s;
+  END Churn;
+
+PROCEDURE Worker() =
+  BEGIN
+    sum2 := Churn(200);
+    done2 := 1;
+  END Worker;
+
+BEGIN
+  sum1 := Churn(250);
+  done1 := 1;
+  (* Wait for the worker (pre-emptive scheduling interleaves us). *)
+  WHILE done2 = 0 DO
+    done1 := done1 + 1;    (* keep the loop body writing so it is not hoisted *)
+  END;
+  PutInt(sum1); PutChar(' '); PutInt(sum2); PutLn();
+END MT2.
+`
+	c, err := driver.Compile("mt2.m3", src, driver.Options{
+		Optimize: true, GCSupport: true, Multithreaded: true,
+		Scheme: driver.NewOptions().Scheme,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := vmachine.Config{HeapWords: 2048, StackWords: 4096, MaxThreads: 4, Quantum: 53}
+	var sb strings.Builder
+	cfg.Out = &sb
+	m, col, err := c.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Debug = true
+	worker := c.Prog.FindProc("Worker")
+	if _, err := m.Spawn(worker); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(100_000_000); err != nil {
+		t.Fatalf("%v (out=%q)", err, sb.String())
+	}
+	if got, want := sb.String(), "6375 4100\n"; got != want {
+		t.Errorf("got %q want %q", got, want)
+	}
+	if m.GCCount == 0 {
+		t.Error("expected collections")
+	}
+	t.Logf("%d rendezvous collections", m.GCCount)
+}

@@ -1,0 +1,131 @@
+package gc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/gc"
+	"repro/internal/vmachine"
+)
+
+const churnSrc = `
+MODULE T;
+TYPE L = REF RECORD v: INTEGER; next: L; END;
+VAR keep: L; i, s: INTEGER; junk: L;
+BEGIN
+  keep := NIL;
+  FOR i := 1 TO 50 DO
+    junk := NEW(L);
+    junk.v := i;
+    IF i MOD 2 = 0 THEN
+      junk.next := keep;
+      keep := junk;
+    END;
+    GcCollect();
+  END;
+  s := 0;
+  WHILE keep # NIL DO s := s + keep.v; keep := keep.next; END;
+  PutInt(s); PutLn();
+END T.
+`
+
+func newMachine(t *testing.T, mode gc.Mode, heapWords int64) (*vmachine.Machine, *gc.Collector, *strings.Builder) {
+	t.Helper()
+	c, err := driver.Compile("t.m3", churnSrc, driver.NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := vmachine.DefaultConfig()
+	cfg.HeapWords = heapWords
+	var sb strings.Builder
+	cfg.Out = &sb
+	m, col, err := c.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Mode = mode
+	col.Debug = true
+	return m, col, &sb
+}
+
+func TestModeFullCollectsAndCompacts(t *testing.T) {
+	m, col, sb := newMachine(t, gc.ModeFull, 1<<16)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "650\n" {
+		t.Errorf("output %q", sb.String())
+	}
+	if col.Collections != 50 {
+		t.Errorf("collections %d, want 50 (one per forced point)", col.Collections)
+	}
+	if col.WordsCopied == 0 {
+		t.Error("nothing copied")
+	}
+	if col.FramesTraced < 50 {
+		t.Errorf("frames traced %d", col.FramesTraced)
+	}
+	if col.TotalTime <= 0 || col.StackTraceTime <= 0 {
+		t.Error("timing counters not maintained")
+	}
+	if col.StackTraceTime > col.TotalTime {
+		t.Error("stack trace time exceeds total gc time")
+	}
+}
+
+func TestModeTraceOnlyPreservesHeap(t *testing.T) {
+	m, col, sb := newMachine(t, gc.ModeTraceOnly, 1<<16)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "650\n" {
+		t.Errorf("output %q (trace-only must not corrupt anything)", sb.String())
+	}
+	if col.Collections != 50 || col.WordsCopied != 0 {
+		t.Errorf("collections=%d copied=%d", col.Collections, col.WordsCopied)
+	}
+	if col.Heap.Collections != 0 {
+		t.Error("trace-only flipped semispaces")
+	}
+}
+
+func TestModeNullDoesNothing(t *testing.T) {
+	m, col, sb := newMachine(t, gc.ModeNull, 1<<16)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "650\n" {
+		t.Errorf("output %q", sb.String())
+	}
+	if col.Collections != 0 || col.FramesTraced != 0 {
+		t.Errorf("null mode did work: %d collections", col.Collections)
+	}
+}
+
+// TestCompactionReclaimsEverything: after the program drops all
+// references, a forced collection leaves only the live list.
+func TestCompactionStats(t *testing.T) {
+	m, col, _ := newMachine(t, gc.ModeFull, 1<<16)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	// Live data at the last collection: at most the kept list (25 nodes
+	// by then, 3 words each) plus a junk cell.
+	perCollection := col.WordsCopied / col.Collections
+	if perCollection > 100 {
+		t.Errorf("average copied words %d — garbage retained?", perCollection)
+	}
+}
+
+// TestHeapShrinksAcrossCollection: allocation pointer is bounded by
+// live data after each collection, not by total allocation.
+func TestHeapBoundedByLiveData(t *testing.T) {
+	m, col, _ := newMachine(t, gc.ModeFull, 1<<12)
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if col.Heap.LiveWords() > 200 {
+		t.Errorf("final live words %d", col.Heap.LiveWords())
+	}
+}

@@ -1,0 +1,150 @@
+package gc
+
+import (
+	"fmt"
+
+	"repro/internal/gctab"
+	"repro/internal/vmachine"
+)
+
+// Frame is one walked stack frame with its decoded tables and the
+// reconstructed register file (addresses, so updates write through).
+// The generational collector reuses this machinery.
+type Frame struct {
+	PC      int
+	FP, SP  int64
+	View    *gctab.PointView
+	RegAddr [16]*int64
+
+	derivE  []int64
+	variant []int
+}
+
+// WalkMachine walks every live thread's stack, innermost frame first,
+// reconstructing per-frame register files from the callee-save maps.
+func WalkMachine(m *vmachine.Machine, dec *gctab.Decoder) ([]*Frame, error) {
+	var frames []*Frame
+	for _, t := range m.Threads {
+		if t.Done {
+			continue
+		}
+		fs, err := walkThread(m, dec, t)
+		if err != nil {
+			return nil, err
+		}
+		frames = append(frames, fs...)
+	}
+	return frames, nil
+}
+
+func walkThread(m *vmachine.Machine, dec *gctab.Decoder, t *vmachine.Thread) ([]*Frame, error) {
+	var frames []*Frame
+	var regAddr [16]*int64
+	for r := 0; r < 16; r++ {
+		regAddr[r] = &t.Regs[r]
+	}
+	pc := t.CurrentGCPointPC(m.Prog)
+	fp := t.FP
+	sp := t.SP
+	for {
+		view, ok := dec.Lookup(pc)
+		if !ok {
+			return nil, fmt.Errorf("gc: no tables for gc-point pc %d (thread %d)", pc, t.ID)
+		}
+		f := &Frame{PC: pc, FP: fp, SP: sp, View: view, RegAddr: regAddr}
+		frames = append(frames, f)
+		// Restore the caller's register view through this frame's
+		// callee-save slots.
+		for _, sv := range view.Saves {
+			regAddr[sv.Reg] = &m.Mem[fp+int64(sv.Off)]
+		}
+		savedFP := m.Mem[fp]
+		if savedFP == 0 {
+			return frames, nil
+		}
+		pc = int(m.Mem[fp+1])
+		sp = fp + 2
+		fp = savedFP
+	}
+}
+
+// LocPtr resolves a table location against the frame to a word address.
+func (f *Frame) LocPtr(m *vmachine.Machine, l gctab.Location) *int64 {
+	if l.InReg {
+		return f.RegAddr[l.Reg]
+	}
+	base := f.FP
+	if l.Base == gctab.BaseSP {
+		base = f.SP
+	}
+	return &m.Mem[base+int64(l.Off)]
+}
+
+// AdjustDerived is phase 1 of the derived-value protocol: walking callee
+// frames before callers and, within a frame, derived values before their
+// bases, it replaces each derived value by E = a − Σ sign·base.
+func AdjustDerived(m *vmachine.Machine, frames []*Frame) error {
+	for _, f := range frames {
+		f.derivE = make([]int64, len(f.View.Derivs))
+		f.variant = make([]int, len(f.View.Derivs))
+		for di := range f.View.Derivs {
+			de := &f.View.Derivs[di]
+			v := 0
+			if de.Sel != nil {
+				v = int(*f.LocPtr(m, *de.Sel))
+				if v < 0 || v >= len(de.Variants) {
+					return fmt.Errorf("gc: path variable selects variant %d of %d", v, len(de.Variants))
+				}
+			}
+			f.variant[di] = v
+			e := *f.LocPtr(m, de.Target)
+			for _, b := range de.Variants[v] {
+				e -= int64(b.Sign) * *f.LocPtr(m, b.Loc)
+			}
+			f.derivE[di] = e
+			*f.LocPtr(m, de.Target) = e
+		}
+	}
+	return nil
+}
+
+// RederiveAll is phase 2: in exactly the reverse order, recompute each
+// derived value from its (possibly moved) bases.
+func RederiveAll(m *vmachine.Machine, frames []*Frame) {
+	for fi := len(frames) - 1; fi >= 0; fi-- {
+		f := frames[fi]
+		for di := len(f.View.Derivs) - 1; di >= 0; di-- {
+			de := &f.View.Derivs[di]
+			a := f.derivE[di]
+			for _, b := range de.Variants[f.variant[di]] {
+				a += int64(b.Sign) * *f.LocPtr(m, b.Loc)
+			}
+			*f.LocPtr(m, de.Target) = a
+		}
+	}
+}
+
+// ForEachRoot applies fn to the address of every root: global pointer
+// slots, live stack slots, and live pointer registers of every frame.
+func ForEachRoot(m *vmachine.Machine, frames []*Frame, fn func(p *int64) error) error {
+	for _, off := range m.Prog.GlobalPtrOffs {
+		if err := fn(&m.Mem[m.GlobalBase+off]); err != nil {
+			return err
+		}
+	}
+	for _, f := range frames {
+		for _, loc := range f.View.Live {
+			if err := fn(f.LocPtr(m, loc)); err != nil {
+				return err
+			}
+		}
+		for r := 0; r < 16; r++ {
+			if f.View.RegPtrs&(1<<uint(r)) != 0 {
+				if err := fn(f.RegAddr[r]); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,222 @@
+package gctab
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// PointView is the decoded table set for one gc-point, resolved against
+// the procedure's ground table.
+type PointView struct {
+	ProcName string
+	Entry    int
+	Saves    []RegSave
+	Live     []Location
+	RegPtrs  uint16
+	Derivs   []DerivEntry
+}
+
+// Decoder reads tables out of an Encoded object. All state is decoded
+// from the byte stream on every lookup (the cost the paper measures in
+// §6.3); no decoded results are cached.
+type Decoder struct {
+	Enc *Encoded
+}
+
+// NewDecoder returns a decoder over e.
+func NewDecoder(e *Encoded) *Decoder { return &Decoder{Enc: e} }
+
+type reader struct {
+	buf     []byte
+	off     int
+	packing bool
+}
+
+func (r *reader) word() int32 {
+	if r.packing {
+		v, n := readPacked(r.buf, r.off)
+		r.off += n
+		return v
+	}
+	v := int32(binary.LittleEndian.Uint32(r.buf[r.off:]))
+	r.off += 4
+	return v
+}
+
+func (r *reader) byte1() byte {
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) u16() int {
+	v := int(r.buf[r.off]) | int(r.buf[r.off+1])<<8
+	r.off += 2
+	return v
+}
+
+// dist reads a PC-map distance under the scheme's encoding.
+func (r *reader) dist(short bool) int {
+	if !short {
+		return r.u16()
+	}
+	b := r.buf[r.off]
+	r.off++
+	if b != 0xff {
+		return int(b)
+	}
+	return r.u16()
+}
+
+// Lookup finds the tables for the gc-point identified by pc (a return
+// address / gc-point byte PC). ok is false when pc is not a known
+// gc-point.
+func (d *Decoder) Lookup(pc int) (*PointView, bool) {
+	idx := d.Enc.Index
+	// Binary search for the procedure containing pc.
+	i := sort.Search(len(idx), func(i int) bool { return idx[i].End > pc })
+	if i >= len(idx) || pc < idx[i].Entry {
+		return nil, false
+	}
+	pi := idx[i]
+	r := &reader{buf: d.Enc.Bytes, off: pi.Off, packing: d.Enc.Scheme.Packing}
+
+	nPoints := int(r.word())
+	// Walk the distance-compressed PC map.
+	target := -1
+	cur := pi.Entry
+	pcs := make([]int, nPoints)
+	for k := 0; k < nPoints; k++ {
+		cur += r.dist(d.Enc.Scheme.ShortDistances)
+		pcs[k] = cur
+		if cur == pc {
+			target = k
+		}
+	}
+	if target < 0 {
+		return nil, false
+	}
+
+	view := &PointView{ProcName: d.Enc.Names[i], Entry: pi.Entry}
+
+	nSaves := int(r.word())
+	for k := 0; k < nSaves; k++ {
+		w := r.word()
+		view.Saves = append(view.Saves, RegSave{Reg: uint8(w & 15), Off: w >> 4})
+	}
+
+	// Ground entries: single slots or runs (§5.2 compact arrays).
+	type gent struct {
+		loc   Location
+		count int32
+	}
+	var ground []gent
+	if !d.Enc.Scheme.Full {
+		nGround := int(r.word())
+		ground = make([]gent, nGround)
+		for k := 0; k < nGround; k++ {
+			if d.Enc.Scheme.ArrayRuns {
+				w := r.word()
+				e := gent{loc: Location{Base: uint8(w & 3), Off: w >> 3}, count: 1}
+				if w&4 != 0 {
+					e.count = r.word()
+				}
+				ground[k] = e
+			} else {
+				ground[k] = gent{loc: groundLoc(r.word()), count: 1}
+			}
+		}
+	}
+
+	// Decode points sequentially up to the target (Previous-mode tables
+	// refer back to the preceding point).
+	var live []Location
+	var regs uint16
+	var derivs []DerivEntry
+	for k := 0; k <= target; k++ {
+		emitStack, emitRegs, emitDerivs := true, true, true
+		stackEmpty, regsEmpty, derivEmpty := false, false, false
+		if d.Enc.Scheme.Previous {
+			desc := r.byte1()
+			stackEmpty = desc&descStackEmpty != 0
+			regsEmpty = desc&descRegsEmpty != 0
+			derivEmpty = desc&descDerivEmpty != 0
+			emitStack = desc&(descStackEmpty|descStackSame) == 0
+			emitRegs = desc&(descRegsEmpty|descRegsSame) == 0
+			emitDerivs = desc&(descDerivEmpty|descDerivSame) == 0
+		}
+		if emitStack {
+			live = live[:0]
+			if d.Enc.Scheme.Full {
+				n := int(r.word())
+				for j := 0; j < n; j++ {
+					live = append(live, groundLoc(r.word()))
+				}
+			} else {
+				nw := (len(ground) + 31) / 32
+				for wi := 0; wi < nw; wi++ {
+					w := uint32(r.word())
+					for b := 0; b < 32; b++ {
+						if w&(1<<uint(b)) != 0 {
+							e := ground[wi*32+b]
+							for k := int32(0); k < e.count; k++ {
+								l := e.loc
+								l.Off += k
+								live = append(live, l)
+							}
+						}
+					}
+				}
+			}
+		} else if stackEmpty {
+			live = live[:0]
+		}
+		if emitRegs {
+			regs = uint16(r.word())
+		} else if regsEmpty {
+			regs = 0
+		}
+		if emitDerivs {
+			n := int(r.word())
+			derivs = derivs[:0]
+			for j := 0; j < n; j++ {
+				var de DerivEntry
+				de.Target = derivLoc(r.word())
+				flags := r.word()
+				nvar := int(flags >> 1)
+				if flags&1 != 0 {
+					sel := derivLoc(r.word())
+					de.Sel = &sel
+				}
+				for v := 0; v < nvar; v++ {
+					nb := int(r.word())
+					var bases []SignedLoc
+					for x := 0; x < nb; x++ {
+						w := r.word()
+						sign := int8(1)
+						if w&1 != 0 {
+							sign = -1
+						}
+						bases = append(bases, SignedLoc{Loc: derivLoc(w >> 1), Sign: sign})
+					}
+					de.Variants = append(de.Variants, bases)
+				}
+				derivs = append(derivs, de)
+			}
+		} else if derivEmpty {
+			derivs = derivs[:0]
+		}
+	}
+
+	view.Live = append(view.Live, live...)
+	view.RegPtrs = regs
+	view.Derivs = append(view.Derivs, derivs...)
+	return view, true
+}
+
+// String renders a point view for debugging.
+func (v *PointView) String() string {
+	s := fmt.Sprintf("%s@%d live=%v regs=%016b nderiv=%d", v.ProcName, v.Entry, v.Live, v.RegPtrs, len(v.Derivs))
+	return s
+}

@@ -1,0 +1,406 @@
+package gctab
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Scheme selects a table representation (the paper's Table 2 columns,
+// plus the two §5.2 refinements the paper describes but left
+// unimplemented).
+type Scheme struct {
+	// Full stores the complete live-slot list at every gc-point;
+	// otherwise the δ-main scheme (per-procedure ground table plus
+	// per-point liveness bitmaps) is used.
+	Full bool
+	// Packing applies the Figure 3 byte packing to every table word.
+	Packing bool
+	// Previous emits a per-point descriptor byte marking tables that
+	// are empty or identical to the previous gc-point's, omitting them.
+	Previous bool
+	// ShortDistances encodes PC-map distances in one byte when they
+	// fit (escape 0xFF + two bytes otherwise) — the paper's "additional
+	// savings of 1 byte per gc-point" had link-time distances been
+	// available (§5.2).
+	ShortDistances bool
+	// ArrayRuns collapses consecutive ground-table slots with
+	// identical per-point liveness into run entries ("starting from
+	// address a, the next 200 stack locations are pointers", §5.2).
+	// δ-main only.
+	ArrayRuns bool
+}
+
+func (s Scheme) String() string {
+	name := "delta-main"
+	if s.Full {
+		name = "full-info"
+	}
+	switch {
+	case s.Packing && s.Previous:
+		name += "+PP"
+	case s.Packing:
+		name += "+packing"
+	case s.Previous:
+		name += "+previous"
+	default:
+		name += "+plain"
+	}
+	if s.ShortDistances {
+		name += "+shortpc"
+	}
+	if s.ArrayRuns {
+		name += "+runs"
+	}
+	return name
+}
+
+// The Table 2 schemes.
+var (
+	FullPlain    = Scheme{Full: true}
+	FullPacking  = Scheme{Full: true, Packing: true}
+	DeltaPlain   = Scheme{}
+	DeltaPrev    = Scheme{Previous: true}
+	DeltaPacking = Scheme{Packing: true}
+	DeltaPP      = Scheme{Packing: true, Previous: true}
+)
+
+// Descriptor byte bits (Previous mode).
+const (
+	descStackEmpty = 1 << 0
+	descStackSame  = 1 << 1
+	descRegsEmpty  = 1 << 2
+	descRegsSame   = 1 << 3
+	descDerivEmpty = 1 << 4
+	descDerivSame  = 1 << 5
+)
+
+// ProcIndex locates one procedure's tables in the encoded stream.
+type ProcIndex struct {
+	Entry int // byte PC of procedure entry
+	End   int // byte PC one past the procedure
+	Off   int // offset of its tables in Encoded.Bytes
+}
+
+// Encoded is a serialized table object.
+type Encoded struct {
+	Scheme Scheme
+	Bytes  []byte
+	Index  []ProcIndex
+	Names  []string // diagnostic only; not counted in sizes
+}
+
+// Size returns the total table bytes including the per-procedure index
+// (entry PC and offset, 8 bytes each), which plays the role of the
+// paper's module-start addresses in the PC mapping.
+func (e *Encoded) Size() int { return len(e.Bytes) + 8*len(e.Index) }
+
+// wordBuf accumulates table words and byte-level items in emission
+// order; serialization to bytes happens according to the scheme.
+type wordBuf struct {
+	packing bool
+	out     []byte
+}
+
+func (w *wordBuf) word(v int32) {
+	if w.packing {
+		w.out = appendPacked(w.out, v)
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(v))
+	w.out = append(w.out, b[:]...)
+}
+
+func (w *wordBuf) byte1(b byte) { w.out = append(w.out, b) }
+
+func (w *wordBuf) u16(v int) {
+	if v < 0 || v > 0xffff {
+		panic(fmt.Sprintf("gctab: distance %d does not fit in 2 bytes", v))
+	}
+	w.out = append(w.out, byte(v), byte(v>>8))
+}
+
+// dist writes a PC-map distance: two bytes in the paper's base scheme,
+// or one byte with a 0xFF escape under ShortDistances (§5.2).
+func (w *wordBuf) dist(v int, short bool) {
+	if !short {
+		w.u16(v)
+		return
+	}
+	if v >= 0 && v < 0xff {
+		w.out = append(w.out, byte(v))
+		return
+	}
+	w.out = append(w.out, 0xff)
+	w.u16(v)
+}
+
+// appendPacked packs a 32-bit word into 1–5 bytes, most significant
+// 7-bit group first, the first byte sign-extended, and the high bit of
+// every byte except the last set to mark continuation (Figure 3).
+func appendPacked(out []byte, v int32) []byte {
+	// Number of 7-bit groups needed so the sign-extended value round-trips.
+	n := 1
+	for ; n < 5; n++ {
+		shift := uint(7 * n)
+		if int32(v<<(32-shift))>>(32-shift) == v {
+			break
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		b := byte((v >> (uint(i) * 7)) & 0x7f)
+		if i != 0 {
+			b |= 0x80
+		}
+		out = append(out, b)
+	}
+	return out
+}
+
+// readPacked decodes one packed word at out[off:].
+func readPacked(buf []byte, off int) (int32, int) {
+	b := buf[off]
+	// Sign-extend the first 7-bit group.
+	v := int32(b&0x7f) << 25 >> 25
+	n := 1
+	for b&0x80 != 0 {
+		b = buf[off+n]
+		v = v<<7 | int32(b&0x7f)
+		n++
+	}
+	return v, n
+}
+
+// ---------- location words ----------
+
+// groundWord encodes a stack slot as in Figure 4: two base-register
+// bits in the low end, the word offset above them.
+func groundWord(l Location) int32 {
+	if l.InReg {
+		panic("gctab: register in ground table")
+	}
+	return l.Off<<2 | int32(l.Base)
+}
+
+func groundLoc(w int32) Location {
+	return Location{Base: uint8(w & 3), Off: w >> 2}
+}
+
+// derivWord encodes a derivation location: bit0 selects register (1) or
+// stack (0); stack locations carry the base in bits 1–2 and the offset
+// above.
+func derivWord(l Location) int32 {
+	if l.InReg {
+		return int32(l.Reg)<<1 | 1
+	}
+	return l.Off<<3 | int32(l.Base)<<1
+}
+
+func derivLoc(w int32) Location {
+	if w&1 != 0 {
+		return Location{InReg: true, Reg: uint8(w >> 1)}
+	}
+	return Location{Base: uint8((w >> 1) & 3), Off: w >> 3}
+}
+
+// ---------- encoding ----------
+
+// Encode serializes the object under the scheme.
+func Encode(o *Object, s Scheme) *Encoded {
+	o.SortPoints()
+	e := &Encoded{Scheme: s}
+	for pi := range o.Procs {
+		p := &o.Procs[pi]
+		e.Index = append(e.Index, ProcIndex{Entry: p.Entry, End: p.End, Off: len(e.Bytes)})
+		e.Names = append(e.Names, p.Name)
+		e.Bytes = encodeProc(e.Bytes, p, s)
+	}
+	return e
+}
+
+// groundEntry is one encoded ground-table entry: a single slot or a run
+// of count consecutive slots (§5.2's compact array description).
+type groundEntry struct {
+	loc   Location
+	count int32 // >= 1
+	start int   // first slot index in the object's Ground list
+}
+
+// buildGroundEntries groups the procedure's ground slots into entries.
+// A run may only cover consecutive offsets off the same base whose
+// per-point liveness is identical (so one delta bit still suffices).
+func buildGroundEntries(p *ProcTables, runs bool) []groundEntry {
+	n := len(p.Ground)
+	if !runs {
+		out := make([]groundEntry, n)
+		for i, g := range p.Ground {
+			out[i] = groundEntry{loc: g, count: 1, start: i}
+		}
+		return out
+	}
+	// Liveness signature per slot: the set of points where it is live.
+	sig := make([]string, n)
+	{
+		buf := make([][]byte, n)
+		for pi := range p.Points {
+			live := map[int]bool{}
+			for _, gi := range p.Points[pi].Live {
+				live[gi] = true
+			}
+			for i := 0; i < n; i++ {
+				bit := byte('0')
+				if live[i] {
+					bit = '1'
+				}
+				buf[i] = append(buf[i], bit)
+			}
+		}
+		for i := 0; i < n; i++ {
+			sig[i] = string(buf[i])
+		}
+	}
+	var out []groundEntry
+	for j := 0; j < n; {
+		k := j + 1
+		for k < n && !p.Ground[k].InReg && !p.Ground[j].InReg &&
+			p.Ground[k].Base == p.Ground[j].Base &&
+			p.Ground[k].Off == p.Ground[j].Off+int32(k-j) &&
+			sig[k] == sig[j] {
+			k++
+		}
+		out = append(out, groundEntry{loc: p.Ground[j], count: int32(k - j), start: j})
+		j = k
+	}
+	return out
+}
+
+func encodeProc(out []byte, p *ProcTables, s Scheme) []byte {
+	w := &wordBuf{packing: s.Packing, out: out}
+
+	// PC map: count, then distances between gc-points (§5.2).
+	w.word(int32(len(p.Points)))
+	prevPC := p.Entry
+	for i := range p.Points {
+		w.dist(p.Points[i].PC-prevPC, s.ShortDistances)
+		prevPC = p.Points[i].PC
+	}
+
+	// Callee-save map.
+	w.word(int32(len(p.Saves)))
+	for _, sv := range p.Saves {
+		w.word(sv.Off<<4 | int32(sv.Reg))
+	}
+
+	// Ground table (δ-main only).
+	var entries []groundEntry
+	entryOfSlot := map[int]int{}
+	if !s.Full {
+		entries = buildGroundEntries(p, s.ArrayRuns)
+		for ei, e := range entries {
+			for k := 0; k < int(e.count); k++ {
+				entryOfSlot[e.start+k] = ei
+			}
+		}
+		w.word(int32(len(entries)))
+		for _, e := range entries {
+			if s.ArrayRuns {
+				run := int32(0)
+				if e.count > 1 {
+					run = 1
+				}
+				w.word(e.loc.Off<<3 | run<<2 | int32(e.loc.Base))
+				if run == 1 {
+					w.word(e.count)
+				}
+			} else {
+				w.word(groundWord(e.loc))
+			}
+		}
+	}
+
+	var prev *GCPoint
+	for i := range p.Points {
+		pt := &p.Points[i]
+		stackEmpty := len(pt.Live) == 0
+		stackSame := prev != nil && sameInts(prev.Live, pt.Live)
+		regsEmpty := pt.RegPtrs == 0
+		regsSame := prev != nil && prev.RegPtrs == pt.RegPtrs
+		derivEmpty := len(pt.Derivs) == 0
+		derivSame := prev != nil && sameDerivs(prev.Derivs, pt.Derivs)
+
+		emitStack := true
+		emitRegs := true
+		emitDerivs := true
+		if s.Previous {
+			var d byte
+			if stackEmpty {
+				d |= descStackEmpty
+			} else if stackSame {
+				d |= descStackSame
+			}
+			if regsEmpty {
+				d |= descRegsEmpty
+			} else if regsSame {
+				d |= descRegsSame
+			}
+			if derivEmpty {
+				d |= descDerivEmpty
+			} else if derivSame {
+				d |= descDerivSame
+			}
+			w.byte1(d)
+			emitStack = !stackEmpty && !stackSame
+			emitRegs = !regsEmpty && !regsSame
+			emitDerivs = !derivEmpty && !derivSame
+		}
+
+		if emitStack {
+			if s.Full {
+				w.word(int32(len(pt.Live)))
+				for _, gi := range pt.Live {
+					w.word(groundWord(p.Ground[gi]))
+				}
+			} else {
+				nw := (len(entries) + 31) / 32
+				words := make([]int32, nw)
+				for _, gi := range pt.Live {
+					ei := entryOfSlot[gi]
+					words[ei/32] |= 1 << (uint(ei) % 32)
+				}
+				for _, wd := range words {
+					w.word(wd)
+				}
+			}
+		}
+		if emitRegs {
+			w.word(int32(pt.RegPtrs))
+		}
+		if emitDerivs {
+			w.word(int32(len(pt.Derivs)))
+			for di := range pt.Derivs {
+				de := &pt.Derivs[di]
+				w.word(derivWord(de.Target))
+				flags := int32(len(de.Variants)) << 1
+				if de.Sel != nil {
+					flags |= 1
+				}
+				w.word(flags)
+				if de.Sel != nil {
+					w.word(derivWord(*de.Sel))
+				}
+				for _, variant := range de.Variants {
+					w.word(int32(len(variant)))
+					for _, b := range variant {
+						sign := int32(0)
+						if b.Sign < 0 {
+							sign = 1
+						}
+						w.word(derivWord(b.Loc)<<1 | sign)
+					}
+				}
+			}
+		}
+		prev = pt
+	}
+	return w.out
+}

@@ -1,0 +1,312 @@
+package gctab
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// TestPackWordFigure3 pins the Figure 3 byte-packing format: 7-bit
+// groups most-significant first, first byte sign-extended, continuation
+// bit on every byte except the last.
+func TestPackWordFigure3(t *testing.T) {
+	cases := []struct {
+		v    int32
+		want []byte
+	}{
+		{0, []byte{0x00}},
+		{1, []byte{0x01}},
+		{-1, []byte{0x7f}},
+		{63, []byte{0x3f}},                        // largest 1-byte positive
+		{-64, []byte{0x40}},                       // smallest 1-byte negative
+		{64, []byte{0x80, 0x40}},                  // needs 2 bytes
+		{-65, []byte{0xff, 0x3f}},                 // sign-extended first byte
+		{8191, []byte{0xbf, 0x7f}},                // largest 2-byte positive
+		{-8192, []byte{0xc0, 0x00}},               // smallest 2-byte negative
+		{1 << 20, []byte{0x80, 0xc0, 0x80, 0x00}}, // bit 20 would be a sign bit in 21 bits
+	}
+	for _, c := range cases {
+		got := appendPacked(nil, c.v)
+		if !reflect.DeepEqual(got, c.want) {
+			t.Errorf("pack(%d) = %#v, want %#v", c.v, got, c.want)
+		}
+		back, n := readPacked(got, 0)
+		if back != c.v || n != len(got) {
+			t.Errorf("unpack(pack(%d)) = %d (n=%d)", c.v, back, n)
+		}
+	}
+}
+
+// TestPackWordRoundTrip is the property test: every int32 round-trips.
+func TestPackWordRoundTrip(t *testing.T) {
+	f := func(v int32) bool {
+		buf := appendPacked(nil, v)
+		if len(buf) == 0 || len(buf) > 5 {
+			return false
+		}
+		// Continuation bits: set on all but the last byte.
+		for i, b := range buf {
+			if (i < len(buf)-1) != (b&0x80 != 0) {
+				return false
+			}
+		}
+		back, n := readPacked(buf, 0)
+		return back == v && n == len(buf)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPackWordMinimal checks that packing never wastes bytes: the
+// shorter encoding of the same value would not round-trip.
+func TestPackWordMinimal(t *testing.T) {
+	f := func(v int32) bool {
+		n := len(appendPacked(nil, v))
+		if n == 1 {
+			return true
+		}
+		// With one fewer 7-bit group the value must not fit.
+		bits := uint(7 * (n - 1))
+		truncated := v << (32 - bits) >> (32 - bits)
+		return truncated != v
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGroundEntryFigure4 pins the Figure 4 ground-table entry layout:
+// two base-register bits at the bottom, offset above.
+func TestGroundEntryFigure4(t *testing.T) {
+	cases := []struct {
+		loc  Location
+		want int32
+	}{
+		{Location{Base: BaseFP, Off: 3}, 3<<2 | 0},
+		{Location{Base: BaseSP, Off: 2}, 2<<2 | 1},
+		{Location{Base: BaseFP, Off: -5}, -5<<2 | 0},
+	}
+	for _, c := range cases {
+		w := groundWord(c.loc)
+		if w != c.want {
+			t.Errorf("groundWord(%v) = %d, want %d", c.loc, w, c.want)
+		}
+		if back := groundLoc(w); back != c.loc {
+			t.Errorf("groundLoc(%d) = %v, want %v", w, back, c.loc)
+		}
+	}
+	// Most small offsets must pack into one byte (the paper: "Most
+	// entries in the ground table fit into one byte each").
+	for off := int32(-8); off <= 7; off++ {
+		w := groundWord(Location{Base: BaseFP, Off: off})
+		if n := len(appendPacked(nil, w)); n != 1 {
+			t.Errorf("ground entry FP%+d packs to %d bytes, want 1", off, n)
+		}
+	}
+}
+
+// TestDerivLocRoundTrip exercises the derivation location encoding for
+// registers and stack slots.
+func TestDerivLocRoundTrip(t *testing.T) {
+	locs := []Location{
+		{InReg: true, Reg: 0},
+		{InReg: true, Reg: 15},
+		{Base: BaseFP, Off: -3},
+		{Base: BaseSP, Off: 2},
+		{Base: BaseFP, Off: 1000},
+		{Base: BaseFP, Off: -1000},
+	}
+	for _, l := range locs {
+		if back := derivLoc(derivWord(l)); back != l {
+			t.Errorf("derivLoc(derivWord(%v)) = %v", l, back)
+		}
+	}
+}
+
+// randomObject builds a random but well-formed table object.
+func randomObject(rng *rand.Rand) *Object {
+	o := &Object{}
+	pc := 16
+	nProcs := 1 + rng.Intn(4)
+	for p := 0; p < nProcs; p++ {
+		pt := ProcTables{Name: "p", Entry: pc}
+		nGround := rng.Intn(6)
+		for g := 0; g < nGround; g++ {
+			pt.Ground = append(pt.Ground, Location{
+				Base: uint8(rng.Intn(2)),
+				Off:  int32(rng.Intn(40) - 20),
+			})
+		}
+		for s := 0; s < rng.Intn(3); s++ {
+			pt.Saves = append(pt.Saves, RegSave{Reg: uint8(8 + rng.Intn(8)), Off: -int32(s + 1)})
+		}
+		nPoints := rng.Intn(6)
+		for k := 0; k < nPoints; k++ {
+			pc += 1 + rng.Intn(30)
+			gp := GCPoint{PC: pc, RegPtrs: uint16(rng.Intn(1 << 16))}
+			for gi := 0; gi < len(pt.Ground); gi++ {
+				if rng.Intn(2) == 0 {
+					gp.Live = append(gp.Live, gi)
+				}
+			}
+			for d := 0; d < rng.Intn(3); d++ {
+				de := DerivEntry{Target: randLoc(rng)}
+				nv := 1
+				if rng.Intn(4) == 0 {
+					nv = 2 + rng.Intn(2)
+					sel := randLoc(rng)
+					de.Sel = &sel
+				}
+				for v := 0; v < nv; v++ {
+					var bases []SignedLoc
+					for x := 0; x < 1+rng.Intn(3); x++ {
+						sign := int8(1)
+						if rng.Intn(2) == 0 {
+							sign = -1
+						}
+						bases = append(bases, SignedLoc{Loc: randLoc(rng), Sign: sign})
+					}
+					de.Variants = append(de.Variants, bases)
+				}
+				gp.Derivs = append(gp.Derivs, de)
+			}
+			pt.Points = append(pt.Points, gp)
+		}
+		pc += 1 + rng.Intn(10)
+		pt.End = pc
+		o.Procs = append(o.Procs, pt)
+		pc++
+	}
+	return o
+}
+
+func randLoc(rng *rand.Rand) Location {
+	if rng.Intn(2) == 0 {
+		return Location{InReg: true, Reg: uint8(rng.Intn(16))}
+	}
+	return Location{Base: uint8(rng.Intn(2)), Off: int32(rng.Intn(60) - 30)}
+}
+
+// TestEncodeDecodeAllSchemes: for random objects, every scheme decodes
+// every gc-point back to the original tables.
+func TestEncodeDecodeAllSchemes(t *testing.T) {
+	schemes := []Scheme{FullPlain, FullPacking, DeltaPlain, DeltaPrev, DeltaPacking, DeltaPP}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		o := randomObject(rng)
+		for _, s := range schemes {
+			enc := Encode(o, s)
+			dec := NewDecoder(enc)
+			for pi := range o.Procs {
+				p := &o.Procs[pi]
+				for _, pt := range p.Points {
+					v, ok := dec.Lookup(pt.PC)
+					if !ok {
+						t.Fatalf("trial %d scheme %v: pc %d not found", trial, s, pt.PC)
+					}
+					var wantLive []Location
+					for _, gi := range pt.Live {
+						wantLive = append(wantLive, p.Ground[gi])
+					}
+					if !sameLocMultiset(v.Live, wantLive) {
+						t.Fatalf("trial %d scheme %v pc %d: live %v, want %v", trial, s, pt.PC, v.Live, wantLive)
+					}
+					if v.RegPtrs != pt.RegPtrs {
+						t.Fatalf("trial %d scheme %v pc %d: regs %016b, want %016b", trial, s, pt.PC, v.RegPtrs, pt.RegPtrs)
+					}
+					if !reflect.DeepEqual(v.Derivs, pt.Derivs) && !(len(v.Derivs) == 0 && len(pt.Derivs) == 0) {
+						t.Fatalf("trial %d scheme %v pc %d: derivs mismatch\n got %+v\nwant %+v", trial, s, pt.PC, v.Derivs, pt.Derivs)
+					}
+					if !reflect.DeepEqual(v.Saves, p.Saves) && !(len(v.Saves) == 0 && len(p.Saves) == 0) {
+						t.Fatalf("trial %d scheme %v: saves mismatch", trial, s)
+					}
+				}
+			}
+		}
+	}
+}
+
+func sameLocMultiset(a, b []Location) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	m := map[Location]int{}
+	for _, l := range a {
+		m[l]++
+	}
+	for _, l := range b {
+		m[l]--
+		if m[l] < 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSchemeSizeOrdering: packing never enlarges tables; previous-mode
+// never enlarges δ-main tables (descriptor bytes are paid back by
+// omitted tables on realistic objects — here we only require the
+// documented direction for packing).
+func TestSchemeSizeOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		o := randomObject(rng)
+		plain := Encode(o, DeltaPlain).Size()
+		packed := Encode(o, DeltaPacking).Size()
+		if packed > plain {
+			t.Fatalf("trial %d: packing enlarged tables: %d > %d", trial, packed, plain)
+		}
+		fullPlain := Encode(o, FullPlain).Size()
+		fullPacked := Encode(o, FullPacking).Size()
+		if fullPacked > fullPlain {
+			t.Fatalf("trial %d: packing enlarged full-info tables: %d > %d", trial, fullPacked, fullPlain)
+		}
+	}
+}
+
+// TestOrderDerivs checks the §3 ordering requirement: every derived
+// value precedes its bases.
+func TestOrderDerivs(t *testing.T) {
+	a := Location{InReg: true, Reg: 8}
+	b := Location{InReg: true, Reg: 9}
+	c := Location{Base: BaseFP, Off: -2}
+	// c derives from b; b derives from a: order must be c, b (a is not
+	// a derivation target).
+	derivs := []DerivEntry{
+		{Target: b, Variants: [][]SignedLoc{{{Loc: a, Sign: 1}}}},
+		{Target: c, Variants: [][]SignedLoc{{{Loc: b, Sign: 1}}}},
+	}
+	out := OrderDerivs(derivs)
+	if out[0].Target != c || out[1].Target != b {
+		t.Errorf("OrderDerivs: got order %v, %v; want c, b", out[0].Target, out[1].Target)
+	}
+}
+
+// TestStatsPreviousSemantics checks NDEL/NREG/NDER counting: identical
+// adjacent tables are counted once.
+func TestStatsPreviousSemantics(t *testing.T) {
+	o := &Object{Procs: []ProcTables{{
+		Name: "p", Entry: 0, End: 100,
+		Ground: []Location{{Base: BaseFP, Off: -1}},
+		Points: []GCPoint{
+			{PC: 10, Live: []int{0}, RegPtrs: 1 << 8},
+			{PC: 20, Live: []int{0}, RegPtrs: 1 << 8}, // identical
+			{PC: 30, RegPtrs: 1 << 9},                 // stack empty, regs differ
+		},
+	}}}
+	st := o.ComputeStats()
+	if st.NGC != 3 {
+		t.Errorf("NGC = %d, want 3", st.NGC)
+	}
+	if st.NDEL != 1 {
+		t.Errorf("NDEL = %d, want 1 (second is identical, third empty)", st.NDEL)
+	}
+	if st.NREG != 2 {
+		t.Errorf("NREG = %d, want 2", st.NREG)
+	}
+	if st.NPTRS != 2+3 {
+		t.Errorf("NPTRS = %d, want 5", st.NPTRS)
+	}
+}

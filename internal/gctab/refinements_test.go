@@ -1,0 +1,137 @@
+package gctab
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestShortDistancesRoundTrip: the 1-byte PC-distance refinement (§5.2)
+// decodes identically and saves close to one byte per gc-point.
+func TestShortDistancesRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		o := randomObject(rng)
+		base := Scheme{Packing: true, Previous: true}
+		short := Scheme{Packing: true, Previous: true, ShortDistances: true}
+		encBase := Encode(o, base)
+		encShort := Encode(o, short)
+		decS := NewDecoder(encShort)
+		points := 0
+		for pi := range o.Procs {
+			for _, pt := range o.Procs[pi].Points {
+				points++
+				v, ok := decS.Lookup(pt.PC)
+				if !ok {
+					t.Fatalf("trial %d: pc %d missing under short distances", trial, pt.PC)
+				}
+				if v.RegPtrs != pt.RegPtrs {
+					t.Fatalf("trial %d: regs mismatch", trial)
+				}
+			}
+		}
+		// Distances in randomObject are < 255, so the savings must be
+		// exactly one byte per gc-point.
+		if got, want := encBase.Size()-encShort.Size(), points; got != want {
+			t.Errorf("trial %d: saved %d bytes, want %d (1 per gc-point)", trial, got, want)
+		}
+	}
+}
+
+// TestShortDistanceEscape: distances of 255+ take the escape path.
+func TestShortDistanceEscape(t *testing.T) {
+	o := &Object{Procs: []ProcTables{{
+		Name: "p", Entry: 0, End: 2000,
+		Points: []GCPoint{
+			{PC: 10, RegPtrs: 1 << 9},
+			{PC: 10 + 300, RegPtrs: 1 << 10}, // distance 300 needs the escape
+			{PC: 10 + 300 + 254, RegPtrs: 1 << 11},
+		},
+	}}}
+	enc := Encode(o, Scheme{ShortDistances: true})
+	dec := NewDecoder(enc)
+	for _, pt := range o.Procs[0].Points {
+		v, ok := dec.Lookup(pt.PC)
+		if !ok || v.RegPtrs != pt.RegPtrs {
+			t.Fatalf("pc %d: ok=%v", pt.PC, ok)
+		}
+	}
+}
+
+// arrayHeavyObject has a 32-slot pointer array in the frame (the §5.2
+// "next 200 stack locations are pointers" shape) that is live at every
+// gc-point, plus a couple of individual slots.
+func arrayHeavyObject() *Object {
+	p := ProcTables{Name: "p", Entry: 0, End: 500}
+	for i := 0; i < 32; i++ {
+		p.Ground = append(p.Ground, Location{Base: BaseFP, Off: int32(-40 + i)})
+	}
+	p.Ground = append(p.Ground,
+		Location{Base: BaseFP, Off: -100},
+		Location{Base: BaseSP, Off: 2},
+	)
+	allArray := make([]int, 32)
+	for i := range allArray {
+		allArray[i] = i
+	}
+	p.Points = []GCPoint{
+		{PC: 20, Live: append(append([]int{}, allArray...), 32), RegPtrs: 1 << 8},
+		{PC: 60, Live: append(append([]int{}, allArray...), 33)},
+		{PC: 90, Live: allArray},
+	}
+	return &Object{Procs: []ProcTables{p}}
+}
+
+// TestArrayRunsRoundTrip: run-encoded ground tables decode to the same
+// per-slot live sets.
+func TestArrayRunsRoundTrip(t *testing.T) {
+	o := arrayHeavyObject()
+	plain := Encode(o, Scheme{Packing: true})
+	runs := Encode(o, Scheme{Packing: true, ArrayRuns: true})
+	dp := NewDecoder(plain)
+	dr := NewDecoder(runs)
+	for _, pt := range o.Procs[0].Points {
+		a, ok1 := dp.Lookup(pt.PC)
+		b, ok2 := dr.Lookup(pt.PC)
+		if !ok1 || !ok2 {
+			t.Fatalf("lookup failed at %d", pt.PC)
+		}
+		if !sameLocMultiset(a.Live, b.Live) {
+			t.Fatalf("pc %d: runs live %v != plain live %v", pt.PC, b.Live, a.Live)
+		}
+		if len(b.Live) != len(pt.Live) {
+			t.Fatalf("pc %d: %d live slots, want %d", pt.PC, len(b.Live), len(pt.Live))
+		}
+	}
+	// The run encoding must be substantially smaller: 32 slots collapse
+	// to one entry.
+	if runs.Size() >= plain.Size() {
+		t.Errorf("runs %d bytes >= plain %d bytes", runs.Size(), plain.Size())
+	}
+	saved := plain.Size() - runs.Size()
+	if saved < 20 {
+		t.Errorf("runs saved only %d bytes on a 32-slot array", saved)
+	}
+}
+
+// TestArrayRunsRandom: runs must never change decoded contents on
+// arbitrary objects (runs simply may not form).
+func TestArrayRunsRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 150; trial++ {
+		o := randomObject(rng)
+		a := NewDecoder(Encode(o, Scheme{Packing: true, Previous: true}))
+		b := NewDecoder(Encode(o, Scheme{Packing: true, Previous: true, ArrayRuns: true}))
+		for pi := range o.Procs {
+			for _, pt := range o.Procs[pi].Points {
+				va, _ := a.Lookup(pt.PC)
+				vb, ok := b.Lookup(pt.PC)
+				if !ok {
+					t.Fatalf("trial %d: lookup failed", trial)
+				}
+				if !sameLocMultiset(va.Live, vb.Live) || va.RegPtrs != vb.RegPtrs {
+					t.Fatalf("trial %d: decoded views differ", trial)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,266 @@
+// Package gctab implements the paper's gc tables: per-gc-point stack
+// pointer tables, register pointer tables, and derivations tables,
+// together with the four encodings evaluated in Table 2 (Full-info and
+// δ-main, each with byte Packing and identical-to-Previous descriptors)
+// and the PC→table mapping compressed as distances between gc-points.
+//
+// The in-memory Object built by the code generator is the source of
+// truth; Encode serializes it under a Scheme, and Decoder gives the
+// collector access to the tables from the encoded bytes — so decode
+// cost is honestly attributable to the chosen scheme (§6.3).
+package gctab
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Location names a value's home: a hard register or a stack slot
+// relative to FP or SP.
+type Location struct {
+	InReg bool
+	Reg   uint8 // hard register number when InReg
+	Base  uint8 // BaseFP or BaseSP when !InReg
+	Off   int32 // word offset from Base
+}
+
+// Stack base registers (Figure 4's two-bit base field; the VAX's AP is
+// not needed: arguments are FP-relative here).
+const (
+	BaseFP uint8 = 0
+	BaseSP uint8 = 1
+)
+
+func (l Location) String() string {
+	if l.InReg {
+		return fmt.Sprintf("R%d", l.Reg)
+	}
+	b := "FP"
+	if l.Base == BaseSP {
+		b = "SP"
+	}
+	return fmt.Sprintf("%s%+d", b, l.Off)
+}
+
+// SignedLoc is one base in a derivation with its sign.
+type SignedLoc struct {
+	Loc  Location
+	Sign int8 // +1 or -1
+}
+
+// DerivEntry describes one live derived value at a gc-point: its
+// location and the signed bases of its derivation. An ambiguous
+// derivation carries several variants selected at run time by the
+// value of the path variable at Sel.
+type DerivEntry struct {
+	Target   Location
+	Sel      *Location     // nil when unambiguous
+	Variants [][]SignedLoc // exactly one when unambiguous
+}
+
+// GCPoint is the table set for one gc-point.
+type GCPoint struct {
+	// PC is the byte PC identifying the point: the address of the
+	// instruction following the gc-point instruction (the return
+	// address for calls).
+	PC int
+	// Live are indices into the procedure's Ground table: the stack
+	// slots holding live tidy pointers here (the delta table).
+	Live []int
+	// RegPtrs is the register pointers table: bit r set means hard
+	// register r holds a live tidy pointer.
+	RegPtrs uint16
+	// Derivs are the derivations of live derived values, ordered so
+	// that a derived value precedes any of its bases (§3's update
+	// ordering).
+	Derivs []DerivEntry
+}
+
+// RegSave records that the procedure's prologue saves a callee-save
+// register at a frame slot; the collector uses this to reconstruct
+// register contents of suspended frames.
+type RegSave struct {
+	Reg uint8
+	Off int32 // FP-relative word offset of the save slot
+}
+
+// ProcTables is the table set for one procedure.
+type ProcTables struct {
+	Name  string
+	Entry int // byte PC of the procedure's first instruction
+	End   int // byte PC one past its last instruction
+	// Ground lists every stack slot that holds a live tidy pointer at
+	// some gc-point in the procedure (the δ-main main table).
+	Ground []Location
+	// Saves is the callee-save register save map.
+	Saves []RegSave
+	// Points are the gc-points sorted by PC.
+	Points []GCPoint
+}
+
+// Object is a whole module's tables.
+type Object struct {
+	Procs []ProcTables
+}
+
+// SortPoints orders each procedure's gc-points by PC (required by the
+// distance-compressed PC map).
+func (o *Object) SortPoints() {
+	for i := range o.Procs {
+		p := &o.Procs[i]
+		sort.Slice(p.Points, func(a, b int) bool { return p.Points[a].PC < p.Points[b].PC })
+	}
+	sort.Slice(o.Procs, func(a, b int) bool { return o.Procs[a].Entry < o.Procs[b].Entry })
+}
+
+// Stats are the paper's Table 1 quantities.
+type Stats struct {
+	NGC   int // gc-points with at least one non-empty table
+	NPTRS int // total live pointers summed over gc-points (stack + registers)
+	NDEL  int // delta tables emitted (non-empty, not identical to previous)
+	NREG  int // register tables emitted
+	NDER  int // derivations tables emitted
+}
+
+// ComputeStats derives Table 1 statistics from the tables.
+func (o *Object) ComputeStats() Stats {
+	var s Stats
+	for pi := range o.Procs {
+		p := &o.Procs[pi]
+		var prev *GCPoint
+		for i := range p.Points {
+			pt := &p.Points[i]
+			nonEmpty := len(pt.Live) > 0 || pt.RegPtrs != 0 || len(pt.Derivs) > 0
+			if nonEmpty {
+				s.NGC++
+			}
+			s.NPTRS += len(pt.Live) + popcount16(pt.RegPtrs)
+			if len(pt.Live) > 0 && !(prev != nil && sameInts(prev.Live, pt.Live)) {
+				s.NDEL++
+			}
+			if pt.RegPtrs != 0 && !(prev != nil && prev.RegPtrs == pt.RegPtrs) {
+				s.NREG++
+			}
+			if len(pt.Derivs) > 0 && !(prev != nil && sameDerivs(prev.Derivs, pt.Derivs)) {
+				s.NDER++
+			}
+			prev = pt
+		}
+	}
+	return s
+}
+
+func popcount16(v uint16) int {
+	n := 0
+	for v != 0 {
+		n += int(v & 1)
+		v >>= 1
+	}
+	return n
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameDerivs(a, b []DerivEntry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !sameDeriv(&a[i], &b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func sameDeriv(a, b *DerivEntry) bool {
+	if a.Target != b.Target || (a.Sel == nil) != (b.Sel == nil) {
+		return false
+	}
+	if a.Sel != nil && *a.Sel != *b.Sel {
+		return false
+	}
+	if len(a.Variants) != len(b.Variants) {
+		return false
+	}
+	for i := range a.Variants {
+		if len(a.Variants[i]) != len(b.Variants[i]) {
+			return false
+		}
+		for j := range a.Variants[i] {
+			if a.Variants[i][j] != b.Variants[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// OrderDerivs topologically sorts a gc-point's derivation entries so
+// that every derived value precedes its bases (the paper's phase-1
+// ordering; phase 2 walks the same list in reverse). Derivations are
+// acyclic by construction ("derivations are always made from previously
+// calculated base values").
+func OrderDerivs(derivs []DerivEntry) []DerivEntry {
+	n := len(derivs)
+	if n <= 1 {
+		return derivs
+	}
+	// edge u -> v when v's target appears among u's bases: u must come
+	// before v.
+	indexOf := make(map[Location]int, n)
+	for i := range derivs {
+		indexOf[derivs[i].Target] = i
+	}
+	succs := make([][]int, n)
+	indeg := make([]int, n)
+	for u := range derivs {
+		seen := map[int]bool{}
+		for _, variant := range derivs[u].Variants {
+			for _, b := range variant {
+				if v, ok := indexOf[b.Loc]; ok && v != u && !seen[v] {
+					seen[v] = true
+					succs[u] = append(succs[u], v)
+					indeg[v]++
+				}
+			}
+		}
+	}
+	var queue []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	sort.Ints(queue)
+	var order []int
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range succs[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != n {
+		panic("gctab: cyclic derivation dependencies")
+	}
+	out := make([]DerivEntry, n)
+	for i, u := range order {
+		out[i] = derivs[u]
+	}
+	return out
+}

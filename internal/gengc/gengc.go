@@ -1,0 +1,381 @@
+// Package gengc implements the generational extension the paper points
+// at: the "accurate scavenging scheme" of the UMass garbage collector
+// toolkit [15], using the very same compiler-emitted tables. The heap
+// is split into a nursery and an old space; compiler-emitted store
+// checks (the §6.2 "store checks" that generational schemes perform,
+// OpStB) record old→young pointer stores in a remembered set, so a
+// minor collection scans only the nursery's roots:
+//
+//	minor: precise roots (tables) + remembered slots; every surviving
+//	       young object is promoted into the old space, the nursery is
+//	       reset, and the remembered set is cleared (full promotion —
+//	       no young object survives a minor collection unpromoted).
+//	major: a full semispace copy of everything live (old and young)
+//	       when the old space fills.
+//
+// Derived values get the same two-phase adjust/re-derive treatment as
+// in the full collector — minor collections move objects too.
+package gengc
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/gc"
+	"repro/internal/gctab"
+	"repro/internal/types"
+	"repro/internal/vmachine"
+)
+
+// Heap is the two-generation heap. Region layout:
+//
+//	[Lo, nurseryEnd)                  nursery (bump)
+//	[nurseryEnd, nurseryEnd+oldSemi)  old space A
+//	[nurseryEnd+oldSemi, Hi)          old space B
+type Heap struct {
+	Mem   []int64
+	Lo    int64
+	Hi    int64
+	Descs *types.DescTable
+
+	nurseryEnd int64
+	oldSemi    int64
+
+	nurseryAlloc int64
+	oldFrom      int64 // base of the current old space
+	oldTo        int64 // base of the copy target old space
+	oldAlloc     int64
+	// pendingOld is set when a direct old-space allocation failed; the
+	// next collection escalates to a major one to make room.
+	pendingOld bool
+
+	// Statistics.
+	NurseryAllocated int64
+	OldAllocated     int64
+}
+
+// NewHeap splits the region: an eighth for the nursery (nurseries are
+// small — survivors are few and promotion must always fit in the old
+// space), the rest into two old semispaces.
+func NewHeap(mem []int64, lo, hi int64, descs *types.DescTable) *Heap {
+	total := hi - lo
+	nursery := total / 8
+	oldSemi := (total - nursery) / 2
+	h := &Heap{
+		Mem: mem, Lo: lo, Hi: hi, Descs: descs,
+		nurseryEnd: lo + nursery,
+		oldSemi:    oldSemi,
+	}
+	h.nurseryAlloc = lo
+	h.oldFrom = h.nurseryEnd
+	h.oldTo = h.nurseryEnd + oldSemi
+	h.oldAlloc = h.oldFrom
+	return h
+}
+
+// InNursery reports whether addr is a young object address.
+func (h *Heap) InNursery(addr int64) bool {
+	return addr >= h.Lo && addr < h.nurseryAlloc
+}
+
+// InOld reports whether addr lies in the current old space.
+func (h *Heap) InOld(addr int64) bool {
+	return addr >= h.oldFrom && addr < h.oldAlloc
+}
+
+// Contains reports whether addr is a plausible live object address.
+func (h *Heap) Contains(addr int64) bool {
+	return h.InNursery(addr) || h.InOld(addr)
+}
+
+func (h *Heap) sizeFor(descID int, n int64) (int64, bool) {
+	d := h.Descs.Get(descID)
+	if d.Kind == types.DescOpenArray {
+		if n < 0 {
+			return 0, false
+		}
+		return 2 + n*d.ElemWords, true
+	}
+	return 1 + d.DataWords, true
+}
+
+// SizeOf returns the total word size of the object at addr.
+func (h *Heap) SizeOf(addr int64) int64 {
+	d := h.Descs.Get(int(h.Mem[addr]))
+	if d.Kind == types.DescOpenArray {
+		return 2 + h.Mem[addr+1]*d.ElemWords
+	}
+	return 1 + d.DataWords
+}
+
+// TryAlloc implements vmachine.Allocator: bump allocation in the
+// nursery; objects larger than half the nursery go directly to the old
+// space (pretenuring).
+func (h *Heap) TryAlloc(descID int, n int64) (int64, bool) {
+	size, ok := h.sizeFor(descID, n)
+	if !ok {
+		return 0, false
+	}
+	if size > (h.nurseryEnd-h.Lo)/2 {
+		return h.allocOld(descID, n, size)
+	}
+	if h.nurseryAlloc+size > h.nurseryEnd {
+		return 0, false
+	}
+	addr := h.nurseryAlloc
+	h.nurseryAlloc += size
+	h.NurseryAllocated += size
+	h.initObject(addr, descID, n)
+	return addr, true
+}
+
+func (h *Heap) allocOld(descID int, n, size int64) (int64, bool) {
+	if h.oldAlloc+size > h.oldFrom+h.oldSemi {
+		h.pendingOld = true
+		return 0, false
+	}
+	addr := h.oldAlloc
+	h.oldAlloc += size
+	h.OldAllocated += size
+	for w := addr; w < addr+size; w++ {
+		h.Mem[w] = 0
+	}
+	h.initObject(addr, descID, n)
+	return addr, true
+}
+
+func (h *Heap) initObject(addr int64, descID int, n int64) {
+	h.Mem[addr] = int64(descID)
+	if h.Descs.Get(descID).Kind == types.DescOpenArray {
+		h.Mem[addr+1] = n
+	}
+}
+
+// forwarded returns the new address of a copied object, or -1.
+func (h *Heap) forwarded(addr int64) int64 {
+	if hd := h.Mem[addr]; hd < 0 {
+		return -hd - 1
+	}
+	return -1
+}
+
+func (h *Heap) copyObject(addr, to int64) (int64, int64) {
+	size := h.SizeOf(addr)
+	copy(h.Mem[to:to+size], h.Mem[addr:addr+size])
+	h.Mem[addr] = -(to + 1)
+	return to, to + size
+}
+
+// resetNursery zeroes and empties the nursery after a collection.
+func (h *Heap) resetNursery() {
+	for w := h.Lo; w < h.nurseryAlloc; w++ {
+		h.Mem[w] = 0
+	}
+	h.nurseryAlloc = h.Lo
+}
+
+// PointerOffsets appends the pointer-field offsets of the object at
+// addr.
+func (h *Heap) PointerOffsets(addr int64, out []int64) []int64 {
+	d := h.Descs.Get(int(h.Mem[addr]))
+	switch d.Kind {
+	case types.DescOpenArray:
+		n := h.Mem[addr+1]
+		for i := int64(0); i < n; i++ {
+			base := 2 + i*d.ElemWords
+			for _, off := range d.ElemPtrOffsets {
+				out = append(out, base+off)
+			}
+		}
+	default:
+		for _, off := range d.PtrOffsets {
+			out = append(out, 1+off)
+		}
+	}
+	return out
+}
+
+// Collector is the generational collector. It implements
+// vmachine.Collector; install its Barrier on the machine.
+type Collector struct {
+	Heap  *Heap
+	Dec   *gctab.Decoder
+	Debug bool
+
+	remset map[int64]bool // old-space slot addresses holding young pointers
+
+	// Statistics.
+	Minor          int64
+	Major          int64
+	BarrierHits    int64 // barriered stores that recorded a remembered slot
+	BarrierChecks  int64 // barriered stores executed (the store-check cost)
+	PromotedWords  int64
+	MajorCopied    int64
+	RemsetPeak     int
+	TotalTime      time.Duration
+	StackTraceTime time.Duration
+}
+
+// New creates a generational collector over h.
+func New(h *Heap, enc *gctab.Encoded) *Collector {
+	return &Collector{Heap: h, Dec: gctab.NewDecoder(enc), remset: make(map[int64]bool)}
+}
+
+// Barrier is the store check: record old-space slots that receive young
+// pointers.
+func (c *Collector) Barrier(slot, val int64) {
+	c.BarrierChecks++
+	if c.Heap.InNursery(val) && !c.Heap.InNursery(slot) && slot >= c.Heap.nurseryEnd && slot < c.Heap.Hi {
+		c.remset[slot] = true
+		c.BarrierHits++
+	}
+}
+
+// Collect implements vmachine.Collector: a minor collection, escalating
+// to a major one when the old space cannot absorb the survivors.
+func (c *Collector) Collect(m *vmachine.Machine) error {
+	start := time.Now()
+	defer func() { c.TotalTime += time.Since(start) }()
+
+	if len(c.remset) > c.RemsetPeak {
+		c.RemsetPeak = len(c.remset)
+	}
+
+	traceStart := time.Now()
+	frames, err := gc.WalkMachine(m, c.Dec)
+	if err != nil {
+		return err
+	}
+	if err := gc.AdjustDerived(m, frames); err != nil {
+		return err
+	}
+	c.StackTraceTime += time.Since(traceStart)
+
+	h := c.Heap
+	// A minor collection promotes every young survivor; ensure the old
+	// space can absorb the whole nursery, else go major first. A failed
+	// direct old-space allocation also escalates.
+	if h.pendingOld || h.oldFrom+h.oldSemi-h.oldAlloc < h.nurseryAlloc-h.Lo {
+		h.pendingOld = false
+		if err := c.major(m, frames); err != nil {
+			return err
+		}
+	} else {
+		if err := c.minor(m, frames); err != nil {
+			return err
+		}
+	}
+
+	gc.RederiveAll(m, frames)
+	return nil
+}
+
+// minor promotes all live young objects into the old space.
+func (c *Collector) minor(m *vmachine.Machine, frames []*gc.Frame) error {
+	c.Minor++
+	h := c.Heap
+	scan := h.oldAlloc
+
+	fwd := func(p *int64) error {
+		v := *p
+		if v == 0 || !h.InNursery(v) {
+			return nil // old objects do not move in a minor collection
+		}
+		if na := h.forwarded(v); na >= 0 {
+			*p = na
+			return nil
+		}
+		na, nn := h.copyObject(v, h.oldAlloc)
+		c.PromotedWords += nn - h.oldAlloc
+		h.oldAlloc = nn
+		*p = na
+		return nil
+	}
+
+	if err := gc.ForEachRoot(m, frames, fwd); err != nil {
+		return err
+	}
+	// Remembered slots are roots for young objects.
+	for slot := range c.remset {
+		if err := fwd(&m.Mem[slot]); err != nil {
+			return err
+		}
+	}
+	// Scan promoted objects; their young referents get promoted too.
+	var offs []int64
+	for scan < h.oldAlloc {
+		offs = h.PointerOffsets(scan, offs[:0])
+		for _, off := range offs {
+			if err := fwd(&m.Mem[scan+off]); err != nil {
+				return err
+			}
+		}
+		scan += h.SizeOf(scan)
+	}
+	// Nothing young survives unpromoted: the remembered set is empty by
+	// construction now.
+	c.remset = make(map[int64]bool)
+	h.resetNursery()
+	return nil
+}
+
+// major copies everything live (young and old) into the other old
+// semispace.
+func (c *Collector) major(m *vmachine.Machine, frames []*gc.Frame) error {
+	c.Major++
+	h := c.Heap
+	to := h.oldTo
+	scan, next := to, to
+
+	inFrom := func(v int64) bool {
+		return h.InNursery(v) || (v >= h.oldFrom && v < h.oldAlloc)
+	}
+	fwd := func(p *int64) error {
+		v := *p
+		if v == 0 {
+			return nil
+		}
+		if c.Debug && !inFrom(v) {
+			return fmt.Errorf("gengc: root %d outside the heap", v)
+		}
+		if !inFrom(v) {
+			return nil
+		}
+		if na := h.forwarded(v); na >= 0 {
+			*p = na
+			return nil
+		}
+		na, nn := h.copyObject(v, next)
+		c.MajorCopied += nn - next
+		next = nn
+		*p = na
+		return nil
+	}
+
+	if err := gc.ForEachRoot(m, frames, fwd); err != nil {
+		return err
+	}
+	var offs []int64
+	for scan < next {
+		offs = h.PointerOffsets(scan, offs[:0])
+		for _, off := range offs {
+			if err := fwd(&m.Mem[scan+off]); err != nil {
+				return err
+			}
+		}
+		scan += h.SizeOf(scan)
+	}
+	// Flip the old semispaces and zero the new copy target.
+	h.oldFrom, h.oldTo = h.oldTo, h.oldFrom
+	h.oldAlloc = next
+	for w := h.oldTo; w < h.oldTo+h.oldSemi; w++ {
+		h.Mem[w] = 0
+	}
+	h.resetNursery()
+	// No young objects remain: the remembered set is void.
+	c.remset = make(map[int64]bool)
+	return nil
+}
+
+// LiveOldWords reports the words in use in the old space.
+func (h *Heap) LiveOldWords() int64 { return h.oldAlloc - h.oldFrom }

@@ -1,0 +1,173 @@
+// Package heap implements the mthree runtime heap: a two-semispace,
+// word-addressed object space with descriptor-carrying headers.
+//
+// Object layout (word offsets from the object's tidy address):
+//
+//	records / fixed arrays: [header][payload ...]
+//	open arrays:            [header][length][elements ...]
+//
+// The header of a live object holds its descriptor ID (>= 0). During a
+// collection, a copied object's old header is overwritten with the
+// forwarding word -(newAddr+1) (< 0), which is how the collector
+// recognizes already-moved objects.
+package heap
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Heap manages the heap region [Lo, Hi) of the machine's memory.
+type Heap struct {
+	Mem   []int64
+	Lo    int64
+	Hi    int64
+	Descs *types.DescTable
+
+	semi   int64 // words per semispace
+	FromLo int64 // current allocation space base
+	ToLo   int64 // copy space base
+	Alloc  int64 // bump pointer
+	Limit  int64
+
+	// Collections counts completed garbage collections.
+	Collections int64
+	// AllocatedWords counts total words ever allocated.
+	AllocatedWords int64
+}
+
+// New creates a heap over mem[lo:hi). The region is split into two
+// semispaces.
+func New(mem []int64, lo, hi int64, descs *types.DescTable) *Heap {
+	h := &Heap{Mem: mem, Lo: lo, Hi: hi, Descs: descs, semi: (hi - lo) / 2}
+	h.FromLo = lo
+	h.ToLo = lo + h.semi
+	h.Alloc = h.FromLo
+	h.Limit = h.FromLo + h.semi
+	return h
+}
+
+// SizeOf returns the total word size (including header and length
+// words) of the object at addr.
+func (h *Heap) SizeOf(addr int64) int64 {
+	d := h.Descs.Get(int(h.Mem[addr]))
+	if d.Kind == types.DescOpenArray {
+		return 2 + h.Mem[addr+1]*d.ElemWords
+	}
+	return 1 + d.DataWords
+}
+
+// TryAlloc allocates an object with the given descriptor, returning its
+// tidy address, or ok=false when the semispace is exhausted. n is the
+// element count for open arrays (ignored otherwise). Memory handed out
+// is already zeroed.
+func (h *Heap) TryAlloc(descID int, n int64) (addr int64, ok bool) {
+	d := h.Descs.Get(descID)
+	var size int64
+	if d.Kind == types.DescOpenArray {
+		if n < 0 {
+			return 0, false
+		}
+		size = 2 + n*d.ElemWords
+	} else {
+		size = 1 + d.DataWords
+	}
+	if h.Alloc+size > h.Limit {
+		return 0, false
+	}
+	addr = h.Alloc
+	h.Alloc += size
+	h.AllocatedWords += size
+	h.Mem[addr] = int64(descID)
+	if d.Kind == types.DescOpenArray {
+		h.Mem[addr+1] = n
+	}
+	return addr, true
+}
+
+// Contains reports whether addr lies in the current allocation space
+// (i.e. is plausibly a tidy object address).
+func (h *Heap) Contains(addr int64) bool {
+	return addr >= h.FromLo && addr < h.Alloc
+}
+
+// LiveWords returns the words currently in use in allocation space.
+func (h *Heap) LiveWords() int64 { return h.Alloc - h.FromLo }
+
+// BeginCollection prepares the copy space and returns its base; the
+// collector copies objects with CopyObject and finishes with
+// FinishCollection.
+func (h *Heap) BeginCollection() int64 {
+	return h.ToLo
+}
+
+// Forwarded returns the new address of an already-copied object, or
+// -1 if the object has not been copied.
+func (h *Heap) Forwarded(addr int64) int64 {
+	if hd := h.Mem[addr]; hd < 0 {
+		return -hd - 1
+	}
+	return -1
+}
+
+// CopyObject copies the object at addr to the copy space at to,
+// installs the forwarding word, and returns the object's new address
+// and the next free copy-space position.
+func (h *Heap) CopyObject(addr, to int64) (newAddr, next int64) {
+	size := h.SizeOf(addr)
+	copy(h.Mem[to:to+size], h.Mem[addr:addr+size])
+	h.Mem[addr] = -(to + 1)
+	return to, to + size
+}
+
+// FinishCollection flips semispaces: the copy space (filled up to
+// copyEnd) becomes the allocation space, and the remainder is zeroed so
+// future allocations see fresh memory.
+func (h *Heap) FinishCollection(copyEnd int64) {
+	h.FromLo, h.ToLo = h.ToLo, h.FromLo
+	h.Alloc = copyEnd
+	h.Limit = h.FromLo + h.semi
+	for i := h.Alloc; i < h.Limit; i++ {
+		h.Mem[i] = 0
+	}
+	h.Collections++
+}
+
+// PointerOffsets appends to out the word offsets (relative to the
+// object's tidy address) of the pointer fields of the object at addr.
+func (h *Heap) PointerOffsets(addr int64, out []int64) []int64 {
+	d := h.Descs.Get(int(h.Mem[addr]))
+	switch d.Kind {
+	case types.DescOpenArray:
+		n := h.Mem[addr+1]
+		for i := int64(0); i < n; i++ {
+			base := 2 + i*d.ElemWords
+			for _, off := range d.ElemPtrOffsets {
+				out = append(out, base+off)
+			}
+		}
+	default:
+		for _, off := range d.PtrOffsets {
+			out = append(out, 1+off)
+		}
+	}
+	return out
+}
+
+// Check validates basic heap invariants (headers in range, sizes within
+// the allocation space); used by tests and the stress modes.
+func (h *Heap) Check() error {
+	for addr := h.FromLo; addr < h.Alloc; {
+		hd := h.Mem[addr]
+		if hd < 0 || int(hd) >= h.Descs.Len() {
+			return fmt.Errorf("heap: bad header %d at %d", hd, addr)
+		}
+		size := h.SizeOf(addr)
+		if size <= 0 || addr+size > h.Alloc {
+			return fmt.Errorf("heap: object at %d has size %d beyond alloc %d", addr, size, h.Alloc)
+		}
+		addr += size
+	}
+	return nil
+}

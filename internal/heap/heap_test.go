@@ -1,0 +1,148 @@
+package heap
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+func testHeap(t *testing.T, words int64) (*Heap, *types.DescTable) {
+	t.Helper()
+	mem := make([]int64, 64+words)
+	dt := types.NewDescTable()
+	return New(mem, 64, 64+words, dt), dt
+}
+
+func TestAllocLayout(t *testing.T) {
+	h, dt := testHeap(t, 256)
+	recID := dt.Intern(types.NewRecord([]types.Field{
+		{Name: "a", Type: types.IntType},
+		{Name: "p", Type: types.NewRef(types.IntType)},
+	}))
+	arrID := dt.Intern(types.NewOpenArray(types.IntType))
+
+	r, ok := h.TryAlloc(recID, 0)
+	if !ok {
+		t.Fatal("alloc failed")
+	}
+	if h.Mem[r] != int64(recID) {
+		t.Errorf("header %d", h.Mem[r])
+	}
+	if h.SizeOf(r) != 3 {
+		t.Errorf("record size %d, want 3", h.SizeOf(r))
+	}
+
+	a, ok := h.TryAlloc(arrID, 5)
+	if !ok {
+		t.Fatal("array alloc failed")
+	}
+	if h.Mem[a+1] != 5 {
+		t.Errorf("length word %d", h.Mem[a+1])
+	}
+	if h.SizeOf(a) != 7 {
+		t.Errorf("array size %d, want 7", h.SizeOf(a))
+	}
+	if a != r+3 {
+		t.Errorf("bump allocation not contiguous: %d then %d", r, a)
+	}
+	if !h.Contains(r) || !h.Contains(a) || h.Contains(a+100) {
+		t.Error("Contains wrong")
+	}
+	if err := h.Check(); err != nil {
+		t.Errorf("heap check: %v", err)
+	}
+}
+
+func TestAllocExhaustion(t *testing.T) {
+	h, dt := testHeap(t, 64) // semispaces of 32 words
+	recID := dt.Intern(types.NewRecord([]types.Field{{Name: "a", Type: types.IntType}}))
+	n := 0
+	for {
+		if _, ok := h.TryAlloc(recID, 0); !ok {
+			break
+		}
+		n++
+	}
+	if n != 16 { // 32 words / 2 words per object
+		t.Errorf("allocated %d objects, want 16", n)
+	}
+	if _, ok := h.TryAlloc(recID, 0); ok {
+		t.Error("allocation succeeded after exhaustion")
+	}
+}
+
+func TestNegativeArrayLength(t *testing.T) {
+	h, dt := testHeap(t, 64)
+	arrID := dt.Intern(types.NewOpenArray(types.IntType))
+	if _, ok := h.TryAlloc(arrID, -1); ok {
+		t.Error("negative length accepted")
+	}
+}
+
+func TestCopyAndForward(t *testing.T) {
+	h, dt := testHeap(t, 128)
+	recID := dt.Intern(types.NewRecord([]types.Field{
+		{Name: "a", Type: types.IntType},
+		{Name: "b", Type: types.IntType},
+	}))
+	r, _ := h.TryAlloc(recID, 0)
+	h.Mem[r+1] = 42
+	h.Mem[r+2] = 43
+
+	to := h.BeginCollection()
+	if h.Forwarded(r) >= 0 {
+		t.Fatal("object forwarded before copy")
+	}
+	na, next := h.CopyObject(r, to)
+	if na != to || next != to+3 {
+		t.Errorf("copy returned %d,%d", na, next)
+	}
+	if h.Mem[na+1] != 42 || h.Mem[na+2] != 43 {
+		t.Error("payload not copied")
+	}
+	if f := h.Forwarded(r); f != na {
+		t.Errorf("forwarding %d, want %d", f, na)
+	}
+	h.FinishCollection(next)
+	if h.Collections != 1 {
+		t.Errorf("collections %d", h.Collections)
+	}
+	// The new allocation space starts after the copied data, zeroed.
+	a2, ok := h.TryAlloc(recID, 0)
+	if !ok || a2 != next {
+		t.Errorf("post-flip allocation at %d, want %d", a2, next)
+	}
+	if h.Mem[a2+1] != 0 || h.Mem[a2+2] != 0 {
+		t.Error("post-flip memory not zeroed")
+	}
+}
+
+func TestPointerOffsetsHelpers(t *testing.T) {
+	h, dt := testHeap(t, 256)
+	listID := dt.Intern(types.NewRecord([]types.Field{
+		{Name: "head", Type: types.IntType},
+		{Name: "tail", Type: types.NewRef(types.IntType)},
+	}))
+	arrID := dt.Intern(types.NewOpenArray(types.NewRef(types.IntType)))
+
+	r, _ := h.TryAlloc(listID, 0)
+	offs := h.PointerOffsets(r, nil)
+	if len(offs) != 1 || offs[0] != 2 {
+		t.Errorf("record pointer offsets %v, want [2]", offs)
+	}
+	a, _ := h.TryAlloc(arrID, 3)
+	offs = h.PointerOffsets(a, nil)
+	if len(offs) != 3 || offs[0] != 2 || offs[2] != 4 {
+		t.Errorf("array pointer offsets %v, want [2 3 4]", offs)
+	}
+}
+
+func TestCheckDetectsCorruption(t *testing.T) {
+	h, dt := testHeap(t, 128)
+	recID := dt.Intern(types.NewRecord([]types.Field{{Name: "a", Type: types.IntType}}))
+	r, _ := h.TryAlloc(recID, 0)
+	h.Mem[r] = 999 // bogus descriptor
+	if err := h.Check(); err == nil {
+		t.Error("corrupted header not detected")
+	}
+}

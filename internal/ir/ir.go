@@ -1,0 +1,507 @@
+// Package ir defines the three-address intermediate representation of
+// the mthree compiler: a control-flow graph of instructions over virtual
+// registers.
+//
+// Every virtual register has a Class: Scalar (no GC significance),
+// Pointer (a tidy pointer: nil or the address of a heap object header),
+// or Derived (a value computed by pointer arithmetic). Each instruction
+// defining a Derived register carries the signed list of base registers
+// it derives from (the paper's derivation a = Σ pᵢ − Σ qⱼ + E); this is
+// the information the gc-table builder turns into derivations tables.
+package ir
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// Reg is a virtual register index within a procedure.
+type Reg int32
+
+// NoReg marks an absent register operand.
+const NoReg Reg = -1
+
+// Class classifies the GC significance of a register's value.
+type Class uint8
+
+// Register classes.
+const (
+	ClassScalar  Class = iota // integers, booleans, chars, stack/global addresses
+	ClassPointer              // tidy heap pointer (or nil)
+	ClassDerived              // value produced by pointer arithmetic
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassScalar:
+		return "scalar"
+	case ClassPointer:
+		return "ptr"
+	case ClassDerived:
+		return "derived"
+	}
+	return "class?"
+}
+
+// BaseRef is one signed base in a derivation.
+type BaseRef struct {
+	Reg  Reg
+	Sign int8 // +1 or -1
+}
+
+// Op enumerates instruction opcodes.
+type Op uint8
+
+// Opcodes.
+const (
+	OpConst Op = iota // Dst = Imm
+	OpMov             // Dst = A
+	OpAdd             // Dst = A + B
+	OpSub             // Dst = A - B
+	OpMul             // Dst = A * B
+	OpDiv             // Dst = A DIV B (floor)
+	OpMod             // Dst = A MOD B (floor)
+	OpNeg             // Dst = -A
+	OpNot             // Dst = 1 - A (booleans)
+	OpCmpEQ           // Dst = A == B
+	OpCmpNE
+	OpCmpLT
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+	OpAbs    // Dst = |A|
+	OpMin    // Dst = min(A, B)
+	OpMax    // Dst = max(A, B)
+	OpAddImm // Dst = A + Imm
+
+	OpLoad        // Dst = mem[A + Imm]
+	OpStore       // mem[A + Imm] = B
+	OpAddrGlobal  // Dst = address of global slot Imm (a scalar: globals do not move)
+	OpLoadGlobal  // Dst = globals[Imm]
+	OpStoreGlobal // globals[Imm] = A
+	OpAddrLocal   // Dst = address of frame slot for LocalID (scalar: stacks do not move)
+	OpLoadLocal   // Dst = frame slot LocalID
+	OpStoreLocal  // frame slot LocalID = A
+
+	OpCheckNil   // trap if A == 0 (calls the non-allocating error routine)
+	OpCheckRange // trap unless Imm <= A <= Imm2
+	OpCheckIdx   // trap unless 0 <= A < B
+
+	OpCall        // Dst? = Callee(Args...) — gc-point
+	OpCallBuiltin // Dst? = Builtin(Args...) — runtime routine, statically non-allocating
+	OpNew         // Dst = allocate descriptor Imm (A = element count for open arrays) — gc-point
+	OpText        // Dst = allocate text literal Imm — gc-point
+	OpGcPoll      // voluntary gc-point inserted in loops (multithreaded mode)
+
+	OpTrap // unconditional checked runtime error (Imm = trap code)
+	OpRet  // return A (or nothing if A == NoReg)
+	OpJmp  // unconditional; block edge 0
+	OpBr   // branch on A: edge 0 if true, edge 1 if false
+)
+
+var opNames = [...]string{
+	OpConst: "const", OpMov: "mov", OpAdd: "add", OpSub: "sub", OpMul: "mul",
+	OpDiv: "div", OpMod: "mod", OpNeg: "neg", OpNot: "not",
+	OpCmpEQ: "cmpeq", OpCmpNE: "cmpne", OpCmpLT: "cmplt", OpCmpLE: "cmple",
+	OpCmpGT: "cmpgt", OpCmpGE: "cmpge", OpAbs: "abs", OpMin: "min", OpMax: "max",
+	OpAddImm: "addimm",
+	OpLoad:   "load", OpStore: "store",
+	OpAddrGlobal: "addrg", OpLoadGlobal: "loadg", OpStoreGlobal: "storeg",
+	OpAddrLocal: "addrl", OpLoadLocal: "loadl", OpStoreLocal: "storel",
+	OpCheckNil: "checknil", OpCheckRange: "checkrange", OpCheckIdx: "checkidx",
+	OpCall: "call", OpCallBuiltin: "callb", OpNew: "new", OpText: "text",
+	OpGcPoll: "gcpoll", OpTrap: "trap", OpRet: "ret", OpJmp: "jmp", OpBr: "br",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Builtin identifies a runtime routine callable via OpCallBuiltin.
+// These mirror the runtime's jump table and are all non-allocating.
+type Builtin uint8
+
+// Runtime builtins.
+const (
+	BPutInt Builtin = iota
+	BPutChar
+	BPutText
+	BPutLn
+	BHalt
+	BGcCollect
+)
+
+var builtinNames = [...]string{
+	BPutInt: "PutInt", BPutChar: "PutChar", BPutText: "PutText",
+	BPutLn: "PutLn", BHalt: "Halt", BGcCollect: "GcCollect",
+}
+
+func (b Builtin) String() string { return builtinNames[b] }
+
+// Instr is one three-address instruction.
+type Instr struct {
+	Op   Op
+	Dst  Reg // NoReg if no result
+	A, B Reg // operands (NoReg if unused)
+	Imm  int64
+	Imm2 int64 // CheckRange upper bound
+
+	LocalID int // frame-allocated local index for OpAddrLocal/OpLoadLocal/OpStoreLocal
+
+	Callee  int     // procedure index for OpCall
+	Builtin Builtin // for OpCallBuiltin
+	Args    []Reg   // call/new arguments
+
+	// Deriv is the derivation of Dst when Dst has ClassDerived: the
+	// signed bases (registers of class Pointer or Derived).
+	Deriv []BaseRef
+}
+
+// Normalize forces operand fields the opcode does not use to NoReg, so
+// that zero-valued fields are never mistaken for register 0. Builders
+// call this on every emitted instruction.
+func (in *Instr) Normalize() {
+	defsDst := false
+	usesA, usesB := false, false
+	switch in.Op {
+	case OpConst, OpAddrGlobal, OpLoadGlobal, OpAddrLocal, OpLoadLocal, OpText:
+		defsDst = true
+	case OpMov, OpNeg, OpNot, OpAbs, OpLoad, OpAddImm:
+		defsDst, usesA = true, true
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpMin, OpMax,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE:
+		defsDst, usesA, usesB = true, true, true
+	case OpStore:
+		usesA, usesB = true, true
+	case OpStoreGlobal, OpStoreLocal:
+		usesA = true
+	case OpCheckNil, OpCheckRange:
+		usesA = true
+	case OpCheckIdx:
+		usesA, usesB = true, true
+	case OpCall, OpCallBuiltin:
+		defsDst = in.Dst != NoReg // optional result
+	case OpNew:
+		defsDst, usesA = true, in.A != NoReg
+	case OpRet, OpBr:
+		usesA = in.A != NoReg || in.Op == OpBr
+	case OpGcPoll, OpJmp, OpTrap:
+	}
+	if !defsDst {
+		in.Dst = NoReg
+	}
+	if !usesA {
+		in.A = NoReg
+	}
+	if !usesB {
+		in.B = NoReg
+	}
+}
+
+// IsDerivPreserving reports whether the instruction advances a derived
+// register in place without changing what it derives from (p = p + c,
+// the strength-reduction increment). Such definitions do not introduce
+// a new derivation variant.
+func (in *Instr) IsDerivPreserving() bool {
+	return in.Dst != NoReg && in.A == in.Dst &&
+		len(in.Deriv) == 1 && in.Deriv[0].Reg == in.Dst &&
+		(in.Op == OpAddImm || in.Op == OpAdd || in.Op == OpSub)
+}
+
+// IsGCPoint reports whether collection can occur at this instruction.
+func (in *Instr) IsGCPoint() bool {
+	switch in.Op {
+	case OpCall, OpNew, OpText, OpGcPoll:
+		return true
+	case OpCallBuiltin:
+		return in.Builtin == BGcCollect
+	}
+	return false
+}
+
+// Uses appends the registers read by the instruction to buf.
+func (in *Instr) Uses(buf []Reg) []Reg {
+	add := func(r Reg) {
+		if r != NoReg {
+			buf = append(buf, r)
+		}
+	}
+	switch in.Op {
+	case OpConst, OpAddrGlobal, OpLoadGlobal, OpAddrLocal, OpLoadLocal, OpText, OpGcPoll, OpJmp:
+	case OpStoreGlobal, OpStoreLocal:
+		add(in.A)
+	case OpTrap:
+	case OpCall, OpCallBuiltin:
+		for _, a := range in.Args {
+			add(a)
+		}
+	case OpNew:
+		add(in.A)
+	case OpRet, OpBr:
+		add(in.A)
+	default:
+		add(in.A)
+		add(in.B)
+	}
+	return buf
+}
+
+// Def returns the register written, or NoReg.
+func (in *Instr) Def() Reg { return in.Dst }
+
+// Block is a basic block. Succs[0] is the taken edge for OpBr and the
+// only edge for OpJmp.
+type Block struct {
+	ID     int
+	Instrs []Instr
+	Succs  []*Block
+	Preds  []*Block
+
+	// LoopHeader is set by loop analysis; gc-poll insertion uses it.
+	LoopHeader bool
+}
+
+// Proc is one procedure's IR.
+type Proc struct {
+	Name  string
+	Index int // index in Program.Procs
+
+	NumParams int
+	ParamRefs []bool // true for VAR (by-reference) parameters
+
+	Blocks []*Block
+	Entry  *Block
+
+	regClass []Class
+
+	// Frame-allocated locals (address-taken scalars and fixed arrays).
+	FrameLocals []FrameLocal
+
+	// PathVars records, for each ambiguously derived register, the
+	// path variable whose run-time value selects the derivation variant
+	// (paper §4, ambiguous derivations).
+	PathVars map[Reg]*PathVar
+
+	// Result reports whether the procedure returns a value.
+	Result bool
+}
+
+// PathVar is the disambiguation record for one ambiguously derived
+// register.
+type PathVar struct {
+	Sel      Reg         // scalar register assigned the variant index on each path
+	Variants [][]BaseRef // derivation for each index value
+}
+
+// FrameLocal is a local variable that must live in the stack frame
+// (its address is taken, or it is a fixed-size array).
+type FrameLocal struct {
+	Name       string
+	SizeWords  int64
+	PtrOffsets []int64 // word offsets within the local that hold tidy pointers
+}
+
+// NewReg creates a fresh virtual register of class c.
+func (p *Proc) NewReg(c Class) Reg {
+	p.regClass = append(p.regClass, c)
+	return Reg(len(p.regClass) - 1)
+}
+
+// NumRegs returns the number of virtual registers allocated.
+func (p *Proc) NumRegs() int { return len(p.regClass) }
+
+// Class returns the class of register r.
+func (p *Proc) Class(r Reg) Class { return p.regClass[r] }
+
+// SetClass updates the class of register r (used by optimization passes
+// that re-purpose registers).
+func (p *Proc) SetClass(r Reg, c Class) { p.regClass[r] = c }
+
+// NewBlock appends a new empty block.
+func (p *Proc) NewBlock() *Block {
+	b := &Block{ID: len(p.Blocks)}
+	p.Blocks = append(p.Blocks, b)
+	return b
+}
+
+// AddEdge records an edge from b to succ.
+func AddEdge(b, succ *Block) {
+	b.Succs = append(b.Succs, succ)
+	succ.Preds = append(succ.Preds, b)
+}
+
+// RemoveEdge deletes the edge from b to succ (one occurrence).
+func RemoveEdge(b, succ *Block) {
+	for i, s := range b.Succs {
+		if s == succ {
+			b.Succs = append(b.Succs[:i], b.Succs[i+1:]...)
+			break
+		}
+	}
+	for i, pr := range succ.Preds {
+		if pr == b {
+			succ.Preds = append(succ.Preds[:i], succ.Preds[i+1:]...)
+			break
+		}
+	}
+}
+
+// Global describes one module-level variable in the global data area.
+type Global struct {
+	Name       string
+	Offset     int64 // word offset in the global area
+	SizeWords  int64
+	PtrOffsets []int64 // offsets within the variable holding pointers
+}
+
+// Program is a whole compiled module in IR form.
+type Program struct {
+	Name    string
+	Procs   []*Proc
+	Main    *Proc // also present in Procs
+	Globals []Global
+	// GlobalWords is the total size of the global area.
+	GlobalWords int64
+	// Descs holds the runtime type descriptors referenced by OpNew.
+	Descs *types.DescTable
+	// TextLits is the text literal pool referenced by OpText.
+	TextLits []string
+	// TextDescID is the descriptor for ARRAY OF CHAR (-1 when the
+	// program has no text literals).
+	TextDescID int
+}
+
+// GlobalPtrOffsets returns the word offsets in the global area holding
+// pointers (the collector's static roots).
+func (p *Program) GlobalPtrOffsets() []int64 {
+	var offs []int64
+	for _, g := range p.Globals {
+		for _, o := range g.PtrOffsets {
+			offs = append(offs, g.Offset+o)
+		}
+	}
+	return offs
+}
+
+// ---------- Printing ----------
+
+// String renders the procedure for debugging and golden tests.
+func (p *Proc) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "proc %s (params=%d, regs=%d)\n", p.Name, p.NumParams, p.NumRegs())
+	for _, blk := range p.Blocks {
+		fmt.Fprintf(&b, "b%d:", blk.ID)
+		if len(blk.Preds) > 0 {
+			b.WriteString(" ; preds")
+			for _, pr := range blk.Preds {
+				fmt.Fprintf(&b, " b%d", pr.ID)
+			}
+		}
+		b.WriteByte('\n')
+		for i := range blk.Instrs {
+			fmt.Fprintf(&b, "  %s\n", p.InstrString(&blk.Instrs[i], blk))
+		}
+	}
+	return b.String()
+}
+
+// InstrString renders one instruction.
+func (p *Proc) InstrString(in *Instr, blk *Block) string {
+	var b strings.Builder
+	reg := func(r Reg) string {
+		if r == NoReg {
+			return "_"
+		}
+		prefix := "s"
+		switch p.Class(r) {
+		case ClassPointer:
+			prefix = "p"
+		case ClassDerived:
+			prefix = "d"
+		}
+		return fmt.Sprintf("%s%d", prefix, int(r))
+	}
+	if in.Dst != NoReg {
+		fmt.Fprintf(&b, "%s = ", reg(in.Dst))
+	}
+	b.WriteString(in.Op.String())
+	switch in.Op {
+	case OpConst:
+		fmt.Fprintf(&b, " %d", in.Imm)
+	case OpLoad:
+		fmt.Fprintf(&b, " [%s+%d]", reg(in.A), in.Imm)
+	case OpStore:
+		fmt.Fprintf(&b, " [%s+%d] <- %s", reg(in.A), in.Imm, reg(in.B))
+	case OpAddrGlobal, OpLoadGlobal:
+		fmt.Fprintf(&b, " g%d", in.Imm)
+	case OpStoreGlobal:
+		fmt.Fprintf(&b, " g%d <- %s", in.Imm, reg(in.A))
+	case OpAddrLocal, OpLoadLocal:
+		fmt.Fprintf(&b, " l%d", in.LocalID)
+	case OpStoreLocal:
+		fmt.Fprintf(&b, " l%d <- %s", in.LocalID, reg(in.A))
+	case OpCheckRange:
+		fmt.Fprintf(&b, " %s in [%d..%d]", reg(in.A), in.Imm, in.Imm2)
+	case OpCall:
+		fmt.Fprintf(&b, " @%d(", in.Callee)
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(reg(a))
+		}
+		b.WriteString(")")
+	case OpCallBuiltin:
+		fmt.Fprintf(&b, " %s(", in.Builtin)
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(reg(a))
+		}
+		b.WriteString(")")
+	case OpNew:
+		fmt.Fprintf(&b, " desc%d", in.Imm)
+		if in.A != NoReg {
+			fmt.Fprintf(&b, " len=%s", reg(in.A))
+		}
+	case OpText:
+		fmt.Fprintf(&b, " lit%d", in.Imm)
+	case OpJmp:
+		if len(blk.Succs) > 0 {
+			fmt.Fprintf(&b, " b%d", blk.Succs[0].ID)
+		}
+	case OpBr:
+		if len(blk.Succs) > 1 {
+			fmt.Fprintf(&b, " %s ? b%d : b%d", reg(in.A), blk.Succs[0].ID, blk.Succs[1].ID)
+		}
+	default:
+		if in.A != NoReg {
+			fmt.Fprintf(&b, " %s", reg(in.A))
+		}
+		if in.B != NoReg {
+			fmt.Fprintf(&b, ", %s", reg(in.B))
+		}
+	}
+	if len(in.Deriv) > 0 {
+		b.WriteString(" ; deriv{")
+		for i, d := range in.Deriv {
+			if i > 0 {
+				b.WriteString(" ")
+			}
+			if d.Sign > 0 {
+				b.WriteString("+")
+			} else {
+				b.WriteString("-")
+			}
+			b.WriteString(reg(d.Reg))
+		}
+		b.WriteString("}")
+	}
+	return b.String()
+}

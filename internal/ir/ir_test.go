@@ -1,0 +1,140 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestNormalizeClearsUnusedFields(t *testing.T) {
+	in := Instr{Op: OpConst, Dst: 3, A: 0, B: 0, Imm: 7}
+	in.Normalize()
+	if in.A != NoReg || in.B != NoReg || in.Dst != 3 {
+		t.Errorf("normalize OpConst: %+v", in)
+	}
+	st := Instr{Op: OpStore, Dst: 0, A: 1, B: 2}
+	st.Normalize()
+	if st.Dst != NoReg || st.A != 1 || st.B != 2 {
+		t.Errorf("normalize OpStore: %+v", st)
+	}
+	call := Instr{Op: OpCall, Dst: NoReg, A: 0, B: 0, Args: []Reg{4}}
+	call.Normalize()
+	if call.Dst != NoReg || call.A != NoReg || call.B != NoReg {
+		t.Errorf("normalize OpCall: %+v", call)
+	}
+	callR := Instr{Op: OpCall, Dst: 5}
+	callR.Normalize()
+	if callR.Dst != 5 {
+		t.Errorf("normalize result call: %+v", callR)
+	}
+}
+
+func TestUses(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want []Reg
+	}{
+		{Instr{Op: OpAdd, Dst: 1, A: 2, B: 3}, []Reg{2, 3}},
+		{Instr{Op: OpConst, Dst: 1, A: NoReg, B: NoReg}, nil},
+		{Instr{Op: OpStore, Dst: NoReg, A: 4, B: 5}, []Reg{4, 5}},
+		{Instr{Op: OpCall, Dst: 1, A: NoReg, B: NoReg, Args: []Reg{6, 7}}, []Reg{6, 7}},
+		{Instr{Op: OpRet, Dst: NoReg, A: 8, B: NoReg}, []Reg{8}},
+		{Instr{Op: OpRet, Dst: NoReg, A: NoReg, B: NoReg}, nil},
+		{Instr{Op: OpStoreLocal, Dst: NoReg, A: 9, B: NoReg}, []Reg{9}},
+		{Instr{Op: OpNew, Dst: 1, A: 2, B: NoReg}, []Reg{2}},
+	}
+	for _, c := range cases {
+		got := c.in.Uses(nil)
+		if len(got) != len(c.want) {
+			t.Errorf("%v uses %v, want %v", c.in.Op, got, c.want)
+			continue
+		}
+		for i := range got {
+			if got[i] != c.want[i] {
+				t.Errorf("%v uses %v, want %v", c.in.Op, got, c.want)
+			}
+		}
+	}
+}
+
+func TestIsGCPoint(t *testing.T) {
+	gc := []Op{OpCall, OpNew, OpText, OpGcPoll}
+	for _, op := range gc {
+		in := Instr{Op: op}
+		if !in.IsGCPoint() {
+			t.Errorf("%v should be a gc-point", op)
+		}
+	}
+	b := Instr{Op: OpCallBuiltin, Builtin: BPutInt}
+	if b.IsGCPoint() {
+		t.Error("PutInt is not a gc-point")
+	}
+	b.Builtin = BGcCollect
+	if !b.IsGCPoint() {
+		t.Error("GcCollect is a gc-point")
+	}
+}
+
+func TestIsDerivPreserving(t *testing.T) {
+	in := Instr{Op: OpAddImm, Dst: 4, A: 4, Imm: 8, Deriv: []BaseRef{{Reg: 4, Sign: 1}}}
+	if !in.IsDerivPreserving() {
+		t.Error("self-increment not recognized")
+	}
+	in2 := Instr{Op: OpAddImm, Dst: 4, A: 5, Imm: 8, Deriv: []BaseRef{{Reg: 5, Sign: 1}}}
+	if in2.IsDerivPreserving() {
+		t.Error("fresh derivation misclassified as preserving")
+	}
+}
+
+func TestProcPrinting(t *testing.T) {
+	p := &Proc{Name: "demo"}
+	r0 := p.NewReg(ClassPointer)
+	r1 := p.NewReg(ClassScalar)
+	r2 := p.NewReg(ClassDerived)
+	b := p.NewBlock()
+	p.Entry = b
+	b.Instrs = append(b.Instrs,
+		Instr{Op: OpNew, Dst: r0, A: NoReg, B: NoReg},
+		Instr{Op: OpConst, Dst: r1, A: NoReg, B: NoReg, Imm: 1},
+		Instr{Op: OpAdd, Dst: r2, A: r0, B: r1, Deriv: []BaseRef{{Reg: r0, Sign: 1}}},
+		Instr{Op: OpRet, Dst: NoReg, A: NoReg, B: NoReg},
+	)
+	s := p.String()
+	for _, frag := range []string{"proc demo", "p0", "s1", "d2", "deriv{+p0}"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("printout lacks %q:\n%s", frag, s)
+		}
+	}
+}
+
+func TestEdges(t *testing.T) {
+	p := &Proc{Name: "x"}
+	a := p.NewBlock()
+	b := p.NewBlock()
+	AddEdge(a, b)
+	if len(a.Succs) != 1 || len(b.Preds) != 1 {
+		t.Fatal("AddEdge failed")
+	}
+	RemoveEdge(a, b)
+	if len(a.Succs) != 0 || len(b.Preds) != 0 {
+		t.Fatal("RemoveEdge failed")
+	}
+}
+
+func TestGlobalPtrOffsets(t *testing.T) {
+	prog := &Program{
+		Globals: []Global{
+			{Name: "a", Offset: 0, SizeWords: 1, PtrOffsets: []int64{0}},
+			{Name: "b", Offset: 1, SizeWords: 3, PtrOffsets: []int64{1, 2}},
+		},
+	}
+	offs := prog.GlobalPtrOffsets()
+	want := []int64{0, 2, 3}
+	if len(offs) != len(want) {
+		t.Fatalf("offsets %v", offs)
+	}
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Fatalf("offsets %v, want %v", offs, want)
+		}
+	}
+}

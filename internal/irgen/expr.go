@@ -1,0 +1,509 @@
+package irgen
+
+import (
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/sem"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// classFor maps a source type to the register class of a loaded value.
+func classFor(t *types.Type) ir.Class {
+	if t != nil && t.IsRef() {
+		return ir.ClassPointer
+	}
+	return ir.ClassScalar
+}
+
+// classOfAddr returns the class of an address computed from base.
+func (g *gen) classOfAddr(base ir.Reg) ir.Class {
+	switch g.p.Class(base) {
+	case ir.ClassPointer, ir.ClassDerived:
+		return ir.ClassDerived
+	}
+	return ir.ClassScalar
+}
+
+// addOffset emits base+off, deriving when base is pointerish. A zero
+// offset returns base unchanged.
+func (g *gen) addOffset(base ir.Reg, off int64) ir.Reg {
+	if off == 0 {
+		return base
+	}
+	in := ir.Instr{Op: ir.OpAddImm, A: base, Imm: off}
+	class := g.classOfAddr(base)
+	if class == ir.ClassDerived {
+		in.Deriv = []ir.BaseRef{{Reg: base, Sign: 1}}
+	}
+	return g.emitDst(in, class)
+}
+
+// addIndex emits base+idx, deriving when base is pointerish.
+func (g *gen) addIndex(base, idx ir.Reg) ir.Reg {
+	in := ir.Instr{Op: ir.OpAdd, A: base, B: idx}
+	class := g.classOfAddr(base)
+	if class == ir.ClassDerived {
+		in.Deriv = []ir.BaseRef{{Reg: base, Sign: 1}}
+	}
+	return g.emitDst(in, class)
+}
+
+// scaleIndex emits (idx - lo) * elemWords as a scalar.
+func (g *gen) scaleIndex(idx ir.Reg, lo, elemWords int64) ir.Reg {
+	r := idx
+	if lo != 0 {
+		r = g.emitDst(ir.Instr{Op: ir.OpAddImm, A: r, Imm: -lo}, ir.ClassScalar)
+	}
+	if elemWords != 1 {
+		c := g.constReg(elemWords)
+		r = g.emitDst(ir.Instr{Op: ir.OpMul, A: r, B: c}, ir.ClassScalar)
+	}
+	return r
+}
+
+// load reads the value out of a location.
+func (g *gen) load(l loc) ir.Reg {
+	class := classFor(l.typ)
+	switch l.kind {
+	case locReg:
+		return l.reg
+	case locGlobal:
+		return g.emitDst(ir.Instr{Op: ir.OpLoadGlobal, Imm: l.off}, class)
+	case locFrame:
+		return g.emitDst(ir.Instr{Op: ir.OpLoadLocal, LocalID: l.localID, Imm: l.off}, class)
+	case locMem:
+		return g.emitDst(ir.Instr{Op: ir.OpLoad, A: l.reg, Imm: l.off}, class)
+	}
+	panicf("load: bad loc")
+	return ir.NoReg
+}
+
+// store writes v into a location.
+func (g *gen) store(l loc, v ir.Reg) {
+	switch l.kind {
+	case locReg:
+		g.emit(ir.Instr{Op: ir.OpMov, Dst: l.reg, A: v})
+	case locGlobal:
+		g.emit(ir.Instr{Op: ir.OpStoreGlobal, Imm: l.off, A: v})
+	case locFrame:
+		g.emit(ir.Instr{Op: ir.OpStoreLocal, LocalID: l.localID, Imm: l.off, A: v})
+	case locMem:
+		g.emit(ir.Instr{Op: ir.OpStore, A: l.reg, Imm: l.off, B: v})
+	default:
+		panicf("store: bad loc")
+	}
+}
+
+// addrOf materializes the address of a location (for VAR arguments).
+// Heap-interior addresses come out Derived; stack and global addresses
+// come out Scalar (those areas never move).
+func (g *gen) addrOf(l loc) ir.Reg {
+	switch l.kind {
+	case locGlobal:
+		return g.emitDst(ir.Instr{Op: ir.OpAddrGlobal, Imm: l.off}, ir.ClassScalar)
+	case locFrame:
+		return g.emitDst(ir.Instr{Op: ir.OpAddrLocal, LocalID: l.localID, Imm: l.off}, ir.ClassScalar)
+	case locMem:
+		return g.addOffset(l.reg, l.off)
+	}
+	panicf("addrOf: location has no address (register-promoted variable)")
+	return ir.NoReg
+}
+
+// varLoc returns the home location of a variable symbol.
+func (g *gen) varLoc(sym *sem.VarSym) loc {
+	switch {
+	case sym.With:
+		if l, ok := g.withLoc[sym]; ok {
+			return l
+		}
+		panicf("WITH binding %s used outside its body", sym.Name)
+	case sym.Global:
+		return loc{kind: locGlobal, off: g.globalOff[sym], typ: sym.Type}
+	case sym.ByRef:
+		// The parameter register holds the address of the actual.
+		return loc{kind: locMem, reg: g.vreg[sym], off: 0, typ: sym.Type}
+	}
+	if id, ok := g.frameID[sym]; ok {
+		return loc{kind: locFrame, localID: id, typ: sym.Type}
+	}
+	if r, ok := g.vreg[sym]; ok {
+		return loc{kind: locReg, reg: r, typ: sym.Type}
+	}
+	panicf("variable %s has no storage", sym.Name)
+	return loc{}
+}
+
+// lowerLoc lowers a designator to a location.
+func (g *gen) lowerLoc(e ast.Expr) loc {
+	switch e := e.(type) {
+	case *ast.Ident:
+		sym, ok := g.info.Uses[e].(*sem.VarSym)
+		if !ok {
+			panicf("identifier %s is not a variable", e.Name)
+		}
+		return g.varLoc(sym)
+	case *ast.SelectorExpr:
+		return g.lowerSelector(e)
+	case *ast.IndexExpr:
+		return g.lowerIndex(e)
+	case *ast.DerefExpr:
+		r := g.expr(e.X)
+		g.emit(ir.Instr{Op: ir.OpCheckNil, A: r})
+		elem := g.info.Types[e.X].Elem
+		return loc{kind: locMem, reg: r, off: 1, typ: elem}
+	}
+	panicf("expression is not a designator")
+	return loc{}
+}
+
+func (g *gen) lowerSelector(e *ast.SelectorExpr) loc {
+	xt := g.info.Types[e.X]
+	var base loc
+	var rec *types.Type
+	if xt.K == types.Ref {
+		r := g.expr(e.X)
+		g.emit(ir.Instr{Op: ir.OpCheckNil, A: r})
+		rec = xt.Elem
+		base = loc{kind: locMem, reg: r, off: 1}
+	} else {
+		base = g.lowerLoc(e.X)
+		rec = xt
+	}
+	for _, f := range rec.Fields {
+		if f.Name == e.Name {
+			base.off += f.Offset
+			base.typ = f.Type
+			return base
+		}
+	}
+	panicf("field %s not found", e.Name)
+	return loc{}
+}
+
+func (g *gen) lowerIndex(e *ast.IndexExpr) loc {
+	// SUBARRAY bindings index through their captured base and length.
+	if id, ok := e.X.(*ast.Ident); ok {
+		if vs, ok := g.info.Uses[id].(*sem.VarSym); ok && vs.SubArray {
+			return g.lowerSubIndex(vs, e.Index)
+		}
+	}
+
+	xt := g.info.Types[e.X]
+	if xt.K == types.Ref {
+		arr := xt.Elem
+		r := g.expr(e.X)
+		g.emit(ir.Instr{Op: ir.OpCheckNil, A: r})
+		es := arr.Elem.SizeWords()
+		if arr.Open {
+			length := g.emitDst(ir.Instr{Op: ir.OpLoad, A: r, Imm: 1}, ir.ClassScalar)
+			if cv, ok := g.constOf(e.Index); ok {
+				ci := g.constReg(cv)
+				g.emit(ir.Instr{Op: ir.OpCheckIdx, A: ci, B: length})
+				return loc{kind: locMem, reg: r, off: 2 + cv*es, typ: arr.Elem}
+			}
+			idx := g.expr(e.Index)
+			g.emit(ir.Instr{Op: ir.OpCheckIdx, A: idx, B: length})
+			addr := g.addIndex(r, g.scaleIndex(idx, 0, es))
+			return loc{kind: locMem, reg: addr, off: 2, typ: arr.Elem}
+		}
+		if cv, ok := g.constOf(e.Index); ok && cv >= arr.Lo && cv <= arr.Hi {
+			return loc{kind: locMem, reg: r, off: 1 + (cv-arr.Lo)*es, typ: arr.Elem}
+		}
+		idx := g.expr(e.Index)
+		g.emit(ir.Instr{Op: ir.OpCheckRange, A: idx, Imm: arr.Lo, Imm2: arr.Hi})
+		addr := g.addIndex(r, g.scaleIndex(idx, arr.Lo, es))
+		return loc{kind: locMem, reg: addr, off: 1, typ: arr.Elem}
+	}
+
+	// In-place fixed array (frame local, global, or nested composite).
+	arr := xt
+	base := g.lowerLoc(e.X)
+	es := arr.Elem.SizeWords()
+	if cv, ok := g.constOf(e.Index); ok && cv >= arr.Lo && cv <= arr.Hi {
+		base.off += (cv - arr.Lo) * es
+		base.typ = arr.Elem
+		return base
+	}
+	idx := g.expr(e.Index)
+	g.emit(ir.Instr{Op: ir.OpCheckRange, A: idx, Imm: arr.Lo, Imm2: arr.Hi})
+	scaled := g.scaleIndex(idx, arr.Lo, es)
+	switch base.kind {
+	case locMem:
+		addr := g.addIndex(base.reg, scaled)
+		return loc{kind: locMem, reg: addr, off: base.off, typ: arr.Elem}
+	case locFrame:
+		a := g.emitDst(ir.Instr{Op: ir.OpAddrLocal, LocalID: base.localID, Imm: base.off}, ir.ClassScalar)
+		addr := g.addIndex(a, scaled)
+		return loc{kind: locMem, reg: addr, off: 0, typ: arr.Elem}
+	case locGlobal:
+		a := g.emitDst(ir.Instr{Op: ir.OpAddrGlobal, Imm: base.off}, ir.ClassScalar)
+		addr := g.addIndex(a, scaled)
+		return loc{kind: locMem, reg: addr, off: 0, typ: arr.Elem}
+	}
+	panicf("lowerIndex: bad base loc")
+	return loc{}
+}
+
+func (g *gen) lowerSubIndex(vs *sem.VarSym, index ast.Expr) loc {
+	base := g.subBase[vs]
+	length := g.subLen[vs]
+	es := vs.SubElem.SizeWords()
+	if cv, ok := g.constOf(index); ok {
+		ci := g.constReg(cv)
+		g.emit(ir.Instr{Op: ir.OpCheckIdx, A: ci, B: length})
+		return loc{kind: locMem, reg: base, off: cv * es, typ: vs.SubElem}
+	}
+	idx := g.expr(index)
+	g.emit(ir.Instr{Op: ir.OpCheckIdx, A: idx, B: length})
+	addr := g.addIndex(base, g.scaleIndex(idx, 0, es))
+	return loc{kind: locMem, reg: addr, off: 0, typ: vs.SubElem}
+}
+
+func (g *gen) constOf(e ast.Expr) (int64, bool) {
+	v, ok := g.info.Consts[e]
+	return v, ok
+}
+
+// ---------- Expressions ----------
+
+// expr evaluates e into a fresh (or existing) register.
+func (g *gen) expr(e ast.Expr) ir.Reg {
+	// Compile-time constants (literals, CONSTs, folded arithmetic,
+	// FIRST/LAST of fixed arrays) are all side-effect free; emit the
+	// value directly.
+	if v, ok := g.constOf(e); ok {
+		return g.emitDst(ir.Instr{Op: ir.OpConst, Imm: v}, classFor(g.info.Types[e]))
+	}
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return g.constReg(e.Value)
+	case *ast.CharLit:
+		return g.constReg(int64(e.Value))
+	case *ast.BoolLit:
+		if e.Value {
+			return g.constReg(1)
+		}
+		return g.constReg(0)
+	case *ast.NilLit:
+		return g.emitDst(ir.Instr{Op: ir.OpConst, Imm: 0}, ir.ClassPointer)
+	case *ast.TextLit:
+		idx, ok := g.textIdx[e.Value]
+		if !ok {
+			idx = len(g.out.TextLits)
+			g.out.TextLits = append(g.out.TextLits, e.Value)
+			g.textIdx[e.Value] = idx
+			g.out.TextDescID = g.out.Descs.Intern(types.NewOpenArray(types.CharType))
+		}
+		return g.emitDst(ir.Instr{Op: ir.OpText, Imm: int64(idx)}, ir.ClassPointer)
+	case *ast.Ident:
+		return g.load(g.lowerLoc(e))
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.DerefExpr:
+		return g.load(g.lowerLoc(e))
+	case *ast.UnaryExpr:
+		x := g.expr(e.X)
+		op := ir.OpNeg
+		if e.Op == token.NOT {
+			op = ir.OpNot
+		}
+		return g.emitDst(ir.Instr{Op: op, A: x}, ir.ClassScalar)
+	case *ast.BinaryExpr:
+		return g.binary(e)
+	case *ast.CallExpr:
+		return g.call(e, true)
+	}
+	panicf("expr: unhandled expression")
+	return ir.NoReg
+}
+
+var cmpOps = map[token.Kind]ir.Op{
+	token.Equal:     ir.OpCmpEQ,
+	token.NotEqual:  ir.OpCmpNE,
+	token.Less:      ir.OpCmpLT,
+	token.LessEq:    ir.OpCmpLE,
+	token.Greater:   ir.OpCmpGT,
+	token.GreaterEq: ir.OpCmpGE,
+}
+
+var arithOps = map[token.Kind]ir.Op{
+	token.Plus:  ir.OpAdd,
+	token.Minus: ir.OpSub,
+	token.Star:  ir.OpMul,
+	token.DIV:   ir.OpDiv,
+	token.MOD:   ir.OpMod,
+}
+
+func (g *gen) binary(e *ast.BinaryExpr) ir.Reg {
+	switch e.Op {
+	case token.AND, token.OR:
+		// Short-circuit evaluation materialized into a boolean temp.
+		res := g.p.NewReg(ir.ClassScalar)
+		yes := g.p.NewBlock()
+		no := g.p.NewBlock()
+		done := g.p.NewBlock()
+		g.condExpr(e, yes, no)
+		g.startBlock(yes)
+		g.emit(ir.Instr{Op: ir.OpConst, Dst: res, Imm: 1})
+		g.jumpTo(done)
+		g.startBlock(no)
+		g.emit(ir.Instr{Op: ir.OpConst, Dst: res, Imm: 0})
+		g.jumpTo(done)
+		g.startBlock(done)
+		return res
+	}
+	x := g.expr(e.X)
+	y := g.expr(e.Y)
+	if op, ok := cmpOps[e.Op]; ok {
+		return g.emitDst(ir.Instr{Op: op, A: x, B: y}, ir.ClassScalar)
+	}
+	op, ok := arithOps[e.Op]
+	if !ok {
+		panicf("binary: unhandled operator %s", e.Op)
+	}
+	return g.emitDst(ir.Instr{Op: op, A: x, B: y}, ir.ClassScalar)
+}
+
+// condExpr lowers a boolean expression as control flow into yes/no.
+func (g *gen) condExpr(e ast.Expr, yes, no *ir.Block) {
+	switch e := e.(type) {
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.AND:
+			mid := g.p.NewBlock()
+			g.condExpr(e.X, mid, no)
+			g.startBlock(mid)
+			g.condExpr(e.Y, yes, no)
+			return
+		case token.OR:
+			mid := g.p.NewBlock()
+			g.condExpr(e.X, yes, mid)
+			g.startBlock(mid)
+			g.condExpr(e.Y, yes, no)
+			return
+		}
+	case *ast.UnaryExpr:
+		if e.Op == token.NOT {
+			g.condExpr(e.X, no, yes)
+			return
+		}
+	case *ast.BoolLit:
+		if e.Value {
+			g.jumpTo(yes)
+		} else {
+			g.jumpTo(no)
+		}
+		return
+	}
+	v := g.expr(e)
+	g.branch(v, yes, no)
+}
+
+// call lowers a user call or builtin. wantResult selects expression
+// position.
+func (g *gen) call(e *ast.CallExpr, wantResult bool) ir.Reg {
+	if b, ok := g.info.Builtins[e]; ok && b != sem.BuiltinNone {
+		return g.builtin(e, b, wantResult)
+	}
+	callee := g.info.Callees[e]
+	if callee == nil {
+		panicf("call: no callee recorded")
+	}
+	var args []ir.Reg
+	for i, a := range e.Args {
+		if i < len(callee.Params) && callee.Params[i].ByRef {
+			l := g.lowerLoc(a)
+			args = append(args, g.addrOf(l))
+		} else {
+			args = append(args, g.expr(a))
+		}
+	}
+	in := ir.Instr{Op: ir.OpCall, Callee: g.procIdx[callee], Args: args, Dst: ir.NoReg}
+	if wantResult && callee.Result != nil {
+		return g.emitDst(in, classFor(callee.Result))
+	}
+	g.emit(in)
+	return ir.NoReg
+}
+
+func (g *gen) builtin(e *ast.CallExpr, b sem.Builtin, wantResult bool) ir.Reg {
+	switch b {
+	case sem.BuiltinNew:
+		return g.lowerNew(e)
+	case sem.BuiltinNumber:
+		return g.lowerNumber(e.Args[0])
+	case sem.BuiltinFirst, sem.BuiltinLast:
+		return g.lowerFirstLast(e, b)
+	case sem.BuiltinOrd, sem.BuiltinVal:
+		v := g.expr(e.Args[0])
+		// Same word representation; reclass via move when needed.
+		class := ir.ClassScalar
+		if g.p.Class(v) == class {
+			return v
+		}
+		return g.emitDst(ir.Instr{Op: ir.OpMov, A: v}, class)
+	case sem.BuiltinAbs:
+		return g.emitDst(ir.Instr{Op: ir.OpAbs, A: g.expr(e.Args[0])}, ir.ClassScalar)
+	case sem.BuiltinMin:
+		return g.emitDst(ir.Instr{Op: ir.OpMin, A: g.expr(e.Args[0]), B: g.expr(e.Args[1])}, ir.ClassScalar)
+	case sem.BuiltinMax:
+		return g.emitDst(ir.Instr{Op: ir.OpMax, A: g.expr(e.Args[0]), B: g.expr(e.Args[1])}, ir.ClassScalar)
+	case sem.BuiltinPutInt:
+		g.emit(ir.Instr{Op: ir.OpCallBuiltin, Builtin: ir.BPutInt, Args: []ir.Reg{g.expr(e.Args[0])}, Dst: ir.NoReg})
+	case sem.BuiltinPutChar:
+		g.emit(ir.Instr{Op: ir.OpCallBuiltin, Builtin: ir.BPutChar, Args: []ir.Reg{g.expr(e.Args[0])}, Dst: ir.NoReg})
+	case sem.BuiltinPutText:
+		g.emit(ir.Instr{Op: ir.OpCallBuiltin, Builtin: ir.BPutText, Args: []ir.Reg{g.expr(e.Args[0])}, Dst: ir.NoReg})
+	case sem.BuiltinPutLn:
+		g.emit(ir.Instr{Op: ir.OpCallBuiltin, Builtin: ir.BPutLn, Dst: ir.NoReg})
+	case sem.BuiltinHalt:
+		g.emit(ir.Instr{Op: ir.OpCallBuiltin, Builtin: ir.BHalt, Dst: ir.NoReg})
+	case sem.BuiltinGcCollect:
+		g.emit(ir.Instr{Op: ir.OpCallBuiltin, Builtin: ir.BGcCollect, Dst: ir.NoReg})
+	default:
+		panicf("builtin %d not lowered here", b)
+	}
+	return ir.NoReg
+}
+
+func (g *gen) lowerNew(e *ast.CallExpr) ir.Reg {
+	referent := g.info.NewTypes[e]
+	descID := g.out.Descs.Intern(referent)
+	in := ir.Instr{Op: ir.OpNew, Imm: int64(descID), A: ir.NoReg}
+	if referent.K == types.Array && referent.Open {
+		in.A = g.expr(e.Args[1])
+	}
+	return g.emitDst(in, ir.ClassPointer)
+}
+
+func (g *gen) lowerNumber(arg ast.Expr) ir.Reg {
+	// SUBARRAY binding: captured length.
+	if id, ok := arg.(*ast.Ident); ok {
+		if vs, ok := g.info.Uses[id].(*sem.VarSym); ok && vs.SubArray {
+			return g.subLen[vs]
+		}
+	}
+	at := g.info.Types[arg]
+	if at.K == types.Ref {
+		arr := at.Elem
+		if arr.Open {
+			r := g.expr(arg)
+			g.emit(ir.Instr{Op: ir.OpCheckNil, A: r})
+			return g.emitDst(ir.Instr{Op: ir.OpLoad, A: r, Imm: 1}, ir.ClassScalar)
+		}
+		return g.constReg(arr.Len())
+	}
+	return g.constReg(at.Len())
+}
+
+func (g *gen) lowerFirstLast(e *ast.CallExpr, b sem.Builtin) ir.Reg {
+	// Fixed arrays were folded by sem; only open arrays reach here.
+	if v, ok := g.constOf(e); ok {
+		return g.constReg(v)
+	}
+	if b == sem.BuiltinFirst {
+		return g.constReg(0)
+	}
+	n := g.lowerNumber(e.Args[0])
+	return g.emitDst(ir.Instr{Op: ir.OpAddImm, A: n, Imm: -1}, ir.ClassScalar)
+}

@@ -1,0 +1,381 @@
+// Package irgen lowers checked mthree ASTs to IR.
+//
+// Lowering makes all address arithmetic explicit so that derived values
+// (the paper's untidy pointers) are visible to later phases:
+//
+//   - indexing a heap array materializes addr = base + scaled-index, a
+//     Derived register with base list {+base};
+//   - field selection folds the constant offset into the memory access
+//     and creates no derived value;
+//   - VAR arguments and WITH bindings of heap designators materialize
+//     interior pointers (Derived registers);
+//   - VAR (by-reference) parameters are pinned to their argument slots
+//     (never promoted to registers) so the caller's derivation entry for
+//     the outgoing argument slot updates the one and only home of the
+//     address — forwarding a VAR parameter creates a derivation chained
+//     on that slot, which the collector resolves callee-first exactly as
+//     in the paper.
+package irgen
+
+import (
+	"fmt"
+
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/sem"
+	"repro/internal/types"
+)
+
+// Build lowers a checked program to IR.
+func Build(prog *sem.Program) *ir.Program {
+	g := &gen{
+		sp:        prog,
+		info:      prog.Info,
+		out:       &ir.Program{Name: prog.Name, Descs: types.NewDescTable(), TextDescID: -1},
+		globalOff: make(map[*sem.VarSym]int64),
+		procIdx:   make(map[*sem.ProcSym]int),
+		textIdx:   make(map[string]int),
+	}
+	g.layoutGlobals()
+	// Assign procedure indices first so calls can reference them.
+	for i, ps := range prog.Procs {
+		g.procIdx[ps] = i
+	}
+	g.procIdx[prog.Main] = len(prog.Procs)
+	for _, ps := range prog.Procs {
+		g.out.Procs = append(g.out.Procs, g.buildProc(ps))
+	}
+	main := g.buildProc(prog.Main)
+	g.out.Procs = append(g.out.Procs, main)
+	g.out.Main = main
+	return g.out
+}
+
+type gen struct {
+	sp   *sem.Program
+	info *sem.Info
+	out  *ir.Program
+
+	globalOff map[*sem.VarSym]int64
+	procIdx   map[*sem.ProcSym]int
+	textIdx   map[string]int
+
+	// Per-procedure state.
+	p         *ir.Proc
+	cur       *ir.Block
+	vreg      map[*sem.VarSym]ir.Reg // promoted variables
+	frameID   map[*sem.VarSym]int    // frame-allocated variables
+	withLoc   map[*sem.VarSym]loc    // WITH alias bindings
+	subBase   map[*sem.VarSym]ir.Reg // SUBARRAY binding base address
+	subLen    map[*sem.VarSym]ir.Reg // SUBARRAY binding length
+	exitStack []*ir.Block
+}
+
+func (g *gen) layoutGlobals() {
+	var off int64
+	for _, sym := range g.sp.Globals {
+		size := sym.Type.SizeWords()
+		g.globalOff[sym] = off
+		g.out.Globals = append(g.out.Globals, ir.Global{
+			Name:       sym.Name,
+			Offset:     off,
+			SizeWords:  size,
+			PtrOffsets: sym.Type.PointerOffsets(),
+		})
+		off += size
+	}
+	g.out.GlobalWords = off
+}
+
+// ---------- Locations ----------
+
+type locKind int
+
+const (
+	locReg locKind = iota
+	locGlobal
+	locFrame
+	locMem
+)
+
+// loc denotes a storage location during lowering.
+type loc struct {
+	kind    locKind
+	reg     ir.Reg // locReg: the register; locMem: the address register
+	off     int64  // locGlobal: global offset; locFrame/locMem: word offset
+	localID int    // locFrame
+	typ     *types.Type
+}
+
+// ---------- Procedure lowering ----------
+
+func (g *gen) buildProc(ps *sem.ProcSym) *ir.Proc {
+	g.p = &ir.Proc{
+		Name:      ps.Name,
+		Index:     g.procIdx[ps],
+		NumParams: len(ps.Params),
+		Result:    ps.Result != nil,
+	}
+	g.vreg = make(map[*sem.VarSym]ir.Reg)
+	g.frameID = make(map[*sem.VarSym]int)
+	g.withLoc = make(map[*sem.VarSym]loc)
+	g.subBase = make(map[*sem.VarSym]ir.Reg)
+	g.subLen = make(map[*sem.VarSym]ir.Reg)
+	g.exitStack = nil
+
+	addrTaken := findAddrTaken(ps, g.info)
+
+	// Parameters: the first NumParams registers, in order.
+	for _, prm := range ps.Params {
+		var class ir.Class
+		switch {
+		case prm.ByRef:
+			// A VAR parameter is an address of unknown derivation
+			// (stack slot or heap interior); classing it Derived makes
+			// addresses computed from it derived values chained on the
+			// incoming argument slot, which the caller's own tables keep
+			// up to date — the paper's call-by-reference chains.
+			class = ir.ClassDerived
+			g.p.ParamRefs = append(g.p.ParamRefs, true)
+		case prm.Type.IsRef():
+			class = ir.ClassPointer
+			g.p.ParamRefs = append(g.p.ParamRefs, false)
+		default:
+			class = ir.ClassScalar
+			g.p.ParamRefs = append(g.p.ParamRefs, false)
+		}
+		r := g.p.NewReg(class)
+		if addrTaken[prm] && !prm.ByRef {
+			// A value parameter whose address is taken lives in a frame
+			// slot; copy it there at entry.
+			g.frameVar(prm)
+			g.vreg[prm] = r // entry copy source
+		} else {
+			g.vreg[prm] = r
+		}
+	}
+
+	g.p.Entry = g.p.NewBlock()
+	g.cur = g.p.Entry
+
+	// Copy address-taken value parameters into their frame homes.
+	for _, prm := range ps.Params {
+		if addrTaken[prm] && !prm.ByRef {
+			g.emit(ir.Instr{Op: ir.OpStoreLocal, LocalID: g.frameID[prm], A: g.vreg[prm]})
+		}
+	}
+
+	// Declared locals: frame-allocate composites and address-taken
+	// scalars, promote the rest. Reference locals are nil-initialized
+	// (Modula-3 semantics, and required so the collector never traces
+	// junk).
+	for _, lv := range ps.Locals {
+		if lv.With {
+			continue // bound when the WITH is lowered
+		}
+		if lv.Type.K == types.Array || lv.Type.K == types.Record || addrTaken[lv] {
+			id := g.frameVar(lv)
+			for _, off := range lv.Type.PointerOffsets() {
+				z := g.p.NewReg(ir.ClassScalar)
+				g.emit(ir.Instr{Op: ir.OpConst, Dst: z, Imm: 0})
+				g.emit(ir.Instr{Op: ir.OpStoreLocal, LocalID: id, Imm: off, A: z})
+			}
+			continue
+		}
+		class := ir.ClassScalar
+		if lv.Type.IsRef() {
+			class = ir.ClassPointer
+		}
+		r := g.p.NewReg(class)
+		g.vreg[lv] = r
+		if class == ir.ClassPointer {
+			g.emit(ir.Instr{Op: ir.OpConst, Dst: r, Imm: 0})
+		}
+	}
+
+	// Global initializers run at the top of the module body.
+	if ps == g.sp.Main {
+		for _, gv := range g.sp.Globals {
+			if init := g.info.VarInits[gv]; init != nil {
+				v := g.expr(init)
+				g.store(loc{kind: locGlobal, off: g.globalOff[gv], typ: gv.Type}, v)
+			}
+		}
+	}
+	// Local initializers.
+	for _, lv := range ps.Locals {
+		if init := g.info.VarInits[lv]; init != nil {
+			v := g.expr(init)
+			g.store(g.varLoc(lv), v)
+		}
+	}
+
+	g.stmts(ps.Body)
+	// Fall off the end: implicit return.
+	g.emit(ir.Instr{Op: ir.OpRet, A: ir.NoReg})
+	return g.p
+}
+
+func (g *gen) frameVar(sym *sem.VarSym) int {
+	if id, ok := g.frameID[sym]; ok {
+		return id
+	}
+	id := len(g.p.FrameLocals)
+	g.p.FrameLocals = append(g.p.FrameLocals, ir.FrameLocal{
+		Name:       sym.Name,
+		SizeWords:  sym.Type.SizeWords(),
+		PtrOffsets: sym.Type.PointerOffsets(),
+	})
+	g.frameID[sym] = id
+	return id
+}
+
+// findAddrTaken returns the local variables and parameters whose address
+// escapes (passed as a VAR argument).
+func findAddrTaken(ps *sem.ProcSym, info *sem.Info) map[*sem.VarSym]bool {
+	taken := make(map[*sem.VarSym]bool)
+	// WITH aliases of bare locals resolve transitively to their roots.
+	aliasRoot := make(map[*sem.VarSym]*sem.VarSym)
+	var findRoot func(vs *sem.VarSym) *sem.VarSym
+	findRoot = func(vs *sem.VarSym) *sem.VarSym {
+		if r, ok := aliasRoot[vs]; ok {
+			return findRoot(r)
+		}
+		return vs
+	}
+	var walkExpr func(e ast.Expr)
+	var walkStmts func(ss []ast.Stmt)
+	markRoot := func(e ast.Expr) {
+		if id, ok := e.(*ast.Ident); ok {
+			if vs, ok := info.Uses[id].(*sem.VarSym); ok {
+				vs = findRoot(vs)
+				if !vs.Global && !vs.ByRef && !vs.WithAlias {
+					taken[vs] = true
+				}
+			}
+		}
+	}
+	walkExpr = func(e ast.Expr) {
+		switch e := e.(type) {
+		case *ast.BinaryExpr:
+			walkExpr(e.X)
+			walkExpr(e.Y)
+		case *ast.UnaryExpr:
+			walkExpr(e.X)
+		case *ast.IndexExpr:
+			walkExpr(e.X)
+			walkExpr(e.Index)
+		case *ast.SelectorExpr:
+			walkExpr(e.X)
+		case *ast.DerefExpr:
+			walkExpr(e.X)
+		case *ast.CallExpr:
+			for _, a := range e.Args {
+				walkExpr(a)
+			}
+			if callee := info.Callees[e]; callee != nil {
+				for i, prm := range callee.Params {
+					if prm.ByRef && i < len(e.Args) {
+						markRoot(e.Args[i])
+					}
+				}
+			}
+		}
+	}
+	var walkStmt func(s ast.Stmt)
+	walkStmt = func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			walkExpr(s.LHS)
+			walkExpr(s.RHS)
+		case *ast.CallStmt:
+			walkExpr(s.Call)
+		case *ast.IfStmt:
+			walkExpr(s.Cond)
+			walkStmts(s.Then)
+			walkStmts(s.Else)
+		case *ast.WhileStmt:
+			walkExpr(s.Cond)
+			walkStmts(s.Body)
+		case *ast.RepeatStmt:
+			walkStmts(s.Body)
+			walkExpr(s.Cond)
+		case *ast.LoopStmt:
+			walkStmts(s.Body)
+		case *ast.ForStmt:
+			walkExpr(s.Lo)
+			walkExpr(s.Hi)
+			if s.By != nil {
+				walkExpr(s.By)
+			}
+			walkStmts(s.Body)
+		case *ast.ReturnStmt:
+			if s.Value != nil {
+				walkExpr(s.Value)
+			}
+		case *ast.WithStmt:
+			walkExpr(s.Expr)
+			if id, ok := s.Expr.(*ast.Ident); ok {
+				if root, ok := info.Uses[id].(*sem.VarSym); ok {
+					if w := info.WithSyms[s]; w != nil {
+						aliasRoot[w] = root
+					}
+				}
+			}
+			walkStmts(s.Body)
+		case *ast.IncDecStmt:
+			walkExpr(s.Target)
+			if s.Delta != nil {
+				walkExpr(s.Delta)
+			}
+		}
+	}
+	walkStmts = func(ss []ast.Stmt) {
+		for _, s := range ss {
+			walkStmt(s)
+		}
+	}
+	walkStmts(ps.Body)
+	return taken
+}
+
+// ---------- Emission helpers ----------
+
+func (g *gen) emit(in ir.Instr) {
+	in.Normalize()
+	g.cur.Instrs = append(g.cur.Instrs, in)
+}
+
+func (g *gen) emitDst(in ir.Instr, class ir.Class) ir.Reg {
+	in.Dst = g.p.NewReg(class)
+	g.emit(in)
+	return in.Dst
+}
+
+func (g *gen) constReg(v int64) ir.Reg {
+	return g.emitDst(ir.Instr{Op: ir.OpConst, Imm: v}, ir.ClassScalar)
+}
+
+// startBlock begins a new current block (no implicit edge).
+func (g *gen) startBlock(b *ir.Block) { g.cur = b }
+
+// jumpTo ends the current block with a jump to b.
+func (g *gen) jumpTo(b *ir.Block) {
+	g.emit(ir.Instr{Op: ir.OpJmp, A: ir.NoReg, Dst: ir.NoReg})
+	ir.AddEdge(g.cur, b)
+}
+
+// branch ends the current block with a conditional branch.
+func (g *gen) branch(cond ir.Reg, yes, no *ir.Block) {
+	g.emit(ir.Instr{Op: ir.OpBr, A: cond, Dst: ir.NoReg})
+	ir.AddEdge(g.cur, yes)
+	ir.AddEdge(g.cur, no)
+}
+
+// CaseTrapCode is the runtime error raised when a CASE selector matches
+// no label and there is no ELSE (mirrors vmachine.TrapNoCase).
+const CaseTrapCode = 8
+
+func panicf(format string, args ...any) {
+	panic(fmt.Sprintf("irgen: "+format, args...))
+}

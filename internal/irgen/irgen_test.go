@@ -1,0 +1,362 @@
+package irgen_test
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+)
+
+func build(t *testing.T, src string) *ir.Program {
+	t.Helper()
+	f := source.NewFile("t.m3", src)
+	errs := source.NewErrorList(f)
+	mod := parser.Parse(f, errs)
+	if err := errs.Err(); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p := sem.Check(mod, errs)
+	if err := errs.Err(); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return irgen.Build(p)
+}
+
+func findProc(t *testing.T, prog *ir.Program, name string) *ir.Proc {
+	t.Helper()
+	for _, p := range prog.Procs {
+		if p.Name == name {
+			return p
+		}
+	}
+	t.Fatalf("proc %s not found", name)
+	return nil
+}
+
+func opCount(p *ir.Proc, op ir.Op) int {
+	n := 0
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// TestIndexingCreatesDerived: variable-index heap array accesses
+// materialize derived addresses with base lists; constant indices fold
+// into the access offset and create no derived value.
+func TestIndexingCreatesDerived(t *testing.T) {
+	prog := build(t, `
+MODULE T;
+TYPE V = REF ARRAY OF INTEGER;
+PROCEDURE P(v: V; i: INTEGER): INTEGER =
+  BEGIN
+    RETURN v[i] + v[2];
+  END P;
+BEGIN
+END T.
+`)
+	p := findProc(t, prog, "P")
+	derived := 0
+	for _, b := range p.Blocks {
+		for k := range b.Instrs {
+			in := &b.Instrs[k]
+			if in.Dst != ir.NoReg && p.Class(in.Dst) == ir.ClassDerived {
+				derived++
+				if len(in.Deriv) == 0 {
+					t.Errorf("derived def without bases: %+v", in)
+				}
+			}
+		}
+	}
+	if derived != 1 {
+		t.Errorf("%d derived defs, want exactly 1 (v[i] only; v[2] folds)\n%s", derived, p.String())
+	}
+}
+
+// TestFieldSelectionFoldsOffset: r.f uses a constant offset, no derived
+// value.
+func TestFieldSelectionFoldsOffset(t *testing.T) {
+	prog := build(t, `
+MODULE T;
+TYPE R = REF RECORD a, b, c: INTEGER; END;
+PROCEDURE P(r: R): INTEGER =
+  BEGIN
+    RETURN r.c;
+  END P;
+BEGIN
+END T.
+`)
+	p := findProc(t, prog, "P")
+	for _, b := range p.Blocks {
+		for k := range b.Instrs {
+			in := &b.Instrs[k]
+			if in.Op == ir.OpLoad && in.Imm != 3 { // header + offset of c
+				t.Errorf("field load at offset %d, want 3", in.Imm)
+			}
+			if in.Dst != ir.NoReg && p.Class(in.Dst) == ir.ClassDerived {
+				t.Errorf("field selection created a derived value")
+			}
+		}
+	}
+}
+
+// TestByRefParamClassAndPinning: VAR parameters are derived-class and
+// flagged in ParamRefs.
+func TestByRefParamClass(t *testing.T) {
+	prog := build(t, `
+MODULE T;
+PROCEDURE P(VAR x: INTEGER; y: INTEGER) =
+  BEGIN
+    x := y;
+  END P;
+BEGIN
+END T.
+`)
+	p := findProc(t, prog, "P")
+	if !p.ParamRefs[0] || p.ParamRefs[1] {
+		t.Errorf("ParamRefs wrong: %v", p.ParamRefs)
+	}
+	if p.Class(0) != ir.ClassDerived {
+		t.Errorf("by-ref param class %v, want derived", p.Class(0))
+	}
+	if p.Class(1) != ir.ClassScalar {
+		t.Errorf("value param class %v", p.Class(1))
+	}
+}
+
+// TestRefParamIsPointer: REF-typed value params are pointer class.
+func TestRefParamIsPointer(t *testing.T) {
+	prog := build(t, `
+MODULE T;
+TYPE L = REF RECORD x: INTEGER; END;
+PROCEDURE P(l: L): INTEGER =
+  BEGIN
+    RETURN l.x;
+  END P;
+BEGIN
+END T.
+`)
+	p := findProc(t, prog, "P")
+	if p.Class(0) != ir.ClassPointer {
+		t.Errorf("REF param class %v", p.Class(0))
+	}
+}
+
+// TestVarArgMaterializesInteriorPointer: passing r.f by VAR creates a
+// derived argument register based on r.
+func TestVarArgMaterializesInteriorPointer(t *testing.T) {
+	prog := build(t, `
+MODULE T;
+TYPE R = REF RECORD a, b: INTEGER; END;
+PROCEDURE Q(VAR x: INTEGER) =
+  BEGIN
+    x := 1;
+  END Q;
+PROCEDURE P(r: R) =
+  BEGIN
+    Q(r.b);
+  END P;
+BEGIN
+END T.
+`)
+	p := findProc(t, prog, "P")
+	var call *ir.Instr
+	for _, b := range p.Blocks {
+		for k := range b.Instrs {
+			if b.Instrs[k].Op == ir.OpCall {
+				call = &b.Instrs[k]
+			}
+		}
+	}
+	if call == nil {
+		t.Fatal("no call")
+	}
+	arg := call.Args[0]
+	if p.Class(arg) != ir.ClassDerived {
+		t.Fatalf("VAR argument class %v, want derived", p.Class(arg))
+	}
+	// Its defining instruction derives from the parameter register r.
+	for _, b := range p.Blocks {
+		for k := range b.Instrs {
+			in := &b.Instrs[k]
+			if in.Dst == arg {
+				if len(in.Deriv) != 1 || in.Deriv[0].Reg != 0 {
+					t.Errorf("interior pointer bases %v, want {+param0}", in.Deriv)
+				}
+			}
+		}
+	}
+}
+
+// TestVarArgOfLocalIsScalar: passing a plain local by VAR yields a
+// stack address (scalar), and the local is frame-allocated.
+func TestVarArgOfLocalIsScalar(t *testing.T) {
+	prog := build(t, `
+MODULE T;
+PROCEDURE Q(VAR x: INTEGER) =
+  BEGIN
+    x := 1;
+  END Q;
+PROCEDURE P(): INTEGER =
+  VAR v: INTEGER;
+  BEGIN
+    Q(v);
+    RETURN v;
+  END P;
+BEGIN
+END T.
+`)
+	p := findProc(t, prog, "P")
+	if len(p.FrameLocals) != 1 {
+		t.Fatalf("address-taken local not frame-allocated: %+v", p.FrameLocals)
+	}
+	var call *ir.Instr
+	for _, b := range p.Blocks {
+		for k := range b.Instrs {
+			if b.Instrs[k].Op == ir.OpCall {
+				call = &b.Instrs[k]
+			}
+		}
+	}
+	if p.Class(call.Args[0]) != ir.ClassScalar {
+		t.Errorf("stack address class %v, want scalar", p.Class(call.Args[0]))
+	}
+}
+
+// TestFrameLocalPointerArray: a fixed array of pointers as a local has
+// per-element pointer offsets, and the elements are nil-initialized.
+func TestFrameLocalPointerArray(t *testing.T) {
+	prog := build(t, `
+MODULE T;
+TYPE N = REF RECORD v: INTEGER; END;
+PROCEDURE P() =
+  VAR slots: ARRAY [0..3] OF N;
+  BEGIN
+    slots[0] := NEW(N);
+  END P;
+BEGIN
+END T.
+`)
+	p := findProc(t, prog, "P")
+	if len(p.FrameLocals) != 1 {
+		t.Fatalf("array local missing: %+v", p.FrameLocals)
+	}
+	fl := p.FrameLocals[0]
+	if fl.SizeWords != 4 || len(fl.PtrOffsets) != 4 {
+		t.Errorf("frame local layout: %+v", fl)
+	}
+	// Entry block must zero-store all four slots.
+	zeros := 0
+	for k := range p.Entry.Instrs {
+		if p.Entry.Instrs[k].Op == ir.OpStoreLocal {
+			zeros++
+		}
+	}
+	if zeros < 4 {
+		t.Errorf("%d entry stores, want >= 4 nil initializations", zeros)
+	}
+}
+
+// TestGlobalLayout: globals are laid out contiguously with correct
+// pointer maps.
+func TestGlobalLayout(t *testing.T) {
+	prog := build(t, `
+MODULE T;
+TYPE N = REF RECORD v: INTEGER; END;
+VAR a: INTEGER;
+VAR b: N;
+VAR c: ARRAY [0..2] OF N;
+BEGIN
+END T.
+`)
+	if prog.GlobalWords != 5 {
+		t.Errorf("global words %d, want 5", prog.GlobalWords)
+	}
+	offs := prog.GlobalPtrOffsets()
+	want := []int64{1, 2, 3, 4}
+	if len(offs) != len(want) {
+		t.Fatalf("global pointer offsets %v", offs)
+	}
+	for i := range want {
+		if offs[i] != want[i] {
+			t.Fatalf("global pointer offsets %v, want %v", offs, want)
+		}
+	}
+}
+
+// TestGcPointsLowering: NEW and calls become gc-point instructions;
+// builtins do not.
+func TestGcPointsLowering(t *testing.T) {
+	prog := build(t, `
+MODULE T;
+TYPE N = REF RECORD v: INTEGER; END;
+PROCEDURE P(): N =
+  VAR n: N;
+  BEGIN
+    n := NEW(N);
+    PutInt(1);
+    RETURN n;
+  END P;
+BEGIN
+END T.
+`)
+	p := findProc(t, prog, "P")
+	points := 0
+	for _, b := range p.Blocks {
+		for k := range b.Instrs {
+			if b.Instrs[k].IsGCPoint() {
+				points++
+			}
+		}
+	}
+	if points != 1 {
+		t.Errorf("%d gc-points, want 1 (the NEW; PutInt is non-allocating)", points)
+	}
+}
+
+// TestTextLiteralPool: duplicate literals share one pool entry, and the
+// text descriptor is interned.
+func TestTextLiteralPool(t *testing.T) {
+	prog := build(t, `
+MODULE T;
+VAR a, b: TEXT;
+BEGIN
+  a := "same";
+  b := "same";
+  a := "different";
+END T.
+`)
+	if len(prog.TextLits) != 2 {
+		t.Errorf("text pool %v, want 2 entries", prog.TextLits)
+	}
+	if prog.TextDescID < 0 {
+		t.Error("text descriptor not interned")
+	}
+}
+
+// TestShortCircuitLowering: AND produces branching, not an eager
+// evaluation of both operands.
+func TestShortCircuit(t *testing.T) {
+	prog := build(t, `
+MODULE T;
+TYPE N = REF RECORD v: INTEGER; END;
+PROCEDURE P(n: N): INTEGER =
+  BEGIN
+    IF (n # NIL) AND (n.v > 0) THEN RETURN 1; END;
+    RETURN 0;
+  END P;
+BEGIN
+END T.
+`)
+	p := findProc(t, prog, "P")
+	if len(p.Blocks) < 4 {
+		t.Errorf("short-circuit AND produced only %d blocks", len(p.Blocks))
+	}
+}

@@ -1,0 +1,262 @@
+package irgen
+
+import (
+	"repro/internal/ast"
+	"repro/internal/ir"
+	"repro/internal/sem"
+	"repro/internal/types"
+)
+
+func (g *gen) stmts(ss []ast.Stmt) {
+	for _, s := range ss {
+		g.stmt(s)
+	}
+}
+
+func (g *gen) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		// Modula-3 evaluates the designator before the right-hand side;
+		// a heap-interior address here can therefore be live across a
+		// gc-point inside the RHS — the derivations machinery covers it.
+		l := g.lowerLoc(s.LHS)
+		v := g.expr(s.RHS)
+		g.store(l, v)
+	case *ast.CallStmt:
+		g.call(s.Call, false)
+	case *ast.IfStmt:
+		yes := g.p.NewBlock()
+		no := g.p.NewBlock()
+		done := no
+		if len(s.Else) > 0 {
+			done = g.p.NewBlock()
+		}
+		g.condExpr(s.Cond, yes, no)
+		g.startBlock(yes)
+		g.stmts(s.Then)
+		g.jumpTo(done)
+		if len(s.Else) > 0 {
+			g.startBlock(no)
+			g.stmts(s.Else)
+			g.jumpTo(done)
+		}
+		g.startBlock(done)
+	case *ast.WhileStmt:
+		head := g.p.NewBlock()
+		body := g.p.NewBlock()
+		exit := g.p.NewBlock()
+		g.jumpTo(head)
+		g.startBlock(head)
+		g.condExpr(s.Cond, body, exit)
+		g.startBlock(body)
+		g.pushExit(exit)
+		g.stmts(s.Body)
+		g.popExit()
+		g.jumpTo(head)
+		g.startBlock(exit)
+	case *ast.RepeatStmt:
+		body := g.p.NewBlock()
+		exit := g.p.NewBlock()
+		g.jumpTo(body)
+		g.startBlock(body)
+		g.pushExit(exit)
+		g.stmts(s.Body)
+		g.popExit()
+		g.condExpr(s.Cond, exit, body)
+		g.startBlock(exit)
+	case *ast.LoopStmt:
+		body := g.p.NewBlock()
+		exit := g.p.NewBlock()
+		g.jumpTo(body)
+		g.startBlock(body)
+		g.pushExit(exit)
+		g.stmts(s.Body)
+		g.popExit()
+		g.jumpTo(body)
+		g.startBlock(exit)
+	case *ast.ExitStmt:
+		if len(g.exitStack) == 0 {
+			panicf("EXIT outside loop survived checking")
+		}
+		g.jumpTo(g.exitStack[len(g.exitStack)-1])
+		// Unreachable continuation block for any trailing statements.
+		g.startBlock(g.p.NewBlock())
+	case *ast.ForStmt:
+		g.lowerFor(s)
+	case *ast.ReturnStmt:
+		if s.Value != nil {
+			v := g.expr(s.Value)
+			g.emit(ir.Instr{Op: ir.OpRet, A: v})
+		} else {
+			g.emit(ir.Instr{Op: ir.OpRet, A: ir.NoReg})
+		}
+		g.startBlock(g.p.NewBlock())
+	case *ast.WithStmt:
+		g.lowerWith(s)
+	case *ast.CaseStmt:
+		g.lowerCase(s)
+	case *ast.IncDecStmt:
+		l := g.lowerLoc(s.Target)
+		v := g.load(l)
+		var nv ir.Reg
+		if s.Delta == nil {
+			imm := int64(1)
+			if s.Dec {
+				imm = -1
+			}
+			nv = g.emitDst(ir.Instr{Op: ir.OpAddImm, A: v, Imm: imm}, ir.ClassScalar)
+		} else {
+			d := g.expr(s.Delta)
+			op := ir.OpAdd
+			if s.Dec {
+				op = ir.OpSub
+			}
+			nv = g.emitDst(ir.Instr{Op: op, A: v, B: d}, ir.ClassScalar)
+		}
+		g.store(l, nv)
+	}
+}
+
+func (g *gen) pushExit(b *ir.Block) { g.exitStack = append(g.exitStack, b) }
+func (g *gen) popExit()             { g.exitStack = g.exitStack[:len(g.exitStack)-1] }
+
+func (g *gen) lowerFor(s *ast.ForStmt) {
+	sym := g.info.ForSyms[s]
+	lo := g.expr(s.Lo)
+	hi := g.expr(s.Hi)
+	step := int64(1)
+	if s.By != nil {
+		if v, ok := g.constOf(s.By); ok {
+			step = v
+		}
+	}
+	// The limit is captured once (Modula-3 semantics).
+	limit := g.emitDst(ir.Instr{Op: ir.OpMov, A: hi}, ir.ClassScalar)
+	iloc := g.varLoc(sym)
+	g.store(iloc, lo)
+
+	head := g.p.NewBlock()
+	body := g.p.NewBlock()
+	exit := g.p.NewBlock()
+	g.jumpTo(head)
+	g.startBlock(head)
+	iv := g.load(iloc)
+	op := ir.OpCmpLE
+	if step < 0 {
+		op = ir.OpCmpGE
+	}
+	cond := g.emitDst(ir.Instr{Op: op, A: iv, B: limit}, ir.ClassScalar)
+	g.branch(cond, body, exit)
+
+	g.startBlock(body)
+	g.pushExit(exit)
+	g.stmts(s.Body)
+	g.popExit()
+	iv2 := g.load(iloc)
+	next := g.emitDst(ir.Instr{Op: ir.OpAddImm, A: iv2, Imm: step}, ir.ClassScalar)
+	g.store(iloc, next)
+	g.jumpTo(head)
+	g.startBlock(exit)
+}
+
+// lowerCase lowers CASE to a comparison chain over a temp holding the
+// selector. A fall-off without ELSE is a checked runtime error.
+func (g *gen) lowerCase(s *ast.CaseStmt) {
+	sel := g.expr(s.Expr)
+	done := g.p.NewBlock()
+	next := g.p.NewBlock()
+	g.jumpTo(next)
+	for _, arm := range s.Arms {
+		bodyBlk := g.p.NewBlock()
+		for _, lbl := range arm.Labels {
+			g.startBlock(next)
+			next = g.p.NewBlock()
+			lo, _ := g.constOf(lbl.Lo)
+			hi := lo
+			if lbl.Hi != nil {
+				hi, _ = g.constOf(lbl.Hi)
+			}
+			if lo == hi {
+				cv := g.constReg(lo)
+				eq := g.emitDst(ir.Instr{Op: ir.OpCmpEQ, A: sel, B: cv}, ir.ClassScalar)
+				g.branch(eq, bodyBlk, next)
+			} else {
+				loR := g.constReg(lo)
+				ge := g.emitDst(ir.Instr{Op: ir.OpCmpGE, A: sel, B: loR}, ir.ClassScalar)
+				mid := g.p.NewBlock()
+				g.branch(ge, mid, next)
+				g.startBlock(mid)
+				hiR := g.constReg(hi)
+				le := g.emitDst(ir.Instr{Op: ir.OpCmpLE, A: sel, B: hiR}, ir.ClassScalar)
+				g.branch(le, bodyBlk, next)
+			}
+		}
+		g.startBlock(bodyBlk)
+		g.stmts(arm.Body)
+		g.jumpTo(done)
+	}
+	g.startBlock(next)
+	if s.HasElse {
+		g.stmts(s.Else)
+		g.jumpTo(done)
+	} else {
+		g.emit(ir.Instr{Op: ir.OpTrap, Imm: int64(CaseTrapCode)})
+		// The trap never returns; terminate the block for the CFG.
+		g.jumpTo(done)
+	}
+	g.startBlock(done)
+}
+
+func (g *gen) lowerWith(s *ast.WithStmt) {
+	sym := g.info.WithSyms[s]
+	switch {
+	case sym.SubArray:
+		call := s.Expr.(*ast.CallExpr)
+		g.lowerSubarrayBinding(sym, call)
+	case sym.WithAlias:
+		l := g.lowerLoc(s.Expr)
+		g.withLoc[sym] = l
+	default:
+		// Value binding: copy into a fresh register.
+		v := g.expr(s.Expr)
+		r := g.emitDst(ir.Instr{Op: ir.OpMov, A: v}, classFor(sym.Type))
+		g.withLoc[sym] = loc{kind: locReg, reg: r, typ: sym.Type}
+	}
+	g.stmts(s.Body)
+	delete(g.withLoc, sym)
+}
+
+// lowerSubarrayBinding lowers WITH w = SUBARRAY(a, from, n): the binding
+// captures an interior pointer (derived from a) and a length.
+func (g *gen) lowerSubarrayBinding(sym *sem.VarSym, call *ast.CallExpr) {
+	at := g.info.Types[call.Args[0]]
+	arr := at.Elem
+	r := g.expr(call.Args[0])
+	g.emit(ir.Instr{Op: ir.OpCheckNil, A: r})
+	from := g.expr(call.Args[1])
+	n := g.expr(call.Args[2])
+
+	var total ir.Reg
+	dataOff := int64(1)
+	if arr.Open {
+		total = g.emitDst(ir.Instr{Op: ir.OpLoad, A: r, Imm: 1}, ir.ClassScalar)
+		dataOff = 2
+	} else {
+		total = g.constReg(arr.Len())
+	}
+	// Bounds: 0 <= from <= NUMBER and 0 <= n and from+n <= NUMBER.
+	bound := g.emitDst(ir.Instr{Op: ir.OpAddImm, A: total, Imm: 1}, ir.ClassScalar)
+	g.emit(ir.Instr{Op: ir.OpCheckIdx, A: from, B: bound})
+	end := g.emitDst(ir.Instr{Op: ir.OpAdd, A: from, B: n}, ir.ClassScalar)
+	g.emit(ir.Instr{Op: ir.OpCheckIdx, A: end, B: bound})
+
+	es := arr.Elem.SizeWords()
+	scaled := g.scaleIndex(from, 0, es)
+	base := g.addIndex(r, scaled)
+	base = g.addOffset(base, dataOff)
+	lenReg := g.emitDst(ir.Instr{Op: ir.OpMov, A: n}, ir.ClassScalar)
+
+	g.subBase[sym] = base
+	g.subLen[sym] = lenReg
+	g.withLoc[sym] = loc{kind: locReg, reg: base, typ: types.IntType} // placeholder; indexing uses subBase/subLen
+}

@@ -1,0 +1,126 @@
+// Package irtest provides helpers for constructing IR procedures by
+// hand in tests (ambiguous derivations, clobbered bases, and other
+// shapes the source language or optimizer produce only indirectly).
+package irtest
+
+import "repro/internal/ir"
+
+// B builds one procedure.
+type B struct {
+	P   *ir.Proc
+	cur *ir.Block
+}
+
+// NewProc starts a procedure with the given number of parameters; the
+// parameter registers are created with the given classes.
+func NewProc(name string, paramClasses ...ir.Class) *B {
+	p := &ir.Proc{Name: name, NumParams: len(paramClasses)}
+	for _, c := range paramClasses {
+		p.NewReg(c)
+		p.ParamRefs = append(p.ParamRefs, false)
+	}
+	b := &B{P: p}
+	b.cur = p.NewBlock()
+	p.Entry = b.cur
+	return b
+}
+
+// Block starts a new block and returns it (emission continues there).
+func (b *B) Block() *ir.Block {
+	blk := b.P.NewBlock()
+	b.cur = blk
+	return blk
+}
+
+// In switches emission to an existing block.
+func (b *B) In(blk *ir.Block) { b.cur = blk }
+
+// Cur returns the current block.
+func (b *B) Cur() *ir.Block { return b.cur }
+
+// Emit appends a normalized instruction to the current block.
+func (b *B) Emit(in ir.Instr) *ir.Instr {
+	in.Normalize()
+	b.cur.Instrs = append(b.cur.Instrs, in)
+	return &b.cur.Instrs[len(b.cur.Instrs)-1]
+}
+
+// Reg allocates a fresh register.
+func (b *B) Reg(c ir.Class) ir.Reg { return b.P.NewReg(c) }
+
+// Const emits dst = v into a fresh scalar register.
+func (b *B) Const(v int64) ir.Reg {
+	r := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpConst, Dst: r, Imm: v})
+	return r
+}
+
+// ConstInto emits an assignment of v into an existing register.
+func (b *B) ConstInto(dst ir.Reg, v int64) {
+	b.Emit(ir.Instr{Op: ir.OpConst, Dst: dst, Imm: v})
+}
+
+// New emits a heap allocation into a fresh pointer register.
+func (b *B) New(descID int) ir.Reg {
+	r := b.Reg(ir.ClassPointer)
+	b.Emit(ir.Instr{Op: ir.OpNew, Dst: r, Imm: int64(descID), A: ir.NoReg})
+	return r
+}
+
+// AddPtr emits dst = base + off with derivation {+base}.
+func (b *B) AddPtr(base, off ir.Reg) ir.Reg {
+	r := b.Reg(ir.ClassDerived)
+	b.Emit(ir.Instr{Op: ir.OpAdd, Dst: r, A: base, B: off,
+		Deriv: []ir.BaseRef{{Reg: base, Sign: 1}}})
+	return r
+}
+
+// AddImmPtr emits dst = base + imm with derivation {+base} into a fresh
+// derived register.
+func (b *B) AddImmPtr(base ir.Reg, imm int64) ir.Reg {
+	r := b.Reg(ir.ClassDerived)
+	b.Emit(ir.Instr{Op: ir.OpAddImm, Dst: r, A: base, Imm: imm,
+		Deriv: []ir.BaseRef{{Reg: base, Sign: 1}}})
+	return r
+}
+
+// AddImmInto emits dst = base + imm into an existing derived register.
+func (b *B) AddImmInto(dst, base ir.Reg, imm int64) {
+	b.Emit(ir.Instr{Op: ir.OpAddImm, Dst: dst, A: base, Imm: imm,
+		Deriv: []ir.BaseRef{{Reg: base, Sign: 1}}})
+}
+
+// Load emits dst = mem[addr+off].
+func (b *B) Load(addr ir.Reg, off int64, class ir.Class) ir.Reg {
+	r := b.Reg(class)
+	b.Emit(ir.Instr{Op: ir.OpLoad, Dst: r, A: addr, Imm: off})
+	return r
+}
+
+// Store emits mem[addr+off] = v.
+func (b *B) Store(addr ir.Reg, off int64, v ir.Reg) {
+	b.Emit(ir.Instr{Op: ir.OpStore, A: addr, Imm: off, B: v})
+}
+
+// Poll emits a gc-poll (a gc-point with no operands).
+func (b *B) Poll() {
+	b.Emit(ir.Instr{Op: ir.OpGcPoll})
+}
+
+// Ret emits a return and leaves the block terminated.
+func (b *B) Ret(v ir.Reg) {
+	b.Emit(ir.Instr{Op: ir.OpRet, A: v})
+}
+
+// Jmp terminates the current block with a jump to target.
+func (b *B) Jmp(target *ir.Block) {
+	b.Emit(ir.Instr{Op: ir.OpJmp})
+	ir.AddEdge(b.cur, target)
+}
+
+// Br terminates the current block with a conditional branch.
+func (b *B) Br(cond ir.Reg, yes, no *ir.Block) {
+	b.Emit(ir.Instr{Op: ir.OpBr, A: cond})
+	ir.AddEdge(b.cur, yes)
+	ir.AddEdge(b.cur, no)
+}

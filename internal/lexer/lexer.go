@@ -1,0 +1,243 @@
+// Package lexer implements the scanner for the mthree source language.
+//
+// The language follows Modula-3 lexical conventions: keywords are upper
+// case, comments are (* ... *) and nest, character literals use single
+// quotes, and text literals use double quotes with C-style escapes.
+package lexer
+
+import (
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// Token is a scanned token with its position and literal text.
+type Token struct {
+	Kind token.Kind
+	Pos  source.Pos
+	Text string // raw source text of the token
+}
+
+// Lexer scans a source file into tokens.
+type Lexer struct {
+	file *source.File
+	errs *source.ErrorList
+	src  string
+	off  int
+}
+
+// New creates a Lexer over file, reporting errors to errs.
+func New(file *source.File, errs *source.ErrorList) *Lexer {
+	return &Lexer{file: file, errs: errs, src: file.Content}
+}
+
+// ScanAll scans the whole file, ending with an EOF token.
+func (l *Lexer) ScanAll() []Token {
+	var toks []Token
+	for {
+		t := l.Next()
+		toks = append(toks, t)
+		if t.Kind == token.EOF {
+			return toks
+		}
+	}
+}
+
+func (l *Lexer) peek() byte {
+	if l.off >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off]
+}
+
+func (l *Lexer) peekAt(n int) byte {
+	if l.off+n >= len(l.src) {
+		return 0
+	}
+	return l.src[l.off+n]
+}
+
+func (l *Lexer) errorf(off int, format string, args ...any) {
+	l.errs.Errorf(source.Pos{Offset: off}, format, args...)
+}
+
+// skipSpace advances past whitespace and (possibly nested) comments.
+func (l *Lexer) skipSpace() {
+	for l.off < len(l.src) {
+		c := l.src[l.off]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			l.off++
+		case c == '(' && l.peekAt(1) == '*':
+			start := l.off
+			l.off += 2
+			depth := 1
+			for l.off < len(l.src) && depth > 0 {
+				if l.peek() == '(' && l.peekAt(1) == '*' {
+					depth++
+					l.off += 2
+				} else if l.peek() == '*' && l.peekAt(1) == ')' {
+					depth--
+					l.off += 2
+				} else {
+					l.off++
+				}
+			}
+			if depth > 0 {
+				l.errorf(start, "unterminated comment")
+			}
+		default:
+			return
+		}
+	}
+}
+
+func isLetter(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_'
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || c >= 'a' && c <= 'f' || c >= 'A' && c <= 'F'
+}
+
+// Next scans and returns the next token.
+func (l *Lexer) Next() Token {
+	l.skipSpace()
+	start := l.off
+	pos := source.Pos{Offset: start}
+	if l.off >= len(l.src) {
+		return Token{Kind: token.EOF, Pos: pos}
+	}
+	c := l.src[l.off]
+	switch {
+	case isLetter(c):
+		for l.off < len(l.src) && (isLetter(l.peek()) || isDigit(l.peek())) {
+			l.off++
+		}
+		text := l.src[start:l.off]
+		return Token{Kind: token.Lookup(text), Pos: pos, Text: text}
+	case isDigit(c):
+		return l.scanNumber(start)
+	case c == '\'':
+		return l.scanChar(start)
+	case c == '"':
+		return l.scanText(start)
+	}
+	l.off++
+	mk := func(k token.Kind) Token {
+		return Token{Kind: k, Pos: pos, Text: l.src[start:l.off]}
+	}
+	switch c {
+	case '+':
+		return mk(token.Plus)
+	case '-':
+		return mk(token.Minus)
+	case '*':
+		return mk(token.Star)
+	case '/':
+		return mk(token.Slash)
+	case '=':
+		if l.peek() == '>' {
+			l.off++
+			return mk(token.Arrow)
+		}
+		return mk(token.Equal)
+	case '#':
+		return mk(token.NotEqual)
+	case '<':
+		if l.peek() == '=' {
+			l.off++
+			return mk(token.LessEq)
+		}
+		return mk(token.Less)
+	case '>':
+		if l.peek() == '=' {
+			l.off++
+			return mk(token.GreaterEq)
+		}
+		return mk(token.Greater)
+	case '(':
+		return mk(token.LParen)
+	case ')':
+		return mk(token.RParen)
+	case '[':
+		return mk(token.LBracket)
+	case ']':
+		return mk(token.RBracket)
+	case '{':
+		return mk(token.LBrace)
+	case '}':
+		return mk(token.RBrace)
+	case ',':
+		return mk(token.Comma)
+	case ';':
+		return mk(token.Semicolon)
+	case ':':
+		if l.peek() == '=' {
+			l.off++
+			return mk(token.Assign)
+		}
+		return mk(token.Colon)
+	case '.':
+		if l.peek() == '.' {
+			l.off++
+			return mk(token.DotDot)
+		}
+		return mk(token.Dot)
+	case '^':
+		return mk(token.Caret)
+	case '|':
+		return mk(token.Bar)
+	}
+	l.errorf(start, "unexpected character %q", string(c))
+	return Token{Kind: token.Illegal, Pos: pos, Text: string(c)}
+}
+
+// scanNumber scans decimal literals and Modula-3 based literals like 16_FF.
+func (l *Lexer) scanNumber(start int) Token {
+	for l.off < len(l.src) && isDigit(l.peek()) {
+		l.off++
+	}
+	if l.peek() == '_' {
+		l.off++
+		if !isHexDigit(l.peek()) {
+			l.errorf(l.off, "missing digits after base in literal")
+		}
+		for l.off < len(l.src) && isHexDigit(l.peek()) {
+			l.off++
+		}
+	}
+	return Token{Kind: token.IntLit, Pos: source.Pos{Offset: start}, Text: l.src[start:l.off]}
+}
+
+func (l *Lexer) scanChar(start int) Token {
+	l.off++ // opening quote
+	if l.peek() == '\\' {
+		l.off += 2
+	} else if l.off < len(l.src) {
+		l.off++
+	}
+	if l.peek() != '\'' {
+		l.errorf(start, "unterminated character literal")
+	} else {
+		l.off++
+	}
+	return Token{Kind: token.CharLit, Pos: source.Pos{Offset: start}, Text: l.src[start:l.off]}
+}
+
+func (l *Lexer) scanText(start int) Token {
+	l.off++ // opening quote
+	for l.off < len(l.src) && l.peek() != '"' && l.peek() != '\n' {
+		if l.peek() == '\\' {
+			l.off++
+		}
+		l.off++
+	}
+	if l.peek() != '"' {
+		l.errorf(start, "unterminated text literal")
+	} else {
+		l.off++
+	}
+	return Token{Kind: token.TextLit, Pos: source.Pos{Offset: start}, Text: l.src[start:l.off]}
+}

@@ -1,0 +1,133 @@
+package lexer
+
+import (
+	"testing"
+
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+func scan(t *testing.T, src string) ([]Token, *source.ErrorList) {
+	t.Helper()
+	f := source.NewFile("t.m3", src)
+	errs := source.NewErrorList(f)
+	lx := New(f, errs)
+	return lx.ScanAll(), errs
+}
+
+func kinds(toks []Token) []token.Kind {
+	var ks []token.Kind
+	for _, tk := range toks {
+		ks = append(ks, tk.Kind)
+	}
+	return ks
+}
+
+func expectKinds(t *testing.T, src string, want ...token.Kind) {
+	t.Helper()
+	toks, errs := scan(t, src)
+	if errs.Len() > 0 {
+		t.Fatalf("%q: unexpected errors: %v", src, errs.Err())
+	}
+	want = append(want, token.EOF)
+	got := kinds(toks)
+	if len(got) != len(want) {
+		t.Fatalf("%q: got %v, want %v", src, got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%q: token %d is %v, want %v", src, i, got[i], want[i])
+		}
+	}
+}
+
+func TestKeywordsAndIdents(t *testing.T) {
+	expectKinds(t, "MODULE Foo BEGIN END while While",
+		token.MODULE, token.Ident, token.BEGIN, token.END, token.Ident, token.Ident)
+}
+
+func TestOperators(t *testing.T) {
+	expectKinds(t, "+ - * / := = # < <= > >= ( ) [ ] { } , ; : . .. ^ | =>",
+		token.Plus, token.Minus, token.Star, token.Slash, token.Assign,
+		token.Equal, token.NotEqual, token.Less, token.LessEq, token.Greater,
+		token.GreaterEq, token.LParen, token.RParen, token.LBracket,
+		token.RBracket, token.LBrace, token.RBrace, token.Comma,
+		token.Semicolon, token.Colon, token.Dot, token.DotDot, token.Caret,
+		token.Bar, token.Arrow)
+}
+
+func TestNumbers(t *testing.T) {
+	toks, errs := scan(t, "0 123 16_FF 2_1010")
+	if errs.Len() > 0 {
+		t.Fatal(errs.Err())
+	}
+	want := []string{"0", "123", "16_FF", "2_1010"}
+	for i, w := range want {
+		if toks[i].Kind != token.IntLit || toks[i].Text != w {
+			t.Errorf("token %d: %v %q, want IntLit %q", i, toks[i].Kind, toks[i].Text, w)
+		}
+	}
+}
+
+func TestCharAndTextLiterals(t *testing.T) {
+	toks, errs := scan(t, `'a' '\n' "hello" "a\"b"`)
+	if errs.Len() > 0 {
+		t.Fatal(errs.Err())
+	}
+	if toks[0].Kind != token.CharLit || toks[0].Text != "'a'" {
+		t.Errorf("got %v %q", toks[0].Kind, toks[0].Text)
+	}
+	if toks[1].Kind != token.CharLit || toks[1].Text != `'\n'` {
+		t.Errorf("got %v %q", toks[1].Kind, toks[1].Text)
+	}
+	if toks[2].Kind != token.TextLit || toks[2].Text != `"hello"` {
+		t.Errorf("got %v %q", toks[2].Kind, toks[2].Text)
+	}
+	if toks[3].Kind != token.TextLit || toks[3].Text != `"a\"b"` {
+		t.Errorf("got %v %q", toks[3].Kind, toks[3].Text)
+	}
+}
+
+func TestNestedComments(t *testing.T) {
+	expectKinds(t, "a (* outer (* inner *) still outer *) b",
+		token.Ident, token.Ident)
+}
+
+func TestUnterminatedComment(t *testing.T) {
+	_, errs := scan(t, "a (* never closed")
+	if errs.Len() == 0 {
+		t.Error("expected an error for an unterminated comment")
+	}
+}
+
+func TestUnterminatedText(t *testing.T) {
+	_, errs := scan(t, "\"runs off the line\n")
+	if errs.Len() == 0 {
+		t.Error("expected an error for an unterminated text literal")
+	}
+}
+
+func TestIllegalCharacter(t *testing.T) {
+	toks, errs := scan(t, "a ? b")
+	if errs.Len() == 0 {
+		t.Error("expected an error for '?'")
+	}
+	if toks[1].Kind != token.Illegal {
+		t.Errorf("token 1 is %v, want Illegal", toks[1].Kind)
+	}
+}
+
+func TestPositions(t *testing.T) {
+	f := source.NewFile("t.m3", "ab\ncd ef")
+	errs := source.NewErrorList(f)
+	lx := New(f, errs)
+	toks := lx.ScanAll()
+	loc := f.Position(toks[1].Pos) // "cd"
+	if loc.Line != 2 || loc.Col != 1 {
+		t.Errorf("cd at %d:%d, want 2:1", loc.Line, loc.Col)
+	}
+	loc = f.Position(toks[2].Pos) // "ef"
+	if loc.Line != 2 || loc.Col != 4 {
+		t.Errorf("ef at %d:%d, want 2:4", loc.Line, loc.Col)
+	}
+}

@@ -1,0 +1,120 @@
+package objfile_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/vmachine"
+)
+
+const src = `
+MODULE Obj;
+TYPE L = REF RECORD v: INTEGER; next: L; END;
+VAR l, junk: L; i, s: INTEGER;
+BEGIN
+  FOR i := 1 TO 40 DO
+    WITH c = NEW(L) DO
+      c.v := i * 3;
+      c.next := l;
+      l := c;
+    END;
+    junk := NEW(L);      (* immediate garbage to force collections *)
+    junk.v := i;
+    junk := NIL;
+  END;
+  s := 0;
+  WHILE l # NIL DO s := s + l.v; l := l.next; END;
+  PutInt(s); PutLn();
+END Obj.
+`
+
+func TestRoundTripRun(t *testing.T) {
+	c, err := driver.Compile("obj.m3", src, driver.NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteObject(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := driver.LoadObject(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Prog.CodeSize() != c.Prog.CodeSize() {
+		t.Errorf("code size changed: %d vs %d", loaded.Prog.CodeSize(), c.Prog.CodeSize())
+	}
+	if loaded.Encoded == nil || loaded.Encoded.Size() != c.Encoded.Size() {
+		t.Error("tables lost or resized")
+	}
+	if loaded.Opts.Scheme != c.Opts.Scheme {
+		t.Errorf("scheme %v, want %v", loaded.Opts.Scheme, c.Opts.Scheme)
+	}
+	// Run the loaded module under memory pressure: the tables must work.
+	cfg := vmachine.DefaultConfig()
+	cfg.HeapWords = 384
+	var sb strings.Builder
+	cfg.Out = &sb
+	m, col, err := loaded.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Debug = true
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "2460\n" {
+		t.Errorf("output %q", sb.String())
+	}
+	if col.Collections == 0 {
+		t.Error("expected collections from the loaded tables")
+	}
+}
+
+func TestGenerationalFlagSurvives(t *testing.T) {
+	opts := driver.NewOptions()
+	opts.Generational = true
+	c, err := driver.Compile("obj.m3", src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := c.WriteObject(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := driver.LoadObject(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !loaded.Opts.Generational {
+		t.Fatal("generational flag lost")
+	}
+	cfg := vmachine.DefaultConfig()
+	cfg.HeapWords = 4096
+	var sb strings.Builder
+	cfg.Out = &sb
+	m, _, err := loaded.NewGenerationalMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "2460\n" {
+		t.Errorf("output %q", sb.String())
+	}
+}
+
+func TestBadInput(t *testing.T) {
+	if _, err := driver.LoadObject(bytes.NewReader([]byte("NOPE"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := driver.LoadObject(bytes.NewReader(nil)); err == nil {
+		t.Error("empty file accepted")
+	}
+	if _, err := driver.LoadObject(bytes.NewReader([]byte("MXO1garbage..."))); err == nil {
+		t.Error("corrupt body accepted")
+	}
+}

@@ -1,0 +1,85 @@
+package opt_test
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/codegen"
+	"repro/internal/gc"
+	"repro/internal/gctab"
+	"repro/internal/heap"
+	"repro/internal/ir"
+	"repro/internal/irgen"
+	"repro/internal/opt"
+	"repro/internal/parser"
+	"repro/internal/sem"
+	"repro/internal/source"
+	"repro/internal/vmachine"
+)
+
+// TestBisectPasses is a debugging aid: set BISECT_SRC to a source file
+// and it reports the program output after each optimizer stage.
+func TestBisectPasses(t *testing.T) {
+	path := os.Getenv("BISECT_SRC")
+	if path == "" {
+		t.Skip("BISECT_SRC not set")
+	}
+	srcBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := string(srcBytes)
+
+	stages := []struct {
+		name string
+		run  func(p *ir.Proc, stage int)
+	}{
+		{"none", func(p *ir.Proc, k int) {}},
+		{"constfold", func(p *ir.Proc, k int) { opt.ConstFold(p) }},
+		{"copyprop", func(p *ir.Proc, k int) { opt.CopyProp(p) }},
+		{"cse", func(p *ir.Proc, k int) { opt.CSE(p) }},
+		{"licm", func(p *ir.Proc, k int) { opt.LICM(p) }},
+		{"strengthred", func(p *ir.Proc, k int) { opt.StrengthReduce(p) }},
+		{"copyprop2", func(p *ir.Proc, k int) { opt.CopyProp(p) }},
+		{"cse2", func(p *ir.Proc, k int) { opt.CSE(p) }},
+		{"constfold2", func(p *ir.Proc, k int) { opt.ConstFold(p) }},
+		{"dce", func(p *ir.Proc, k int) { opt.DCE(p, true) }},
+	}
+
+	for upto := 0; upto < len(stages); upto++ {
+		f := source.NewFile("b.m3", src)
+		errs := source.NewErrorList(f)
+		mod := parser.Parse(f, errs)
+		prog := sem.Check(mod, errs)
+		if err := errs.Err(); err != nil {
+			t.Fatal(err)
+		}
+		irp := irgen.Build(prog)
+		for _, p := range irp.Procs {
+			for k := 1; k <= upto; k++ {
+				stages[k].run(p, k)
+			}
+			opt.PreserveBases(p)
+			opt.InsertPathVars(p)
+		}
+		vmProg, tables, err := codegen.Generate(irp, codegen.Options{GCSupport: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		enc := gctab.Encode(tables, gctab.DeltaPP)
+		var sb strings.Builder
+		cfg := vmachine.Config{HeapWords: 1 << 18, StackWords: 1 << 14, MaxThreads: 1, Out: &sb}
+		m := vmachine.New(vmProg, cfg)
+		h := heap.New(m.Mem, m.HeapLo, m.HeapHi, vmProg.Descs)
+		m.Alloc = h
+		m.Collector = gc.New(h, enc)
+		if _, err := m.Spawn(vmProg.MainProc); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Run(10_000_000); err != nil {
+			t.Fatalf("stage %s: %v", stages[upto].name, err)
+		}
+		t.Logf("through %-12s => %q", stages[upto].name, sb.String())
+	}
+}

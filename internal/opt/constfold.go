@@ -1,0 +1,172 @@
+package opt
+
+import "repro/internal/ir"
+
+// ConstFold performs per-block constant folding and branch folding.
+// Instructions producing Pointer or Derived values are never folded
+// (their operands are addresses unknown at compile time; only nil is
+// constant and it is guarded by nil checks).
+func ConstFold(p *ir.Proc) {
+	for _, b := range p.Blocks {
+		consts := make(map[ir.Reg]int64)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			foldInstr(p, in, consts)
+			if in.Dst != ir.NoReg {
+				if in.Op == ir.OpConst {
+					consts[in.Dst] = in.Imm
+				} else {
+					delete(consts, in.Dst)
+				}
+			}
+		}
+		foldBranch(p, b, consts)
+	}
+}
+
+func foldInstr(p *ir.Proc, in *ir.Instr, consts map[ir.Reg]int64) {
+	if in.Dst != ir.NoReg && p.Class(in.Dst) != ir.ClassScalar {
+		return
+	}
+	cv := func(r ir.Reg) (int64, bool) {
+		if r == ir.NoReg {
+			return 0, false
+		}
+		v, ok := consts[r]
+		return v, ok
+	}
+	toConst := func(v int64) {
+		*in = ir.Instr{Op: ir.OpConst, Dst: in.Dst, A: ir.NoReg, B: ir.NoReg, Imm: v}
+	}
+	a, aok := cv(in.A)
+	bv, bok := cv(in.B)
+	switch in.Op {
+	case ir.OpMov:
+		if aok {
+			toConst(a)
+		}
+	case ir.OpAddImm:
+		if aok {
+			toConst(a + in.Imm)
+		}
+	case ir.OpNeg:
+		if aok {
+			toConst(-a)
+		}
+	case ir.OpNot:
+		if aok {
+			toConst(1 - a)
+		}
+	case ir.OpAbs:
+		if aok {
+			if a < 0 {
+				a = -a
+			}
+			toConst(a)
+		}
+	case ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod, ir.OpMin, ir.OpMax,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE:
+		if !aok || !bok {
+			// Strength-reduce multiplications by one and additions of zero.
+			if in.Op == ir.OpAdd && bok && bv == 0 {
+				*in = ir.Instr{Op: ir.OpMov, Dst: in.Dst, A: in.A, B: ir.NoReg, Deriv: in.Deriv}
+			} else if in.Op == ir.OpMul && bok && bv == 1 {
+				*in = ir.Instr{Op: ir.OpMov, Dst: in.Dst, A: in.A, B: ir.NoReg}
+			} else if in.Op == ir.OpMul && aok && a == 1 {
+				*in = ir.Instr{Op: ir.OpMov, Dst: in.Dst, A: in.B, B: ir.NoReg}
+			}
+			return
+		}
+		switch in.Op {
+		case ir.OpAdd:
+			toConst(a + bv)
+		case ir.OpSub:
+			toConst(a - bv)
+		case ir.OpMul:
+			toConst(a * bv)
+		case ir.OpDiv:
+			if bv != 0 {
+				toConst(floorDiv(a, bv))
+			}
+		case ir.OpMod:
+			if bv != 0 {
+				toConst(a - floorDiv(a, bv)*bv)
+			}
+		case ir.OpMin:
+			toConst(min(a, bv))
+		case ir.OpMax:
+			toConst(max(a, bv))
+		case ir.OpCmpEQ:
+			toConst(b2i(a == bv))
+		case ir.OpCmpNE:
+			toConst(b2i(a != bv))
+		case ir.OpCmpLT:
+			toConst(b2i(a < bv))
+		case ir.OpCmpLE:
+			toConst(b2i(a <= bv))
+		case ir.OpCmpGT:
+			toConst(b2i(a > bv))
+		case ir.OpCmpGE:
+			toConst(b2i(a >= bv))
+		}
+	case ir.OpCheckRange:
+		if aok && a >= in.Imm && a <= in.Imm2 {
+			// Provably in range: drop the check by turning it into a
+			// no-op constant into a fresh dead register.
+			*in = ir.Instr{Op: ir.OpConst, Dst: p.NewReg(ir.ClassScalar), A: ir.NoReg, B: ir.NoReg, Imm: 0}
+		}
+	case ir.OpCheckNil:
+		// A nil check of a freshly allocated object never fires; CSE
+		// already removes duplicates, nothing to do here.
+	}
+}
+
+// foldBranch turns a conditional branch on a constant into a jump.
+func foldBranch(p *ir.Proc, b *ir.Block, consts map[ir.Reg]int64) {
+	if len(b.Instrs) == 0 {
+		return
+	}
+	last := &b.Instrs[len(b.Instrs)-1]
+	if last.Op != ir.OpBr || len(b.Succs) != 2 {
+		return
+	}
+	v, ok := consts[last.A]
+	if !ok {
+		return
+	}
+	taken, dropped := b.Succs[0], b.Succs[1]
+	if v == 0 {
+		taken, dropped = dropped, taken
+	}
+	*last = ir.Instr{Op: ir.OpJmp, Dst: ir.NoReg, A: ir.NoReg, B: ir.NoReg}
+	b.Succs = nil
+	for i, pr := range dropped.Preds {
+		if pr == b {
+			dropped.Preds = append(dropped.Preds[:i], dropped.Preds[i+1:]...)
+			break
+		}
+	}
+	// Re-add the surviving edge (Preds of taken still includes b).
+	for i, pr := range taken.Preds {
+		if pr == b {
+			taken.Preds = append(taken.Preds[:i], taken.Preds[i+1:]...)
+			break
+		}
+	}
+	ir.AddEdge(b, taken)
+}
+
+func floorDiv(x, y int64) int64 {
+	q := x / y
+	if (x%y != 0) && ((x < 0) != (y < 0)) {
+		q--
+	}
+	return q
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,61 @@
+package opt
+
+import "repro/internal/ir"
+
+// CopyProp propagates register copies within each block. Only copies
+// between registers of the same class are propagated, so derivation
+// base references stay class-correct.
+func CopyProp(p *ir.Proc) {
+	for _, b := range p.Blocks {
+		// copyOf[d] = s when d is currently a copy of s.
+		copyOf := make(map[ir.Reg]ir.Reg)
+		// rev[s] = registers currently copying s, for invalidation.
+		rev := make(map[ir.Reg][]ir.Reg)
+		invalidate := func(r ir.Reg) {
+			delete(copyOf, r)
+			for _, d := range rev[r] {
+				if copyOf[d] == r {
+					delete(copyOf, d)
+				}
+			}
+			delete(rev, r)
+		}
+		resolve := func(r ir.Reg) ir.Reg {
+			for {
+				s, ok := copyOf[r]
+				if !ok {
+					return r
+				}
+				r = s
+			}
+		}
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			// Rewrite operand uses through the copy map.
+			if in.A != ir.NoReg {
+				in.A = resolve(in.A)
+			}
+			if in.B != ir.NoReg {
+				in.B = resolve(in.B)
+			}
+			for j := range in.Args {
+				in.Args[j] = resolve(in.Args[j])
+			}
+			for j := range in.Deriv {
+				r := in.Deriv[j].Reg
+				s := resolve(r)
+				if s != r && p.Class(s) == p.Class(r) {
+					in.Deriv[j].Reg = s
+				}
+			}
+			if in.Dst == ir.NoReg {
+				continue
+			}
+			invalidate(in.Dst)
+			if in.Op == ir.OpMov && p.Class(in.Dst) == p.Class(in.A) && in.A != in.Dst {
+				copyOf[in.Dst] = in.A
+				rev[in.A] = append(rev[in.A], in.Dst)
+			}
+		}
+	}
+}

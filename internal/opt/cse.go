@@ -1,0 +1,98 @@
+package opt
+
+import (
+	"fmt"
+
+	"repro/internal/ir"
+)
+
+// CSE performs per-block value numbering. Pure computations (including
+// address arithmetic — the source of the paper's long-lived derived
+// values, as in the A[i,j]/A[i,k] example) and loads are shared; a
+// duplicated instruction is replaced by a move from the earlier result.
+// Duplicate nil/range/index checks are dropped outright.
+//
+// Loads participate in value numbering under a memory generation
+// counter bumped by stores and calls. Allocations do not bump it: a
+// fresh object cannot alias an existing location, and pointer moves at
+// collections are invisible to the mutator (every live pointer is
+// updated consistently).
+func CSE(p *ir.Proc) {
+	for _, b := range p.Blocks {
+		avail := make(map[string]ir.Reg) // value key -> register holding it
+		holds := make(map[ir.Reg][]string)
+		version := make(map[ir.Reg]int)
+		checks := make(map[string]bool)
+		memGen := 0
+		dead := make([]bool, len(b.Instrs))
+
+		key := func(in *ir.Instr) string {
+			switch in.Op {
+			case ir.OpLoad:
+				return fmt.Sprintf("ld %d.%d +%d @%d", in.A, version[in.A], in.Imm, memGen)
+			case ir.OpLoadGlobal:
+				return fmt.Sprintf("ldg %d @%d", in.Imm, memGen)
+			case ir.OpLoadLocal:
+				return fmt.Sprintf("ldl %d+%d @%d", in.LocalID, in.Imm, memGen)
+			case ir.OpConst:
+				return fmt.Sprintf("c %d cls%d", in.Imm, p.Class(in.Dst))
+			case ir.OpAddrGlobal:
+				return fmt.Sprintf("ag %d", in.Imm)
+			case ir.OpAddrLocal:
+				return fmt.Sprintf("al %d+%d", in.LocalID, in.Imm)
+			default:
+				return fmt.Sprintf("%d %d.%d %d.%d %d %d",
+					in.Op, in.A, version[in.A], in.B, version[in.B], in.Imm, in.Imm2)
+			}
+		}
+
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			switch in.Op {
+			case ir.OpCheckNil, ir.OpCheckRange, ir.OpCheckIdx:
+				k := fmt.Sprintf("chk %d %d.%d %d.%d %d %d",
+					in.Op, in.A, version[in.A], in.B, version[in.B], in.Imm, in.Imm2)
+				if checks[k] {
+					dead[i] = true
+				} else {
+					checks[k] = true
+				}
+				continue
+			case ir.OpStore, ir.OpStoreGlobal, ir.OpStoreLocal, ir.OpCall:
+				memGen++
+			case ir.OpCallBuiltin:
+				// Runtime output routines do not write program memory.
+			}
+			if in.Dst == ir.NoReg {
+				continue
+			}
+			shareable := isPure(in.Op) && in.Op != ir.OpMov && !in.IsDerivPreserving()
+			k := ""
+			matched := false
+			if shareable {
+				k = key(in) // operand versions read before the redefinition below
+				if prev, ok := avail[k]; ok && prev != in.Dst {
+					mv := ir.Instr{Op: ir.OpMov, Dst: in.Dst, A: prev, B: ir.NoReg}
+					if p.Class(in.Dst) == ir.ClassDerived {
+						mv.Deriv = []ir.BaseRef{{Reg: prev, Sign: 1}}
+					}
+					*in = mv
+					matched = true
+				}
+			}
+			// Redefinition invalidates value entries held in this register.
+			version[in.Dst]++
+			for _, hk := range holds[in.Dst] {
+				if avail[hk] == in.Dst {
+					delete(avail, hk)
+				}
+			}
+			delete(holds, in.Dst)
+			if shareable && !matched {
+				avail[k] = in.Dst
+				holds[in.Dst] = append(holds[in.Dst], k)
+			}
+		}
+		removeInstrs(b, dead)
+	}
+}

@@ -1,0 +1,124 @@
+// Package opt implements the optimization passes of the mthree
+// compiler, including the passes that create derived pointers (CSE,
+// loop-invariant code motion, strength reduction with virtual array
+// origins) and the two gc-support passes the paper requires for
+// correctness at every optimization level: base preservation (the dead
+// base problem) and path-variable insertion (ambiguous derivations).
+package opt
+
+import "repro/internal/ir"
+
+// Options selects the pass pipeline.
+type Options struct {
+	// Level 0 runs only the mandatory gc-support passes; level 1 runs
+	// the full optimizer.
+	Level int
+	// GCSupport enables the gc correctness passes (base preservation,
+	// path variables) and derived-base keep-alive. Disabling it
+	// reproduces the paper's §6.2 "without gc restrictions" compiles.
+	GCSupport bool
+	// PathSplitting disambiguates derivations by duplicating code paths
+	// (Chambers/Ungar style, Figure 2) instead of inserting path
+	// variables. Ablation only.
+	PathSplitting bool
+}
+
+// Optimize runs the configured pipeline over every procedure.
+func Optimize(prog *ir.Program, opts Options) {
+	for _, p := range prog.Procs {
+		optimizeProc(p, opts)
+	}
+}
+
+func optimizeProc(p *ir.Proc, opts Options) {
+	if opts.Level >= 1 {
+		ConstFold(p)
+		CopyProp(p)
+		CSE(p)
+		LICM(p)
+		StrengthReduce(p)
+		CopyProp(p)
+		CSE(p)
+		ConstFold(p)
+		DCE(p, opts.GCSupport)
+	}
+	if opts.GCSupport {
+		PreserveBases(p)
+		if opts.PathSplitting {
+			SplitPaths(p)
+		} else {
+			InsertPathVars(p)
+		}
+	}
+}
+
+// ---------- shared helpers ----------
+
+// defSite locates one definition.
+type defSite struct {
+	block *ir.Block
+	idx   int
+}
+
+// collectDefs maps each register to its definition sites.
+func collectDefs(p *ir.Proc) map[ir.Reg][]defSite {
+	defs := make(map[ir.Reg][]defSite)
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			if d := b.Instrs[i].Dst; d != ir.NoReg {
+				defs[d] = append(defs[d], defSite{b, i})
+			}
+		}
+	}
+	return defs
+}
+
+// replaceRegUses substitutes to for from in the instruction's operand
+// positions (not the destination). Derivation references are replaced
+// only when replaceDeriv is set.
+func replaceRegUses(in *ir.Instr, from, to ir.Reg, replaceDeriv bool) {
+	if in.A == from {
+		in.A = to
+	}
+	if in.B == from {
+		in.B = to
+	}
+	for i := range in.Args {
+		if in.Args[i] == from {
+			in.Args[i] = to
+		}
+	}
+	if replaceDeriv {
+		for i := range in.Deriv {
+			if in.Deriv[i].Reg == from {
+				in.Deriv[i].Reg = to
+			}
+		}
+	}
+}
+
+// isPure reports whether the instruction has no side effect and can be
+// removed if its result is unused, or re-ordered subject to operand
+// dependences. Allocations (OpNew/OpText) are excluded.
+func isPure(op ir.Op) bool {
+	switch op {
+	case ir.OpConst, ir.OpMov, ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpNeg, ir.OpNot,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE,
+		ir.OpAbs, ir.OpMin, ir.OpMax, ir.OpAddImm,
+		ir.OpAddrGlobal, ir.OpAddrLocal,
+		ir.OpLoad, ir.OpLoadGlobal, ir.OpLoadLocal:
+		return true
+	}
+	return false
+}
+
+// removeInstrs compacts a block, dropping instructions flagged dead.
+func removeInstrs(b *ir.Block, dead []bool) {
+	out := b.Instrs[:0]
+	for i := range b.Instrs {
+		if !dead[i] {
+			out = append(out, b.Instrs[i])
+		}
+	}
+	b.Instrs = out
+}

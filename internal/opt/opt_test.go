@@ -1,0 +1,510 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+	"repro/internal/irtest"
+)
+
+func countOps(p *ir.Proc, op ir.Op) int {
+	n := 0
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].Op == op {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+func TestConstFoldArith(t *testing.T) {
+	b := irtest.NewProc("p")
+	x := b.Const(6)
+	y := b.Const(7)
+	z := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpMul, Dst: z, A: x, B: y})
+	b.Ret(z)
+	ConstFold(b.P)
+	var folded *ir.Instr
+	for i := range b.P.Entry.Instrs {
+		in := &b.P.Entry.Instrs[i]
+		if in.Dst == z {
+			folded = in
+		}
+	}
+	if folded == nil || folded.Op != ir.OpConst || folded.Imm != 42 {
+		t.Fatalf("mul not folded: %+v", folded)
+	}
+}
+
+func TestConstFoldBranch(t *testing.T) {
+	b := irtest.NewProc("p")
+	cond := b.Const(0)
+	yes := b.P.NewBlock()
+	no := b.P.NewBlock()
+	b.Br(cond, yes, no)
+	b.In(yes)
+	b.Ret(ir.NoReg)
+	b.In(no)
+	b.Ret(ir.NoReg)
+	ConstFold(b.P)
+	if len(b.P.Entry.Succs) != 1 || b.P.Entry.Succs[0] != no {
+		t.Fatalf("branch on false not folded to the no-edge")
+	}
+	if b.P.Entry.Instrs[len(b.P.Entry.Instrs)-1].Op != ir.OpJmp {
+		t.Fatal("terminator is not a jump")
+	}
+}
+
+func TestConstFoldNeverTouchesPointers(t *testing.T) {
+	b := irtest.NewProc("p")
+	nilp := b.Reg(ir.ClassPointer)
+	b.ConstInto(nilp, 0)
+	one := b.Const(1)
+	d := b.AddPtr(nilp, one)
+	b.Ret(d)
+	ConstFold(b.P)
+	if countOps(b.P, ir.OpAdd) != 1 {
+		t.Error("pointer arithmetic was folded")
+	}
+}
+
+func TestCopyProp(t *testing.T) {
+	b := irtest.NewProc("p")
+	x := b.Const(5)
+	y := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpMov, Dst: y, A: x})
+	z := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpAdd, Dst: z, A: y, B: y})
+	b.Ret(z)
+	CopyProp(b.P)
+	add := &b.P.Entry.Instrs[2]
+	if add.A != x || add.B != x {
+		t.Errorf("copy not propagated: %+v", add)
+	}
+}
+
+func TestCopyPropInvalidation(t *testing.T) {
+	b := irtest.NewProc("p")
+	x := b.Const(5)
+	y := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpMov, Dst: y, A: x})
+	b.ConstInto(x, 9) // x redefined: the copy is stale
+	z := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpAdd, Dst: z, A: y, B: y})
+	b.Ret(z)
+	CopyProp(b.P)
+	add := &b.P.Entry.Instrs[3]
+	if add.A != y || add.B != y {
+		t.Errorf("stale copy propagated: %+v", add)
+	}
+}
+
+func TestCopyPropClassGuard(t *testing.T) {
+	b := irtest.NewProc("p")
+	s := b.Const(0)
+	p := b.Reg(ir.ClassPointer)
+	b.Emit(ir.Instr{Op: ir.OpMov, Dst: p, A: s}) // nil into pointer
+	one := b.Const(1)
+	d := b.AddPtr(p, one)
+	b.Ret(d)
+	CopyProp(b.P)
+	add := &b.P.Entry.Instrs[3]
+	if add.A != p {
+		t.Errorf("cross-class copy propagated into pointer use: %+v", add)
+	}
+	if add.Deriv[0].Reg != p {
+		t.Errorf("derivation base corrupted: %+v", add.Deriv)
+	}
+}
+
+// TestCSEPaperExample reproduces §2's CSE example: A[i,j] and A[i,k]
+// share the row address &A[i], leaving one derived value live across
+// both accesses.
+func TestCSEPaperExample(t *testing.T) {
+	b := irtest.NewProc("p")
+	a := b.New(0)
+	i := b.Const(2)
+	rowSize := b.Const(10)
+	scaled := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpMul, Dst: scaled, A: i, B: rowSize})
+	t1 := b.AddPtr(a, scaled) // &A[i] (first computation)
+	v10 := b.Const(10)
+	b.Store(t1, 3, v10) // A[i,j] := 10
+	scaled2 := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpMul, Dst: scaled2, A: i, B: rowSize})
+	t2 := b.AddPtr(a, scaled2) // &A[i] recomputed
+	v20 := b.Const(20)
+	b.Store(t2, 5, v20) // A[i,k] := 20
+	b.Ret(ir.NoReg)
+
+	// One CSE pass shares the Mul; CopyProp then rewrites the second
+	// Add's operand so a second CSE pass can share the address too
+	// (the pipeline's CSE/CopyProp/CSE ordering).
+	CSE(b.P)
+	CopyProp(b.P)
+	CSE(b.P)
+	// The move defining t2 must carry a derivation on t1.
+	var mv *ir.Instr
+	for idx := range b.P.Entry.Instrs {
+		in := &b.P.Entry.Instrs[idx]
+		if in.Op == ir.OpMov && in.Dst == t2 {
+			mv = in
+		}
+	}
+	if mv == nil || len(mv.Deriv) != 1 || mv.Deriv[0].Reg != t1 {
+		t.Fatalf("CSE move lacks a derivation on t1: %+v", mv)
+	}
+}
+
+func TestCSEInvalidatedByStore(t *testing.T) {
+	b := irtest.NewProc("p")
+	a := b.New(0)
+	v1 := b.Load(a, 1, ir.ClassScalar)
+	zero := b.Const(0)
+	b.Store(a, 1, zero) // invalidates the load
+	v2 := b.Load(a, 1, ir.ClassScalar)
+	sum := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpAdd, Dst: sum, A: v1, B: v2})
+	b.Ret(sum)
+	CSE(b.P)
+	if countOps(b.P, ir.OpLoad) != 2 {
+		t.Error("load CSEd across a store")
+	}
+}
+
+func TestCSEDuplicateChecks(t *testing.T) {
+	b := irtest.NewProc("p")
+	a := b.New(0)
+	b.Emit(ir.Instr{Op: ir.OpCheckNil, A: a})
+	b.Emit(ir.Instr{Op: ir.OpCheckNil, A: a})
+	i := b.Const(3)
+	b.Emit(ir.Instr{Op: ir.OpCheckRange, A: i, Imm: 0, Imm2: 9})
+	b.Emit(ir.Instr{Op: ir.OpCheckRange, A: i, Imm: 0, Imm2: 9})
+	b.Ret(ir.NoReg)
+	CSE(b.P)
+	if countOps(b.P, ir.OpCheckNil) != 1 || countOps(b.P, ir.OpCheckRange) != 1 {
+		t.Errorf("duplicate checks survive: %s", b.P.String())
+	}
+}
+
+// TestLICMHoistsInvariantAddress: a loop-invariant derived address is
+// hoisted to the preheader (the virtual-array-origin effect).
+func TestLICMHoistsInvariantAddress(t *testing.T) {
+	b := irtest.NewProc("p", ir.ClassPointer) // param 0: the array
+	arr := ir.Reg(0)
+	head := b.P.NewBlock()
+	body := b.P.NewBlock()
+	exit := b.P.NewBlock()
+	cond := b.Const(1)
+	b.Jmp(head)
+	b.In(head)
+	b.Br(cond, body, exit)
+	b.In(body)
+	d := b.AddImmPtr(arr, 2) // invariant derived address, single def
+	v := b.Load(d, 0, ir.ClassScalar)
+	_ = v
+	b.Jmp(head)
+	b.In(exit)
+	b.Ret(ir.NoReg)
+
+	LICM(b.P)
+	// The AddImm must no longer be in the loop body.
+	for i := range body.Instrs {
+		in := &body.Instrs[i]
+		if in.Op == ir.OpAddImm && in.Dst == d {
+			t.Fatalf("invariant address still in loop body:\n%s", b.P.String())
+		}
+	}
+	if countOps(b.P, ir.OpAddImm) != 1 {
+		t.Fatalf("hoisted instruction lost:\n%s", b.P.String())
+	}
+	// Heap loads must not be hoisted (they can trap).
+	if countOps(b.P, ir.OpLoad) != 1 {
+		t.Fatal("load count changed")
+	}
+	for i := range body.Instrs {
+		if body.Instrs[i].Op == ir.OpLoad {
+			return // still in body: correct
+		}
+	}
+	t.Fatal("heap load was hoisted out of the loop")
+}
+
+// TestStrengthReduce builds the canonical counted loop accessing
+// base + (i-lo)*es and checks a pointer induction variable appears,
+// derived from the base, with a derivation-preserving increment.
+func TestStrengthReduce(t *testing.T) {
+	b := irtest.NewProc("p", ir.ClassPointer)
+	arr := ir.Reg(0)
+	i := b.Reg(ir.ClassScalar)
+	b.ConstInto(i, 3) // i := lo
+	head := b.P.NewBlock()
+	body := b.P.NewBlock()
+	exit := b.P.NewBlock()
+	b.Jmp(head)
+	b.In(head)
+	limit := b.Const(10)
+	cond := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpCmpLE, Dst: cond, A: i, B: limit})
+	b.Br(cond, body, exit)
+	b.In(body)
+	// scaled = (i - 3) * 2 ; addr = arr + scaled ; store
+	tm := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpAddImm, Dst: tm, A: i, Imm: -3})
+	two := b.Const(2)
+	sc := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpMul, Dst: sc, A: tm, B: two})
+	addr := b.AddPtr(arr, sc)
+	zero := b.Const(0)
+	b.Store(addr, 1, zero)
+	// i := i + 1 via temp + Mov (the irgen shape)
+	nxt := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpAddImm, Dst: nxt, A: i, Imm: 1})
+	b.Emit(ir.Instr{Op: ir.OpMov, Dst: i, A: nxt})
+	b.Jmp(head)
+	b.In(exit)
+	b.Ret(ir.NoReg)
+
+	StrengthReduce(b.P)
+
+	// A derivation-preserving AddImm (ptr = ptr + 2) must now exist.
+	foundInc := false
+	for _, blk := range b.P.Blocks {
+		for idx := range blk.Instrs {
+			in := &blk.Instrs[idx]
+			if in.IsDerivPreserving() && in.Imm == 2 {
+				foundInc = true
+			}
+		}
+	}
+	if !foundInc {
+		t.Fatalf("no pointer induction increment:\n%s", b.P.String())
+	}
+	// addr's def must now be a Mov from the pointer IV.
+	var addrDef *ir.Instr
+	for _, blk := range b.P.Blocks {
+		for idx := range blk.Instrs {
+			in := &blk.Instrs[idx]
+			if in.Dst == addr && in.Op == ir.OpMov {
+				addrDef = in
+			}
+		}
+	}
+	if addrDef == nil {
+		t.Fatalf("addr not rewritten to use the pointer IV:\n%s", b.P.String())
+	}
+	di := analysis.ComputeDerivInfo(b.P)
+	ptrIV := addrDef.A
+	sum := di.Summaries[ptrIV]
+	if sum == nil || len(sum.Variants) != 1 || len(sum.Variants[0]) != 1 || sum.Variants[0][0].Reg != arr {
+		t.Fatalf("pointer IV not uniquely derived from the array: %+v", sum)
+	}
+}
+
+func TestDCE(t *testing.T) {
+	b := irtest.NewProc("p")
+	dead := b.Const(1)
+	_ = dead
+	live := b.Const(2)
+	b.Ret(live)
+	DCE(b.P, true)
+	if countOps(b.P, ir.OpConst) != 1 {
+		t.Errorf("dead const not removed:\n%s", b.P.String())
+	}
+}
+
+// TestDCEKeepAlive: with gc support, a base referenced only by a
+// derivation is kept; without, it is deleted (the §6.2 difference).
+func TestDCEKeepAlive(t *testing.T) {
+	build := func() (*irtest.B, ir.Reg, ir.Reg) {
+		b := irtest.NewProc("p")
+		base := b.New(0)
+		d := b.AddImmPtr(base, 1)
+		b.Poll()
+		v := b.Load(d, 0, ir.ClassScalar)
+		b.Ret(v)
+		return b, base, d
+	}
+	b1, base1, _ := build()
+	DCE(b1.P, true)
+	found := false
+	for i := range b1.P.Entry.Instrs {
+		if b1.P.Entry.Instrs[i].Dst == base1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("gc-support DCE removed a derivation base")
+	}
+	// The base's defining New also defines the derived value's input, so
+	// even without keep-alive it survives through the A operand of the
+	// AddImm; build a variant where the base is otherwise unused.
+	b2 := irtest.NewProc("p2")
+	base2 := b2.New(0)
+	cp := b2.Reg(ir.ClassPointer)
+	b2.Emit(ir.Instr{Op: ir.OpMov, Dst: cp, A: base2})
+	d2 := b2.AddImmPtr(base2, 1)
+	// Rewrite the derivation to reference the copy, which has no other use.
+	for i := range b2.P.Entry.Instrs {
+		in := &b2.P.Entry.Instrs[i]
+		if in.Dst == d2 {
+			in.Deriv[0].Reg = cp
+		}
+	}
+	b2.Poll()
+	v2 := b2.Load(d2, 0, ir.ClassScalar)
+	b2.Ret(v2)
+
+	hasCp := func(p *ir.Proc) bool {
+		for i := range p.Entry.Instrs {
+			if p.Entry.Instrs[i].Dst == cp && p.Entry.Instrs[i].Op == ir.OpMov {
+				return true
+			}
+		}
+		return false
+	}
+	DCE(b2.P, true)
+	if !hasCp(b2.P) {
+		t.Error("gc-support DCE removed a copy used only as a derivation base")
+	}
+	DCE(b2.P, false)
+	if hasCp(b2.P) {
+		t.Error("no-gc DCE kept the copy (test is vacuous)")
+	}
+}
+
+// TestLICMCreatesPreheader: a loop header with two out-of-loop
+// predecessors needs a synthesized preheader for hoisting.
+func TestLICMCreatesPreheader(t *testing.T) {
+	b := irtest.NewProc("p", ir.ClassPointer)
+	arr := ir.Reg(0)
+	cond := b.Const(1)
+	pathA := b.P.NewBlock()
+	pathB := b.P.NewBlock()
+	head := b.P.NewBlock()
+	body := b.P.NewBlock()
+	exit := b.P.NewBlock()
+	b.Br(cond, pathA, pathB)
+	b.In(pathA)
+	b.Jmp(head)
+	b.In(pathB)
+	b.Jmp(head)
+	b.In(head)
+	b.Br(cond, body, exit)
+	b.In(body)
+	d := b.AddImmPtr(arr, 3)
+	v := b.Load(d, 0, ir.ClassScalar)
+	_ = v
+	b.Jmp(head)
+	b.In(exit)
+	b.Ret(ir.NoReg)
+
+	nBlocks := len(b.P.Blocks)
+	LICM(b.P)
+	if len(b.P.Blocks) != nBlocks+1 {
+		t.Fatalf("no preheader created: %d blocks, had %d", len(b.P.Blocks), nBlocks)
+	}
+	for i := range body.Instrs {
+		if body.Instrs[i].Dst == d && body.Instrs[i].Op == ir.OpAddImm {
+			t.Fatal("invariant not hoisted through the new preheader")
+		}
+	}
+}
+
+// TestSplitPathsBudgetFallback: oversized duplication regions fall back
+// to path variables.
+func TestSplitPathsBudgetFallback(t *testing.T) {
+	b := irtest.NewProc("p", ir.ClassPointer, ir.ClassPointer, ir.ClassScalar)
+	p0, p1, inv := ir.Reg(0), ir.Reg(1), ir.Reg(2)
+	tr := b.Reg(ir.ClassDerived)
+	left := b.P.NewBlock()
+	right := b.P.NewBlock()
+	// A long chain of conflicted blocks exceeding the 64-clone budget.
+	var chain []*ir.Block
+	for i := 0; i < 40; i++ {
+		chain = append(chain, b.P.NewBlock())
+	}
+	exit := b.P.NewBlock()
+	b.Br(inv, left, right)
+	b.In(left)
+	b.AddImmInto(tr, p0, 1)
+	b.Jmp(chain[0])
+	b.In(right)
+	b.AddImmInto(tr, p1, 1)
+	b.Jmp(chain[0])
+	for i, blk := range chain {
+		b.In(blk)
+		v := b.Load(tr, 0, ir.ClassScalar)
+		_ = v
+		b.Poll()
+		if i+1 < len(chain) {
+			b.Jmp(chain[i+1])
+		} else {
+			b.Jmp(exit)
+		}
+	}
+	b.In(exit)
+	b.Ret(ir.NoReg)
+
+	SplitPaths(b.P)
+	if len(b.P.PathVars) != 1 {
+		t.Fatalf("expected fallback to one path variable, got %d", len(b.P.PathVars))
+	}
+}
+
+// TestLICMDoesNotClobberLiveIn is the regression test for a fuzzer
+// find: a single-definition register that is live into the loop (here a
+// parameter conditionally reassigned inside it) must not have its
+// definition hoisted — the preheader write would clobber the incoming
+// value.
+func TestLICMDoesNotClobberLiveIn(t *testing.T) {
+	b := irtest.NewProc("p", ir.ClassScalar) // param 0, read in the loop
+	a := ir.Reg(0)
+	head := b.P.NewBlock()
+	thenB := b.P.NewBlock()
+	elseB := b.P.NewBlock()
+	latch := b.P.NewBlock()
+	exit := b.P.NewBlock()
+	cond := b.Const(1)
+	b.Jmp(head)
+	b.In(head)
+	b.Br(cond, thenB, elseB)
+	b.In(thenB)
+	// use of a's incoming value on one path
+	u := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpAddImm, Dst: u, A: a, Imm: -3})
+	b.Jmp(latch)
+	b.In(elseB)
+	// conditional reassignment of the parameter (its only def)
+	b.ConstInto(a, 2)
+	b.Jmp(latch)
+	b.In(latch)
+	b.Br(cond, head, exit)
+	b.In(exit)
+	b.Ret(u)
+
+	LICM(b.P)
+	for i := range b.P.Entry.Instrs {
+		if b.P.Entry.Instrs[i].Dst == a {
+			t.Fatalf("parameter definition hoisted into the preheader:\n%s", b.P.String())
+		}
+	}
+	// A block synthesized as preheader must not contain it either.
+	for _, blk := range b.P.Blocks {
+		if blk == thenB || blk == elseB {
+			continue
+		}
+		if blk == head || blk == latch || blk == exit {
+			continue
+		}
+		for i := range blk.Instrs {
+			if blk.Instrs[i].Dst == a {
+				t.Fatalf("parameter definition moved out of its branch:\n%s", b.P.String())
+			}
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package opt
+
+import (
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// InsertPathVars solves the ambiguous-derivations problem (§4): when a
+// derived register has distinct derivations on different control-flow
+// paths, the collector cannot know which one reached a gc-point. A
+// fresh path variable is assigned a variant index immediately after
+// each definition; the gc tables emit one derivation per variant and
+// the collector selects by the path variable's run-time value.
+func InsertPathVars(p *ir.Proc) {
+	di := analysis.ComputeDerivInfo(p)
+	ambiguous := di.Ambiguous()
+	if len(ambiguous) == 0 {
+		return
+	}
+	if p.PathVars == nil {
+		p.PathVars = make(map[ir.Reg]*ir.PathVar)
+	}
+	for _, r := range ambiguous {
+		sum := di.Summaries[r]
+		sel := p.NewReg(ir.ClassScalar)
+		variants := make([][]ir.BaseRef, len(sum.Variants))
+		for i, v := range sum.Variants {
+			variants[i] = append([]ir.BaseRef(nil), v...)
+		}
+		p.PathVars[r] = &ir.PathVar{Sel: sel, Variants: variants}
+
+		variantIndex := func(d []ir.BaseRef) int {
+			nd := normalizeBaseRefs(d)
+			for i, v := range sum.Variants {
+				if sameBaseRefs(nd, v) {
+					return i
+				}
+			}
+			return -1
+		}
+		for _, b := range p.Blocks {
+			var out []ir.Instr
+			for i := range b.Instrs {
+				in := b.Instrs[i]
+				out = append(out, in)
+				if in.Dst == r && !in.IsDerivPreserving() {
+					idx := variantIndex(in.Deriv)
+					if idx < 0 {
+						panic("opt: derivation variant not found")
+					}
+					out = append(out, ir.Instr{
+						Op: ir.OpConst, Dst: sel, A: ir.NoReg, B: ir.NoReg, Imm: int64(idx),
+					})
+				}
+			}
+			b.Instrs = out
+		}
+	}
+}
+
+func normalizeBaseRefs(d []ir.BaseRef) []ir.BaseRef {
+	out := append([]ir.BaseRef(nil), d...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			if out[j].Reg < out[j-1].Reg ||
+				(out[j].Reg == out[j-1].Reg && out[j].Sign < out[j-1].Sign) {
+				out[j], out[j-1] = out[j-1], out[j]
+			}
+		}
+	}
+	return out
+}
+
+func sameBaseRefs(a []ir.BaseRef, b []ir.BaseRef) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

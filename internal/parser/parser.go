@@ -1,0 +1,667 @@
+// Package parser implements a recursive-descent parser for the mthree
+// source language (a Modula-3 subset).
+package parser
+
+import (
+	"strconv"
+	"strings"
+
+	"repro/internal/ast"
+	"repro/internal/lexer"
+	"repro/internal/source"
+	"repro/internal/token"
+)
+
+// Parser turns a token stream into an AST.
+type Parser struct {
+	toks []lexer.Token
+	pos  int
+	errs *source.ErrorList
+}
+
+// Parse parses the file and returns the module, reporting problems to errs.
+func Parse(file *source.File, errs *source.ErrorList) *ast.Module {
+	lx := lexer.New(file, errs)
+	p := &Parser{toks: lx.ScanAll(), errs: errs}
+	return p.parseModule()
+}
+
+// ParseText is a convenience wrapper used heavily in tests: it parses
+// source text and returns the module or an error.
+func ParseText(name, text string) (*ast.Module, error) {
+	f := source.NewFile(name, text)
+	errs := source.NewErrorList(f)
+	m := Parse(f, errs)
+	return m, errs.Err()
+}
+
+func (p *Parser) cur() lexer.Token  { return p.toks[p.pos] }
+func (p *Parser) peek() lexer.Token { return p.toks[min(p.pos+1, len(p.toks)-1)] }
+
+func (p *Parser) next() lexer.Token {
+	t := p.toks[p.pos]
+	if p.pos < len(p.toks)-1 {
+		p.pos++
+	}
+	return t
+}
+
+func (p *Parser) at(k token.Kind) bool { return p.cur().Kind == k }
+
+func (p *Parser) accept(k token.Kind) bool {
+	if p.at(k) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *Parser) expect(k token.Kind) lexer.Token {
+	if p.at(k) {
+		return p.next()
+	}
+	p.errs.Errorf(p.cur().Pos, "expected %s, found %s %q", k, p.cur().Kind, p.cur().Text)
+	// Return the current token without consuming so cascades stay local;
+	// the caller usually continues with best effort.
+	return p.cur()
+}
+
+func (p *Parser) errorf(pos source.Pos, format string, args ...any) {
+	p.errs.Errorf(pos, format, args...)
+}
+
+// sync skips tokens until one of kinds (or EOF), for error recovery.
+func (p *Parser) sync(kinds ...token.Kind) {
+	for !p.at(token.EOF) {
+		for _, k := range kinds {
+			if p.at(k) {
+				return
+			}
+		}
+		p.next()
+	}
+}
+
+// ---------- Module & declarations ----------
+
+func (p *Parser) parseModule() *ast.Module {
+	m := &ast.Module{}
+	p.expect(token.MODULE)
+	nt := p.expect(token.Ident)
+	m.NamePos, m.Name = nt.Pos, nt.Text
+	p.expect(token.Semicolon)
+	m.Decls = p.parseDecls()
+	p.expect(token.BEGIN)
+	m.Body = p.parseStmtList(token.END)
+	p.expect(token.END)
+	end := p.expect(token.Ident)
+	if end.Kind == token.Ident && end.Text != m.Name {
+		p.errorf(end.Pos, "module closed with %q, want %q", end.Text, m.Name)
+	}
+	p.expect(token.Dot)
+	return m
+}
+
+func (p *Parser) parseDecls() []ast.Decl {
+	var decls []ast.Decl
+	for {
+		switch p.cur().Kind {
+		case token.TYPE:
+			p.next()
+			for p.at(token.Ident) {
+				nt := p.next()
+				p.expect(token.Equal)
+				typ := p.parseType()
+				p.expect(token.Semicolon)
+				decls = append(decls, &ast.TypeDecl{NamePos: nt.Pos, Name: nt.Text, Type: typ})
+			}
+		case token.CONST:
+			p.next()
+			for p.at(token.Ident) {
+				nt := p.next()
+				p.expect(token.Equal)
+				v := p.parseExpr()
+				p.expect(token.Semicolon)
+				decls = append(decls, &ast.ConstDecl{NamePos: nt.Pos, Name: nt.Text, Value: v})
+			}
+		case token.VAR:
+			p.next()
+			for p.at(token.Ident) {
+				decls = append(decls, p.parseVarBind())
+			}
+		case token.PROCEDURE:
+			decls = append(decls, p.parseProc())
+		default:
+			return decls
+		}
+	}
+}
+
+func (p *Parser) parseVarBind() *ast.VarDecl {
+	first := p.expect(token.Ident)
+	names := []string{first.Text}
+	for p.accept(token.Comma) {
+		names = append(names, p.expect(token.Ident).Text)
+	}
+	p.expect(token.Colon)
+	typ := p.parseType()
+	var init ast.Expr
+	if p.accept(token.Assign) {
+		init = p.parseExpr()
+	}
+	p.expect(token.Semicolon)
+	return &ast.VarDecl{NamePos: first.Pos, Names: names, Type: typ, Init: init}
+}
+
+func (p *Parser) parseProc() *ast.ProcDecl {
+	pt := p.expect(token.PROCEDURE)
+	nt := p.expect(token.Ident)
+	d := &ast.ProcDecl{NamePos: pt.Pos, Name: nt.Text}
+	p.expect(token.LParen)
+	if !p.at(token.RParen) {
+		d.Params = p.parseParams()
+	}
+	p.expect(token.RParen)
+	if p.accept(token.Colon) {
+		d.Result = p.parseType()
+	}
+	p.expect(token.Equal)
+	d.Decls = p.parseDecls()
+	p.expect(token.BEGIN)
+	d.Body = p.parseStmtList(token.END)
+	p.expect(token.END)
+	end := p.expect(token.Ident)
+	if end.Kind == token.Ident && end.Text != d.Name {
+		p.errorf(end.Pos, "procedure closed with %q, want %q", end.Text, d.Name)
+	}
+	p.expect(token.Semicolon)
+	return d
+}
+
+func (p *Parser) parseParams() []*ast.Param {
+	var params []*ast.Param
+	for {
+		byRef := p.accept(token.VAR)
+		first := p.expect(token.Ident)
+		names := []lexer.Token{first}
+		for p.accept(token.Comma) {
+			names = append(names, p.expect(token.Ident))
+		}
+		p.expect(token.Colon)
+		typ := p.parseType()
+		for _, n := range names {
+			params = append(params, &ast.Param{NamePos: n.Pos, Name: n.Text, ByRef: byRef, Type: typ})
+		}
+		if !p.accept(token.Semicolon) {
+			return params
+		}
+	}
+}
+
+// ---------- Types ----------
+
+func (p *Parser) parseType() ast.TypeExpr {
+	switch p.cur().Kind {
+	case token.Ident:
+		t := p.next()
+		return &ast.NamedType{NamePos: t.Pos, Name: t.Text}
+	case token.REF:
+		t := p.next()
+		return &ast.RefType{RefPos: t.Pos, Elem: p.parseType()}
+	case token.ARRAY:
+		t := p.next()
+		at := &ast.ArrayType{ArrayPos: t.Pos}
+		if p.accept(token.LBracket) {
+			at.Lo = p.parseExpr()
+			p.expect(token.DotDot)
+			at.Hi = p.parseExpr()
+			p.expect(token.RBracket)
+		}
+		p.expect(token.OF)
+		at.Elem = p.parseType()
+		return at
+	case token.RECORD:
+		t := p.next()
+		rt := &ast.RecordType{RecordPos: t.Pos}
+		for p.at(token.Ident) {
+			first := p.next()
+			names := []string{first.Text}
+			for p.accept(token.Comma) {
+				names = append(names, p.expect(token.Ident).Text)
+			}
+			p.expect(token.Colon)
+			ft := p.parseType()
+			p.expect(token.Semicolon)
+			rt.Fields = append(rt.Fields, &ast.Field{NamePos: first.Pos, Names: names, Type: ft})
+		}
+		p.expect(token.END)
+		return rt
+	}
+	p.errorf(p.cur().Pos, "expected a type, found %s", p.cur().Kind)
+	p.next()
+	return &ast.NamedType{NamePos: p.cur().Pos, Name: "INTEGER"}
+}
+
+// ---------- Statements ----------
+
+// parseStmtList parses statements until one of the closers (END, ELSE,
+// ELSIF, UNTIL) appears. Statements are separated by semicolons; a
+// trailing semicolon before the closer is allowed.
+func (p *Parser) parseStmtList(closers ...token.Kind) []ast.Stmt {
+	stop := func() bool {
+		k := p.cur().Kind
+		if k == token.EOF || k == token.ELSE || k == token.ELSIF || k == token.UNTIL {
+			return true
+		}
+		for _, c := range closers {
+			if k == c {
+				return true
+			}
+		}
+		return false
+	}
+	var stmts []ast.Stmt
+	for !stop() {
+		s := p.parseStmt()
+		if s != nil {
+			stmts = append(stmts, s)
+		}
+		if !p.accept(token.Semicolon) && !stop() {
+			p.errorf(p.cur().Pos, "expected ';' between statements, found %s", p.cur().Kind)
+			p.sync(token.Semicolon, token.END, token.ELSE, token.ELSIF, token.UNTIL)
+			p.accept(token.Semicolon)
+		}
+	}
+	return stmts
+}
+
+func (p *Parser) parseStmt() ast.Stmt {
+	switch p.cur().Kind {
+	case token.IF:
+		return p.parseIf()
+	case token.CASE:
+		return p.parseCase()
+	case token.WHILE:
+		t := p.next()
+		cond := p.parseExpr()
+		p.expect(token.DO)
+		body := p.parseStmtList(token.END)
+		p.expect(token.END)
+		return &ast.WhileStmt{WhilePos: t.Pos, Cond: cond, Body: body}
+	case token.REPEAT:
+		t := p.next()
+		body := p.parseStmtList(token.UNTIL)
+		p.expect(token.UNTIL)
+		cond := p.parseExpr()
+		return &ast.RepeatStmt{RepeatPos: t.Pos, Body: body, Cond: cond}
+	case token.LOOP:
+		t := p.next()
+		body := p.parseStmtList(token.END)
+		p.expect(token.END)
+		return &ast.LoopStmt{LoopPos: t.Pos, Body: body}
+	case token.EXIT:
+		t := p.next()
+		return &ast.ExitStmt{ExitPos: t.Pos}
+	case token.FOR:
+		return p.parseFor()
+	case token.RETURN:
+		t := p.next()
+		var v ast.Expr
+		if !p.at(token.Semicolon) && !p.at(token.END) && !p.at(token.ELSE) && !p.at(token.ELSIF) && !p.at(token.UNTIL) {
+			v = p.parseExpr()
+		}
+		return &ast.ReturnStmt{ReturnPos: t.Pos, Value: v}
+	case token.WITH:
+		return p.parseWith()
+	case token.Ident:
+		if (p.cur().Text == "INC" || p.cur().Text == "DEC") && p.peek().Kind == token.LParen {
+			return p.parseIncDec()
+		}
+		return p.parseAssignOrCall()
+	default:
+		p.errorf(p.cur().Pos, "expected a statement, found %s %q", p.cur().Kind, p.cur().Text)
+		p.next()
+		return nil
+	}
+}
+
+func (p *Parser) parseIf() ast.Stmt {
+	t := p.expect(token.IF)
+	cond := p.parseExpr()
+	p.expect(token.THEN)
+	then := p.parseStmtList(token.END)
+	s := &ast.IfStmt{IfPos: t.Pos, Cond: cond, Then: then}
+	switch p.cur().Kind {
+	case token.ELSIF:
+		et := p.next()
+		// Reuse parseIf's tail by synthesizing a nested if.
+		nested := p.parseIfTail(et.Pos)
+		s.Else = []ast.Stmt{nested}
+	case token.ELSE:
+		p.next()
+		s.Else = p.parseStmtList(token.END)
+		p.expect(token.END)
+	default:
+		p.expect(token.END)
+	}
+	return s
+}
+
+// parseIfTail parses "cond THEN ... [ELSIF|ELSE] END" after ELSIF.
+func (p *Parser) parseIfTail(pos source.Pos) ast.Stmt {
+	cond := p.parseExpr()
+	p.expect(token.THEN)
+	then := p.parseStmtList(token.END)
+	s := &ast.IfStmt{IfPos: pos, Cond: cond, Then: then}
+	switch p.cur().Kind {
+	case token.ELSIF:
+		et := p.next()
+		s.Else = []ast.Stmt{p.parseIfTail(et.Pos)}
+	case token.ELSE:
+		p.next()
+		s.Else = p.parseStmtList(token.END)
+		p.expect(token.END)
+	default:
+		p.expect(token.END)
+	}
+	return s
+}
+
+// parseCase parses CASE expr OF | labels => stmts | ... ELSE ... END.
+func (p *Parser) parseCase() ast.Stmt {
+	t := p.expect(token.CASE)
+	cs := &ast.CaseStmt{CasePos: t.Pos}
+	cs.Expr = p.parseExpr()
+	p.expect(token.OF)
+	p.accept(token.Bar) // leading bar is optional
+	for !p.at(token.ELSE) && !p.at(token.END) && !p.at(token.EOF) {
+		arm := &ast.CaseArm{BarPos: p.cur().Pos}
+		for {
+			lbl := &ast.CaseLabel{Lo: p.parseExpr()}
+			if p.accept(token.DotDot) {
+				lbl.Hi = p.parseExpr()
+			}
+			arm.Labels = append(arm.Labels, lbl)
+			if !p.accept(token.Comma) {
+				break
+			}
+		}
+		p.expect(token.Arrow)
+		arm.Body = p.parseStmtList(token.END, token.Bar)
+		cs.Arms = append(cs.Arms, arm)
+		if !p.accept(token.Bar) {
+			break
+		}
+	}
+	if p.accept(token.ELSE) {
+		cs.HasElse = true
+		cs.Else = p.parseStmtList(token.END)
+	}
+	p.expect(token.END)
+	return cs
+}
+
+func (p *Parser) parseFor() ast.Stmt {
+	t := p.expect(token.FOR)
+	v := p.expect(token.Ident)
+	p.expect(token.Assign)
+	lo := p.parseExpr()
+	p.expect(token.TO)
+	hi := p.parseExpr()
+	var by ast.Expr
+	if p.accept(token.BY) {
+		by = p.parseExpr()
+	}
+	p.expect(token.DO)
+	body := p.parseStmtList(token.END)
+	p.expect(token.END)
+	return &ast.ForStmt{ForPos: t.Pos, Var: v.Text, VarPos: v.Pos, Lo: lo, Hi: hi, By: by, Body: body}
+}
+
+func (p *Parser) parseWith() ast.Stmt {
+	t := p.expect(token.WITH)
+	n := p.expect(token.Ident)
+	p.expect(token.Equal)
+	e := p.parseExpr()
+	p.expect(token.DO)
+	body := p.parseStmtList(token.END)
+	p.expect(token.END)
+	return &ast.WithStmt{WithPos: t.Pos, Name: n.Text, NamePos: n.Pos, Expr: e, Body: body}
+}
+
+func (p *Parser) parseIncDec() ast.Stmt {
+	t := p.next() // INC or DEC
+	dec := t.Text == "DEC"
+	p.expect(token.LParen)
+	target := p.parseExpr()
+	var delta ast.Expr
+	if p.accept(token.Comma) {
+		delta = p.parseExpr()
+	}
+	p.expect(token.RParen)
+	return &ast.IncDecStmt{CallPos: t.Pos, Dec: dec, Target: target, Delta: delta}
+}
+
+func (p *Parser) parseAssignOrCall() ast.Stmt {
+	e := p.parseDesignator()
+	if p.accept(token.Assign) {
+		rhs := p.parseExpr()
+		return &ast.AssignStmt{LHS: e, RHS: rhs}
+	}
+	if call, ok := e.(*ast.CallExpr); ok {
+		return &ast.CallStmt{Call: call}
+	}
+	p.errorf(e.Pos(), "expression is not a statement (expected ':=' or a call)")
+	return nil
+}
+
+// ---------- Expressions ----------
+
+func (p *Parser) parseExpr() ast.Expr {
+	x := p.parseSimple()
+	switch p.cur().Kind {
+	case token.Equal, token.NotEqual, token.Less, token.LessEq, token.Greater, token.GreaterEq:
+		op := p.next().Kind
+		y := p.parseSimple()
+		return &ast.BinaryExpr{Op: op, X: x, Y: y}
+	}
+	return x
+}
+
+func (p *Parser) parseSimple() ast.Expr {
+	x := p.parseTerm()
+	for {
+		switch p.cur().Kind {
+		case token.Plus, token.Minus, token.OR:
+			op := p.next().Kind
+			y := p.parseTerm()
+			x = &ast.BinaryExpr{Op: op, X: x, Y: y}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parseTerm() ast.Expr {
+	x := p.parseFactor()
+	for {
+		switch p.cur().Kind {
+		case token.Star, token.DIV, token.MOD, token.AND:
+			op := p.next().Kind
+			y := p.parseFactor()
+			x = &ast.BinaryExpr{Op: op, X: x, Y: y}
+		default:
+			return x
+		}
+	}
+}
+
+func (p *Parser) parseFactor() ast.Expr {
+	switch p.cur().Kind {
+	case token.Minus:
+		t := p.next()
+		return &ast.UnaryExpr{OpPos: t.Pos, Op: token.Minus, X: p.parseFactor()}
+	case token.NOT:
+		t := p.next()
+		return &ast.UnaryExpr{OpPos: t.Pos, Op: token.NOT, X: p.parseFactor()}
+	}
+	return p.parsePrimary()
+}
+
+func (p *Parser) parsePrimary() ast.Expr {
+	t := p.cur()
+	switch t.Kind {
+	case token.IntLit:
+		p.next()
+		return &ast.IntLit{LitPos: t.Pos, Value: parseIntLit(p, t)}
+	case token.CharLit:
+		p.next()
+		return &ast.CharLit{LitPos: t.Pos, Value: parseCharLit(p, t)}
+	case token.TextLit:
+		p.next()
+		return &ast.TextLit{LitPos: t.Pos, Value: parseTextLit(t)}
+	case token.TRUE:
+		p.next()
+		return &ast.BoolLit{LitPos: t.Pos, Value: true}
+	case token.FALSE:
+		p.next()
+		return &ast.BoolLit{LitPos: t.Pos, Value: false}
+	case token.NIL:
+		p.next()
+		return &ast.NilLit{LitPos: t.Pos}
+	case token.LParen:
+		p.next()
+		e := p.parseExpr()
+		p.expect(token.RParen)
+		return e
+	case token.Ident:
+		return p.parseDesignator()
+	}
+	p.errorf(t.Pos, "expected an expression, found %s %q", t.Kind, t.Text)
+	p.next()
+	return &ast.IntLit{LitPos: t.Pos}
+}
+
+// parseDesignator parses Ident followed by selections, indexing, derefs,
+// and call argument lists.
+func (p *Parser) parseDesignator() ast.Expr {
+	t := p.expect(token.Ident)
+	var e ast.Expr = &ast.Ident{NamePos: t.Pos, Name: t.Text}
+	for {
+		switch p.cur().Kind {
+		case token.Dot:
+			p.next()
+			n := p.expect(token.Ident)
+			e = &ast.SelectorExpr{X: e, Name: n.Text, Pos_: n.Pos}
+		case token.LBracket:
+			p.next()
+			idx := p.parseExpr()
+			e = &ast.IndexExpr{X: e, Index: idx}
+			// Multi-dimensional sugar A[i, j] == A[i][j].
+			for p.accept(token.Comma) {
+				e = &ast.IndexExpr{X: e, Index: p.parseExpr()}
+			}
+			p.expect(token.RBracket)
+		case token.Caret:
+			p.next()
+			e = &ast.DerefExpr{X: e}
+		case token.LParen:
+			p.next()
+			var args []ast.Expr
+			if !p.at(token.RParen) {
+				args = append(args, p.parseExpr())
+				for p.accept(token.Comma) {
+					args = append(args, p.parseExpr())
+				}
+			}
+			p.expect(token.RParen)
+			e = &ast.CallExpr{Fun: e, Args: args}
+		default:
+			return e
+		}
+	}
+}
+
+// ---------- Literal decoding ----------
+
+func parseIntLit(p *Parser, t lexer.Token) int64 {
+	text := t.Text
+	if i := strings.IndexByte(text, '_'); i >= 0 {
+		base, err := strconv.ParseInt(text[:i], 10, 64)
+		if err != nil || base < 2 || base > 16 {
+			p.errorf(t.Pos, "bad base in literal %q", text)
+			return 0
+		}
+		v, err := strconv.ParseInt(text[i+1:], int(base), 64)
+		if err != nil {
+			p.errorf(t.Pos, "bad based literal %q", text)
+			return 0
+		}
+		return v
+	}
+	v, err := strconv.ParseInt(text, 10, 64)
+	if err != nil {
+		p.errorf(t.Pos, "bad integer literal %q", text)
+		return 0
+	}
+	return v
+}
+
+func parseCharLit(p *Parser, t lexer.Token) byte {
+	s := t.Text
+	if len(s) < 3 || s[0] != '\'' || s[len(s)-1] != '\'' {
+		p.errorf(t.Pos, "bad character literal %q", s)
+		return 0
+	}
+	body := s[1 : len(s)-1]
+	if body[0] == '\\' {
+		c, ok := unescape(body[1])
+		if !ok {
+			p.errorf(t.Pos, "bad escape in character literal %q", s)
+		}
+		return c
+	}
+	return body[0]
+}
+
+func parseTextLit(t lexer.Token) string {
+	s := t.Text
+	if len(s) >= 2 && s[0] == '"' {
+		s = s[1:]
+		if s[len(s)-1] == '"' {
+			s = s[:len(s)-1]
+		}
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			if c, ok := unescape(s[i+1]); ok {
+				b.WriteByte(c)
+				i++
+				continue
+			}
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+func unescape(c byte) (byte, bool) {
+	switch c {
+	case 'n':
+		return '\n', true
+	case 't':
+		return '\t', true
+	case 'r':
+		return '\r', true
+	case '\\':
+		return '\\', true
+	case '\'':
+		return '\'', true
+	case '"':
+		return '"', true
+	case '0':
+		return 0, true
+	}
+	return 0, false
+}

@@ -1,0 +1,297 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/ast"
+	"repro/internal/token"
+)
+
+func parseOK(t *testing.T, src string) *ast.Module {
+	t.Helper()
+	m, err := ParseText("t.m3", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return m
+}
+
+func wrap(body string) string {
+	return "MODULE T;\nBEGIN\n" + body + "\nEND T.\n"
+}
+
+func TestModuleStructure(t *testing.T) {
+	m := parseOK(t, `
+MODULE Demo;
+CONST N = 10;
+TYPE List = REF RECORD head: INTEGER; tail: List; END;
+VAR x, y: INTEGER;
+PROCEDURE P(a: INTEGER; VAR b: INTEGER): INTEGER =
+  VAR t: INTEGER;
+  BEGIN
+    RETURN a + t;
+  END P;
+BEGIN
+  x := 1;
+END Demo.
+`)
+	if m.Name != "Demo" {
+		t.Errorf("module name %q", m.Name)
+	}
+	if len(m.Decls) != 4 {
+		t.Fatalf("got %d decls, want 4", len(m.Decls))
+	}
+	if _, ok := m.Decls[0].(*ast.ConstDecl); !ok {
+		t.Errorf("decl 0 is %T", m.Decls[0])
+	}
+	if _, ok := m.Decls[1].(*ast.TypeDecl); !ok {
+		t.Errorf("decl 1 is %T", m.Decls[1])
+	}
+	vd, ok := m.Decls[2].(*ast.VarDecl)
+	if !ok || len(vd.Names) != 2 {
+		t.Errorf("decl 2 is %T with %v", m.Decls[2], vd)
+	}
+	pd, ok := m.Decls[3].(*ast.ProcDecl)
+	if !ok {
+		t.Fatalf("decl 3 is %T", m.Decls[3])
+	}
+	if len(pd.Params) != 2 || pd.Params[0].ByRef || !pd.Params[1].ByRef {
+		t.Errorf("params parsed wrong: %+v", pd.Params)
+	}
+	if pd.Result == nil {
+		t.Error("missing result type")
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	m := parseOK(t, wrap("x := 1 + 2 * 3;"))
+	as := m.Body[0].(*ast.AssignStmt)
+	add, ok := as.RHS.(*ast.BinaryExpr)
+	if !ok || add.Op != token.Plus {
+		t.Fatalf("top is %T", as.RHS)
+	}
+	mul, ok := add.Y.(*ast.BinaryExpr)
+	if !ok || mul.Op != token.Star {
+		t.Fatalf("rhs of + is %T", add.Y)
+	}
+}
+
+func TestRelationalBindsLoosest(t *testing.T) {
+	m := parseOK(t, wrap("b := 1 + 2 < 3 * 4;"))
+	as := m.Body[0].(*ast.AssignStmt)
+	rel := as.RHS.(*ast.BinaryExpr)
+	if rel.Op != token.Less {
+		t.Fatalf("top op %v", rel.Op)
+	}
+}
+
+func TestDesignators(t *testing.T) {
+	m := parseOK(t, wrap("a.b[i].c := p^;"))
+	as := m.Body[0].(*ast.AssignStmt)
+	sel, ok := as.LHS.(*ast.SelectorExpr)
+	if !ok || sel.Name != "c" {
+		t.Fatalf("LHS is %T", as.LHS)
+	}
+	idx, ok := sel.X.(*ast.IndexExpr)
+	if !ok {
+		t.Fatalf("sel.X is %T", sel.X)
+	}
+	if _, ok := idx.X.(*ast.SelectorExpr); !ok {
+		t.Fatalf("idx.X is %T", idx.X)
+	}
+	if _, ok := as.RHS.(*ast.DerefExpr); !ok {
+		t.Fatalf("RHS is %T", as.RHS)
+	}
+}
+
+func TestMultiIndexSugar(t *testing.T) {
+	m := parseOK(t, wrap("a[i, j] := 0;"))
+	as := m.Body[0].(*ast.AssignStmt)
+	outer, ok := as.LHS.(*ast.IndexExpr)
+	if !ok {
+		t.Fatalf("LHS is %T", as.LHS)
+	}
+	if _, ok := outer.X.(*ast.IndexExpr); !ok {
+		t.Fatalf("a[i,j] did not nest: %T", outer.X)
+	}
+}
+
+func TestIfElsifElse(t *testing.T) {
+	m := parseOK(t, wrap(`
+IF a THEN x := 1;
+ELSIF b THEN x := 2;
+ELSIF c THEN x := 3;
+ELSE x := 4;
+END;`))
+	ifs := m.Body[0].(*ast.IfStmt)
+	nested, ok := ifs.Else[0].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("elsif did not nest: %T", ifs.Else[0])
+	}
+	nested2, ok := nested.Else[0].(*ast.IfStmt)
+	if !ok {
+		t.Fatalf("second elsif did not nest")
+	}
+	if len(nested2.Else) != 1 {
+		t.Fatalf("final else missing")
+	}
+}
+
+func TestLoops(t *testing.T) {
+	m := parseOK(t, wrap(`
+WHILE a DO x := 1; END;
+REPEAT x := 2; UNTIL b;
+LOOP EXIT; END;
+FOR i := 1 TO 10 BY 2 DO x := 3; END;`))
+	if _, ok := m.Body[0].(*ast.WhileStmt); !ok {
+		t.Errorf("0: %T", m.Body[0])
+	}
+	if _, ok := m.Body[1].(*ast.RepeatStmt); !ok {
+		t.Errorf("1: %T", m.Body[1])
+	}
+	ls, ok := m.Body[2].(*ast.LoopStmt)
+	if !ok {
+		t.Errorf("2: %T", m.Body[2])
+	} else if _, ok := ls.Body[0].(*ast.ExitStmt); !ok {
+		t.Errorf("loop body: %T", ls.Body[0])
+	}
+	fs, ok := m.Body[3].(*ast.ForStmt)
+	if !ok {
+		t.Errorf("3: %T", m.Body[3])
+	} else if fs.Var != "i" || fs.By == nil {
+		t.Errorf("for parsed wrong: %+v", fs)
+	}
+}
+
+func TestWithAndIncDec(t *testing.T) {
+	m := parseOK(t, wrap(`
+WITH w = a.b DO w := 1; END;
+INC(x);
+DEC(y, 3);`))
+	ws, ok := m.Body[0].(*ast.WithStmt)
+	if !ok || ws.Name != "w" {
+		t.Fatalf("0: %T", m.Body[0])
+	}
+	inc := m.Body[1].(*ast.IncDecStmt)
+	if inc.Dec || inc.Delta != nil {
+		t.Errorf("INC parsed wrong")
+	}
+	dec := m.Body[2].(*ast.IncDecStmt)
+	if !dec.Dec || dec.Delta == nil {
+		t.Errorf("DEC parsed wrong")
+	}
+}
+
+func TestTypes(t *testing.T) {
+	m := parseOK(t, `
+MODULE T;
+TYPE A = ARRAY [1..10] OF INTEGER;
+TYPE B = ARRAY OF CHAR;
+TYPE C = REF B;
+TYPE D = RECORD x, y: INTEGER; next: C; END;
+BEGIN
+END T.
+`)
+	a := m.Decls[0].(*ast.TypeDecl).Type.(*ast.ArrayType)
+	if a.Lo == nil {
+		t.Error("A should have bounds")
+	}
+	b := m.Decls[1].(*ast.TypeDecl).Type.(*ast.ArrayType)
+	if b.Lo != nil {
+		t.Error("B should be open")
+	}
+	if _, ok := m.Decls[2].(*ast.TypeDecl).Type.(*ast.RefType); !ok {
+		t.Error("C should be REF")
+	}
+	d := m.Decls[3].(*ast.TypeDecl).Type.(*ast.RecordType)
+	if len(d.Fields) != 2 || len(d.Fields[0].Names) != 2 {
+		t.Errorf("record fields parsed wrong: %+v", d.Fields)
+	}
+}
+
+func TestErrorRecovery(t *testing.T) {
+	_, err := ParseText("t.m3", wrap("x := ; y := 2;"))
+	if err == nil {
+		t.Fatal("expected a parse error")
+	}
+}
+
+func TestWrongCloserNames(t *testing.T) {
+	_, err := ParseText("t.m3", "MODULE A;\nBEGIN\nEND B.\n")
+	if err == nil || !strings.Contains(err.Error(), "closed with") {
+		t.Fatalf("got %v", err)
+	}
+	_, err = ParseText("t.m3", `
+MODULE A;
+PROCEDURE P() =
+  BEGIN
+  END Q;
+BEGIN
+END A.
+`)
+	if err == nil || !strings.Contains(err.Error(), "closed with") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestBasedLiteralValues(t *testing.T) {
+	m := parseOK(t, wrap("x := 16_FF; y := 2_101; z := -5;"))
+	v0 := m.Body[0].(*ast.AssignStmt).RHS.(*ast.IntLit)
+	if v0.Value != 255 {
+		t.Errorf("16_FF = %d", v0.Value)
+	}
+	v1 := m.Body[1].(*ast.AssignStmt).RHS.(*ast.IntLit)
+	if v1.Value != 5 {
+		t.Errorf("2_101 = %d", v1.Value)
+	}
+	u := m.Body[2].(*ast.AssignStmt).RHS.(*ast.UnaryExpr)
+	if u.Op != token.Minus {
+		t.Errorf("unary minus missing")
+	}
+}
+
+func TestCallStatementAndExpr(t *testing.T) {
+	m := parseOK(t, wrap("P(1, x + 2); y := F(a)[2];"))
+	cs, ok := m.Body[0].(*ast.CallStmt)
+	if !ok || len(cs.Call.Args) != 2 {
+		t.Fatalf("0: %T", m.Body[0])
+	}
+	as := m.Body[1].(*ast.AssignStmt)
+	idx, ok := as.RHS.(*ast.IndexExpr)
+	if !ok {
+		t.Fatalf("RHS: %T", as.RHS)
+	}
+	if _, ok := idx.X.(*ast.CallExpr); !ok {
+		t.Fatalf("call-then-index: %T", idx.X)
+	}
+}
+
+func TestCaseParsing(t *testing.T) {
+	m := parseOK(t, wrap(`
+CASE x OF
+| 1 => a := 1;
+| 2, 3 => a := 2;
+| 4..9 => a := 3;
+ELSE a := 4;
+END;`))
+	cs, ok := m.Body[0].(*ast.CaseStmt)
+	if !ok {
+		t.Fatalf("not a case: %T", m.Body[0])
+	}
+	if len(cs.Arms) != 3 || !cs.HasElse {
+		t.Fatalf("arms=%d hasElse=%v", len(cs.Arms), cs.HasElse)
+	}
+	if len(cs.Arms[1].Labels) != 2 {
+		t.Errorf("arm 1 labels: %d", len(cs.Arms[1].Labels))
+	}
+	if cs.Arms[2].Labels[0].Hi == nil {
+		t.Error("range label lost its upper bound")
+	}
+	// Leading bar optional, no else.
+	m2 := parseOK(t, wrap("CASE y OF 1 => a := 1; END;"))
+	cs2 := m2.Body[0].(*ast.CaseStmt)
+	if len(cs2.Arms) != 1 || cs2.HasElse {
+		t.Fatalf("optional-bar case parsed wrong: %+v", cs2)
+	}
+}

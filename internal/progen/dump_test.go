@@ -1,0 +1,24 @@
+package progen
+
+import (
+	"os"
+	"strconv"
+	"testing"
+)
+
+// TestDumpSeed writes a generated program to the path in PROGEN_DUMP
+// for external debugging (skipped unless the env var is set).
+func TestDumpSeed(t *testing.T) {
+	path := os.Getenv("PROGEN_DUMP")
+	if path == "" {
+		t.Skip("PROGEN_DUMP not set")
+	}
+	seed := int64(1)
+	if v := os.Getenv("PROGEN_SEED"); v != "" {
+		n, _ := strconv.Atoi(v)
+		seed = int64(n)
+	}
+	if err := os.WriteFile(path, []byte(Program(seed)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,340 @@
+// Package progen generates random, valid, terminating mthree programs
+// for differential testing: any divergence in printed output between
+// optimization levels, collectors, or heap regimes is a compiler or
+// collector bug.
+//
+// Generated programs are nil-safe (references are materialized before
+// dereference), index-safe (indices are reduced modulo the array
+// length), and loop-bounded (only FOR loops with small constant
+// bounds), so every program terminates with deterministic output.
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Gen holds generation state for one program.
+type Gen struct {
+	rng *rand.Rand
+	b   strings.Builder
+
+	intVars []string // in-scope INTEGER variables
+	refVars []string // in-scope List variables
+	vecVars []string // in-scope Vec variables
+	stmts   int // statement budget
+	loopLvl int // which reserved loop counter to use next
+
+	procs []procSig
+}
+
+type procSig struct {
+	name    string
+	nInts   int
+	hasRef  bool
+	varInt  bool
+	returns bool
+}
+
+// Program generates a random module from the seed.
+func Program(seed int64) string {
+	g := &Gen{rng: rand.New(rand.NewSource(seed))}
+	return g.module()
+}
+
+func (g *Gen) w(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+}
+
+func (g *Gen) module() string {
+	g.w("MODULE Fuzz;\n")
+	g.w("TYPE List = REF RECORD head: INTEGER; tail: List; END;\n")
+	g.w("TYPE Vec = REF ARRAY OF INTEGER;\n")
+	g.w("TYPE Fix = ARRAY [0..4] OF INTEGER;\n")
+	g.w("VAR g1, g2: INTEGER;\n")
+	g.w("VAR lc0, lc1, lc2, lc3, lc4: INTEGER;\n") // reserved loop counters
+
+	g.w("VAR gl: List;\n")
+	g.w("VAR gv: Vec;\n")
+
+	// A few helper procedures with varied signatures.
+	nProcs := 1 + g.rng.Intn(3)
+	for i := 0; i < nProcs; i++ {
+		g.proc(i)
+	}
+
+	g.w("BEGIN\n")
+	g.intVars = []string{"g1", "g2"}
+	g.refVars = []string{"gl"}
+	g.vecVars = []string{"gv"}
+	g.stmts = 25 + g.rng.Intn(25)
+	g.block(1)
+	g.w("  PutInt(g1); PutChar(' '); PutInt(g2); PutLn();\n")
+	g.w("  PutInt(SumList(gl)); PutLn();\n")
+	g.w("END Fuzz.\n")
+	return g.b.String()
+}
+
+// proc emits one helper procedure (index 0 is always SumList, used by
+// the epilogue).
+func (g *Gen) proc(i int) {
+	if i == 0 {
+		g.w(`PROCEDURE SumList(l: List): INTEGER =
+  VAR s: INTEGER;
+  BEGIN
+    s := 0;
+    WHILE l # NIL DO
+      s := s + l.head;
+      l := l.tail;
+    END;
+    RETURN s;
+  END SumList;
+`)
+		g.procs = append(g.procs, procSig{name: "SumList", hasRef: true, returns: true})
+		return
+	}
+	name := fmt.Sprintf("P%d", i)
+	sig := procSig{name: name, nInts: 1 + g.rng.Intn(2)}
+	sig.varInt = g.rng.Intn(2) == 0
+	sig.hasRef = g.rng.Intn(2) == 0
+	sig.returns = g.rng.Intn(2) == 0
+
+	g.w("PROCEDURE %s(", name)
+	var params []string
+	for k := 0; k < sig.nInts; k++ {
+		params = append(params, fmt.Sprintf("a%d: INTEGER", k))
+	}
+	if sig.varInt {
+		params = append(params, "VAR vo: INTEGER")
+	}
+	if sig.hasRef {
+		params = append(params, "r: List")
+	}
+	g.w("%s)", strings.Join(params, "; "))
+	if sig.returns {
+		g.w(": INTEGER")
+	}
+	g.w(" =\n  VAR t0, t1: INTEGER; lr: List;\n")
+	g.w("  VAR lc0, lc1, lc2, lc3, lc4: INTEGER;\n  BEGIN\n")
+
+	save := g.saveScope()
+	g.intVars = []string{"t0", "t1"}
+	for k := 0; k < sig.nInts; k++ {
+		g.intVars = append(g.intVars, fmt.Sprintf("a%d", k))
+	}
+	if sig.varInt {
+		g.intVars = append(g.intVars, "vo")
+	}
+	g.refVars = []string{"lr"}
+	if sig.hasRef {
+		g.refVars = append(g.refVars, "r")
+	}
+	g.vecVars = nil
+	g.w("    t0 := 0;\n    t1 := 0;\n")
+	g.stmts = 6 + g.rng.Intn(8)
+	g.block(2)
+	if sig.returns {
+		g.w("    RETURN %s;\n", g.intExpr(0))
+	}
+	g.w("  END %s;\n", name)
+	g.restoreScope(save)
+	g.procs = append(g.procs, sig)
+}
+
+type scope struct{ ints, refs, vecs []string }
+
+func (g *Gen) saveScope() scope {
+	return scope{append([]string{}, g.intVars...), append([]string{}, g.refVars...), append([]string{}, g.vecVars...)}
+}
+func (g *Gen) restoreScope(s scope) {
+	g.intVars, g.refVars, g.vecVars = s.ints, s.refs, s.vecs
+}
+
+func (g *Gen) indent(d int) string { return strings.Repeat("  ", d) }
+
+func (g *Gen) pick(vs []string) string { return vs[g.rng.Intn(len(vs))] }
+
+// intExpr produces a side-effect-free INTEGER expression.
+func (g *Gen) intExpr(depth int) string {
+	if depth > 2 || g.rng.Intn(3) == 0 {
+		if g.rng.Intn(2) == 0 && len(g.intVars) > 0 {
+			return g.pick(g.intVars)
+		}
+		return fmt.Sprintf("%d", g.rng.Intn(41)-20)
+	}
+	a := g.intExpr(depth + 1)
+	b := g.intExpr(depth + 1)
+	switch g.rng.Intn(6) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b)
+	case 3:
+		return fmt.Sprintf("(%s DIV %d)", a, 1+g.rng.Intn(6))
+	case 4:
+		return fmt.Sprintf("(%s MOD %d)", a, 1+g.rng.Intn(6))
+	default:
+		return fmt.Sprintf("ABS(%s)", a)
+	}
+}
+
+// cond produces a BOOLEAN expression.
+func (g *Gen) cond() string {
+	ops := []string{"=", "#", "<", "<=", ">", ">="}
+	c := fmt.Sprintf("%s %s %s", g.intExpr(1), ops[g.rng.Intn(len(ops))], g.intExpr(1))
+	switch g.rng.Intn(4) {
+	case 0:
+		if len(g.refVars) > 0 {
+			rel := "#"
+			if g.rng.Intn(2) == 0 {
+				rel = "="
+			}
+			return fmt.Sprintf("(%s) AND (%s %s NIL)", c, g.pick(g.refVars), rel)
+		}
+	case 1:
+		return fmt.Sprintf("NOT (%s)", c)
+	}
+	return c
+}
+
+// ensureRef emits a guard that makes ref non-nil.
+func (g *Gen) ensureRef(d int, ref string) {
+	g.w("%sIF %s = NIL THEN %s := NEW(List); END;\n", g.indent(d), ref, ref)
+}
+
+func (g *Gen) ensureVec(d int, vec string) {
+	g.w("%sIF %s = NIL THEN %s := NEW(Vec, %d); END;\n", g.indent(d), vec, vec, 3+g.rng.Intn(6))
+}
+
+// block emits statements until the budget runs out.
+func (g *Gen) block(d int) {
+	n := 2 + g.rng.Intn(5)
+	for i := 0; i < n && g.stmts > 0; i++ {
+		g.stmt(d)
+	}
+}
+
+func (g *Gen) stmt(d int) {
+	g.stmts--
+	if d > 4 {
+		g.w("%s%s := %s;\n", g.indent(d), g.pick(g.intVars), g.intExpr(0))
+		return
+	}
+	switch g.rng.Intn(15) {
+	case 0, 1: // int assignment
+		g.w("%s%s := %s;\n", g.indent(d), g.pick(g.intVars), g.intExpr(0))
+	case 2: // cons onto a list
+		if len(g.refVars) > 0 {
+			r := g.pick(g.refVars)
+			g.w("%sWITH nw = NEW(List) DO nw.head := %s; nw.tail := %s; %s := nw; END;\n",
+				g.indent(d), g.intExpr(1), r, r)
+		}
+	case 3: // read through a list
+		if len(g.refVars) > 0 {
+			r := g.pick(g.refVars)
+			g.ensureRef(d, r)
+			g.w("%s%s := %s + %s.head;\n", g.indent(d), g.pick(g.intVars), g.pick(g.intVars), r)
+		}
+	case 4: // mutate a field
+		if len(g.refVars) > 0 {
+			r := g.pick(g.refVars)
+			g.ensureRef(d, r)
+			g.w("%s%s.head := %s;\n", g.indent(d), r, g.intExpr(1))
+		}
+	case 5: // vector write with safe index
+		if len(g.vecVars) > 0 {
+			v := g.pick(g.vecVars)
+			g.ensureVec(d, v)
+			g.w("%s%s[%s MOD NUMBER(%s)] := %s;\n", g.indent(d), v, "ABS("+g.intExpr(1)+")", v, g.intExpr(1))
+		}
+	case 6: // vector read
+		if len(g.vecVars) > 0 {
+			v := g.pick(g.vecVars)
+			g.ensureVec(d, v)
+			g.w("%s%s := %s[%s MOD NUMBER(%s)];\n", g.indent(d), g.pick(g.intVars), v, "ABS("+g.intExpr(1)+")", v)
+		}
+	case 7: // IF
+		g.w("%sIF %s THEN\n", g.indent(d), g.cond())
+		g.block(d + 1)
+		if g.rng.Intn(2) == 0 {
+			g.w("%sELSE\n", g.indent(d))
+			g.block(d + 1)
+		}
+		g.w("%sEND;\n", g.indent(d))
+	case 8: // bounded loop over a reserved counter the body cannot touch
+		if g.loopLvl >= 5 {
+			g.w("%s%s := %s;\n", g.indent(d), g.pick(g.intVars), g.intExpr(0))
+			return
+		}
+		cnt := fmt.Sprintf("lc%d", g.loopLvl)
+		g.loopLvl++
+		g.w("%s%s := %d;\n", g.indent(d), cnt, 2+g.rng.Intn(5))
+		g.w("%sWHILE %s > 0 DO\n", g.indent(d), cnt)
+		g.block(d + 1)
+		g.w("%s  %s := %s - 1;\n", g.indent(d), cnt, cnt)
+		g.w("%sEND;\n", g.indent(d))
+		g.loopLvl--
+	case 9: // INC/DEC
+		v := g.pick(g.intVars)
+		if g.rng.Intn(2) == 0 {
+			g.w("%sINC(%s, %s);\n", g.indent(d), v, g.intExpr(1))
+		} else {
+			g.w("%sDEC(%s);\n", g.indent(d), v)
+		}
+	case 10: // call a helper
+		g.call(d)
+	case 11: // WITH alias of a field
+		if len(g.refVars) > 0 {
+			r := g.pick(g.refVars)
+			g.ensureRef(d, r)
+			g.w("%sWITH w = %s.head DO\n", g.indent(d), r)
+			g.w("%s  w := w + %s;\n", g.indent(d), g.intExpr(1))
+			g.w("%sEND;\n", g.indent(d))
+		}
+	case 12: // CASE dispatch on a bounded selector
+		v := g.pick(g.intVars)
+		g.w("%sCASE ABS(%s) MOD 6 OF\n", g.indent(d), v)
+		g.w("%s| 0 => %s := %s;\n", g.indent(d), g.pick(g.intVars), g.intExpr(1))
+		g.w("%s| 1, 2 => %s := %s;\n", g.indent(d), g.pick(g.intVars), g.intExpr(1))
+		g.w("%s| 3..5 => %s := %s;\n", g.indent(d), g.pick(g.intVars), g.intExpr(1))
+		g.w("%sEND;\n", g.indent(d))
+	case 15: // never taken (rng.Intn(14))
+
+		if len(g.refVars) > 0 {
+			g.w("%s%s := NIL;\n", g.indent(d), g.pick(g.refVars))
+		}
+	default: // chain tail
+		if len(g.refVars) > 0 {
+			r := g.pick(g.refVars)
+			g.ensureRef(d, r)
+			g.w("%s%s := %s.tail;\n", g.indent(d), r, r)
+		}
+	}
+}
+
+// call invokes a random helper with safe arguments.
+func (g *Gen) call(d int) {
+	if len(g.procs) == 0 {
+		return
+	}
+	sig := g.procs[g.rng.Intn(len(g.procs))]
+	var args []string
+	for k := 0; k < sig.nInts; k++ {
+		args = append(args, g.intExpr(1))
+	}
+	if sig.varInt {
+		args = append(args, g.pick(g.intVars))
+	}
+	if sig.hasRef {
+		args = append(args, g.pick(g.refVars))
+	}
+	callText := fmt.Sprintf("%s(%s)", sig.name, strings.Join(args, ", "))
+	if sig.returns {
+		g.w("%s%s := %s;\n", g.indent(d), g.pick(g.intVars), callText)
+	} else {
+		g.w("%s%s;\n", g.indent(d), callText)
+	}
+}

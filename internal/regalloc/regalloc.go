@@ -1,0 +1,243 @@
+// Package regalloc assigns virtual registers to the VM's 16 hard
+// registers or to frame slots, by linear scan.
+//
+// Register discipline (required by the collector's register
+// reconstruction, paper §3): values live across a call must be in
+// callee-save registers or frame slots — only callee-save registers can
+// be reconstructed for suspended frames from the per-procedure save
+// map. R0–R2 are reserved as codegen scratch (never live across an
+// instruction), R3–R7 are caller-save allocatable, R8–R15 are
+// callee-save.
+package regalloc
+
+import (
+	"sort"
+
+	"repro/internal/analysis"
+	"repro/internal/ir"
+)
+
+// Hard register banks.
+const (
+	NumRegs         = 16
+	ScratchR0       = 0
+	ScratchR1       = 1
+	ScratchR2       = 2
+	FirstCallerSave = 3 // R3..R7 allocatable caller-save
+	FirstCalleeSave = 8 // R8..R15 allocatable callee-save
+)
+
+// LocKind classifies where a virtual register lives.
+type LocKind uint8
+
+// Location kinds.
+const (
+	LocNone  LocKind = iota // never live
+	LocReg                  // hard register
+	LocSpill                // frame spill slot
+	LocArg                  // incoming argument slot (FP+2+n)
+)
+
+// Loc is the home of one virtual register.
+type Loc struct {
+	Kind LocKind
+	Reg  int // hard register number for LocReg
+	Idx  int // spill slot index for LocSpill; argument index for LocArg
+}
+
+// Alloc is the allocation result for a procedure.
+type Alloc struct {
+	Proc      *ir.Proc
+	LocOf     []Loc // indexed by virtual register
+	NumSpills int
+	// SavedCallee lists the callee-save hard registers the procedure
+	// uses; the prologue saves them and the gc tables record where.
+	SavedCallee []int
+	// Liveness is the analysis used (shared with the gc-table builder).
+	Liveness *analysis.Liveness
+}
+
+type interval struct {
+	reg        ir.Reg
+	start, end int
+	crossCall  bool
+	isParam    bool
+	paramIdx   int
+}
+
+// clobbersCallerSave reports whether the instruction transfers control
+// to other code that may use caller-save registers.
+func clobbersCallerSave(in *ir.Instr) bool {
+	switch in.Op {
+	case ir.OpCall, ir.OpCallBuiltin:
+		return true
+	}
+	return false
+}
+
+// Run allocates registers for p. keepAlive disables the derived-base
+// keep-alive rule when false (the §6.2 no-gc-support baseline).
+func Run(p *ir.Proc, keepAlive bool) *Alloc {
+	lv := analysis.ComputeLivenessOpt(p, keepAlive)
+	n := p.NumRegs()
+	a := &Alloc{Proc: p, LocOf: make([]Loc, n), Liveness: lv}
+
+	// Instruction positions: blocks in layout order, two per instruction
+	// so inserted boundaries sort cleanly.
+	posOfBlock := make([]int, len(p.Blocks))
+	pos := 0
+	for _, b := range p.Blocks {
+		posOfBlock[b.ID] = pos
+		pos += 2 * (len(b.Instrs) + 1)
+	}
+
+	start := make([]int, n)
+	end := make([]int, n)
+	seen := make([]bool, n)
+	cross := make([]bool, n)
+	extend := func(r ir.Reg, at int) {
+		i := int(r)
+		if !seen[i] {
+			seen[i] = true
+			start[i], end[i] = at, at
+			return
+		}
+		if at < start[i] {
+			start[i] = at
+		}
+		if at > end[i] {
+			end[i] = at
+		}
+	}
+
+	var buf []ir.Reg
+	for _, b := range p.Blocks {
+		base := posOfBlock[b.ID]
+		lv.LiveIn[b.ID].ForEach(func(i int) { extend(ir.Reg(i), base) })
+		liveAfter := lv.LiveAfter(b)
+		for i := range b.Instrs {
+			in := &b.Instrs[i]
+			at := base + 2*(i+1)
+			buf = in.Uses(buf[:0])
+			for _, r := range buf {
+				extend(r, at)
+			}
+			if in.Dst != ir.NoReg {
+				extend(in.Dst, at)
+			}
+			liveAfter[i].ForEach(func(ri int) {
+				extend(ir.Reg(ri), at+1)
+				if clobbersCallerSave(in) && ir.Reg(ri) != in.Dst {
+					cross[ri] = true
+				}
+			})
+		}
+		lv.LiveOut[b.ID].ForEach(func(i int) { extend(ir.Reg(i), base+2*(len(b.Instrs)+1)) })
+	}
+
+	// Parameters begin live at position 0 (they arrive in arg slots).
+	for i := 0; i < p.NumParams; i++ {
+		if seen[i] {
+			extend(ir.Reg(i), 0)
+		}
+	}
+
+	var ivs []*interval
+	for i := 0; i < n; i++ {
+		if !seen[i] {
+			continue
+		}
+		iv := &interval{reg: ir.Reg(i), start: start[i], end: end[i], crossCall: cross[i]}
+		if i < p.NumParams {
+			iv.isParam, iv.paramIdx = true, i
+		}
+		ivs = append(ivs, iv)
+	}
+	sort.Slice(ivs, func(i, j int) bool {
+		if ivs[i].start != ivs[j].start {
+			return ivs[i].start < ivs[j].start
+		}
+		return ivs[i].reg < ivs[j].reg
+	})
+
+	// Pinned by-reference parameters always live in their arg slots so
+	// the caller's derivation entry for the outgoing slot updates the
+	// one home of the address.
+	pinned := make([]bool, n)
+	for i := 0; i < p.NumParams && i < len(p.ParamRefs); i++ {
+		if p.ParamRefs[i] {
+			pinned[i] = true
+			a.LocOf[i] = Loc{Kind: LocArg, Idx: i}
+		}
+	}
+
+	type activeEntry struct {
+		end  int
+		hard int
+		reg  ir.Reg
+	}
+	var active []activeEntry
+	freeCaller := []int{3, 4, 5, 6, 7}
+	freeCallee := []int{8, 9, 10, 11, 12, 13, 14, 15}
+	usedCallee := make(map[int]bool)
+
+	expire := func(at int) {
+		out := active[:0]
+		for _, e := range active {
+			if e.end < at {
+				if e.hard >= FirstCalleeSave {
+					freeCallee = append(freeCallee, e.hard)
+				} else {
+					freeCaller = append(freeCaller, e.hard)
+				}
+				continue
+			}
+			out = append(out, e)
+		}
+		active = out
+	}
+
+	for _, iv := range ivs {
+		if pinned[iv.reg] {
+			continue
+		}
+		expire(iv.start)
+		var hard = -1
+		if iv.crossCall {
+			if len(freeCallee) > 0 {
+				hard = freeCallee[len(freeCallee)-1]
+				freeCallee = freeCallee[:len(freeCallee)-1]
+			}
+		} else {
+			if len(freeCaller) > 0 {
+				hard = freeCaller[len(freeCaller)-1]
+				freeCaller = freeCaller[:len(freeCaller)-1]
+			} else if len(freeCallee) > 0 {
+				hard = freeCallee[len(freeCallee)-1]
+				freeCallee = freeCallee[:len(freeCallee)-1]
+			}
+		}
+		if hard < 0 {
+			// Spill: parameters keep their incoming slot as home.
+			if iv.isParam {
+				a.LocOf[iv.reg] = Loc{Kind: LocArg, Idx: iv.paramIdx}
+			} else {
+				a.LocOf[iv.reg] = Loc{Kind: LocSpill, Idx: a.NumSpills}
+				a.NumSpills++
+			}
+			continue
+		}
+		if hard >= FirstCalleeSave {
+			usedCallee[hard] = true
+		}
+		a.LocOf[iv.reg] = Loc{Kind: LocReg, Reg: hard}
+		active = append(active, activeEntry{end: iv.end, hard: hard, reg: iv.reg})
+	}
+
+	for r := FirstCalleeSave; r < NumRegs; r++ {
+		if usedCallee[r] {
+			a.SavedCallee = append(a.SavedCallee, r)
+		}
+	}
+	return a
+}

@@ -1,0 +1,163 @@
+package regalloc
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irtest"
+)
+
+func TestCrossCallGoesCalleeSave(t *testing.T) {
+	b := irtest.NewProc("p")
+	x := b.New(0) // pointer live across the call
+	b.Emit(ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, Callee: 0})
+	v := b.Load(x, 1, ir.ClassScalar)
+	b.Ret(v)
+
+	a := Run(b.P, true)
+	loc := a.LocOf[x]
+	switch loc.Kind {
+	case LocReg:
+		if loc.Reg < FirstCalleeSave {
+			t.Errorf("call-crossing value in caller-save R%d", loc.Reg)
+		}
+	case LocSpill:
+		// Also fine.
+	default:
+		t.Errorf("unexpected location %+v", loc)
+	}
+	if loc.Kind == LocReg && len(a.SavedCallee) == 0 {
+		t.Error("callee-save register used but not recorded for saving")
+	}
+}
+
+func TestShortLivedUsesCallerSave(t *testing.T) {
+	b := irtest.NewProc("p")
+	x := b.Const(1)
+	y := b.Const(2)
+	z := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpAdd, Dst: z, A: x, B: y})
+	b.Ret(z)
+	a := Run(b.P, true)
+	for _, r := range []ir.Reg{x, y, z} {
+		loc := a.LocOf[r]
+		if loc.Kind != LocReg {
+			t.Errorf("r%d spilled in a trivial procedure", r)
+		} else if loc.Reg >= FirstCalleeSave {
+			t.Errorf("r%d wastes callee-save R%d", r, loc.Reg)
+		}
+	}
+	if len(a.SavedCallee) != 0 {
+		t.Errorf("trivial procedure saves callee registers: %v", a.SavedCallee)
+	}
+}
+
+func TestSpillUnderPressure(t *testing.T) {
+	b := irtest.NewProc("p")
+	// 14 simultaneously live call-crossing values: only 8 callee-save
+	// registers exist, so some must spill.
+	var regs []ir.Reg
+	for i := 0; i < 14; i++ {
+		regs = append(regs, b.New(0))
+	}
+	b.Emit(ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, Callee: 0})
+	sum := b.Const(0)
+	for _, r := range regs {
+		v := b.Load(r, 1, ir.ClassScalar)
+		ns := b.Reg(ir.ClassScalar)
+		b.Emit(ir.Instr{Op: ir.OpAdd, Dst: ns, A: sum, B: v})
+		sum = ns
+	}
+	b.Ret(sum)
+
+	a := Run(b.P, true)
+	spills := 0
+	for _, r := range regs {
+		switch a.LocOf[r].Kind {
+		case LocSpill:
+			spills++
+		case LocReg:
+			if a.LocOf[r].Reg < FirstCalleeSave {
+				t.Errorf("call-crossing r%d in caller-save", r)
+			}
+		}
+	}
+	if spills < 6 {
+		t.Errorf("%d spills, want >= 6 (14 values, 8 callee-save regs)", spills)
+	}
+	if a.NumSpills != spills {
+		t.Errorf("NumSpills %d, counted %d", a.NumSpills, spills)
+	}
+}
+
+func TestByRefParamPinned(t *testing.T) {
+	b := irtest.NewProc("p", ir.ClassDerived)
+	b.P.ParamRefs[0] = true
+	v := b.Load(ir.Reg(0), 0, ir.ClassScalar)
+	b.Ret(v)
+	a := Run(b.P, true)
+	loc := a.LocOf[0]
+	if loc.Kind != LocArg || loc.Idx != 0 {
+		t.Errorf("by-ref parameter not pinned to its argument slot: %+v", loc)
+	}
+}
+
+func TestSpilledParamKeepsArgSlotHome(t *testing.T) {
+	b := irtest.NewProc("p",
+		ir.ClassPointer, ir.ClassPointer, ir.ClassPointer, ir.ClassPointer,
+		ir.ClassPointer, ir.ClassPointer, ir.ClassPointer, ir.ClassPointer,
+		ir.ClassPointer, ir.ClassPointer)
+	// All ten pointer params live across a call: two must spill, and a
+	// spilled parameter's home is its incoming argument slot.
+	b.Emit(ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, Callee: 0})
+	sum := b.Const(0)
+	for i := 0; i < 10; i++ {
+		v := b.Load(ir.Reg(i), 1, ir.ClassScalar)
+		ns := b.Reg(ir.ClassScalar)
+		b.Emit(ir.Instr{Op: ir.OpAdd, Dst: ns, A: sum, B: v})
+		sum = ns
+	}
+	b.Ret(sum)
+	a := Run(b.P, true)
+	argHomes := 0
+	for i := 0; i < 10; i++ {
+		if a.LocOf[i].Kind == LocArg {
+			if a.LocOf[i].Idx != i {
+				t.Errorf("param %d homed at arg slot %d", i, a.LocOf[i].Idx)
+			}
+			argHomes++
+		}
+	}
+	if argHomes < 2 {
+		t.Errorf("expected spilled params to keep arg-slot homes, got %d", argHomes)
+	}
+	if a.NumSpills != 0 {
+		t.Errorf("params must not consume spill slots, got %d", a.NumSpills)
+	}
+}
+
+func TestDisjointIntervalsShareRegister(t *testing.T) {
+	b := irtest.NewProc("p")
+	x := b.Const(1)
+	b.Ret(x)
+	blk2 := b.Block() // unreachable second block with its own value
+	_ = blk2
+	y := b.Const(2)
+	b.Ret(y)
+	a := Run(b.P, true)
+	// Not a strict requirement, but with two disjoint tiny intervals
+	// nothing should spill.
+	if a.NumSpills != 0 {
+		t.Errorf("spilled with two disjoint intervals")
+	}
+}
+
+func TestDeadRegisterGetsNoLocation(t *testing.T) {
+	b := irtest.NewProc("p")
+	dead := b.P.NewReg(ir.ClassScalar) // never defined or used
+	b.Ret(ir.NoReg)
+	a := Run(b.P, true)
+	if a.LocOf[dead].Kind != LocNone {
+		t.Errorf("dead register has a location: %+v", a.LocOf[dead])
+	}
+}

@@ -1,0 +1,352 @@
+package sem
+
+import (
+	"repro/internal/ast"
+	"repro/internal/source"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// Check resolves and type-checks a parsed module.
+func Check(m *ast.Module, errs *source.ErrorList) *Program {
+	c := &checker{
+		errs:  errs,
+		info:  newInfo(),
+		scope: newScope(nil),
+	}
+	return c.checkModule(m)
+}
+
+type scope struct {
+	parent *scope
+	syms   map[string]Symbol
+}
+
+func newScope(parent *scope) *scope {
+	return &scope{parent: parent, syms: make(map[string]Symbol)}
+}
+
+func (s *scope) lookup(name string) Symbol {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.syms[name]; ok {
+			return sym
+		}
+	}
+	return nil
+}
+
+func (s *scope) declare(name string, sym Symbol) bool {
+	if _, ok := s.syms[name]; ok {
+		return false
+	}
+	s.syms[name] = sym
+	return true
+}
+
+type checker struct {
+	errs  *source.ErrorList
+	info  *Info
+	scope *scope
+
+	proc      *ProcSym // procedure being checked, nil for module body prologue
+	loopDepth int
+}
+
+func (c *checker) errorf(pos source.Pos, format string, args ...any) {
+	c.errs.Errorf(pos, format, args...)
+}
+
+func (c *checker) push() { c.scope = newScope(c.scope) }
+func (c *checker) pop()  { c.scope = c.scope.parent }
+
+// ---------- Module ----------
+
+func (c *checker) checkModule(m *ast.Module) *Program {
+	p := &Program{Name: m.Name, Module: m, Info: c.info}
+
+	// Predeclared names.
+	c.scope.declare("INTEGER", &TypeSym{Name: "INTEGER", Type: types.IntType})
+	c.scope.declare("BOOLEAN", &TypeSym{Name: "BOOLEAN", Type: types.BoolType})
+	c.scope.declare("CHAR", &TypeSym{Name: "CHAR", Type: types.CharType})
+	c.scope.declare("TEXT", &TypeSym{Name: "TEXT", Type: types.TextType})
+
+	// Pass 1: bind type names to placeholders so recursive types work.
+	placeholders := make(map[*ast.TypeDecl]*types.Type)
+	for _, d := range m.Decls {
+		if td, ok := d.(*ast.TypeDecl); ok {
+			ph := &types.Type{Name: td.Name}
+			placeholders[td] = ph
+			if !c.scope.declare(td.Name, &TypeSym{Name: td.Name, Type: ph}) {
+				c.errorf(td.NamePos, "%s redeclared", td.Name)
+			}
+		}
+	}
+	// Pass 2: resolve type bodies into the placeholders.
+	for _, d := range m.Decls {
+		if td, ok := d.(*ast.TypeDecl); ok {
+			resolved := c.resolveType(td.Type)
+			ph := placeholders[td]
+			name := ph.Name
+			*ph = *resolved
+			if ph.Name == "" {
+				ph.Name = name
+			}
+		}
+	}
+	// Pass 3: constants and globals.
+	for _, d := range m.Decls {
+		switch d := d.(type) {
+		case *ast.ConstDecl:
+			c.checkConstDecl(d)
+		case *ast.VarDecl:
+			for _, sym := range c.checkVarDecl(d, true) {
+				p.Globals = append(p.Globals, sym)
+			}
+		}
+	}
+	// Pass 4: procedure signatures (so forward calls resolve).
+	var procDecls []*ast.ProcDecl
+	for _, d := range m.Decls {
+		if pd, ok := d.(*ast.ProcDecl); ok {
+			ps := c.checkProcSignature(pd)
+			p.Procs = append(p.Procs, ps)
+			procDecls = append(procDecls, pd)
+		}
+	}
+	// Pass 5: procedure bodies.
+	for i, pd := range procDecls {
+		c.checkProcBody(p.Procs[i], pd)
+	}
+	// Pass 6: module body becomes Main.
+	main := &ProcSym{Name: "__main", Body: m.Body}
+	c.proc = main
+	c.push()
+	c.checkStmts(m.Body)
+	c.pop()
+	c.proc = nil
+	p.Main = main
+	return p
+}
+
+func (c *checker) checkConstDecl(d *ast.ConstDecl) {
+	t := c.checkExpr(d.Value)
+	v, ok := c.constValue(d.Value)
+	if !ok {
+		c.errorf(d.NamePos, "constant %s is not compile-time evaluable", d.Name)
+		v = 0
+	}
+	if t == nil {
+		t = types.IntType
+	}
+	if !c.scope.declare(d.Name, &ConstSym{Name: d.Name, Type: t, Value: v}) {
+		c.errorf(d.NamePos, "%s redeclared", d.Name)
+	}
+}
+
+func (c *checker) checkVarDecl(d *ast.VarDecl, global bool) []*VarSym {
+	t := c.resolveType(d.Type)
+	if t.K == types.Array && t.Open {
+		c.errorf(d.NamePos, "open array type is only legal behind REF")
+		t = types.IntType
+	}
+	if d.Init != nil {
+		it := c.checkExpr(d.Init)
+		if it != nil && !types.AssignableTo(it, t) {
+			c.errorf(d.Init.Pos(), "cannot initialize %s variable with %s", t, it)
+		}
+	}
+	var out []*VarSym
+	for _, name := range d.Names {
+		sym := &VarSym{Name: name, Type: t, Global: global}
+		if !c.scope.declare(name, sym) {
+			c.errorf(d.NamePos, "%s redeclared", name)
+		}
+		if d.Init != nil {
+			c.info.VarInits[sym] = d.Init
+		}
+		out = append(out, sym)
+	}
+	return out
+}
+
+func (c *checker) checkProcSignature(d *ast.ProcDecl) *ProcSym {
+	ps := &ProcSym{Name: d.Name, Decl: d}
+	for _, prm := range d.Params {
+		t := c.resolveType(prm.Type)
+		if t.K == types.Array && t.Open {
+			c.errorf(prm.NamePos, "open array parameters are not supported; pass REF ARRAY OF T")
+			t = types.IntType
+		}
+		ps.Params = append(ps.Params, &VarSym{
+			Name: prm.Name, Type: t, Param: true, ByRef: prm.ByRef,
+		})
+	}
+	if d.Result != nil {
+		ps.Result = c.resolveType(d.Result)
+		if ps.Result.K == types.Record || ps.Result.K == types.Array {
+			c.errorf(d.NamePos, "procedures may not return composite values; return a REF")
+			ps.Result = types.IntType
+		}
+	}
+	if !c.scope.declare(d.Name, ps) {
+		c.errorf(d.NamePos, "%s redeclared", d.Name)
+	}
+	return ps
+}
+
+func (c *checker) checkProcBody(ps *ProcSym, d *ast.ProcDecl) {
+	c.proc = ps
+	c.push()
+	for _, prm := range ps.Params {
+		if !c.scope.declare(prm.Name, prm) {
+			c.errorf(d.NamePos, "parameter %s redeclared", prm.Name)
+		}
+	}
+	for _, ld := range d.Decls {
+		switch ld := ld.(type) {
+		case *ast.ConstDecl:
+			c.checkConstDecl(ld)
+		case *ast.VarDecl:
+			ps.Locals = append(ps.Locals, c.checkVarDecl(ld, false)...)
+		case *ast.TypeDecl:
+			t := c.resolveType(ld.Type)
+			named := *t
+			named.Name = ld.Name
+			if !c.scope.declare(ld.Name, &TypeSym{Name: ld.Name, Type: &named}) {
+				c.errorf(ld.NamePos, "%s redeclared", ld.Name)
+			}
+		case *ast.ProcDecl:
+			c.errorf(ld.NamePos, "nested procedures are not supported")
+		}
+	}
+	ps.Body = d.Body
+	c.checkStmts(d.Body)
+	c.pop()
+	c.proc = nil
+}
+
+// ---------- Types ----------
+
+func (c *checker) resolveType(te ast.TypeExpr) *types.Type {
+	switch te := te.(type) {
+	case *ast.NamedType:
+		sym := c.scope.lookup(te.Name)
+		ts, ok := sym.(*TypeSym)
+		if !ok {
+			c.errorf(te.NamePos, "%s is not a type", te.Name)
+			return types.IntType
+		}
+		return ts.Type
+	case *ast.RefType:
+		return types.NewRef(c.resolveType(te.Elem))
+	case *ast.ArrayType:
+		elem := c.resolveType(te.Elem)
+		if te.Lo == nil {
+			return types.NewOpenArray(elem)
+		}
+		lo, ok1 := c.constValue(te.Lo)
+		hi, ok2 := c.constValue(te.Hi)
+		if !ok1 || !ok2 {
+			c.errorf(te.ArrayPos, "array bounds must be compile-time constants")
+			lo, hi = 0, 0
+		}
+		if hi < lo {
+			c.errorf(te.ArrayPos, "array upper bound %d below lower bound %d", hi, lo)
+			hi = lo
+		}
+		if elem.K == types.Array && elem.Open {
+			c.errorf(te.ArrayPos, "open array element type is only legal behind REF")
+			elem = types.IntType
+		}
+		return types.NewFixedArray(lo, hi, elem)
+	case *ast.RecordType:
+		var fields []types.Field
+		seen := make(map[string]bool)
+		for _, fg := range te.Fields {
+			ft := c.resolveType(fg.Type)
+			if ft.K == types.Array && ft.Open {
+				c.errorf(fg.NamePos, "open array field type is only legal behind REF")
+				ft = types.IntType
+			}
+			for _, n := range fg.Names {
+				if seen[n] {
+					c.errorf(fg.NamePos, "field %s repeated", n)
+				}
+				seen[n] = true
+				fields = append(fields, types.Field{Name: n, Type: ft})
+			}
+		}
+		return types.NewRecord(fields)
+	}
+	panic("sem: unknown type expression")
+}
+
+// constValue attempts compile-time evaluation of an expression.
+func (c *checker) constValue(e ast.Expr) (int64, bool) {
+	if v, ok := c.info.Consts[e]; ok {
+		return v, true
+	}
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return e.Value, true
+	case *ast.CharLit:
+		return int64(e.Value), true
+	case *ast.BoolLit:
+		if e.Value {
+			return 1, true
+		}
+		return 0, true
+	case *ast.Ident:
+		if cs, ok := c.scope.lookup(e.Name).(*ConstSym); ok {
+			return cs.Value, true
+		}
+	case *ast.UnaryExpr:
+		if v, ok := c.constValue(e.X); ok {
+			switch e.Op {
+			case token.Minus:
+				return -v, true
+			case token.NOT:
+				if v == 0 {
+					return 1, true
+				}
+				return 0, true
+			}
+		}
+	case *ast.BinaryExpr:
+		x, okx := c.constValue(e.X)
+		y, oky := c.constValue(e.Y)
+		if okx && oky {
+			switch e.Op {
+			case token.Plus:
+				return x + y, true
+			case token.Minus:
+				return x - y, true
+			case token.Star:
+				return x * y, true
+			case token.DIV:
+				if y != 0 {
+					return floorDiv(x, y), true
+				}
+			case token.MOD:
+				if y != 0 {
+					return floorMod(x, y), true
+				}
+			}
+		}
+	}
+	return 0, false
+}
+
+// floorDiv implements Modula-3 DIV (floor division).
+func floorDiv(x, y int64) int64 {
+	q := x / y
+	if (x%y != 0) && ((x < 0) != (y < 0)) {
+		q--
+	}
+	return q
+}
+
+// floorMod implements Modula-3 MOD (sign follows divisor).
+func floorMod(x, y int64) int64 {
+	return x - floorDiv(x, y)*y
+}

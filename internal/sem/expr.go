@@ -1,0 +1,385 @@
+package sem
+
+import (
+	"repro/internal/ast"
+	"repro/internal/token"
+	"repro/internal/types"
+)
+
+// checkExpr type-checks e and returns its type (nil after an error that
+// leaves no sensible type).
+func (c *checker) checkExpr(e ast.Expr) *types.Type {
+	t := c.exprType(e)
+	if t != nil {
+		c.info.Types[e] = t
+	}
+	if v, ok := c.constValue(e); ok {
+		c.info.Consts[e] = v
+	}
+	return t
+}
+
+func (c *checker) exprType(e ast.Expr) *types.Type {
+	switch e := e.(type) {
+	case *ast.IntLit:
+		return types.IntType
+	case *ast.CharLit:
+		return types.CharType
+	case *ast.TextLit:
+		return types.TextType
+	case *ast.BoolLit:
+		return types.BoolType
+	case *ast.NilLit:
+		return types.NullType
+	case *ast.Ident:
+		return c.checkIdent(e)
+	case *ast.UnaryExpr:
+		return c.checkUnary(e)
+	case *ast.BinaryExpr:
+		return c.checkBinary(e)
+	case *ast.CallExpr:
+		return c.checkCall(e, false)
+	case *ast.IndexExpr:
+		return c.checkIndex(e)
+	case *ast.SelectorExpr:
+		return c.checkSelector(e)
+	case *ast.DerefExpr:
+		return c.checkDeref(e)
+	}
+	panic("sem: unknown expression")
+}
+
+func (c *checker) checkIdent(e *ast.Ident) *types.Type {
+	sym := c.scope.lookup(e.Name)
+	if sym == nil {
+		if _, isBuiltin := builtinNames[e.Name]; isBuiltin {
+			c.errorf(e.NamePos, "built-in %s must be called", e.Name)
+			return nil
+		}
+		c.errorf(e.NamePos, "undeclared identifier %s", e.Name)
+		return nil
+	}
+	c.info.Uses[e] = sym
+	switch sym := sym.(type) {
+	case *VarSym:
+		return sym.Type
+	case *ConstSym:
+		return sym.Type
+	case *ProcSym:
+		c.errorf(e.NamePos, "procedure %s used as a value", e.Name)
+		return nil
+	case *TypeSym:
+		c.errorf(e.NamePos, "type %s used as a value", e.Name)
+		return nil
+	}
+	return nil
+}
+
+func (c *checker) checkUnary(e *ast.UnaryExpr) *types.Type {
+	xt := c.checkExpr(e.X)
+	switch e.Op {
+	case token.Minus:
+		if xt != nil && xt.K != types.Integer {
+			c.errorf(e.OpPos, "unary '-' needs INTEGER, found %s", xt)
+		}
+		return types.IntType
+	case token.NOT:
+		if xt != nil && xt.K != types.Boolean {
+			c.errorf(e.OpPos, "NOT needs BOOLEAN, found %s", xt)
+		}
+		return types.BoolType
+	}
+	panic("sem: unknown unary op")
+}
+
+func (c *checker) checkBinary(e *ast.BinaryExpr) *types.Type {
+	xt := c.checkExpr(e.X)
+	yt := c.checkExpr(e.Y)
+	switch e.Op {
+	case token.Plus, token.Minus, token.Star, token.DIV, token.MOD:
+		if xt != nil && xt.K != types.Integer {
+			c.errorf(e.X.Pos(), "arithmetic needs INTEGER, found %s", xt)
+		}
+		if yt != nil && yt.K != types.Integer {
+			c.errorf(e.Y.Pos(), "arithmetic needs INTEGER, found %s", yt)
+		}
+		return types.IntType
+	case token.AND, token.OR:
+		if xt != nil && xt.K != types.Boolean {
+			c.errorf(e.X.Pos(), "%s needs BOOLEAN, found %s", e.Op, xt)
+		}
+		if yt != nil && yt.K != types.Boolean {
+			c.errorf(e.Y.Pos(), "%s needs BOOLEAN, found %s", e.Op, yt)
+		}
+		return types.BoolType
+	case token.Equal, token.NotEqual:
+		if xt != nil && yt != nil && !comparable(xt, yt) {
+			c.errorf(e.X.Pos(), "cannot compare %s with %s", xt, yt)
+		}
+		return types.BoolType
+	case token.Less, token.LessEq, token.Greater, token.GreaterEq:
+		ok := func(t *types.Type) bool {
+			return t == nil || t.K == types.Integer || t.K == types.Char
+		}
+		if !ok(xt) || !ok(yt) {
+			c.errorf(e.X.Pos(), "ordering needs INTEGER or CHAR operands")
+		}
+		return types.BoolType
+	}
+	panic("sem: unknown binary op")
+}
+
+func comparable(a, b *types.Type) bool {
+	if a.IsRef() && b.IsRef() {
+		return a.K == types.Null || b.K == types.Null || types.Equal(a, b)
+	}
+	return types.Equal(a, b) &&
+		(a.K == types.Integer || a.K == types.Boolean || a.K == types.Char)
+}
+
+func (c *checker) checkIndex(e *ast.IndexExpr) *types.Type {
+	xt := c.checkExpr(e.X)
+	c.checkIntExpr(e.Index)
+	if xt == nil {
+		return nil
+	}
+	// Implicit dereference: indexing a REF ARRAY indexes the referent.
+	if xt.K == types.Ref && xt.Elem != nil && xt.Elem.K == types.Array {
+		xt = xt.Elem
+	}
+	if xt.K != types.Array {
+		c.errorf(e.X.Pos(), "indexing a non-array %s", xt)
+		return nil
+	}
+	return xt.Elem
+}
+
+func (c *checker) checkSelector(e *ast.SelectorExpr) *types.Type {
+	xt := c.checkExpr(e.X)
+	if xt == nil {
+		return nil
+	}
+	// Implicit dereference: r.f on REF RECORD.
+	if xt.K == types.Ref && xt.Elem != nil && xt.Elem.K == types.Record {
+		xt = xt.Elem
+	}
+	if xt.K != types.Record {
+		c.errorf(e.Pos_, "selecting field %s of non-record %s", e.Name, xt)
+		return nil
+	}
+	for _, f := range xt.Fields {
+		if f.Name == e.Name {
+			return f.Type
+		}
+	}
+	c.errorf(e.Pos_, "record has no field %s", e.Name)
+	return nil
+}
+
+func (c *checker) checkDeref(e *ast.DerefExpr) *types.Type {
+	xt := c.checkExpr(e.X)
+	if xt == nil {
+		return nil
+	}
+	if xt.K != types.Ref {
+		c.errorf(e.X.Pos(), "dereferencing a non-REF %s", xt)
+		return nil
+	}
+	if xt.Elem.K == types.Record || xt.Elem.K == types.Array {
+		// p^ of composite is only legal as a step in selection/indexing;
+		// checkIndex/checkSelector handle the implicit form. Allow the
+		// explicit form and return the composite type for those parents.
+		return xt.Elem
+	}
+	return xt.Elem
+}
+
+// checkCall handles both user procedure calls and built-ins. asStmt is
+// true for call statements (proper procedure position).
+func (c *checker) checkCall(e *ast.CallExpr, asStmt bool) *types.Type {
+	id, ok := e.Fun.(*ast.Ident)
+	if !ok {
+		c.errorf(e.Fun.Pos(), "only simple procedure names can be called")
+		return nil
+	}
+	// Builtins are recognized unless shadowed by a user declaration.
+	if b, isBuiltin := builtinNames[id.Name]; isBuiltin && c.scope.lookup(id.Name) == nil {
+		c.info.Builtins[e] = b
+		return c.checkBuiltin(e, b, asStmt)
+	}
+	sym := c.scope.lookup(id.Name)
+	ps, ok := sym.(*ProcSym)
+	if !ok {
+		c.errorf(id.NamePos, "%s is not a procedure", id.Name)
+		return nil
+	}
+	c.info.Uses[id] = ps
+	c.info.Callees[e] = ps
+	if len(e.Args) != len(ps.Params) {
+		c.errorf(e.Pos(), "%s expects %d arguments, got %d", ps.Name, len(ps.Params), len(e.Args))
+	}
+	for i, arg := range e.Args {
+		at := c.checkExpr(arg)
+		if i >= len(ps.Params) {
+			continue
+		}
+		prm := ps.Params[i]
+		if prm.ByRef {
+			if !isDesignator(arg) {
+				c.errorf(arg.Pos(), "VAR parameter %s needs a designator argument", prm.Name)
+			} else if at != nil && !types.Equal(at, prm.Type) {
+				c.errorf(arg.Pos(), "VAR parameter %s needs exactly %s, found %s", prm.Name, prm.Type, at)
+			}
+		} else if at != nil && !types.AssignableTo(at, prm.Type) {
+			c.errorf(arg.Pos(), "cannot pass %s for parameter %s of type %s", at, prm.Name, prm.Type)
+		}
+	}
+	if asStmt && ps.Result != nil {
+		c.errorf(e.Pos(), "result of %s is discarded", ps.Name)
+	}
+	if !asStmt && ps.Result == nil {
+		c.errorf(e.Pos(), "proper procedure %s used in an expression", ps.Name)
+		return nil
+	}
+	return ps.Result
+}
+
+func (c *checker) checkBuiltin(e *ast.CallExpr, b Builtin, asStmt bool) *types.Type {
+	argc := func(n int) bool {
+		if len(e.Args) != n {
+			c.errorf(e.Pos(), "wrong number of arguments (want %d, got %d)", n, len(e.Args))
+			return false
+		}
+		return true
+	}
+	switch b {
+	case BuiltinNew:
+		if len(e.Args) < 1 {
+			c.errorf(e.Pos(), "NEW needs a REF type argument")
+			return nil
+		}
+		tid, ok := e.Args[0].(*ast.Ident)
+		if !ok {
+			c.errorf(e.Args[0].Pos(), "NEW needs a named REF type")
+			return nil
+		}
+		ts, ok := c.scope.lookup(tid.Name).(*TypeSym)
+		if !ok || ts.Type.K != types.Ref {
+			c.errorf(tid.NamePos, "NEW needs a named REF type, %s is not one", tid.Name)
+			return nil
+		}
+		refT := ts.Type
+		c.info.NewTypes[e] = refT.Elem
+		if refT.Elem.K == types.Array && refT.Elem.Open {
+			if !argc(2) {
+				return refT
+			}
+			c.checkIntExpr(e.Args[1])
+		} else if !argc(1) {
+			return refT
+		}
+		return refT
+	case BuiltinNumber:
+		if !argc(1) {
+			return types.IntType
+		}
+		at := c.checkExpr(e.Args[0])
+		if at != nil {
+			ok := at.K == types.Array ||
+				(at.K == types.Ref && at.Elem != nil && at.Elem.K == types.Array)
+			if !ok {
+				c.errorf(e.Args[0].Pos(), "NUMBER needs an array, found %s", at)
+			}
+		}
+		return types.IntType
+	case BuiltinFirst, BuiltinLast:
+		if !argc(1) {
+			return types.IntType
+		}
+		at := c.checkExpr(e.Args[0])
+		arr := at
+		if arr != nil && arr.K == types.Ref {
+			arr = arr.Elem
+		}
+		if arr == nil || arr.K != types.Array {
+			c.errorf(e.Args[0].Pos(), "FIRST/LAST need an array, found %s", at)
+			return types.IntType
+		}
+		if arr.Open {
+			// FIRST is 0; LAST is NUMBER-1 (runtime).
+			return types.IntType
+		}
+		name := "FIRST"
+		v := arr.Lo
+		if c.info.Builtins[e] == BuiltinLast {
+			name = "LAST"
+			v = arr.Hi
+		}
+		_ = name
+		c.info.Consts[e] = v
+		return types.IntType
+	case BuiltinOrd:
+		if argc(1) {
+			at := c.checkExpr(e.Args[0])
+			if at != nil && at.K != types.Char && at.K != types.Boolean && at.K != types.Integer {
+				c.errorf(e.Args[0].Pos(), "ORD needs CHAR/BOOLEAN/INTEGER")
+			}
+		}
+		return types.IntType
+	case BuiltinVal:
+		// VAL(i, CHAR)
+		if argc(2) {
+			c.checkIntExpr(e.Args[0])
+			if tid, ok := e.Args[1].(*ast.Ident); !ok || tid.Name != "CHAR" {
+				c.errorf(e.Args[1].Pos(), "only VAL(i, CHAR) is supported")
+			}
+		}
+		return types.CharType
+	case BuiltinAbs:
+		if argc(1) {
+			c.checkIntExpr(e.Args[0])
+		}
+		return types.IntType
+	case BuiltinMin, BuiltinMax:
+		if argc(2) {
+			c.checkIntExpr(e.Args[0])
+			c.checkIntExpr(e.Args[1])
+		}
+		return types.IntType
+	case BuiltinSubarray:
+		c.errorf(e.Pos(), "SUBARRAY is only supported as a WITH binding")
+		return nil
+	case BuiltinPutInt:
+		if argc(1) {
+			c.checkIntExpr(e.Args[0])
+		}
+		return c.properOnly(e, asStmt)
+	case BuiltinPutChar:
+		if argc(1) {
+			at := c.checkExpr(e.Args[0])
+			if at != nil && at.K != types.Char {
+				c.errorf(e.Args[0].Pos(), "PutChar needs CHAR, found %s", at)
+			}
+		}
+		return c.properOnly(e, asStmt)
+	case BuiltinPutText:
+		if argc(1) {
+			at := c.checkExpr(e.Args[0])
+			if at != nil && !types.AssignableTo(at, types.TextType) {
+				c.errorf(e.Args[0].Pos(), "PutText needs TEXT, found %s", at)
+			}
+		}
+		return c.properOnly(e, asStmt)
+	case BuiltinPutLn, BuiltinHalt, BuiltinGcCollect:
+		argc(0)
+		return c.properOnly(e, asStmt)
+	}
+	panic("sem: unknown builtin")
+}
+
+func (c *checker) properOnly(e *ast.CallExpr, asStmt bool) *types.Type {
+	if !asStmt {
+		c.errorf(e.Pos(), "proper procedure used in an expression")
+	}
+	return nil
+}

@@ -1,0 +1,281 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/parser"
+	"repro/internal/source"
+	"repro/internal/types"
+)
+
+func check(t *testing.T, src string) (*Program, error) {
+	t.Helper()
+	f := source.NewFile("t.m3", src)
+	errs := source.NewErrorList(f)
+	m := parser.Parse(f, errs)
+	if err := errs.Err(); err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	p := Check(m, errs)
+	return p, errs.Err()
+}
+
+func mustCheck(t *testing.T, src string) *Program {
+	t.Helper()
+	p, err := check(t, src)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return p
+}
+
+func wrap(decls, body string) string {
+	return "MODULE T;\n" + decls + "\nBEGIN\n" + body + "\nEND T.\n"
+}
+
+func TestGoodProgram(t *testing.T) {
+	p := mustCheck(t, `
+MODULE T;
+CONST N = 3 * 4;
+TYPE List = REF RECORD head: INTEGER; tail: List; END;
+VAR g: List; n: INTEGER;
+PROCEDURE Len(l: List): INTEGER =
+  VAR k: INTEGER;
+  BEGIN
+    k := 0;
+    WHILE l # NIL DO INC(k); l := l.tail; END;
+    RETURN k;
+  END Len;
+BEGIN
+  g := NEW(List);
+  g.head := N;
+  n := Len(g);
+END T.
+`)
+	if len(p.Procs) != 1 || p.Procs[0].Name != "Len" {
+		t.Fatalf("procs: %+v", p.Procs)
+	}
+	if len(p.Globals) != 2 {
+		t.Fatalf("globals: %d", len(p.Globals))
+	}
+	if p.Globals[0].Type.K != types.Ref {
+		t.Errorf("g type %v", p.Globals[0].Type)
+	}
+}
+
+// Table of programs that must be rejected, with a fragment of the
+// expected message.
+func TestRejections(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"undeclared", wrap("", "x := 1;"), "undeclared"},
+		{"redeclared", wrap("VAR x: INTEGER; VAR x: INTEGER;", ""), "redeclared"},
+		{"assign-type", wrap("VAR x: INTEGER;", "x := TRUE;"), "cannot assign"},
+		{"cond-not-bool", wrap("VAR x: INTEGER;", "IF x THEN END;"), "BOOLEAN"},
+		{"arith-on-bool", wrap("VAR b: BOOLEAN; VAR x: INTEGER;", "x := b + 1;"), "INTEGER"},
+		{"and-on-int", wrap("VAR x: INTEGER; VAR b: BOOLEAN;", "b := x AND b;"), "BOOLEAN"},
+		{"compare-mixed", wrap("VAR x: INTEGER; VAR b: BOOLEAN;", "b := x = b;"), "compare"},
+		{"exit-outside", wrap("", "EXIT;"), "EXIT outside"},
+		{"return-value-missing", `
+MODULE T;
+PROCEDURE F(): INTEGER =
+  BEGIN
+    RETURN;
+  END F;
+BEGIN
+END T.`, "must carry"},
+		{"return-value-extra", `
+MODULE T;
+PROCEDURE P() =
+  BEGIN
+    RETURN 1;
+  END P;
+BEGIN
+END T.`, "proper procedure"},
+		{"wrong-arity", `
+MODULE T;
+PROCEDURE P(a: INTEGER) =
+  BEGIN
+  END P;
+BEGIN
+  P(1, 2);
+END T.`, "expects 1"},
+		{"var-arg-not-designator", `
+MODULE T;
+PROCEDURE P(VAR a: INTEGER) =
+  BEGIN
+  END P;
+BEGIN
+  P(1 + 2);
+END T.`, "designator"},
+		{"var-arg-type-exact", `
+MODULE T;
+PROCEDURE P(VAR a: INTEGER) =
+  BEGIN
+  END P;
+VAR c: CHAR;
+BEGIN
+  P(c);
+END T.`, "exactly"},
+		{"discarded-result", `
+MODULE T;
+PROCEDURE F(): INTEGER =
+  BEGIN
+    RETURN 1;
+  END F;
+BEGIN
+  F();
+END T.`, "discarded"},
+		{"proper-in-expr", wrap("VAR x: INTEGER;", "x := PutLn();"), "proper procedure"},
+		{"index-non-array", wrap("VAR x: INTEGER;", "x := x[1];"), "non-array"},
+		{"field-of-non-record", wrap("VAR x: INTEGER;", "x := x.f;"), "non-record"},
+		{"unknown-field", wrap("TYPE R = REF RECORD a: INTEGER; END; VAR r: R; VAR x: INTEGER;", "x := r.b;"), "no field"},
+		{"deref-non-ref", wrap("VAR x: INTEGER;", "x := x^;"), "non-REF"},
+		{"new-non-type", wrap("VAR x: INTEGER;", "x := NEW(x);"), "REF type"},
+		{"new-needs-length", wrap("TYPE V = REF ARRAY OF INTEGER; VAR v: V;", "v := NEW(V);"), "arguments"},
+		{"open-array-var", wrap("VAR a: ARRAY OF INTEGER;", ""), "open array"},
+		{"nested-proc", `
+MODULE T;
+PROCEDURE Outer() =
+  PROCEDURE Inner() =
+    BEGIN
+    END Inner;
+  BEGIN
+  END Outer;
+BEGIN
+END T.`, "nested"},
+		{"const-not-const", wrap("VAR x: INTEGER; CONST C = x + 1;", ""), "compile-time"},
+		{"bad-bounds", wrap("TYPE A = ARRAY [5..2] OF INTEGER;", ""), "below lower"},
+		{"for-step-const", wrap("VAR i, n: INTEGER;", "FOR i := 1 TO 10 BY n DO END;"), "constant"},
+		{"subarray-outside-with", wrap("TYPE V = REF ARRAY OF INTEGER; VAR v: V; VAR x: INTEGER;", "x := SUBARRAY(v, 0, 1)[0];"), "WITH"},
+		{"assign-to-const", wrap("CONST C = 1;", "C := 2;"), "constant"},
+		{"inc-non-integer", wrap("VAR b: BOOLEAN;", "INC(b);"), "INTEGER"},
+		{"module-result-composite", `
+MODULE T;
+TYPE R = RECORD a: INTEGER; END;
+PROCEDURE F(): R =
+  BEGIN
+  END F;
+BEGIN
+END T.`, "composite"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := check(t, c.src)
+			if err == nil {
+				t.Fatalf("program accepted; want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err.Error(), c.want)
+			}
+		})
+	}
+}
+
+func TestConstFolding(t *testing.T) {
+	p := mustCheck(t, wrap(
+		"CONST A = 2 + 3 * 4; CONST B = A DIV 2; CONST C = -B; VAR x: INTEGER;",
+		"x := A + B + C;"))
+	consts := map[string]int64{"A": 14, "B": 7, "C": -7}
+	for name, want := range consts {
+		got, ok := constValueOf(p, name)
+		if !ok {
+			t.Fatalf("constant %s not found", name)
+		}
+		if got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+// constValueOf digs a declared constant's folded value out of the
+// checked program by re-resolving uses in the module body.
+func constValueOf(p *Program, name string) (int64, bool) {
+	for id, sym := range p.Info.Uses {
+		if cs, ok := sym.(*ConstSym); ok && id.Name == name {
+			return cs.Value, true
+		}
+	}
+	return 0, false
+}
+
+func TestFirstLastFolding(t *testing.T) {
+	p := mustCheck(t, wrap(
+		"TYPE A = ARRAY [3..9] OF INTEGER; VAR a: A; VAR x: INTEGER;",
+		"x := FIRST(a) + LAST(a);"))
+	var got []int64
+	for e, v := range p.Info.Consts {
+		_ = e
+		got = append(got, v)
+	}
+	has := func(v int64) bool {
+		for _, g := range got {
+			if g == v {
+				return true
+			}
+		}
+		return false
+	}
+	if !has(3) || !has(9) {
+		t.Errorf("FIRST/LAST not folded: consts %v", got)
+	}
+}
+
+func TestWithBindings(t *testing.T) {
+	p := mustCheck(t, `
+MODULE T;
+TYPE R = REF RECORD a: INTEGER; END;
+TYPE V = REF ARRAY OF INTEGER;
+VAR r: R; v: V; x: INTEGER;
+BEGIN
+  WITH w = r.a DO w := 1; END;
+  WITH s = SUBARRAY(v, 1, 2) DO x := s[0] + NUMBER(s); END;
+  WITH c = x + 1 DO x := c; END;
+END T.
+`)
+	var aliases, subs, values int
+	for _, sym := range p.Info.WithSyms {
+		switch {
+		case sym.SubArray:
+			subs++
+		case sym.WithAlias:
+			aliases++
+		default:
+			values++
+		}
+	}
+	if aliases != 1 || subs != 1 || values != 1 {
+		t.Errorf("aliases=%d subs=%d values=%d, want 1 each", aliases, subs, values)
+	}
+}
+
+func TestByRefParamFlag(t *testing.T) {
+	p := mustCheck(t, `
+MODULE T;
+PROCEDURE P(a: INTEGER; VAR b: INTEGER) =
+  BEGIN
+    b := a;
+  END P;
+BEGIN
+END T.
+`)
+	prms := p.Procs[0].Params
+	if prms[0].ByRef || !prms[1].ByRef {
+		t.Errorf("ByRef flags wrong: %+v", prms)
+	}
+}
+
+func TestBuiltinShadowing(t *testing.T) {
+	// A user procedure named like a builtin shadows it.
+	mustCheck(t, `
+MODULE T;
+PROCEDURE PutInt(x: INTEGER) =
+  BEGIN
+  END PutInt;
+BEGIN
+  PutInt(3);
+END T.
+`)
+}

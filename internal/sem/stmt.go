@@ -1,0 +1,256 @@
+package sem
+
+import (
+	"repro/internal/ast"
+	"repro/internal/types"
+)
+
+func (c *checker) checkStmts(stmts []ast.Stmt) {
+	for _, s := range stmts {
+		c.checkStmt(s)
+	}
+}
+
+func (c *checker) checkStmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		lt := c.checkDesignator(s.LHS)
+		rt := c.checkExpr(s.RHS)
+		if lt != nil && rt != nil && !types.AssignableTo(rt, lt) {
+			c.errorf(s.LHS.Pos(), "cannot assign %s to %s", rt, lt)
+		}
+	case *ast.CallStmt:
+		c.checkCall(s.Call, true)
+	case *ast.IfStmt:
+		c.checkCond(s.Cond)
+		c.push()
+		c.checkStmts(s.Then)
+		c.pop()
+		c.push()
+		c.checkStmts(s.Else)
+		c.pop()
+	case *ast.WhileStmt:
+		c.checkCond(s.Cond)
+		c.loopDepth++
+		c.push()
+		c.checkStmts(s.Body)
+		c.pop()
+		c.loopDepth--
+	case *ast.RepeatStmt:
+		c.loopDepth++
+		c.push()
+		c.checkStmts(s.Body)
+		c.pop()
+		c.loopDepth--
+		c.checkCond(s.Cond)
+	case *ast.LoopStmt:
+		c.loopDepth++
+		c.push()
+		c.checkStmts(s.Body)
+		c.pop()
+		c.loopDepth--
+	case *ast.ExitStmt:
+		if c.loopDepth == 0 {
+			c.errorf(s.ExitPos, "EXIT outside of a loop")
+		}
+	case *ast.ForStmt:
+		c.checkIntExpr(s.Lo)
+		c.checkIntExpr(s.Hi)
+		if s.By != nil {
+			if _, ok := c.constValue(s.By); !ok {
+				c.errorf(s.By.Pos(), "FOR step must be a compile-time constant")
+			}
+			c.checkIntExpr(s.By)
+		}
+		idx := &VarSym{Name: s.Var, Type: types.IntType}
+		c.info.ForSyms[s] = idx
+		if c.proc != nil {
+			c.proc.Locals = append(c.proc.Locals, idx)
+		}
+		c.push()
+		c.scope.declare(s.Var, idx)
+		c.loopDepth++
+		c.checkStmts(s.Body)
+		c.loopDepth--
+		c.pop()
+	case *ast.ReturnStmt:
+		if c.proc == nil {
+			c.errorf(s.ReturnPos, "RETURN outside of a procedure")
+			return
+		}
+		switch {
+		case s.Value == nil && c.proc.Result != nil:
+			c.errorf(s.ReturnPos, "RETURN in %s must carry a %s value", c.proc.Name, c.proc.Result)
+		case s.Value != nil && c.proc.Result == nil:
+			c.errorf(s.ReturnPos, "RETURN value in proper procedure %s", c.proc.Name)
+		case s.Value != nil:
+			vt := c.checkExpr(s.Value)
+			if vt != nil && !types.AssignableTo(vt, c.proc.Result) {
+				c.errorf(s.Value.Pos(), "cannot return %s from procedure returning %s", vt, c.proc.Result)
+			}
+		}
+	case *ast.WithStmt:
+		c.checkWith(s)
+	case *ast.CaseStmt:
+		c.checkCase(s)
+	case *ast.IncDecStmt:
+		t := c.checkDesignator(s.Target)
+		if t != nil && t.K != types.Integer {
+			c.errorf(s.Target.Pos(), "INC/DEC target must be INTEGER, found %s", t)
+		}
+		if s.Delta != nil {
+			c.checkIntExpr(s.Delta)
+		}
+	}
+}
+
+// checkCase validates the selector, the constant (and disjoint) labels,
+// and the arm bodies.
+func (c *checker) checkCase(s *ast.CaseStmt) {
+	st := c.checkExpr(s.Expr)
+	if st != nil && st.K != types.Integer && st.K != types.Char {
+		c.errorf(s.Expr.Pos(), "CASE selector must be INTEGER or CHAR, found %s", st)
+	}
+	type span struct{ lo, hi int64 }
+	var seen []span
+	for _, arm := range s.Arms {
+		for _, lbl := range arm.Labels {
+			c.checkExpr(lbl.Lo)
+			lo, ok := c.constValue(lbl.Lo)
+			hi := lo
+			if !ok {
+				c.errorf(lbl.Lo.Pos(), "CASE label must be a compile-time constant")
+				continue
+			}
+			if lbl.Hi != nil {
+				c.checkExpr(lbl.Hi)
+				var ok2 bool
+				hi, ok2 = c.constValue(lbl.Hi)
+				if !ok2 {
+					c.errorf(lbl.Hi.Pos(), "CASE label must be a compile-time constant")
+					continue
+				}
+				if hi < lo {
+					c.errorf(lbl.Lo.Pos(), "empty CASE label range %d..%d", lo, hi)
+				}
+			}
+			for _, sp := range seen {
+				if lo <= sp.hi && sp.lo <= hi {
+					c.errorf(lbl.Lo.Pos(), "CASE label %d..%d overlaps an earlier label", lo, hi)
+				}
+			}
+			seen = append(seen, span{lo, hi})
+		}
+		c.push()
+		c.checkStmts(arm.Body)
+		c.pop()
+	}
+	if s.HasElse {
+		c.push()
+		c.checkStmts(s.Else)
+		c.pop()
+	}
+}
+
+func (c *checker) checkWith(s *ast.WithStmt) {
+	var sym *VarSym
+	if call, ok := s.Expr.(*ast.CallExpr); ok && isBuiltinName(call.Fun, "SUBARRAY") {
+		elem := c.checkSubarrayArgs(call)
+		sym = &VarSym{
+			Name: s.Name, With: true, WithAlias: true, SubArray: true,
+			Type:    types.NewOpenArray(elem),
+			SubElem: elem,
+		}
+		c.info.Builtins[call] = BuiltinSubarray
+	} else {
+		t := c.checkExpr(s.Expr)
+		if t == nil {
+			t = types.IntType
+		}
+		if t.K == types.Record || (t.K == types.Array && !t.Open) {
+			c.errorf(s.Expr.Pos(), "WITH cannot bind a composite value directly; bind a REF or element")
+			t = types.IntType
+		}
+		alias := isDesignator(s.Expr)
+		sym = &VarSym{Name: s.Name, Type: t, With: true, WithAlias: alias}
+	}
+	c.info.WithSyms[s] = sym
+	if c.proc != nil {
+		c.proc.Locals = append(c.proc.Locals, sym)
+	}
+	c.push()
+	c.scope.declare(s.Name, sym)
+	c.checkStmts(s.Body)
+	c.pop()
+}
+
+// checkSubarrayArgs validates SUBARRAY(ref-array, from, count) and
+// returns the element type.
+func (c *checker) checkSubarrayArgs(call *ast.CallExpr) *types.Type {
+	if len(call.Args) != 3 {
+		c.errorf(call.Pos(), "SUBARRAY takes (array, from, count)")
+		return types.IntType
+	}
+	at := c.checkExpr(call.Args[0])
+	c.checkIntExpr(call.Args[1])
+	c.checkIntExpr(call.Args[2])
+	if at == nil || at.K != types.Ref || at.Elem.K != types.Array {
+		c.errorf(call.Args[0].Pos(), "SUBARRAY needs a REF ARRAY argument")
+		return types.IntType
+	}
+	return at.Elem.Elem
+}
+
+func isBuiltinName(e ast.Expr, name string) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == name
+}
+
+// isDesignator reports whether e denotes a storage location.
+func isDesignator(e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return true
+	case *ast.IndexExpr, *ast.SelectorExpr, *ast.DerefExpr:
+		return true
+	case *ast.CallExpr:
+		_ = e
+		return false
+	}
+	return false
+}
+
+func (c *checker) checkCond(e ast.Expr) {
+	t := c.checkExpr(e)
+	if t != nil && t.K != types.Boolean {
+		c.errorf(e.Pos(), "condition must be BOOLEAN, found %s", t)
+	}
+}
+
+func (c *checker) checkIntExpr(e ast.Expr) {
+	t := c.checkExpr(e)
+	if t != nil && t.K != types.Integer {
+		c.errorf(e.Pos(), "expected INTEGER, found %s", t)
+	}
+}
+
+// checkDesignator checks e and verifies it denotes a storage location
+// (assignment targets, INC/DEC operands, VAR arguments).
+func (c *checker) checkDesignator(e ast.Expr) *types.Type {
+	t := c.checkExpr(e)
+	if !isDesignator(e) {
+		c.errorf(e.Pos(), "expression does not denote a location")
+		return t
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		switch c.info.Uses[id].(type) {
+		case *ConstSym:
+			c.errorf(e.Pos(), "%s is a constant, not a variable", id.Name)
+		case *ProcSym:
+			c.errorf(e.Pos(), "%s is a procedure, not a variable", id.Name)
+		case *TypeSym:
+			c.errorf(e.Pos(), "%s is a type, not a variable", id.Name)
+		}
+	}
+	return t
+}

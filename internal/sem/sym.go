@@ -1,0 +1,160 @@
+// Package sem performs name resolution and type checking for mthree
+// modules, producing the symbol and type information the IR generator
+// consumes.
+package sem
+
+import (
+	"repro/internal/ast"
+	"repro/internal/types"
+)
+
+// Symbol is a named program entity.
+type Symbol interface {
+	SymName() string
+}
+
+// VarSym is a global variable, local variable, parameter, FOR index, or
+// WITH binding.
+type VarSym struct {
+	Name   string
+	Type   *types.Type
+	Global bool
+	Param  bool
+	ByRef  bool // VAR parameter: holds the address of the actual
+
+	// With marks any WITH binding (alias, value, or SUBARRAY); its
+	// storage is managed by the WITH lowering, never as an ordinary
+	// local.
+	With bool
+	// With aliasing: the variable holds the address of a designator
+	// (an interior pointer when the target lives on the heap).
+	WithAlias bool
+	// SubArray marks a WITH binding of a SUBARRAY expression; the
+	// binding occupies two hidden locals: base address and length.
+	SubArray bool
+	// SubElem is the element type of a SubArray binding.
+	SubElem *types.Type
+}
+
+func (v *VarSym) SymName() string { return v.Name }
+
+// ConstSym is a named integer/boolean/char constant.
+type ConstSym struct {
+	Name  string
+	Type  *types.Type
+	Value int64
+}
+
+func (c *ConstSym) SymName() string { return c.Name }
+
+// ProcSym is a procedure.
+type ProcSym struct {
+	Name   string
+	Params []*VarSym
+	Result *types.Type // nil for proper procedures
+	Locals []*VarSym   // declared locals plus FOR/WITH bindings
+	Decl   *ast.ProcDecl
+	Body   []ast.Stmt
+}
+
+func (p *ProcSym) SymName() string { return p.Name }
+
+// TypeSym is a declared type name.
+type TypeSym struct {
+	Name string
+	Type *types.Type
+}
+
+func (t *TypeSym) SymName() string { return t.Name }
+
+// Builtin identifies a built-in function or procedure.
+type Builtin int
+
+// Built-in operations. I/O builtins are implemented by the runtime and
+// are known non-allocating (so calls to them are not gc-points, per the
+// paper's treatment of runtime routines); NEW and text literals allocate
+// and therefore are gc-points.
+const (
+	BuiltinNone Builtin = iota
+	BuiltinNew
+	BuiltinNumber
+	BuiltinFirst
+	BuiltinLast
+	BuiltinOrd
+	BuiltinVal
+	BuiltinAbs
+	BuiltinMin
+	BuiltinMax
+	BuiltinSubarray
+	BuiltinPutInt
+	BuiltinPutChar
+	BuiltinPutText
+	BuiltinPutLn
+	BuiltinHalt
+	BuiltinGcCollect // force a collection (testing hook, allocates nothing but is a gc-point)
+)
+
+var builtinNames = map[string]Builtin{
+	"NEW":       BuiltinNew,
+	"NUMBER":    BuiltinNumber,
+	"FIRST":     BuiltinFirst,
+	"LAST":      BuiltinLast,
+	"ORD":       BuiltinOrd,
+	"VAL":       BuiltinVal,
+	"ABS":       BuiltinAbs,
+	"MIN":       BuiltinMin,
+	"MAX":       BuiltinMax,
+	"SUBARRAY":  BuiltinSubarray,
+	"PutInt":    BuiltinPutInt,
+	"PutChar":   BuiltinPutChar,
+	"PutText":   BuiltinPutText,
+	"PutLn":     BuiltinPutLn,
+	"Halt":      BuiltinHalt,
+	"GcCollect": BuiltinGcCollect,
+}
+
+// Info carries the checker's side tables, keyed by AST nodes.
+type Info struct {
+	// Types maps every checked expression to its type.
+	Types map[ast.Expr]*types.Type
+	// Uses maps identifier occurrences to their symbols.
+	Uses map[*ast.Ident]Symbol
+	// Consts maps expressions folded to compile-time integers.
+	Consts map[ast.Expr]int64
+	// Builtins classifies calls to built-in operations.
+	Builtins map[*ast.CallExpr]Builtin
+	// Callees maps user procedure calls to their targets.
+	Callees map[*ast.CallExpr]*ProcSym
+	// NewTypes maps NEW calls to the referent type being allocated.
+	NewTypes map[*ast.CallExpr]*types.Type
+	// WithSyms maps WITH statements to their binding symbols.
+	WithSyms map[*ast.WithStmt]*VarSym
+	// ForSyms maps FOR statements to their index variable symbols.
+	ForSyms map[*ast.ForStmt]*VarSym
+	// VarInits maps variables to their declaration initializers.
+	VarInits map[*VarSym]ast.Expr
+}
+
+func newInfo() *Info {
+	return &Info{
+		Types:    make(map[ast.Expr]*types.Type),
+		Uses:     make(map[*ast.Ident]Symbol),
+		Consts:   make(map[ast.Expr]int64),
+		Builtins: make(map[*ast.CallExpr]Builtin),
+		Callees:  make(map[*ast.CallExpr]*ProcSym),
+		NewTypes: make(map[*ast.CallExpr]*types.Type),
+		WithSyms: make(map[*ast.WithStmt]*VarSym),
+		ForSyms:  make(map[*ast.ForStmt]*VarSym),
+		VarInits: make(map[*VarSym]ast.Expr),
+	}
+}
+
+// Program is a fully checked module.
+type Program struct {
+	Name    string
+	Module  *ast.Module
+	Globals []*VarSym
+	Procs   []*ProcSym // user procedures, in declaration order
+	Main    *ProcSym   // synthesized from the module body
+	Info    *Info
+}

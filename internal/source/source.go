@@ -1,0 +1,125 @@
+// Package source provides source positions, spans, and diagnostic
+// reporting shared by every phase of the mthree compiler.
+package source
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Pos is a position in a source file, identified by byte offset.
+// Line and column are 1-based and derived lazily from a File.
+type Pos struct {
+	Offset int
+}
+
+// NoPos is the zero position, used for synthesized nodes.
+var NoPos = Pos{Offset: -1}
+
+// IsValid reports whether p refers to an actual source location.
+func (p Pos) IsValid() bool { return p.Offset >= 0 }
+
+// Span is a half-open range [Start, End) of source text.
+type Span struct {
+	Start, End Pos
+}
+
+// File holds a source file's name and contents and can translate byte
+// offsets to line/column pairs.
+type File struct {
+	Name    string
+	Content string
+
+	lineStarts []int // byte offset of the start of each line, built lazily
+}
+
+// NewFile creates a File for the given name and content.
+func NewFile(name, content string) *File {
+	return &File{Name: name, Content: content}
+}
+
+func (f *File) buildLines() {
+	if f.lineStarts != nil {
+		return
+	}
+	f.lineStarts = append(f.lineStarts, 0)
+	for i := 0; i < len(f.Content); i++ {
+		if f.Content[i] == '\n' {
+			f.lineStarts = append(f.lineStarts, i+1)
+		}
+	}
+}
+
+// Position translates a Pos into a human-readable line/column location.
+func (f *File) Position(p Pos) Location {
+	if !p.IsValid() {
+		return Location{File: f.Name, Line: 0, Col: 0}
+	}
+	f.buildLines()
+	line := sort.Search(len(f.lineStarts), func(i int) bool {
+		return f.lineStarts[i] > p.Offset
+	})
+	// line is 1-based already: lineStarts[line-1] <= offset.
+	col := p.Offset - f.lineStarts[line-1] + 1
+	return Location{File: f.Name, Line: line, Col: col}
+}
+
+// Location is a resolved file/line/column triple.
+type Location struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (l Location) String() string {
+	if l.Line == 0 {
+		return l.File
+	}
+	return fmt.Sprintf("%s:%d:%d", l.File, l.Line, l.Col)
+}
+
+// Diagnostic is a single compiler message tied to a position.
+type Diagnostic struct {
+	Pos     Pos
+	Message string
+}
+
+// ErrorList collects diagnostics during a compiler phase. The zero value
+// is ready to use.
+type ErrorList struct {
+	File  *File
+	Diags []Diagnostic
+}
+
+// NewErrorList creates an ErrorList reporting against file f.
+func NewErrorList(f *File) *ErrorList {
+	return &ErrorList{File: f}
+}
+
+// Errorf records a formatted diagnostic at pos.
+func (e *ErrorList) Errorf(pos Pos, format string, args ...any) {
+	e.Diags = append(e.Diags, Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Len returns the number of recorded diagnostics.
+func (e *ErrorList) Len() int { return len(e.Diags) }
+
+// Err returns an error summarizing all diagnostics, or nil if none.
+func (e *ErrorList) Err() error {
+	if len(e.Diags) == 0 {
+		return nil
+	}
+	var b strings.Builder
+	for i, d := range e.Diags {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		if e.File != nil {
+			fmt.Fprintf(&b, "%s: %s", e.File.Position(d.Pos), d.Message)
+		} else {
+			b.WriteString(d.Message)
+		}
+	}
+	return fmt.Errorf("%s", b.String())
+}

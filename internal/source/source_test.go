@@ -1,0 +1,72 @@
+package source
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPositions(t *testing.T) {
+	f := NewFile("a.m3", "one\ntwo\nthree")
+	cases := []struct {
+		off       int
+		line, col int
+	}{
+		{0, 1, 1},
+		{2, 1, 3},
+		{4, 2, 1},
+		{6, 2, 3},
+		{8, 3, 1},
+		{12, 3, 5},
+	}
+	for _, c := range cases {
+		loc := f.Position(Pos{Offset: c.off})
+		if loc.Line != c.line || loc.Col != c.col {
+			t.Errorf("offset %d: %d:%d, want %d:%d", c.off, loc.Line, loc.Col, c.line, c.col)
+		}
+	}
+	if got := f.Position(Pos{Offset: 4}).String(); got != "a.m3:2:1" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestInvalidPos(t *testing.T) {
+	f := NewFile("a.m3", "x")
+	loc := f.Position(NoPos)
+	if loc.Line != 0 {
+		t.Errorf("NoPos resolved to %v", loc)
+	}
+	if loc.String() != "a.m3" {
+		t.Errorf("NoPos string %q", loc.String())
+	}
+	if NoPos.IsValid() {
+		t.Error("NoPos is valid?")
+	}
+	if !(Pos{Offset: 0}).IsValid() {
+		t.Error("offset 0 invalid?")
+	}
+}
+
+func TestErrorList(t *testing.T) {
+	f := NewFile("a.m3", "one\ntwo")
+	errs := NewErrorList(f)
+	if errs.Err() != nil {
+		t.Error("empty list yields an error")
+	}
+	errs.Errorf(Pos{Offset: 4}, "bad %s", "thing")
+	errs.Errorf(Pos{Offset: 0}, "worse")
+	if errs.Len() != 2 {
+		t.Errorf("len %d", errs.Len())
+	}
+	msg := errs.Err().Error()
+	if !strings.Contains(msg, "a.m3:2:1: bad thing") || !strings.Contains(msg, "a.m3:1:1: worse") {
+		t.Errorf("message %q", msg)
+	}
+}
+
+func TestErrorListWithoutFile(t *testing.T) {
+	errs := &ErrorList{}
+	errs.Errorf(NoPos, "free-floating")
+	if errs.Err() == nil || !strings.Contains(errs.Err().Error(), "free-floating") {
+		t.Error("file-less diagnostics broken")
+	}
+}

@@ -1,0 +1,180 @@
+// Package token defines the lexical tokens of the mthree source language,
+// a Modula-3 subset.
+package token
+
+import "strconv"
+
+// Kind identifies a lexical token class.
+type Kind int
+
+// Token kinds. Keyword kinds are grouped between keywordBeg and keywordEnd.
+const (
+	Illegal Kind = iota
+	EOF
+
+	Ident  // Foo
+	IntLit // 123, 16_FF
+	CharLit
+	TextLit // "abc"
+
+	// Punctuation and operators.
+	Plus      // +
+	Minus     // -
+	Star      // *
+	Slash     // DIV is the keyword; '/' reserved for reals (unused)
+	Assign    // :=
+	Equal     // =
+	NotEqual  // #
+	Less      // <
+	LessEq    // <=
+	Greater   // >
+	GreaterEq // >=
+	LParen    // (
+	RParen    // )
+	LBracket  // [
+	RBracket  // ]
+	LBrace    // {
+	RBrace    // }
+	Comma     // ,
+	Semicolon // ;
+	Colon     // :
+	Dot       // .
+	DotDot    // ..
+	Caret     // ^
+	Bar       // |
+	Arrow     // =>
+
+	keywordBeg
+	AND
+	ARRAY
+	BEGIN
+	BY
+	CASE
+	CONST
+	DIV
+	DO
+	ELSE
+	ELSIF
+	END
+	EXIT
+	FALSE
+	FOR
+	IF
+	LOOP
+	MOD
+	MODULE
+	NIL
+	NOT
+	OF
+	OR
+	PROCEDURE
+	RECORD
+	REF
+	REPEAT
+	RETURN
+	THEN
+	TO
+	TRUE
+	TYPE
+	UNTIL
+	VAR
+	WHILE
+	WITH
+	keywordEnd
+)
+
+var names = map[Kind]string{
+	Illegal:   "illegal",
+	EOF:       "end of file",
+	Ident:     "identifier",
+	IntLit:    "integer literal",
+	CharLit:   "character literal",
+	TextLit:   "text literal",
+	Plus:      "+",
+	Minus:     "-",
+	Star:      "*",
+	Slash:     "/",
+	Assign:    ":=",
+	Equal:     "=",
+	NotEqual:  "#",
+	Less:      "<",
+	LessEq:    "<=",
+	Greater:   ">",
+	GreaterEq: ">=",
+	LParen:    "(",
+	RParen:    ")",
+	LBracket:  "[",
+	RBracket:  "]",
+	LBrace:    "{",
+	RBrace:    "}",
+	Comma:     ",",
+	Semicolon: ";",
+	Colon:     ":",
+	Dot:       ".",
+	DotDot:    "..",
+	Caret:     "^",
+	Bar:       "|",
+	Arrow:     "=>",
+	AND:       "AND",
+	ARRAY:     "ARRAY",
+	BEGIN:     "BEGIN",
+	BY:        "BY",
+	CASE:      "CASE",
+	CONST:     "CONST",
+	DIV:       "DIV",
+	DO:        "DO",
+	ELSE:      "ELSE",
+	ELSIF:     "ELSIF",
+	END:       "END",
+	EXIT:      "EXIT",
+	FALSE:     "FALSE",
+	FOR:       "FOR",
+	IF:        "IF",
+	LOOP:      "LOOP",
+	MOD:       "MOD",
+	MODULE:    "MODULE",
+	NIL:       "NIL",
+	NOT:       "NOT",
+	OF:        "OF",
+	OR:        "OR",
+	PROCEDURE: "PROCEDURE",
+	RECORD:    "RECORD",
+	REF:       "REF",
+	REPEAT:    "REPEAT",
+	RETURN:    "RETURN",
+	THEN:      "THEN",
+	TO:        "TO",
+	TRUE:      "TRUE",
+	TYPE:      "TYPE",
+	UNTIL:     "UNTIL",
+	VAR:       "VAR",
+	WHILE:     "WHILE",
+	WITH:      "WITH",
+}
+
+// String returns a readable name for the token kind.
+func (k Kind) String() string {
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return "token(" + strconv.Itoa(int(k)) + ")"
+}
+
+// IsKeyword reports whether k is a reserved word.
+func (k Kind) IsKeyword() bool { return k > keywordBeg && k < keywordEnd }
+
+var keywords = func() map[string]Kind {
+	m := make(map[string]Kind)
+	for k := keywordBeg + 1; k < keywordEnd; k++ {
+		m[names[k]] = k
+	}
+	return m
+}()
+
+// Lookup maps an identifier spelling to its keyword kind, or Ident.
+func Lookup(name string) Kind {
+	if k, ok := keywords[name]; ok {
+		return k
+	}
+	return Ident
+}

@@ -1,0 +1,277 @@
+// Package types defines the mthree type system: word-sized scalars,
+// reference types, records and arrays, with Modula-3-style structural
+// equivalence, plus the runtime type descriptors the garbage collector
+// uses to size and trace heap objects.
+package types
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind discriminates the type representations.
+type Kind int
+
+// Type kinds.
+const (
+	Integer Kind = iota // 64-bit word
+	Boolean
+	Char
+	Null   // the type of NIL, assignable to any Ref
+	Ref    // REF T
+	Record // RECORD ... END (heap only, behind Ref)
+	Array  // ARRAY [lo..hi] OF T, or open ARRAY OF T
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Integer:
+		return "INTEGER"
+	case Boolean:
+		return "BOOLEAN"
+	case Char:
+		return "CHAR"
+	case Null:
+		return "NULL"
+	case Ref:
+		return "REF"
+	case Record:
+		return "RECORD"
+	case Array:
+		return "ARRAY"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Field is a record field with its word offset within the object.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int64 // in words from the start of the object data
+}
+
+// Type is a structural type. Types are compared with Equal (structural
+// equivalence with cycle tolerance), never with pointer identity.
+type Type struct {
+	K      Kind
+	Elem   *Type   // Ref and Array element
+	Lo, Hi int64   // fixed Array bounds (inclusive)
+	Open   bool    // open Array (only behind Ref or as SUBARRAY alias)
+	Fields []Field // Record fields
+
+	// Name records the first declared name bound to this type, for
+	// diagnostics only; it has no effect on equivalence.
+	Name string
+}
+
+// Predeclared scalar types.
+var (
+	IntType  = &Type{K: Integer}
+	BoolType = &Type{K: Boolean}
+	CharType = &Type{K: Char}
+	NullType = &Type{K: Null}
+
+	// TextType is the built-in TEXT = REF ARRAY OF CHAR.
+	TextType = NewRef(&Type{K: Array, Open: true, Elem: CharType})
+)
+
+// NewRef returns REF elem.
+func NewRef(elem *Type) *Type { return &Type{K: Ref, Elem: elem} }
+
+// NewFixedArray returns ARRAY [lo..hi] OF elem.
+func NewFixedArray(lo, hi int64, elem *Type) *Type {
+	return &Type{K: Array, Lo: lo, Hi: hi, Elem: elem}
+}
+
+// NewOpenArray returns ARRAY OF elem.
+func NewOpenArray(elem *Type) *Type { return &Type{K: Array, Open: true, Elem: elem} }
+
+// NewRecord returns a record with the given fields; offsets are assigned.
+func NewRecord(fields []Field) *Type {
+	t := &Type{K: Record}
+	off := int64(0)
+	for _, f := range fields {
+		f.Offset = off
+		off += f.Type.SizeWords()
+		t.Fields = append(t.Fields, f)
+	}
+	return t
+}
+
+// IsScalar reports whether t occupies one word and holds no pointer.
+func (t *Type) IsScalar() bool {
+	return t.K == Integer || t.K == Boolean || t.K == Char
+}
+
+// IsRef reports whether t is a reference type (including Null).
+func (t *Type) IsRef() bool { return t.K == Ref || t.K == Null }
+
+// Len returns the number of elements of a fixed array.
+func (t *Type) Len() int64 {
+	if t.K != Array || t.Open {
+		panic("types: Len of non-fixed-array")
+	}
+	return t.Hi - t.Lo + 1
+}
+
+// SizeWords returns the number of words a value of this type occupies in
+// a variable or record field. Open arrays have no variable size (they
+// exist only as heap objects).
+func (t *Type) SizeWords() int64 {
+	switch t.K {
+	case Integer, Boolean, Char, Null, Ref:
+		return 1
+	case Array:
+		if t.Open {
+			panic("types: SizeWords of open array")
+		}
+		return t.Len() * t.Elem.SizeWords()
+	case Record:
+		var n int64
+		for _, f := range t.Fields {
+			n += f.Type.SizeWords()
+		}
+		return n
+	}
+	panic("types: unknown kind")
+}
+
+// PointerOffsets returns the word offsets within a value of type t that
+// hold pointers (each array-of-pointer element separately, as in the
+// paper's implementation).
+func (t *Type) PointerOffsets() []int64 {
+	var offs []int64
+	t.appendPointerOffsets(&offs, 0)
+	return offs
+}
+
+func (t *Type) appendPointerOffsets(offs *[]int64, base int64) {
+	switch t.K {
+	case Ref, Null:
+		*offs = append(*offs, base)
+	case Array:
+		if t.Open {
+			panic("types: PointerOffsets of open array")
+		}
+		es := t.Elem.SizeWords()
+		for i := int64(0); i < t.Len(); i++ {
+			t.Elem.appendPointerOffsets(offs, base+i*es)
+		}
+	case Record:
+		for _, f := range t.Fields {
+			f.Type.appendPointerOffsets(offs, base+f.Offset)
+		}
+	}
+}
+
+// String renders the type readably; recursive types print their name or
+// "...".
+func (t *Type) String() string {
+	return t.str(make(map[*Type]bool))
+}
+
+func (t *Type) str(seen map[*Type]bool) string {
+	if t == nil {
+		return "<nil>"
+	}
+	if seen[t] {
+		if t.Name != "" {
+			return t.Name
+		}
+		return "..."
+	}
+	seen[t] = true
+	defer delete(seen, t)
+	switch t.K {
+	case Integer, Boolean, Char:
+		return t.K.String()
+	case Null:
+		return "NULL"
+	case Ref:
+		return "REF " + t.Elem.str(seen)
+	case Array:
+		if t.Open {
+			return "ARRAY OF " + t.Elem.str(seen)
+		}
+		return fmt.Sprintf("ARRAY [%d..%d] OF %s", t.Lo, t.Hi, t.Elem.str(seen))
+	case Record:
+		var b strings.Builder
+		b.WriteString("RECORD ")
+		for i, f := range t.Fields {
+			if i > 0 {
+				b.WriteString("; ")
+			}
+			b.WriteString(f.Name)
+			b.WriteString(": ")
+			b.WriteString(f.Type.str(seen))
+		}
+		b.WriteString(" END")
+		return b.String()
+	}
+	return "?"
+}
+
+// Equal implements structural equivalence with cycle tolerance: two
+// types are equal if no finite unrolling distinguishes them. This is the
+// same algorithm the paper's typereg benchmark implements for the
+// Modula-3 runtime.
+func Equal(a, b *Type) bool {
+	return equal(a, b, make(map[[2]*Type]bool))
+}
+
+func equal(a, b *Type, assumed map[[2]*Type]bool) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil {
+		return false
+	}
+	if a.K != b.K {
+		return false
+	}
+	key := [2]*Type{a, b}
+	if assumed[key] {
+		return true // coinductive assumption
+	}
+	assumed[key] = true
+	switch a.K {
+	case Integer, Boolean, Char, Null:
+		return true
+	case Ref:
+		return equal(a.Elem, b.Elem, assumed)
+	case Array:
+		if a.Open != b.Open {
+			return false
+		}
+		if !a.Open && (a.Lo != b.Lo || a.Hi != b.Hi) {
+			return false
+		}
+		return equal(a.Elem, b.Elem, assumed)
+	case Record:
+		if len(a.Fields) != len(b.Fields) {
+			return false
+		}
+		for i := range a.Fields {
+			if a.Fields[i].Name != b.Fields[i].Name {
+				return false
+			}
+			if !equal(a.Fields[i].Type, b.Fields[i].Type, assumed) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// AssignableTo reports whether a value of type src may be assigned to a
+// location of type dst.
+func AssignableTo(src, dst *Type) bool {
+	if src == nil || dst == nil {
+		return false
+	}
+	if src.K == Null && dst.K == Ref {
+		return true
+	}
+	return Equal(src, dst)
+}

@@ -1,0 +1,87 @@
+package vmachine
+
+import (
+	"fmt"
+	"io"
+)
+
+// InstrString renders one instruction.
+func InstrString(in *Instr) string {
+	reg := func(r uint8) string { return fmt.Sprintf("r%d", r) }
+	base := func(b uint8) string {
+		switch b {
+		case BaseFP:
+			return "fp"
+		case BaseSP:
+			return "sp"
+		default:
+			return reg(b)
+		}
+	}
+	switch in.Op {
+	case OpHalt, OpRet, OpGcPoll, OpGcCollect, OpPutLn:
+		return in.Op.String()
+	case OpMovI:
+		return fmt.Sprintf("movi %s, %d", reg(in.Rd), in.Imm)
+	case OpMov, OpNeg, OpNot, OpAbs:
+		return fmt.Sprintf("%s %s, %s", in.Op, reg(in.Rd), reg(in.Ra))
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpMin, OpMax,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE:
+		return fmt.Sprintf("%s %s, %s, %s", in.Op, reg(in.Rd), reg(in.Ra), reg(in.Rb))
+	case OpAddI:
+		return fmt.Sprintf("addi %s, %s, %d", reg(in.Rd), reg(in.Ra), in.Imm)
+	case OpLd:
+		return fmt.Sprintf("ld %s, [%s%+d]", reg(in.Rd), base(in.Base), in.Imm)
+	case OpSt:
+		return fmt.Sprintf("st [%s%+d], %s", base(in.Base), in.Imm, reg(in.Ra))
+	case OpStB:
+		return fmt.Sprintf("stb [%s%+d], %s", base(in.Base), in.Imm, reg(in.Ra))
+	case OpLea:
+		return fmt.Sprintf("lea %s, %s%+d", reg(in.Rd), base(in.Base), in.Imm)
+	case OpLdG:
+		return fmt.Sprintf("ldg %s, g[%d]", reg(in.Rd), in.Imm)
+	case OpStG:
+		return fmt.Sprintf("stg g[%d], %s", in.Imm, reg(in.Ra))
+	case OpLeaG:
+		return fmt.Sprintf("leag %s, g[%d]", reg(in.Rd), in.Imm)
+	case OpJmp:
+		return fmt.Sprintf("jmp %d", in.Target)
+	case OpBT, OpBF:
+		return fmt.Sprintf("%s %s, %d", in.Op, reg(in.Ra), in.Target)
+	case OpCall:
+		return fmt.Sprintf("call %d", in.Target)
+	case OpEnter:
+		return fmt.Sprintf("enter %d", in.Imm)
+	case OpNewRec, OpNewText:
+		return fmt.Sprintf("%s %s, desc%d", in.Op, reg(in.Rd), in.Desc)
+	case OpNewArr:
+		return fmt.Sprintf("newarr %s, desc%d, len=%s", reg(in.Rd), in.Desc, reg(in.Ra))
+	case OpPutInt, OpPutChar, OpPutText:
+		return fmt.Sprintf("%s %s", in.Op, reg(in.Ra))
+	case OpChkNil:
+		return fmt.Sprintf("chknil %s", reg(in.Ra))
+	case OpChkRng:
+		return fmt.Sprintf("chkrng %s in [%d..%d]", reg(in.Ra), in.Imm, in.Imm2)
+	case OpChkIdx:
+		return fmt.Sprintf("chkidx %s < %s", reg(in.Ra), reg(in.Rb))
+	case OpTrap:
+		return fmt.Sprintf("trap %d", in.Desc)
+	}
+	return in.Op.String()
+}
+
+// Disassemble writes a full program listing with byte PCs and procedure
+// headers.
+func (p *Program) Disassemble(w io.Writer) {
+	procAt := make(map[int]*ProcInfo)
+	for i := range p.Procs {
+		procAt[p.Procs[i].Entry] = &p.Procs[i]
+	}
+	for i := range p.Code {
+		pc := p.PCOf[i]
+		if pi, ok := procAt[pc]; ok {
+			fmt.Fprintf(w, "\n%s: (frame=%d words, args=%d)\n", pi.Name, pi.FrameWords, pi.NumArgs)
+		}
+		fmt.Fprintf(w, "%6d  %s\n", pc, InstrString(&p.Code[i]))
+	}
+}

@@ -1,0 +1,424 @@
+package vmachine
+
+import (
+	"fmt"
+)
+
+// step executes one instruction on thread t. It returns an error for
+// traps; thread state (Done/Blocked) signals everything else.
+func (m *Machine) step(t *Thread) error {
+	in := &m.Prog.Code[t.PC]
+
+	// Rendezvous: while a collection is pending, other threads park at
+	// their next blocking gc-point (allocations and polls) without
+	// executing it; the requester is already parked.
+	if m.GCRequested && t != m.Requester {
+		switch in.Op {
+		case OpNewRec, OpNewArr, OpNewText, OpGcPoll, OpGcCollect:
+			t.Blocked = true
+			return nil
+		}
+	}
+
+	// Stress mode: collect at every allocation/poll gc-point before
+	// executing it (the machine state then matches the point's tables
+	// exactly). Calls are excluded: a collection "at a call" only ever
+	// happens during the callee, whose tables describe the argument
+	// slots — before the call executes, no frame describes them.
+	if m.StressGC && in.IsGCPoint() && in.Op != OpCall && !t.stressed {
+		m.Cur = t
+		if err := m.Collector.Collect(m); err != nil {
+			return err
+		}
+		m.GCCount++
+		t.stressed = true
+	}
+
+	m.Steps++
+	regs := &t.Regs
+	baseVal := func(b uint8) int64 {
+		switch b {
+		case BaseFP:
+			return t.FP
+		case BaseSP:
+			return t.SP
+		default:
+			return regs[b]
+		}
+	}
+
+	switch in.Op {
+	case OpHalt:
+		t.Done = true
+		return nil
+	case OpMovI:
+		regs[in.Rd] = in.Imm
+	case OpMov:
+		regs[in.Rd] = regs[in.Ra]
+	case OpAdd:
+		regs[in.Rd] = regs[in.Ra] + regs[in.Rb]
+	case OpSub:
+		regs[in.Rd] = regs[in.Ra] - regs[in.Rb]
+	case OpMul:
+		regs[in.Rd] = regs[in.Ra] * regs[in.Rb]
+	case OpDiv:
+		if regs[in.Rb] == 0 {
+			return m.trap(TrapDivByZero, "")
+		}
+		regs[in.Rd] = floorDiv(regs[in.Ra], regs[in.Rb])
+	case OpMod:
+		if regs[in.Rb] == 0 {
+			return m.trap(TrapDivByZero, "")
+		}
+		regs[in.Rd] = regs[in.Ra] - floorDiv(regs[in.Ra], regs[in.Rb])*regs[in.Rb]
+	case OpAddI:
+		regs[in.Rd] = regs[in.Ra] + in.Imm
+	case OpNeg:
+		regs[in.Rd] = -regs[in.Ra]
+	case OpNot:
+		regs[in.Rd] = 1 - regs[in.Ra]
+	case OpAbs:
+		v := regs[in.Ra]
+		if v < 0 {
+			v = -v
+		}
+		regs[in.Rd] = v
+	case OpMin:
+		regs[in.Rd] = min(regs[in.Ra], regs[in.Rb])
+	case OpMax:
+		regs[in.Rd] = max(regs[in.Ra], regs[in.Rb])
+	case OpCmpEQ:
+		regs[in.Rd] = b2i(regs[in.Ra] == regs[in.Rb])
+	case OpCmpNE:
+		regs[in.Rd] = b2i(regs[in.Ra] != regs[in.Rb])
+	case OpCmpLT:
+		regs[in.Rd] = b2i(regs[in.Ra] < regs[in.Rb])
+	case OpCmpLE:
+		regs[in.Rd] = b2i(regs[in.Ra] <= regs[in.Rb])
+	case OpCmpGT:
+		regs[in.Rd] = b2i(regs[in.Ra] > regs[in.Rb])
+	case OpCmpGE:
+		regs[in.Rd] = b2i(regs[in.Ra] >= regs[in.Rb])
+	case OpLd:
+		v, err := m.read(baseVal(in.Base) + in.Imm)
+		if err != nil {
+			return err
+		}
+		regs[in.Rd] = v
+	case OpSt:
+		if err := m.write(baseVal(in.Base)+in.Imm, regs[in.Ra]); err != nil {
+			return err
+		}
+	case OpStB:
+		addr := baseVal(in.Base) + in.Imm
+		if m.Barrier != nil {
+			m.Barrier(addr, regs[in.Ra])
+		}
+		if err := m.write(addr, regs[in.Ra]); err != nil {
+			return err
+		}
+	case OpLea:
+		regs[in.Rd] = baseVal(in.Base) + in.Imm
+	case OpLdG:
+		v, err := m.read(m.GlobalBase + in.Imm)
+		if err != nil {
+			return err
+		}
+		regs[in.Rd] = v
+	case OpStG:
+		if err := m.write(m.GlobalBase+in.Imm, regs[in.Ra]); err != nil {
+			return err
+		}
+	case OpLeaG:
+		regs[in.Rd] = m.GlobalBase + in.Imm
+	case OpJmp:
+		t.PC = m.Prog.IdxOf[in.Target]
+		return nil
+	case OpBT:
+		if regs[in.Ra] != 0 {
+			t.PC = m.Prog.IdxOf[in.Target]
+			return nil
+		}
+	case OpBF:
+		if regs[in.Ra] == 0 {
+			t.PC = m.Prog.IdxOf[in.Target]
+			return nil
+		}
+	case OpCall:
+		t.SP--
+		if err := m.write(t.SP, int64(m.Prog.PCOf[t.PC+1])); err != nil {
+			return err
+		}
+		t.PC = m.Prog.IdxOf[in.Target]
+		t.stressed = false
+		return nil
+	case OpEnter:
+		t.SP--
+		if err := m.write(t.SP, t.FP); err != nil {
+			return err
+		}
+		t.FP = t.SP
+		t.SP = t.FP - in.Imm
+		if t.SP < t.StackLo {
+			return m.trap(TrapStackOverflow, "")
+		}
+	case OpRet:
+		ret, err := m.read(t.FP + 1)
+		if err != nil {
+			return err
+		}
+		oldFP, err := m.read(t.FP)
+		if err != nil {
+			return err
+		}
+		t.SP = t.FP + 2
+		t.FP = oldFP
+		idx, ok := m.Prog.IdxOf[int(ret)]
+		if !ok {
+			return m.trap(TrapBadAddress, fmt.Sprintf("return to pc %d", ret))
+		}
+		t.PC = idx
+		return nil
+	case OpNewRec:
+		return m.allocate(t, in.Rd, in.Desc, 0)
+	case OpNewArr:
+		n := regs[in.Ra]
+		if n < 0 {
+			return m.trap(TrapRangeError, fmt.Sprintf("array length %d", n))
+		}
+		return m.allocate(t, in.Rd, in.Desc, n)
+	case OpNewText:
+		return m.allocateText(t, in.Rd, in.Desc)
+	case OpGcPoll:
+		// Nothing to do outside a rendezvous (handled above).
+	case OpGcCollect:
+		if len(m.runnable()) > 1 {
+			m.GCRequested = true
+			m.Requester = t
+			t.Blocked = true
+			t.resumeSkip = true
+			return nil
+		}
+		m.Cur = t
+		if err := m.Collector.Collect(m); err != nil {
+			return err
+		}
+		m.GCCount++
+	case OpPutInt:
+		fmt.Fprintf(m.Out, "%d", regs[in.Ra])
+	case OpPutChar:
+		fmt.Fprintf(m.Out, "%c", byte(regs[in.Ra]))
+	case OpPutText:
+		if err := m.putText(regs[in.Ra]); err != nil {
+			return err
+		}
+	case OpPutLn:
+		fmt.Fprintln(m.Out)
+	case OpChkNil:
+		if regs[in.Ra] == 0 {
+			return m.trap(TrapNilDeref, "")
+		}
+	case OpChkRng:
+		if v := regs[in.Ra]; v < in.Imm || v > in.Imm2 {
+			return m.trap(TrapRangeError, fmt.Sprintf("%d not in [%d..%d]", v, in.Imm, in.Imm2))
+		}
+	case OpChkIdx:
+		if v := regs[in.Ra]; v < 0 || v >= regs[in.Rb] {
+			return m.trap(TrapIndexError, fmt.Sprintf("%d not in [0..%d)", v, regs[in.Rb]))
+		}
+	case OpTrap:
+		return m.trap(TrapCode(in.Desc), "")
+	default:
+		return m.trap(TrapUnreachable, in.Op.String())
+	}
+	t.PC++
+	t.stressed = false
+	return nil
+}
+
+// allocate implements the NEW instructions, triggering collection when
+// the heap is exhausted.
+func (m *Machine) allocate(t *Thread, rd uint8, desc int, n int64) error {
+	if addr, ok := m.Alloc.TryAlloc(desc, n); ok {
+		t.Regs[rd] = addr
+		t.PC++
+		t.allocRetried = false
+		return nil
+	}
+	if t.allocRetried {
+		t.allocRetried = false
+		return m.trap(TrapOutOfMemory, "")
+	}
+	if len(m.runnable()) > 1 {
+		// Multi-threaded: request a rendezvous and retry the
+		// allocation after the collection (PC unchanged).
+		m.GCRequested = true
+		m.Requester = t
+		t.Blocked = true
+		t.allocRetried = true
+		return nil
+	}
+	m.Cur = t
+	if err := m.Collector.Collect(m); err != nil {
+		return err
+	}
+	m.GCCount++
+	if addr, ok := m.Alloc.TryAlloc(desc, n); ok {
+		t.Regs[rd] = addr
+		t.PC++
+		return nil
+	}
+	return m.trap(TrapOutOfMemory, "")
+}
+
+func (m *Machine) allocateText(t *Thread, rd uint8, lit int) error {
+	s := m.Prog.TextLits[lit]
+	fill := func(addr int64) {
+		for i := 0; i < len(s); i++ {
+			m.Mem[addr+2+int64(i)] = int64(s[i])
+		}
+	}
+	if addr, ok := m.Alloc.TryAlloc(m.Prog.TextDesc, int64(len(s))); ok {
+		fill(addr)
+		t.Regs[rd] = addr
+		t.PC++
+		t.allocRetried = false
+		return nil
+	}
+	if t.allocRetried {
+		t.allocRetried = false
+		return m.trap(TrapOutOfMemory, "")
+	}
+	if len(m.runnable()) > 1 {
+		m.GCRequested = true
+		m.Requester = t
+		t.Blocked = true
+		t.allocRetried = true
+		return nil
+	}
+	m.Cur = t
+	if err := m.Collector.Collect(m); err != nil {
+		return err
+	}
+	m.GCCount++
+	if addr, ok := m.Alloc.TryAlloc(m.Prog.TextDesc, int64(len(s))); ok {
+		fill(addr)
+		t.Regs[rd] = addr
+		t.PC++
+		return nil
+	}
+	return m.trap(TrapOutOfMemory, "")
+}
+
+func (m *Machine) putText(addr int64) error {
+	if addr == 0 {
+		return m.trap(TrapNilDeref, "PutText(NIL)")
+	}
+	n, err := m.read(addr + 1)
+	if err != nil {
+		return err
+	}
+	b := make([]byte, n)
+	for i := int64(0); i < n; i++ {
+		v, err := m.read(addr + 2 + i)
+		if err != nil {
+			return err
+		}
+		b[i] = byte(v)
+	}
+	_, werr := m.Out.Write(b)
+	_ = werr
+	return nil
+}
+
+// runnable returns the threads that are neither done nor parked.
+func (m *Machine) runnable() []*Thread {
+	var out []*Thread
+	for _, t := range m.Threads {
+		if !t.Done {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Run executes until every thread halts, a trap occurs, or maxSteps
+// instructions have executed (0 means no limit).
+func (m *Machine) Run(maxSteps int64) error {
+	for {
+		liveCount := 0
+		ranAny := false
+		for _, t := range m.Threads {
+			if t.Done {
+				continue
+			}
+			liveCount++
+			if t.Blocked {
+				continue
+			}
+			m.Cur = t
+			for q := int64(0); q < m.quantum; q++ {
+				if err := m.step(t); err != nil {
+					return err
+				}
+				ranAny = true
+				if t.Done || t.Blocked {
+					break
+				}
+				if maxSteps > 0 && m.Steps >= maxSteps {
+					return fmt.Errorf("vmachine: step limit %d exceeded", maxSteps)
+				}
+			}
+		}
+		if liveCount == 0 {
+			return nil
+		}
+		if m.GCRequested && m.allParked() {
+			m.Cur = m.Requester
+			if err := m.Collector.Collect(m); err != nil {
+				return err
+			}
+			m.GCCount++
+			m.GCRequested = false
+			for _, t := range m.Threads {
+				if t.Blocked {
+					t.Blocked = false
+					if t.resumeSkip {
+						t.resumeSkip = false
+						t.PC++
+					}
+				}
+			}
+			m.Requester = nil
+			continue
+		}
+		if !ranAny {
+			return fmt.Errorf("vmachine: no runnable thread (deadlock)")
+		}
+	}
+}
+
+// allParked reports whether every live thread is blocked at a gc-point.
+func (m *Machine) allParked() bool {
+	for _, t := range m.Threads {
+		if !t.Done && !t.Blocked {
+			return false
+		}
+	}
+	return true
+}
+
+func floorDiv(x, y int64) int64 {
+	q := x / y
+	if (x%y != 0) && ((x < 0) != (y < 0)) {
+		q--
+	}
+	return q
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

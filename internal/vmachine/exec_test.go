@@ -1,0 +1,314 @@
+package vmachine
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// buildProgram links a hand-written instruction sequence into a
+// runnable program with one procedure. Branch/call targets are given as
+// instruction indices and converted to byte PCs.
+func buildProgram(t *testing.T, body []Instr, frameWords int64, globals int64) *Program {
+	t.Helper()
+	code := []Instr{{Op: OpHalt}}
+	code = append(code, Instr{Op: OpEnter, Imm: frameWords})
+	code = append(code, body...)
+
+	pcOf := make([]int, len(code)+1)
+	pc := 0
+	for i := range code {
+		pcOf[i] = pc
+		pc += EncodedSize(&code[i])
+	}
+	pcOf[len(code)] = pc
+	// Convert instruction-index targets.
+	for i := range code {
+		switch code[i].Op {
+		case OpJmp, OpBT, OpBF, OpCall:
+			code[i].Target = pcOf[code[i].Target]
+		}
+	}
+	var bytes []byte
+	idxOf := make(map[int]int)
+	for i := range code {
+		idxOf[pcOf[i]] = i
+		bytes = AppendInstr(bytes, &code[i])
+	}
+	return &Program{
+		Name: "test", Code: code, PCOf: pcOf, IdxOf: idxOf, CodeBytes: bytes,
+		Procs: []ProcInfo{{Name: "main", Entry: pcOf[1], End: pc,
+			FrameWords: frameWords, NumArgs: 0}},
+		MainProc:    0,
+		GlobalWords: globals,
+		Descs:       types.NewDescTable(),
+	}
+}
+
+type nopCollector struct{}
+
+func (nopCollector) Collect(m *Machine) error { return nil }
+
+type fixedAlloc struct{ next int64 }
+
+func (a *fixedAlloc) TryAlloc(descID int, n int64) (int64, bool) {
+	addr := a.next
+	a.next += 8
+	return addr, true
+}
+
+func runBody(t *testing.T, body []Instr, frameWords int64) (*Machine, string) {
+	t.Helper()
+	prog := buildProgram(t, body, frameWords, 8)
+	var sb strings.Builder
+	cfg := Config{HeapWords: 4096, StackWords: 1024, MaxThreads: 1, Out: &sb}
+	m := New(prog, cfg)
+	m.Alloc = &fixedAlloc{next: m.HeapLo}
+	m.Collector = nopCollector{}
+	if _, err := m.Spawn(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return m, sb.String()
+}
+
+func TestArithmeticOps(t *testing.T) {
+	body := []Instr{
+		{Op: OpMovI, Rd: 3, Imm: -17},
+		{Op: OpMovI, Rd: 4, Imm: 5},
+		{Op: OpDiv, Rd: 5, Ra: 3, Rb: 4}, // floor(-17/5) = -4
+		{Op: OpPutInt, Ra: 5},
+		{Op: OpMod, Rd: 6, Ra: 3, Rb: 4}, // -17 mod 5 = 3
+		{Op: OpPutInt, Ra: 6},
+		{Op: OpMin, Rd: 7, Ra: 3, Rb: 4},
+		{Op: OpPutInt, Ra: 7},
+		{Op: OpMax, Rd: 7, Ra: 3, Rb: 4},
+		{Op: OpPutInt, Ra: 7},
+		{Op: OpAbs, Rd: 7, Ra: 3},
+		{Op: OpPutInt, Ra: 7},
+		{Op: OpNeg, Rd: 7, Ra: 4},
+		{Op: OpPutInt, Ra: 7},
+		{Op: OpRet},
+	}
+	_, out := runBody(t, body, 0)
+	if out != "-43-17517-5" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestComparisonsAndBranches(t *testing.T) {
+	// Count down from 5 with a BT loop.
+	body := []Instr{
+		{Op: OpMovI, Rd: 3, Imm: 5},
+		// loop: (index 3 after halt+enter => body index 1)
+		{Op: OpPutInt, Ra: 3},
+		{Op: OpAddI, Rd: 3, Ra: 3, Imm: -1},
+		{Op: OpBT, Ra: 3, Target: 3}, // back to PutInt (code idx 3)
+		{Op: OpRet},
+	}
+	_, out := runBody(t, body, 0)
+	if out != "54321" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestMemoryAndFrame(t *testing.T) {
+	body := []Instr{
+		{Op: OpMovI, Rd: 3, Imm: 42},
+		{Op: OpSt, Base: BaseFP, Imm: -1, Ra: 3},
+		{Op: OpLd, Rd: 4, Base: BaseFP, Imm: -1},
+		{Op: OpPutInt, Ra: 4},
+		{Op: OpLea, Rd: 5, Base: BaseFP, Imm: -1},
+		{Op: OpMovI, Rd: 6, Imm: 7},
+		{Op: OpSt, Base: 5, Imm: 0, Ra: 6}, // through the computed address
+		{Op: OpLd, Rd: 7, Base: BaseFP, Imm: -1},
+		{Op: OpPutInt, Ra: 7},
+		{Op: OpRet},
+	}
+	_, out := runBody(t, body, 4)
+	if out != "427" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func TestGlobals(t *testing.T) {
+	body := []Instr{
+		{Op: OpMovI, Rd: 3, Imm: 9},
+		{Op: OpStG, Ra: 3, Imm: 2},
+		{Op: OpLdG, Rd: 4, Imm: 2},
+		{Op: OpPutInt, Ra: 4},
+		{Op: OpLeaG, Rd: 5, Imm: 2},
+		{Op: OpMovI, Rd: 6, Imm: 11},
+		{Op: OpSt, Base: 5, Imm: 0, Ra: 6},
+		{Op: OpLdG, Rd: 7, Imm: 2},
+		{Op: OpPutInt, Ra: 7},
+		{Op: OpRet},
+	}
+	_, out := runBody(t, body, 0)
+	if out != "911" {
+		t.Errorf("got %q", out)
+	}
+}
+
+func trapBody(t *testing.T, body []Instr, frameWords int64, want TrapCode) {
+	t.Helper()
+	prog := buildProgram(t, body, frameWords, 8)
+	cfg := Config{HeapWords: 1024, StackWords: 256, MaxThreads: 1}
+	m := New(prog, cfg)
+	m.Alloc = &fixedAlloc{next: m.HeapLo}
+	m.Collector = nopCollector{}
+	if _, err := m.Spawn(0); err != nil {
+		t.Fatal(err)
+	}
+	err := m.Run(1_000_000)
+	re, ok := err.(*RuntimeError)
+	if !ok {
+		t.Fatalf("expected a RuntimeError, got %v", err)
+	}
+	if re.Code != want {
+		t.Fatalf("trap %v, want %v", re.Code, want)
+	}
+}
+
+func TestTraps(t *testing.T) {
+	t.Run("div-by-zero", func(t *testing.T) {
+		trapBody(t, []Instr{
+			{Op: OpMovI, Rd: 3, Imm: 1},
+			{Op: OpMovI, Rd: 4, Imm: 0},
+			{Op: OpDiv, Rd: 5, Ra: 3, Rb: 4},
+			{Op: OpRet},
+		}, 0, TrapDivByZero)
+	})
+	t.Run("nil-check", func(t *testing.T) {
+		trapBody(t, []Instr{
+			{Op: OpMovI, Rd: 3, Imm: 0},
+			{Op: OpChkNil, Ra: 3},
+			{Op: OpRet},
+		}, 0, TrapNilDeref)
+	})
+	t.Run("range-check", func(t *testing.T) {
+		trapBody(t, []Instr{
+			{Op: OpMovI, Rd: 3, Imm: 11},
+			{Op: OpChkRng, Ra: 3, Imm: 0, Imm2: 10},
+			{Op: OpRet},
+		}, 0, TrapRangeError)
+	})
+	t.Run("index-check", func(t *testing.T) {
+		trapBody(t, []Instr{
+			{Op: OpMovI, Rd: 3, Imm: 5},
+			{Op: OpMovI, Rd: 4, Imm: 5},
+			{Op: OpChkIdx, Ra: 3, Rb: 4},
+			{Op: OpRet},
+		}, 0, TrapIndexError)
+	})
+	t.Run("guard-page", func(t *testing.T) {
+		trapBody(t, []Instr{
+			{Op: OpMovI, Rd: 3, Imm: 1}, // below guardWords
+			{Op: OpLd, Rd: 4, Base: 3, Imm: 0},
+			{Op: OpRet},
+		}, 0, TrapBadAddress)
+	})
+	t.Run("stack-overflow", func(t *testing.T) {
+		// Infinite recursion: call self (code index 1 is the Enter).
+		trapBody(t, []Instr{
+			{Op: OpCall, Target: 1},
+			{Op: OpRet},
+		}, 16, TrapStackOverflow)
+	})
+}
+
+func TestCallReturn(t *testing.T) {
+	// main calls a helper that doubles its argument. Layout:
+	//   0 halt, 1 enter(main), 2..8 main body, 9 enter(helper), 10.. helper.
+	code := []Instr{
+		{Op: OpHalt},                            // 0
+		{Op: OpEnter, Imm: 2},                   // 1 main: frame 1 local + 1 outgoing
+		{Op: OpMovI, Rd: 3, Imm: 21},            // 2
+		{Op: OpSt, Base: BaseSP, Imm: 0, Ra: 3}, // 3 arg0
+		{Op: OpCall, Target: 7},                 // 4 -> helper enter
+		{Op: OpPutInt, Ra: 0},                   // 5 result in r0
+		{Op: OpRet},                             // 6
+		{Op: OpEnter, Imm: 0},                   // 7 helper
+		{Op: OpLd, Rd: 0, Base: BaseFP, Imm: 2}, // 8 arg0
+		{Op: OpAdd, Rd: 0, Ra: 0, Rb: 0},        // 9 double
+		{Op: OpRet},                             // 10
+	}
+	pcOf := make([]int, len(code)+1)
+	pc := 0
+	for i := range code {
+		pcOf[i] = pc
+		pc += EncodedSize(&code[i])
+	}
+	pcOf[len(code)] = pc
+	for i := range code {
+		switch code[i].Op {
+		case OpJmp, OpBT, OpBF, OpCall:
+			code[i].Target = pcOf[code[i].Target]
+		}
+	}
+	var bytes []byte
+	idxOf := map[int]int{}
+	for i := range code {
+		idxOf[pcOf[i]] = i
+		bytes = AppendInstr(bytes, &code[i])
+	}
+	prog := &Program{
+		Name: "t", Code: code, PCOf: pcOf, IdxOf: idxOf, CodeBytes: bytes,
+		Procs: []ProcInfo{
+			{Name: "main", Entry: pcOf[1], End: pcOf[7], FrameWords: 2},
+			{Name: "helper", Entry: pcOf[7], End: pc, NumArgs: 1},
+		},
+		GlobalWords: 0, Descs: types.NewDescTable(),
+	}
+	var sb strings.Builder
+	m := New(prog, Config{HeapWords: 256, StackWords: 256, MaxThreads: 1, Out: &sb})
+	m.Alloc = &fixedAlloc{next: m.HeapLo}
+	m.Collector = nopCollector{}
+	if _, err := m.Spawn(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "42" {
+		t.Errorf("got %q", sb.String())
+	}
+}
+
+func TestPutTextAndChars(t *testing.T) {
+	// Build a text object by hand in the heap area: [desc][len][chars].
+	prog := buildProgram(t, []Instr{
+		{Op: OpMovI, Rd: 3, Imm: 0}, // patched below to heap address
+		{Op: OpPutText, Ra: 3},
+		{Op: OpMovI, Rd: 4, Imm: 'x'},
+		{Op: OpPutChar, Ra: 4},
+		{Op: OpPutLn},
+		{Op: OpRet},
+	}, 0, 8)
+	dt := types.NewDescTable()
+	descID := dt.Intern(types.NewOpenArray(types.CharType))
+	prog.Descs = dt
+	var sb strings.Builder
+	m := New(prog, Config{HeapWords: 256, StackWords: 256, MaxThreads: 1, Out: &sb})
+	m.Alloc = &fixedAlloc{next: m.HeapLo}
+	m.Collector = nopCollector{}
+	addr := m.HeapLo
+	m.Mem[addr] = int64(descID)
+	m.Mem[addr+1] = 2
+	m.Mem[addr+2] = 'h'
+	m.Mem[addr+3] = 'i'
+	// Patch the MOVI (instruction index 2: halt, enter, movi).
+	m.Prog.Code[2].Imm = addr
+	if _, err := m.Spawn(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10000); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "hix\n" {
+		t.Errorf("got %q", sb.String())
+	}
+}

@@ -1,0 +1,302 @@
+// Package vmachine implements the target machine of the mthree
+// compiler: a 16-register, word-addressed virtual machine with a
+// deterministic byte encoding of instructions (gc tables are measured
+// against encoded code bytes, and return addresses in frames are byte
+// PCs, as in the paper's PC-to-table mapping).
+//
+// Calling convention (stack grows downward, word addressed):
+//
+//	caller writes argument j to mem[SP+j]
+//	CALL pushes the return byte-PC at --SP and jumps
+//	ENTER pushes FP at --SP, sets FP := SP, SP := FP - frameWords
+//
+// so in the callee: mem[FP] is the saved FP, mem[FP+1] the return
+// address, and argument j lives at mem[FP+2+j] — which is the caller's
+// SP+j: the same slot, giving the caller's tables a stable name
+// (SP-relative) for outgoing derived arguments.
+//
+// Registers R0–R2 are codegen scratch, R3–R7 caller-save, R8–R15
+// callee-save. FP and SP are special (encoded as bases 16 and 17 in
+// memory operands).
+package vmachine
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Op is a VM opcode.
+type Op uint8
+
+// VM opcodes.
+const (
+	OpHalt Op = iota
+	OpMovI    // Rd <- Imm
+	OpMov     // Rd <- Ra
+	OpAdd     // Rd <- Ra + Rb
+	OpSub
+	OpMul
+	OpDiv // floor division; traps on zero divisor
+	OpMod // floor modulus; traps on zero divisor
+	OpAddI
+	OpNeg
+	OpNot
+	OpAbs
+	OpMin
+	OpMax
+	OpCmpEQ
+	OpCmpNE
+	OpCmpLT
+	OpCmpLE
+	OpCmpGT
+	OpCmpGE
+	OpLd   // Rd <- mem[base + off]
+	OpSt   // mem[base + off] <- Ra
+	OpStB  // mem[base + off] <- Ra, with write barrier (generational store check)
+	OpLea  // Rd <- base + off
+	OpLdG  // Rd <- globals[off]
+	OpStG  // globals[off] <- Ra
+	OpLeaG // Rd <- address of globals[off]
+	OpJmp  // PC <- Target
+	OpBT   // if Ra != 0: PC <- Target
+	OpBF   // if Ra == 0: PC <- Target
+	OpCall
+	OpEnter // push FP; FP := SP; SP := FP - Imm
+	OpRet   // SP := FP + 2; PC <- mem[FP+1]; FP <- mem[FP]
+	OpNewRec
+	OpNewArr  // Rd <- alloc(Desc, len=Ra)
+	OpNewText // Rd <- alloc text literal Desc
+	OpGcPoll
+	OpGcCollect
+	OpPutInt
+	OpPutChar
+	OpPutText
+	OpPutLn
+	OpChkNil // trap if Ra == 0
+	OpChkRng // trap unless Imm <= Ra <= Imm2
+	OpChkIdx // trap unless 0 <= Ra < Rb
+	OpTrap   // unconditional runtime error
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpHalt: "halt", OpMovI: "movi", OpMov: "mov", OpAdd: "add", OpSub: "sub",
+	OpMul: "mul", OpDiv: "div", OpMod: "mod", OpAddI: "addi", OpNeg: "neg",
+	OpNot: "not", OpAbs: "abs", OpMin: "min", OpMax: "max",
+	OpCmpEQ: "cmpeq", OpCmpNE: "cmpne", OpCmpLT: "cmplt", OpCmpLE: "cmple",
+	OpCmpGT: "cmpgt", OpCmpGE: "cmpge",
+	OpLd: "ld", OpSt: "st", OpStB: "stb", OpLea: "lea", OpLdG: "ldg", OpStG: "stg",
+	OpLeaG: "leag", OpJmp: "jmp", OpBT: "bt", OpBF: "bf",
+	OpCall: "call", OpEnter: "enter", OpRet: "ret",
+	OpNewRec: "newrec", OpNewArr: "newarr", OpNewText: "newtext",
+	OpGcPoll: "gcpoll", OpGcCollect: "gccollect",
+	OpPutInt: "putint", OpPutChar: "putchar", OpPutText: "puttext", OpPutLn: "putln",
+	OpChkNil: "chknil", OpChkRng: "chkrng", OpChkIdx: "chkidx", OpTrap: "trap",
+}
+
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// Memory operand base registers.
+const (
+	BaseFP = 16
+	BaseSP = 17
+)
+
+// Instr is one decoded VM instruction.
+type Instr struct {
+	Op         Op
+	Rd, Ra, Rb uint8
+	Base       uint8 // memory base: 0..15, BaseFP, BaseSP
+	Imm        int64 // immediate / memory offset / frame size / range lo
+	Imm2       int64 // range hi
+	Target     int   // byte PC for jumps/calls (resolved at link time)
+	Desc       int   // descriptor ID / text literal ID / trap code
+}
+
+// IsGCPoint reports whether collection may occur at this instruction.
+func (in *Instr) IsGCPoint() bool {
+	switch in.Op {
+	case OpCall, OpNewRec, OpNewArr, OpNewText, OpGcPoll, OpGcCollect:
+		return true
+	}
+	return false
+}
+
+// ---------- Byte encoding ----------
+//
+// opcode byte, then operands in a fixed order per opcode:
+// registers one byte each, immediates as zigzag varints, branch/call
+// targets as 4-byte little-endian byte PCs, descriptor IDs as varints.
+
+// AppendInstr encodes in and appends it to buf. Targets must already be
+// byte PCs (the assembler runs a sizing pass first; instruction sizes
+// do not depend on target values).
+func AppendInstr(buf []byte, in *Instr) []byte {
+	buf = append(buf, byte(in.Op))
+	switch in.Op {
+	case OpHalt, OpRet, OpGcPoll, OpGcCollect, OpPutLn:
+	case OpMovI:
+		buf = append(buf, in.Rd)
+		buf = appendVarint(buf, in.Imm)
+	case OpMov, OpNeg, OpNot, OpAbs:
+		buf = append(buf, in.Rd, in.Ra)
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpMin, OpMax,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE:
+		buf = append(buf, in.Rd, in.Ra, in.Rb)
+	case OpAddI:
+		buf = append(buf, in.Rd, in.Ra)
+		buf = appendVarint(buf, in.Imm)
+	case OpLd, OpLea:
+		buf = append(buf, in.Rd, in.Base)
+		buf = appendVarint(buf, in.Imm)
+	case OpSt, OpStB:
+		buf = append(buf, in.Base, in.Ra)
+		buf = appendVarint(buf, in.Imm)
+	case OpLdG, OpLeaG:
+		buf = append(buf, in.Rd)
+		buf = appendVarint(buf, in.Imm)
+	case OpStG:
+		buf = append(buf, in.Ra)
+		buf = appendVarint(buf, in.Imm)
+	case OpJmp:
+		buf = appendTarget(buf, in.Target)
+	case OpBT, OpBF:
+		buf = append(buf, in.Ra)
+		buf = appendTarget(buf, in.Target)
+	case OpCall:
+		buf = appendTarget(buf, in.Target)
+	case OpEnter:
+		buf = appendVarint(buf, in.Imm)
+	case OpNewRec:
+		buf = append(buf, in.Rd)
+		buf = appendVarint(buf, int64(in.Desc))
+	case OpNewArr:
+		buf = append(buf, in.Rd, in.Ra)
+		buf = appendVarint(buf, int64(in.Desc))
+	case OpNewText:
+		buf = append(buf, in.Rd)
+		buf = appendVarint(buf, int64(in.Desc))
+	case OpPutInt, OpPutChar, OpPutText:
+		buf = append(buf, in.Ra)
+	case OpChkNil:
+		buf = append(buf, in.Ra)
+	case OpChkRng:
+		buf = append(buf, in.Ra)
+		buf = appendVarint(buf, in.Imm)
+		buf = appendVarint(buf, in.Imm2)
+	case OpChkIdx:
+		buf = append(buf, in.Ra, in.Rb)
+	case OpTrap:
+		buf = appendVarint(buf, int64(in.Desc))
+	default:
+		panic("vmachine: cannot encode " + in.Op.String())
+	}
+	return buf
+}
+
+// DecodeInstr decodes one instruction at buf[off:], returning it and
+// the offset of the next instruction.
+func DecodeInstr(buf []byte, off int) (Instr, int) {
+	var in Instr
+	in.Op = Op(buf[off])
+	off++
+	r := func() uint8 { b := buf[off]; off++; return b }
+	v := func() int64 { x, n := readVarint(buf, off); off += n; return x }
+	t := func() int {
+		x := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		return x
+	}
+	switch in.Op {
+	case OpHalt, OpRet, OpGcPoll, OpGcCollect, OpPutLn:
+	case OpMovI:
+		in.Rd, in.Imm = r(), v()
+	case OpMov, OpNeg, OpNot, OpAbs:
+		in.Rd, in.Ra = r(), r()
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpMin, OpMax,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE:
+		in.Rd, in.Ra, in.Rb = r(), r(), r()
+	case OpAddI:
+		in.Rd, in.Ra, in.Imm = r(), r(), v()
+	case OpLd, OpLea:
+		in.Rd, in.Base, in.Imm = r(), r(), v()
+	case OpSt, OpStB:
+		in.Base, in.Ra, in.Imm = r(), r(), v()
+	case OpLdG, OpLeaG:
+		in.Rd, in.Imm = r(), v()
+	case OpStG:
+		in.Ra, in.Imm = r(), v()
+	case OpJmp:
+		in.Target = t()
+	case OpBT, OpBF:
+		in.Ra, in.Target = r(), t()
+	case OpCall:
+		in.Target = t()
+	case OpEnter:
+		in.Imm = v()
+	case OpNewRec, OpNewText:
+		in.Rd, in.Desc = r(), int(v())
+	case OpNewArr:
+		in.Rd, in.Ra = r(), r()
+		in.Desc = int(v())
+	case OpPutInt, OpPutChar, OpPutText:
+		in.Ra = r()
+	case OpChkNil:
+		in.Ra = r()
+	case OpChkRng:
+		in.Ra, in.Imm, in.Imm2 = r(), v(), v()
+	case OpChkIdx:
+		in.Ra, in.Rb = r(), r()
+	case OpTrap:
+		in.Desc = int(v())
+	default:
+		panic(fmt.Sprintf("vmachine: cannot decode opcode %d at %d", in.Op, off-1))
+	}
+	return in, off
+}
+
+// EncodedSize returns the byte size of the encoded instruction.
+func EncodedSize(in *Instr) int {
+	return len(AppendInstr(nil, in))
+}
+
+func appendTarget(buf []byte, t int) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], uint32(t))
+	return append(buf, b[:]...)
+}
+
+// appendVarint appends a zigzag base-128 varint.
+func appendVarint(buf []byte, x int64) []byte {
+	u := uint64(x<<1) ^ uint64(x>>63)
+	for {
+		b := byte(u & 0x7f)
+		u >>= 7
+		if u != 0 {
+			buf = append(buf, b|0x80)
+		} else {
+			return append(buf, b)
+		}
+	}
+}
+
+func readVarint(buf []byte, off int) (int64, int) {
+	var u uint64
+	var shift uint
+	n := 0
+	for {
+		b := buf[off+n]
+		n++
+		u |= uint64(b&0x7f) << shift
+		if b&0x80 == 0 {
+			break
+		}
+		shift += 7
+	}
+	return int64(u>>1) ^ -int64(u&1), n
+}

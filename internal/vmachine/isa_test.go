@@ -1,0 +1,124 @@
+package vmachine
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randInstr produces a random, well-formed instruction for op.
+func randInstr(rng *rand.Rand, op Op) Instr {
+	in := Instr{Op: op}
+	in.Rd = uint8(rng.Intn(16))
+	in.Ra = uint8(rng.Intn(16))
+	in.Rb = uint8(rng.Intn(16))
+	switch rng.Intn(3) {
+	case 0:
+		in.Base = uint8(rng.Intn(16))
+	case 1:
+		in.Base = BaseFP
+	default:
+		in.Base = BaseSP
+	}
+	in.Imm = rng.Int63n(1<<40) - (1 << 39)
+	in.Imm2 = in.Imm + rng.Int63n(1000)
+	in.Target = rng.Intn(1 << 30)
+	in.Desc = rng.Intn(1 << 16)
+	// Zero the fields the encoding does not carry, so round-trip
+	// comparison is field-exact.
+	switch op {
+	case OpHalt, OpRet, OpGcPoll, OpGcCollect, OpPutLn:
+		in = Instr{Op: op}
+	case OpMovI:
+		in = Instr{Op: op, Rd: in.Rd, Imm: in.Imm}
+	case OpMov, OpNeg, OpNot, OpAbs:
+		in = Instr{Op: op, Rd: in.Rd, Ra: in.Ra}
+	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpMin, OpMax,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE:
+		in = Instr{Op: op, Rd: in.Rd, Ra: in.Ra, Rb: in.Rb}
+	case OpAddI:
+		in = Instr{Op: op, Rd: in.Rd, Ra: in.Ra, Imm: in.Imm}
+	case OpLd, OpLea:
+		in = Instr{Op: op, Rd: in.Rd, Base: in.Base, Imm: in.Imm}
+	case OpSt, OpStB:
+		in = Instr{Op: op, Base: in.Base, Ra: in.Ra, Imm: in.Imm}
+	case OpLdG, OpLeaG:
+		in = Instr{Op: op, Rd: in.Rd, Imm: in.Imm}
+	case OpStG:
+		in = Instr{Op: op, Ra: in.Ra, Imm: in.Imm}
+	case OpJmp, OpCall:
+		in = Instr{Op: op, Target: in.Target}
+	case OpBT, OpBF:
+		in = Instr{Op: op, Ra: in.Ra, Target: in.Target}
+	case OpEnter:
+		in = Instr{Op: op, Imm: rng.Int63n(1 << 20)}
+	case OpNewRec, OpNewText:
+		in = Instr{Op: op, Rd: in.Rd, Desc: in.Desc}
+	case OpNewArr:
+		in = Instr{Op: op, Rd: in.Rd, Ra: in.Ra, Desc: in.Desc}
+	case OpPutInt, OpPutChar, OpPutText, OpChkNil:
+		in = Instr{Op: op, Ra: in.Ra}
+	case OpChkRng:
+		in = Instr{Op: op, Ra: in.Ra, Imm: in.Imm, Imm2: in.Imm2}
+	case OpChkIdx:
+		in = Instr{Op: op, Ra: in.Ra, Rb: in.Rb}
+	case OpTrap:
+		in = Instr{Op: op, Desc: in.Desc}
+	}
+	return in
+}
+
+// TestEncodeDecodeRoundTrip round-trips random instructions of every
+// opcode through the byte encoding.
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for op := OpHalt; op < numOps; op++ {
+		for trial := 0; trial < 200; trial++ {
+			in := randInstr(rng, op)
+			buf := AppendInstr(nil, &in)
+			got, next := DecodeInstr(buf, 0)
+			if next != len(buf) {
+				t.Fatalf("%v: decoded %d of %d bytes", op, next, len(buf))
+			}
+			if got != in {
+				t.Fatalf("%v round-trip mismatch:\n got %+v\nwant %+v", op, got, in)
+			}
+			if EncodedSize(&in) != len(buf) {
+				t.Fatalf("%v: EncodedSize %d != %d", op, EncodedSize(&in), len(buf))
+			}
+		}
+	}
+}
+
+// TestDecodeStream decodes a concatenated stream of instructions.
+func TestDecodeStream(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	var ins []Instr
+	var buf []byte
+	for i := 0; i < 500; i++ {
+		in := randInstr(rng, Op(rng.Intn(int(numOps))))
+		ins = append(ins, in)
+		buf = AppendInstr(buf, &in)
+	}
+	off := 0
+	for i := range ins {
+		got, next := DecodeInstr(buf, off)
+		if got != ins[i] {
+			t.Fatalf("instr %d mismatch", i)
+		}
+		off = next
+	}
+	if off != len(buf) {
+		t.Fatalf("trailing bytes: %d of %d consumed", off, len(buf))
+	}
+}
+
+// TestVarint pins zigzag varint behavior at the extremes.
+func TestVarint(t *testing.T) {
+	for _, v := range []int64{0, 1, -1, 63, -64, 1 << 40, -(1 << 40), 1<<62 - 1, -(1 << 62)} {
+		buf := appendVarint(nil, v)
+		got, n := readVarint(buf, 0)
+		if got != v || n != len(buf) {
+			t.Errorf("varint(%d): got %d, n=%d len=%d", v, got, n, len(buf))
+		}
+	}
+}

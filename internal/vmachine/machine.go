@@ -1,0 +1,281 @@
+package vmachine
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/types"
+)
+
+// ProcInfo describes one linked procedure.
+type ProcInfo struct {
+	Name       string
+	Entry      int // byte PC of the procedure's first instruction
+	End        int // byte PC one past the procedure's last instruction
+	FrameWords int64
+	NumArgs    int
+}
+
+// Program is a linked executable image.
+type Program struct {
+	Name      string
+	Code      []Instr
+	PCOf      []int       // instruction index -> byte PC
+	IdxOf     map[int]int // byte PC -> instruction index
+	CodeBytes []byte
+	Procs     []ProcInfo
+	MainProc  int
+
+	GlobalWords   int64
+	GlobalPtrOffs []int64 // word offsets in the global area holding pointers
+
+	Descs    *types.DescTable
+	TextLits []string
+	// TextDesc is the descriptor ID for ARRAY OF CHAR used by text
+	// literals (valid whenever TextLits is non-empty).
+	TextDesc int
+}
+
+// CodeSize returns the encoded code size in bytes (the paper's "Size").
+func (p *Program) CodeSize() int { return len(p.CodeBytes) }
+
+// FindProc returns the index of the procedure with the given name, or
+// -1 if absent.
+func (p *Program) FindProc(name string) int {
+	for i := range p.Procs {
+		if p.Procs[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// TrapCode identifies a runtime error.
+type TrapCode int
+
+// Runtime error codes.
+const (
+	TrapNilDeref TrapCode = iota
+	TrapRangeError
+	TrapIndexError
+	TrapDivByZero
+	TrapStackOverflow
+	TrapOutOfMemory
+	TrapBadAddress
+	TrapUnreachable
+	TrapNoCase // CASE selector matched no label and there is no ELSE
+)
+
+var trapNames = map[TrapCode]string{
+	TrapNilDeref:      "nil dereference",
+	TrapRangeError:    "value out of range",
+	TrapIndexError:    "array index out of bounds",
+	TrapDivByZero:     "division by zero",
+	TrapStackOverflow: "stack overflow",
+	TrapOutOfMemory:   "out of memory",
+	TrapBadAddress:    "bad memory address",
+	TrapUnreachable:   "unreachable code",
+	TrapNoCase:        "CASE selector matched no label",
+}
+
+// RuntimeError is a trap raised during execution.
+type RuntimeError struct {
+	Code   TrapCode
+	PC     int // byte PC
+	Thread int
+	Detail string
+}
+
+func (e *RuntimeError) Error() string {
+	s := fmt.Sprintf("runtime error: %s (thread %d, pc %d)", trapNames[e.Code], e.Thread, e.PC)
+	if e.Detail != "" {
+		s += ": " + e.Detail
+	}
+	return s
+}
+
+// Allocator is the machine's allocation interface (implemented by the
+// semispace heap and by the conservative collector's free-list heap).
+type Allocator interface {
+	TryAlloc(descID int, n int64) (addr int64, ok bool)
+}
+
+// Collector is invoked when allocation fails (single-threaded) or when
+// a rendezvous completes (multi-threaded).
+type Collector interface {
+	Collect(m *Machine) error
+}
+
+// Thread is one execution context.
+type Thread struct {
+	ID      int
+	Regs    [16]int64
+	FP, SP  int64
+	PC      int // instruction index (not byte PC)
+	StackLo int64
+	StackHi int64
+	Done    bool
+	Blocked bool // parked at a gc-point during a rendezvous
+
+	// resumeSkip advances PC past the parked instruction after a
+	// rendezvous (used by forced collections, which must not re-run).
+	resumeSkip bool
+	// allocRetried marks an allocation that already survived one
+	// collection; a second failure is an out-of-memory trap.
+	allocRetried bool
+	// stressed marks that the stress-mode collection for the current
+	// instruction already ran (allocations re-execute after GC).
+	stressed bool
+}
+
+// CurrentGCPointPC returns the byte PC identifying the thread's current
+// gc-point: the address of the instruction after the one about to
+// execute (the "return address" convention used by the tables).
+func (t *Thread) CurrentGCPointPC(p *Program) int {
+	return p.PCOf[t.PC+1]
+}
+
+// Config sizes a machine.
+type Config struct {
+	HeapWords    int64 // total heap region (two semispaces)
+	StackWords   int64 // per-thread stack
+	GlobalsExtra int64 // reserved extra global words (testing)
+	MaxThreads   int
+	Out          io.Writer
+	// Quantum is the pre-emption interval in instructions for
+	// multi-threaded execution.
+	Quantum int64
+	// StressGC forces a collection at every gc-point (single-threaded
+	// table validation mode).
+	StressGC bool
+}
+
+// DefaultConfig returns a reasonable machine sizing.
+func DefaultConfig() Config {
+	return Config{HeapWords: 1 << 20, StackWords: 1 << 16, MaxThreads: 8, Quantum: 1000}
+}
+
+const guardWords = 16
+
+// Machine executes a linked Program.
+type Machine struct {
+	Prog *Program
+	Mem  []int64
+	Out  io.Writer
+
+	GlobalBase int64
+	HeapLo     int64
+	HeapHi     int64
+
+	Alloc     Allocator
+	Collector Collector
+	// Barrier, when set, is invoked by OpStB before each barriered
+	// pointer store with the target slot address and the stored value
+	// (the generational collector's store check).
+	Barrier func(slot, val int64)
+
+	Threads []*Thread
+	Cur     *Thread // thread currently executing (set during Step)
+
+	// GCRequested is set while a multi-threaded rendezvous is pending.
+	GCRequested bool
+	// Requester is the thread that triggered the pending collection.
+	Requester *Thread
+
+	Steps      int64
+	GCCount    int64
+	StressGC   bool
+	stackNext  int64
+	stackWords int64
+	quantum    int64
+}
+
+// New builds a machine for prog. The caller attaches an Allocator and a
+// Collector before running.
+func New(prog *Program, cfg Config) *Machine {
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	if cfg.Quantum <= 0 {
+		cfg.Quantum = 1000
+	}
+	globalBase := int64(guardWords)
+	stackBase := globalBase + prog.GlobalWords + cfg.GlobalsExtra
+	heapLo := stackBase + int64(cfg.MaxThreads)*cfg.StackWords
+	heapHi := heapLo + cfg.HeapWords
+	m := &Machine{
+		Prog:       prog,
+		Mem:        make([]int64, heapHi),
+		Out:        cfg.Out,
+		GlobalBase: globalBase,
+		HeapLo:     heapLo,
+		HeapHi:     heapHi,
+		StressGC:   cfg.StressGC,
+		stackNext:  stackBase,
+		stackWords: cfg.StackWords,
+		quantum:    cfg.Quantum,
+	}
+	return m
+}
+
+// HaltPC is the byte PC of the synthetic halt instruction the linker
+// places at the start of the code stream; it doubles as the sentinel
+// return address of a thread's root frame.
+const HaltPC = 0
+
+// Spawn creates a thread that will run procedure procIdx with the given
+// word arguments. The root frame's saved FP is 0, which terminates
+// stack walks.
+func (m *Machine) Spawn(procIdx int, args ...int64) (*Thread, error) {
+	if m.stackNext+m.stackWords > m.HeapLo {
+		return nil, fmt.Errorf("vmachine: too many threads")
+	}
+	t := &Thread{
+		ID:      len(m.Threads),
+		StackLo: m.stackNext,
+		StackHi: m.stackNext + m.stackWords,
+	}
+	m.stackNext += m.stackWords
+	proc := &m.Prog.Procs[procIdx]
+	if len(args) != proc.NumArgs {
+		return nil, fmt.Errorf("vmachine: %s expects %d args, got %d", proc.Name, proc.NumArgs, len(args))
+	}
+	t.SP = t.StackHi - int64(len(args))
+	for j, a := range args {
+		m.Mem[t.SP+int64(j)] = a
+	}
+	t.SP--
+	m.Mem[t.SP] = HaltPC // return address: the halt instruction
+	t.FP = 0             // sentinel saved-FP for the stack walker
+	t.PC = m.Prog.IdxOf[proc.Entry]
+	m.Threads = append(m.Threads, t)
+	return t, nil
+}
+
+func (m *Machine) trap(code TrapCode, detail string) *RuntimeError {
+	pc := 0
+	tid := -1
+	if m.Cur != nil {
+		if m.Cur.PC >= 0 && m.Cur.PC < len(m.Prog.PCOf) {
+			pc = m.Prog.PCOf[m.Cur.PC]
+		}
+		tid = m.Cur.ID
+	}
+	return &RuntimeError{Code: code, PC: pc, Thread: tid, Detail: detail}
+}
+
+// read and write check the guard region and machine bounds.
+func (m *Machine) read(addr int64) (int64, *RuntimeError) {
+	if addr < guardWords || addr >= int64(len(m.Mem)) {
+		return 0, m.trap(TrapBadAddress, fmt.Sprintf("read of %d", addr))
+	}
+	return m.Mem[addr], nil
+}
+
+func (m *Machine) write(addr, v int64) *RuntimeError {
+	if addr < guardWords || addr >= int64(len(m.Mem)) {
+		return m.trap(TrapBadAddress, fmt.Sprintf("write of %d", addr))
+	}
+	m.Mem[addr] = v
+	return nil
+}

