@@ -1,0 +1,30 @@
+# Developer workflow. `make check` is the pre-PR gate: formatting, vet,
+# full build, and the race-enabled test slice covering the telemetry
+# subsystem and the collectors that feed it.
+
+GO ?= go
+
+.PHONY: check fmt vet build test race test-all bench-telemetry
+
+check: fmt vet build race test-all
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+race:
+	$(GO) test -race ./internal/telemetry/... ./internal/gc/...
+
+test-all:
+	$(GO) test ./...
+
+bench-telemetry:
+	$(GO) test -bench . -benchmem ./internal/telemetry/

@@ -1,0 +1,262 @@
+// Command gctrace runs an mthree program with the telemetry subsystem
+// attached and reports what the collector and VM did: a summary table on
+// stderr, optionally a Chrome trace_event file (open in chrome://tracing
+// or Perfetto) and a JSONL event dump.
+//
+// Usage:
+//
+//	gctrace [flags] file.m3|file.mxo|benchmark
+//
+// The argument may be a source or object file, or the name of one of the
+// paper's four benchmarks (typereg, FieldList, takl, destroy) — a bare
+// name or a path whose basename matches, so `gctrace takl` works without
+// a checkout of the sources.
+//
+// Flags:
+//
+//	-trace out.json     write a Chrome trace_event file
+//	-jsonl out.jsonl    write raw events as JSON lines
+//	-metrics            print every metric in the final snapshot
+//	-collector C        precise (default), conservative, generational
+//	-O                  enable the optimizer (default true)
+//	-heap N             heap words (default 64K — small enough that the
+//	                    benchmarks actually collect)
+//	-stack N            stack words per thread
+//	-sample N           sample the executing PC every N instructions
+//	-ring N             event ring size (default 64K events)
+//	-scheme S           gc table encoding scheme (default delta-pp)
+//	-stress             collect at every allocation gc-point
+//	-finalgc            force one collection at exit (default true) so a
+//	                    program that never exhausts the heap — takl keeps
+//	                    every cell live — still records a complete cycle
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/driver"
+	"repro/internal/gctab"
+	"repro/internal/telemetry"
+	"repro/internal/vmachine"
+)
+
+var schemes = map[string]gctab.Scheme{
+	"full-plain":     gctab.FullPlain,
+	"full-packing":   gctab.FullPacking,
+	"delta-plain":    gctab.DeltaPlain,
+	"delta-previous": gctab.DeltaPrev,
+	"delta-packing":  gctab.DeltaPacking,
+	"delta-pp":       gctab.DeltaPP,
+}
+
+func main() {
+	tracePath := flag.String("trace", "", "write a Chrome trace_event file")
+	jsonlPath := flag.String("jsonl", "", "write raw events as JSON lines")
+	metrics := flag.Bool("metrics", false, "print every metric in the final snapshot")
+	collector := flag.String("collector", "precise", "precise, conservative, or generational")
+	optimize := flag.Bool("O", true, "enable the optimizer")
+	heapWords := flag.Int64("heap", 1<<16, "heap words")
+	stackWords := flag.Int64("stack", 1<<16, "stack words per thread")
+	sampleEvery := flag.Int64("sample", 64, "sample the executing PC every N instructions (0 disables)")
+	ringSize := flag.Int("ring", 1<<16, "event ring size")
+	schemeName := flag.String("scheme", "delta-pp", "gc table encoding scheme")
+	stress := flag.Bool("stress", false, "collect at every allocation gc-point")
+	finalGC := flag.Bool("finalgc", true, "force one collection at exit")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gctrace [flags] file.m3|file.mxo|benchmark")
+		os.Exit(2)
+	}
+	scheme, ok := schemes[*schemeName]
+	if !ok {
+		fatal(fmt.Errorf("unknown scheme %q", *schemeName))
+	}
+
+	c, progName, err := load(flag.Arg(0), *optimize, *collector == "generational", scheme)
+	if err != nil {
+		fatal(err)
+	}
+
+	tel := telemetry.New(telemetry.Config{RingSize: *ringSize})
+	cfg := vmachine.DefaultConfig()
+	cfg.HeapWords = *heapWords
+	cfg.StackWords = *stackWords
+	cfg.Out = os.Stdout
+	cfg.Tel = tel
+	cfg.PCSampleEvery = *sampleEvery
+	cfg.StressGC = *stress
+
+	var m *vmachine.Machine
+	switch *collector {
+	case "precise":
+		m, _, err = c.NewMachine(cfg)
+	case "generational":
+		m, _, err = c.NewGenerationalMachine(cfg)
+	case "conservative":
+		m, _, err = c.NewConservativeMachine(cfg)
+	default:
+		err = fmt.Errorf("unknown collector %q", *collector)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	runErr := m.Run(0)
+	if runErr == nil && *finalGC {
+		runErr = m.Collector.Collect(m)
+	}
+
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tel.WriteChromeTraceFile(f, progName+" ("+*collector+")"); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gctrace: wrote %s (open in chrome://tracing or Perfetto)\n", *tracePath)
+	}
+	if *jsonlPath != "" {
+		f, err := os.Create(*jsonlPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := telemetry.WriteJSONL(f, tel.Events()); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "gctrace: wrote %s\n", *jsonlPath)
+	}
+
+	summary(os.Stderr, m, tel, *metrics)
+	if runErr != nil {
+		fatal(runErr)
+	}
+}
+
+// load resolves the program argument: an .m3 source file, an .mxo object
+// file, or (by basename) one of the embedded paper benchmarks.
+func load(arg string, optimize, generational bool, scheme gctab.Scheme) (*driver.Compiled, string, error) {
+	name := strings.TrimSuffix(filepath.Base(arg), filepath.Ext(arg))
+	opts := driver.Options{Optimize: optimize, GCSupport: true,
+		Generational: generational, Scheme: scheme}
+	if strings.HasSuffix(arg, ".mxo") {
+		f, err := os.Open(arg)
+		if err != nil {
+			return nil, "", err
+		}
+		defer f.Close()
+		c, err := driver.LoadObject(f)
+		return c, name, err
+	}
+	if src, err := os.ReadFile(arg); err == nil {
+		c, cerr := driver.Compile(arg, string(src), opts)
+		return c, name, cerr
+	}
+	if src, ok := bench.Sources()[name]; ok {
+		c, err := driver.Compile(name+".m3", src, opts)
+		return c, name, err
+	}
+	return nil, "", fmt.Errorf("%s: not a readable file and not a benchmark (%s)",
+		arg, strings.Join(bench.Names(), ", "))
+}
+
+// summary prints the human-readable report the trace file backs up.
+func summary(w *os.File, m *vmachine.Machine, tel *telemetry.Tracer, full bool) {
+	s := tel.Snapshot()
+	fmt.Fprintf(w, "\n== gctrace summary ==\n")
+	fmt.Fprintf(w, "steps              %d\n", s.Counter(telemetry.CtrVMSteps))
+	fmt.Fprintf(w, "collections        %d\n", s.Counter(telemetry.CtrGCCollections))
+	if n := s.Counter(telemetry.CtrGenMinor) + s.Counter(telemetry.CtrGenMajor); n > 0 {
+		fmt.Fprintf(w, "  minor/major      %d/%d (promoted %d bytes)\n",
+			s.Counter(telemetry.CtrGenMinor), s.Counter(telemetry.CtrGenMajor),
+			s.Counter(telemetry.CtrGenPromotedBytes))
+	}
+	fmt.Fprintf(w, "bytes copied       %d\n", s.Counter(telemetry.CtrGCBytesCopied))
+	fmt.Fprintf(w, "frames walked      %d\n", s.Counter(telemetry.CtrGCFramesWalked))
+	fmt.Fprintf(w, "derived adj/redrv  %d/%d\n",
+		s.Counter(telemetry.CtrGCDerivedAdjusted), s.Counter(telemetry.CtrGCDerivedRederive))
+	if h, ok := s.Histograms[telemetry.HistGCPauseNs]; ok && h.Count > 0 {
+		fmt.Fprintf(w, "pause ns           mean %d  p50 %d  p99 %d  max %d\n",
+			h.Mean(), h.P50, h.P99, h.Max)
+	}
+	if h, ok := s.Histograms[telemetry.HistGCStackWalkNs]; ok && h.Count > 0 {
+		fmt.Fprintf(w, "stack walk ns      mean %d  p50 %d  p99 %d  max %d\n",
+			h.Mean(), h.P50, h.P99, h.Max)
+	}
+	if h, ok := s.Histograms[telemetry.HistGCWaitNs]; ok && h.Count > 0 {
+		fmt.Fprintf(w, "gc-point wait ns   mean %d  p50 %d  p99 %d  max %d (%d waits)\n",
+			h.Mean(), h.P50, h.P99, h.Max, h.Count)
+	}
+
+	counters, _, _ := s.Names()
+	for _, n := range counters {
+		if rest, ok := strings.CutPrefix(n, "gctab.decode.hits."); ok {
+			misses := s.Counter("gctab.decode.misses." + rest)
+			bytes := s.Counter("gctab.decode.bytes." + rest)
+			fmt.Fprintf(w, "table decodes      %d hits, %d misses, %d bytes read (%s)\n",
+				s.Counter(n), misses, bytes, rest)
+			if h, ok := s.Histograms["gctab.decode_ns."+rest]; ok && h.Count > 0 {
+				fmt.Fprintf(w, "decode ns          mean %d  p50 %d  p99 %d\n", h.Mean(), h.P50, h.P99)
+			}
+		}
+	}
+
+	if hot := tel.HotPCs(5); len(hot) > 0 {
+		fmt.Fprintf(w, "hot pcs:\n")
+		for _, hp := range hot {
+			fmt.Fprintf(w, "  pc %-6d %-20s %d samples\n", hp.PC, procOf(m.Prog, int(hp.PC)), hp.Count)
+		}
+	}
+	if ops := m.OpCounts(); len(ops) > 0 {
+		top := ops
+		if len(top) > 5 {
+			top = top[:5]
+		}
+		fmt.Fprintf(w, "top opcodes:\n")
+		for _, oc := range top {
+			fmt.Fprintf(w, "  %-10s %d\n", oc.Op, oc.Count)
+		}
+	}
+	fmt.Fprintf(w, "events             %d emitted, %d dropped\n", s.Emitted, s.Dropped)
+
+	if full {
+		counters, gauges, hists := s.Names()
+		fmt.Fprintf(w, "\n== metrics ==\n")
+		for _, n := range counters {
+			fmt.Fprintf(w, "counter %-28s %d\n", n, s.Counters[n])
+		}
+		for _, n := range gauges {
+			fmt.Fprintf(w, "gauge   %-28s %d\n", n, s.Gauges[n])
+		}
+		for _, n := range hists {
+			h := s.Histograms[n]
+			fmt.Fprintf(w, "hist    %-28s count %d  mean %d  p50 %d  p99 %d  max %d\n",
+				n, h.Count, h.Mean(), h.P50, h.P99, h.Max)
+		}
+	}
+}
+
+// procOf names the procedure containing byte pc.
+func procOf(p *vmachine.Program, pc int) string {
+	for i := range p.Procs {
+		if pc >= p.Procs[i].Entry && pc < p.Procs[i].End {
+			return p.Procs[i].Name
+		}
+	}
+	return "?"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gctrace:", err)
+	os.Exit(1)
+}

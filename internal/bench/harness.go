@@ -8,6 +8,7 @@ import (
 	"repro/internal/driver"
 	"repro/internal/gc"
 	"repro/internal/gctab"
+	"repro/internal/telemetry"
 	"repro/internal/vmachine"
 )
 
@@ -175,33 +176,39 @@ func Sec63(branch, depth, iters, replDepth, collectEvery int) (*Sec63Result, err
 		return nil, err
 	}
 	res := &Sec63Result{}
-	runMode := func(mode gc.Mode) (time.Duration, *gc.Collector, error) {
+	// Each mode runs with a telemetry tracer attached; the collection and
+	// frame counts below come from its snapshot rather than the
+	// collector's ad-hoc fields. ModeNull emits no events, so the tracer
+	// does not perturb the timing baseline.
+	runMode := func(mode gc.Mode) (time.Duration, *gc.Collector, telemetry.Snapshot, error) {
 		cfg := vmachine.DefaultConfig()
 		cfg.HeapWords = 1 << 22 // large: only the forced collections occur
 		cfg.Out = io.Discard
+		cfg.Tel = telemetry.New(telemetry.Config{})
 		m, col, err := c.NewMachine(cfg)
 		if err != nil {
-			return 0, nil, err
+			return 0, nil, telemetry.Snapshot{}, err
 		}
 		col.Mode = mode
 		start := time.Now()
 		if err := m.Run(0); err != nil {
-			return 0, nil, err
+			return 0, nil, telemetry.Snapshot{}, err
 		}
-		return time.Since(start), col, nil
+		return time.Since(start), col, cfg.Tel.Snapshot(), nil
 	}
-	var colFull, colTrace *gc.Collector
-	if res.FullRunTime, colFull, err = runMode(gc.ModeFull); err != nil {
+	var colFull *gc.Collector
+	var traceSnap telemetry.Snapshot
+	if res.FullRunTime, colFull, _, err = runMode(gc.ModeFull); err != nil {
 		return nil, err
 	}
-	if res.TraceOnlyRunTime, colTrace, err = runMode(gc.ModeTraceOnly); err != nil {
+	if res.TraceOnlyRunTime, _, traceSnap, err = runMode(gc.ModeTraceOnly); err != nil {
 		return nil, err
 	}
-	if res.NullRunTime, _, err = runMode(gc.ModeNull); err != nil {
+	if res.NullRunTime, _, _, err = runMode(gc.ModeNull); err != nil {
 		return nil, err
 	}
-	res.Collections = colTrace.Collections
-	res.FramesTraced = colTrace.FramesTraced
+	res.Collections = traceSnap.Counter(telemetry.CtrGCCollections)
+	res.FramesTraced = traceSnap.Counter(telemetry.CtrGCFramesWalked)
 	if res.Collections > 0 {
 		diff := res.TraceOnlyRunTime - res.NullRunTime
 		if diff < 0 {
@@ -316,7 +323,11 @@ func PreciseVsConservative(heapWords int64) ([]CompareRow, error) {
 		}
 		cfg.Out = io.Discard
 
-		m1, col, err := c.NewMachine(cfg)
+		// Both runs report their collection counts through telemetry
+		// snapshots (both collectors feed the same gc.collections
+		// counter), not collector-specific fields.
+		cfg.Tel = telemetry.New(telemetry.Config{})
+		m1, _, err := c.NewMachine(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -325,10 +336,12 @@ func PreciseVsConservative(heapWords int64) ([]CompareRow, error) {
 			return nil, fmt.Errorf("%s precise: %w", name, err)
 		}
 		preciseTime := time.Since(t0)
+		preciseSnap := cfg.Tel.Snapshot()
 
 		// The conservative heap is one contiguous region (no
 		// semispaces), so give it the same total budget.
-		m2, ch, err := c.NewConservativeMachine(cfg)
+		cfg.Tel = telemetry.New(telemetry.Config{})
+		m2, _, err := c.NewConservativeMachine(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -336,12 +349,13 @@ func PreciseVsConservative(heapWords int64) ([]CompareRow, error) {
 		if err := m2.Run(0); err != nil {
 			return nil, fmt.Errorf("%s conservative: %w", name, err)
 		}
+		consSnap := cfg.Tel.Snapshot()
 		rows = append(rows, CompareRow{
 			Program:                 name,
 			PreciseTime:             preciseTime,
-			PreciseCollections:      col.Collections,
+			PreciseCollections:      preciseSnap.Counter(telemetry.CtrGCCollections),
 			ConservativeTime:        time.Since(t1),
-			ConservativeCollections: ch.Collections,
+			ConservativeCollections: consSnap.Counter(telemetry.CtrGCCollections),
 		})
 	}
 	return rows, nil

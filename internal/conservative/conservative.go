@@ -13,6 +13,8 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/heap"
+	"repro/internal/telemetry"
 	"repro/internal/types"
 	"repro/internal/vmachine"
 )
@@ -40,7 +42,42 @@ type Heap struct {
 	MarkedObjects  int64
 	AllocatedWords int64
 	TotalTime      time.Duration
+
+	// Tel, when non-nil, receives one begin/end event pair per
+	// mark-sweep cycle plus cycle metrics.
+	Tel *telemetry.Tracer
+
+	mCollections *telemetry.Counter
+	hPause       *telemetry.Histogram
+	gAllocBytes  *telemetry.Gauge
+	gLiveBytes   *telemetry.Gauge
+	gLiveObjects *telemetry.Gauge
+	gCollections *telemetry.Gauge
 }
+
+// SetTracer attaches telemetry to the conservative heap/collector.
+// There is no table decoder here — ambiguous roots need no tables,
+// which is exactly the contrast the paper draws.
+func (h *Heap) SetTracer(t *telemetry.Tracer) {
+	h.Tel = t
+	if t == nil {
+		h.mCollections, h.hPause = nil, nil
+		h.gAllocBytes, h.gLiveBytes, h.gLiveObjects, h.gCollections = nil, nil, nil, nil
+		return
+	}
+	h.mCollections = t.Counter(telemetry.CtrGCCollections)
+	h.hPause = t.Histogram(telemetry.HistGCPauseNs)
+	h.gAllocBytes = t.Gauge(telemetry.GaugeHeapAllocBytes)
+	h.gLiveBytes = t.Gauge(telemetry.GaugeHeapLiveBytes)
+	h.gLiveObjects = t.Gauge(telemetry.GaugeHeapLiveObjects)
+	h.gCollections = t.Gauge(telemetry.GaugeHeapCollections)
+}
+
+// AllocatedBytes returns the cumulative bytes ever allocated.
+func (h *Heap) AllocatedBytes() int64 { return h.AllocatedWords * heap.WordBytes }
+
+// LiveBytes returns the bytes currently held by allocated objects.
+func (h *Heap) LiveBytes() int64 { return h.LiveWords() * heap.WordBytes }
 
 type span struct {
 	addr int64
@@ -121,6 +158,19 @@ func (h *Heap) Collect(m *vmachine.Machine) error {
 	start := time.Now()
 	defer func() { h.TotalTime += time.Since(start) }()
 	h.Collections++
+
+	var tid int32 = -1
+	if m.Cur != nil {
+		tid = int32(m.Cur.ID)
+	}
+	var telStart int64
+	if h.Tel != nil {
+		telStart = h.Tel.Now()
+		h.Tel.Emit(telemetry.EvGCBegin, tid, telemetry.GCMarkSweep,
+			h.LiveBytes(), h.AllocatedBytes(), h.Collections-1)
+	}
+	markedBefore := h.MarkedObjects
+
 	for i := range h.objects {
 		h.objects[i].mark = false
 	}
@@ -203,6 +253,16 @@ func (h *Heap) Collect(m *vmachine.Machine) error {
 	}
 	h.objects = kept
 	h.free = merged
+
+	if h.Tel != nil {
+		h.Tel.Emit(telemetry.EvGCEnd, tid, h.LiveBytes(), h.MarkedObjects-markedBefore, 0, 0)
+		h.mCollections.Add(1)
+		h.hPause.Observe(h.Tel.Now() - telStart)
+		h.gAllocBytes.Set(h.AllocatedBytes())
+		h.gLiveBytes.Set(h.LiveBytes())
+		h.gLiveObjects.Set(int64(len(h.objects)))
+		h.gCollections.Set(h.Collections)
+	}
 	return nil
 }
 

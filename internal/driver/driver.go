@@ -108,6 +108,7 @@ func (c *Compiled) NewMachine(cfg vmachine.Config) (*vmachine.Machine, *gc.Colle
 	m := vmachine.New(c.Prog, cfg)
 	h := heap.New(m.Mem, m.HeapLo, m.HeapHi, c.Prog.Descs)
 	col := gc.New(h, c.Encoded)
+	col.SetTracer(cfg.Tel)
 	m.Alloc = h
 	m.Collector = col
 	if _, err := m.Spawn(c.Prog.MainProc); err != nil {
@@ -129,6 +130,7 @@ func (c *Compiled) NewGenerationalMachine(cfg vmachine.Config) (*vmachine.Machin
 	m := vmachine.New(c.Prog, cfg)
 	h := gengc.NewHeap(m.Mem, m.HeapLo, m.HeapHi, c.Prog.Descs)
 	col := gengc.New(h, c.Encoded)
+	col.SetTracer(cfg.Tel)
 	m.Alloc = h
 	m.Collector = col
 	m.Barrier = col.Barrier
@@ -143,6 +145,7 @@ func (c *Compiled) NewGenerationalMachine(cfg vmachine.Config) (*vmachine.Machin
 func (c *Compiled) NewConservativeMachine(cfg vmachine.Config) (*vmachine.Machine, *conservative.Heap, error) {
 	m := vmachine.New(c.Prog, cfg)
 	h := conservative.New(m.Mem, m.HeapLo, m.HeapHi, c.Prog.Descs)
+	h.SetTracer(cfg.Tel)
 	m.Alloc = h
 	m.Collector = h
 	if _, err := m.Spawn(c.Prog.MainProc); err != nil {

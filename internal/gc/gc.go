@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/gctab"
 	"repro/internal/heap"
+	"repro/internal/telemetry"
 	"repro/internal/vmachine"
 )
 
@@ -46,11 +47,81 @@ type Collector struct {
 	StackTraceTime time.Duration
 	TotalTime      time.Duration
 	WordsCopied    int64
+
+	// Tel, when non-nil, receives per-cycle events and metrics; every
+	// probe below is guarded by a nil check so a collector without
+	// telemetry pays one branch and zero allocations.
+	Tel *telemetry.Tracer
+
+	mCollections *telemetry.Counter
+	mFrames      *telemetry.Counter
+	mCopied      *telemetry.Counter
+	mAdjusted    *telemetry.Counter
+	mRederived   *telemetry.Counter
+	hPause       *telemetry.Histogram
+	hWalk        *telemetry.Histogram
+	gAllocBytes  *telemetry.Gauge
+	gLiveBytes   *telemetry.Gauge
+	gLiveObjects *telemetry.Gauge
+	gCollections *telemetry.Gauge
 }
 
 // New creates a collector over h using the encoded tables.
 func New(h *heap.Heap, enc *gctab.Encoded) *Collector {
 	return &Collector{Heap: h, Dec: gctab.NewDecoder(enc)}
+}
+
+// SetTracer attaches telemetry to the collector and its table decoder,
+// resolving the metric handles once so cycle probes are map-free.
+func (c *Collector) SetTracer(t *telemetry.Tracer) {
+	c.Tel = t
+	c.Dec.SetTracer(t)
+	if t == nil {
+		c.mCollections, c.mFrames, c.mCopied, c.mAdjusted, c.mRederived = nil, nil, nil, nil, nil
+		c.hPause, c.hWalk = nil, nil
+		c.gAllocBytes, c.gLiveBytes, c.gLiveObjects, c.gCollections = nil, nil, nil, nil
+		return
+	}
+	c.mCollections = t.Counter(telemetry.CtrGCCollections)
+	c.mFrames = t.Counter(telemetry.CtrGCFramesWalked)
+	c.mCopied = t.Counter(telemetry.CtrGCBytesCopied)
+	c.mAdjusted = t.Counter(telemetry.CtrGCDerivedAdjusted)
+	c.mRederived = t.Counter(telemetry.CtrGCDerivedRederive)
+	c.hPause = t.Histogram(telemetry.HistGCPauseNs)
+	c.hWalk = t.Histogram(telemetry.HistGCStackWalkNs)
+	c.gAllocBytes = t.Gauge(telemetry.GaugeHeapAllocBytes)
+	c.gLiveBytes = t.Gauge(telemetry.GaugeHeapLiveBytes)
+	c.gLiveObjects = t.Gauge(telemetry.GaugeHeapLiveObjects)
+	c.gCollections = t.Gauge(telemetry.GaugeHeapCollections)
+}
+
+// gcKind maps a collection mode to its telemetry cycle kind.
+func gcKind(mode Mode) int64 {
+	switch mode {
+	case ModeTraceOnly:
+		return telemetry.GCTraceOnly
+	case ModeNull:
+		return telemetry.GCNull
+	}
+	return telemetry.GCFull
+}
+
+// curThread identifies the thread a collection runs on behalf of.
+func curThread(m *vmachine.Machine) int32 {
+	if m.Cur != nil {
+		return int32(m.Cur.ID)
+	}
+	return -1
+}
+
+// countDerivs totals the derivation entries across walked frames — the
+// derived values adjusted in phase 1 and re-derived in phase 2.
+func countDerivs(frames []*Frame) int64 {
+	var n int64
+	for _, f := range frames {
+		n += int64(len(f.View.Derivs))
+	}
+	return n
 }
 
 // Collect implements vmachine.Collector.
@@ -62,6 +133,14 @@ func (c *Collector) Collect(m *vmachine.Machine) error {
 	}
 	c.Collections++
 
+	tid := curThread(m)
+	var telStart int64
+	if c.Tel != nil {
+		telStart = c.Tel.Now()
+		c.Tel.Emit(telemetry.EvGCBegin, tid, gcKind(c.Mode),
+			c.Heap.LiveBytes(), c.Heap.AllocatedBytes(), c.Heap.Collections)
+	}
+
 	traceStart := time.Now()
 	frames, err := WalkMachine(m, c.Dec)
 	if err != nil {
@@ -71,14 +150,34 @@ func (c *Collector) Collect(m *vmachine.Machine) error {
 	if err := AdjustDerived(m, frames); err != nil {
 		return err
 	}
-	c.StackTraceTime += time.Since(traceStart)
+	walkTime := time.Since(traceStart)
+	c.StackTraceTime += walkTime
 
+	wordsBefore := c.WordsCopied
 	if c.Mode == ModeFull {
 		if err := c.copyLive(m, frames); err != nil {
 			return err
 		}
 	}
 	RederiveAll(m, frames)
+
+	if c.Tel != nil {
+		nDeriv := countDerivs(frames)
+		copiedBytes := (c.WordsCopied - wordsBefore) * heap.WordBytes
+		c.Tel.Emit(telemetry.EvStackWalk, tid, int64(walkTime), int64(len(frames)), 0, 0)
+		c.Tel.Emit(telemetry.EvGCEnd, tid, copiedBytes, int64(len(frames)), nDeriv, nDeriv)
+		c.mCollections.Add(1)
+		c.mFrames.Add(int64(len(frames)))
+		c.mCopied.Add(copiedBytes)
+		c.mAdjusted.Add(nDeriv)
+		c.mRederived.Add(nDeriv)
+		c.hWalk.Observe(int64(walkTime))
+		c.hPause.Observe(c.Tel.Now() - telStart)
+		c.gAllocBytes.Set(c.Heap.AllocatedBytes())
+		c.gLiveBytes.Set(c.Heap.LiveBytes())
+		c.gLiveObjects.Set(c.Heap.LiveObjects)
+		c.gCollections.Set(c.Heap.Collections)
+	}
 	return nil
 }
 

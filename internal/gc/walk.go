@@ -47,8 +47,11 @@ func walkThread(m *vmachine.Machine, dec *gctab.Decoder, t *vmachine.Thread) ([]
 	fp := t.FP
 	sp := t.SP
 	for {
-		view, ok := dec.Lookup(pc)
-		if !ok {
+		view, err := dec.Decode(pc)
+		if err != nil {
+			return nil, fmt.Errorf("gc: thread %d: %w", t.ID, err)
+		}
+		if view == nil {
 			return nil, fmt.Errorf("gc: no tables for gc-point pc %d (thread %d)", pc, t.ID)
 		}
 		f := &Frame{PC: pc, FP: fp, SP: sp, View: view, RegAddr: regAddr}

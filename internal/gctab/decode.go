@@ -2,8 +2,11 @@ package gctab
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
+
+	"repro/internal/telemetry"
 )
 
 // PointView is the decoded table set for one gc-point, resolved against
@@ -17,27 +20,83 @@ type PointView struct {
 	Derivs   []DerivEntry
 }
 
+// ErrTruncated reports a table byte stream that ends (or whose
+// procedure segment ends) in the middle of a table. Errors returned by
+// Decode wrap it together with the offending gc-point PC.
+var ErrTruncated = errors.New("truncated gc table stream")
+
 // Decoder reads tables out of an Encoded object. All state is decoded
 // from the byte stream on every lookup (the cost the paper measures in
 // §6.3); no decoded results are cached.
 type Decoder struct {
 	Enc *Encoded
+
+	// Telemetry (nil when not attached): per-lookup decode events and
+	// per-scheme hit/miss/byte counters resolved once in SetTracer.
+	tel       *telemetry.Tracer
+	hits      *telemetry.Counter
+	misses    *telemetry.Counter
+	bytesRead *telemetry.Counter
+	decodeNs  *telemetry.Histogram
 }
 
 // NewDecoder returns a decoder over e.
 func NewDecoder(e *Encoded) *Decoder { return &Decoder{Enc: e} }
 
+// SetTracer attaches telemetry: every lookup emits an EvDecode event
+// and feeds hit/miss/bytes counters keyed by the encoding scheme (the
+// Table-2 column this decoder pays for).
+func (d *Decoder) SetTracer(t *telemetry.Tracer) {
+	d.tel = t
+	if t == nil {
+		d.hits, d.misses, d.bytesRead, d.decodeNs = nil, nil, nil, nil
+		return
+	}
+	label := d.Enc.Scheme.String()
+	d.hits = t.Counter("gctab.decode.hits." + label)
+	d.misses = t.Counter("gctab.decode.misses." + label)
+	d.bytesRead = t.Counter("gctab.decode.bytes." + label)
+	d.decodeNs = t.Histogram("gctab.decode_ns." + label)
+}
+
+// reader walks one procedure's table segment. Every read is bounds
+// checked against the segment; running off the end latches fail instead
+// of panicking or silently yielding zero words, and the caller turns
+// that into an ErrTruncated-wrapping error naming the gc-point.
 type reader struct {
 	buf     []byte
 	off     int
 	packing bool
+	fail    bool
 }
 
 func (r *reader) word() int32 {
+	if r.fail {
+		return 0
+	}
 	if r.packing {
-		v, n := readPacked(r.buf, r.off)
-		r.off += n
+		if r.off >= len(r.buf) {
+			r.fail = true
+			return 0
+		}
+		b := r.buf[r.off]
+		r.off++
+		// Sign-extend the first 7-bit group.
+		v := int32(b&0x7f) << 25 >> 25
+		for b&0x80 != 0 {
+			if r.off >= len(r.buf) {
+				r.fail = true
+				return 0
+			}
+			b = r.buf[r.off]
+			r.off++
+			v = v<<7 | int32(b&0x7f)
+		}
 		return v
+	}
+	if r.off+4 > len(r.buf) {
+		r.fail = true
+		return 0
 	}
 	v := int32(binary.LittleEndian.Uint32(r.buf[r.off:]))
 	r.off += 4
@@ -45,12 +104,20 @@ func (r *reader) word() int32 {
 }
 
 func (r *reader) byte1() byte {
+	if r.fail || r.off >= len(r.buf) {
+		r.fail = true
+		return 0
+	}
 	b := r.buf[r.off]
 	r.off++
 	return b
 }
 
 func (r *reader) u16() int {
+	if r.fail || r.off+2 > len(r.buf) {
+		r.fail = true
+		return 0
+	}
 	v := int(r.buf[r.off]) | int(r.buf[r.off+1])<<8
 	r.off += 2
 	return v
@@ -61,46 +128,116 @@ func (r *reader) dist(short bool) int {
 	if !short {
 		return r.u16()
 	}
-	b := r.buf[r.off]
-	r.off++
+	b := r.byte1()
+	if r.fail {
+		return 0
+	}
 	if b != 0xff {
 		return int(b)
 	}
 	return r.u16()
 }
 
+// count reads a table element count, rejecting values no segment of
+// this length could actually hold (each element is at least one byte),
+// so a corrupt count fails cleanly instead of driving a huge loop.
+func (r *reader) count() int {
+	n := int(r.word())
+	if n < 0 || n > len(r.buf) {
+		r.fail = true
+		return 0
+	}
+	return n
+}
+
 // Lookup finds the tables for the gc-point identified by pc (a return
 // address / gc-point byte PC). ok is false when pc is not a known
-// gc-point.
+// gc-point or the stream is damaged; Decode distinguishes the two.
 func (d *Decoder) Lookup(pc int) (*PointView, bool) {
+	view, err := d.Decode(pc)
+	if err != nil || view == nil {
+		return nil, false
+	}
+	return view, true
+}
+
+// Decode finds and decodes the tables for the gc-point pc. A pc that is
+// not a known gc-point yields (nil, nil); a byte stream that ends in
+// the middle of a table yields an error wrapping ErrTruncated and
+// naming the offending pc, rather than a silently zeroed table.
+func (d *Decoder) Decode(pc int) (*PointView, error) {
+	if d.tel == nil {
+		return d.decode(pc)
+	}
+	start := d.tel.Now()
+	view, bytesRead, err := d.decodeCounting(pc)
+	ns := d.tel.Now() - start
+	hit := int64(0)
+	if view != nil {
+		hit = 1
+		d.hits.Add(1)
+	} else {
+		d.misses.Add(1)
+	}
+	d.bytesRead.Add(bytesRead)
+	d.decodeNs.Observe(ns)
+	d.tel.Emit(telemetry.EvDecode, -1, int64(pc), hit, ns, bytesRead)
+	return view, err
+}
+
+func (d *Decoder) decode(pc int) (*PointView, error) {
+	view, _, err := d.decodeCounting(pc)
+	return view, err
+}
+
+// segment returns the byte range holding procedure i's tables: from its
+// offset to the next procedure's (offsets are emitted in order).
+func (d *Decoder) segment(i int) []byte {
+	lo := d.Enc.Index[i].Off
+	hi := len(d.Enc.Bytes)
+	if i+1 < len(d.Enc.Index) {
+		hi = d.Enc.Index[i+1].Off
+	}
+	if lo > hi || hi > len(d.Enc.Bytes) {
+		return nil
+	}
+	return d.Enc.Bytes[lo:hi]
+}
+
+func (d *Decoder) decodeCounting(pc int) (*PointView, int64, error) {
 	idx := d.Enc.Index
 	// Binary search for the procedure containing pc.
 	i := sort.Search(len(idx), func(i int) bool { return idx[i].End > pc })
 	if i >= len(idx) || pc < idx[i].Entry {
-		return nil, false
+		return nil, 0, nil
 	}
 	pi := idx[i]
-	r := &reader{buf: d.Enc.Bytes, off: pi.Off, packing: d.Enc.Scheme.Packing}
+	r := &reader{buf: d.segment(i), off: 0, packing: d.Enc.Scheme.Packing}
+	truncated := func() (*PointView, int64, error) {
+		return nil, int64(r.off), fmt.Errorf("gctab: %s: gc-point pc %d: %w",
+			d.Enc.Names[i], pc, ErrTruncated)
+	}
 
-	nPoints := int(r.word())
+	nPoints := r.count()
 	// Walk the distance-compressed PC map.
 	target := -1
 	cur := pi.Entry
-	pcs := make([]int, nPoints)
 	for k := 0; k < nPoints; k++ {
 		cur += r.dist(d.Enc.Scheme.ShortDistances)
-		pcs[k] = cur
 		if cur == pc {
 			target = k
 		}
 	}
+	if r.fail {
+		return truncated()
+	}
 	if target < 0 {
-		return nil, false
+		return nil, int64(r.off), nil
 	}
 
 	view := &PointView{ProcName: d.Enc.Names[i], Entry: pi.Entry}
 
-	nSaves := int(r.word())
+	nSaves := r.count()
 	for k := 0; k < nSaves; k++ {
 		w := r.word()
 		view.Saves = append(view.Saves, RegSave{Reg: uint8(w & 15), Off: w >> 4})
@@ -113,7 +250,7 @@ func (d *Decoder) Lookup(pc int) (*PointView, bool) {
 	}
 	var ground []gent
 	if !d.Enc.Scheme.Full {
-		nGround := int(r.word())
+		nGround := r.count()
 		ground = make([]gent, nGround)
 		for k := 0; k < nGround; k++ {
 			if d.Enc.Scheme.ArrayRuns {
@@ -128,13 +265,16 @@ func (d *Decoder) Lookup(pc int) (*PointView, bool) {
 			}
 		}
 	}
+	if r.fail {
+		return truncated()
+	}
 
 	// Decode points sequentially up to the target (Previous-mode tables
 	// refer back to the preceding point).
 	var live []Location
 	var regs uint16
 	var derivs []DerivEntry
-	for k := 0; k <= target; k++ {
+	for k := 0; k <= target && !r.fail; k++ {
 		emitStack, emitRegs, emitDerivs := true, true, true
 		stackEmpty, regsEmpty, derivEmpty := false, false, false
 		if d.Enc.Scheme.Previous {
@@ -149,7 +289,7 @@ func (d *Decoder) Lookup(pc int) (*PointView, bool) {
 		if emitStack {
 			live = live[:0]
 			if d.Enc.Scheme.Full {
-				n := int(r.word())
+				n := r.count()
 				for j := 0; j < n; j++ {
 					live = append(live, groundLoc(r.word()))
 				}
@@ -157,6 +297,9 @@ func (d *Decoder) Lookup(pc int) (*PointView, bool) {
 				nw := (len(ground) + 31) / 32
 				for wi := 0; wi < nw; wi++ {
 					w := uint32(r.word())
+					if r.fail {
+						break
+					}
 					for b := 0; b < 32; b++ {
 						if w&(1<<uint(b)) != 0 {
 							e := ground[wi*32+b]
@@ -178,19 +321,23 @@ func (d *Decoder) Lookup(pc int) (*PointView, bool) {
 			regs = 0
 		}
 		if emitDerivs {
-			n := int(r.word())
+			n := r.count()
 			derivs = derivs[:0]
-			for j := 0; j < n; j++ {
+			for j := 0; j < n && !r.fail; j++ {
 				var de DerivEntry
 				de.Target = derivLoc(r.word())
 				flags := r.word()
 				nvar := int(flags >> 1)
+				if nvar < 0 || nvar > len(r.buf) {
+					r.fail = true
+					break
+				}
 				if flags&1 != 0 {
 					sel := derivLoc(r.word())
 					de.Sel = &sel
 				}
 				for v := 0; v < nvar; v++ {
-					nb := int(r.word())
+					nb := r.count()
 					var bases []SignedLoc
 					for x := 0; x < nb; x++ {
 						w := r.word()
@@ -208,11 +355,14 @@ func (d *Decoder) Lookup(pc int) (*PointView, bool) {
 			derivs = derivs[:0]
 		}
 	}
+	if r.fail {
+		return truncated()
+	}
 
 	view.Live = append(view.Live, live...)
 	view.RegPtrs = regs
 	view.Derivs = append(view.Derivs, derivs...)
-	return view, true
+	return view, int64(r.off), nil
 }
 
 // String renders a point view for debugging.

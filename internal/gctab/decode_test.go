@@ -1,0 +1,131 @@
+package gctab
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// truncFixture builds a small deterministic object with enough table
+// content that every scheme emits multiple bytes per procedure.
+func truncFixture() *Object {
+	o := &Object{}
+	pc := 16
+	for p := 0; p < 3; p++ {
+		pt := ProcTables{Name: fmt.Sprintf("proc%d", p), Entry: pc}
+		pt.Ground = []Location{
+			{Base: BaseFP, Off: -1},
+			{Base: BaseFP, Off: -2},
+			{Base: BaseSP, Off: 3},
+		}
+		pt.Saves = []RegSave{{Reg: 8, Off: -3}}
+		for k := 0; k < 4; k++ {
+			pc += 7
+			pt.Points = append(pt.Points, GCPoint{
+				PC:      pc,
+				Live:    []int{0, 2},
+				RegPtrs: 0x0101,
+			})
+		}
+		pc += 5
+		pt.End = pc
+		o.Procs = append(o.Procs, pt)
+	}
+	return o
+}
+
+// TestDecodeTruncated cuts bytes off the encoded stream at every
+// possible length and checks that lookups either succeed or fail with a
+// wrapped ErrTruncated naming the gc-point pc — never a silently wrong
+// (zero) table.
+func TestDecodeTruncated(t *testing.T) {
+	o := truncFixture()
+	for _, s := range []Scheme{FullPlain, FullPacking, DeltaPlain, DeltaPrev, DeltaPacking, DeltaPP} {
+		full := Encode(o, s)
+		for cut := 0; cut < len(full.Bytes); cut++ {
+			trunc := *full
+			trunc.Bytes = full.Bytes[:cut]
+			dec := NewDecoder(&trunc)
+			for pi := range o.Procs {
+				for _, pt := range o.Procs[pi].Points {
+					v, err := dec.Decode(pt.PC)
+					if err == nil && v == nil {
+						t.Fatalf("scheme %v cut %d: pc %d treated as non-gc-point", s, cut, pt.PC)
+					}
+					if err != nil {
+						if !errors.Is(err, ErrTruncated) {
+							t.Fatalf("scheme %v cut %d pc %d: error %v does not wrap ErrTruncated", s, cut, pt.PC, err)
+						}
+						if !strings.Contains(err.Error(), fmt.Sprintf("pc %d", pt.PC)) {
+							t.Fatalf("scheme %v cut %d: error %q does not name pc %d", s, cut, err, pt.PC)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeTruncatedLastProc pins the satellite's regression: with the
+// tail of the stream missing, looking up a point in the last procedure
+// must report ErrTruncated, not return an empty table.
+func TestDecodeTruncatedLastProc(t *testing.T) {
+	o := truncFixture()
+	full := Encode(o, DeltaPP)
+	trunc := *full
+	trunc.Bytes = full.Bytes[:full.Index[2].Off+1]
+	dec := NewDecoder(&trunc)
+	last := o.Procs[2].Points[len(o.Procs[2].Points)-1]
+	v, err := dec.Decode(last.PC)
+	if err == nil {
+		t.Fatalf("decode of truncated tables succeeded with view %+v", v)
+	}
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("error %v does not wrap ErrTruncated", err)
+	}
+	if _, ok := dec.Lookup(last.PC); ok {
+		t.Fatal("Lookup reported ok on truncated tables")
+	}
+}
+
+// TestDecodeRandomTruncation fuzzes random objects at random cut points
+// under the densest scheme: decoding must never panic and never invent
+// a table.
+func TestDecodeRandomTruncation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		o := randomObject(rng)
+		full := Encode(o, DeltaPP)
+		if len(full.Bytes) == 0 {
+			continue
+		}
+		cut := rng.Intn(len(full.Bytes))
+		trunc := *full
+		trunc.Bytes = full.Bytes[:cut]
+		dec := NewDecoder(&trunc)
+		for pi := range o.Procs {
+			for _, pt := range o.Procs[pi].Points {
+				v, err := dec.Decode(pt.PC)
+				if err != nil && !errors.Is(err, ErrTruncated) {
+					t.Fatalf("trial %d: unexpected error class: %v", trial, err)
+				}
+				_ = v
+			}
+		}
+	}
+}
+
+func TestDecodeNonGCPointIsNil(t *testing.T) {
+	o := truncFixture()
+	dec := NewDecoder(Encode(o, DeltaPP))
+	v, err := dec.Decode(o.Procs[0].Points[0].PC + 1)
+	if err != nil || v != nil {
+		t.Fatalf("non-gc-point pc: view %v err %v, want nil/nil", v, err)
+	}
+	v, err = dec.Decode(1) // before any procedure
+	if err != nil || v != nil {
+		t.Fatalf("out-of-range pc: view %v err %v, want nil/nil", v, err)
+	}
+}

@@ -23,6 +23,8 @@ import (
 
 	"repro/internal/gc"
 	"repro/internal/gctab"
+	"repro/internal/heap"
+	"repro/internal/telemetry"
 	"repro/internal/types"
 	"repro/internal/vmachine"
 )
@@ -214,11 +216,60 @@ type Collector struct {
 	RemsetPeak     int
 	TotalTime      time.Duration
 	StackTraceTime time.Duration
+
+	// Tel, when non-nil, receives per-cycle events and metrics. The
+	// barrier itself stays probe-free (it runs on every barriered
+	// store); its cumulative counts are published as gauges per cycle.
+	Tel *telemetry.Tracer
+
+	mCollections *telemetry.Counter
+	mMinor       *telemetry.Counter
+	mMajor       *telemetry.Counter
+	mFrames      *telemetry.Counter
+	mCopied      *telemetry.Counter
+	mPromoted    *telemetry.Counter
+	mAdjusted    *telemetry.Counter
+	mRederived   *telemetry.Counter
+	hPause       *telemetry.Histogram
+	hWalk        *telemetry.Histogram
+	gAllocBytes  *telemetry.Gauge
+	gLiveBytes   *telemetry.Gauge
+	gBarChecks   *telemetry.Gauge
+	gBarHits     *telemetry.Gauge
+	gRemset      *telemetry.Gauge
 }
 
 // New creates a generational collector over h.
 func New(h *Heap, enc *gctab.Encoded) *Collector {
 	return &Collector{Heap: h, Dec: gctab.NewDecoder(enc), remset: make(map[int64]bool)}
+}
+
+// SetTracer attaches telemetry to the collector and its table decoder.
+func (c *Collector) SetTracer(t *telemetry.Tracer) {
+	c.Tel = t
+	c.Dec.SetTracer(t)
+	if t == nil {
+		c.mCollections, c.mMinor, c.mMajor, c.mFrames = nil, nil, nil, nil
+		c.mCopied, c.mPromoted, c.mAdjusted, c.mRederived = nil, nil, nil, nil
+		c.hPause, c.hWalk = nil, nil
+		c.gAllocBytes, c.gLiveBytes, c.gBarChecks, c.gBarHits, c.gRemset = nil, nil, nil, nil, nil
+		return
+	}
+	c.mCollections = t.Counter(telemetry.CtrGCCollections)
+	c.mMinor = t.Counter(telemetry.CtrGenMinor)
+	c.mMajor = t.Counter(telemetry.CtrGenMajor)
+	c.mFrames = t.Counter(telemetry.CtrGCFramesWalked)
+	c.mCopied = t.Counter(telemetry.CtrGCBytesCopied)
+	c.mPromoted = t.Counter(telemetry.CtrGenPromotedBytes)
+	c.mAdjusted = t.Counter(telemetry.CtrGCDerivedAdjusted)
+	c.mRederived = t.Counter(telemetry.CtrGCDerivedRederive)
+	c.hPause = t.Histogram(telemetry.HistGCPauseNs)
+	c.hWalk = t.Histogram(telemetry.HistGCStackWalkNs)
+	c.gAllocBytes = t.Gauge(telemetry.GaugeHeapAllocBytes)
+	c.gLiveBytes = t.Gauge(telemetry.GaugeHeapLiveBytes)
+	c.gBarChecks = t.Gauge(telemetry.GaugeGenBarrierChecks)
+	c.gBarHits = t.Gauge(telemetry.GaugeGenBarrierHits)
+	c.gRemset = t.Gauge(telemetry.GaugeGenRemset)
 }
 
 // Barrier is the store check: record old-space slots that receive young
@@ -241,6 +292,29 @@ func (c *Collector) Collect(m *vmachine.Machine) error {
 		c.RemsetPeak = len(c.remset)
 	}
 
+	h := c.Heap
+	// A minor collection promotes every young survivor; ensure the old
+	// space can absorb the whole nursery, else go major first. A failed
+	// direct old-space allocation also escalates. (Decided before the
+	// stack walk: the escalation test only reads allocation state.)
+	escalate := h.pendingOld || h.oldFrom+h.oldSemi-h.oldAlloc < h.nurseryAlloc-h.Lo
+
+	var tid int32 = -1
+	if m.Cur != nil {
+		tid = int32(m.Cur.ID)
+	}
+	var telStart int64
+	if c.Tel != nil {
+		telStart = c.Tel.Now()
+		kind := telemetry.GCMinor
+		if escalate {
+			kind = telemetry.GCMajor
+		}
+		c.gRemset.Set(int64(len(c.remset)))
+		c.Tel.Emit(telemetry.EvGCBegin, tid, kind,
+			h.LiveBytes(), h.AllocatedBytes(), c.Minor+c.Major)
+	}
+
 	traceStart := time.Now()
 	frames, err := gc.WalkMachine(m, c.Dec)
 	if err != nil {
@@ -249,13 +323,11 @@ func (c *Collector) Collect(m *vmachine.Machine) error {
 	if err := gc.AdjustDerived(m, frames); err != nil {
 		return err
 	}
-	c.StackTraceTime += time.Since(traceStart)
+	walkTime := time.Since(traceStart)
+	c.StackTraceTime += walkTime
 
-	h := c.Heap
-	// A minor collection promotes every young survivor; ensure the old
-	// space can absorb the whole nursery, else go major first. A failed
-	// direct old-space allocation also escalates.
-	if h.pendingOld || h.oldFrom+h.oldSemi-h.oldAlloc < h.nurseryAlloc-h.Lo {
+	promotedBefore, copiedBefore := c.PromotedWords, c.MajorCopied
+	if escalate {
 		h.pendingOld = false
 		if err := c.major(m, frames); err != nil {
 			return err
@@ -267,6 +339,33 @@ func (c *Collector) Collect(m *vmachine.Machine) error {
 	}
 
 	gc.RederiveAll(m, frames)
+
+	if c.Tel != nil {
+		var nDeriv int64
+		for _, f := range frames {
+			nDeriv += int64(len(f.View.Derivs))
+		}
+		movedBytes := (c.PromotedWords - promotedBefore + c.MajorCopied - copiedBefore) * heap.WordBytes
+		c.Tel.Emit(telemetry.EvStackWalk, tid, int64(walkTime), int64(len(frames)), 0, 0)
+		c.Tel.Emit(telemetry.EvGCEnd, tid, movedBytes, int64(len(frames)), nDeriv, nDeriv)
+		c.mCollections.Add(1)
+		if escalate {
+			c.mMajor.Add(1)
+		} else {
+			c.mMinor.Add(1)
+			c.mPromoted.Add(movedBytes)
+		}
+		c.mFrames.Add(int64(len(frames)))
+		c.mCopied.Add(movedBytes)
+		c.mAdjusted.Add(nDeriv)
+		c.mRederived.Add(nDeriv)
+		c.hWalk.Observe(int64(walkTime))
+		c.hPause.Observe(c.Tel.Now() - telStart)
+		c.gAllocBytes.Set(h.AllocatedBytes())
+		c.gLiveBytes.Set(h.LiveBytes())
+		c.gBarChecks.Set(c.BarrierChecks)
+		c.gBarHits.Set(c.BarrierHits)
+	}
 	return nil
 }
 
@@ -379,3 +478,15 @@ func (c *Collector) major(m *vmachine.Machine, frames []*gc.Frame) error {
 
 // LiveOldWords reports the words in use in the old space.
 func (h *Heap) LiveOldWords() int64 { return h.oldAlloc - h.oldFrom }
+
+// LiveBytes returns the bytes currently held by nursery and old-space
+// objects together.
+func (h *Heap) LiveBytes() int64 {
+	return (h.nurseryAlloc - h.Lo + h.LiveOldWords()) * heap.WordBytes
+}
+
+// AllocatedBytes returns the cumulative bytes ever allocated in either
+// generation.
+func (h *Heap) AllocatedBytes() int64 {
+	return (h.NurseryAllocated + h.OldAllocated) * heap.WordBytes
+}

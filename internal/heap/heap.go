@@ -35,7 +35,19 @@ type Heap struct {
 	Collections int64
 	// AllocatedWords counts total words ever allocated.
 	AllocatedWords int64
+	// AllocatedObjects counts objects ever allocated.
+	AllocatedObjects int64
+	// LiveObjects is the number of objects currently in the allocation
+	// space, maintained incrementally (allocation adds, collection sets
+	// it to the survivor count) so observers never need a heap walk.
+	LiveObjects int64
+
+	// copiedObjects counts survivors of the in-progress collection.
+	copiedObjects int64
 }
+
+// WordBytes is the byte size of one VM word (the heap is an []int64).
+const WordBytes = 8
 
 // New creates a heap over mem[lo:hi). The region is split into two
 // semispaces.
@@ -79,6 +91,8 @@ func (h *Heap) TryAlloc(descID int, n int64) (addr int64, ok bool) {
 	addr = h.Alloc
 	h.Alloc += size
 	h.AllocatedWords += size
+	h.AllocatedObjects++
+	h.LiveObjects++
 	h.Mem[addr] = int64(descID)
 	if d.Kind == types.DescOpenArray {
 		h.Mem[addr+1] = n
@@ -94,6 +108,12 @@ func (h *Heap) Contains(addr int64) bool {
 
 // LiveWords returns the words currently in use in allocation space.
 func (h *Heap) LiveWords() int64 { return h.Alloc - h.FromLo }
+
+// AllocatedBytes returns the cumulative bytes ever allocated.
+func (h *Heap) AllocatedBytes() int64 { return h.AllocatedWords * WordBytes }
+
+// LiveBytes returns the bytes currently in use in allocation space.
+func (h *Heap) LiveBytes() int64 { return h.LiveWords() * WordBytes }
 
 // BeginCollection prepares the copy space and returns its base; the
 // collector copies objects with CopyObject and finishes with
@@ -118,6 +138,7 @@ func (h *Heap) CopyObject(addr, to int64) (newAddr, next int64) {
 	size := h.SizeOf(addr)
 	copy(h.Mem[to:to+size], h.Mem[addr:addr+size])
 	h.Mem[addr] = -(to + 1)
+	h.copiedObjects++
 	return to, to + size
 }
 
@@ -132,6 +153,8 @@ func (h *Heap) FinishCollection(copyEnd int64) {
 		h.Mem[i] = 0
 	}
 	h.Collections++
+	h.LiveObjects = h.copiedObjects
+	h.copiedObjects = 0
 }
 
 // PointerOffsets appends to out the word offsets (relative to the

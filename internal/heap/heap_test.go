@@ -146,3 +146,61 @@ func TestCheckDetectsCorruption(t *testing.T) {
 		t.Error("corrupted header not detected")
 	}
 }
+
+// TestCumulativeCounters checks the incrementally maintained counters
+// that telemetry snapshots read, so observers never need a heap walk.
+func TestCumulativeCounters(t *testing.T) {
+	h, dt := testHeap(t, 256)
+	recID := dt.Intern(types.NewRecord([]types.Field{{Name: "a", Type: types.IntType}}))
+
+	var addrs []int64
+	for i := 0; i < 5; i++ {
+		a, ok := h.TryAlloc(recID, 0)
+		if !ok {
+			t.Fatal("alloc failed")
+		}
+		addrs = append(addrs, a)
+	}
+	if h.AllocatedObjects != 5 || h.LiveObjects != 5 {
+		t.Errorf("allocated/live objects = %d/%d, want 5/5", h.AllocatedObjects, h.LiveObjects)
+	}
+	if h.AllocatedWords != 10 {
+		t.Errorf("allocated words = %d, want 10 (5 × [header+field])", h.AllocatedWords)
+	}
+	if h.AllocatedBytes() != 10*WordBytes {
+		t.Errorf("AllocatedBytes = %d, want %d", h.AllocatedBytes(), 10*WordBytes)
+	}
+	if h.LiveBytes() != 10*WordBytes {
+		t.Errorf("LiveBytes = %d, want %d", h.LiveBytes(), 10*WordBytes)
+	}
+
+	// Collect with only two survivors: the live view shrinks, the
+	// cumulative view does not.
+	to := h.BeginCollection()
+	next := to
+	for _, a := range addrs[:2] {
+		_, next = h.CopyObject(a, next)
+	}
+	h.FinishCollection(next)
+	if h.Collections != 1 {
+		t.Errorf("collections = %d, want 1", h.Collections)
+	}
+	if h.LiveObjects != 2 {
+		t.Errorf("live objects after gc = %d, want 2", h.LiveObjects)
+	}
+	if h.AllocatedObjects != 5 || h.AllocatedWords != 10 {
+		t.Errorf("cumulative counters changed across gc: %d objects, %d words",
+			h.AllocatedObjects, h.AllocatedWords)
+	}
+	if h.LiveBytes() != 4*WordBytes {
+		t.Errorf("LiveBytes after gc = %d, want %d", h.LiveBytes(), 4*WordBytes)
+	}
+
+	// A second cycle resets the survivor count, not the totals.
+	if _, ok := h.TryAlloc(recID, 0); !ok {
+		t.Fatal("post-gc alloc failed")
+	}
+	if h.LiveObjects != 3 || h.AllocatedObjects != 6 {
+		t.Errorf("after post-gc alloc: live %d total %d, want 3/6", h.LiveObjects, h.AllocatedObjects)
+	}
+}

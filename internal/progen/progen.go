@@ -23,8 +23,8 @@ type Gen struct {
 	intVars []string // in-scope INTEGER variables
 	refVars []string // in-scope List variables
 	vecVars []string // in-scope Vec variables
-	stmts   int // statement budget
-	loopLvl int // which reserved loop counter to use next
+	stmts   int      // statement budget
+	loopLvl int      // which reserved loop counter to use next
 
 	procs []procSig
 }

@@ -1,0 +1,56 @@
+package telemetry
+
+import "testing"
+
+// probeHost mimics a runtime component with an optional tracer — the
+// exact shape of every probe site in gc, gengc, conservative, and
+// vmachine.
+type probeHost struct {
+	Tel  *Tracer
+	ctr  *Counter
+	hist *Histogram
+}
+
+func (p *probeHost) probe(v int64) {
+	if p.Tel != nil {
+		p.Tel.Emit(EvGCWait, 0, v, 0, 0, 0)
+		p.ctr.Add(1)
+		p.hist.Observe(v)
+	}
+}
+
+// BenchmarkDisabledProbe is the zero-cost-when-off contract: a probe on
+// a component without a tracer must not allocate (and is one branch).
+func BenchmarkDisabledProbe(b *testing.B) {
+	p := &probeHost{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.probe(int64(i))
+	}
+}
+
+// BenchmarkEnabledEmit measures the cost of a live probe: one ring slot
+// claim plus atomic stores, still allocation-free.
+func BenchmarkEnabledEmit(b *testing.B) {
+	tr := New(Config{RingSize: 1 << 12})
+	p := &probeHost{Tel: tr, ctr: tr.Counter("c"), hist: tr.Histogram("h")}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.probe(int64(i))
+	}
+}
+
+func TestDisabledProbeDoesNotAllocate(t *testing.T) {
+	p := &probeHost{}
+	if n := testing.AllocsPerRun(1000, func() { p.probe(7) }); n != 0 {
+		t.Errorf("disabled probe allocates %v times per call, want 0", n)
+	}
+}
+
+func TestEnabledEmitDoesNotAllocate(t *testing.T) {
+	tr := New(Config{RingSize: 1 << 12})
+	p := &probeHost{Tel: tr, ctr: tr.Counter("c"), hist: tr.Histogram("h")}
+	if n := testing.AllocsPerRun(1000, func() { p.probe(7) }); n != 0 {
+		t.Errorf("enabled emit allocates %v times per call, want 0", n)
+	}
+}

@@ -1,0 +1,157 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// WriteJSONL writes every retained event as one JSON object per line:
+// kind, thread, t_ns, and the raw args. The format is append-friendly
+// and greppable; WriteChromeTrace is the viewer-oriented export.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	for _, ev := range events {
+		rec := struct {
+			Kind   string   `json:"kind"`
+			Thread int32    `json:"thread"`
+			TNs    int64    `json:"t_ns"`
+			Args   [4]int64 `json:"args"`
+		}{Kind: ev.Kind.String(), Thread: ev.Thread, TNs: ev.TimeNs, Args: ev.Args}
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// traceEvent is one Chrome trace_event record. Timestamps and durations
+// are microseconds, per the trace-event format.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+func usec(ns int64) float64 { return float64(ns) / 1e3 }
+
+// WriteChromeTrace renders the events in the Chrome trace_event JSON
+// format, loadable in chrome://tracing and Perfetto. GC cycles become
+// complete ("X") slices spanning begin→end with the cycle's attributes
+// (bytes copied, frames walked, derived values adjusted/re-derived) as
+// args; stack walks, rendezvous latencies, per-thread gc-point waits,
+// and table decodes become slices of their recorded durations.
+// processName labels the trace's single process row.
+func WriteChromeTrace(w io.Writer, processName string, events []Event) error {
+	out := []traceEvent{{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": processName},
+	}}
+
+	// Pending gc.begin per VM thread, matched to the next gc.end.
+	type open struct {
+		ev Event
+	}
+	pending := map[int32][]open{}
+	tid := func(t int32) int {
+		if t < 0 {
+			return 0
+		}
+		return int(t)
+	}
+
+	for _, ev := range events {
+		switch ev.Kind {
+		case EvGCBegin:
+			pending[ev.Thread] = append(pending[ev.Thread], open{ev})
+		case EvGCEnd:
+			stack := pending[ev.Thread]
+			if len(stack) == 0 {
+				continue // end without begin: ring wrapped past the begin
+			}
+			b := stack[len(stack)-1].ev
+			pending[ev.Thread] = stack[:len(stack)-1]
+			kind := b.Args[0]
+			args := map[string]any{
+				"kind":              GCKindName(kind),
+				"live_bytes_before": b.Args[1],
+				"alloc_bytes_total": b.Args[2],
+				"collections":       b.Args[3],
+			}
+			if kind == GCMarkSweep {
+				args["live_bytes_after"] = ev.Args[0]
+				args["objects_marked"] = ev.Args[1]
+			} else {
+				args["bytes_copied"] = ev.Args[0]
+				args["frames_walked"] = ev.Args[1]
+				args["derived_adjusted"] = ev.Args[2]
+				args["derived_rederived"] = ev.Args[3]
+			}
+			out = append(out, traceEvent{
+				Name: "gc.cycle (" + GCKindName(kind) + ")", Ph: "X",
+				Ts: usec(b.TimeNs), Dur: usec(ev.TimeNs - b.TimeNs),
+				Pid: 1, Tid: tid(ev.Thread), Args: args,
+			})
+		case EvStackWalk:
+			out = append(out, traceEvent{
+				Name: "gc.stackwalk", Ph: "X",
+				Ts: usec(ev.TimeNs - ev.Args[0]), Dur: usec(ev.Args[0]),
+				Pid: 1, Tid: tid(ev.Thread),
+				Args: map[string]any{"frames": ev.Args[1]},
+			})
+		case EvGCWait:
+			out = append(out, traceEvent{
+				Name: "gc.wait", Ph: "X",
+				Ts: usec(ev.TimeNs - ev.Args[0]), Dur: usec(ev.Args[0]),
+				Pid: 1, Tid: tid(ev.Thread),
+			})
+		case EvRendezvous:
+			out = append(out, traceEvent{
+				Name: "gc.rendezvous", Ph: "X",
+				Ts: usec(ev.TimeNs - ev.Args[0]), Dur: usec(ev.Args[0]),
+				Pid: 1, Tid: tid(ev.Thread),
+				Args: map[string]any{"threads_parked": ev.Args[1]},
+			})
+		case EvDecode:
+			hit := "miss"
+			if ev.Args[1] != 0 {
+				hit = "hit"
+			}
+			out = append(out, traceEvent{
+				Name: "tab.decode", Ph: "X",
+				Ts: usec(ev.TimeNs - ev.Args[2]), Dur: usec(ev.Args[2]),
+				Pid: 1, Tid: tid(ev.Thread),
+				Args: map[string]any{"pc": ev.Args[0], "result": hit, "bytes_read": ev.Args[3]},
+			})
+		case EvPCSample:
+			// Aggregated by HotPCs; as individual trace slices they are
+			// pure noise, so they are not exported.
+		}
+	}
+
+	doc := struct {
+		TraceEvents     []traceEvent `json:"traceEvents"`
+		DisplayTimeUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: out, DisplayTimeUnit: "ms"}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// WriteChromeTraceFile is the Tracer-level convenience used by
+// cmd/gctrace: exports everything currently retained.
+func (t *Tracer) WriteChromeTraceFile(w io.Writer, processName string) error {
+	if t == nil {
+		return fmt.Errorf("telemetry: no tracer attached")
+	}
+	return WriteChromeTrace(w, processName, t.Events())
+}

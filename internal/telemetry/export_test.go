@@ -1,0 +1,153 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fixtureTracer replays a small deterministic run: one single-threaded
+// full collection with a stack walk and two decodes, then a rendezvous
+// collection with two waiting threads.
+func fixtureTracer() *Tracer {
+	var now int64
+	tr := NewWithClock(Config{RingSize: 64}, func() int64 { return now })
+	at := func(ns int64, f func()) {
+		now = ns
+		f()
+	}
+	at(1000, func() { tr.Emit(EvGCBegin, 0, GCFull, 4096, 8192, 0) })
+	at(1500, func() { tr.Emit(EvDecode, 0, 77, 1, 200, 12) })
+	at(1800, func() { tr.Emit(EvDecode, 0, 93, 1, 150, 9) })
+	at(3000, func() { tr.Emit(EvStackWalk, 0, 1600, 3, 0, 0) })
+	at(5000, func() { tr.Emit(EvGCEnd, 0, 2048, 3, 2, 2) })
+
+	at(9000, func() { tr.Emit(EvRendezvous, 1, 700, 2, 0, 0) })
+	at(9100, func() { tr.Emit(EvGCBegin, 1, GCMinor, 1024, 4096, 1) })
+	at(9900, func() { tr.Emit(EvGCEnd, 1, 512, 2, 0, 0) })
+	at(10000, func() { tr.Emit(EvGCWait, 2, 900, 0, 0, 0) })
+	return tr
+}
+
+func TestChromeTraceGolden(t *testing.T) {
+	tr := fixtureTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTraceFile(&buf, "fixture"); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace differs from golden:\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestChromeTraceStructure(t *testing.T) {
+	tr := fixtureTracer()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTraceFile(&buf, "fixture"); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit = %q", doc.DisplayTimeUnit)
+	}
+	var cycles, walks, decodes int
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case strings.HasPrefix(ev.Name, "gc.cycle"):
+			cycles++
+			if ev.Ph != "X" {
+				t.Errorf("gc cycle has phase %q, want X (complete)", ev.Ph)
+			}
+			if ev.Dur <= 0 {
+				t.Errorf("gc cycle has non-positive duration %v", ev.Dur)
+			}
+		case ev.Name == "gc.stackwalk":
+			walks++
+		case ev.Name == "tab.decode":
+			decodes++
+		}
+	}
+	if cycles != 2 {
+		t.Errorf("exported %d gc cycles, want 2", cycles)
+	}
+	if walks != 1 || decodes != 2 {
+		t.Errorf("exported %d walks / %d decodes, want 1 / 2", walks, decodes)
+	}
+	// The full cycle carries the paper's per-cycle attributes.
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "gc.cycle (full)" {
+			if ev.Args["bytes_copied"] != float64(2048) {
+				t.Errorf("bytes_copied = %v, want 2048", ev.Args["bytes_copied"])
+			}
+			if ev.Args["derived_rederived"] != float64(2) {
+				t.Errorf("derived_rederived = %v, want 2", ev.Args["derived_rederived"])
+			}
+		}
+	}
+}
+
+func TestChromeTraceEndWithoutBegin(t *testing.T) {
+	var now int64
+	tr := NewWithClock(Config{RingSize: 8}, func() int64 { return now })
+	now = 100
+	tr.Emit(EvGCEnd, 0, 1, 1, 0, 0) // begin was lost to ring wraparound
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTraceFile(&buf, "p"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "gc.cycle") {
+		t.Error("unmatched gc.end produced a cycle slice")
+	}
+}
+
+func TestWriteJSONL(t *testing.T) {
+	tr := fixtureTracer()
+	var buf bytes.Buffer
+	if err := WriteJSONL(&buf, tr.Events()); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 9 {
+		t.Fatalf("got %d lines, want 9", len(lines))
+	}
+	var first struct {
+		Kind   string   `json:"kind"`
+		Thread int32    `json:"thread"`
+		TNs    int64    `json:"t_ns"`
+		Args   [4]int64 `json:"args"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if first.Kind != "gc.begin" || first.TNs != 1000 || first.Args[1] != 4096 {
+		t.Errorf("first line = %+v", first)
+	}
+}

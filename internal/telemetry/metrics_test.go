@@ -1,0 +1,80 @@
+package telemetry
+
+import "testing"
+
+func TestCounterAndGauge(t *testing.T) {
+	tr := New(Config{RingSize: 8})
+	c := tr.Counter("gc.collections")
+	c.Add(3)
+	c.Add(4)
+	if c.Value() != 7 {
+		t.Errorf("counter = %d, want 7", c.Value())
+	}
+	if tr.Counter("gc.collections") != c {
+		t.Error("re-registering a counter returned a different handle")
+	}
+	g := tr.Gauge("heap.live_bytes")
+	g.Set(10)
+	g.Set(5)
+	if g.Value() != 5 {
+		t.Errorf("gauge = %d, want 5 (last value)", g.Value())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	tr := New(Config{RingSize: 8})
+	h := tr.Histogram("pause")
+	// 90 small values, 10 large: p50 lands in the small bucket, p99 in
+	// the large one.
+	for i := 0; i < 90; i++ {
+		h.Observe(100)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(1_000_000)
+	}
+	s := tr.Snapshot().Histograms["pause"]
+	if s.Count != 100 {
+		t.Fatalf("count = %d, want 100", s.Count)
+	}
+	if want := int64(90*100 + 10*1_000_000); s.Sum != want {
+		t.Errorf("sum = %d, want %d", s.Sum, want)
+	}
+	if s.Max != 1_000_000 {
+		t.Errorf("max = %d, want 1000000", s.Max)
+	}
+	if s.P50 < 100 || s.P50 >= 1000 {
+		t.Errorf("p50 = %d, want a small-bucket bound (~127)", s.P50)
+	}
+	if s.P99 < 1_000_000 {
+		t.Errorf("p99 = %d, want >= 1000000 (bucket upper bound)", s.P99)
+	}
+	if got := s.Mean(); got != 100090 {
+		t.Errorf("mean = %d, want 100090", got)
+	}
+}
+
+func TestHistogramNegativeClampsToZero(t *testing.T) {
+	tr := New(Config{RingSize: 8})
+	h := tr.Histogram("h")
+	h.Observe(-5)
+	s := tr.Snapshot().Histograms["h"]
+	if s.Count != 1 || s.Sum != 0 || s.Max != 0 {
+		t.Errorf("negative observe: %+v, want count 1 sum 0 max 0", s)
+	}
+}
+
+func TestSnapshotIsACopy(t *testing.T) {
+	tr := New(Config{RingSize: 8})
+	tr.Counter("c").Add(1)
+	s1 := tr.Snapshot()
+	tr.Counter("c").Add(10)
+	if s1.Counter("c") != 1 {
+		t.Errorf("snapshot mutated after later Add: %d", s1.Counter("c"))
+	}
+	if got := tr.Snapshot().Counter("c"); got != 11 {
+		t.Errorf("second snapshot = %d, want 11", got)
+	}
+	if got := s1.Counter("absent"); got != 0 {
+		t.Errorf("absent counter = %d, want 0", got)
+	}
+}

@@ -1,0 +1,155 @@
+package telemetry
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestRingRetainsInOrder(t *testing.T) {
+	tr := New(Config{RingSize: 16})
+	for i := 0; i < 10; i++ {
+		tr.Emit(EvDecode, 0, int64(i), 0, 0, 0)
+	}
+	evs := tr.Events()
+	if len(evs) != 10 {
+		t.Fatalf("got %d events, want 10", len(evs))
+	}
+	for i, ev := range evs {
+		if ev.Args[0] != int64(i) {
+			t.Errorf("event %d has arg %d, want %d (oldest first)", i, ev.Args[0], i)
+		}
+		if ev.Kind != EvDecode {
+			t.Errorf("event %d has kind %v", i, ev.Kind)
+		}
+	}
+	if tr.Dropped() != 0 {
+		t.Errorf("Dropped = %d, want 0", tr.Dropped())
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	tr := New(Config{RingSize: 8})
+	for i := 0; i < 20; i++ {
+		tr.Emit(EvDecode, 0, int64(i), 0, 0, 0)
+	}
+	if got := tr.Emitted(); got != 20 {
+		t.Errorf("Emitted = %d, want 20", got)
+	}
+	if got := tr.Dropped(); got != 12 {
+		t.Errorf("Dropped = %d, want 12", got)
+	}
+	evs := tr.Events()
+	if len(evs) != 8 {
+		t.Fatalf("got %d events after wrap, want 8", len(evs))
+	}
+	// The survivors are the newest 8, still oldest first.
+	for i, ev := range evs {
+		if want := int64(12 + i); ev.Args[0] != want {
+			t.Errorf("event %d has arg %d, want %d", i, ev.Args[0], want)
+		}
+	}
+}
+
+func TestRingSizeRoundsToPowerOfTwo(t *testing.T) {
+	tr := New(Config{RingSize: 9})
+	for i := 0; i < 16; i++ {
+		tr.Emit(EvGCWait, 0, int64(i), 0, 0, 0)
+	}
+	if got := len(tr.Events()); got != 16 {
+		t.Errorf("ring of requested size 9 retained %d events, want 16 (rounded up)", got)
+	}
+}
+
+// TestConcurrentEmit drives the ring from many goroutines; run under
+// -race this is the lock-freedom check, and the snapshot taken mid-storm
+// must only contain whole records.
+func TestConcurrentEmit(t *testing.T) {
+	tr := New(Config{RingSize: 64})
+	const goroutines = 8
+	const perG = 5000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// One reader snapshots continuously while writers emit.
+	var rwg sync.WaitGroup
+	rwg.Add(1)
+	go func() {
+		defer rwg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, ev := range tr.Events() {
+				// Writers always set all four args to the same value;
+				// a torn record would mix values.
+				if ev.Args[1] != ev.Args[0] || ev.Args[2] != ev.Args[0] || ev.Args[3] != ev.Args[0] {
+					t.Errorf("torn record: %+v", ev)
+					return
+				}
+			}
+		}
+	}()
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				v := int64(g*perG + i)
+				tr.Emit(EvGCWait, int32(g), v, v, v, v)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	rwg.Wait()
+	if got := tr.Emitted(); got != goroutines*perG {
+		t.Errorf("Emitted = %d, want %d", got, goroutines*perG)
+	}
+	if got := len(tr.Events()); got > 64 {
+		t.Errorf("snapshot returned %d events from a 64-slot ring", got)
+	}
+}
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Emit(EvGCBegin, 0, 1, 2, 3, 4) // must not panic
+	tr.SamplePC(42)
+	if tr.Events() != nil {
+		t.Error("nil tracer returned events")
+	}
+	if tr.Now() != 0 {
+		t.Error("nil tracer clock is nonzero")
+	}
+	if tr.HotPCs(5) != nil {
+		t.Error("nil tracer returned pc samples")
+	}
+	tr.Counter("x").Add(1)
+	tr.Gauge("x").Set(1)
+	tr.Histogram("x").Observe(1)
+	s := tr.Snapshot()
+	if len(s.Counters) != 0 {
+		t.Error("nil tracer snapshot has counters")
+	}
+}
+
+func TestHotPCs(t *testing.T) {
+	tr := New(Config{RingSize: 16})
+	for i := 0; i < 5; i++ {
+		tr.SamplePC(100)
+	}
+	for i := 0; i < 3; i++ {
+		tr.SamplePC(200)
+	}
+	tr.SamplePC(300)
+	hot := tr.HotPCs(2)
+	if len(hot) != 2 {
+		t.Fatalf("got %d samples, want 2", len(hot))
+	}
+	if hot[0].PC != 100 || hot[0].Count != 5 {
+		t.Errorf("hottest = %+v, want pc 100 count 5", hot[0])
+	}
+	if hot[1].PC != 200 || hot[1].Count != 3 {
+		t.Errorf("second = %+v, want pc 200 count 3", hot[1])
+	}
+}

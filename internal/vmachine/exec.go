@@ -2,6 +2,8 @@ package vmachine
 
 import (
 	"fmt"
+
+	"repro/internal/telemetry"
 )
 
 // step executes one instruction on thread t. It returns an error for
@@ -15,7 +17,7 @@ func (m *Machine) step(t *Thread) error {
 	if m.GCRequested && t != m.Requester {
 		switch in.Op {
 		case OpNewRec, OpNewArr, OpNewText, OpGcPoll, OpGcCollect:
-			t.Blocked = true
+			m.park(t)
 			return nil
 		}
 	}
@@ -35,6 +37,12 @@ func (m *Machine) step(t *Thread) error {
 	}
 
 	m.Steps++
+	if m.Tel != nil {
+		m.opCounts[in.Op]++
+		if m.pcSampleEvery > 0 && m.Steps%m.pcSampleEvery == 0 {
+			m.Tel.SamplePC(int64(m.Prog.PCOf[t.PC]))
+		}
+	}
 	regs := &t.Regs
 	baseVal := func(b uint8) int64 {
 		switch b {
@@ -193,9 +201,7 @@ func (m *Machine) step(t *Thread) error {
 		// Nothing to do outside a rendezvous (handled above).
 	case OpGcCollect:
 		if len(m.runnable()) > 1 {
-			m.GCRequested = true
-			m.Requester = t
-			t.Blocked = true
+			m.requestGC(t)
 			t.resumeSkip = true
 			return nil
 		}
@@ -252,9 +258,7 @@ func (m *Machine) allocate(t *Thread, rd uint8, desc int, n int64) error {
 	if len(m.runnable()) > 1 {
 		// Multi-threaded: request a rendezvous and retry the
 		// allocation after the collection (PC unchanged).
-		m.GCRequested = true
-		m.Requester = t
-		t.Blocked = true
+		m.requestGC(t)
 		t.allocRetried = true
 		return nil
 	}
@@ -290,9 +294,7 @@ func (m *Machine) allocateText(t *Thread, rd uint8, lit int) error {
 		return m.trap(TrapOutOfMemory, "")
 	}
 	if len(m.runnable()) > 1 {
-		m.GCRequested = true
-		m.Requester = t
-		t.Blocked = true
+		m.requestGC(t)
 		t.allocRetried = true
 		return nil
 	}
@@ -345,6 +347,10 @@ func (m *Machine) runnable() []*Thread {
 // Run executes until every thread halts, a trap occurs, or maxSteps
 // instructions have executed (0 means no limit).
 func (m *Machine) Run(maxSteps int64) error {
+	if m.Tel != nil {
+		stepsBefore := m.Steps
+		defer func() { m.mSteps.Add(m.Steps - stepsBefore) }()
+	}
 	for {
 		liveCount := 0
 		ranAny := false
@@ -374,6 +380,19 @@ func (m *Machine) Run(maxSteps int64) error {
 			return nil
 		}
 		if m.GCRequested && m.allParked() {
+			if m.Tel != nil {
+				parked := int64(0)
+				for _, t := range m.Threads {
+					if t.Blocked {
+						parked++
+					}
+				}
+				// Latency from the GC request to the moment every live
+				// thread has reached a gc-point (the paper's worry about
+				// gc-point density, §5).
+				m.Tel.Emit(telemetry.EvRendezvous, int32(m.Requester.ID),
+					m.Tel.Now()-m.gcRequestNs, parked, 0, 0)
+			}
 			m.Cur = m.Requester
 			if err := m.Collector.Collect(m); err != nil {
 				return err
@@ -383,6 +402,12 @@ func (m *Machine) Run(maxSteps int64) error {
 			for _, t := range m.Threads {
 				if t.Blocked {
 					t.Blocked = false
+					if m.Tel != nil {
+						wait := m.Tel.Now() - t.parkNs
+						m.Tel.Emit(telemetry.EvGCWait, int32(t.ID), wait, 0, 0, 0)
+						m.hWait.Observe(wait)
+						t.parkNs = 0
+					}
 					if t.resumeSkip {
 						t.resumeSkip = false
 						t.PC++

@@ -3,7 +3,9 @@ package vmachine
 import (
 	"fmt"
 	"io"
+	"sort"
 
+	"repro/internal/telemetry"
 	"repro/internal/types"
 )
 
@@ -117,6 +119,10 @@ type Thread struct {
 	Done    bool
 	Blocked bool // parked at a gc-point during a rendezvous
 
+	// parkNs is the telemetry timestamp at which the thread parked for
+	// the pending rendezvous (0 when telemetry is off).
+	parkNs int64
+
 	// resumeSkip advances PC past the parked instruction after a
 	// rendezvous (used by forced collections, which must not re-run).
 	resumeSkip bool
@@ -148,6 +154,12 @@ type Config struct {
 	// StressGC forces a collection at every gc-point (single-threaded
 	// table validation mode).
 	StressGC bool
+	// Tel, when non-nil, receives VM telemetry: per-opcode instruction
+	// counts, rendezvous latency, and per-thread gc-point wait times.
+	Tel *telemetry.Tracer
+	// PCSampleEvery samples the executing byte PC every N instructions
+	// when Tel is set (0 disables sampling).
+	PCSampleEvery int64
 }
 
 // DefaultConfig returns a reasonable machine sizing.
@@ -188,6 +200,15 @@ type Machine struct {
 	stackNext  int64
 	stackWords int64
 	quantum    int64
+
+	// Tel, when non-nil, enables the VM probes; every probe is guarded
+	// by a nil check so an untraced machine pays one branch per site.
+	Tel           *telemetry.Tracer
+	pcSampleEvery int64
+	opCounts      [numOps]int64
+	gcRequestNs   int64 // telemetry timestamp of the pending rendezvous request
+	mSteps        *telemetry.Counter
+	hWait         *telemetry.Histogram
 }
 
 // New builds a machine for prog. The caller attaches an Allocator and a
@@ -215,7 +236,63 @@ func New(prog *Program, cfg Config) *Machine {
 		stackWords: cfg.StackWords,
 		quantum:    cfg.Quantum,
 	}
+	m.SetTracer(cfg.Tel)
+	m.pcSampleEvery = cfg.PCSampleEvery
 	return m
+}
+
+// SetTracer attaches (or, with nil, detaches) VM telemetry, resolving
+// the metric handles once so the step loop stays map-free.
+func (m *Machine) SetTracer(t *telemetry.Tracer) {
+	m.Tel = t
+	if t == nil {
+		m.mSteps, m.hWait = nil, nil
+		return
+	}
+	m.mSteps = t.Counter(telemetry.CtrVMSteps)
+	m.hWait = t.Histogram(telemetry.HistGCWaitNs)
+}
+
+// OpCount is one entry of the per-opcode execution profile.
+type OpCount struct {
+	Op    Op
+	Count int64
+}
+
+// OpCounts returns the non-zero per-opcode instruction counts recorded
+// while telemetry was attached, highest count first.
+func (m *Machine) OpCounts() []OpCount {
+	var out []OpCount
+	for op, n := range m.opCounts {
+		if n > 0 {
+			out = append(out, OpCount{Op: Op(op), Count: n})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Op < out[j].Op
+	})
+	return out
+}
+
+// park blocks t for the pending rendezvous, stamping the wait start.
+func (m *Machine) park(t *Thread) {
+	t.Blocked = true
+	if m.Tel != nil {
+		t.parkNs = m.Tel.Now()
+	}
+}
+
+// requestGC begins a multi-threaded rendezvous on behalf of t.
+func (m *Machine) requestGC(t *Thread) {
+	m.GCRequested = true
+	m.Requester = t
+	if m.Tel != nil {
+		m.gcRequestNs = m.Tel.Now()
+	}
+	m.park(t)
 }
 
 // HaltPC is the byte PC of the synthetic halt instruction the linker
