@@ -4,9 +4,9 @@
 
 GO ?= go
 
-.PHONY: check fmt vet build test race test-all bench-telemetry
+.PHONY: check fmt vet vet-gcverify build test race test-all bench-telemetry verify-smoke
 
-check: fmt vet build race test-all
+check: fmt vet vet-gcverify build race test-all
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -16,6 +16,11 @@ fmt:
 
 vet:
 	$(GO) vet ./...
+
+# Explicit shards for the gc-map verifier and its CLI so a vet failure
+# there is attributed to the package, not the whole tree.
+vet-gcverify:
+	$(GO) vet ./internal/gcverify/... ./cmd/gcverify/...
 
 build:
 	$(GO) build ./...
@@ -28,3 +33,8 @@ test-all:
 
 bench-telemetry:
 	$(GO) test -bench . -benchmem ./internal/telemetry/
+
+# Short gc-map verifier smoke: the checked-in progen corpus (first few
+# seeds) plus a strided seeded-fault sweep. CI runs this on every push.
+verify-smoke:
+	$(GO) test -short -count=1 -run 'TestProgenCorpus|TestSeededFaults' ./internal/gcverify/

@@ -67,8 +67,14 @@ func main() {
 
 	if *pc >= 0 {
 		dec := gctab.NewDecoder(c.Encoded)
-		v, ok := dec.Lookup(*pc)
-		if !ok {
+		v, err := dec.Decode(*pc)
+		if err != nil {
+			// Distinguish a damaged stream (wraps gctab.ErrTruncated or
+			// gctab.ErrBadDescriptor, naming the gc-point) from a pc
+			// that simply is not a gc-point.
+			fatal(err)
+		}
+		if v == nil {
 			fatal(fmt.Errorf("pc %d is not a gc-point", *pc))
 		}
 		fmt.Printf("gc-point %d in %s:\n  live=%v\n  regs=%016b\n  derivs=%d\n",
@@ -95,8 +101,11 @@ func verifySchemes(c *driver.Compiled) error {
 		for _, pt := range p.Points {
 			var ref *gctab.PointView
 			for si, d := range decs {
-				v, ok := d.Lookup(pt.PC)
-				if !ok {
+				v, err := d.Decode(pt.PC)
+				if err != nil {
+					return fmt.Errorf("scheme %v: %w", allSchemes[si], err)
+				}
+				if v == nil {
 					return fmt.Errorf("scheme %v: pc %d not found", allSchemes[si], pt.PC)
 				}
 				if ref == nil {

@@ -1,0 +1,168 @@
+// Command gcverify statically verifies the gc tables of a compiled
+// module against its code. For a .m3 source file it compiles and checks
+// in strict mode (the recomputed ground truth must also match the
+// compiler's in-memory tables); for a .mxo object file it checks the
+// encoded tables as the collector would see them, with no help from the
+// compiler.
+//
+// Usage:
+//
+//	gcverify [flags] file.m3|file.mxo
+//
+// Flags:
+//
+//	-O            enable the optimizer (.m3 input)
+//	-scheme S     table encoding scheme (.m3 input; default delta-pp)
+//	-mt           multithreaded gc-point selection (.m3 input)
+//	-elide        elide gc-points at non-allocating calls (.m3 input)
+//	-gen          compile store checks for the generational collector
+//	-allschemes   verify the tables under all eight encoding schemes
+//	-mutate       also run the seeded-fault sweep and report the
+//	              mutation detection rate
+//	-stride N     visit every Nth byte in the fault sweep (default 1)
+//
+// Exit status is 0 when every check passes, 1 when the verifier reports
+// findings (or compilation fails), 2 on usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/driver"
+	"repro/internal/gctab"
+	"repro/internal/gcverify"
+)
+
+var schemes = map[string]gctab.Scheme{
+	"full-plain":     gctab.FullPlain,
+	"full-packing":   gctab.FullPacking,
+	"delta-plain":    gctab.DeltaPlain,
+	"delta-previous": gctab.DeltaPrev,
+	"delta-packing":  gctab.DeltaPacking,
+	"delta-pp":       gctab.DeltaPP,
+}
+
+var allSchemes = []gctab.Scheme{
+	{Full: true},
+	{Full: true, Previous: true},
+	{Full: true, Packing: true},
+	{Full: true, Packing: true, Previous: true},
+	{},
+	{Previous: true},
+	{Packing: true},
+	{Packing: true, Previous: true},
+}
+
+func main() {
+	optimize := flag.Bool("O", false, "enable the optimizer")
+	schemeName := flag.String("scheme", "delta-pp", "gc table encoding scheme")
+	mt := flag.Bool("mt", false, "multithreaded gc-point selection")
+	elide := flag.Bool("elide", false, "elide gc-points at non-allocating calls")
+	gen := flag.Bool("gen", false, "compile store checks (generational)")
+	all := flag.Bool("allschemes", false, "verify under all eight encoding schemes")
+	mutate := flag.Bool("mutate", false, "run the seeded-fault sweep")
+	stride := flag.Int("stride", 1, "fault-sweep byte stride")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: gcverify [flags] file.m3|file.mxo")
+		os.Exit(2)
+	}
+	scheme, ok := schemes[*schemeName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "gcverify: unknown scheme %q\n", *schemeName)
+		os.Exit(2)
+	}
+
+	path := flag.Arg(0)
+	var c *driver.Compiled
+	if strings.HasSuffix(path, ".mxo") {
+		f, err := os.Open(path)
+		if err != nil {
+			fatal(err)
+		}
+		c, err = driver.LoadObject(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fatal(err)
+		}
+		c, err = driver.Compile(path, string(src), driver.Options{
+			Optimize:      *optimize,
+			GCSupport:     true,
+			Multithreaded: *mt,
+			ElideNonAlloc: *elide,
+			Generational:  *gen,
+			Scheme:        scheme,
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if c.Encoded == nil {
+		fatal(fmt.Errorf("%s carries no gc tables", path))
+	}
+
+	// .mxo inputs have no in-memory tables: verify in basic mode, and
+	// allow (mayCollect-checked) elided call sites since the object does
+	// not record whether elision was on.
+	opts := gcverify.Options{
+		Object:           c.Tables,
+		AllowElidedCalls: *elide || c.Tables == nil,
+	}
+
+	failed := false
+	check := func(enc *gctab.Encoded) {
+		rep := gcverify.Verify(c.Prog, enc, opts)
+		for _, f := range rep.Findings {
+			fmt.Println(f)
+		}
+		if rep.Truncated {
+			fmt.Println("... finding list truncated")
+		}
+		status := "ok"
+		if !rep.OK() {
+			status = fmt.Sprintf("%d findings", len(rep.Findings))
+			failed = true
+		}
+		fmt.Printf("%-22s %d procs, %d gc-points: %s\n", enc.Scheme, rep.Procs, rep.Points, status)
+	}
+
+	if *all && c.Tables != nil {
+		for _, s := range allSchemes {
+			check(gctab.Encode(c.Tables, s))
+		}
+	} else {
+		if *all {
+			fmt.Fprintln(os.Stderr, "gcverify: -allschemes needs source input; verifying the object's own scheme")
+		}
+		check(c.Encoded)
+	}
+
+	if *mutate {
+		rep := gcverify.SeedFaults(c.Prog, c.Encoded, opts, gcverify.FaultConfig{Stride: *stride})
+		fmt.Printf("fault sweep (%s): %d mutations, %d equivalent, %d detected, rate %.4f\n",
+			c.Encoded.Scheme, rep.Total, rep.Equivalent, rep.Detected, rep.DetectionRate())
+		for _, m := range rep.Misses {
+			fmt.Printf("  missed: off=%d bit=%d %#02x->%#02x\n", m.Off, m.Bit, m.Old, m.New)
+		}
+		if len(rep.Misses) > 0 && rep.DetectionRate() < 0.95 {
+			failed = true
+		}
+	}
+
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "gcverify:", err)
+	os.Exit(1)
+}

@@ -15,6 +15,7 @@
 //	-gcstats            print collector statistics on exit
 //	-scheme S           table scheme: full-plain, full-packing,
 //	                    delta-plain, delta-previous, delta-packing, delta-pp
+//	-verify             statically verify the gc tables before running
 package main
 
 import (
@@ -45,6 +46,7 @@ func main() {
 	stress := flag.Bool("stress", false, "collect at every allocation gc-point")
 	gcstats := flag.Bool("gcstats", false, "print collector statistics")
 	schemeName := flag.String("scheme", "delta-pp", "gc table encoding scheme")
+	verify := flag.Bool("verify", false, "statically verify the gc tables before running")
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mthree [flags] file.m3")
@@ -65,13 +67,18 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *verify {
+			if err := c.Verify(); err != nil {
+				fatal(err)
+			}
+		}
 	} else {
 		src, err := os.ReadFile(flag.Arg(0))
 		if err != nil {
 			fatal(err)
 		}
 		opts := driver.Options{Optimize: *optimize, GCSupport: true, Scheme: scheme,
-			Generational: *collector == "generational"}
+			Generational: *collector == "generational", Verify: *verify}
 		c, err = driver.Compile(flag.Arg(0), string(src), opts)
 		if err != nil {
 			fatal(err)

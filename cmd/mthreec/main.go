@@ -12,6 +12,7 @@
 //	-mt           multithreaded gc-point selection (loop gc-polls)
 //	-elide        elide gc-points at calls to non-allocating procedures
 //	-split        disambiguate derivations by path splitting
+//	-verify       statically verify the emitted gc tables (strict mode)
 //	-ir           dump the optimized IR
 //	-asm          dump the VM assembly listing
 //	-tables       dump the gc tables per procedure
@@ -34,6 +35,7 @@ func main() {
 	mt := flag.Bool("mt", false, "multithreaded gc-point selection")
 	elide := flag.Bool("elide", false, "elide gc-points at non-allocating calls")
 	split := flag.Bool("split", false, "path splitting instead of path variables")
+	verify := flag.Bool("verify", false, "statically verify the emitted gc tables")
 	dumpIR := flag.Bool("ir", false, "dump IR")
 	dumpAsm := flag.Bool("asm", false, "dump assembly")
 	dumpTables := flag.Bool("tables", false, "dump gc tables")
@@ -56,6 +58,7 @@ func main() {
 		ElideNonAlloc: *elide,
 		PathSplitting: *split,
 		Scheme:        gctab.DeltaPP,
+		Verify:        *verify,
 	}
 	c, err := driver.Compile(path, string(src), opts)
 	if err != nil {

@@ -245,6 +245,13 @@ func (pg *procGen) recordPoint(in *ir.Instr, liveAfter analysis.BitSet, vmIdx in
 			if !pg.isByRefParam(r) {
 				derivRegs = append(derivRegs, r)
 			}
+		case ir.ClassScalar:
+			// Debug channel for the static verifier: slots known to hold
+			// live scalars here must never appear in the pointer tables.
+			// Never encoded; costs nothing at run time.
+			if loc, err := pg.gcLocation(r); err == nil {
+				pt.DebugScalars = append(pt.DebugScalars, loc)
+			}
 		}
 	})
 	for _, r := range derivRegs {

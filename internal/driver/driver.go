@@ -12,6 +12,7 @@ import (
 	"repro/internal/conservative"
 	"repro/internal/gc"
 	"repro/internal/gctab"
+	"repro/internal/gcverify"
 	"repro/internal/gengc"
 	"repro/internal/heap"
 	"repro/internal/ir"
@@ -44,6 +45,9 @@ type Options struct {
 	Generational bool
 	// Scheme is the table encoding used by the collector.
 	Scheme gctab.Scheme
+	// Verify runs the static gc-table verifier (internal/gcverify) in
+	// strict mode after compilation; a finding fails the compile.
+	Verify bool
 }
 
 // NewOptions returns the default configuration: optimized, gc support
@@ -96,7 +100,29 @@ func Compile(name, src string, opts Options) (*Compiled, error) {
 	if tables != nil {
 		c.Encoded = gctab.Encode(tables, opts.Scheme)
 	}
+	if opts.Verify {
+		if err := c.Verify(); err != nil {
+			return nil, err
+		}
+	}
 	return c, nil
+}
+
+// Verify statically cross-checks the encoded gc tables against the
+// generated code (strict mode when the in-memory tables are present).
+// It returns nil for programs compiled without gc support.
+func (c *Compiled) Verify() error {
+	if c.Encoded == nil {
+		return nil
+	}
+	// Objects loaded from disk carry no record of whether call-site
+	// elision was enabled, so allow (still mayCollect-checked) elisions
+	// whenever the in-memory tables are absent.
+	rep := gcverify.Verify(c.Prog, c.Encoded, gcverify.Options{
+		Object:           c.Tables,
+		AllowElidedCalls: c.Opts.ElideNonAlloc || c.Tables == nil,
+	})
+	return rep.Err()
 }
 
 // NewMachine builds a machine running under the precise compacting

@@ -25,6 +25,12 @@ type PointView struct {
 // Decode wrap it together with the offending gc-point PC.
 var ErrTruncated = errors.New("truncated gc table stream")
 
+// ErrBadDescriptor reports a Previous-mode descriptor byte whose
+// identical-to-previous bits appear at a procedure's first gc-point,
+// where no previous tables exist to refer to. Decoding such a stream
+// must fail rather than silently yield empty tables.
+var ErrBadDescriptor = errors.New("descriptor references previous tables at the procedure's first gc-point")
+
 // Decoder reads tables out of an Encoded object. All state is decoded
 // from the byte stream on every lookup (the cost the paper measures in
 // §6.3); no decoded results are cached.
@@ -150,6 +156,188 @@ func (r *reader) count() int {
 	return n
 }
 
+// maxGroundRun bounds a single ground-table run length; a corrupted
+// run-count word must fail decoding instead of expanding into a
+// gigantic live list.
+const maxGroundRun = 1 << 20
+
+// groundRun is one decoded ground-table entry: a single slot or a run
+// of count consecutive slots (§5.2 compact arrays).
+type groundRun struct {
+	loc   Location
+	count int32
+}
+
+// procWalker decodes one procedure's table segment sequentially:
+// PC map, callee-save map, ground table, then gc-points in stream
+// order (Previous-mode tables refer back to the preceding point, so
+// points cannot be decoded out of order). It is shared by Decode and
+// WalkProc so both interpret the bytes identically.
+type procWalker struct {
+	r      *reader
+	scheme Scheme
+	entry  int
+
+	pcs    []int // decoded gc-point byte PCs, in stream order
+	saves  []RegSave
+	ground []groundRun
+
+	// Running per-point state (Previous mode carries tables forward).
+	k       int
+	live    []Location
+	regs    uint16
+	derivs  []DerivEntry
+	desc    byte
+	hasDesc bool
+	badDesc bool
+}
+
+// newProcWalker parses the PC map; header must be called before next.
+func newProcWalker(scheme Scheme, seg []byte, entry int) *procWalker {
+	w := &procWalker{
+		r:      &reader{buf: seg, packing: scheme.Packing},
+		scheme: scheme,
+		entry:  entry,
+	}
+	n := w.r.count()
+	cur := entry
+	for k := 0; k < n && !w.r.fail; k++ {
+		cur += w.r.dist(scheme.ShortDistances)
+		w.pcs = append(w.pcs, cur)
+	}
+	return w
+}
+
+// header parses the callee-save map and (δ-main) ground table.
+func (w *procWalker) header() {
+	nSaves := w.r.count()
+	for k := 0; k < nSaves && !w.r.fail; k++ {
+		v := w.r.word()
+		w.saves = append(w.saves, RegSave{Reg: uint8(v & 15), Off: v >> 4})
+	}
+	if !w.scheme.Full {
+		nGround := w.r.count()
+		for k := 0; k < nGround && !w.r.fail; k++ {
+			if w.scheme.ArrayRuns {
+				v := w.r.word()
+				e := groundRun{loc: Location{Base: uint8(v & 3), Off: v >> 3}, count: 1}
+				if v&4 != 0 {
+					e.count = w.r.word()
+					if e.count < 1 || e.count > maxGroundRun {
+						// A run no real frame could hold: corrupt count.
+						w.r.fail = true
+						break
+					}
+				}
+				w.ground = append(w.ground, e)
+			} else {
+				w.ground = append(w.ground, groundRun{loc: groundLoc(w.r.word()), count: 1})
+			}
+		}
+	}
+}
+
+// next decodes the tables of gc-point w.k into the running state,
+// returning false when the stream is damaged (r.fail or badDesc).
+func (w *procWalker) next() bool {
+	r := w.r
+	emitStack, emitRegs, emitDerivs := true, true, true
+	stackEmpty, regsEmpty, derivEmpty := false, false, false
+	w.hasDesc = false
+	if w.scheme.Previous {
+		desc := r.byte1()
+		w.desc, w.hasDesc = desc, !r.fail
+		if w.k == 0 && desc&(descStackSame|descRegsSame|descDerivSame) != 0 {
+			// The first gc-point has no previous tables; a Same bit here
+			// is stream damage, not an empty table.
+			w.badDesc = true
+			return false
+		}
+		stackEmpty = desc&descStackEmpty != 0
+		regsEmpty = desc&descRegsEmpty != 0
+		derivEmpty = desc&descDerivEmpty != 0
+		emitStack = desc&(descStackEmpty|descStackSame) == 0
+		emitRegs = desc&(descRegsEmpty|descRegsSame) == 0
+		emitDerivs = desc&(descDerivEmpty|descDerivSame) == 0
+	}
+	if emitStack {
+		w.live = w.live[:0]
+		if w.scheme.Full {
+			n := r.count()
+			for j := 0; j < n; j++ {
+				w.live = append(w.live, groundLoc(r.word()))
+			}
+		} else {
+			nw := (len(w.ground) + 31) / 32
+			for wi := 0; wi < nw; wi++ {
+				v := uint32(r.word())
+				if r.fail {
+					break
+				}
+				for b := 0; b < 32; b++ {
+					if v&(1<<uint(b)) != 0 {
+						if wi*32+b >= len(w.ground) {
+							// A bit with no ground entry behind it: corrupt
+							// bitmap word.
+							r.fail = true
+							break
+						}
+						e := w.ground[wi*32+b]
+						for c := int32(0); c < e.count; c++ {
+							l := e.loc
+							l.Off += c
+							w.live = append(w.live, l)
+						}
+					}
+				}
+			}
+		}
+	} else if stackEmpty {
+		w.live = w.live[:0]
+	}
+	if emitRegs {
+		w.regs = uint16(r.word())
+	} else if regsEmpty {
+		w.regs = 0
+	}
+	if emitDerivs {
+		n := r.count()
+		w.derivs = w.derivs[:0]
+		for j := 0; j < n && !r.fail; j++ {
+			var de DerivEntry
+			de.Target = derivLoc(r.word())
+			flags := r.word()
+			nvar := int(flags >> 1)
+			if nvar < 0 || nvar > len(r.buf) {
+				r.fail = true
+				break
+			}
+			if flags&1 != 0 {
+				sel := derivLoc(r.word())
+				de.Sel = &sel
+			}
+			for v := 0; v < nvar; v++ {
+				nb := r.count()
+				var bases []SignedLoc
+				for x := 0; x < nb; x++ {
+					v := r.word()
+					sign := int8(1)
+					if v&1 != 0 {
+						sign = -1
+					}
+					bases = append(bases, SignedLoc{Loc: derivLoc(v >> 1), Sign: sign})
+				}
+				de.Variants = append(de.Variants, bases)
+			}
+			w.derivs = append(w.derivs, de)
+		}
+	} else if derivEmpty {
+		w.derivs = w.derivs[:0]
+	}
+	w.k++
+	return !r.fail
+}
+
 // Lookup finds the tables for the gc-point identified by pc (a return
 // address / gc-point byte PC). ok is false when pc is not a known
 // gc-point or the stream is damaged; Decode distinguishes the two.
@@ -163,8 +351,9 @@ func (d *Decoder) Lookup(pc int) (*PointView, bool) {
 
 // Decode finds and decodes the tables for the gc-point pc. A pc that is
 // not a known gc-point yields (nil, nil); a byte stream that ends in
-// the middle of a table yields an error wrapping ErrTruncated and
-// naming the offending pc, rather than a silently zeroed table.
+// the middle of a table yields an error wrapping ErrTruncated (or
+// ErrBadDescriptor for an impossible descriptor) naming the offending
+// pc, rather than a silently zeroed table.
 func (d *Decoder) Decode(pc int) (*PointView, error) {
 	if d.tel == nil {
 		return d.decode(pc)
@@ -190,6 +379,12 @@ func (d *Decoder) decode(pc int) (*PointView, error) {
 	return view, err
 }
 
+// NumProcs returns the number of procedures in the encoded object.
+func (d *Decoder) NumProcs() int { return len(d.Enc.Index) }
+
+// ProcName returns procedure i's diagnostic name.
+func (d *Decoder) ProcName(i int) string { return d.Enc.Names[i] }
+
 // segment returns the byte range holding procedure i's tables: from its
 // offset to the next procedure's (offsets are emitted in order).
 func (d *Decoder) segment(i int) []byte {
@@ -212,157 +407,117 @@ func (d *Decoder) decodeCounting(pc int) (*PointView, int64, error) {
 		return nil, 0, nil
 	}
 	pi := idx[i]
-	r := &reader{buf: d.segment(i), off: 0, packing: d.Enc.Scheme.Packing}
-	truncated := func() (*PointView, int64, error) {
-		return nil, int64(r.off), fmt.Errorf("gctab: %s: gc-point pc %d: %w",
-			d.Enc.Names[i], pc, ErrTruncated)
+	w := newProcWalker(d.Enc.Scheme, d.segment(i), pi.Entry)
+	fail := func(cause error) (*PointView, int64, error) {
+		return nil, int64(w.r.off), fmt.Errorf("gctab: %s: gc-point pc %d: %w",
+			d.Enc.Names[i], pc, cause)
 	}
-
-	nPoints := r.count()
-	// Walk the distance-compressed PC map.
 	target := -1
-	cur := pi.Entry
-	for k := 0; k < nPoints; k++ {
-		cur += r.dist(d.Enc.Scheme.ShortDistances)
-		if cur == pc {
+	for k, p := range w.pcs {
+		if p == pc {
 			target = k
 		}
 	}
-	if r.fail {
-		return truncated()
+	if w.r.fail {
+		return fail(ErrTruncated)
 	}
 	if target < 0 {
-		return nil, int64(r.off), nil
+		return nil, int64(w.r.off), nil
 	}
 
-	view := &PointView{ProcName: d.Enc.Names[i], Entry: pi.Entry}
-
-	nSaves := r.count()
-	for k := 0; k < nSaves; k++ {
-		w := r.word()
-		view.Saves = append(view.Saves, RegSave{Reg: uint8(w & 15), Off: w >> 4})
-	}
-
-	// Ground entries: single slots or runs (§5.2 compact arrays).
-	type gent struct {
-		loc   Location
-		count int32
-	}
-	var ground []gent
-	if !d.Enc.Scheme.Full {
-		nGround := r.count()
-		ground = make([]gent, nGround)
-		for k := 0; k < nGround; k++ {
-			if d.Enc.Scheme.ArrayRuns {
-				w := r.word()
-				e := gent{loc: Location{Base: uint8(w & 3), Off: w >> 3}, count: 1}
-				if w&4 != 0 {
-					e.count = r.word()
-				}
-				ground[k] = e
-			} else {
-				ground[k] = gent{loc: groundLoc(r.word()), count: 1}
-			}
-		}
-	}
-	if r.fail {
-		return truncated()
+	w.header()
+	if w.r.fail {
+		return fail(ErrTruncated)
 	}
 
 	// Decode points sequentially up to the target (Previous-mode tables
 	// refer back to the preceding point).
-	var live []Location
-	var regs uint16
-	var derivs []DerivEntry
-	for k := 0; k <= target && !r.fail; k++ {
-		emitStack, emitRegs, emitDerivs := true, true, true
-		stackEmpty, regsEmpty, derivEmpty := false, false, false
-		if d.Enc.Scheme.Previous {
-			desc := r.byte1()
-			stackEmpty = desc&descStackEmpty != 0
-			regsEmpty = desc&descRegsEmpty != 0
-			derivEmpty = desc&descDerivEmpty != 0
-			emitStack = desc&(descStackEmpty|descStackSame) == 0
-			emitRegs = desc&(descRegsEmpty|descRegsSame) == 0
-			emitDerivs = desc&(descDerivEmpty|descDerivSame) == 0
-		}
-		if emitStack {
-			live = live[:0]
-			if d.Enc.Scheme.Full {
-				n := r.count()
-				for j := 0; j < n; j++ {
-					live = append(live, groundLoc(r.word()))
-				}
-			} else {
-				nw := (len(ground) + 31) / 32
-				for wi := 0; wi < nw; wi++ {
-					w := uint32(r.word())
-					if r.fail {
-						break
-					}
-					for b := 0; b < 32; b++ {
-						if w&(1<<uint(b)) != 0 {
-							e := ground[wi*32+b]
-							for k := int32(0); k < e.count; k++ {
-								l := e.loc
-								l.Off += k
-								live = append(live, l)
-							}
-						}
-					}
-				}
-			}
-		} else if stackEmpty {
-			live = live[:0]
-		}
-		if emitRegs {
-			regs = uint16(r.word())
-		} else if regsEmpty {
-			regs = 0
-		}
-		if emitDerivs {
-			n := r.count()
-			derivs = derivs[:0]
-			for j := 0; j < n && !r.fail; j++ {
-				var de DerivEntry
-				de.Target = derivLoc(r.word())
-				flags := r.word()
-				nvar := int(flags >> 1)
-				if nvar < 0 || nvar > len(r.buf) {
-					r.fail = true
-					break
-				}
-				if flags&1 != 0 {
-					sel := derivLoc(r.word())
-					de.Sel = &sel
-				}
-				for v := 0; v < nvar; v++ {
-					nb := r.count()
-					var bases []SignedLoc
-					for x := 0; x < nb; x++ {
-						w := r.word()
-						sign := int8(1)
-						if w&1 != 0 {
-							sign = -1
-						}
-						bases = append(bases, SignedLoc{Loc: derivLoc(w >> 1), Sign: sign})
-					}
-					de.Variants = append(de.Variants, bases)
-				}
-				derivs = append(derivs, de)
-			}
-		} else if derivEmpty {
-			derivs = derivs[:0]
+	for k := 0; k <= target; k++ {
+		if !w.next() {
+			break
 		}
 	}
-	if r.fail {
-		return truncated()
+	if w.badDesc {
+		return fail(ErrBadDescriptor)
+	}
+	if w.r.fail {
+		return fail(ErrTruncated)
 	}
 
-	view.Live = append(view.Live, live...)
-	view.RegPtrs = regs
-	view.Derivs = append(view.Derivs, derivs...)
-	return view, int64(r.off), nil
+	view := &PointView{ProcName: d.Enc.Names[i], Entry: pi.Entry, RegPtrs: w.regs}
+	view.Saves = append(view.Saves, w.saves...)
+	view.Live = append(view.Live, w.live...)
+	view.Derivs = append(view.Derivs, w.derivs...)
+	return view, int64(w.r.off), nil
+}
+
+// RawPoint is one gc-point as decoded by WalkProc: its position in the
+// stream, its byte PC, the raw descriptor byte (Previous-mode schemes
+// only), and the fully resolved table view. Verification tools use the
+// descriptor to check encodings are canonical, not just decodable.
+type RawPoint struct {
+	Index   int // k-th gc-point of the procedure, in stream order
+	PC      int
+	HasDesc bool
+	Desc    byte
+	View    PointView
+}
+
+// ProcPoints returns the gc-point byte PCs of procedure i in stream
+// order, without decoding any tables. The error wraps ErrTruncated when
+// the PC map itself is damaged.
+func (d *Decoder) ProcPoints(i int) ([]int, error) {
+	w := newProcWalker(d.Enc.Scheme, d.segment(i), d.Enc.Index[i].Entry)
+	if w.r.fail {
+		return nil, fmt.Errorf("gctab: %s: pc map: %w", d.Enc.Names[i], ErrTruncated)
+	}
+	return w.pcs, nil
+}
+
+// WalkProc decodes every gc-point of procedure i in stream order,
+// calling yield with a freshly copied RawPoint for each (the copy is
+// yield's to keep). It returns the procedure's callee-save map and the
+// first error: a decode failure (wrapping ErrTruncated or
+// ErrBadDescriptor and naming the gc-point) or an error from yield.
+func (d *Decoder) WalkProc(i int, yield func(*RawPoint) error) ([]RegSave, error) {
+	w := newProcWalker(d.Enc.Scheme, d.segment(i), d.Enc.Index[i].Entry)
+	if w.r.fail {
+		return nil, fmt.Errorf("gctab: %s: pc map: %w", d.Enc.Names[i], ErrTruncated)
+	}
+	w.header()
+	if w.r.fail {
+		return nil, fmt.Errorf("gctab: %s: table header: %w", d.Enc.Names[i], ErrTruncated)
+	}
+	for k, pc := range w.pcs {
+		if !w.next() {
+			cause := ErrTruncated
+			if w.badDesc {
+				cause = ErrBadDescriptor
+			}
+			return w.saves, fmt.Errorf("gctab: %s: gc-point pc %d: %w", d.Enc.Names[i], pc, cause)
+		}
+		rp := &RawPoint{Index: k, PC: pc, HasDesc: w.hasDesc, Desc: w.desc}
+		rp.View.ProcName = d.Enc.Names[i]
+		rp.View.Entry = d.Enc.Index[i].Entry
+		rp.View.Saves = append(rp.View.Saves, w.saves...)
+		rp.View.Live = append(rp.View.Live, w.live...)
+		rp.View.RegPtrs = w.regs
+		for _, de := range w.derivs {
+			cp := DerivEntry{Target: de.Target}
+			if de.Sel != nil {
+				sel := *de.Sel
+				cp.Sel = &sel
+			}
+			for _, variant := range de.Variants {
+				cp.Variants = append(cp.Variants, append([]SignedLoc(nil), variant...))
+			}
+			rp.View.Derivs = append(rp.View.Derivs, cp)
+		}
+		if err := yield(rp); err != nil {
+			return w.saves, err
+		}
+	}
+	return w.saves, nil
 }
 
 // String renders a point view for debugging.

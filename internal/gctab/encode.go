@@ -74,6 +74,18 @@ const (
 	descDerivSame  = 1 << 5
 )
 
+// Exported descriptor bits: the static verifier recomputes the
+// canonical descriptor for each gc-point and compares it against the
+// stream byte, so encoder and checker must name the same bits.
+const (
+	DescStackEmpty byte = descStackEmpty
+	DescStackSame  byte = descStackSame
+	DescRegsEmpty  byte = descRegsEmpty
+	DescRegsSame   byte = descRegsSame
+	DescDerivEmpty byte = descDerivEmpty
+	DescDerivSame  byte = descDerivSame
+)
+
 // ProcIndex locates one procedure's tables in the encoded stream.
 type ProcIndex struct {
 	Entry int // byte PC of procedure entry

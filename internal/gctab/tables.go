@@ -74,6 +74,11 @@ type GCPoint struct {
 	// that a derived value precedes any of its bases (§3's update
 	// ordering).
 	Derivs []DerivEntry
+	// DebugScalars lists the homes of values the compiler knows are
+	// live scalars at this point. It is never encoded; the static
+	// verifier's strict mode uses it to prove a listed slot stale
+	// (a scalar slot in a pointer table would be compacted to garbage).
+	DebugScalars []Location
 }
 
 // RegSave records that the procedure's prologue saves a callee-save

@@ -1,0 +1,124 @@
+package gctab
+
+import (
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// prevDescOffset computes the offset of the first gc-point's descriptor
+// byte inside a DeltaPrev (unpacked, long-distance) procedure segment:
+// PC-map count word + 2-byte distances, saves count + words, ground
+// count + words.
+func prevDescOffset(p *ProcTables) int {
+	return 4 + 2*len(p.Points) + 4 + 4*len(p.Saves) + 4 + 4*len(p.Ground)
+}
+
+// TestFirstPointPreviousDescriptorRejected pins the satellite fix: a
+// descriptor whose identical-to-previous bits appear at a procedure's
+// first gc-point must fail to decode with ErrBadDescriptor — before the
+// fix it silently decoded as an empty table.
+func TestFirstPointPreviousDescriptorRejected(t *testing.T) {
+	for _, bit := range []byte{descStackSame, descRegsSame, descDerivSame} {
+		o := truncFixture()
+		enc := Encode(o, DeltaPrev)
+		// Corrupt procedure 1's first descriptor byte (middle procedure,
+		// so neighbours stay intact).
+		off := enc.Index[1].Off + prevDescOffset(&o.Procs[1])
+		enc.Bytes[off] |= bit
+
+		dec := NewDecoder(enc)
+		for _, pt := range o.Procs[1].Points {
+			v, err := dec.Decode(pt.PC)
+			if err == nil {
+				t.Fatalf("bit %#x: pc %d decoded as %+v, want ErrBadDescriptor", bit, pt.PC, v)
+			}
+			if !errors.Is(err, ErrBadDescriptor) {
+				t.Fatalf("bit %#x: pc %d: error %v does not wrap ErrBadDescriptor", bit, pt.PC, err)
+			}
+			if !strings.Contains(err.Error(), fmt.Sprintf("pc %d", pt.PC)) {
+				t.Fatalf("bit %#x: error %q does not name pc %d", bit, err, pt.PC)
+			}
+		}
+		// Neighbouring procedures decode normally.
+		for _, pi := range []int{0, 2} {
+			for _, pt := range o.Procs[pi].Points {
+				if _, err := dec.Decode(pt.PC); err != nil {
+					t.Fatalf("bit %#x: intact proc %d pc %d: %v", bit, pi, pt.PC, err)
+				}
+			}
+		}
+		// WalkProc reports the same failure, naming the first point.
+		_, err := dec.WalkProc(1, func(*RawPoint) error { return nil })
+		if !errors.Is(err, ErrBadDescriptor) {
+			t.Fatalf("bit %#x: WalkProc error %v does not wrap ErrBadDescriptor", bit, err)
+		}
+	}
+}
+
+// TestWalkProcMatchesDecode checks the iteration hook yields, for every
+// scheme, exactly the views Decode produces point by point, plus the
+// descriptor byte under Previous-mode schemes.
+func TestWalkProcMatchesDecode(t *testing.T) {
+	o := truncFixture()
+	for _, s := range []Scheme{FullPlain, FullPacking, DeltaPlain, DeltaPrev, DeltaPacking, DeltaPP,
+		{ShortDistances: true}, {ArrayRuns: true, Packing: true, Previous: true}} {
+		enc := Encode(o, s)
+		dec := NewDecoder(enc)
+		for pi := range o.Procs {
+			var got []*RawPoint
+			saves, err := dec.WalkProc(pi, func(rp *RawPoint) error {
+				got = append(got, rp)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("scheme %v proc %d: %v", s, pi, err)
+			}
+			if !reflect.DeepEqual(saves, o.Procs[pi].Saves) {
+				t.Fatalf("scheme %v proc %d: saves %v != %v", s, pi, saves, o.Procs[pi].Saves)
+			}
+			if len(got) != len(o.Procs[pi].Points) {
+				t.Fatalf("scheme %v proc %d: %d points, want %d", s, pi, len(got), len(o.Procs[pi].Points))
+			}
+			for k, rp := range got {
+				pt := &o.Procs[pi].Points[k]
+				if rp.PC != pt.PC || rp.Index != k {
+					t.Fatalf("scheme %v proc %d point %d: pc %d idx %d, want pc %d idx %d",
+						s, pi, k, rp.PC, rp.Index, pt.PC, k)
+				}
+				if rp.HasDesc != s.Previous {
+					t.Fatalf("scheme %v proc %d point %d: HasDesc=%v", s, pi, k, rp.HasDesc)
+				}
+				want, err := dec.Decode(pt.PC)
+				if err != nil {
+					t.Fatalf("scheme %v proc %d pc %d: %v", s, pi, pt.PC, err)
+				}
+				if !reflect.DeepEqual(&rp.View, want) {
+					t.Fatalf("scheme %v proc %d pc %d:\nwalk   %+v\ndecode %+v", s, pi, pt.PC, rp.View, want)
+				}
+			}
+		}
+	}
+}
+
+// TestProcPoints checks the PC accessor against the object.
+func TestProcPoints(t *testing.T) {
+	o := truncFixture()
+	dec := NewDecoder(Encode(o, DeltaPP))
+	for pi := range o.Procs {
+		pcs, err := dec.ProcPoints(pi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(pcs) != len(o.Procs[pi].Points) {
+			t.Fatalf("proc %d: %d pcs, want %d", pi, len(pcs), len(o.Procs[pi].Points))
+		}
+		for k, pc := range pcs {
+			if pc != o.Procs[pi].Points[k].PC {
+				t.Fatalf("proc %d point %d: pc %d, want %d", pi, k, pc, o.Procs[pi].Points[k].PC)
+			}
+		}
+	}
+}

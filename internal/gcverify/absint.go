@@ -1,0 +1,660 @@
+package gcverify
+
+import (
+	"repro/internal/gctab"
+	"repro/internal/vmachine"
+)
+
+// The abstract domain tracks each register and frame slot as a
+// polynomial over symbolic run-time values: Σ kᵢ·sᵢ + c. A tidy heap
+// pointer is a single heap-class symbol with coefficient 1 and zero
+// constant; a derived value keeps the signed multiset of its bases as
+// term coefficients, exactly the Σp − Σq + E shape of §3. Scalars are
+// term-free. This lets the verifier both demand coverage (a live
+// heap-class value must appear in the tables) and refute listings (a
+// listed slot whose value is provably a scalar, a frame address, or a
+// caller's callee-save image would be corrupted by the compactor).
+
+// sym names one abstract run-time value.
+type sym int32
+
+// symClass is the provenance of a symbol.
+type symClass uint8
+
+const (
+	classOpaque symClass = iota // unknown provenance (loads, call results)
+	classHeap                   // an allocation result: certainly a heap pointer
+	classClaim                  // claimed pointer: the tables listed it as tidy
+	classSaved                  // a callee-save register's value at entry
+	classFrame                  // the frame pointer (stack addresses)
+	classGlobal                 // the globals base (global addresses)
+)
+
+// term is one symbolic component of a value polynomial.
+type term struct {
+	s sym
+	k int32
+}
+
+// value is the abstract domain element: undef, or Σ kᵢ·sᵢ + c with an
+// optionally known constant part. Values are immutable by convention;
+// helpers always allocate fresh term slices.
+type value struct {
+	terms  []term // sorted by s, no zero coefficients
+	c      int64
+	cKnown bool
+	undef  bool
+}
+
+func undefVal() value        { return value{undef: true} }
+func constVal(c int64) value { return value{c: c, cKnown: true} }
+func symVal(s sym) value     { return value{terms: []term{{s, 1}}, cKnown: true} }
+
+// unknownVal is a scalar of unknown magnitude (comparison results,
+// non-pointer global loads).
+func unknownVal() value { return value{} }
+
+// polyAdd computes a + sign·b.
+func polyAdd(a, b value, sign int32) value {
+	if a.undef || b.undef {
+		return undefVal()
+	}
+	out := value{cKnown: a.cKnown && b.cKnown}
+	if out.cKnown {
+		out.c = a.c + int64(sign)*b.c
+	}
+	i, j := 0, 0
+	for i < len(a.terms) || j < len(b.terms) {
+		switch {
+		case j >= len(b.terms) || (i < len(a.terms) && a.terms[i].s < b.terms[j].s):
+			out.terms = append(out.terms, a.terms[i])
+			i++
+		case i >= len(a.terms) || b.terms[j].s < a.terms[i].s:
+			out.terms = append(out.terms, term{b.terms[j].s, sign * b.terms[j].k})
+			j++
+		default:
+			if k := a.terms[i].k + sign*b.terms[j].k; k != 0 {
+				out.terms = append(out.terms, term{a.terms[i].s, k})
+			}
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func neg(a value) value { return polyAdd(constVal(0), a, -1) }
+
+func addConst(a value, d int64) value {
+	if a.undef {
+		return a
+	}
+	out := a
+	if out.cKnown {
+		out.c += d
+	}
+	return out
+}
+
+func eqVal(a, b value) bool {
+	if a.undef != b.undef {
+		return false
+	}
+	if a.undef {
+		return true
+	}
+	if a.cKnown != b.cKnown || (a.cKnown && a.c != b.c) || len(a.terms) != len(b.terms) {
+		return false
+	}
+	for i := range a.terms {
+		if a.terms[i] != b.terms[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// tidySym reports whether v is exactly one symbol: s·1 + 0.
+func tidySym(v value) (sym, bool) {
+	if !v.undef && len(v.terms) == 1 && v.terms[0].k == 1 && v.cKnown && v.c == 0 {
+		return v.terms[0].s, true
+	}
+	return 0, false
+}
+
+func isNil(v value) bool {
+	return !v.undef && len(v.terms) == 0 && v.cKnown && v.c == 0
+}
+
+// lkey names a trackable location: a hard register or a canonical
+// FP-relative frame slot (SP+j is folded to FP+(j−frameWords)).
+type lkey struct {
+	reg int8  // 0..15, or -1 for a frame slot
+	off int32 // canonical FP-relative word offset when reg < 0
+}
+
+// symKey memoizes symbol creation so re-running the transfer function
+// during the fixpoint names the same run-time value identically.
+type symKey struct {
+	kind uint8
+	idx  int32 // instruction index or small discriminator
+	reg  int8
+	off  int32
+}
+
+const (
+	kEntryReg uint8 = iota // callee-save register value at entry
+	kLinkage               // saved FP / return address slots
+	kArg                   // incoming argument slot value
+	kLoad                  // load through a non-frame or unknown address
+	kOp                    // nonlinear arithmetic result
+	kCallRet               // R0 after a call
+	kClobber               // slot clobbered by a call or wild frame store
+	kAlloc                 // allocation result
+	kLoadG                 // load of a pointer-typed global
+	kPhi                   // join of differing values
+	kClaim                 // recovery value for a listed non-tidy location
+	kFP                    // the frame pointer
+	kGlob                  // the globals base
+)
+
+// state maps locations to abstract values. A missing slot key means
+// undef; undef is never stored.
+type state struct {
+	regs  [16]value
+	slots map[int32]value
+}
+
+func newState() *state { return &state{slots: map[int32]value{}} }
+
+func (s *state) clone() *state {
+	n := &state{regs: s.regs, slots: make(map[int32]value, len(s.slots))}
+	for k, v := range s.slots {
+		n.slots[k] = v
+	}
+	return n
+}
+
+func (s *state) slot(off int32) value {
+	if v, ok := s.slots[off]; ok {
+		return v
+	}
+	return undefVal()
+}
+
+func (s *state) setSlot(off int32, v value) {
+	if v.undef {
+		delete(s.slots, off)
+		return
+	}
+	s.slots[off] = v
+}
+
+func (s *state) get(lk lkey) value {
+	if lk.reg >= 0 {
+		return s.regs[lk.reg]
+	}
+	return s.slot(lk.off)
+}
+
+func (s *state) set(lk lkey, v value) {
+	if lk.reg >= 0 {
+		s.regs[lk.reg] = v
+		return
+	}
+	s.setSlot(lk.off, v)
+}
+
+// interp runs the forward abstract interpretation of one procedure.
+type interp struct {
+	ck *procCheck
+
+	classes []symClass
+	claimed []bool // applyClaims latched the class; joins must not demote
+	memo    map[symKey]sym
+	fpSym   sym
+	globSym sym
+
+	escaped map[int32]bool // slots whose address a Lea materialized
+
+	// in[idx-i0] is the abstract state just before instruction idx
+	// (before the gc-point claims of that instruction, so the checks
+	// see the values the collector would actually encounter). nil
+	// means unreachable.
+	in []*state
+
+	work   []int
+	queued []bool
+	steps  int
+}
+
+func newInterp(ck *procCheck) *interp {
+	it := &interp{
+		ck:      ck,
+		memo:    map[symKey]sym{},
+		escaped: map[int32]bool{},
+		in:      make([]*state, ck.iEnd-ck.i0),
+		queued:  make([]bool, ck.iEnd-ck.i0),
+	}
+	it.fpSym = it.getSym(symKey{kind: kFP}, classFrame)
+	it.globSym = it.getSym(symKey{kind: kGlob}, classGlobal)
+	code := ck.v.prog.Code
+	for idx := ck.i0; idx < ck.iEnd; idx++ {
+		if in := &code[idx]; in.Op == vmachine.OpLea {
+			switch in.Base {
+			case vmachine.BaseFP:
+				it.escaped[int32(in.Imm)] = true
+			case vmachine.BaseSP:
+				it.escaped[int32(in.Imm)-ck.fw] = true
+			}
+		}
+	}
+	return it
+}
+
+// getSym returns the memoized symbol for key, allocating it with class
+// on first use. An existing symbol's class is never changed here.
+func (it *interp) getSym(key symKey, class symClass) sym {
+	if s, ok := it.memo[key]; ok {
+		return s
+	}
+	s := sym(len(it.classes))
+	it.classes = append(it.classes, class)
+	it.claimed = append(it.claimed, false)
+	it.memo[key] = s
+	return s
+}
+
+func (it *interp) class(s sym) symClass { return it.classes[s] }
+
+// ptrClass reports whether s certainly names a heap pointer (or a
+// value the tables claimed to be one).
+func (it *interp) ptrClass(s sym) bool {
+	c := it.classes[s]
+	return c == classHeap || c == classClaim
+}
+
+func (it *interp) fpVal(off int64) value {
+	return value{terms: []term{{it.fpSym, 1}}, c: off, cKnown: true}
+}
+
+// frameOff resolves v to a canonical FP-relative slot offset.
+func (it *interp) frameOff(v value) (int32, bool) {
+	if !v.undef && len(v.terms) == 1 && v.terms[0].s == it.fpSym && v.terms[0].k == 1 && v.cKnown {
+		return int32(v.c), true
+	}
+	return 0, false
+}
+
+func (it *interp) hasFPTerm(v value) bool {
+	for _, t := range v.terms {
+		if t.s == it.fpSym {
+			return true
+		}
+	}
+	return false
+}
+
+func (it *interp) hasGlobTerm(v value) bool {
+	for _, t := range v.terms {
+		if t.s == it.globSym {
+			return true
+		}
+	}
+	return false
+}
+
+// hasPtrTerm reports whether v carries any heap/claim-class component.
+func (it *interp) hasPtrTerm(v value) bool {
+	for _, t := range v.terms {
+		if it.ptrClass(t.s) {
+			return true
+		}
+	}
+	return false
+}
+
+func (it *interp) hasOpaqueTerm(v value) bool {
+	for _, t := range v.terms {
+		if it.classes[t.s] == classOpaque {
+			return true
+		}
+	}
+	return false
+}
+
+// baseVal computes the address value of a memory operand.
+func (it *interp) baseVal(σ *state, base uint8, imm int64) value {
+	switch {
+	case base == vmachine.BaseFP:
+		return it.fpVal(imm)
+	case base == vmachine.BaseSP:
+		return it.fpVal(imm - int64(it.ck.fw))
+	case base < 16:
+		return addConst(σ.regs[base], imm)
+	}
+	return undefVal()
+}
+
+func (it *interp) ptrGlobal(off int64) bool {
+	for _, o := range it.ck.v.prog.GlobalPtrOffs {
+		if o == off {
+			return true
+		}
+	}
+	return false
+}
+
+// entryState seeds the state after the prologue's Enter: callee-save
+// registers hold the caller's values, the linkage slots are opaque
+// frame words, and argument slots hold the caller's (untyped) words.
+func (it *interp) entryState() *state {
+	σ := newState()
+	for r := 8; r < 16; r++ {
+		σ.regs[r] = symVal(it.getSym(symKey{kind: kEntryReg, reg: int8(r)}, classSaved))
+	}
+	σ.setSlot(0, symVal(it.getSym(symKey{kind: kLinkage, off: 0}, classFrame)))
+	σ.setSlot(1, symVal(it.getSym(symKey{kind: kLinkage, off: 1}, classFrame)))
+	for j := 0; j < it.ck.nargs; j++ {
+		σ.setSlot(int32(2+j), symVal(it.getSym(symKey{kind: kArg, off: int32(j)}, classOpaque)))
+	}
+	return σ
+}
+
+// entryRegSym returns the symbol for callee-save register r's value at
+// entry (what the save slot must hold at every gc-point).
+func (it *interp) entryRegSym(r uint8) sym {
+	return it.getSym(symKey{kind: kEntryReg, reg: int8(r)}, classSaved)
+}
+
+// applyClaims folds one gc-point's decoded tables into the state: a
+// location the tables list as a tidy pointer is claimed — its symbol is
+// promoted to pointer class (and latched against join demotion), and a
+// non-tidy listed value is replaced by a fresh claimed symbol, since
+// after a collection the collector will have rewritten that location
+// as a tidy pointer.
+func (it *interp) applyClaims(idx int, σ *state, rp *gctab.RawPoint) {
+	for _, l := range rp.View.Live {
+		if lk, ok := it.ck.locKey(l); ok {
+			it.claimLoc(idx, σ, lk)
+		}
+	}
+	for r := 0; r < 16; r++ {
+		if rp.View.RegPtrs&(1<<uint(r)) != 0 {
+			it.claimLoc(idx, σ, lkey{reg: int8(r)})
+		}
+	}
+}
+
+func (it *interp) claimLoc(idx int, σ *state, lk lkey) {
+	v := σ.get(lk)
+	if v.undef || isNil(v) {
+		return
+	}
+	if s, ok := tidySym(v); ok {
+		if it.classes[s] == classOpaque {
+			it.classes[s] = classClaim
+		}
+		if it.classes[s] == classClaim || it.classes[s] == classHeap {
+			it.claimed[s] = true
+		}
+		return
+	}
+	s := it.getSym(symKey{kind: kClaim, idx: int32(idx), reg: lk.reg, off: lk.off}, classClaim)
+	it.claimed[s] = true
+	σ.set(lk, symVal(s))
+}
+
+// transfer applies instruction idx's effect to σ in place.
+func (it *interp) transfer(idx int, σ *state) {
+	in := &it.ck.v.prog.Code[idx]
+	switch in.Op {
+	case vmachine.OpMovI:
+		σ.regs[in.Rd] = constVal(in.Imm)
+	case vmachine.OpMov:
+		σ.regs[in.Rd] = σ.regs[in.Ra]
+	case vmachine.OpAdd:
+		σ.regs[in.Rd] = polyAdd(σ.regs[in.Ra], σ.regs[in.Rb], 1)
+	case vmachine.OpSub:
+		σ.regs[in.Rd] = polyAdd(σ.regs[in.Ra], σ.regs[in.Rb], -1)
+	case vmachine.OpAddI:
+		σ.regs[in.Rd] = addConst(σ.regs[in.Ra], in.Imm)
+	case vmachine.OpNeg:
+		σ.regs[in.Rd] = neg(σ.regs[in.Ra])
+	case vmachine.OpNot:
+		// OpNot computes 1 − Ra: linear, so pointerness propagates out
+		// (and a double Not restores the original value).
+		σ.regs[in.Rd] = addConst(neg(σ.regs[in.Ra]), 1)
+	case vmachine.OpAbs:
+		σ.regs[in.Rd] = it.nonlinear(idx, σ.regs[in.Ra], value{})
+	case vmachine.OpMul, vmachine.OpDiv, vmachine.OpMod, vmachine.OpMin, vmachine.OpMax:
+		σ.regs[in.Rd] = it.nonlinear(idx, σ.regs[in.Ra], σ.regs[in.Rb])
+	case vmachine.OpCmpEQ, vmachine.OpCmpNE, vmachine.OpCmpLT, vmachine.OpCmpLE,
+		vmachine.OpCmpGT, vmachine.OpCmpGE:
+		σ.regs[in.Rd] = unknownVal()
+	case vmachine.OpLd:
+		σ.regs[in.Rd] = it.loadVal(idx, σ, it.baseVal(σ, in.Base, in.Imm))
+	case vmachine.OpSt, vmachine.OpStB:
+		it.storeVal(idx, σ, it.baseVal(σ, in.Base, in.Imm), σ.regs[in.Ra])
+	case vmachine.OpLea:
+		σ.regs[in.Rd] = it.baseVal(σ, in.Base, in.Imm)
+	case vmachine.OpLdG:
+		if it.ptrGlobal(in.Imm) {
+			σ.regs[in.Rd] = symVal(it.getSym(symKey{kind: kLoadG, idx: int32(idx)}, classClaim))
+		} else {
+			σ.regs[in.Rd] = unknownVal()
+		}
+	case vmachine.OpLeaG:
+		σ.regs[in.Rd] = value{terms: []term{{it.globSym, 1}}, c: in.Imm, cKnown: true}
+	case vmachine.OpStG:
+		// Globals are not tracked.
+	case vmachine.OpCall:
+		it.doCall(idx, σ)
+	case vmachine.OpNewRec, vmachine.OpNewArr, vmachine.OpNewText:
+		σ.regs[in.Rd] = symVal(it.getSym(symKey{kind: kAlloc, idx: int32(idx)}, classHeap))
+	case vmachine.OpEnter:
+		// Enter only belongs at the procedure's first instruction; the
+		// entry check reports a mid-procedure one.
+	default:
+		// Jmp/BT/BF, Put*, Chk*, GcPoll, GcCollect, Ret, Halt, Trap:
+		// no tracked value effect. A collection rewrites pointers in
+		// place, which the symbolic identity already models.
+	}
+}
+
+func (it *interp) nonlinear(idx int, a, b value) value {
+	if a.undef || b.undef {
+		return undefVal()
+	}
+	if len(a.terms) > 0 || len(b.terms) > 0 {
+		return symVal(it.getSym(symKey{kind: kOp, idx: int32(idx)}, classOpaque))
+	}
+	return unknownVal()
+}
+
+func (it *interp) loadVal(idx int, σ *state, addr value) value {
+	if addr.undef {
+		return undefVal()
+	}
+	if off, ok := it.frameOff(addr); ok {
+		return σ.slot(off)
+	}
+	if it.hasGlobTerm(addr) && len(addr.terms) == 1 && addr.terms[0].k == 1 && addr.cKnown {
+		if it.ptrGlobal(addr.c) {
+			return symVal(it.getSym(symKey{kind: kLoadG, idx: int32(idx)}, classClaim))
+		}
+		return unknownVal()
+	}
+	// Heap load, or a frame load at an unknown offset.
+	return symVal(it.getSym(symKey{kind: kLoad, idx: int32(idx)}, classOpaque))
+}
+
+func (it *interp) storeVal(idx int, σ *state, addr, v value) {
+	if off, ok := it.frameOff(addr); ok {
+		σ.setSlot(off, v)
+		return
+	}
+	if it.hasFPTerm(addr) {
+		// A frame store at an unknown offset (indexed access to a local
+		// aggregate): conservatively clobber every address-taken slot.
+		for off := range it.escaped {
+			σ.setSlot(off, symVal(it.getSym(symKey{kind: kClobber, idx: int32(idx), reg: -1, off: off}, classOpaque)))
+		}
+	}
+	// Heap and global stores do not affect frame state.
+}
+
+func (it *interp) doCall(idx int, σ *state) {
+	ck := it.ck
+	in := &ck.v.prog.Code[idx]
+	if callee, ok := ck.v.procByEntry[in.Target]; ok {
+		for j := 0; j < callee.NumArgs; j++ {
+			off := int32(j) - ck.fw
+			σ.setSlot(off, symVal(it.getSym(symKey{kind: kClobber, idx: int32(idx), reg: 0, off: off}, classOpaque)))
+		}
+	} else {
+		ck.codeFinding(idx, "call target %d is not a procedure entry", in.Target)
+	}
+	// The callee may write through any pointer it received, including
+	// addresses of this frame's escaped slots.
+	for off := range it.escaped {
+		σ.setSlot(off, symVal(it.getSym(symKey{kind: kClobber, idx: int32(idx), reg: 1, off: off}, classOpaque)))
+	}
+	σ.regs[0] = symVal(it.getSym(symKey{kind: kCallRet, idx: int32(idx)}, classOpaque))
+	for r := 1; r < 8; r++ {
+		σ.regs[r] = undefVal()
+	}
+	// R8–R15 are callee-save: preserved.
+}
+
+// joinVal merges two abstract values flowing into instruction `at` for
+// location lk. Differing values become a memoized φ symbol; it is
+// pointer-class only when both inputs certainly are, and a φ that was
+// optimistically pointer-class is demoted when a non-pointer input
+// later arrives — unless the tables claimed it, which latches.
+func (it *interp) joinVal(at int, lk lkey, a, b value) value {
+	if eqVal(a, b) {
+		return a
+	}
+	if a.undef || b.undef {
+		return undefVal()
+	}
+	if len(a.terms) == len(b.terms) {
+		same := true
+		for i := range a.terms {
+			if a.terms[i] != b.terms[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			return value{terms: a.terms}
+		}
+	}
+	ptrish := func(v value) bool {
+		if isNil(v) {
+			return true
+		}
+		s, ok := tidySym(v)
+		return ok && it.ptrClass(s)
+	}
+	want := classOpaque
+	if ptrish(a) && ptrish(b) {
+		want = classClaim
+	}
+	key := symKey{kind: kPhi, idx: int32(at), reg: lk.reg, off: lk.off}
+	s := it.getSym(key, want)
+	if want == classOpaque && it.classes[s] == classClaim && !it.claimed[s] {
+		it.classes[s] = classOpaque
+	}
+	return symVal(s)
+}
+
+func (it *interp) joinStates(at int, a, b *state) *state {
+	out := newState()
+	for r := 0; r < 16; r++ {
+		out.regs[r] = it.joinVal(at, lkey{reg: int8(r)}, a.regs[r], b.regs[r])
+	}
+	for k, av := range a.slots {
+		bv := undefVal()
+		if v, ok := b.slots[k]; ok {
+			bv = v
+		}
+		if jv := it.joinVal(at, lkey{reg: -1, off: k}, av, bv); !jv.undef {
+			out.slots[k] = jv
+		}
+	}
+	return out
+}
+
+func statesEqual(a, b *state) bool {
+	for r := 0; r < 16; r++ {
+		if !eqVal(a.regs[r], b.regs[r]) {
+			return false
+		}
+	}
+	if len(a.slots) != len(b.slots) {
+		return false
+	}
+	for k, av := range a.slots {
+		bv, ok := b.slots[k]
+		if !ok || !eqVal(av, bv) {
+			return false
+		}
+	}
+	return true
+}
+
+func (it *interp) push(idx int) {
+	if !it.queued[idx-it.ck.i0] {
+		it.queued[idx-it.ck.i0] = true
+		it.work = append(it.work, idx)
+	}
+}
+
+func (it *interp) propagate(to int, σ *state) {
+	slot := &it.in[to-it.ck.i0]
+	if *slot == nil {
+		*slot = σ
+		it.push(to)
+		return
+	}
+	j := it.joinStates(to, *slot, σ)
+	if !statesEqual(*slot, j) {
+		*slot = j
+		it.push(to)
+	}
+}
+
+// run computes the fixpoint. It reports false when the procedure's
+// entry is malformed (no Enter of the right size) and the states are
+// unusable.
+func (it *interp) run() bool {
+	ck := it.ck
+	code := ck.v.prog.Code
+	if ck.iEnd-ck.i0 < 2 || code[ck.i0].Op != vmachine.OpEnter || code[ck.i0].Imm != int64(ck.fw) {
+		ck.codeFinding(ck.i0, "procedure does not begin with enter %d", ck.fw)
+		return false
+	}
+	it.in[1] = it.entryState()
+	it.push(ck.i0 + 1)
+	limit := (ck.iEnd - ck.i0) * 2000
+	for len(it.work) > 0 {
+		if it.steps++; it.steps > limit {
+			ck.codeFinding(ck.i0, "abstract interpretation did not converge")
+			return false
+		}
+		idx := it.work[len(it.work)-1]
+		it.work = it.work[:len(it.work)-1]
+		it.queued[idx-ck.i0] = false
+		σ := it.in[idx-ck.i0].clone()
+		if rp := ck.ptAt[idx]; rp != nil {
+			it.applyClaims(idx, σ, rp)
+		}
+		it.transfer(idx, σ)
+		for _, s := range ck.succs[idx-ck.i0] {
+			it.propagate(s, σ)
+		}
+	}
+	return true
+}

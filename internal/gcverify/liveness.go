@@ -1,0 +1,244 @@
+package gcverify
+
+import (
+	"repro/internal/gctab"
+	"repro/internal/vmachine"
+)
+
+// Backward location liveness over the same CFG the abstract
+// interpreter uses. A location is live at a gc-point when some path
+// reads it afterwards — including the collector itself, so every
+// location a later gc-point's tables mention counts as used there.
+// The checks only *require* table coverage for locations that are
+// live across a point: a dead slot left unlisted is fine, and a dead
+// slot listed is judged by the value checks instead.
+
+type locSet map[lkey]bool
+
+func (s locSet) clone() locSet {
+	n := make(locSet, len(s))
+	for k := range s {
+		n[k] = true
+	}
+	return n
+}
+
+func (s locSet) equal(o locSet) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if !o[k] {
+			return false
+		}
+	}
+	return true
+}
+
+// liveInfo holds per-instruction liveness for one procedure.
+type liveInfo struct {
+	ck      *procCheck
+	liveIn  []locSet // indexed idx-i0
+	liveOut []locSet
+}
+
+func regKey(r uint8) lkey    { return lkey{reg: int8(r)} }
+func slotKey(off int32) lkey { return lkey{reg: -1, off: off} }
+
+// usesDefs returns the locations instruction idx reads and writes.
+// Reads the collector performs at a gc-point (everything the tables
+// mention) are folded into uses.
+func (lv *liveInfo) usesDefs(idx int) (uses, defs []lkey) {
+	ck := lv.ck
+	in := &ck.v.prog.Code[idx]
+	fw := ck.fw
+	slotOf := func(base uint8, imm int64) (lkey, bool) {
+		switch base {
+		case vmachine.BaseFP:
+			return slotKey(int32(imm)), true
+		case vmachine.BaseSP:
+			return slotKey(int32(imm) - fw), true
+		}
+		return lkey{}, false
+	}
+	switch in.Op {
+	case vmachine.OpMovI:
+		defs = append(defs, regKey(in.Rd))
+	case vmachine.OpMov, vmachine.OpNeg, vmachine.OpNot, vmachine.OpAbs:
+		uses = append(uses, regKey(in.Ra))
+		defs = append(defs, regKey(in.Rd))
+	case vmachine.OpAdd, vmachine.OpSub, vmachine.OpMul, vmachine.OpDiv, vmachine.OpMod,
+		vmachine.OpMin, vmachine.OpMax, vmachine.OpCmpEQ, vmachine.OpCmpNE,
+		vmachine.OpCmpLT, vmachine.OpCmpLE, vmachine.OpCmpGT, vmachine.OpCmpGE:
+		uses = append(uses, regKey(in.Ra), regKey(in.Rb))
+		defs = append(defs, regKey(in.Rd))
+	case vmachine.OpAddI:
+		uses = append(uses, regKey(in.Ra))
+		defs = append(defs, regKey(in.Rd))
+	case vmachine.OpLd:
+		if lk, ok := slotOf(in.Base, in.Imm); ok {
+			uses = append(uses, lk)
+		} else {
+			uses = append(uses, regKey(in.Base))
+			// A load through a pointer may read any address-taken slot.
+			for off := range ck.it.escaped {
+				uses = append(uses, slotKey(off))
+			}
+		}
+		defs = append(defs, regKey(in.Rd))
+	case vmachine.OpSt, vmachine.OpStB:
+		uses = append(uses, regKey(in.Ra))
+		if lk, ok := slotOf(in.Base, in.Imm); ok {
+			defs = append(defs, lk)
+		} else {
+			uses = append(uses, regKey(in.Base))
+			// May-write through a pointer: kills nothing.
+		}
+	case vmachine.OpLea:
+		if in.Base < 16 {
+			uses = append(uses, regKey(in.Base))
+		}
+		defs = append(defs, regKey(in.Rd))
+	case vmachine.OpLdG, vmachine.OpLeaG:
+		defs = append(defs, regKey(in.Rd))
+	case vmachine.OpStG:
+		uses = append(uses, regKey(in.Ra))
+	case vmachine.OpBT, vmachine.OpBF:
+		uses = append(uses, regKey(in.Ra))
+	case vmachine.OpCall:
+		if callee, ok := ck.v.procByEntry[in.Target]; ok {
+			for j := 0; j < callee.NumArgs; j++ {
+				uses = append(uses, slotKey(int32(j)-fw))
+			}
+		}
+		// The callee may read this frame's escaped slots through
+		// pointers it received.
+		for off := range ck.it.escaped {
+			uses = append(uses, slotKey(off))
+		}
+		for r := uint8(0); r < 8; r++ {
+			defs = append(defs, regKey(r))
+		}
+	case vmachine.OpRet:
+		// R0 may carry the result; R8–R15 have been restored for the
+		// caller; the restore loads themselves read the save slots.
+		uses = append(uses, regKey(0))
+		for r := uint8(8); r < 16; r++ {
+			uses = append(uses, regKey(r))
+		}
+	case vmachine.OpNewRec, vmachine.OpNewText:
+		defs = append(defs, regKey(in.Rd))
+	case vmachine.OpNewArr:
+		uses = append(uses, regKey(in.Ra))
+		defs = append(defs, regKey(in.Rd))
+	case vmachine.OpPutInt, vmachine.OpPutChar, vmachine.OpPutText, vmachine.OpChkNil:
+		uses = append(uses, regKey(in.Ra))
+	case vmachine.OpChkRng:
+		uses = append(uses, regKey(in.Ra))
+	case vmachine.OpChkIdx:
+		uses = append(uses, regKey(in.Ra), regKey(in.Rb))
+	}
+	if rp := ck.ptAt[idx]; rp != nil {
+		uses = append(uses, ck.tableUses(rp)...)
+	}
+	return uses, defs
+}
+
+// tableUses lists every location a gc-point's decoded tables mention
+// (except the callee-save map, which describes the prologue, not this
+// point): the collector reads and rewrites all of them.
+func (ck *procCheck) tableUses(rp *gctab.RawPoint) []lkey {
+	var uses []lkey
+	add := func(l gctab.Location) {
+		if lk, ok := ck.locKey(l); ok {
+			uses = append(uses, lk)
+		}
+	}
+	for _, l := range rp.View.Live {
+		add(l)
+	}
+	for r := 0; r < 16; r++ {
+		if rp.View.RegPtrs&(1<<uint(r)) != 0 {
+			uses = append(uses, regKey(uint8(r)))
+		}
+	}
+	for i := range rp.View.Derivs {
+		de := &rp.View.Derivs[i]
+		add(de.Target)
+		if de.Sel != nil {
+			add(*de.Sel)
+		}
+		for _, variant := range de.Variants {
+			for _, b := range variant {
+				add(b.Loc)
+			}
+		}
+	}
+	return uses
+}
+
+// computeLiveness runs the backward fixpoint.
+func computeLiveness(ck *procCheck) *liveInfo {
+	n := ck.iEnd - ck.i0
+	lv := &liveInfo{ck: ck, liveIn: make([]locSet, n), liveOut: make([]locSet, n)}
+	preds := make([][]int, n)
+	for idx := ck.i0; idx < ck.iEnd; idx++ {
+		for _, s := range ck.succs[idx-ck.i0] {
+			preds[s-ck.i0] = append(preds[s-ck.i0], idx)
+		}
+	}
+	work := make([]int, 0, n)
+	queued := make([]bool, n)
+	for idx := ck.iEnd - 1; idx >= ck.i0; idx-- {
+		work = append(work, idx)
+		queued[idx-ck.i0] = true
+	}
+	for len(work) > 0 {
+		idx := work[len(work)-1]
+		work = work[:len(work)-1]
+		queued[idx-ck.i0] = false
+		out := locSet{}
+		for _, s := range ck.succs[idx-ck.i0] {
+			for k := range lv.liveIn[s-ck.i0] {
+				out[k] = true
+			}
+		}
+		lv.liveOut[idx-ck.i0] = out
+		uses, defs := lv.usesDefs(idx)
+		in := out.clone()
+		for _, d := range defs {
+			delete(in, d)
+		}
+		for _, u := range uses {
+			in[u] = true
+		}
+		if lv.liveIn[idx-ck.i0] != nil && in.equal(lv.liveIn[idx-ck.i0]) {
+			continue
+		}
+		lv.liveIn[idx-ck.i0] = in
+		for _, p := range preds[idx-ck.i0] {
+			if !queued[p-ck.i0] {
+				queued[p-ck.i0] = true
+				work = append(work, p)
+			}
+		}
+	}
+	return lv
+}
+
+// liveAcross returns the locations whose values survive gc-point idx
+// into code the collector must not break: live-out minus the point's
+// own definitions (an allocation's destination is written after the
+// collection completes).
+func (lv *liveInfo) liveAcross(idx int) locSet {
+	out := lv.liveOut[idx-lv.ck.i0]
+	_, defs := lv.usesDefs(idx)
+	if len(defs) == 0 {
+		return out
+	}
+	res := out.clone()
+	for _, d := range defs {
+		delete(res, d)
+	}
+	return res
+}

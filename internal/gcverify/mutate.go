@@ -1,0 +1,117 @@
+package gcverify
+
+import (
+	"reflect"
+
+	"repro/internal/gctab"
+	"repro/internal/vmachine"
+)
+
+// The seeded-fault harness measures how much of the encoded table
+// stream the verifier actually guards: it flips every bit (or
+// rewrites every byte) of the encoding, discards mutations that decode
+// to the identical tables (semantically equivalent streams cannot be
+// distinguished by any checker), and demands the verifier flag the
+// rest.
+
+// Mutation identifies one injected fault.
+type Mutation struct {
+	Off int  // byte offset into Encoded.Bytes
+	Bit int  // flipped bit 0..7, or -1 for a byte rewrite
+	Old byte // original byte value
+	New byte // mutated byte value
+}
+
+// FaultConfig controls the sweep.
+type FaultConfig struct {
+	// Stride visits every Stride-th byte (default 1: all bytes).
+	Stride int
+	// Bytes rewrites each visited byte (XOR 0xA5) instead of flipping
+	// its eight bits individually.
+	Bytes bool
+}
+
+// FaultReport summarizes a sweep.
+type FaultReport struct {
+	Total      int // mutations injected
+	Equivalent int // decoded identically to the baseline: undetectable
+	Detected   int // verifier reported at least one finding
+	Misses     []Mutation
+}
+
+// DetectionRate is detected over distinguishable mutations.
+func (r *FaultReport) DetectionRate() float64 {
+	d := r.Total - r.Equivalent
+	if d == 0 {
+		return 1
+	}
+	return float64(r.Detected) / float64(d)
+}
+
+// decodeImage captures everything a mutation could observably change:
+// per-procedure gc-point PCs, callee-save maps, descriptor bytes, and
+// fully resolved views. A decode error yields a nil image.
+func decodeImage(enc *gctab.Encoded) []any {
+	dec := gctab.NewDecoder(enc)
+	var img []any
+	for i := 0; i < dec.NumProcs(); i++ {
+		var pts []gctab.RawPoint
+		saves, err := dec.WalkProc(i, func(rp *gctab.RawPoint) error {
+			pts = append(pts, *rp)
+			return nil
+		})
+		if err != nil {
+			return nil
+		}
+		img = append(img, saves, pts)
+	}
+	return img
+}
+
+// SeedFaults sweeps single-bit (or single-byte) faults over the
+// encoded stream and verifies each mutant with opts.
+func SeedFaults(prog *vmachine.Program, enc *gctab.Encoded, opts Options, cfg FaultConfig) *FaultReport {
+	if cfg.Stride <= 0 {
+		cfg.Stride = 1
+	}
+	// Fail fast inside the sweep: one finding is enough to count a
+	// mutant as detected.
+	opts.FailFast = true
+	base := decodeImage(enc)
+	rep := &FaultReport{}
+	mutant := &gctab.Encoded{
+		Scheme: enc.Scheme,
+		Bytes:  append([]byte(nil), enc.Bytes...),
+		Index:  enc.Index,
+		Names:  enc.Names,
+	}
+	try := func(off int, bit int, nb byte) {
+		old := mutant.Bytes[off]
+		if nb == old {
+			return
+		}
+		mutant.Bytes[off] = nb
+		defer func() { mutant.Bytes[off] = old }()
+		rep.Total++
+		img := decodeImage(mutant)
+		if img != nil && reflect.DeepEqual(img, base) {
+			rep.Equivalent++
+			return
+		}
+		if Verify(prog, mutant, opts).OK() {
+			rep.Misses = append(rep.Misses, Mutation{Off: off, Bit: bit, Old: old, New: nb})
+			return
+		}
+		rep.Detected++
+	}
+	for off := 0; off < len(enc.Bytes); off += cfg.Stride {
+		if cfg.Bytes {
+			try(off, -1, enc.Bytes[off]^0xA5)
+			continue
+		}
+		for bit := 0; bit < 8; bit++ {
+			try(off, bit, enc.Bytes[off]^(1<<uint(bit)))
+		}
+	}
+	return rep
+}

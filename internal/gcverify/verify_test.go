@@ -1,0 +1,196 @@
+package gcverify_test
+
+import (
+	"bufio"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/driver"
+	"repro/internal/gctab"
+	"repro/internal/gcverify"
+	"repro/internal/progen"
+)
+
+// allSchemes is the full 2×2×2 encoding matrix: {full-info, δ-main} ×
+// {plain, packing} × {with, without previous-descriptors}.
+var allSchemes = []gctab.Scheme{
+	{Full: true},
+	{Full: true, Previous: true},
+	{Full: true, Packing: true},
+	{Full: true, Packing: true, Previous: true},
+	{},
+	{Previous: true},
+	{Packing: true},
+	{Packing: true, Previous: true},
+}
+
+func logFindings(t *testing.T, rep *gcverify.Report) {
+	t.Helper()
+	for i, f := range rep.Findings {
+		if i > 9 {
+			t.Logf("  ... %d more", len(rep.Findings)-i)
+			break
+		}
+		t.Logf("  %s", f)
+	}
+}
+
+// TestBenchmarksClean verifies every paper benchmark under every
+// encoding scheme at both optimization levels, in strict mode (the
+// recomputed ground truth must also match the compiler's in-memory
+// tables exactly).
+func TestBenchmarksClean(t *testing.T) {
+	for name, src := range bench.Sources() {
+		for _, optimize := range []bool{false, true} {
+			for _, s := range allSchemes {
+				opts := driver.NewOptions()
+				opts.Optimize = optimize
+				opts.Scheme = s
+				c, err := driver.Compile(name, src, opts)
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				rep := gcverify.Verify(c.Prog, c.Encoded, gcverify.Options{Object: c.Tables})
+				if !rep.OK() {
+					t.Errorf("%s opt=%v scheme=%v: %d findings", name, optimize, s, len(rep.Findings))
+					logFindings(t, rep)
+				}
+				if rep.Procs == 0 || rep.Points == 0 {
+					t.Errorf("%s opt=%v scheme=%v: verifier covered nothing (%d procs, %d points)",
+						name, optimize, s, rep.Procs, rep.Points)
+				}
+			}
+		}
+	}
+}
+
+// TestDriverVerifyOption exercises the Options.Verify wiring: the
+// compile itself must run the strict verifier and succeed.
+func TestDriverVerifyOption(t *testing.T) {
+	opts := driver.NewOptions()
+	opts.Verify = true
+	if _, err := driver.Compile("takl", bench.Sources()["takl"], opts); err != nil {
+		t.Fatalf("Compile with Verify: %v", err)
+	}
+}
+
+// corpusSeeds reads the checked-in fuzz corpus, plus seeds 1..N when
+// PROGEN_SEEDS=N is set.
+func corpusSeeds(t *testing.T) []int64 {
+	f, err := os.Open("testdata/corpus_seeds.txt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	seen := map[int64]bool{}
+	var seeds []int64
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		n, err := strconv.ParseInt(line, 10, 64)
+		if err != nil {
+			t.Fatalf("corpus_seeds.txt: bad line %q", line)
+		}
+		if !seen[n] {
+			seen[n] = true
+			seeds = append(seeds, n)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if v := os.Getenv("PROGEN_SEEDS"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			t.Fatalf("PROGEN_SEEDS=%q: %v", v, err)
+		}
+		for s := int64(1); s <= int64(n); s++ {
+			if !seen[s] {
+				seen[s] = true
+				seeds = append(seeds, s)
+			}
+		}
+	}
+	return seeds
+}
+
+// TestProgenCorpus differentially fuzzes the verifier: every corpus
+// program, compiled under each pipeline configuration, must verify
+// clean in strict mode. A finding here is a bug in either the compiler
+// or the verifier, and the seed reproduces it.
+func TestProgenCorpus(t *testing.T) {
+	seeds := corpusSeeds(t)
+	if testing.Short() && len(seeds) > 4 {
+		seeds = seeds[:4]
+	}
+	configs := []struct {
+		name           string
+		mt, elide, gen bool
+	}{
+		{name: "default"},
+		{name: "mt", mt: true},
+		{name: "elide", elide: true},
+		{name: "gen", gen: true},
+	}
+	for _, seed := range seeds {
+		src := progen.Program(seed)
+		for _, optimize := range []bool{false, true} {
+			for _, cfg := range configs {
+				opts := driver.NewOptions()
+				opts.Optimize = optimize
+				opts.Multithreaded = cfg.mt
+				opts.ElideNonAlloc = cfg.elide
+				opts.Generational = cfg.gen
+				c, err := driver.Compile("progen", src, opts)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				rep := gcverify.Verify(c.Prog, c.Encoded, gcverify.Options{
+					Object:           c.Tables,
+					AllowElidedCalls: cfg.elide,
+				})
+				if !rep.OK() {
+					t.Errorf("seed %d opt=%v %s: %d findings", seed, optimize, cfg.name, len(rep.Findings))
+					logFindings(t, rep)
+				}
+			}
+		}
+	}
+}
+
+// TestMismatchedTables is the end-to-end negative test: tables emitted
+// for the unoptimized compile of a program must not verify against the
+// optimized code (and vice versa). The verifier has no structural
+// knowledge that the pairing is wrong — it must discover it.
+func TestMismatchedTables(t *testing.T) {
+	src := bench.Sources()["takl"]
+	compile := func(optimize bool) *driver.Compiled {
+		opts := driver.NewOptions()
+		opts.Optimize = optimize
+		c, err := driver.Compile("takl", src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	noopt, opt := compile(false), compile(true)
+	for _, pair := range []struct {
+		name string
+		code *driver.Compiled
+		tab  *driver.Compiled
+	}{
+		{"noopt-code/opt-tables", noopt, opt},
+		{"opt-code/noopt-tables", opt, noopt},
+	} {
+		rep := gcverify.Verify(pair.code.Prog, pair.tab.Encoded, gcverify.Options{})
+		if rep.OK() {
+			t.Errorf("%s: verifier accepted tables for the wrong code", pair.name)
+		}
+	}
+}
