@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: check fmt vet vet-gcverify build test race test-all bench-telemetry verify-smoke
+.PHONY: check fmt vet vet-gcverify build test race test-all bench-telemetry bench-smoke verify-smoke
 
 check: fmt vet vet-gcverify build race test-all
 
@@ -25,14 +25,24 @@ vet-gcverify:
 build:
 	$(GO) build ./...
 
+# Race slice: the concurrent subsystems — the decode cache and parallel
+# stack walker (gctab, gc), the generational collector that walks
+# through them (gengc), and the telemetry tracer they all feed.
 race:
-	$(GO) test -race ./internal/telemetry/... ./internal/gc/...
+	$(GO) test -race ./internal/telemetry/... ./internal/gc/... ./internal/gctab/... ./internal/gengc/...
 
 test-all:
 	$(GO) test ./...
 
 bench-telemetry:
 	$(GO) test -bench . -benchmem ./internal/telemetry/
+
+# Decode-cache smoke: run the cached-vs-uncached takl comparison (fails
+# if the runs diverge) and leave the telemetry snapshot under artifacts/
+# for CI to upload.
+bench-smoke:
+	mkdir -p artifacts
+	$(GO) run ./cmd/paperbench -cache -snapshot artifacts/takl-telemetry.json
 
 # Short gc-map verifier smoke: the checked-in progen corpus (first few
 # seeds) plus a strided seeded-fault sweep. CI runs this on every push.

@@ -86,15 +86,21 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("verify: all schemes decode every gc-point identically")
+		fmt.Println("verify: cached decoder transparent under every scheme")
 	}
 }
 
 // verifySchemes decodes every gc-point under every scheme and checks
-// the views agree.
+// the views agree; it also checks, per scheme, that the memoizing
+// CachedDecoder is observationally identical to the plain decoder.
 func verifySchemes(c *driver.Compiled) error {
 	var decs []*gctab.Decoder
 	for _, s := range allSchemes {
-		decs = append(decs, gctab.NewDecoder(gctab.Encode(c.Tables, s)))
+		e := gctab.Encode(c.Tables, s)
+		if err := gctab.VerifyCacheTransparency(e); err != nil {
+			return fmt.Errorf("scheme %v: decode cache: %w", s, err)
+		}
+		decs = append(decs, gctab.NewDecoder(e))
 	}
 	for i := range c.Tables.Procs {
 		p := &c.Tables.Procs[i]

@@ -17,6 +17,8 @@
 //	-elide        elide gc-points at non-allocating calls (.m3 input)
 //	-gen          compile store checks for the generational collector
 //	-allschemes   verify the tables under all eight encoding schemes
+//	-cache        also check the memoizing decoder is observationally
+//	              identical to the plain decoder on these tables
 //	-mutate       also run the seeded-fault sweep and report the
 //	              mutation detection rate
 //	-stride N     visit every Nth byte in the fault sweep (default 1)
@@ -63,6 +65,7 @@ func main() {
 	elide := flag.Bool("elide", false, "elide gc-points at non-allocating calls")
 	gen := flag.Bool("gen", false, "compile store checks (generational)")
 	all := flag.Bool("allschemes", false, "verify under all eight encoding schemes")
+	cacheCheck := flag.Bool("cache", false, "check decode-cache transparency")
 	mutate := flag.Bool("mutate", false, "run the seeded-fault sweep")
 	stride := flag.Int("stride", 1, "fault-sweep byte stride")
 	flag.Parse()
@@ -130,6 +133,15 @@ func main() {
 		if !rep.OK() {
 			status = fmt.Sprintf("%d findings", len(rep.Findings))
 			failed = true
+		}
+		if *cacheCheck {
+			if err := gctab.VerifyCacheTransparency(enc); err != nil {
+				fmt.Printf("decode cache not transparent: %v\n", err)
+				status += ", cache check FAILED"
+				failed = true
+			} else {
+				status += ", cache transparent"
+			}
 		}
 		fmt.Printf("%-22s %d procs, %d gc-points: %s\n", enc.Scheme, rep.Procs, rep.Points, status)
 	}

@@ -7,10 +7,15 @@
 //	-sec63     §6.3: stack tracing time on destroy
 //	-compare   §7 context: precise compacting vs conservative mark-sweep
 //	-decode    decode cost per gc-point per scheme (δ-main vs full-info)
+//	-cache     decode-cache effect on takl: table bytes read per collection
 //	-all       everything
+//
+// -snapshot FILE writes the cached takl run's telemetry snapshot (cache
+// hit rate, bytes read/saved) as JSON, for CI artifacts.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,12 +34,17 @@ func main() {
 	dec := flag.Bool("decode", false, "table decode cost per scheme")
 	ref := flag.Bool("refine", false, "§5.2 refinements: short pc distances, array runs")
 	gen := flag.Bool("generational", false, "generational scavenging extension vs full copying")
+	cache := flag.Bool("cache", false, "decode-cache effect on takl (table bytes read per collection)")
+	snapshot := flag.String("snapshot", "", "write the cached takl run's telemetry snapshot (JSON) to this file")
 	all := flag.Bool("all", false, "run everything")
 	flag.Parse()
 	if *all {
-		*t1, *t2, *s62, *s63, *cmp, *dec, *ref, *gen = true, true, true, true, true, true, true, true
+		*t1, *t2, *s62, *s63, *cmp, *dec, *ref, *gen, *cache = true, true, true, true, true, true, true, true, true
 	}
-	if !*t1 && !*t2 && !*s62 && !*s63 && !*cmp && !*dec && !*ref && !*gen {
+	if *snapshot != "" {
+		*cache = true
+	}
+	if !*t1 && !*t2 && !*s62 && !*s63 && !*cmp && !*dec && !*ref && !*gen && !*cache {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -62,6 +72,39 @@ func main() {
 	if *gen {
 		generational()
 	}
+	if *cache {
+		decodeCache(*snapshot)
+	}
+}
+
+func decodeCache(snapshotPath string) {
+	fmt.Println("== Decode cache: table bytes read per collection (takl) ==")
+	fmt.Println("(the §6.3 cost model re-decodes every frame's tables each collection;")
+	fmt.Println(" the cache replays each procedure's segment at most once per run)")
+	r, err := bench.DecodeCacheComparison("takl", 4096)
+	check(err)
+	fmt.Printf("scheme:                     %v\n", r.Scheme)
+	fmt.Printf("collections:                %d uncached / %d cached\n", r.UncachedCollections, r.CachedCollections)
+	fmt.Printf("table bytes read, uncached: %d (%.1f per collection)\n", r.UncachedBytes, r.UncachedPerGC)
+	fmt.Printf("table bytes read, cached:   %d (%.1f per collection)\n", r.CachedBytes, r.CachedPerGC)
+	fmt.Printf("reduction:                  %.1fx\n", r.Reduction)
+	hitRate := 0.0
+	if r.CacheHits+r.CacheMisses > 0 {
+		hitRate = 100 * float64(r.CacheHits) / float64(r.CacheHits+r.CacheMisses)
+	}
+	fmt.Printf("cache hits/misses:          %d/%d (%.1f%% hit rate), %d bytes saved\n",
+		r.CacheHits, r.CacheMisses, hitRate, r.BytesSaved)
+	fmt.Printf("outputs identical:          %v\n", r.OutputsMatch)
+	if !r.OutputsMatch {
+		check(fmt.Errorf("cached and uncached runs diverged"))
+	}
+	if snapshotPath != "" {
+		data, err := json.MarshalIndent(r.Snapshot, "", "  ")
+		check(err)
+		check(os.WriteFile(snapshotPath, append(data, '\n'), 0o644))
+		fmt.Printf("telemetry snapshot written: %s\n", snapshotPath)
+	}
+	fmt.Println()
 }
 
 func generational() {

@@ -391,6 +391,59 @@ BEGIN
 END Takl.
 `
 
+// TaklLoopSource is takl under allocation pressure: the same
+// Takeuchi-on-lists computation repeated iters times, rebuilding the
+// argument lists each round so the collector actually runs. Plain takl
+// allocates only ~90 words total (Mas allocates nothing), so it never
+// collects at any heap size; the decode-cache measurement needs
+// collections to charge decode work to.
+func TaklLoopSource(iters int) string {
+	return fmt.Sprintf(`
+MODULE Takl;
+CONST X = 14; Y = 10; Z = 5; Iters = %d;
+TYPE List = REF RECORD head: INTEGER; tail: List; END;
+
+PROCEDURE Listn(n: INTEGER): List =
+  VAR l: List;
+  BEGIN
+    IF n = 0 THEN RETURN NIL; END;
+    l := NEW(List);
+    l.head := n;
+    l.tail := Listn(n - 1);
+    RETURN l;
+  END Listn;
+
+PROCEDURE Shorterp(x, y: List): BOOLEAN =
+  BEGIN
+    IF y = NIL THEN RETURN FALSE; END;
+    IF x = NIL THEN RETURN TRUE; END;
+    RETURN Shorterp(x.tail, y.tail);
+  END Shorterp;
+
+PROCEDURE Mas(x, y, z: List): List =
+  BEGIN
+    IF NOT Shorterp(y, x) THEN RETURN z; END;
+    RETURN Mas(Mas(x.tail, y, z), Mas(y.tail, z, x), Mas(z.tail, x, y));
+  END Mas;
+
+PROCEDURE Length(l: List): INTEGER =
+  VAR n: INTEGER;
+  BEGIN
+    n := 0;
+    WHILE l # NIL DO INC(n); l := l.tail; END;
+    RETURN n;
+  END Length;
+
+VAR r: List; i: INTEGER;
+BEGIN
+  FOR i := 1 TO Iters DO
+    r := Mas(Listn(X), Listn(Y), Listn(Z));
+  END;
+  PutInt(Length(r)); PutLn();
+END Takl.
+`, iters)
+}
+
 // DestroySource follows §6.3: "destroy builds a complete tree of
 // specified branching factor and depth. It then repeatedly builds a new
 // subtree at some fixed intermediate depth, and replaces a randomly

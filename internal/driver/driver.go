@@ -48,12 +48,23 @@ type Options struct {
 	// Verify runs the static gc-table verifier (internal/gcverify) in
 	// strict mode after compilation; a finding fails the compile.
 	Verify bool
+	// DecodeCache (default in NewOptions) walks stacks through a
+	// gctab.CachedDecoder, so each procedure's table segment is decoded
+	// at most once per run instead of once per lookup. Off reproduces
+	// the paper's §6.3 per-collection decode cost. The cache is
+	// behaviorally invisible: identical heap contents, outputs, and
+	// errors either way.
+	DecodeCache bool
+	// WalkWorkers bounds the collectors' stack-walk worker pool and the
+	// conservative heap's root-scan pool (0 = one worker per available
+	// CPU, 1 = serial). Results are deterministic at any width.
+	WalkWorkers int
 }
 
 // NewOptions returns the default configuration: optimized, gc support
-// on, δ-main with packing and previous-descriptors.
+// on, δ-main with packing and previous-descriptors, decode cache on.
 func NewOptions() Options {
-	return Options{Optimize: true, GCSupport: true, Scheme: gctab.DeltaPP}
+	return Options{Optimize: true, GCSupport: true, Scheme: gctab.DeltaPP, DecodeCache: true}
 }
 
 // Compiled is the result of a compilation.
@@ -125,6 +136,15 @@ func (c *Compiled) Verify() error {
 	return rep.Err()
 }
 
+// tableDecoder builds the decoder the options ask for: memoizing by
+// default, the paper's pay-per-lookup decoder when DecodeCache is off.
+func (c *Compiled) tableDecoder() gctab.TableDecoder {
+	if c.Opts.DecodeCache {
+		return gctab.NewCachedDecoder(c.Encoded)
+	}
+	return gctab.NewDecoder(c.Encoded)
+}
+
 // NewMachine builds a machine running under the precise compacting
 // collector and spawns the main thread.
 func (c *Compiled) NewMachine(cfg vmachine.Config) (*vmachine.Machine, *gc.Collector, error) {
@@ -133,7 +153,8 @@ func (c *Compiled) NewMachine(cfg vmachine.Config) (*vmachine.Machine, *gc.Colle
 	}
 	m := vmachine.New(c.Prog, cfg)
 	h := heap.New(m.Mem, m.HeapLo, m.HeapHi, c.Prog.Descs)
-	col := gc.New(h, c.Encoded)
+	col := gc.NewWith(h, c.tableDecoder())
+	col.WalkWorkers = c.Opts.WalkWorkers
 	col.SetTracer(cfg.Tel)
 	m.Alloc = h
 	m.Collector = col
@@ -155,7 +176,8 @@ func (c *Compiled) NewGenerationalMachine(cfg vmachine.Config) (*vmachine.Machin
 	}
 	m := vmachine.New(c.Prog, cfg)
 	h := gengc.NewHeap(m.Mem, m.HeapLo, m.HeapHi, c.Prog.Descs)
-	col := gengc.New(h, c.Encoded)
+	col := gengc.NewWith(h, c.tableDecoder())
+	col.WalkWorkers = c.Opts.WalkWorkers
 	col.SetTracer(cfg.Tel)
 	m.Alloc = h
 	m.Collector = col
@@ -171,6 +193,7 @@ func (c *Compiled) NewGenerationalMachine(cfg vmachine.Config) (*vmachine.Machin
 func (c *Compiled) NewConservativeMachine(cfg vmachine.Config) (*vmachine.Machine, *conservative.Heap, error) {
 	m := vmachine.New(c.Prog, cfg)
 	h := conservative.New(m.Mem, m.HeapLo, m.HeapHi, c.Prog.Descs)
+	h.ScanWorkers = c.Opts.WalkWorkers
 	h.SetTracer(cfg.Tel)
 	m.Alloc = h
 	m.Collector = h

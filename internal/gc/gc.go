@@ -37,9 +37,14 @@ const (
 // Collector is the precise compacting collector.
 type Collector struct {
 	Heap  *heap.Heap
-	Dec   *gctab.Decoder
+	Dec   gctab.TableDecoder
 	Mode  Mode
 	Debug bool // verify roots and heap invariants
+
+	// WalkWorkers bounds the stack-walk worker pool (0 =
+	// DefaultWalkWorkers, 1 = serial). The walk result is deterministic
+	// at any width.
+	WalkWorkers int
 
 	// Statistics.
 	Collections    int64
@@ -66,9 +71,18 @@ type Collector struct {
 	gCollections *telemetry.Gauge
 }
 
-// New creates a collector over h using the encoded tables.
+// New creates a collector over h using the encoded tables, decoded on
+// every lookup (the paper's §6.3 cost model). NewWith picks the
+// decoder.
 func New(h *heap.Heap, enc *gctab.Encoded) *Collector {
-	return &Collector{Heap: h, Dec: gctab.NewDecoder(enc)}
+	return NewWith(h, gctab.NewDecoder(enc))
+}
+
+// NewWith creates a collector over h walking stacks through dec —
+// typically a gctab.CachedDecoder when amortizing decode cost, or a
+// plain gctab.Decoder to reproduce the paper's numbers.
+func NewWith(h *heap.Heap, dec gctab.TableDecoder) *Collector {
+	return &Collector{Heap: h, Dec: dec}
 }
 
 // SetTracer attaches telemetry to the collector and its table decoder,
@@ -142,7 +156,7 @@ func (c *Collector) Collect(m *vmachine.Machine) error {
 	}
 
 	traceStart := time.Now()
-	frames, err := WalkMachine(m, c.Dec)
+	frames, err := WalkMachineN(m, c.Dec, c.WalkWorkers)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,9 @@ package gc
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/gctab"
 	"repro/internal/vmachine"
@@ -20,24 +23,84 @@ type Frame struct {
 	variant []int
 }
 
+// DefaultWalkWorkers bounds the stack-walk worker pool when the caller
+// does not pick a width (WalkMachine, or WalkMachineN with workers <=
+// 0). Walking is CPU-bound table decoding, so the machine's parallelism
+// is the natural cap; a var so tests and tools can pin it.
+var DefaultWalkWorkers = runtime.GOMAXPROCS(0)
+
 // WalkMachine walks every live thread's stack, innermost frame first,
 // reconstructing per-frame register files from the callee-save maps.
-func WalkMachine(m *vmachine.Machine, dec *gctab.Decoder) ([]*Frame, error) {
-	var frames []*Frame
+// Multi-thread machines are walked by a bounded worker pool; the result
+// is identical to a serial walk (frames ordered by the thread's
+// position in m.Threads, then innermost first).
+func WalkMachine(m *vmachine.Machine, dec gctab.TableDecoder) ([]*Frame, error) {
+	return WalkMachineN(m, dec, 0)
+}
+
+// WalkMachineN is WalkMachine with an explicit worker-pool width:
+// workers <= 0 means DefaultWalkWorkers, 1 forces the serial walk.
+// Each worker walks whole threads through its own forked decoder
+// handle, and the per-thread frame lists are merged in m.Threads order,
+// so frame order, decode results, and the first error reported (the
+// lowest-indexed failing thread's) are all deterministic regardless of
+// width.
+func WalkMachineN(m *vmachine.Machine, dec gctab.TableDecoder, workers int) ([]*Frame, error) {
+	var live []*vmachine.Thread
 	for _, t := range m.Threads {
 		if t.Done {
 			continue
 		}
-		fs, err := walkThread(m, dec, t)
-		if err != nil {
-			return nil, err
+		live = append(live, t)
+	}
+	if workers <= 0 {
+		workers = DefaultWalkWorkers
+	}
+	if workers > len(live) {
+		workers = len(live)
+	}
+	if workers <= 1 {
+		var frames []*Frame
+		for _, t := range live {
+			fs, err := walkThread(m, dec, t)
+			if err != nil {
+				return nil, err
+			}
+			frames = append(frames, fs...)
 		}
-		frames = append(frames, fs...)
+		return frames, nil
+	}
+
+	perThread := make([][]*Frame, len(live))
+	errs := make([]error, len(live))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(dec gctab.TableDecoder) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(live) {
+					return
+				}
+				perThread[i], errs[i] = walkThread(m, dec, live[i])
+			}
+		}(dec.Fork())
+	}
+	wg.Wait()
+
+	var frames []*Frame
+	for i := range live {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		frames = append(frames, perThread[i]...)
 	}
 	return frames, nil
 }
 
-func walkThread(m *vmachine.Machine, dec *gctab.Decoder, t *vmachine.Thread) ([]*Frame, error) {
+func walkThread(m *vmachine.Machine, dec gctab.TableDecoder, t *vmachine.Thread) ([]*Frame, error) {
 	var frames []*Frame
 	var regAddr [16]*int64
 	for r := 0; r < 16; r++ {

@@ -1,0 +1,299 @@
+package gctab
+
+import (
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+
+	"repro/internal/telemetry"
+)
+
+// TableDecoder is the lookup interface the collectors walk stacks
+// through: the uncached Decoder (the paper's §6.3 cost model, which
+// re-reads the stream on every lookup) and the memoizing CachedDecoder
+// both satisfy it.
+//
+// Decode has the Decoder.Decode contract: (nil, nil) for a pc that is
+// not a gc-point, an ErrTruncated/ErrBadDescriptor-wrapping error for a
+// damaged stream. Implementations must be safe for concurrent use;
+// Fork hands out a per-worker handle for parallel stack walkers
+// (forks share the underlying stream and any cache).
+type TableDecoder interface {
+	Decode(pc int) (*PointView, error)
+	SetTracer(t *telemetry.Tracer)
+	Fork() TableDecoder
+}
+
+// CachedDecoder memoizes fully resolved PointViews keyed by gc-point
+// PC over the immutable encoded stream. The first lookup touching a
+// procedure replays that procedure's segment exactly once — resolving
+// every point in stream order, which is how Previous-mode tables must
+// be read anyway — and later lookups are map hits that touch no stream
+// bytes. This amortizes the paper's per-collection decode cost without
+// changing any result: cached and uncached lookups return equal views
+// and equal errors (see VerifyCacheTransparency).
+//
+// A CachedDecoder is safe for concurrent use; each procedure's build
+// runs under a sync.Once and the resulting views are immutable and
+// shared (callers must not mutate them — the same discipline the plain
+// Decoder's callers already follow within one lookup).
+type CachedDecoder struct {
+	Dec   *Decoder
+	procs []cachedProc
+
+	// Telemetry (nil when not attached). The decode.* handles mirror
+	// the plain Decoder's so cache-on/off runs are compared by reading
+	// the same counters; the cache.* handles measure the cache itself.
+	tel        *telemetry.Tracer
+	hits       *telemetry.Counter
+	misses     *telemetry.Counter
+	bytesRead  *telemetry.Counter
+	decodeNs   *telemetry.Histogram
+	cacheHits  *telemetry.Counter
+	cacheMiss  *telemetry.Counter
+	bytesSaved *telemetry.Counter
+}
+
+// cachedProc is one procedure's memoized table set, built at most once.
+type cachedProc struct {
+	once sync.Once
+
+	segErr    error // corrupt index offset: returned verbatim for any pc
+	pcmapFail bool  // the pc map itself is damaged: any pc in range errors
+	cause     error // ErrTruncated/ErrBadDescriptor hit mid-stream, if any
+
+	inMap      map[int]bool // pc appears in the procedure's pc map
+	views      map[int]*cachedPoint
+	segBytes   int64 // stream bytes consumed by the one-time replay
+	pcmapBytes int64 // bytes of the pc map alone (an uncached miss's cost)
+}
+
+// cachedPoint pairs a resolved view with the stream bytes an uncached
+// decode of that point would read (cumulative from the segment start),
+// so the cache can report how much each hit saved.
+type cachedPoint struct {
+	view *PointView
+	cost int64
+}
+
+// NewCachedDecoder returns a caching decoder over e.
+func NewCachedDecoder(e *Encoded) *CachedDecoder {
+	return &CachedDecoder{Dec: NewDecoder(e), procs: make([]cachedProc, len(e.Index))}
+}
+
+// SetTracer attaches telemetry. Lookups emit EvDecode events exactly
+// like the plain decoder (bytes-read argument 0 when served from
+// cache) and additionally feed the cache hit/miss/bytes-saved
+// counters.
+func (c *CachedDecoder) SetTracer(t *telemetry.Tracer) {
+	c.tel = t
+	if t == nil {
+		c.hits, c.misses, c.bytesRead, c.decodeNs = nil, nil, nil, nil
+		c.cacheHits, c.cacheMiss, c.bytesSaved = nil, nil, nil
+		return
+	}
+	s := c.Dec.Enc.Scheme
+	c.hits = t.Counter(s.DecodeHitsCounter())
+	c.misses = t.Counter(s.DecodeMissesCounter())
+	c.bytesRead = t.Counter(s.DecodeBytesCounter())
+	c.decodeNs = t.Histogram(s.DecodeNsHistogram())
+	c.cacheHits = t.Counter(s.CacheHitsCounter())
+	c.cacheMiss = t.Counter(s.CacheMissesCounter())
+	c.bytesSaved = t.Counter(s.CacheBytesSavedCounter())
+}
+
+// Fork returns a handle for a parallel walker worker. The cache is
+// shared — concurrent builds coordinate through sync.Once — so forks
+// are the receiver itself.
+func (c *CachedDecoder) Fork() TableDecoder { return c }
+
+// Lookup has the Decoder.Lookup contract (membership probes only; see
+// that method's caveats).
+func (c *CachedDecoder) Lookup(pc int) (*PointView, bool) {
+	view, err := c.Decode(pc)
+	if err != nil || view == nil {
+		return nil, false
+	}
+	return view, true
+}
+
+// Decode finds the memoized tables for gc-point pc, building the
+// owning procedure's cache on first touch. Results — views, (nil, nil)
+// for non-gc-points, and errors on damaged streams — match the plain
+// Decoder's byte for byte.
+func (c *CachedDecoder) Decode(pc int) (*PointView, error) {
+	if c.tel == nil {
+		view, _, _, err := c.lookup(pc)
+		return view, err
+	}
+	start := c.tel.Now()
+	view, readNow, savedNow, err := c.lookup(pc)
+	ns := c.tel.Now() - start
+	hit := int64(0)
+	if view != nil {
+		hit = 1
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	if readNow > 0 {
+		c.cacheMiss.Add(1)
+		c.bytesRead.Add(readNow)
+	} else {
+		c.cacheHits.Add(1)
+		c.bytesSaved.Add(savedNow)
+	}
+	c.decodeNs.Observe(ns)
+	c.tel.Emit(telemetry.EvDecode, -1, int64(pc), hit, ns, readNow)
+	return view, err
+}
+
+// lookup resolves pc, reporting the stream bytes read now (the one-time
+// replay, on the lookup that triggered it) and the bytes an uncached
+// decode would have read when the answer came from cache.
+func (c *CachedDecoder) lookup(pc int) (view *PointView, readNow, savedNow int64, err error) {
+	idx := c.Dec.Enc.Index
+	i := sort.Search(len(idx), func(i int) bool { return idx[i].End > pc })
+	if i >= len(idx) || pc < idx[i].Entry {
+		return nil, 0, 0, nil
+	}
+	p := &c.procs[i]
+	built := false
+	p.once.Do(func() {
+		c.buildProc(i, p)
+		built = true
+	})
+	if built {
+		readNow = p.segBytes
+	}
+	if p.segErr != nil {
+		return nil, readNow, 0, p.segErr
+	}
+	if p.pcmapFail {
+		return nil, readNow, 0, c.pointErr(i, pc, ErrTruncated)
+	}
+	if e, ok := p.views[pc]; ok {
+		if !built {
+			savedNow = e.cost
+		}
+		return e.view, readNow, savedNow, nil
+	}
+	if p.inMap[pc] {
+		// The pc map lists this point but the replay never resolved it:
+		// the damage the replay hit lies at or before it in the stream.
+		return nil, readNow, 0, c.pointErr(i, pc, p.cause)
+	}
+	// Not a gc-point. An uncached decoder would still have parsed the
+	// pc map to learn that.
+	if !built {
+		savedNow = p.pcmapBytes
+	}
+	return nil, readNow, savedNow, nil
+}
+
+func (c *CachedDecoder) pointErr(i, pc int, cause error) error {
+	return fmt.Errorf("gctab: %s: gc-point pc %d: %w", c.Dec.Enc.Names[i], pc, cause)
+}
+
+// VerifyCacheTransparency cross-checks a fresh CachedDecoder against
+// the plain Decoder over e: every pc in every procedure's pc map, plus
+// the procedure's boundary pcs (which are usually not gc-points), must
+// yield deeply equal views and identical errors under both decoders.
+// Verification tools run it to certify the cache is behaviorally
+// invisible before trusting cached collections.
+func VerifyCacheTransparency(e *Encoded) error {
+	plain := NewDecoder(e)
+	cached := NewCachedDecoder(e)
+	for i := range e.Index {
+		probes := []int{e.Index[i].Entry, e.Index[i].End - 1, e.Index[i].End}
+		if pcs, err := plain.ProcPoints(i); err == nil {
+			probes = append(probes, pcs...)
+		}
+		for _, pc := range probes {
+			pv, perr := plain.Decode(pc)
+			cv, cerr := cached.Decode(pc)
+			if errString(perr) != errString(cerr) {
+				return fmt.Errorf("gctab: cache transparency: %s pc %d: plain error %q, cached error %q",
+					e.Names[i], pc, errString(perr), errString(cerr))
+			}
+			if !sameViews(pv, cv) {
+				return fmt.Errorf("gctab: cache transparency: %s pc %d: plain view %v, cached view %v",
+					e.Names[i], pc, pv, cv)
+			}
+		}
+	}
+	return nil
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+func sameViews(a, b *PointView) bool {
+	if (a == nil) != (b == nil) {
+		return false
+	}
+	return a == nil || reflect.DeepEqual(a, b)
+}
+
+// buildProc replays procedure i's segment once, memoizing every
+// resolved point. On stream damage it keeps the points decoded before
+// the damage (exactly the ones an uncached decoder can still serve)
+// and records the cause for the rest.
+func (c *CachedDecoder) buildProc(i int, p *cachedProc) {
+	d := c.Dec
+	p.views = make(map[int]*cachedPoint)
+	seg, err := d.segment(i)
+	if err != nil {
+		p.segErr = err
+		return
+	}
+	w := newProcWalker(d.Enc.Scheme, seg, d.Enc.Index[i].Entry)
+	p.segBytes = int64(w.r.off)
+	p.pcmapBytes = int64(w.r.off)
+	if w.r.fail {
+		p.pcmapFail = true
+		return
+	}
+	p.inMap = make(map[int]bool, len(w.pcs))
+	for _, pc := range w.pcs {
+		p.inMap[pc] = true
+	}
+	w.header()
+	if w.r.fail {
+		p.cause = ErrTruncated
+		p.segBytes = int64(w.r.off)
+		return
+	}
+	for _, pc := range w.pcs {
+		if !w.next() {
+			p.cause = ErrTruncated
+			if w.badDesc {
+				p.cause = ErrBadDescriptor
+			}
+			break
+		}
+		view := &PointView{ProcName: d.Enc.Names[i], Entry: d.Enc.Index[i].Entry, RegPtrs: w.regs}
+		view.Saves = append(view.Saves, w.saves...)
+		view.Live = append(view.Live, w.live...)
+		for _, de := range w.derivs {
+			cp := DerivEntry{Target: de.Target}
+			if de.Sel != nil {
+				sel := *de.Sel
+				cp.Sel = &sel
+			}
+			for _, variant := range de.Variants {
+				cp.Variants = append(cp.Variants, append([]SignedLoc(nil), variant...))
+			}
+			view.Derivs = append(view.Derivs, cp)
+		}
+		// Duplicate PCs in a (damaged) pc map: the plain decoder serves
+		// the last occurrence, so later points overwrite earlier ones.
+		p.views[pc] = &cachedPoint{view: view, cost: int64(w.r.off)}
+	}
+	p.segBytes = int64(w.r.off)
+}

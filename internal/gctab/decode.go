@@ -33,7 +33,12 @@ var ErrBadDescriptor = errors.New("descriptor references previous tables at the 
 
 // Decoder reads tables out of an Encoded object. All state is decoded
 // from the byte stream on every lookup (the cost the paper measures in
-// §6.3); no decoded results are cached.
+// §6.3); no decoded results are cached. CachedDecoder layers
+// memoization on top when reproducing that cost is not the point.
+//
+// A Decoder is safe for concurrent use: every lookup builds its own
+// walker over the immutable stream and the telemetry handles are
+// atomic.
 type Decoder struct {
 	Enc *Encoded
 
@@ -58,12 +63,50 @@ func (d *Decoder) SetTracer(t *telemetry.Tracer) {
 		d.hits, d.misses, d.bytesRead, d.decodeNs = nil, nil, nil, nil
 		return
 	}
-	label := d.Enc.Scheme.String()
-	d.hits = t.Counter("gctab.decode.hits." + label)
-	d.misses = t.Counter("gctab.decode.misses." + label)
-	d.bytesRead = t.Counter("gctab.decode.bytes." + label)
-	d.decodeNs = t.Histogram("gctab.decode_ns." + label)
+	s := d.Enc.Scheme
+	d.hits = t.Counter(s.DecodeHitsCounter())
+	d.misses = t.Counter(s.DecodeMissesCounter())
+	d.bytesRead = t.Counter(s.DecodeBytesCounter())
+	d.decodeNs = t.Histogram(s.DecodeNsHistogram())
 }
+
+// Fork returns an independent decoder handle over the same encoded
+// stream, sharing the resolved telemetry counters. The plain decoder is
+// already concurrency-safe, so Fork exists to satisfy TableDecoder;
+// parallel stack walkers call it once per worker.
+func (d *Decoder) Fork() TableDecoder { return d }
+
+// Telemetry metric names for a scheme's decode path. Both Decoder and
+// CachedDecoder feed these, so cache-on and cache-off runs are compared
+// by reading the same counters.
+
+// DecodeHitsCounter names the counter of lookups that resolved a view.
+func (s Scheme) DecodeHitsCounter() string { return "gctab.decode.hits." + s.String() }
+
+// DecodeMissesCounter names the counter of lookups at PCs that are not
+// gc-points.
+func (s Scheme) DecodeMissesCounter() string { return "gctab.decode.misses." + s.String() }
+
+// DecodeBytesCounter names the counter of table bytes actually read
+// from the encoded stream. A cached decoder only adds the bytes of each
+// procedure's one-time replay, so this counter is the paper's "table
+// bytes touched per collection" cost under either decoder.
+func (s Scheme) DecodeBytesCounter() string { return "gctab.decode.bytes." + s.String() }
+
+// DecodeNsHistogram names the per-lookup latency histogram.
+func (s Scheme) DecodeNsHistogram() string { return "gctab.decode_ns." + s.String() }
+
+// CacheHitsCounter names the counter of lookups served from an
+// already-built procedure cache (no stream bytes touched).
+func (s Scheme) CacheHitsCounter() string { return "gctab.cache.hits." + s.String() }
+
+// CacheMissesCounter names the counter of lookups that triggered a
+// procedure's one-time segment replay.
+func (s Scheme) CacheMissesCounter() string { return "gctab.cache.misses." + s.String() }
+
+// CacheBytesSavedCounter names the counter of stream bytes an uncached
+// decoder would have read for lookups the cache answered for free.
+func (s Scheme) CacheBytesSavedCounter() string { return "gctab.cache.bytes_saved." + s.String() }
 
 // reader walks one procedure's table segment. Every read is bounds
 // checked against the segment; running off the end latches fail instead
@@ -341,6 +384,12 @@ func (w *procWalker) next() bool {
 // Lookup finds the tables for the gc-point identified by pc (a return
 // address / gc-point byte PC). ok is false when pc is not a known
 // gc-point or the stream is damaged; Decode distinguishes the two.
+//
+// Because it conflates damage with absence, Lookup is only appropriate
+// for membership probes ("is this pc a gc-point?") on streams already
+// known well-formed, e.g. in tests. Anything on a collector or
+// measurement path must call Decode so stream damage surfaces as an
+// error instead of a silently skipped frame.
 func (d *Decoder) Lookup(pc int) (*PointView, bool) {
 	view, err := d.Decode(pc)
 	if err != nil || view == nil {
@@ -386,17 +435,22 @@ func (d *Decoder) NumProcs() int { return len(d.Enc.Index) }
 func (d *Decoder) ProcName(i int) string { return d.Enc.Names[i] }
 
 // segment returns the byte range holding procedure i's tables: from its
-// offset to the next procedure's (offsets are emitted in order).
-func (d *Decoder) segment(i int) []byte {
+// offset to the next procedure's (offsets are emitted in order). A
+// corrupt index offset (negative, reversed, or past the stream) is
+// stream damage and reported as an ErrTruncated-wrapping error naming
+// the procedure — an empty segment here would read as "no tables" and
+// make the collector silently skip the procedure's roots.
+func (d *Decoder) segment(i int) ([]byte, error) {
 	lo := d.Enc.Index[i].Off
 	hi := len(d.Enc.Bytes)
 	if i+1 < len(d.Enc.Index) {
 		hi = d.Enc.Index[i+1].Off
 	}
-	if lo > hi || hi > len(d.Enc.Bytes) {
-		return nil
+	if lo < 0 || lo > hi || hi > len(d.Enc.Bytes) {
+		return nil, fmt.Errorf("gctab: %s: corrupt procedure offset [%d:%d) of %d table bytes: %w",
+			d.Enc.Names[i], lo, hi, len(d.Enc.Bytes), ErrTruncated)
 	}
-	return d.Enc.Bytes[lo:hi]
+	return d.Enc.Bytes[lo:hi], nil
 }
 
 func (d *Decoder) decodeCounting(pc int) (*PointView, int64, error) {
@@ -407,7 +461,11 @@ func (d *Decoder) decodeCounting(pc int) (*PointView, int64, error) {
 		return nil, 0, nil
 	}
 	pi := idx[i]
-	w := newProcWalker(d.Enc.Scheme, d.segment(i), pi.Entry)
+	seg, segErr := d.segment(i)
+	if segErr != nil {
+		return nil, 0, segErr
+	}
+	w := newProcWalker(d.Enc.Scheme, seg, pi.Entry)
 	fail := func(cause error) (*PointView, int64, error) {
 		return nil, int64(w.r.off), fmt.Errorf("gctab: %s: gc-point pc %d: %w",
 			d.Enc.Names[i], pc, cause)
@@ -467,7 +525,11 @@ type RawPoint struct {
 // order, without decoding any tables. The error wraps ErrTruncated when
 // the PC map itself is damaged.
 func (d *Decoder) ProcPoints(i int) ([]int, error) {
-	w := newProcWalker(d.Enc.Scheme, d.segment(i), d.Enc.Index[i].Entry)
+	seg, err := d.segment(i)
+	if err != nil {
+		return nil, err
+	}
+	w := newProcWalker(d.Enc.Scheme, seg, d.Enc.Index[i].Entry)
 	if w.r.fail {
 		return nil, fmt.Errorf("gctab: %s: pc map: %w", d.Enc.Names[i], ErrTruncated)
 	}
@@ -480,7 +542,11 @@ func (d *Decoder) ProcPoints(i int) ([]int, error) {
 // first error: a decode failure (wrapping ErrTruncated or
 // ErrBadDescriptor and naming the gc-point) or an error from yield.
 func (d *Decoder) WalkProc(i int, yield func(*RawPoint) error) ([]RegSave, error) {
-	w := newProcWalker(d.Enc.Scheme, d.segment(i), d.Enc.Index[i].Entry)
+	seg, err := d.segment(i)
+	if err != nil {
+		return nil, err
+	}
+	w := newProcWalker(d.Enc.Scheme, seg, d.Enc.Index[i].Entry)
 	if w.r.fail {
 		return nil, fmt.Errorf("gctab: %s: pc map: %w", d.Enc.Names[i], ErrTruncated)
 	}

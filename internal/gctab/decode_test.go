@@ -58,7 +58,11 @@ func TestDecodeTruncated(t *testing.T) {
 						if !errors.Is(err, ErrTruncated) {
 							t.Fatalf("scheme %v cut %d pc %d: error %v does not wrap ErrTruncated", s, cut, pt.PC, err)
 						}
-						if !strings.Contains(err.Error(), fmt.Sprintf("pc %d", pt.PC)) {
+						// A cut below the procedure's segment start reads as a
+						// corrupt index offset and names the procedure; any
+						// other damage names the gc-point pc.
+						if !strings.Contains(err.Error(), fmt.Sprintf("pc %d", pt.PC)) &&
+							!strings.Contains(err.Error(), "corrupt procedure offset") {
 							t.Fatalf("scheme %v cut %d: error %q does not name pc %d", s, cut, err, pt.PC)
 						}
 					}

@@ -19,6 +19,7 @@ package gengc
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"repro/internal/gc"
@@ -201,8 +202,12 @@ func (h *Heap) PointerOffsets(addr int64, out []int64) []int64 {
 // vmachine.Collector; install its Barrier on the machine.
 type Collector struct {
 	Heap  *Heap
-	Dec   *gctab.Decoder
+	Dec   gctab.TableDecoder
 	Debug bool
+
+	// WalkWorkers bounds the stack-walk worker pool (0 =
+	// gc.DefaultWalkWorkers, 1 = serial).
+	WalkWorkers int
 
 	remset map[int64]bool // old-space slot addresses holding young pointers
 
@@ -239,9 +244,16 @@ type Collector struct {
 	gRemset      *telemetry.Gauge
 }
 
-// New creates a generational collector over h.
+// New creates a generational collector over h, decoding tables on
+// every lookup; NewWith picks the decoder.
 func New(h *Heap, enc *gctab.Encoded) *Collector {
-	return &Collector{Heap: h, Dec: gctab.NewDecoder(enc), remset: make(map[int64]bool)}
+	return NewWith(h, gctab.NewDecoder(enc))
+}
+
+// NewWith creates a generational collector over h walking stacks
+// through dec (e.g. a shared gctab.CachedDecoder).
+func NewWith(h *Heap, dec gctab.TableDecoder) *Collector {
+	return &Collector{Heap: h, Dec: dec, remset: make(map[int64]bool)}
 }
 
 // SetTracer attaches telemetry to the collector and its table decoder.
@@ -316,7 +328,7 @@ func (c *Collector) Collect(m *vmachine.Machine) error {
 	}
 
 	traceStart := time.Now()
-	frames, err := gc.WalkMachine(m, c.Dec)
+	frames, err := gc.WalkMachineN(m, c.Dec, c.WalkWorkers)
 	if err != nil {
 		return err
 	}
@@ -394,8 +406,16 @@ func (c *Collector) minor(m *vmachine.Machine, frames []*gc.Frame) error {
 	if err := gc.ForEachRoot(m, frames, fwd); err != nil {
 		return err
 	}
-	// Remembered slots are roots for young objects.
+	// Remembered slots are roots for young objects. Visit them in
+	// address order: map iteration order would otherwise decide which
+	// slot promotes a shared young object first, making the promoted
+	// heap layout differ run to run.
+	slots := make([]int64, 0, len(c.remset))
 	for slot := range c.remset {
+		slots = append(slots, slot)
+	}
+	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
+	for _, slot := range slots {
 		if err := fwd(&m.Mem[slot]); err != nil {
 			return err
 		}
@@ -471,7 +491,13 @@ func (c *Collector) major(m *vmachine.Machine, frames []*gc.Frame) error {
 		h.Mem[w] = 0
 	}
 	h.resetNursery()
-	// No young objects remain: the remembered set is void.
+	// The remembered set held old-FROM-space slot addresses, all of
+	// which just moved; stale entries must not survive the compaction.
+	// Clearing (rather than relocating) them is sound for the same
+	// reason it is after a minor collection: the nursery was reset too,
+	// so no old→young pointer exists anywhere — the set is rebuilt from
+	// scratch by the store barrier. The minor→major→minor regression
+	// test pins this.
 	c.remset = make(map[int64]bool)
 	return nil
 }

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/driver"
+	"repro/internal/telemetry"
 	"repro/internal/vmachine"
 )
 
@@ -207,6 +208,99 @@ END T.
 		t.Error("no minor collections under churn")
 	}
 	t.Logf("gen: minor=%d major=%d promoted=%d", st.minor, st.major, st.promoted)
+}
+
+// TestRemsetAcrossMajorCompaction pins the minor→major→minor satellite:
+// remembered-set slot addresses are raw old-space addresses, and a
+// major collection moves every old object. The set is cleared at the
+// end of a major — sound only because the nursery is reset in the same
+// breath, so no old→young pointer can exist until the barrier records
+// one at the slot's *new* address. The test interleaves minors, a
+// major, and more minors with live old→young pointers on both sides of
+// the compaction; a stale (pre-compaction) remembered slot would let a
+// young referent be collected and corrupt the final values.
+func TestRemsetAcrossMajorCompaction(t *testing.T) {
+	src := `
+MODULE T;
+TYPE Cell = REF RECORD v: INTEGER; ref: Cell; END;
+TYPE L = REF RECORD v: INTEGER; next: L; END;
+VAR anchor: Cell; keep: L; junk: L; i, j, s: INTEGER;
+BEGIN
+  anchor := NEW(Cell);
+  anchor.v := 5;
+  (* churn: minors promote anchor into the old space *)
+  FOR i := 1 TO 600 DO junk := NEW(L); junk.v := i; junk := NIL; END;
+  (* old->young store; only the remembered slot keeps the referent *)
+  anchor.ref := NEW(Cell);
+  anchor.ref.v := 11;
+  FOR i := 1 TO 600 DO junk := NEW(L); junk.v := i; junk := NIL; END;
+  (* grow long-lived lists until the old space forces a major *)
+  FOR i := 1 TO 6 DO
+    keep := NIL;
+    FOR j := 1 TO 150 DO
+      WITH c = NEW(L) DO c.v := j; c.next := keep; keep := c; END;
+    END;
+  END;
+  (* after the compaction: a young store into a relocated old object *)
+  anchor.ref.ref := NEW(Cell);
+  anchor.ref.ref.v := 17;
+  FOR i := 1 TO 600 DO junk := NEW(L); junk.v := i; junk := NIL; END;
+  s := anchor.v + anchor.ref.v + anchor.ref.ref.v + keep.v;
+  PutInt(s); PutLn();
+END T.
+`
+	opts := driver.NewOptions()
+	opts.Generational = true
+	c, err := driver.Compile("t.m3", src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := vmachine.DefaultConfig()
+	cfg.HeapWords = 3072
+	cfg.Tel = telemetry.New(telemetry.Config{})
+	var sb strings.Builder
+	cfg.Out = &sb
+	m, col, err := c.NewGenerationalMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Debug = true
+	if err := m.Run(100_000_000); err != nil {
+		t.Fatalf("run: %v (out %q)", err, sb.String())
+	}
+	if sb.String() != "183\n" {
+		t.Errorf("output %q, want \"183\\n\" (a young referent died across the major?)", sb.String())
+	}
+	if col.BarrierHits < 2 {
+		t.Errorf("barrier recorded %d old->young stores, want >= 2 (one each side of the major)", col.BarrierHits)
+	}
+
+	// The collection kind sequence must actually interleave: at least
+	// one minor, then a major, then another minor.
+	var kinds []int64
+	for _, ev := range cfg.Tel.Events() {
+		if ev.Kind == telemetry.EvGCBegin {
+			kinds = append(kinds, ev.Args[0])
+		}
+	}
+	firstMajor, lastMinor, minorsBefore := -1, -1, 0
+	for i, k := range kinds {
+		switch k {
+		case telemetry.GCMajor:
+			if firstMajor < 0 {
+				firstMajor = i
+			}
+		case telemetry.GCMinor:
+			lastMinor = i
+			if firstMajor < 0 {
+				minorsBefore++
+			}
+		}
+	}
+	if minorsBefore == 0 || firstMajor < 0 || lastMinor < firstMajor {
+		t.Errorf("collection sequence %v does not interleave minor -> major -> minor", kinds)
+	}
+	t.Logf("minor=%d major=%d hits=%d sequence=%v", col.Minor, col.Major, col.BarrierHits, kinds)
 }
 
 // TestRequiresStoreChecks: refusing to run without barriers.
