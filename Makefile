@@ -4,9 +4,13 @@
 
 GO ?= go
 
-.PHONY: check fmt vet vet-gcverify build test race test-all bench-telemetry bench-smoke verify-smoke
+# Per-target budget for the fuzz smoke; CI and `make check` run both
+# targets, so the gate costs about twice this.
+FUZZTIME ?= 15s
 
-check: fmt vet vet-gcverify build race test-all
+.PHONY: check fmt vet vet-gcverify build test race test-all bench-telemetry bench-smoke verify-smoke fuzz-smoke diff-smoke cover
+
+check: fmt vet vet-gcverify build race test-all fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -48,3 +52,30 @@ bench-smoke:
 # seeds) plus a strided seeded-fault sweep. CI runs this on every push.
 verify-smoke:
 	$(GO) test -short -count=1 -run 'TestProgenCorpus|TestSeededFaults' ./internal/gcverify/
+
+# Fuzz smoke: a short budgeted run of both native fuzz targets — the
+# table decoder against damaged bytes, and the differential matrix
+# against generated programs. New inputs found land in the build
+# cache's fuzz corpus ($(shell $(GO) env GOCACHE)/fuzz), which CI
+# caches across runs so coverage accumulates.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/difftest/
+	$(GO) test -run '^$$' -fuzz '^FuzzProgram$$' -fuzztime $(FUZZTIME) ./internal/difftest/
+
+# Differential sweep: the full collector × scheme × cache × workers
+# matrix over 200 generated programs; writes reduced reproducers on
+# failure. Slower than fuzz-smoke — a pre-release gate, not per-push.
+diff-smoke:
+	$(GO) run ./cmd/difffuzz -n 200 -seed 1 -out artifacts/difffuzz-findings
+
+# Coverage with a checked-in floor: the build fails if total statement
+# coverage drops below ci/coverage-floor.txt. Raise the floor when new
+# tests lift the total; never lower it to make a regression pass.
+cover:
+	mkdir -p artifacts
+	$(GO) test -count=1 -coverprofile=artifacts/cover.out ./...
+	@total=$$($(GO) tool cover -func=artifacts/cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	floor=$$(cat ci/coverage-floor.txt); \
+	echo "coverage: $$total% (floor $$floor%)"; \
+	awk -v t="$$total" -v f="$$floor" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the $$floor% floor"; exit 1; }

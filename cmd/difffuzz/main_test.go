@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCleanSweep(t *testing.T) {
+	var out, errb strings.Builder
+	code := run([]string{"-n", "2", "-seed", "1", "-out", t.TempDir()}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "full matrix agrees everywhere") {
+		t.Fatalf("missing agreement line:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "difftest.programs") {
+		t.Fatalf("missing telemetry summary:\n%s", out.String())
+	}
+}
+
+// A corrupted table byte must be reported, reduced, and persisted —
+// and the exit code says "detected".
+func TestCorruptionSweep(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb strings.Builder
+	code := run([]string{"-n", "3", "-seed", "1", "-corrupt", "3:0x40",
+		"-reduce-trials", "60", "-out", dir}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("corruption went undetected (exit %d):\n%s%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "corruption detected") {
+		t.Fatalf("missing detection line:\n%s", out.String())
+	}
+	repros, err := filepath.Glob(filepath.Join(dir, "*.m3"))
+	if err != nil || len(repros) == 0 {
+		t.Fatalf("no reduced reproducer written (err=%v)", err)
+	}
+	sidecar := strings.TrimSuffix(repros[0], ".m3") + ".json"
+	if _, err := os.Stat(sidecar); err != nil {
+		t.Fatalf("reproducer has no sidecar: %v", err)
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-n", "0"},
+		{"extra-positional"},
+		{"-corrupt", "nonsense"},
+		{"-corrupt", "5:0x999"},
+	} {
+		var out, errb strings.Builder
+		if code := run(args, &out, &errb); code != 2 {
+			t.Errorf("args %v: exit %d, want 2", args, code)
+		}
+	}
+}

@@ -12,11 +12,15 @@
 //	-verify     round-trip every gc-point through every scheme
 //	-pc N       decode and print the tables for gc-point byte PC N
 //	-proc NAME  restrict listings to one procedure
+//
+// Exit status is 0 on success, 1 when compilation, decoding, or
+// verification fails, 2 on usage errors.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"reflect"
 
@@ -30,29 +34,41 @@ var allSchemes = []gctab.Scheme{
 }
 
 func main() {
-	optimize := flag.Bool("O", false, "optimize")
-	verify := flag.Bool("verify", false, "verify all schemes decode identically")
-	pc := flag.Int("pc", -1, "decode the gc-point at this byte PC")
-	procName := flag.String("proc", "", "restrict to one procedure")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: gctool [flags] file.m3")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gctool", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	optimize := fs.Bool("O", false, "optimize")
+	verify := fs.Bool("verify", false, "verify all schemes decode identically")
+	pc := fs.Int("pc", -1, "decode the gc-point at this byte PC")
+	procName := fs.String("proc", "", "restrict to one procedure")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	src, err := os.ReadFile(flag.Arg(0))
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: gctool [flags] file.m3")
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "gctool:", err)
+		return 1
+	}
+	src, err := os.ReadFile(fs.Arg(0))
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
-	c, err := driver.Compile(flag.Arg(0), string(src),
+	c, err := driver.Compile(fs.Arg(0), string(src),
 		driver.Options{Optimize: *optimize, GCSupport: true, Scheme: gctab.DeltaPP})
 	if err != nil {
-		fatal(err)
+		return fail(err)
 	}
 
-	fmt.Printf("%s: code %d bytes\n", c.Prog.Name, c.Prog.CodeSize())
+	fmt.Fprintf(stdout, "%s: code %d bytes\n", c.Prog.Name, c.Prog.CodeSize())
 	for _, s := range allSchemes {
 		e := gctab.Encode(c.Tables, s)
-		fmt.Printf("  %-22s %6d bytes (%5.1f%% of code)\n",
+		fmt.Fprintf(stdout, "  %-22s %6d bytes (%5.1f%% of code)\n",
 			s, e.Size(), 100*float64(e.Size())/float64(c.Prog.CodeSize()))
 	}
 
@@ -61,7 +77,7 @@ func main() {
 		if *procName != "" && p.Name != *procName {
 			continue
 		}
-		fmt.Printf("proc %-20s gc-points=%3d ground=%2d saves=%d\n",
+		fmt.Fprintf(stdout, "proc %-20s gc-points=%3d ground=%2d saves=%d\n",
 			p.Name, len(p.Points), len(p.Ground), len(p.Saves))
 	}
 
@@ -72,22 +88,23 @@ func main() {
 			// Distinguish a damaged stream (wraps gctab.ErrTruncated or
 			// gctab.ErrBadDescriptor, naming the gc-point) from a pc
 			// that simply is not a gc-point.
-			fatal(err)
+			return fail(err)
 		}
 		if v == nil {
-			fatal(fmt.Errorf("pc %d is not a gc-point", *pc))
+			return fail(fmt.Errorf("pc %d is not a gc-point", *pc))
 		}
-		fmt.Printf("gc-point %d in %s:\n  live=%v\n  regs=%016b\n  derivs=%d\n",
+		fmt.Fprintf(stdout, "gc-point %d in %s:\n  live=%v\n  regs=%016b\n  derivs=%d\n",
 			*pc, v.ProcName, v.Live, v.RegPtrs, len(v.Derivs))
 	}
 
 	if *verify {
 		if err := verifySchemes(c); err != nil {
-			fatal(err)
+			return fail(err)
 		}
-		fmt.Println("verify: all schemes decode every gc-point identically")
-		fmt.Println("verify: cached decoder transparent under every scheme")
+		fmt.Fprintln(stdout, "verify: all schemes decode every gc-point identically")
+		fmt.Fprintln(stdout, "verify: cached decoder transparent under every scheme")
 	}
+	return 0
 }
 
 // verifySchemes decodes every gc-point under every scheme and checks
@@ -151,9 +168,4 @@ func sameLocSet(a, b []gctab.Location) bool {
 		}
 	}
 	return true
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gctool:", err)
-	os.Exit(1)
 }

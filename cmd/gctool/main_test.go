@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const toolSource = `MODULE T;
+TYPE List = REF RECORD head: INTEGER; tail: List; END;
+VAR l: List; i: INTEGER;
+BEGIN
+  FOR i := 1 TO 5 DO
+    WITH nw = NEW(List) DO nw.head := i; nw.tail := l; l := nw; END;
+  END;
+  PutInt(l.head); PutLn();
+END T.
+`
+
+func writeSources(t *testing.T) (clean, damaged string) {
+	t.Helper()
+	dir := t.TempDir()
+	clean = filepath.Join(dir, "clean.m3")
+	if err := os.WriteFile(clean, []byte(toolSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	damaged = filepath.Join(dir, "bad.m3")
+	if err := os.WriteFile(damaged, []byte("MODULE T;\nBEGIN\n  ?!?\nEND T.\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestExitCodes(t *testing.T) {
+	clean, damaged := writeSources(t)
+	missing := filepath.Join(t.TempDir(), "absent.m3")
+
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean", []string{clean}, 0},
+		{"clean optimized verify", []string{"-O", "-verify", clean}, 0},
+		{"clean proc filter", []string{"-proc", "NoSuchProc", clean}, 0},
+		{"damaged source", []string{damaged}, 1},
+		{"missing file", []string{missing}, 1},
+		{"pc not a gc-point", []string{"-pc", "999999", clean}, 1},
+		{"no args", nil, 2},
+		{"two args", []string{clean, damaged}, 2},
+		{"unknown flag", []string{"-zap", clean}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out, errb strings.Builder
+			got := run(tt.args, &out, &errb)
+			if got != tt.want {
+				t.Fatalf("exit %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					got, tt.want, out.String(), errb.String())
+			}
+		})
+	}
+}
+
+// The size report lists all six named schemes and a code-size header —
+// the shape EXPERIMENTS.md commands rely on.
+func TestSizeReport(t *testing.T) {
+	clean, _ := writeSources(t)
+	var out, errb strings.Builder
+	if code := run([]string{clean}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d\n%s", code, errb.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "code ") || !strings.Contains(text, "bytes") {
+		t.Fatalf("missing code size header:\n%s", text)
+	}
+	for _, scheme := range []string{"full-info+plain", "full-info+packing", "delta-main+plain",
+		"delta-main+previous", "delta-main+packing", "delta-main+PP"} {
+		if !strings.Contains(text, scheme) {
+			t.Fatalf("report missing scheme %s:\n%s", scheme, text)
+		}
+	}
+}

@@ -30,6 +30,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -59,42 +60,54 @@ var allSchemes = []gctab.Scheme{
 }
 
 func main() {
-	optimize := flag.Bool("O", false, "enable the optimizer")
-	schemeName := flag.String("scheme", "delta-pp", "gc table encoding scheme")
-	mt := flag.Bool("mt", false, "multithreaded gc-point selection")
-	elide := flag.Bool("elide", false, "elide gc-points at non-allocating calls")
-	gen := flag.Bool("gen", false, "compile store checks (generational)")
-	all := flag.Bool("allschemes", false, "verify under all eight encoding schemes")
-	cacheCheck := flag.Bool("cache", false, "check decode-cache transparency")
-	mutate := flag.Bool("mutate", false, "run the seeded-fault sweep")
-	stride := flag.Int("stride", 1, "fault-sweep byte stride")
-	flag.Parse()
-	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: gcverify [flags] file.m3|file.mxo")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("gcverify", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	optimize := fs.Bool("O", false, "enable the optimizer")
+	schemeName := fs.String("scheme", "delta-pp", "gc table encoding scheme")
+	mt := fs.Bool("mt", false, "multithreaded gc-point selection")
+	elide := fs.Bool("elide", false, "elide gc-points at non-allocating calls")
+	gen := fs.Bool("gen", false, "compile store checks (generational)")
+	all := fs.Bool("allschemes", false, "verify under all eight encoding schemes")
+	cacheCheck := fs.Bool("cache", false, "check decode-cache transparency")
+	mutate := fs.Bool("mutate", false, "run the seeded-fault sweep")
+	stride := fs.Int("stride", 1, "fault-sweep byte stride")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "usage: gcverify [flags] file.m3|file.mxo")
+		return 2
 	}
 	scheme, ok := schemes[*schemeName]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "gcverify: unknown scheme %q\n", *schemeName)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "gcverify: unknown scheme %q\n", *schemeName)
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "gcverify:", err)
+		return 1
 	}
 
-	path := flag.Arg(0)
+	path := fs.Arg(0)
 	var c *driver.Compiled
 	if strings.HasSuffix(path, ".mxo") {
 		f, err := os.Open(path)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		c, err = driver.LoadObject(f)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	} else {
 		src, err := os.ReadFile(path)
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 		c, err = driver.Compile(path, string(src), driver.Options{
 			Optimize:      *optimize,
@@ -105,11 +118,11 @@ func main() {
 			Scheme:        scheme,
 		})
 		if err != nil {
-			fatal(err)
+			return fail(err)
 		}
 	}
 	if c.Encoded == nil {
-		fatal(fmt.Errorf("%s carries no gc tables", path))
+		return fail(fmt.Errorf("%s carries no gc tables", path))
 	}
 
 	// .mxo inputs have no in-memory tables: verify in basic mode, and
@@ -124,10 +137,10 @@ func main() {
 	check := func(enc *gctab.Encoded) {
 		rep := gcverify.Verify(c.Prog, enc, opts)
 		for _, f := range rep.Findings {
-			fmt.Println(f)
+			fmt.Fprintln(stdout, f)
 		}
 		if rep.Truncated {
-			fmt.Println("... finding list truncated")
+			fmt.Fprintln(stdout, "... finding list truncated")
 		}
 		status := "ok"
 		if !rep.OK() {
@@ -136,14 +149,14 @@ func main() {
 		}
 		if *cacheCheck {
 			if err := gctab.VerifyCacheTransparency(enc); err != nil {
-				fmt.Printf("decode cache not transparent: %v\n", err)
+				fmt.Fprintf(stdout, "decode cache not transparent: %v\n", err)
 				status += ", cache check FAILED"
 				failed = true
 			} else {
 				status += ", cache transparent"
 			}
 		}
-		fmt.Printf("%-22s %d procs, %d gc-points: %s\n", enc.Scheme, rep.Procs, rep.Points, status)
+		fmt.Fprintf(stdout, "%-22s %d procs, %d gc-points: %s\n", enc.Scheme, rep.Procs, rep.Points, status)
 	}
 
 	if *all && c.Tables != nil {
@@ -152,17 +165,17 @@ func main() {
 		}
 	} else {
 		if *all {
-			fmt.Fprintln(os.Stderr, "gcverify: -allschemes needs source input; verifying the object's own scheme")
+			fmt.Fprintln(stderr, "gcverify: -allschemes needs source input; verifying the object's own scheme")
 		}
 		check(c.Encoded)
 	}
 
 	if *mutate {
 		rep := gcverify.SeedFaults(c.Prog, c.Encoded, opts, gcverify.FaultConfig{Stride: *stride})
-		fmt.Printf("fault sweep (%s): %d mutations, %d equivalent, %d detected, rate %.4f\n",
+		fmt.Fprintf(stdout, "fault sweep (%s): %d mutations, %d equivalent, %d detected, rate %.4f\n",
 			c.Encoded.Scheme, rep.Total, rep.Equivalent, rep.Detected, rep.DetectionRate())
 		for _, m := range rep.Misses {
-			fmt.Printf("  missed: off=%d bit=%d %#02x->%#02x\n", m.Off, m.Bit, m.Old, m.New)
+			fmt.Fprintf(stdout, "  missed: off=%d bit=%d %#02x->%#02x\n", m.Off, m.Bit, m.Old, m.New)
 		}
 		if len(rep.Misses) > 0 && rep.DetectionRate() < 0.95 {
 			failed = true
@@ -170,11 +183,7 @@ func main() {
 	}
 
 	if failed {
-		os.Exit(1)
+		return 1
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "gcverify:", err)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/gctab"
+)
+
+const cleanSource = `MODULE T;
+TYPE List = REF RECORD head: INTEGER; tail: List; END;
+VAR l: List; i: INTEGER;
+BEGIN
+  FOR i := 1 TO 5 DO
+    WITH nw = NEW(List) DO nw.head := i; nw.tail := l; l := nw; END;
+  END;
+  PutInt(l.head); PutLn();
+END T.
+`
+
+// writeInputs materializes the four canonical inputs: a clean .m3, a
+// syntactically damaged .m3, a clean .mxo, and a .mxo with one encoded
+// table byte flipped.
+func writeInputs(t *testing.T) (cleanM3, badM3, cleanMXO, badMXO string) {
+	t.Helper()
+	dir := t.TempDir()
+	cleanM3 = filepath.Join(dir, "clean.m3")
+	if err := os.WriteFile(cleanM3, []byte(cleanSource), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badM3 = filepath.Join(dir, "bad.m3")
+	if err := os.WriteFile(badM3, []byte("MODULE T;\nBEGIN\n  ?!?\nEND T.\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := driver.Compile("clean.m3", cleanSource, driver.Options{
+		Optimize: true, GCSupport: true, Scheme: gctab.DeltaPP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cleanMXO = filepath.Join(dir, "clean.mxo")
+	f, err := os.Create(cleanMXO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WriteObject(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// Damage the object's encoded tables in memory, then serialize:
+	// flipping bytes of the gob container itself would only exercise
+	// gob's framing, not the table decoder.
+	c2, err := driver.Compile("clean.m3", cleanSource, driver.Options{
+		Optimize: true, GCSupport: true, Scheme: gctab.DeltaPP,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2.Encoded.Bytes[len(c2.Encoded.Bytes)/2] ^= 0xFF
+	badMXO = filepath.Join(dir, "bad.mxo")
+	f2, err := os.Create(badMXO)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.WriteObject(f2); err != nil {
+		t.Fatal(err)
+	}
+	f2.Close()
+	return
+}
+
+func TestExitCodes(t *testing.T) {
+	cleanM3, badM3, cleanMXO, badMXO := writeInputs(t)
+	missing := filepath.Join(t.TempDir(), "absent.m3")
+
+	tests := []struct {
+		name string
+		args []string
+		want int
+	}{
+		{"clean m3", []string{cleanM3}, 0},
+		{"clean m3 optimized", []string{"-O", cleanM3}, 0},
+		{"clean m3 allschemes cache", []string{"-O", "-allschemes", "-cache", cleanM3}, 0},
+		{"clean m3 generational", []string{"-gen", cleanM3}, 0},
+		{"damaged m3", []string{badM3}, 1},
+		{"missing file", []string{missing}, 1},
+		{"clean mxo", []string{cleanMXO}, 0},
+		{"damaged mxo", []string{badMXO}, 1},
+		{"no args", nil, 2},
+		{"two args", []string{cleanM3, badM3}, 2},
+		{"unknown scheme", []string{"-scheme", "nope", cleanM3}, 2},
+		{"unknown flag", []string{"-zap", cleanM3}, 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			var out, errb strings.Builder
+			got := run(tt.args, &out, &errb)
+			if got != tt.want {
+				t.Fatalf("exit %d, want %d\nstdout:\n%s\nstderr:\n%s",
+					got, tt.want, out.String(), errb.String())
+			}
+		})
+	}
+}
+
+// The damaged object's report must carry at least one finding line, and
+// the clean one must say ok — the text contract scripts depend on.
+func TestReportText(t *testing.T) {
+	_, _, cleanMXO, badMXO := writeInputs(t)
+
+	var out, errb strings.Builder
+	if code := run([]string{cleanMXO}, &out, &errb); code != 0 {
+		t.Fatalf("clean object: exit %d\n%s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), ": ok") {
+		t.Fatalf("clean object report lacks ok status:\n%s", out.String())
+	}
+
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{badMXO}, &out, &errb); code != 1 {
+		t.Fatalf("damaged object: exit %d, want 1\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "findings") {
+		t.Fatalf("damaged object report lacks findings count:\n%s", out.String())
+	}
+}

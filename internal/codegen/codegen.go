@@ -165,6 +165,7 @@ func (g *moduleGen) run() (*vmachine.Program, *gctab.Object, error) {
 			End:        pcOf[g.procEndIdx[pi]],
 			FrameWords: g.frameWordsOf[pi],
 			NumArgs:    p.NumParams,
+			Result:     p.Result,
 		})
 		if p == g.irp.Main {
 			prog.MainProc = pi

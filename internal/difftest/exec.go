@@ -1,0 +1,406 @@
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/driver"
+	"repro/internal/gctab"
+	"repro/internal/gcverify"
+	"repro/internal/telemetry"
+	"repro/internal/vmachine"
+)
+
+// AllSchemes is the full 8-way encoding matrix: {full-info, δ-main} ×
+// {plain, previous, packing, packing+previous}.
+var AllSchemes = []gctab.Scheme{
+	{Full: true},
+	{Full: true, Previous: true},
+	{Full: true, Packing: true},
+	{Full: true, Packing: true, Previous: true},
+	{},
+	{Previous: true},
+	{Packing: true},
+	{Packing: true, Previous: true},
+}
+
+// Collector names for Cell.Collector.
+const (
+	CollectorGC           = "gc"
+	CollectorGen          = "gengc"
+	CollectorConservative = "conservative"
+)
+
+var allCollectors = []string{CollectorGC, CollectorGen, CollectorConservative}
+
+// Cell identifies one execution configuration of the differential
+// matrix.
+type Cell struct {
+	Collector string // CollectorGC, CollectorGen, or CollectorConservative
+	Scheme    gctab.Scheme
+	Cache     bool // walk stacks through the memoizing decoder
+	Workers   int  // stack-walk / root-scan worker pool width
+}
+
+func (c Cell) String() string {
+	return fmt.Sprintf("%s/%s/cache=%v/workers=%d", c.Collector, c.Scheme, c.Cache, c.Workers)
+}
+
+// Matrix returns the full {collector × scheme × cache × workers}
+// product over the given schemes (AllSchemes when nil).
+func Matrix(schemes []gctab.Scheme) []Cell {
+	if schemes == nil {
+		schemes = AllSchemes
+	}
+	var cells []Cell
+	for _, col := range allCollectors {
+		for _, s := range schemes {
+			for _, cache := range []bool{false, true} {
+				for _, workers := range []int{1, 8} {
+					cells = append(cells, Cell{Collector: col, Scheme: s, Cache: cache, Workers: workers})
+				}
+			}
+		}
+	}
+	return cells
+}
+
+// Kind classifies a finding.
+type Kind int
+
+// Finding kinds.
+const (
+	KindCompile     Kind = iota // the program failed to compile
+	KindTrap                    // a cell trapped, panicked, or exceeded the step budget
+	KindOutput                  // a cell's output differs from the reference run
+	KindDeterminism             // collection count or heap image differs within a collector group
+	KindVerify                  // gcverify strict mode flagged the encoded tables
+	KindCache                   // the memoizing decoder diverged from the plain decoder
+)
+
+var kindNames = [...]string{"compile", "trap", "output", "determinism", "verify", "cache"}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// KindFromString inverts Kind.String (for replaying recorded
+// regressions); ok is false for an unknown name.
+func KindFromString(s string) (Kind, bool) {
+	for i, n := range kindNames {
+		if n == s {
+			return Kind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Corruption is a deliberate single-byte fault injected into every
+// scheme's encoded table stream (XOR of Mask at Off modulo the stream
+// length) — the harness's own detector-of-detectors.
+type Corruption struct {
+	Off  int
+	Mask byte
+}
+
+// Finding is one structured divergence. Seed plus Cell (plus the
+// optional Corruption) replay it bit-identically.
+type Finding struct {
+	Seed    int64
+	Kind    Kind
+	Cell    Cell // zero Collector for per-scheme findings (verify, cache)
+	Detail  string
+	Corrupt *Corruption
+}
+
+func (f Finding) String() string {
+	where := f.Cell.String()
+	if f.Cell.Collector == "" {
+		where = f.Cell.Scheme.String()
+	}
+	s := fmt.Sprintf("seed %d [%s] %s: %s", f.Seed, f.Kind, where, f.Detail)
+	if f.Corrupt != nil {
+		s += fmt.Sprintf(" (corrupt off=%d mask=%#02x)", f.Corrupt.Off, f.Corrupt.Mask)
+	}
+	return s
+}
+
+// Config parameterizes one harness execution.
+type Config struct {
+	// Schemes to compile and verify (default AllSchemes).
+	Schemes []gctab.Scheme
+	// Cells to run (default Matrix(Schemes)). An empty-but-non-nil
+	// slice runs no cells (per-scheme checks only).
+	Cells []Cell
+	// MaxSteps bounds each cell's execution (default 50M); exceeding
+	// it is a KindTrap finding.
+	MaxSteps int64
+	// SkipVerify disables the per-scheme gcverify strict pass.
+	SkipVerify bool
+	// SkipCacheCheck disables the per-scheme decode-cache transparency
+	// probe.
+	SkipCacheCheck bool
+	// Corrupt, when non-nil, is applied to every scheme's encoded
+	// bytes after compilation.
+	Corrupt *Corruption
+	// Tel, when non-nil, receives per-cell counters:
+	// difftest.programs, difftest.cells.<collector>, and
+	// difftest.divergences.<kind>.
+	Tel *telemetry.Tracer
+}
+
+func (c Config) schemes() []gctab.Scheme {
+	if c.Schemes == nil {
+		return AllSchemes
+	}
+	return c.Schemes
+}
+
+func (c Config) cells() []Cell {
+	if c.Cells == nil {
+		return Matrix(c.schemes())
+	}
+	return c.Cells
+}
+
+func (c Config) maxSteps() int64 {
+	if c.MaxSteps <= 0 {
+		return 50_000_000
+	}
+	return c.MaxSteps
+}
+
+// Result is the outcome of running one program through the matrix.
+type Result struct {
+	Seed     int64
+	Program  string
+	Cells    int // cells executed
+	Findings []Finding
+}
+
+// OK reports whether every cell and every static check agreed.
+func (r *Result) OK() bool { return len(r.Findings) == 0 }
+
+// RunSeed generates the program for seed and executes it under cfg.
+func RunSeed(seed int64, cfg Config) *Result {
+	return Execute(seed, Generate(seed), cfg)
+}
+
+// heapWordsFor sizes each collector's heap tightly enough that
+// generated programs collect mid-loop; the conservative heap gets
+// headroom because ambiguous roots retain garbage and nothing
+// compacts.
+func heapWordsFor(collector string) int64 {
+	switch collector {
+	case CollectorConservative:
+		return 1 << 16
+	case CollectorGen:
+		return 1 << 14
+	default:
+		return 1 << 14
+	}
+}
+
+type cellResult struct {
+	cell     Cell
+	out      string
+	err      string
+	gcs      int64
+	heapHash uint64
+}
+
+// Execute compiles src once per scheme and runs it under every cell,
+// diffing program output against an unoptimized big-heap reference,
+// and collection counts and final heap images within each collector
+// group (where scheme, cache, and workers must all be behaviorally
+// invisible). Per scheme it also runs the gcverify strict pass and the
+// decode-cache transparency probe. Every disagreement is one Finding.
+func Execute(seed int64, src string, cfg Config) *Result {
+	res := &Result{Seed: seed, Program: src}
+	add := func(f Finding) {
+		f.Seed = seed
+		f.Corrupt = cfg.Corrupt
+		res.Findings = append(res.Findings, f)
+		if cfg.Tel != nil {
+			cfg.Tel.Counter("difftest.divergences." + f.Kind.String()).Add(1)
+		}
+	}
+	if cfg.Tel != nil {
+		cfg.Tel.Counter("difftest.programs").Add(1)
+	}
+
+	// Reference: unoptimized, huge heap, precise collector — the
+	// simplest configuration whose output defines "correct".
+	refOut, err := driver.Run("fuzz.m3", src, driver.Options{
+		GCSupport: true, Scheme: gctab.DeltaPP,
+	}, vmachine.Config{HeapWords: 1 << 18, StackWords: 1 << 14, MaxThreads: 1})
+	if err != nil {
+		kind := KindCompile
+		if _, isRun := err.(*vmachine.RuntimeError); isRun {
+			kind = KindTrap
+		}
+		add(Finding{Kind: kind, Detail: "reference: " + err.Error()})
+		return res
+	}
+
+	// One compile per scheme, shared by all three collectors (the
+	// generational store checks are inert under the others).
+	compiled := make(map[string]*driver.Compiled)
+	for _, s := range cfg.schemes() {
+		c, err := driver.Compile("fuzz.m3", src, driver.Options{
+			Optimize: true, GCSupport: true, Generational: true, Scheme: s,
+		})
+		if err != nil {
+			add(Finding{Kind: KindCompile, Cell: Cell{Scheme: s}, Detail: err.Error()})
+			return res
+		}
+		if cfg.Corrupt != nil && len(c.Encoded.Bytes) > 0 {
+			c.Encoded.Bytes[cfg.Corrupt.Off%len(c.Encoded.Bytes)] ^= cfg.Corrupt.Mask
+		}
+		compiled[s.String()] = c
+
+		if !cfg.SkipVerify {
+			rep := gcverify.Verify(c.Prog, c.Encoded, gcverify.Options{Object: c.Tables})
+			if !rep.OK() {
+				add(Finding{Kind: KindVerify, Cell: Cell{Scheme: s},
+					Detail: fmt.Sprintf("%d findings; first: %s", len(rep.Findings), rep.Findings[0])})
+			}
+		}
+		if !cfg.SkipCacheCheck {
+			if err := gctab.VerifyCacheTransparency(c.Encoded); err != nil {
+				add(Finding{Kind: KindCache, Cell: Cell{Scheme: s}, Detail: err.Error()})
+			}
+		}
+	}
+
+	// Run the matrix.
+	groups := make(map[string][]cellResult) // collector -> results
+	for _, cell := range cfg.cells() {
+		c, ok := compiled[cell.Scheme.String()]
+		if !ok {
+			continue // scheme outside cfg.Schemes
+		}
+		r := runCell(c, cell, cfg.maxSteps())
+		res.Cells++
+		if cfg.Tel != nil {
+			cfg.Tel.Counter("difftest.cells." + cell.Collector).Add(1)
+		}
+		if r.err != "" {
+			add(Finding{Kind: KindTrap, Cell: cell, Detail: r.err})
+			continue
+		}
+		if r.out != refOut {
+			add(Finding{Kind: KindOutput, Cell: cell,
+				Detail: fmt.Sprintf("output %q, reference %q", clip(r.out), clip(refOut))})
+		}
+		groups[cell.Collector] = append(groups[cell.Collector], r)
+	}
+
+	// Within a collector, scheme/cache/workers must be invisible:
+	// identical collection counts and bitwise-identical final heaps.
+	for _, col := range sortedKeys(groups) {
+		g := groups[col]
+		base := g[0]
+		for _, r := range g[1:] {
+			if r.gcs != base.gcs {
+				add(Finding{Kind: KindDeterminism, Cell: r.cell,
+					Detail: fmt.Sprintf("%d collections, %s had %d", r.gcs, base.cell, base.gcs)})
+			}
+			if r.heapHash != base.heapHash {
+				add(Finding{Kind: KindDeterminism, Cell: r.cell,
+					Detail: fmt.Sprintf("final heap hash %#x, %s had %#x", r.heapHash, base.cell, base.heapHash)})
+			}
+		}
+	}
+	return res
+}
+
+// runCell builds and runs one machine; panics (possible under
+// deliberately corrupted tables) are contained into an error result.
+func runCell(c *driver.Compiled, cell Cell, maxSteps int64) (r cellResult) {
+	r.cell = cell
+	defer func() {
+		if p := recover(); p != nil {
+			r.err = fmt.Sprintf("panic: %v", p)
+		}
+	}()
+
+	cc := *c
+	cc.Opts.DecodeCache = cell.Cache
+	cc.Opts.WalkWorkers = cell.Workers
+
+	vcfg := vmachine.Config{
+		HeapWords:  heapWordsFor(cell.Collector),
+		StackWords: 1 << 14,
+		MaxThreads: 1,
+	}
+	var sb strings.Builder
+	vcfg.Out = &sb
+
+	var m *vmachine.Machine
+	var err error
+	switch cell.Collector {
+	case CollectorGC:
+		mm, col, e := cc.NewMachine(vcfg)
+		if e == nil {
+			col.Debug = true
+		}
+		m, err = mm, e
+	case CollectorGen:
+		mm, col, e := cc.NewGenerationalMachine(vcfg)
+		if e == nil {
+			col.Debug = true
+		}
+		m, err = mm, e
+	case CollectorConservative:
+		mm, _, e := cc.NewConservativeMachine(vcfg)
+		m, err = mm, e
+	default:
+		err = fmt.Errorf("difftest: unknown collector %q", cell.Collector)
+	}
+	if err != nil {
+		r.err = err.Error()
+		return r
+	}
+	if err := m.Run(maxSteps); err != nil {
+		r.err = err.Error()
+		r.out = sb.String()
+		return r
+	}
+	r.out = sb.String()
+	r.gcs = m.GCCount
+	r.heapHash = hashWords(m.Mem[m.HeapLo:m.HeapHi])
+	return r
+}
+
+// hashWords is FNV-1a over the word image.
+func hashWords(ws []int64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range ws {
+		for s := 0; s < 64; s += 8 {
+			h ^= uint64(byte(w >> s))
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+func clip(s string) string {
+	if len(s) > 160 {
+		return s[:160] + "..."
+	}
+	return s
+}
+
+func sortedKeys(m map[string][]cellResult) []string {
+	ks := make([]string, 0, len(m))
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}

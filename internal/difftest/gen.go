@@ -1,0 +1,544 @@
+// Package difftest is the randomized differential-testing harness: a
+// seeded generator of well-typed, terminating mthree programs biased
+// toward the paper's hard cases (nested WITH aliases, VAR-parameter
+// chains, SUBARRAY arithmetic, loops eligible for strength reduction
+// and CSE, multi-path derivations, allocation storms), an executor
+// that runs each program under the full {collector × scheme × cache ×
+// workers} matrix and diffs every observable, and a delta-debugging
+// reducer that shrinks any divergence to a minimal reproducer.
+//
+// It supersedes internal/progen (kept for its frozen corpus) as the
+// program source for differential testing: any disagreement between
+// two matrix cells is a compiler, table, or collector bug.
+package difftest
+
+import (
+	"fmt"
+	"strings"
+)
+
+// rng is a self-contained splitmix64 generator, so generated programs
+// depend only on the explicit seed — never on math/rand's algorithm or
+// the Go release — and any finding replays bit-identically from its
+// recorded seed.
+type rng struct{ state uint64 }
+
+func newRNG(seed int64) *rng { return &rng{state: uint64(seed)*0x9E3779B97F4A7C15 + 1} }
+
+func (r *rng) next() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// intn returns a value in [0, n).
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+// gen holds generation state for one program.
+type gen struct {
+	rng *rng
+	b   strings.Builder
+
+	intVars []string // in-scope INTEGER variables
+	refVars []string // in-scope List variables
+	vecVars []string // in-scope Vec variables
+	stmts   int      // statement budget
+	loopLvl int      // next reserved loop counter (lc0..lc7)
+
+	procs []procSig
+}
+
+type procSig struct {
+	name    string
+	nInts   int
+	hasRef  bool
+	hasVec  bool
+	varInt  bool
+	returns bool
+}
+
+// minVecLen is the smallest length any generated NEW(Vec, n) uses; the
+// SUBARRAY bounds below rely on it.
+const minVecLen = 8
+
+// Generate produces a random module from the seed. Every program is
+// deterministic, terminating, and trap-free: references are
+// materialized before dereference, indices are reduced modulo the
+// array length, SUBARRAY windows fit inside their base, and all loops
+// have small bounds.
+func Generate(seed int64) string {
+	g := &gen{rng: newRNG(seed)}
+	return g.module()
+}
+
+func (g *gen) w(format string, args ...any) {
+	fmt.Fprintf(&g.b, format, args...)
+}
+
+func (g *gen) module() string {
+	g.w("MODULE Fuzz;\n")
+	g.w("TYPE List = REF RECORD head: INTEGER; tail: List; END;\n")
+	g.w("TYPE Vec = REF ARRAY OF INTEGER;\n")
+	g.w("VAR g1, g2, g3: INTEGER;\n")
+	g.w("VAR lc0, lc1, lc2, lc3, lc4, lc5, lc6, lc7: INTEGER;\n") // reserved loop counters
+	g.w("VAR gl, gm: List;\n")
+	g.w("VAR gv, gw: Vec;\n")
+
+	g.sumList()
+	g.sumVec()
+	nProcs := 1 + g.rng.intn(3)
+	for i := 0; i < nProcs; i++ {
+		g.proc(i)
+	}
+
+	g.w("BEGIN\n")
+	g.intVars = []string{"g1", "g2", "g3"}
+	g.refVars = []string{"gl", "gm"}
+	g.vecVars = []string{"gv", "gw"}
+	g.stmts = 30 + g.rng.intn(25)
+	g.block(1)
+	g.w("  PutInt(g1); PutChar(' '); PutInt(g2); PutChar(' '); PutInt(g3); PutLn();\n")
+	g.w("  PutInt(SumList(gl)); PutChar(' '); PutInt(SumList(gm)); PutLn();\n")
+	g.w("  PutInt(SumVec(gv)); PutChar(' '); PutInt(SumVec(gw)); PutLn();\n")
+	g.w("END Fuzz.\n")
+	return g.b.String()
+}
+
+// sumList and sumVec are the fixed epilogue observers: they fold every
+// reachable integer into the printed output, so heap corruption
+// anywhere becomes an output difference.
+func (g *gen) sumList() {
+	g.w(`PROCEDURE SumList(l: List): INTEGER =
+  VAR s: INTEGER;
+  BEGIN
+    s := 0;
+    WHILE l # NIL DO
+      s := s + l.head;
+      l := l.tail;
+    END;
+    RETURN s;
+  END SumList;
+`)
+	g.procs = append(g.procs, procSig{name: "SumList", hasRef: true, returns: true})
+}
+
+func (g *gen) sumVec() {
+	g.w(`PROCEDURE SumVec(v: Vec): INTEGER =
+  VAR s, i: INTEGER;
+  BEGIN
+    s := 0;
+    IF v # NIL THEN
+      FOR i := 0 TO NUMBER(v) - 1 DO s := s + v[i]; END;
+    END;
+    RETURN s;
+  END SumVec;
+`)
+	g.procs = append(g.procs, procSig{name: "SumVec", hasVec: true, returns: true})
+}
+
+// proc emits one helper procedure. Helpers only call previously
+// emitted helpers, so the call graph is acyclic and every program
+// terminates.
+func (g *gen) proc(i int) {
+	name := fmt.Sprintf("P%d", i)
+	sig := procSig{name: name, nInts: 1 + g.rng.intn(2)}
+	sig.varInt = g.rng.intn(2) == 0
+	sig.hasRef = g.rng.intn(2) == 0
+	sig.hasVec = g.rng.intn(3) == 0
+	sig.returns = g.rng.intn(2) == 0
+
+	g.w("PROCEDURE %s(", name)
+	var params []string
+	for k := 0; k < sig.nInts; k++ {
+		params = append(params, fmt.Sprintf("a%d: INTEGER", k))
+	}
+	if sig.varInt {
+		params = append(params, "VAR vo: INTEGER")
+	}
+	if sig.hasRef {
+		params = append(params, "r: List")
+	}
+	if sig.hasVec {
+		params = append(params, "v: Vec")
+	}
+	g.w("%s)", strings.Join(params, "; "))
+	if sig.returns {
+		g.w(": INTEGER")
+	}
+	g.w(" =\n  VAR t0, t1: INTEGER; lr, ls: List; lv: Vec;\n")
+	g.w("  VAR lc0, lc1, lc2, lc3, lc4, lc5, lc6, lc7: INTEGER;\n  BEGIN\n")
+
+	save := g.saveScope()
+	saveLvl := g.loopLvl
+	g.loopLvl = 0
+	g.intVars = []string{"t0", "t1"}
+	for k := 0; k < sig.nInts; k++ {
+		g.intVars = append(g.intVars, fmt.Sprintf("a%d", k))
+	}
+	if sig.varInt {
+		g.intVars = append(g.intVars, "vo")
+	}
+	g.refVars = []string{"lr", "ls"}
+	if sig.hasRef {
+		g.refVars = append(g.refVars, "r")
+	}
+	g.vecVars = []string{"lv"}
+	if sig.hasVec {
+		g.vecVars = append(g.vecVars, "v")
+	}
+	g.w("    t0 := 0;\n    t1 := 0;\n")
+	g.stmts = 8 + g.rng.intn(8)
+	g.block(2)
+	if sig.returns {
+		g.w("    RETURN %s;\n", g.intExpr(0))
+	}
+	g.w("  END %s;\n", name)
+	g.restoreScope(save)
+	g.loopLvl = saveLvl
+	g.procs = append(g.procs, sig)
+}
+
+type scope struct{ ints, refs, vecs []string }
+
+func (g *gen) saveScope() scope {
+	return scope{append([]string{}, g.intVars...), append([]string{}, g.refVars...), append([]string{}, g.vecVars...)}
+}
+func (g *gen) restoreScope(s scope) {
+	g.intVars, g.refVars, g.vecVars = s.ints, s.refs, s.vecs
+}
+
+func (g *gen) indent(d int) string { return strings.Repeat("  ", d) }
+
+func (g *gen) pick(vs []string) string { return vs[g.rng.intn(len(vs))] }
+
+// intExpr produces a side-effect-free INTEGER expression.
+func (g *gen) intExpr(depth int) string {
+	if depth > 2 || g.rng.intn(3) == 0 {
+		if g.rng.intn(2) == 0 && len(g.intVars) > 0 {
+			return g.pick(g.intVars)
+		}
+		return fmt.Sprintf("%d", g.rng.intn(41)-20)
+	}
+	a := g.intExpr(depth + 1)
+	b := g.intExpr(depth + 1)
+	switch g.rng.intn(6) {
+	case 0:
+		return fmt.Sprintf("(%s + %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s - %s)", a, b)
+	case 2:
+		return fmt.Sprintf("(%s * %s)", a, b)
+	case 3:
+		return fmt.Sprintf("(%s DIV %d)", a, 1+g.rng.intn(6))
+	case 4:
+		return fmt.Sprintf("(%s MOD %d)", a, 1+g.rng.intn(6))
+	default:
+		return fmt.Sprintf("ABS(%s)", a)
+	}
+}
+
+// cond produces a BOOLEAN expression.
+func (g *gen) cond() string {
+	ops := []string{"=", "#", "<", "<=", ">", ">="}
+	c := fmt.Sprintf("%s %s %s", g.intExpr(1), ops[g.rng.intn(len(ops))], g.intExpr(1))
+	switch g.rng.intn(4) {
+	case 0:
+		if len(g.refVars) > 0 {
+			rel := "#"
+			if g.rng.intn(2) == 0 {
+				rel = "="
+			}
+			return fmt.Sprintf("(%s) AND (%s %s NIL)", c, g.pick(g.refVars), rel)
+		}
+	case 1:
+		return fmt.Sprintf("NOT (%s)", c)
+	}
+	return c
+}
+
+// ensureRef emits a guard making ref non-nil.
+func (g *gen) ensureRef(d int, ref string) {
+	g.w("%sIF %s = NIL THEN %s := NEW(List); END;\n", g.indent(d), ref, ref)
+}
+
+// ensureVec emits a guard making vec non-nil with length >= minVecLen
+// (every Vec allocation in the generator honors that floor, so the
+// SUBARRAY window arithmetic below can never trap).
+func (g *gen) ensureVec(d int, vec string) {
+	g.w("%sIF %s = NIL THEN %s := NEW(Vec, %d); END;\n", g.indent(d), vec, vec, minVecLen+g.rng.intn(6))
+}
+
+// safeIndex returns an expression indexing vec within bounds.
+func (g *gen) safeIndex(vec string) string {
+	return fmt.Sprintf("ABS(%s) MOD NUMBER(%s)", g.intExpr(1), vec)
+}
+
+// loopCounter reserves one of the dedicated counters (never listed in
+// intVars, so a loop body cannot clobber its own induction variable).
+// ok is false when the nesting budget is exhausted.
+func (g *gen) loopCounter() (string, bool) {
+	if g.loopLvl >= 8 {
+		return "", false
+	}
+	c := fmt.Sprintf("lc%d", g.loopLvl)
+	g.loopLvl++
+	return c, true
+}
+
+// block emits statements until the budget runs out.
+func (g *gen) block(d int) {
+	n := 2 + g.rng.intn(5)
+	for i := 0; i < n && g.stmts > 0; i++ {
+		g.stmt(d)
+	}
+}
+
+func (g *gen) stmt(d int) {
+	g.stmts--
+	if d > 4 {
+		g.w("%s%s := %s;\n", g.indent(d), g.pick(g.intVars), g.intExpr(0))
+		return
+	}
+	switch g.rng.intn(22) {
+	case 0, 1: // int assignment
+		g.w("%s%s := %s;\n", g.indent(d), g.pick(g.intVars), g.intExpr(0))
+	case 2: // cons onto a list
+		r := g.pick(g.refVars)
+		g.w("%sWITH nw = NEW(List) DO nw.head := %s; nw.tail := %s; %s := nw; END;\n",
+			g.indent(d), g.intExpr(1), r, r)
+	case 3: // read through a list
+		r := g.pick(g.refVars)
+		g.ensureRef(d, r)
+		g.w("%s%s := %s + %s.head;\n", g.indent(d), g.pick(g.intVars), g.pick(g.intVars), r)
+	case 4: // mutate a field
+		r := g.pick(g.refVars)
+		g.ensureRef(d, r)
+		g.w("%s%s.head := %s;\n", g.indent(d), r, g.intExpr(1))
+	case 5: // vector write with safe index
+		v := g.pick(g.vecVars)
+		g.ensureVec(d, v)
+		g.w("%s%s[%s] := %s;\n", g.indent(d), v, g.safeIndex(v), g.intExpr(1))
+	case 6: // vector read
+		v := g.pick(g.vecVars)
+		g.ensureVec(d, v)
+		g.w("%s%s := %s[%s];\n", g.indent(d), g.pick(g.intVars), v, g.safeIndex(v))
+	case 7: // fresh vector (length floor keeps SUBARRAY safe)
+		v := g.pick(g.vecVars)
+		g.w("%s%s := NEW(Vec, %d);\n", g.indent(d), v, minVecLen+g.rng.intn(8))
+	case 8: // IF
+		g.w("%sIF %s THEN\n", g.indent(d), g.cond())
+		g.block(d + 1)
+		if g.rng.intn(2) == 0 {
+			g.w("%sELSE\n", g.indent(d))
+			g.block(d + 1)
+		}
+		g.w("%sEND;\n", g.indent(d))
+	case 9: // bounded WHILE over a reserved counter
+		cnt, ok := g.loopCounter()
+		if !ok {
+			g.w("%s%s := %s;\n", g.indent(d), g.pick(g.intVars), g.intExpr(0))
+			return
+		}
+		g.w("%s%s := %d;\n", g.indent(d), cnt, 2+g.rng.intn(5))
+		g.w("%sWHILE %s > 0 DO\n", g.indent(d), cnt)
+		g.block(d + 1)
+		g.w("%s  %s := %s - 1;\n", g.indent(d), cnt, cnt)
+		g.w("%sEND;\n", g.indent(d))
+		g.loopLvl--
+	case 10: // FOR sweep over a vector: strength-reduction and CSE bait
+		g.forVecLoop(d)
+	case 11: // SUBARRAY window with arithmetic across collections
+		g.subarrayLoop(d)
+	case 12: // nested WITH aliases of fields
+		g.nestedWith(d)
+	case 13: // multi-path derivation: path-dependent base, then alias
+		g.pathSelect(d)
+	case 14: // allocation storm: force collections mid-loop
+		g.allocStorm(d)
+	case 15: // INC/DEC
+		v := g.pick(g.intVars)
+		if g.rng.intn(2) == 0 {
+			g.w("%sINC(%s, %s);\n", g.indent(d), v, g.intExpr(1))
+		} else {
+			g.w("%sDEC(%s);\n", g.indent(d), v)
+		}
+	case 16: // call a helper
+		g.call(d)
+	case 17: // WITH alias of a field
+		r := g.pick(g.refVars)
+		g.ensureRef(d, r)
+		g.w("%sWITH w = %s.head DO\n", g.indent(d), r)
+		g.w("%s  w := w + %s;\n", g.indent(d), g.intExpr(1))
+		g.w("%sEND;\n", g.indent(d))
+	case 18: // CASE dispatch on a bounded selector
+		v := g.pick(g.intVars)
+		g.w("%sCASE ABS(%s) MOD 6 OF\n", g.indent(d), v)
+		g.w("%s| 0 => %s := %s;\n", g.indent(d), g.pick(g.intVars), g.intExpr(1))
+		g.w("%s| 1, 2 => %s := %s;\n", g.indent(d), g.pick(g.intVars), g.intExpr(1))
+		g.w("%s| 3..5 => %s := %s;\n", g.indent(d), g.pick(g.intVars), g.intExpr(1))
+		g.w("%sEND;\n", g.indent(d))
+	case 19: // forced collection at an explicit gc-point
+		g.w("%sGcCollect();\n", g.indent(d))
+	case 20: // drop a reference (dead objects for the next collection)
+		g.w("%s%s := NIL;\n", g.indent(d), g.pick(g.refVars))
+	default: // chain tail
+		r := g.pick(g.refVars)
+		g.ensureRef(d, r)
+		g.w("%s%s := %s.tail;\n", g.indent(d), r, r)
+	}
+}
+
+// forVecLoop emits a FOR loop sweeping a vector with induction-variable
+// arithmetic — the classic strength-reduction/CSE shape whose derived
+// pointers the tables must describe at every allocation inside.
+func (g *gen) forVecLoop(d int) {
+	cnt, ok := g.loopCounter()
+	if !ok {
+		g.w("%s%s := %s;\n", g.indent(d), g.pick(g.intVars), g.intExpr(0))
+		return
+	}
+	v := g.pick(g.vecVars)
+	g.ensureVec(d, v)
+	acc := g.pick(g.intVars)
+	g.w("%sFOR %s := 0 TO NUMBER(%s) - 1 DO\n", g.indent(d), cnt, v)
+	g.w("%s  %s[%s] := %s[%s] + %d;\n", g.indent(d), v, cnt, v, cnt, 1+g.rng.intn(5))
+	g.w("%s  %s := %s + %s[%s] * %d;\n", g.indent(d), acc, acc, v, cnt, 1+g.rng.intn(4))
+	if g.rng.intn(2) == 0 {
+		// Allocate mid-sweep so the vector (and the reduced index
+		// expression's base) moves while live.
+		r := g.pick(g.refVars)
+		g.w("%s  WITH nw = NEW(List) DO nw.head := %s[%s]; nw.tail := %s; %s := nw; END;\n",
+			g.indent(d), v, cnt, r, r)
+	}
+	g.w("%sEND;\n", g.indent(d))
+	g.loopLvl--
+}
+
+// subarrayLoop binds a SUBARRAY window and walks it while allocating,
+// so the window's derived base pointer is live across collections. The
+// window always fits: every Vec has length >= minVecLen, from <=
+// len-5, and count <= 4.
+func (g *gen) subarrayLoop(d int) {
+	cnt, ok := g.loopCounter()
+	if !ok {
+		g.w("%s%s := %s;\n", g.indent(d), g.pick(g.intVars), g.intExpr(0))
+		return
+	}
+	v := g.pick(g.vecVars)
+	g.ensureVec(d, v)
+	g.w("%sWITH sa = SUBARRAY(%s, ABS(%s) MOD (NUMBER(%s) - 4), %d) DO\n",
+		g.indent(d), v, g.intExpr(1), v, 1+g.rng.intn(4))
+	g.w("%s  FOR %s := 0 TO NUMBER(sa) - 1 DO\n", g.indent(d), cnt)
+	g.w("%s    sa[%s] := sa[%s] + %s;\n", g.indent(d), cnt, cnt, g.intExpr(1))
+	switch g.rng.intn(3) {
+	case 0:
+		r := g.pick(g.refVars)
+		g.w("%s    WITH nw = NEW(List) DO nw.head := sa[%s]; nw.tail := %s; %s := nw; END;\n",
+			g.indent(d), cnt, r, r)
+	case 1:
+		g.w("%s    GcCollect();\n", g.indent(d))
+	}
+	g.w("%s  END;\n", g.indent(d))
+	g.w("%s  %s := %s + sa[0];\n", g.indent(d), g.pick(g.intVars), g.pick(g.intVars))
+	g.w("%sEND;\n", g.indent(d))
+	g.loopLvl--
+}
+
+// nestedWith stacks two field aliases (both derived pointers) and
+// allocates while both are live.
+func (g *gen) nestedWith(d int) {
+	r1 := g.pick(g.refVars)
+	r2 := g.pick(g.refVars)
+	g.ensureRef(d, r1)
+	g.ensureRef(d, r2)
+	g.w("%sWITH w = %s.head DO\n", g.indent(d), r1)
+	g.w("%s  w := w + %s;\n", g.indent(d), g.intExpr(1))
+	g.w("%s  WITH u = %s.head DO\n", g.indent(d), r2)
+	g.w("%s    u := u + w;\n", g.indent(d))
+	if g.rng.intn(2) == 0 {
+		g.w("%s    %s := NEW(Vec, %d);\n", g.indent(d), g.pick(g.vecVars), minVecLen+g.rng.intn(4))
+	} else {
+		g.w("%s    GcCollect();\n", g.indent(d))
+	}
+	g.w("%s  END;\n", g.indent(d))
+	g.w("%sEND;\n", g.indent(d))
+}
+
+// pathSelect picks a base pointer on a data-dependent path, then
+// derives from whichever was chosen — the ambiguous-derivation shape
+// resolved by path variables (or path splitting).
+func (g *gen) pathSelect(d int) {
+	if len(g.refVars) < 2 {
+		return
+	}
+	t := g.pick(g.refVars)
+	a := g.pick(g.refVars)
+	b := g.pick(g.refVars)
+	g.ensureRef(d, a)
+	g.ensureRef(d, b)
+	g.w("%sIF %s THEN %s := %s; ELSE %s := %s; END;\n", g.indent(d), g.cond(), t, a, t, b)
+	g.w("%sWITH w = %s.head DO\n", g.indent(d), t)
+	g.w("%s  w := w + %s;\n", g.indent(d), g.intExpr(1))
+	if g.rng.intn(2) == 0 {
+		r := g.pick(g.refVars)
+		g.w("%s  WITH nw = NEW(List) DO nw.head := w; nw.tail := %s; %s := nw; END;\n",
+			g.indent(d), r, r)
+	}
+	g.w("%sEND;\n", g.indent(d))
+}
+
+// allocStorm retains a chain of fresh objects in a tight loop, forcing
+// collections while the loop's live set is at its richest.
+func (g *gen) allocStorm(d int) {
+	cnt, ok := g.loopCounter()
+	if !ok {
+		g.w("%s%s := %s;\n", g.indent(d), g.pick(g.intVars), g.intExpr(0))
+		return
+	}
+	r := g.pick(g.refVars)
+	v := g.pick(g.vecVars)
+	g.w("%sFOR %s := 1 TO %d DO\n", g.indent(d), cnt, 4+g.rng.intn(9))
+	g.w("%s  WITH nw = NEW(List) DO nw.head := %s; nw.tail := %s; %s := nw; END;\n",
+		g.indent(d), cnt, r, r)
+	if g.rng.intn(2) == 0 {
+		g.w("%s  %s := NEW(Vec, %d);\n", g.indent(d), v, minVecLen)
+	}
+	if g.rng.intn(3) == 0 {
+		g.w("%s  %s := %s.tail;\n", g.indent(d), r, r)
+	}
+	g.w("%sEND;\n", g.indent(d))
+	g.loopLvl--
+}
+
+// call invokes a random already-emitted helper with safe arguments;
+// passing our own VAR parameter as the callee's VAR argument builds
+// the paper's pointer-into-frame chains across multiple frames.
+func (g *gen) call(d int) {
+	if len(g.procs) == 0 {
+		return
+	}
+	sig := g.procs[g.rng.intn(len(g.procs))]
+	var args []string
+	for k := 0; k < sig.nInts; k++ {
+		args = append(args, g.intExpr(1))
+	}
+	if sig.varInt {
+		args = append(args, g.pick(g.intVars))
+	}
+	if sig.hasRef {
+		args = append(args, g.pick(g.refVars))
+	}
+	if sig.hasVec {
+		v := g.pick(g.vecVars)
+		g.ensureVec(d, v)
+		args = append(args, v)
+	}
+	callText := fmt.Sprintf("%s(%s)", sig.name, strings.Join(args, ", "))
+	if sig.returns {
+		g.w("%s%s := %s;\n", g.indent(d), g.pick(g.intVars), callText)
+	} else {
+		g.w("%s%s;\n", g.indent(d), callText)
+	}
+}

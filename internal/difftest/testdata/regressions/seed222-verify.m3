@@ -1,0 +1,32 @@
+MODULE Fuzz;
+TYPE List = REF RECORD head: INTEGER; tail: List; END;
+TYPE Vec = REF ARRAY OF INTEGER;
+PROCEDURE P0(a0: INTEGER; a1: INTEGER) =
+  VAR t0, t1: INTEGER; lr, ls: List; lv: Vec;
+  VAR lc0, lc1, lc2, lc3, lc4, lc5, lc6, lc7: INTEGER;
+  BEGIN
+    t1 := 0;
+    WHILE lc0 > 0 DO
+      IF lv = NIL THEN lv := NEW(Vec, 9); END;
+      FOR lc1 := 0 TO NUMBER(lv) - 1 DO
+        a0 := a0 + lv[lc1] * 3;
+        WITH nw = NEW(List) DO nw.head := lv[lc1]; nw.tail := lr; lr := nw; END;
+      END;
+      WITH w = ls.head DO
+        WITH u = ls.head DO
+          GcCollect();
+        END;
+      END;
+      lc0 := lc0 - 1;
+    END;
+    IF (11 = t0) AND (lr = NIL) THEN
+      FOR lc0 := 0 TO NUMBER(lv) - 1 DO
+      END;
+      t1 := (((a0 * 15) + (-15 * t0)) - ((-2 DIV 3) * (a0 MOD 6)));
+      FOR lc0 := 1 TO 8 DO
+      END;
+      WITH nw = NEW(List) DO nw.head := (-4 + t1); nw.tail := ls; ls := nw; END;
+    END;
+  END P0;
+BEGIN
+END Fuzz.

@@ -1,0 +1,159 @@
+// Package e2e pins the observable behavior of every program under
+// examples/: each example's embedded Modula-3-subset source is
+// extracted from its Go file (so the tests cannot drift from what the
+// examples actually run), compiled with the example's own options, and
+// executed with the example's own machine configuration. The program's
+// stdout plus a collection-count snapshot is compared against a golden
+// file; regenerate with -update-golden after an intentional change.
+package e2e
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/driver"
+	"repro/internal/vmachine"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/examples/*.golden")
+
+var programRE = regexp.MustCompile("(?s)const program = `\n?(.*?)`")
+
+// exampleSource extracts the backquoted `const program` literal from
+// examples/<name>/main.go.
+func exampleSource(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "..", "examples", name, "main.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := programRE.FindSubmatch(data)
+	if m == nil {
+		t.Fatalf("examples/%s/main.go has no `const program` literal", name)
+	}
+	return string(m[1])
+}
+
+// runExample compiles src and runs it, returning stdout and the
+// machine (for collection counts). spawn, when non-empty, starts that
+// procedure as a second thread before running — the multithread
+// example's shape.
+func runExample(t *testing.T, src string, opts driver.Options, cfg vmachine.Config, spawn string) (string, *vmachine.Machine) {
+	t.Helper()
+	c, err := driver.Compile("example.m3", src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	cfg.Out = &sb
+	m, _, err := c.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spawn != "" {
+		if _, err := m.Spawn(c.Prog.FindProc(spawn)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String(), m
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "examples", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("output drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+func TestQuickstart(t *testing.T) {
+	src := exampleSource(t, "quickstart")
+	cfg := vmachine.DefaultConfig()
+	cfg.HeapWords = 4096
+	out, m := runExample(t, src, driver.NewOptions(), cfg, "")
+	checkGolden(t, "quickstart", fmt.Sprintf("%scollections: %d\n", out, m.GCCount))
+}
+
+// The collectors example runs the same churn program under the precise
+// compacting and the conservative mark-sweep collectors; outputs must
+// agree, and both collection counts are pinned.
+func TestCollectors(t *testing.T) {
+	src := exampleSource(t, "collectors")
+	c, err := driver.Compile("churn.m3", src, driver.NewOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := vmachine.DefaultConfig()
+	cfg.HeapWords = 4096
+
+	var preciseOut strings.Builder
+	cfg.Out = &preciseOut
+	m1, _, err := c.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m1.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	var consOut strings.Builder
+	cfg.Out = &consOut
+	m2, _, err := c.NewConservativeMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m2.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	if preciseOut.String() != consOut.String() {
+		t.Fatalf("collectors disagree: precise %q, conservative %q",
+			preciseOut.String(), consOut.String())
+	}
+	checkGolden(t, "collectors", fmt.Sprintf("%sprecise collections: %d\nconservative collections: %d\n",
+		preciseOut.String(), m1.GCCount, m2.GCCount))
+}
+
+func TestMultithread(t *testing.T) {
+	src := exampleSource(t, "multithread")
+	opts := driver.NewOptions()
+	opts.Multithreaded = true
+	cfg := vmachine.Config{
+		HeapWords:  1024,
+		StackWords: 4096,
+		MaxThreads: 4,
+		Quantum:    41,
+	}
+	out, m := runExample(t, src, opts, cfg, "Worker")
+	checkGolden(t, "multithread", fmt.Sprintf("%scollections: %d\n", out, m.GCCount))
+}
+
+func TestDestroy(t *testing.T) {
+	src := bench.DestroySource(4, 7, 60, 3, 0)
+	cfg := vmachine.DefaultConfig()
+	cfg.HeapWords = 1 << 18
+	out, m := runExample(t, src, driver.NewOptions(), cfg, "")
+	checkGolden(t, "destroy", fmt.Sprintf("%scollections: %d\n", out, m.GCCount))
+}

@@ -120,9 +120,15 @@ func (lv *liveInfo) usesDefs(idx int) (uses, defs []lkey) {
 			defs = append(defs, regKey(r))
 		}
 	case vmachine.OpRet:
-		// R0 may carry the result; R8–R15 have been restored for the
+		// Only a function's ret reads R0 (the result); a proper
+		// procedure's ret does not, and treating it as a read would
+		// stretch whatever pointer last sat in R0 live across every
+		// gc-point on the path to the ret — a phantom liveness the
+		// tables rightly omit. R8–R15 have been restored for the
 		// caller; the restore loads themselves read the save slots.
-		uses = append(uses, regKey(0))
+		if ck.info.Result {
+			uses = append(uses, regKey(0))
+		}
 		for r := uint8(8); r < 16; r++ {
 			uses = append(uses, regKey(r))
 		}

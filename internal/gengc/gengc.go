@@ -294,6 +294,11 @@ func (c *Collector) Barrier(slot, val int64) {
 	}
 }
 
+// RemsetSize reports how many old-space slots the remembered set
+// currently tracks. It peaks between collections: a minor collection
+// promotes every young survivor, so the set is cleared afterwards.
+func (c *Collector) RemsetSize() int { return len(c.remset) }
+
 // Collect implements vmachine.Collector: a minor collection, escalating
 // to a major one when the old space cannot absorb the survivors.
 func (c *Collector) Collect(m *vmachine.Machine) error {

@@ -36,7 +36,7 @@ func LICM(p *ir.Proc) {
 func hoistLoop(p *ir.Proc, l *analysis.Loop, defs map[ir.Reg][]defSite, lv *analysis.Liveness) {
 	// Does the loop write memory or call anything that might?
 	memStable := true
-	for b := range l.Blocks {
+	for _, b := range loopBlocksInOrder(p, l) {
 		for i := range b.Instrs {
 			switch b.Instrs[i].Op {
 			case ir.OpStore, ir.OpStoreGlobal, ir.OpStoreLocal, ir.OpCall:
@@ -68,10 +68,14 @@ func hoistLoop(p *ir.Proc, l *analysis.Loop, defs map[ir.Reg][]defSite, lv *anal
 	planned := make(map[*ir.Instr]bool)
 
 	// Iterate: hoisting one instruction can make its dependents
-	// invariant.
+	// invariant. Blocks are visited in program order so the plan (and
+	// therefore the generated code) is the same on every compile; a
+	// map-order walk here made whole compilations flip between layouts
+	// run to run.
+	body := loopBlocksInOrder(p, l)
 	for changed := true; changed; {
 		changed = false
-		for b := range l.Blocks {
+		for _, b := range body {
 			for i := range b.Instrs {
 				in := &b.Instrs[i]
 				if planned[in] || in.Dst == ir.NoReg {
@@ -136,6 +140,19 @@ func hoistLoop(p *ir.Proc, l *analysis.Loop, defs map[ir.Reg][]defSite, lv *anal
 			Op: ir.OpConst, Dst: p.NewReg(ir.ClassScalar), A: ir.NoReg, B: ir.NoReg,
 		}
 	}
+}
+
+// loopBlocksInOrder returns the loop's member blocks in p.Blocks
+// (program) order. Loop bodies are stored as sets; iterating the set
+// directly would make any order-sensitive consumer nondeterministic.
+func loopBlocksInOrder(p *ir.Proc, l *analysis.Loop) []*ir.Block {
+	out := make([]*ir.Block, 0, len(l.Blocks))
+	for _, b := range p.Blocks {
+		if l.Blocks[b] {
+			out = append(out, b)
+		}
+	}
+	return out
 }
 
 // ensurePreheader returns a block that is the unique out-of-loop

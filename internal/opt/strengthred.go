@@ -50,8 +50,13 @@ func reduceLoop(p *ir.Proc, l *analysis.Loop) {
 	// Find basic induction variables: exactly two defs, one outside the
 	// loop, one inside of the form reg = reg + c (directly, or via
 	// reg = Mov t where t = AddImm reg, c and t is single-use).
+	// Registers are visited in numeric order: defs is a map, and the
+	// discovery order decides both the reduction order and the numbering
+	// of the fresh pointer IVs, so map order here leaked nondeterminism
+	// into the generated code.
 	var ivs []ivInfo
-	for r, ds := range defs {
+	for r := ir.Reg(0); int(r) < p.NumRegs(); r++ {
+		ds := defs[r]
 		if len(ds) != 2 {
 			continue
 		}
@@ -145,9 +150,10 @@ func reduceIV(p *ir.Proc, l *analysis.Loop, defs map[ir.Reg][]defSite, consts ma
 		return true
 	}
 
-	// Scan loop blocks for address computations addr = base + f(i).
+	// Scan loop blocks for address computations addr = base + f(i),
+	// in program order (l.Blocks is a set; see loopBlocksInOrder).
 	var chains []addrChain
-	for b := range l.Blocks {
+	for _, b := range loopBlocksInOrder(p, l) {
 		for idx := range b.Instrs {
 			in := &b.Instrs[idx]
 			if in.Op != ir.OpAdd || in.Dst == ir.NoReg || p.Class(in.Dst) != ir.ClassDerived {

@@ -7,6 +7,11 @@
 // dereference), index-safe (indices are reduced modulo the array
 // length), and loop-bounded (only FOR loops with small constant
 // bounds), so every program terminates with deterministic output.
+//
+// The gcverify corpus pins this generator's output byte for byte, so
+// Program must stay stable. The differential harness built on the same
+// idea — a richer generator, the full collector × scheme × cache ×
+// workers matrix, finding reduction — lives in internal/difftest.
 package progen
 
 import (

@@ -16,6 +16,10 @@ type ProcInfo struct {
 	End        int // byte PC one past the procedure's last instruction
 	FrameWords int64
 	NumArgs    int
+	// Result records whether the procedure returns a value in R0. The
+	// static verifier needs it: only a function's ret reads R0, so only
+	// there does R0 extend a pointer's live range across gc-points.
+	Result bool
 }
 
 // Program is a linked executable image.
