@@ -41,12 +41,15 @@ test-all:
 bench-telemetry:
 	$(GO) test -bench . -benchmem ./internal/telemetry/
 
-# Decode-cache smoke: run the cached-vs-uncached takl comparison (fails
-# if the runs diverge) and leave the telemetry snapshot under artifacts/
-# for CI to upload.
+# Decode-cache and parallel-trace smoke: run the cached-vs-uncached
+# takl comparison and the trace-width comparison (each fails if its
+# runs diverge), leave both JSON measurements under artifacts/ for CI
+# to upload, and exercise the per-phase microbenchmarks once.
 bench-smoke:
 	mkdir -p artifacts
 	$(GO) run ./cmd/paperbench -cache -snapshot artifacts/takl-telemetry.json
+	$(GO) run ./cmd/paperbench -parallel -bench5 artifacts/BENCH_5.json
+	$(GO) test -run '^$$' -bench 'Phase' -benchtime 1x ./internal/gc/
 
 # Short gc-map verifier smoke: the checked-in progen corpus (first few
 # seeds) plus a strided seeded-fault sweep. CI runs this on every push.

@@ -15,6 +15,9 @@
 //	-gcstats            print collector statistics on exit
 //	-scheme S           table scheme: full-plain, full-packing,
 //	                    delta-plain, delta-previous, delta-packing, delta-pp
+//	-trace-workers N    trace-copy worker pool width for the precise
+//	                    collectors (0 = one per CPU, 1 = serial); the
+//	                    heap image is bitwise identical at any width
 //	-verify             statically verify the gc tables before running
 package main
 
@@ -46,6 +49,7 @@ func main() {
 	stress := flag.Bool("stress", false, "collect at every allocation gc-point")
 	gcstats := flag.Bool("gcstats", false, "print collector statistics")
 	schemeName := flag.String("scheme", "delta-pp", "gc table encoding scheme")
+	traceWorkers := flag.Int("trace-workers", 0, "trace-copy workers (0 = one per CPU, 1 = serial)")
 	verify := flag.Bool("verify", false, "statically verify the gc tables before running")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -84,6 +88,9 @@ func main() {
 			fatal(err)
 		}
 	}
+	// After both paths (compile and .mxo load) so loaded objects honor
+	// the flag too; NewMachine reads it when wiring the collector.
+	c.Opts.TraceWorkers = *traceWorkers
 	cfg := vmachine.DefaultConfig()
 	cfg.HeapWords = *heapWords
 	cfg.StackWords = *stackWords
@@ -100,6 +107,8 @@ func main() {
 		if *gcstats {
 			fmt.Fprintf(os.Stderr, "gc: %d collections, %d frames traced, %d words copied, trace %v, total %v\n",
 				col.Collections, col.FramesTraced, col.WordsCopied, col.StackTraceTime, col.TotalTime)
+			fmt.Fprintf(os.Stderr, "gc: phases mark %v, assign %v, copy %v, fixup %v (%d steals)\n",
+				col.MarkTime, col.AssignTime, col.CopyTime, col.FixupTime, col.Steals)
 		}
 		if runErr != nil {
 			fatal(runErr)

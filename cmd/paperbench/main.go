@@ -8,10 +8,13 @@
 //	-compare   §7 context: precise compacting vs conservative mark-sweep
 //	-decode    decode cost per gc-point per scheme (δ-main vs full-info)
 //	-cache     decode-cache effect on takl: table bytes read per collection
+//	-parallel  parallel trace-copy: pause phases at trace widths 1/2/4/8
 //	-all       everything
 //
 // -snapshot FILE writes the cached takl run's telemetry snapshot (cache
-// hit rate, bytes read/saved) as JSON, for CI artifacts.
+// hit rate, bytes read/saved) as JSON, for CI artifacts. -bench5 FILE
+// writes the -parallel measurement (per-phase times per worker count,
+// equivalence verdicts) as JSON, for the BENCH_5 CI artifact.
 package main
 
 import (
@@ -35,16 +38,21 @@ func main() {
 	ref := flag.Bool("refine", false, "§5.2 refinements: short pc distances, array runs")
 	gen := flag.Bool("generational", false, "generational scavenging extension vs full copying")
 	cache := flag.Bool("cache", false, "decode-cache effect on takl (table bytes read per collection)")
+	par := flag.Bool("parallel", false, "parallel trace-copy pause phases at trace widths 1/2/4/8")
 	snapshot := flag.String("snapshot", "", "write the cached takl run's telemetry snapshot (JSON) to this file")
+	bench5 := flag.String("bench5", "", "write the parallel trace-copy measurement (JSON) to this file")
 	all := flag.Bool("all", false, "run everything")
 	flag.Parse()
 	if *all {
-		*t1, *t2, *s62, *s63, *cmp, *dec, *ref, *gen, *cache = true, true, true, true, true, true, true, true, true
+		*t1, *t2, *s62, *s63, *cmp, *dec, *ref, *gen, *cache, *par = true, true, true, true, true, true, true, true, true, true
 	}
 	if *snapshot != "" {
 		*cache = true
 	}
-	if !*t1 && !*t2 && !*s62 && !*s63 && !*cmp && !*dec && !*ref && !*gen && !*cache {
+	if *bench5 != "" {
+		*par = true
+	}
+	if !*t1 && !*t2 && !*s62 && !*s63 && !*cmp && !*dec && !*ref && !*gen && !*cache && !*par {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -75,6 +83,40 @@ func main() {
 	if *cache {
 		decodeCache(*snapshot)
 	}
+	if *par {
+		parallelTrace(*bench5)
+	}
+}
+
+func parallelTrace(bench5Path string) {
+	fmt.Println("== Parallel trace-copy: pause phases per trace-worker count (takl+ballast) ==")
+	fmt.Println("(canonical address assignment keeps the heap image bitwise identical at")
+	fmt.Println(" every width; speedup is bounded by GOMAXPROCS on the host)")
+	r, err := bench.ParallelTraceComparison(1<<17, 2400)
+	check(err)
+	fmt.Printf("gomaxprocs: %d, heap %d words\n", r.GoMaxProcs, r.HeapWords)
+	fmt.Printf("%7s %4s %10s | %10s %10s %10s %10s | %7s %9s\n",
+		"workers", "gcs", "pause", "mark", "assign", "copy", "fixup", "steals", "copied")
+	for _, row := range r.Rows {
+		fmt.Printf("%7d %4d %10v | %10v %10v %10v %10v | %7d %8dw\n",
+			row.Workers, row.Collections, row.Pause.Round(time.Microsecond),
+			row.Mark.Round(time.Microsecond), row.Assign.Round(time.Microsecond),
+			row.Copy.Round(time.Microsecond), row.Fixup.Round(time.Microsecond),
+			row.Steals, row.CopiedWords)
+	}
+	fmt.Printf("outputs identical:          %v\n", r.OutputsMatch)
+	fmt.Printf("final heap images identical:%v\n", r.HeapsMatch)
+	fmt.Printf("mark+copy speedup (8w/1w):  %.2fx\n", r.MarkCopySpeedup)
+	if !r.OutputsMatch || !r.HeapsMatch {
+		check(fmt.Errorf("trace widths diverged; parallel collection is not deterministic"))
+	}
+	if bench5Path != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		check(err)
+		check(os.WriteFile(bench5Path, append(data, '\n'), 0o644))
+		fmt.Printf("BENCH_5 measurement written: %s\n", bench5Path)
+	}
+	fmt.Println()
 }
 
 func decodeCache(snapshotPath string) {

@@ -41,14 +41,30 @@ type Cell struct {
 	Scheme    gctab.Scheme
 	Cache     bool // walk stacks through the memoizing decoder
 	Workers   int  // stack-walk / root-scan worker pool width
+	// TraceWorkers is the precise collectors' trace-copy pool width
+	// (mark, copy, fixup). Conservative cells ignore it (mark-sweep has
+	// no copy phase); the matrix only varies it for gc and gengc.
+	TraceWorkers int
 }
 
 func (c Cell) String() string {
-	return fmt.Sprintf("%s/%s/cache=%v/workers=%d", c.Collector, c.Scheme, c.Cache, c.Workers)
+	return fmt.Sprintf("%s/%s/cache=%v/workers=%d/tw=%d",
+		c.Collector, c.Scheme, c.Cache, c.Workers, c.TraceWorkers)
 }
 
-// Matrix returns the full {collector × scheme × cache × workers}
-// product over the given schemes (AllSchemes when nil).
+// traceWidthsFor returns the trace-copy pool widths the matrix explores
+// for a collector: serial and wide for the copying collectors (whose
+// heap images must be bitwise identical either way), serial only for
+// the conservative baseline (no copy phase to parallelize).
+func traceWidthsFor(collector string) []int {
+	if collector == CollectorConservative {
+		return []int{1}
+	}
+	return []int{1, 8}
+}
+
+// Matrix returns the full {collector × scheme × cache × workers ×
+// trace-workers} product over the given schemes (AllSchemes when nil).
 func Matrix(schemes []gctab.Scheme) []Cell {
 	if schemes == nil {
 		schemes = AllSchemes
@@ -58,7 +74,10 @@ func Matrix(schemes []gctab.Scheme) []Cell {
 		for _, s := range schemes {
 			for _, cache := range []bool{false, true} {
 				for _, workers := range []int{1, 8} {
-					cells = append(cells, Cell{Collector: col, Scheme: s, Cache: cache, Workers: workers})
+					for _, tw := range traceWidthsFor(col) {
+						cells = append(cells, Cell{Collector: col, Scheme: s,
+							Cache: cache, Workers: workers, TraceWorkers: tw})
+					}
 				}
 			}
 		}
@@ -300,8 +319,9 @@ func Execute(seed int64, src string, cfg Config) *Result {
 		groups[cell.Collector] = append(groups[cell.Collector], r)
 	}
 
-	// Within a collector, scheme/cache/workers must be invisible:
-	// identical collection counts and bitwise-identical final heaps.
+	// Within a collector, scheme/cache/workers/trace-workers must be
+	// invisible: identical collection counts and bitwise-identical final
+	// heaps.
 	for _, col := range sortedKeys(groups) {
 		g := groups[col]
 		base := g[0]
@@ -332,6 +352,7 @@ func runCell(c *driver.Compiled, cell Cell, maxSteps int64) (r cellResult) {
 	cc := *c
 	cc.Opts.DecodeCache = cell.Cache
 	cc.Opts.WalkWorkers = cell.Workers
+	cc.Opts.TraceWorkers = cell.TraceWorkers
 
 	vcfg := vmachine.Config{
 		HeapWords:  heapWordsFor(cell.Collector),

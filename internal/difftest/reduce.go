@@ -75,12 +75,15 @@ func FailsLike(f Finding, cfg Config) func(string) bool {
 		narrow.Cells = []Cell{}
 	case KindDeterminism:
 		// Determinism is judged within a collector group: keep the
-		// whole {cache × workers} slice of the failing collector.
+		// whole {cache × workers × trace-workers} slice of the failing
+		// collector.
 		var cells []Cell
 		for _, cache := range []bool{false, true} {
 			for _, workers := range []int{1, 8} {
-				cells = append(cells, Cell{Collector: f.Cell.Collector, Scheme: f.Cell.Scheme,
-					Cache: cache, Workers: workers})
+				for _, tw := range traceWidthsFor(f.Cell.Collector) {
+					cells = append(cells, Cell{Collector: f.Cell.Collector, Scheme: f.Cell.Scheme,
+						Cache: cache, Workers: workers, TraceWorkers: tw})
+				}
 			}
 		}
 		narrow.Cells = cells
@@ -113,27 +116,31 @@ type Regression struct {
 	Corrupt *Corruption `json:"corrupt,omitempty"`
 }
 
-// CellSpec is Cell in a JSON-stable spelling.
+// CellSpec is Cell in a JSON-stable spelling. TraceWorkers is omitted
+// when zero so sidecars written before the parallel collector existed
+// replay unchanged (0 = the collector's default width).
 type CellSpec struct {
-	Collector string `json:"collector"`
-	Full      bool   `json:"full"`
-	Packing   bool   `json:"packing"`
-	Previous  bool   `json:"previous"`
-	Cache     bool   `json:"cache"`
-	Workers   int    `json:"workers"`
+	Collector    string `json:"collector"`
+	Full         bool   `json:"full"`
+	Packing      bool   `json:"packing"`
+	Previous     bool   `json:"previous"`
+	Cache        bool   `json:"cache"`
+	Workers      int    `json:"workers"`
+	TraceWorkers int    `json:"trace_workers,omitempty"`
 }
 
 // Spec converts a Cell for serialization.
 func (c Cell) Spec() CellSpec {
 	return CellSpec{Collector: c.Collector, Full: c.Scheme.Full, Packing: c.Scheme.Packing,
-		Previous: c.Scheme.Previous, Cache: c.Cache, Workers: c.Workers}
+		Previous: c.Scheme.Previous, Cache: c.Cache, Workers: c.Workers,
+		TraceWorkers: c.TraceWorkers}
 }
 
 // Cell converts back.
 func (s CellSpec) Cell() Cell {
 	return Cell{Collector: s.Collector,
 		Scheme: gctab.Scheme{Full: s.Full, Packing: s.Packing, Previous: s.Previous},
-		Cache:  s.Cache, Workers: s.Workers}
+		Cache:  s.Cache, Workers: s.Workers, TraceWorkers: s.TraceWorkers}
 }
 
 // WriteRegression stores the reduced program and its replay sidecar

@@ -61,8 +61,10 @@ func replayConfig(kind Kind, cell Cell) Config {
 	case KindDeterminism:
 		for _, cache := range []bool{false, true} {
 			for _, workers := range []int{1, 8} {
-				cfg.Cells = append(cfg.Cells, Cell{Collector: cell.Collector,
-					Scheme: cell.Scheme, Cache: cache, Workers: workers})
+				for _, tw := range traceWidthsFor(cell.Collector) {
+					cfg.Cells = append(cfg.Cells, Cell{Collector: cell.Collector,
+						Scheme: cell.Scheme, Cache: cache, Workers: workers, TraceWorkers: tw})
+				}
 			}
 		}
 	default:

@@ -1,0 +1,38 @@
+MODULE Fuzz;
+TYPE List = REF RECORD head: INTEGER; tail: List; END;
+TYPE Vec = REF ARRAY OF INTEGER;
+VAR gl: List;
+VAR gv: Vec;
+PROCEDURE SumList(l: List): INTEGER =
+  VAR s: INTEGER;
+  BEGIN
+    s := 0;
+    WHILE l # NIL DO s := s + l.head; l := l.tail; END;
+    RETURN s;
+  END SumList;
+PROCEDURE Churn(n: INTEGER): INTEGER =
+  VAR i, s: INTEGER;
+  BEGIN
+    s := 0;
+    gv := NEW(Vec, 12);
+    FOR i := 0 TO NUMBER(gv) - 1 DO gv[i] := i * 3; END;
+    FOR i := 1 TO n DO
+      WITH sa = SUBARRAY(gv, i MOD (NUMBER(gv) - 4), 4) DO
+        GcCollect();
+        sa[0] := sa[0] + i;
+        WITH nw = NEW(List) DO nw.head := sa[1]; nw.tail := gl; gl := nw; END;
+        GcCollect();
+        s := s + sa[0] + sa[3];
+      END;
+      WITH w = gl.head DO
+        GcCollect();
+        w := w + 1;
+      END;
+    END;
+    RETURN s;
+  END Churn;
+BEGIN
+  gl := NIL;
+  PutInt(Churn(24)); PutLn();
+  PutInt(SumList(gl)); PutLn();
+END Fuzz.

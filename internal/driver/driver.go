@@ -59,6 +59,11 @@ type Options struct {
 	// conservative heap's root-scan pool (0 = one worker per available
 	// CPU, 1 = serial). Results are deterministic at any width.
 	WalkWorkers int
+	// TraceWorkers bounds the precise collectors' trace-copy worker pool
+	// — parallel mark, copy, and pointer fixup (0 = one worker per
+	// available CPU, 1 = serial). Placement is canonical, so the heap
+	// image is bitwise identical at any width.
+	TraceWorkers int
 }
 
 // NewOptions returns the default configuration: optimized, gc support
@@ -155,6 +160,7 @@ func (c *Compiled) NewMachine(cfg vmachine.Config) (*vmachine.Machine, *gc.Colle
 	h := heap.New(m.Mem, m.HeapLo, m.HeapHi, c.Prog.Descs)
 	col := gc.NewWith(h, c.tableDecoder())
 	col.WalkWorkers = c.Opts.WalkWorkers
+	col.TraceWorkers = c.Opts.TraceWorkers
 	col.SetTracer(cfg.Tel)
 	m.Alloc = h
 	m.Collector = col
@@ -178,6 +184,7 @@ func (c *Compiled) NewGenerationalMachine(cfg vmachine.Config) (*vmachine.Machin
 	h := gengc.NewHeap(m.Mem, m.HeapLo, m.HeapHi, c.Prog.Descs)
 	col := gengc.NewWith(h, c.tableDecoder())
 	col.WalkWorkers = c.Opts.WalkWorkers
+	col.TraceWorkers = c.Opts.TraceWorkers
 	col.SetTracer(cfg.Tel)
 	m.Alloc = h
 	m.Collector = col

@@ -46,12 +46,28 @@ type Collector struct {
 	// at any width.
 	WalkWorkers int
 
+	// TraceWorkers bounds the collection worker pool that marks,
+	// copies, and patches the heap (trace.go): 0 = DefaultTraceWorkers,
+	// 1 = serial. Placement is canonical (allocation-order assignment),
+	// so the resulting heap is bitwise identical at any width.
+	TraceWorkers int
+
 	// Statistics.
 	Collections    int64
 	FramesTraced   int64
 	StackTraceTime time.Duration
 	TotalTime      time.Duration
 	WordsCopied    int64
+	ObjectsCopied  int64
+	Steals         int64 // successful mark-deque steals
+	MarkTime       time.Duration
+	AssignTime     time.Duration
+	CopyTime       time.Duration
+	FixupTime      time.Duration
+
+	// marks is the recycled mark bitmap (one allocation per collector,
+	// not per collection).
+	marks *heap.MarkSet
 
 	// Tel, when non-nil, receives per-cycle events and metrics; every
 	// probe below is guarded by a nil check so a collector without
@@ -61,10 +77,16 @@ type Collector struct {
 	mCollections *telemetry.Counter
 	mFrames      *telemetry.Counter
 	mCopied      *telemetry.Counter
+	mObjects     *telemetry.Counter
+	mSteals      *telemetry.Counter
 	mAdjusted    *telemetry.Counter
 	mRederived   *telemetry.Counter
 	hPause       *telemetry.Histogram
 	hWalk        *telemetry.Histogram
+	hMark        *telemetry.Histogram
+	hAssign      *telemetry.Histogram
+	hCopy        *telemetry.Histogram
+	hFixup       *telemetry.Histogram
 	gAllocBytes  *telemetry.Gauge
 	gLiveBytes   *telemetry.Gauge
 	gLiveObjects *telemetry.Gauge
@@ -92,17 +114,25 @@ func (c *Collector) SetTracer(t *telemetry.Tracer) {
 	c.Dec.SetTracer(t)
 	if t == nil {
 		c.mCollections, c.mFrames, c.mCopied, c.mAdjusted, c.mRederived = nil, nil, nil, nil, nil
+		c.mObjects, c.mSteals = nil, nil
 		c.hPause, c.hWalk = nil, nil
+		c.hMark, c.hAssign, c.hCopy, c.hFixup = nil, nil, nil, nil
 		c.gAllocBytes, c.gLiveBytes, c.gLiveObjects, c.gCollections = nil, nil, nil, nil
 		return
 	}
 	c.mCollections = t.Counter(telemetry.CtrGCCollections)
 	c.mFrames = t.Counter(telemetry.CtrGCFramesWalked)
 	c.mCopied = t.Counter(telemetry.CtrGCBytesCopied)
+	c.mObjects = t.Counter(telemetry.CtrGCObjectsCopied)
+	c.mSteals = t.Counter(telemetry.CtrGCMarkSteals)
 	c.mAdjusted = t.Counter(telemetry.CtrGCDerivedAdjusted)
 	c.mRederived = t.Counter(telemetry.CtrGCDerivedRederive)
 	c.hPause = t.Histogram(telemetry.HistGCPauseNs)
 	c.hWalk = t.Histogram(telemetry.HistGCStackWalkNs)
+	c.hMark = t.Histogram(telemetry.HistGCMarkNs)
+	c.hAssign = t.Histogram(telemetry.HistGCAssignNs)
+	c.hCopy = t.Histogram(telemetry.HistGCCopyNs)
+	c.hFixup = t.Histogram(telemetry.HistGCFixupNs)
 	c.gAllocBytes = t.Gauge(telemetry.GaugeHeapAllocBytes)
 	c.gLiveBytes = t.Gauge(telemetry.GaugeHeapLiveBytes)
 	c.gLiveObjects = t.Gauge(telemetry.GaugeHeapLiveObjects)
@@ -161,31 +191,39 @@ func (c *Collector) Collect(m *vmachine.Machine) error {
 		return err
 	}
 	c.FramesTraced += int64(len(frames))
-	if err := AdjustDerived(m, frames); err != nil {
+	if err := AdjustDerivedN(m, frames, c.TraceWorkers); err != nil {
 		return err
 	}
 	walkTime := time.Since(traceStart)
 	c.StackTraceTime += walkTime
 
-	wordsBefore := c.WordsCopied
+	var st TraceStats
 	if c.Mode == ModeFull {
-		if err := c.copyLive(m, frames); err != nil {
+		if st, err = c.copyLive(m, frames); err != nil {
 			return err
 		}
 	}
-	RederiveAll(m, frames)
+	RederiveAllN(m, frames, c.TraceWorkers)
 
 	if c.Tel != nil {
 		nDeriv := countDerivs(frames)
-		copiedBytes := (c.WordsCopied - wordsBefore) * heap.WordBytes
+		copiedBytes := st.Words * heap.WordBytes
 		c.Tel.Emit(telemetry.EvStackWalk, tid, int64(walkTime), int64(len(frames)), 0, 0)
 		c.Tel.Emit(telemetry.EvGCEnd, tid, copiedBytes, int64(len(frames)), nDeriv, nDeriv)
 		c.mCollections.Add(1)
 		c.mFrames.Add(int64(len(frames)))
 		c.mCopied.Add(copiedBytes)
+		c.mObjects.Add(st.Objects)
+		c.mSteals.Add(st.Steals)
 		c.mAdjusted.Add(nDeriv)
 		c.mRederived.Add(nDeriv)
 		c.hWalk.Observe(int64(walkTime))
+		if c.Mode == ModeFull {
+			c.hMark.Observe(int64(st.Mark))
+			c.hAssign.Observe(int64(st.Assign))
+			c.hCopy.Observe(int64(st.Copy))
+			c.hFixup.Observe(int64(st.Fixup))
+		}
 		c.hPause.Observe(c.Tel.Now() - telStart)
 		c.gAllocBytes.Set(c.Heap.AllocatedBytes())
 		c.gLiveBytes.Set(c.Heap.LiveBytes())
@@ -195,51 +233,54 @@ func (c *Collector) Collect(m *vmachine.Machine) error {
 	return nil
 }
 
-// copyLive forwards every root and Cheney-scans the copy space.
-func (c *Collector) copyLive(m *vmachine.Machine, frames []*Frame) error {
+// copyLive evacuates every live object through the deterministic
+// trace-copy engine (trace.go): parallel mark over the from-space,
+// canonical allocation-order address assignment, range copy, pointer
+// fixup. Identical at every TraceWorkers width.
+func (c *Collector) copyLive(m *vmachine.Machine, frames []*Frame) (TraceStats, error) {
 	h := c.Heap
-	to := h.BeginCollection()
-	scan := to
-	next := to
-
-	fwd := func(p *int64) error {
-		v := *p
-		if v == 0 {
-			return nil
-		}
-		if c.Debug && !h.Contains(v) {
-			return fmt.Errorf("gc: root %d outside the heap", v)
-		}
-		if na := h.Forwarded(v); na >= 0 {
-			*p = na
-			return nil
-		}
-		na, nn := h.CopyObject(v, next)
-		c.WordsCopied += nn - next
-		next = nn
-		*p = na
-		return nil
+	lo, hi := h.FromSpan()
+	if c.marks == nil {
+		c.marks = heap.NewMarkSet(lo, hi)
+	} else {
+		c.marks.Reset(lo, hi)
 	}
-
-	if err := ForEachRoot(m, frames, fwd); err != nil {
-		return err
+	sp := CopySpace{
+		Mem:        h.Mem,
+		SpanLo:     lo,
+		SpanHi:     hi,
+		InFrom:     h.Contains,
+		SizeOf:     h.SizeOf,
+		PtrOffsets: h.PointerOffsets,
+		Copy:       h.CopyObjectSized,
+		ToBase:     h.BeginCollection(),
+		Marks:      c.marks,
 	}
-	// Cheney scan.
-	var offs []int64
-	for scan < next {
-		offs = h.PointerOffsets(scan, offs[:0])
-		for _, off := range offs {
-			if err := fwd(&m.Mem[scan+off]); err != nil {
-				return err
+	if c.Debug {
+		sp.Check = func(v int64) error {
+			if !h.Contains(v) {
+				return fmt.Errorf("gc: root %d outside the heap", v)
 			}
+			return nil
 		}
-		scan += h.SizeOf(scan)
 	}
-	h.FinishCollection(next)
+	st, err := TraceCopy(CollectRoots(m, frames), sp, c.TraceWorkers)
+	if err != nil {
+		return st, err
+	}
+	c.WordsCopied += st.Words
+	c.ObjectsCopied += st.Objects
+	c.Steals += st.Steals
+	c.MarkTime += st.Mark
+	c.AssignTime += st.Assign
+	c.CopyTime += st.Copy
+	c.FixupTime += st.Fixup
+	h.AddCopied(st.Objects)
+	h.FinishCollection(st.Next)
 	if c.Debug {
 		if err := h.Check(); err != nil {
-			return err
+			return st, err
 		}
 	}
-	return nil
+	return st, nil
 }

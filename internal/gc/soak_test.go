@@ -1,0 +1,133 @@
+package gc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/gc"
+	"repro/internal/vmachine"
+)
+
+// soakSrc is parallelSrc stretched: each of the four threads repeats
+// its churn 24 times (each round's sum overwrites the last, so the
+// final output is unchanged), driving well over a hundred rendezvous
+// collections through the parallel engine on a tiny heap.
+const soakSrc = `
+MODULE PW;
+TYPE List = REF RECORD head: INTEGER; tail: List; END;
+VAR done1, done2, done3, s1, s2, s3, s0, t, k: INTEGER;
+
+PROCEDURE Churn(n: INTEGER): INTEGER =
+  VAR keep, junk: List; i, s: INTEGER;
+  BEGIN
+    keep := NIL;
+    FOR i := 1 TO n DO
+      junk := NEW(List);
+      junk.head := i;
+      IF i MOD 5 = 0 THEN
+        junk.tail := keep;
+        keep := junk;
+      END;
+    END;
+    s := 0;
+    WHILE keep # NIL DO s := s + keep.head; keep := keep.tail; END;
+    RETURN s;
+  END Churn;
+
+PROCEDURE Loop(n: INTEGER): INTEGER =
+  VAR r, s: INTEGER;
+  BEGIN
+    FOR r := 1 TO 24 DO s := Churn(n); END;
+    RETURN s;
+  END Loop;
+
+PROCEDURE W1() = BEGIN s1 := Loop(180); done1 := 1; END W1;
+PROCEDURE W2() = BEGIN s2 := Loop(140); done2 := 1; END W2;
+PROCEDURE W3() = BEGIN s3 := Loop(100); done3 := 1; END W3;
+
+BEGIN
+  s0 := Loop(220);
+  WHILE done1 = 0 DO t := t + 1; END;
+  WHILE done2 = 0 DO t := t + 1; END;
+  WHILE done3 = 0 DO t := t + 1; END;
+  PutInt(s0 + s1 + s2 + s3); PutLn();
+END PW.
+`
+
+// soakChecker delegates to the real collector, then re-validates the
+// whole world after every single cycle: heap invariants (heap.Check via
+// Collector.Debug is already on; this adds an explicit post-cycle pass)
+// and the static gc-map verifier in strict mode.
+type soakChecker struct {
+	t           *testing.T
+	real        *gc.Collector
+	c           *driver.Compiled
+	collections int
+}
+
+func (s *soakChecker) Collect(m *vmachine.Machine) error {
+	if err := s.real.Collect(m); err != nil {
+		return err
+	}
+	s.collections++
+	if err := s.real.Heap.Check(); err != nil {
+		s.t.Fatalf("collection %d: %v", s.collections, err)
+	}
+	// The strict verifier is static, but soaking it against the live
+	// program every cycle keeps the tables honest for the exact pcs the
+	// run is suspending at.
+	if err := s.c.Verify(); err != nil {
+		s.t.Fatalf("collection %d: %v", s.collections, err)
+	}
+	return nil
+}
+
+// TestParallelSoak pushes a four-thread churn program through well over
+// a hundred collections at TraceWorkers 8 on a pressured heap, with
+// Debug heap checking inside every cycle plus an explicit heap.Check
+// and a strict gcverify pass after each one. Skipped under -short; its
+// job is catching low-probability interleavings, so it wants the
+// iterations (and pairs with -race in make race).
+func TestParallelSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test skipped with -short")
+	}
+	opts := driver.NewOptions()
+	opts.Multithreaded = true
+	opts.TraceWorkers = 8
+	c, err := driver.Compile("soak.m3", soakSrc, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := vmachine.Config{HeapWords: 1024, StackWords: 4096, MaxThreads: 8, Quantum: 53}
+	var sb strings.Builder
+	cfg.Out = &sb
+	m, col, err := c.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	col.Debug = true
+	for _, name := range []string{"W1", "W2", "W3"} {
+		p := c.Prog.FindProc(name)
+		if p < 0 {
+			t.Fatalf("proc %s not found", name)
+		}
+		if _, err := m.Spawn(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	chk := &soakChecker{t: t, real: col, c: c}
+	m.Collector = chk
+	if err := m.Run(1_000_000_000); err != nil {
+		t.Fatalf("%v (out=%q)", err, sb.String())
+	}
+	if sb.String() != parallelWant {
+		t.Errorf("output %q, want %q", sb.String(), parallelWant)
+	}
+	if chk.collections < 100 {
+		t.Errorf("only %d collections; the soak needs at least 100", chk.collections)
+	}
+	t.Logf("%d collections soaked (steals=%d, copied %d objects)",
+		chk.collections, col.Steals, col.ObjectsCopied)
+}

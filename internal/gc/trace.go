@@ -1,0 +1,413 @@
+// Deterministic parallel trace-and-copy engine.
+//
+// The serial collector's Cheney scan interleaves discovery and copying,
+// so to-space layout depends on traversal order — unusable for a
+// parallel collector that must stay bitwise reproducible. This engine
+// splits a moving collection into four phases whose result depends only
+// on the *set* of reachable objects, never on the order they were
+// found:
+//
+//	mark    parallel graph traversal over per-worker work-stealing
+//	        deques of gray objects; an atomic bitmap (heap.MarkSet)
+//	        ensures each object is claimed exactly once
+//	assign  the marked addresses are sorted ascending (= allocation
+//	        order) and prefix sums of their sizes assign each object
+//	        the exact to-space address a serial allocation-order
+//	        compaction would choose
+//	copy    workers copy disjoint address ranges and install
+//	        forwarding words (disjoint objects → no shared writes)
+//	fixup   workers rewrite the pointer fields of their to-space
+//	        copies through the forwarding words; root slots are
+//	        patched serially (they may alias across frames)
+//
+// Because placement is canonical, a collection at any worker count —
+// including 1 — produces an identical heap image, identical forwarding
+// decisions, and identical survivor counts. The full collector (gc.go)
+// and both generational collections (gengc) are built on this one
+// engine.
+package gc
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/heap"
+)
+
+// DefaultTraceWorkers bounds the collection worker pool when the
+// caller does not pick a width (TraceWorkers <= 0). Mark and copy are
+// CPU/memory-bound, so the machine's parallelism is the natural cap; a
+// var so tests and tools can pin it.
+var DefaultTraceWorkers = runtime.GOMAXPROCS(0)
+
+// CopySpace describes one moving collection to the engine: the
+// from-space being evacuated, the object-layout callbacks, and where
+// the survivors go. All callbacks must be safe for concurrent readers
+// (they are pure address arithmetic over Mem and the descriptor
+// table).
+type CopySpace struct {
+	// Mem is the machine memory the spaces live in.
+	Mem []int64
+	// SpanLo/SpanHi bound every address InFrom can accept; the mark
+	// bitmap covers [SpanLo, SpanHi).
+	SpanLo, SpanHi int64
+	// InFrom reports whether addr is a movable from-space object. It
+	// must be a pure address-range test: it is consulted during fixup,
+	// after from-space headers have been overwritten with forwarding
+	// words.
+	InFrom func(addr int64) bool
+	// SizeOf returns the total word size of the object at addr (valid
+	// only while its header is intact, i.e. before the copy phase).
+	SizeOf func(addr int64) int64
+	// PtrOffsets appends the pointer-field offsets of the object at
+	// addr (valid on from-space objects before copy, and on to-space
+	// copies afterwards).
+	PtrOffsets func(addr int64, out []int64) []int64
+	// Copy moves size words from a from-space object to its assigned
+	// to-space address and installs the forwarding word -(to+1) in the
+	// old header.
+	Copy func(from, to, size int64)
+	// ToBase is the first free to-space address.
+	ToBase int64
+	// Marks, when non-nil, is recycled instead of allocating a bitmap
+	// per collection. It must already be Reset to [SpanLo, SpanHi).
+	Marks *heap.MarkSet
+	// Check, when non-nil, validates every traced pointer value
+	// (roots and fields); a non-nil return aborts the collection.
+	// Non-from-space values that pass Check are simply not traced.
+	Check func(v int64) error
+}
+
+// TraceStats reports what one engine run did, phase by phase.
+type TraceStats struct {
+	Objects int64 // live objects marked and copied
+	Words   int64 // words copied
+	Next    int64 // next free to-space address after the copy
+	Steals  int64 // successful deque steals during mark
+
+	Mark, Assign, Copy, Fixup time.Duration
+}
+
+// TraceCopy runs one deterministic collection: everything reachable
+// from the given root slots is marked, assigned a canonical to-space
+// address, copied, and patched. roots are the addresses of the root
+// slots themselves (duplicates and aliases are fine — marking claims
+// each object once and root fixup is idempotent). workers <= 0 means
+// DefaultTraceWorkers; 1 runs every phase inline on the caller's
+// goroutine. The resulting heap image is bitwise identical at any
+// width.
+func TraceCopy(roots []*int64, sp CopySpace, workers int) (TraceStats, error) {
+	var st TraceStats
+	if workers <= 0 {
+		workers = DefaultTraceWorkers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	t0 := time.Now()
+	markedLists, steals, err := markPhase(roots, sp, workers)
+	st.Mark = time.Since(t0)
+	st.Steals = steals
+	if err != nil {
+		return st, err
+	}
+
+	t0 = time.Now()
+	plan := assignPhase(markedLists, sp)
+	st.Assign = time.Since(t0)
+	st.Objects = int64(len(plan.from))
+	st.Words = plan.total
+	st.Next = sp.ToBase + plan.total
+
+	t0 = time.Now()
+	runChunks(plan, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sp.Copy(plan.from[i], plan.to[i], plan.size[i])
+		}
+	})
+	st.Copy = time.Since(t0)
+
+	t0 = time.Now()
+	var fixErr atomic.Pointer[error]
+	runChunks(plan, workers, func(lo, hi int) {
+		var offs []int64
+		for i := lo; i < hi; i++ {
+			to := plan.to[i]
+			offs = sp.PtrOffsets(to, offs[:0])
+			for _, off := range offs {
+				v := sp.Mem[to+off]
+				if v == 0 || !sp.InFrom(v) {
+					continue
+				}
+				hd := sp.Mem[v]
+				if hd >= 0 {
+					// Reachable from a marked object yet never marked:
+					// an engine invariant violation, not a user error.
+					err := fmt.Errorf("gc: object %d reachable from %d was not marked", v, plan.from[i])
+					fixErr.Store(&err)
+					return
+				}
+				sp.Mem[to+off] = -hd - 1
+			}
+		}
+	})
+	// Root slots may alias (the same callee-save slot reconstructed
+	// into several frames), so patch them serially; the translation is
+	// idempotent because a patched slot no longer holds a from-space
+	// address.
+	for _, p := range roots {
+		if v := *p; v != 0 && sp.InFrom(v) {
+			*p = -sp.Mem[v] - 1
+		}
+	}
+	st.Fixup = time.Since(t0)
+	if e := fixErr.Load(); e != nil {
+		return st, *e
+	}
+	return st, nil
+}
+
+// copyPlan is the assign phase's output: the canonical evacuation
+// schedule, sorted by from-space address.
+type copyPlan struct {
+	from  []int64
+	size  []int64
+	to    []int64
+	total int64
+}
+
+// assignPhase merges the per-worker marked lists, sorts them into
+// allocation (ascending address) order, and lays survivors out
+// contiguously from ToBase by prefix sums of their sizes. This is the
+// determinism keystone: the layout depends only on the marked set.
+func assignPhase(markedLists [][]int64, sp CopySpace) copyPlan {
+	n := 0
+	for _, l := range markedLists {
+		n += len(l)
+	}
+	plan := copyPlan{
+		from: make([]int64, 0, n),
+		size: make([]int64, n),
+		to:   make([]int64, n),
+	}
+	for _, l := range markedLists {
+		plan.from = append(plan.from, l...)
+	}
+	slices.Sort(plan.from)
+	for i, a := range plan.from {
+		s := sp.SizeOf(a)
+		plan.size[i] = s
+		plan.to[i] = sp.ToBase + plan.total
+		plan.total += s
+	}
+	return plan
+}
+
+// runChunks partitions the plan into at most `workers` contiguous
+// index ranges balanced by copied words and runs fn over them, inline
+// when one worker suffices. The partition is a pure function of the
+// plan, but fn must be order-independent anyway: chunks run
+// concurrently.
+func runChunks(plan copyPlan, workers int, fn func(lo, hi int)) {
+	n := len(plan.from)
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	target := (plan.total + int64(workers) - 1) / int64(workers)
+	var wg sync.WaitGroup
+	lo, acc := 0, int64(0)
+	for i := 0; i < n; i++ {
+		acc += plan.size[i]
+		if acc >= target || i == n-1 {
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				fn(lo, hi)
+			}(lo, i+1)
+			lo, acc = i+1, 0
+		}
+	}
+	wg.Wait()
+}
+
+// markWorker is one participant in the parallel mark: a mutex-guarded
+// deque of gray objects (owner pushes and pops the young end; thieves
+// take the old half) plus the worker's share of the marked set.
+type markWorker struct {
+	mu     sync.Mutex
+	deque  []int64
+	marked []int64
+	steals int64
+	err    error
+}
+
+func (w *markWorker) push(a int64) {
+	w.mu.Lock()
+	w.deque = append(w.deque, a)
+	w.mu.Unlock()
+}
+
+func (w *markWorker) pop() (int64, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	n := len(w.deque)
+	if n == 0 {
+		return 0, false
+	}
+	a := w.deque[n-1]
+	w.deque = w.deque[:n-1]
+	return a, true
+}
+
+// stealHalf moves the older half of w's deque into the thief's.
+func (w *markWorker) stealHalf(thief *markWorker) bool {
+	w.mu.Lock()
+	n := len(w.deque)
+	if n == 0 {
+		w.mu.Unlock()
+		return false
+	}
+	take := (n + 1) / 2
+	stolen := make([]int64, take)
+	copy(stolen, w.deque[:take])
+	w.deque = append(w.deque[:0], w.deque[take:]...)
+	w.mu.Unlock()
+	thief.mu.Lock()
+	thief.deque = append(thief.deque, stolen...)
+	thief.mu.Unlock()
+	return true
+}
+
+// markEngine coordinates the mark workers: pending counts claimed but
+// not yet scanned objects, so all deques are empty exactly when it
+// reaches zero.
+type markEngine struct {
+	sp      CopySpace
+	marks   *heap.MarkSet
+	workers []*markWorker
+	pending atomic.Int64
+}
+
+func (e *markEngine) steal(id int) bool {
+	w := e.workers[id]
+	for i := 1; i < len(e.workers); i++ {
+		victim := e.workers[(id+i)%len(e.workers)]
+		if victim.stealHalf(w) {
+			w.steals++
+			return true
+		}
+	}
+	return false
+}
+
+func (e *markEngine) run(id int) {
+	w := e.workers[id]
+	var offs []int64
+	for {
+		a, ok := w.pop()
+		if !ok && len(e.workers) > 1 && e.steal(id) {
+			a, ok = w.pop()
+		}
+		if !ok {
+			if e.pending.Load() == 0 {
+				return
+			}
+			runtime.Gosched()
+			continue
+		}
+		offs = e.sp.PtrOffsets(a, offs[:0])
+		for _, off := range offs {
+			v := e.sp.Mem[a+off]
+			if v == 0 {
+				continue
+			}
+			if e.sp.Check != nil {
+				if err := e.sp.Check(v); err != nil {
+					if w.err == nil {
+						w.err = err
+					}
+					continue
+				}
+			}
+			if e.sp.InFrom(v) && e.marks.Claim(v) {
+				w.marked = append(w.marked, v)
+				w.push(v)
+				e.pending.Add(1)
+			}
+		}
+		e.pending.Add(-1)
+	}
+}
+
+// markPhase computes the live set: root values seed the per-worker
+// deques round-robin, then the workers trace (stealing from each other
+// when their own deque drains) until no gray objects remain anywhere.
+func markPhase(roots []*int64, sp CopySpace, workers int) ([][]int64, int64, error) {
+	marks := sp.Marks
+	if marks == nil {
+		marks = heap.NewMarkSet(sp.SpanLo, sp.SpanHi)
+	}
+	e := &markEngine{sp: sp, marks: marks, workers: make([]*markWorker, workers)}
+	for i := range e.workers {
+		e.workers[i] = &markWorker{}
+	}
+	// Seed: claim the root-reachable objects up front (serially, so a
+	// bad root is reported deterministically) and deal them out.
+	seeded := 0
+	for _, p := range roots {
+		v := *p
+		if v == 0 {
+			continue
+		}
+		if sp.Check != nil {
+			if err := sp.Check(v); err != nil {
+				return nil, 0, err
+			}
+		}
+		if sp.InFrom(v) && marks.Claim(v) {
+			w := e.workers[seeded%workers]
+			w.deque = append(w.deque, v)
+			w.marked = append(w.marked, v)
+			seeded++
+		}
+	}
+	e.pending.Store(int64(seeded))
+
+	if workers <= 1 {
+		e.run(0)
+	} else {
+		var wg sync.WaitGroup
+		for id := 0; id < workers; id++ {
+			wg.Add(1)
+			go func(id int) {
+				defer wg.Done()
+				e.run(id)
+			}(id)
+		}
+		wg.Wait()
+	}
+
+	lists := make([][]int64, workers)
+	var steals int64
+	var firstErr error
+	for i, w := range e.workers {
+		lists[i] = w.marked
+		steals += w.steals
+		if firstErr == nil && w.err != nil {
+			firstErr = w.err
+		}
+	}
+	return lists, steals, firstErr
+}

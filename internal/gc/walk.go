@@ -19,6 +19,13 @@ type Frame struct {
 	View    *gctab.PointView
 	RegAddr [16]*int64
 
+	// Thread is the VM thread this frame belongs to. Frames of one
+	// thread may alias storage (callee-save slots reconstructed into
+	// several register files); frames of different threads never do,
+	// which is what lets the derived-value phases run per-thread
+	// batches in parallel.
+	Thread int32
+
 	derivE  []int64
 	variant []int
 }
@@ -117,7 +124,7 @@ func walkThread(m *vmachine.Machine, dec gctab.TableDecoder, t *vmachine.Thread)
 		if view == nil {
 			return nil, fmt.Errorf("gc: no tables for gc-point pc %d (thread %d)", pc, t.ID)
 		}
-		f := &Frame{PC: pc, FP: fp, SP: sp, View: view, RegAddr: regAddr}
+		f := &Frame{PC: pc, FP: fp, SP: sp, View: view, RegAddr: regAddr, Thread: int32(t.ID)}
 		frames = append(frames, f)
 		// Restore the caller's register view through this frame's
 		// callee-save slots.
@@ -144,6 +151,95 @@ func (f *Frame) LocPtr(m *vmachine.Machine, l gctab.Location) *int64 {
 		base = f.SP
 	}
 	return &m.Mem[base+int64(l.Off)]
+}
+
+// threadGroups splits a merged frame list (m.Threads order, innermost
+// first within a thread) into its per-thread runs.
+func threadGroups(frames []*Frame) [][]*Frame {
+	var groups [][]*Frame
+	start := 0
+	for i := 1; i <= len(frames); i++ {
+		if i == len(frames) || frames[i].Thread != frames[start].Thread {
+			groups = append(groups, frames[start:i])
+			start = i
+		}
+	}
+	return groups
+}
+
+// AdjustDerivedN is AdjustDerived batched per thread over a worker
+// pool of the given width (<= 0 means DefaultTraceWorkers, 1 is the
+// serial protocol). The §3 ordering constraint — callee frames before
+// callers, derived values before their bases — only binds within a
+// thread, because frames of different threads share no storage; each
+// batch runs the serial protocol over one thread's frames, so the
+// result is identical at any width.
+func AdjustDerivedN(m *vmachine.Machine, frames []*Frame, workers int) error {
+	groups := threadGroups(frames)
+	if workers <= 0 {
+		workers = DefaultTraceWorkers
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		return AdjustDerived(m, frames)
+	}
+	errs := make([]error, len(groups))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(groups) {
+					return
+				}
+				errs[i] = AdjustDerived(m, groups[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RederiveAllN is RederiveAll batched per thread on the same pool
+// shape as AdjustDerivedN.
+func RederiveAllN(m *vmachine.Machine, frames []*Frame, workers int) {
+	groups := threadGroups(frames)
+	if workers <= 0 {
+		workers = DefaultTraceWorkers
+	}
+	if workers > len(groups) {
+		workers = len(groups)
+	}
+	if workers <= 1 {
+		RederiveAll(m, frames)
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(groups) {
+					return
+				}
+				RederiveAll(m, groups[i])
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // AdjustDerived is phase 1 of the derived-value protocol: walking callee
@@ -188,6 +284,20 @@ func RederiveAll(m *vmachine.Machine, frames []*Frame) {
 			*f.LocPtr(m, de.Target) = a
 		}
 	}
+}
+
+// CollectRoots gathers the address of every root slot — global
+// pointer slots, live stack slots, and live pointer registers of every
+// frame — into a slice for the trace-copy engine. The list may contain
+// aliases (the same callee-save slot reconstructed into several
+// frames); the engine is alias-safe.
+func CollectRoots(m *vmachine.Machine, frames []*Frame) []*int64 {
+	roots := make([]*int64, 0, 64)
+	ForEachRoot(m, frames, func(p *int64) error {
+		roots = append(roots, p)
+		return nil
+	})
+	return roots
 }
 
 // ForEachRoot applies fn to the address of every root: global pointer

@@ -154,19 +154,12 @@ func (h *Heap) initObject(addr int64, descID int, n int64) {
 	}
 }
 
-// forwarded returns the new address of a copied object, or -1.
-func (h *Heap) forwarded(addr int64) int64 {
-	if hd := h.Mem[addr]; hd < 0 {
-		return -hd - 1
-	}
-	return -1
-}
-
-func (h *Heap) copyObject(addr, to int64) (int64, int64) {
-	size := h.SizeOf(addr)
+// copyObjectSized is the range-copy primitive handed to the parallel
+// trace-copy engine: workers own disjoint objects and destination
+// ranges, so no shared state is touched.
+func (h *Heap) copyObjectSized(addr, to, size int64) {
 	copy(h.Mem[to:to+size], h.Mem[addr:addr+size])
 	h.Mem[addr] = -(to + 1)
-	return to, to + size
 }
 
 // resetNursery zeroes and empties the nursery after a collection.
@@ -209,7 +202,17 @@ type Collector struct {
 	// gc.DefaultWalkWorkers, 1 = serial).
 	WalkWorkers int
 
+	// TraceWorkers bounds the parallel trace-copy pool used by both
+	// minor (promotion) and major (old-space copy) collections (0 =
+	// gc.DefaultTraceWorkers, 1 = serial). Placement is canonical, so
+	// the heap is bitwise identical at any width.
+	TraceWorkers int
+
 	remset map[int64]bool // old-space slot addresses holding young pointers
+
+	// marks is the recycled mark bitmap shared by minor and major
+	// cycles.
+	marks *heap.MarkSet
 
 	// Statistics.
 	Minor          int64
@@ -218,9 +221,15 @@ type Collector struct {
 	BarrierChecks  int64 // barriered stores executed (the store-check cost)
 	PromotedWords  int64
 	MajorCopied    int64
+	ObjectsCopied  int64
+	Steals         int64
 	RemsetPeak     int
 	TotalTime      time.Duration
 	StackTraceTime time.Duration
+	MarkTime       time.Duration
+	AssignTime     time.Duration
+	CopyTime       time.Duration
+	FixupTime      time.Duration
 
 	// Tel, when non-nil, receives per-cycle events and metrics. The
 	// barrier itself stays probe-free (it runs on every barriered
@@ -232,11 +241,17 @@ type Collector struct {
 	mMajor       *telemetry.Counter
 	mFrames      *telemetry.Counter
 	mCopied      *telemetry.Counter
+	mObjects     *telemetry.Counter
+	mSteals      *telemetry.Counter
 	mPromoted    *telemetry.Counter
 	mAdjusted    *telemetry.Counter
 	mRederived   *telemetry.Counter
 	hPause       *telemetry.Histogram
 	hWalk        *telemetry.Histogram
+	hMark        *telemetry.Histogram
+	hAssign      *telemetry.Histogram
+	hCopy        *telemetry.Histogram
+	hFixup       *telemetry.Histogram
 	gAllocBytes  *telemetry.Gauge
 	gLiveBytes   *telemetry.Gauge
 	gBarChecks   *telemetry.Gauge
@@ -263,7 +278,9 @@ func (c *Collector) SetTracer(t *telemetry.Tracer) {
 	if t == nil {
 		c.mCollections, c.mMinor, c.mMajor, c.mFrames = nil, nil, nil, nil
 		c.mCopied, c.mPromoted, c.mAdjusted, c.mRederived = nil, nil, nil, nil
+		c.mObjects, c.mSteals = nil, nil
 		c.hPause, c.hWalk = nil, nil
+		c.hMark, c.hAssign, c.hCopy, c.hFixup = nil, nil, nil, nil
 		c.gAllocBytes, c.gLiveBytes, c.gBarChecks, c.gBarHits, c.gRemset = nil, nil, nil, nil, nil
 		return
 	}
@@ -272,11 +289,17 @@ func (c *Collector) SetTracer(t *telemetry.Tracer) {
 	c.mMajor = t.Counter(telemetry.CtrGenMajor)
 	c.mFrames = t.Counter(telemetry.CtrGCFramesWalked)
 	c.mCopied = t.Counter(telemetry.CtrGCBytesCopied)
+	c.mObjects = t.Counter(telemetry.CtrGCObjectsCopied)
+	c.mSteals = t.Counter(telemetry.CtrGCMarkSteals)
 	c.mPromoted = t.Counter(telemetry.CtrGenPromotedBytes)
 	c.mAdjusted = t.Counter(telemetry.CtrGCDerivedAdjusted)
 	c.mRederived = t.Counter(telemetry.CtrGCDerivedRederive)
 	c.hPause = t.Histogram(telemetry.HistGCPauseNs)
 	c.hWalk = t.Histogram(telemetry.HistGCStackWalkNs)
+	c.hMark = t.Histogram(telemetry.HistGCMarkNs)
+	c.hAssign = t.Histogram(telemetry.HistGCAssignNs)
+	c.hCopy = t.Histogram(telemetry.HistGCCopyNs)
+	c.hFixup = t.Histogram(telemetry.HistGCFixupNs)
 	c.gAllocBytes = t.Gauge(telemetry.GaugeHeapAllocBytes)
 	c.gLiveBytes = t.Gauge(telemetry.GaugeHeapLiveBytes)
 	c.gBarChecks = t.Gauge(telemetry.GaugeGenBarrierChecks)
@@ -337,25 +360,32 @@ func (c *Collector) Collect(m *vmachine.Machine) error {
 	if err != nil {
 		return err
 	}
-	if err := gc.AdjustDerived(m, frames); err != nil {
+	if err := gc.AdjustDerivedN(m, frames, c.TraceWorkers); err != nil {
 		return err
 	}
 	walkTime := time.Since(traceStart)
 	c.StackTraceTime += walkTime
 
 	promotedBefore, copiedBefore := c.PromotedWords, c.MajorCopied
+	var st gc.TraceStats
 	if escalate {
 		h.pendingOld = false
-		if err := c.major(m, frames); err != nil {
+		if st, err = c.major(m, frames); err != nil {
 			return err
 		}
 	} else {
-		if err := c.minor(m, frames); err != nil {
+		if st, err = c.minor(m, frames); err != nil {
 			return err
 		}
 	}
+	c.ObjectsCopied += st.Objects
+	c.Steals += st.Steals
+	c.MarkTime += st.Mark
+	c.AssignTime += st.Assign
+	c.CopyTime += st.Copy
+	c.FixupTime += st.Fixup
 
-	gc.RederiveAll(m, frames)
+	gc.RederiveAllN(m, frames, c.TraceWorkers)
 
 	if c.Tel != nil {
 		var nDeriv int64
@@ -374,9 +404,15 @@ func (c *Collector) Collect(m *vmachine.Machine) error {
 		}
 		c.mFrames.Add(int64(len(frames)))
 		c.mCopied.Add(movedBytes)
+		c.mObjects.Add(st.Objects)
+		c.mSteals.Add(st.Steals)
 		c.mAdjusted.Add(nDeriv)
 		c.mRederived.Add(nDeriv)
 		c.hWalk.Observe(int64(walkTime))
+		c.hMark.Observe(int64(st.Mark))
+		c.hAssign.Observe(int64(st.Assign))
+		c.hCopy.Observe(int64(st.Copy))
+		c.hFixup.Observe(int64(st.Fixup))
 		c.hPause.Observe(c.Tel.Now() - telStart)
 		c.gAllocBytes.Set(h.AllocatedBytes())
 		c.gLiveBytes.Set(h.LiveBytes())
@@ -386,112 +422,104 @@ func (c *Collector) Collect(m *vmachine.Machine) error {
 	return nil
 }
 
-// minor promotes all live young objects into the old space.
-func (c *Collector) minor(m *vmachine.Machine, frames []*gc.Frame) error {
-	c.Minor++
-	h := c.Heap
-	scan := h.oldAlloc
-
-	fwd := func(p *int64) error {
-		v := *p
-		if v == 0 || !h.InNursery(v) {
-			return nil // old objects do not move in a minor collection
-		}
-		if na := h.forwarded(v); na >= 0 {
-			*p = na
-			return nil
-		}
-		na, nn := h.copyObject(v, h.oldAlloc)
-		c.PromotedWords += nn - h.oldAlloc
-		h.oldAlloc = nn
-		*p = na
-		return nil
-	}
-
-	if err := gc.ForEachRoot(m, frames, fwd); err != nil {
-		return err
-	}
-	// Remembered slots are roots for young objects. Visit them in
-	// address order: map iteration order would otherwise decide which
-	// slot promotes a shared young object first, making the promoted
-	// heap layout differ run to run.
+// rootsWithRemset is the minor collection's root list: the precise
+// roots plus the remembered old-space slots, the latter in address
+// order so the list itself is deterministic.
+func (c *Collector) rootsWithRemset(m *vmachine.Machine, frames []*gc.Frame) []*int64 {
+	roots := gc.CollectRoots(m, frames)
 	slots := make([]int64, 0, len(c.remset))
 	for slot := range c.remset {
 		slots = append(slots, slot)
 	}
 	sort.Slice(slots, func(i, j int) bool { return slots[i] < slots[j] })
 	for _, slot := range slots {
-		if err := fwd(&m.Mem[slot]); err != nil {
-			return err
-		}
+		roots = append(roots, &m.Mem[slot])
 	}
-	// Scan promoted objects; their young referents get promoted too.
-	var offs []int64
-	for scan < h.oldAlloc {
-		offs = h.PointerOffsets(scan, offs[:0])
-		for _, off := range offs {
-			if err := fwd(&m.Mem[scan+off]); err != nil {
-				return err
-			}
-		}
-		scan += h.SizeOf(scan)
+	return roots
+}
+
+// resetMarks recycles the mark bitmap for a new cycle over [lo, hi).
+func (c *Collector) resetMarks(lo, hi int64) *heap.MarkSet {
+	if c.marks == nil {
+		c.marks = heap.NewMarkSet(lo, hi)
+	} else {
+		c.marks.Reset(lo, hi)
 	}
+	return c.marks
+}
+
+// minor promotes all live young objects into the old space through the
+// deterministic trace-copy engine: reachable nursery objects are
+// marked from the precise roots and the remembered slots, assigned
+// old-space addresses in nursery allocation order, then copied and
+// patched by the worker pool. Old objects do not move; old→young
+// references are covered by the remembered set (the store-barrier
+// invariant), and every pointer into the nursery — remembered slot,
+// stack root, or a field of a promoted copy — is forwarded in fixup.
+func (c *Collector) minor(m *vmachine.Machine, frames []*gc.Frame) (gc.TraceStats, error) {
+	c.Minor++
+	h := c.Heap
+	sp := gc.CopySpace{
+		Mem:        h.Mem,
+		SpanLo:     h.Lo,
+		SpanHi:     h.nurseryAlloc,
+		InFrom:     h.InNursery,
+		SizeOf:     h.SizeOf,
+		PtrOffsets: h.PointerOffsets,
+		Copy:       h.copyObjectSized,
+		ToBase:     h.oldAlloc,
+		Marks:      c.resetMarks(h.Lo, h.nurseryAlloc),
+	}
+	st, err := gc.TraceCopy(c.rootsWithRemset(m, frames), sp, c.TraceWorkers)
+	if err != nil {
+		return st, err
+	}
+	c.PromotedWords += st.Words
+	h.oldAlloc = st.Next
 	// Nothing young survives unpromoted: the remembered set is empty by
 	// construction now.
 	c.remset = make(map[int64]bool)
 	h.resetNursery()
-	return nil
+	return st, nil
 }
 
 // major copies everything live (young and old) into the other old
-// semispace.
-func (c *Collector) major(m *vmachine.Machine, frames []*gc.Frame) error {
+// semispace, again with canonical placement: survivors land in
+// ascending from-address order (nursery objects first, then the old
+// space in its allocation order).
+func (c *Collector) major(m *vmachine.Machine, frames []*gc.Frame) (gc.TraceStats, error) {
 	c.Major++
 	h := c.Heap
-	to := h.oldTo
-	scan, next := to, to
-
 	inFrom := func(v int64) bool {
 		return h.InNursery(v) || (v >= h.oldFrom && v < h.oldAlloc)
 	}
-	fwd := func(p *int64) error {
-		v := *p
-		if v == 0 {
-			return nil
-		}
-		if c.Debug && !inFrom(v) {
-			return fmt.Errorf("gengc: root %d outside the heap", v)
-		}
-		if !inFrom(v) {
-			return nil
-		}
-		if na := h.forwarded(v); na >= 0 {
-			*p = na
-			return nil
-		}
-		na, nn := h.copyObject(v, next)
-		c.MajorCopied += nn - next
-		next = nn
-		*p = na
-		return nil
+	sp := gc.CopySpace{
+		Mem:        h.Mem,
+		SpanLo:     h.Lo,
+		SpanHi:     h.oldAlloc,
+		InFrom:     inFrom,
+		SizeOf:     h.SizeOf,
+		PtrOffsets: h.PointerOffsets,
+		Copy:       h.copyObjectSized,
+		ToBase:     h.oldTo,
+		Marks:      c.resetMarks(h.Lo, h.oldAlloc),
 	}
-
-	if err := gc.ForEachRoot(m, frames, fwd); err != nil {
-		return err
-	}
-	var offs []int64
-	for scan < next {
-		offs = h.PointerOffsets(scan, offs[:0])
-		for _, off := range offs {
-			if err := fwd(&m.Mem[scan+off]); err != nil {
-				return err
+	if c.Debug {
+		sp.Check = func(v int64) error {
+			if !inFrom(v) {
+				return fmt.Errorf("gengc: root %d outside the heap", v)
 			}
+			return nil
 		}
-		scan += h.SizeOf(scan)
 	}
+	st, err := gc.TraceCopy(c.rootsWithRemset(m, frames), sp, c.TraceWorkers)
+	if err != nil {
+		return st, err
+	}
+	c.MajorCopied += st.Words
 	// Flip the old semispaces and zero the new copy target.
 	h.oldFrom, h.oldTo = h.oldTo, h.oldFrom
-	h.oldAlloc = next
+	h.oldAlloc = st.Next
 	for w := h.oldTo; w < h.oldTo+h.oldSemi; w++ {
 		h.Mem[w] = 0
 	}
@@ -504,7 +532,7 @@ func (c *Collector) major(m *vmachine.Machine, frames []*gc.Frame) error {
 	// scratch by the store barrier. The minor→major→minor regression
 	// test pins this.
 	c.remset = make(map[int64]bool)
-	return nil
+	return st, nil
 }
 
 // LiveOldWords reports the words in use in the old space.

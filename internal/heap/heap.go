@@ -14,6 +14,7 @@ package heap
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/types"
 )
@@ -140,6 +141,84 @@ func (h *Heap) CopyObject(addr, to int64) (newAddr, next int64) {
 	h.Mem[addr] = -(to + 1)
 	h.copiedObjects++
 	return to, to + size
+}
+
+// CopyObjectSized is the range-copy primitive for parallel collection
+// workers: it copies size words from addr to the copy space at to and
+// installs the forwarding word, but does not touch the survivor
+// counter — concurrent workers own disjoint objects and disjoint
+// destination ranges, so the only shared state would be the counter.
+// The orchestrator accounts all survivors at once with AddCopied.
+func (h *Heap) CopyObjectSized(addr, to, size int64) {
+	copy(h.Mem[to:to+size], h.Mem[addr:addr+size])
+	h.Mem[addr] = -(to + 1)
+}
+
+// AddCopied credits n survivors of the in-progress collection (the
+// CopyObjectSized counterpart of CopyObject's built-in accounting).
+func (h *Heap) AddCopied(n int64) { h.copiedObjects += n }
+
+// FromSpan returns the address range of the current allocation space
+// that holds objects, [lo, hi) — the domain a collection's MarkSet
+// must cover.
+func (h *Heap) FromSpan() (lo, hi int64) { return h.FromLo, h.Alloc }
+
+// MarkSet is a lock-free bitmap of claimed tidy addresses over a word
+// span [lo, hi): parallel mark workers race to Claim reachable objects
+// and exactly one wins each. The zero value is unusable; construct
+// with NewMarkSet and recycle across collections with Reset.
+type MarkSet struct {
+	lo   int64
+	bits []uint64
+}
+
+// NewMarkSet creates a mark set covering [lo, hi).
+func NewMarkSet(lo, hi int64) *MarkSet {
+	s := &MarkSet{}
+	s.Reset(lo, hi)
+	return s
+}
+
+// Reset clears the set and re-targets it at [lo, hi), growing the
+// backing bitmap if needed (so one set serves every collection cycle
+// without reallocating).
+func (s *MarkSet) Reset(lo, hi int64) {
+	n := int((hi - lo + 63) / 64)
+	if n < 0 {
+		n = 0
+	}
+	if cap(s.bits) < n {
+		s.bits = make([]uint64, n)
+	} else {
+		s.bits = s.bits[:n]
+		for i := range s.bits {
+			s.bits[i] = 0
+		}
+	}
+	s.lo = lo
+}
+
+// Claim atomically marks addr, reporting whether this call was the
+// first to do so. Safe for concurrent use.
+func (s *MarkSet) Claim(addr int64) bool {
+	i := uint64(addr - s.lo)
+	w := &s.bits[i>>6]
+	mask := uint64(1) << (i & 63)
+	for {
+		old := atomic.LoadUint64(w)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(w, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// Marked reports whether addr has been claimed.
+func (s *MarkSet) Marked(addr int64) bool {
+	i := uint64(addr - s.lo)
+	return atomic.LoadUint64(&s.bits[i>>6])&(1<<(i&63)) != 0
 }
 
 // FinishCollection flips semispaces: the copy space (filled up to

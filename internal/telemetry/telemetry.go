@@ -113,8 +113,14 @@ const (
 	CtrGCBytesCopied     = "gc.bytes_copied"
 	CtrGCDerivedAdjusted = "gc.derived_adjusted"
 	CtrGCDerivedRederive = "gc.derived_rederived"
+	CtrGCObjectsCopied   = "gc.objects_copied"
+	CtrGCMarkSteals      = "gc.mark_steals"
 	HistGCPauseNs        = "gc.pause_ns"
 	HistGCStackWalkNs    = "gc.stackwalk_ns"
+	HistGCMarkNs         = "gc.mark_ns"
+	HistGCAssignNs       = "gc.assign_ns"
+	HistGCCopyNs         = "gc.copy_ns"
+	HistGCFixupNs        = "gc.fixup_ns"
 	HistGCWaitNs         = "vm.gcpoint_wait_ns"
 
 	CtrGenMinor           = "gengc.minor"
