@@ -8,9 +8,9 @@ GO ?= go
 # targets, so the gate costs about twice this.
 FUZZTIME ?= 15s
 
-.PHONY: check fmt vet vet-gcverify build test race test-all bench-telemetry bench-smoke verify-smoke fuzz-smoke diff-smoke cover
+.PHONY: check fmt vet vet-gcverify build test race test-all bench-telemetry bench-smoke serve-smoke verify-smoke fuzz-smoke diff-smoke cover
 
-check: fmt vet vet-gcverify build race test-all fuzz-smoke
+check: fmt vet vet-gcverify build race test-all serve-smoke fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -50,6 +50,15 @@ bench-smoke:
 	$(GO) run ./cmd/paperbench -cache -snapshot artifacts/takl-telemetry.json
 	$(GO) run ./cmd/paperbench -parallel -bench5 artifacts/BENCH_5.json
 	$(GO) test -run '^$$' -bench 'Phase' -benchtime 1x ./internal/gc/
+
+# Multi-tenant server smoke: the gcserve race suite (tenant isolation,
+# slicing determinism, shared-decoder transparency), then a short
+# mixed run/resume load drive that writes the BENCH_6 measurement
+# (req/s, per-tenant pause quantiles) for CI to upload.
+serve-smoke:
+	mkdir -p artifacts
+	$(GO) test -race -count=1 ./internal/gcserve/
+	$(GO) run ./cmd/gcserve -load -duration 2s -bench artifacts/BENCH_6.json
 
 # Short gc-map verifier smoke: the checked-in progen corpus (first few
 # seeds) plus a strided seeded-fault sweep. CI runs this on every push.

@@ -349,7 +349,15 @@ func runCell(c *driver.Compiled, cell Cell, maxSteps int64) (r cellResult) {
 		}
 	}()
 
-	cc := *c
+	// Rebuild rather than copy: Compiled carries the shared-decoder
+	// sync.Once, and this cell wants its own decoder state anyway.
+	cc := &driver.Compiled{
+		Opts:    c.Opts,
+		IR:      c.IR,
+		Prog:    c.Prog,
+		Tables:  c.Tables,
+		Encoded: c.Encoded,
+	}
 	cc.Opts.DecodeCache = cell.Cache
 	cc.Opts.WalkWorkers = cell.Workers
 	cc.Opts.TraceWorkers = cell.TraceWorkers

@@ -7,6 +7,7 @@ import (
 	"bytes"
 	"fmt"
 	"io"
+	"sync"
 
 	"repro/internal/codegen"
 	"repro/internal/conservative"
@@ -72,13 +73,20 @@ func NewOptions() Options {
 	return Options{Optimize: true, GCSupport: true, Scheme: gctab.DeltaPP, DecodeCache: true}
 }
 
-// Compiled is the result of a compilation.
+// Compiled is the result of a compilation. One Compiled may instantiate
+// any number of machines (NewMachine and friends): the Prog, Tables,
+// and Encoded stream are immutable after Compile, which is what lets a
+// multi-tenant host share them — and one memoizing decoder
+// (SharedDecoder) — across every instance.
 type Compiled struct {
 	Opts    Options
 	IR      *ir.Program
 	Prog    *vmachine.Program
 	Tables  *gctab.Object
 	Encoded *gctab.Encoded
+
+	sharedOnce sync.Once
+	shared     *gctab.CachedDecoder
 }
 
 // Compile runs the pipeline over one module's source text.
@@ -150,15 +158,43 @@ func (c *Compiled) tableDecoder() gctab.TableDecoder {
 	return gctab.NewDecoder(c.Encoded)
 }
 
+// SharedDecoder returns the module's process-wide memoizing decoder,
+// built on first use. The encoded tables are immutable, so one decode
+// of each procedure's segment serves every machine instantiated from
+// this Compiled — the serving-time analogue of the tables' share-freely
+// property. Pass it (via NewMachineWithDecoder) to machines that should
+// share it; attach at most one tracer, before sharing. Returns nil for
+// programs compiled without gc support.
+func (c *Compiled) SharedDecoder() *gctab.CachedDecoder {
+	if c.Encoded == nil {
+		return nil
+	}
+	c.sharedOnce.Do(func() { c.shared = gctab.NewCachedDecoder(c.Encoded) })
+	return c.shared
+}
+
 // NewMachine builds a machine running under the precise compacting
-// collector and spawns the main thread.
+// collector and spawns the main thread. Each call creates an
+// independent instance (own memory, heap, decoder) from the shared
+// immutable program.
 func (c *Compiled) NewMachine(cfg vmachine.Config) (*vmachine.Machine, *gc.Collector, error) {
 	if c.Encoded == nil {
 		return nil, nil, fmt.Errorf("driver: program compiled without gc support")
 	}
+	return c.NewMachineWithDecoder(cfg, c.tableDecoder())
+}
+
+// NewMachineWithDecoder builds a machine like NewMachine but walking
+// stacks through dec — typically gctab.Pinned(c.SharedDecoder()) so
+// thousands of instances share one decode of the immutable tables
+// while keeping per-instance tracers (cfg.Tel) on their collectors.
+func (c *Compiled) NewMachineWithDecoder(cfg vmachine.Config, dec gctab.TableDecoder) (*vmachine.Machine, *gc.Collector, error) {
+	if c.Encoded == nil {
+		return nil, nil, fmt.Errorf("driver: program compiled without gc support")
+	}
 	m := vmachine.New(c.Prog, cfg)
-	h := heap.New(m.Mem, m.HeapLo, m.HeapHi, c.Prog.Descs)
-	col := gc.NewWith(h, c.tableDecoder())
+	h := heap.NewQuota(m.Mem, m.HeapLo, m.HeapHi, c.Prog.Descs, cfg.HeapQuota)
+	col := gc.NewWith(h, dec)
 	col.WalkWorkers = c.Opts.WalkWorkers
 	col.TraceWorkers = c.Opts.TraceWorkers
 	col.SetTracer(cfg.Tel)
@@ -232,13 +268,12 @@ func LoadObject(r io.Reader) (*Compiled, error) {
 	return c, nil
 }
 
-// Run compiles and executes src with the precise collector, returning
-// the program's output. A zero cfg uses vmachine.DefaultConfig.
-func Run(name, src string, opts Options, cfg vmachine.Config) (string, error) {
-	c, err := Compile(name, src, opts)
-	if err != nil {
-		return "", err
-	}
+// Execute instantiates a machine under the precise collector and runs
+// the program to completion, returning its output. A zero cfg uses
+// vmachine.DefaultConfig. It is the execution half of Run; the CLI,
+// the e2e suite, and the gcserve tenant pool all run through this
+// compile-once/instantiate-many pair.
+func (c *Compiled) Execute(cfg vmachine.Config) (string, error) {
 	if cfg.HeapWords == 0 {
 		cfg = vmachine.DefaultConfig()
 	}
@@ -252,4 +287,14 @@ func Run(name, src string, opts Options, cfg vmachine.Config) (string, error) {
 		return out.String(), err
 	}
 	return out.String(), nil
+}
+
+// Run compiles and executes src with the precise collector, returning
+// the program's output. A zero cfg uses vmachine.DefaultConfig.
+func Run(name, src string, opts Options, cfg vmachine.Config) (string, error) {
+	c, err := Compile(name, src, opts)
+	if err != nil {
+		return "", err
+	}
+	return c.Execute(cfg)
 }

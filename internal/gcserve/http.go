@@ -1,0 +1,112 @@
+package gcserve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"strconv"
+
+	"repro/internal/telemetry"
+)
+
+// Handler exposes the server over HTTP:
+//
+//	POST   /run/{program}            run a one-shot tenant to completion
+//	POST   /session/{program}        open a persistent session tenant
+//	POST   /session/{id}/resume      resume a session (?grant=N steps)
+//	DELETE /session/{id}             abandon a session
+//	GET    /statz                    JSON snapshot: server + per-tenant stats
+//	GET    /eventz                   process tracer events as JSONL
+//	GET    /healthz                  liveness
+//
+// Tenant-level failures (traps, including quota exhaustion) are 200s
+// with the trap in the body: the tenant failed, the server did not.
+// Admission refusal is 503, unknown names are 404.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run/{program}", s.handleRun)
+	mux.HandleFunc("POST /session/{program}", s.handleOpen)
+	mux.HandleFunc("POST /session/{id}/resume", s.handleResume)
+	mux.HandleFunc("DELETE /session/{id}", s.handleClose)
+	mux.HandleFunc("GET /statz", s.handleStatz)
+	mux.HandleFunc("GET /eventz", s.handleEventz)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	res, err := s.RunProgram(r.PathValue("program"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleOpen(w http.ResponseWriter, r *http.Request) {
+	id, err := s.OpenSession(r.PathValue("program"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, map[string]string{"id": id})
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	var grant int64
+	if g := r.URL.Query().Get("grant"); g != "" {
+		v, err := strconv.ParseInt(g, 10, 64)
+		if err != nil || v < 0 {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad grant: " + g})
+			return
+		}
+		grant = v
+	}
+	res, err := s.Resume(r.PathValue("id"), grant)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Server) handleClose(w http.ResponseWriter, r *http.Request) {
+	if err := s.CloseSession(r.PathValue("id")); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "closed"})
+}
+
+func (s *Server) handleStatz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot())
+}
+
+func (s *Server) handleEventz(w http.ResponseWriter, r *http.Request) {
+	if s.tel == nil {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "no process tracer attached"})
+		return
+	}
+	w.Header().Set("Content-Type", "application/jsonl")
+	_ = telemetry.WriteJSONL(w, s.tel.Events())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps host-level errors to status codes.
+func writeErr(w http.ResponseWriter, err error) {
+	code := http.StatusNotFound
+	switch {
+	case errors.Is(err, ErrAdmission):
+		code = http.StatusServiceUnavailable
+	case errors.Is(err, ErrShutdown):
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,196 @@
+package gcserve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadConfig shapes the synthetic load: Clients concurrent callers
+// issuing mixed traffic for Duration — a fraction of one-shot runs and
+// a pool of persistent sessions resumed in small grants.
+type LoadConfig struct {
+	Program string `json:"program"`
+	// Clients is the number of concurrent request loops (default 2×Workers).
+	Clients int `json:"clients"`
+	// Duration bounds the drive phase.
+	Duration time.Duration `json:"-"`
+	// RunPercent of requests are one-shot runs; the rest resume a
+	// session from the client's pool (default 50).
+	RunPercent int `json:"run_percent"`
+	// Grant is the per-resume step grant (default 2000).
+	Grant int64 `json:"grant"`
+}
+
+// LoadReport is the BENCH_6 measurement: sustained request throughput
+// over the tenant pool plus the cross-tenant distribution of per-tenant
+// gc pause quantiles.
+type LoadReport struct {
+	Bench       string     `json:"bench"`
+	Config      LoadConfig `json:"config"`
+	DurationSec float64    `json:"duration_sec"`
+	Requests    int64      `json:"requests"`
+	Runs        int64      `json:"runs"`
+	Resumes     int64      `json:"resumes"`
+	SessionsRan int64      `json:"sessions_completed"`
+	Traps       int64      `json:"traps"`
+	Refused     int64      `json:"admission_refused"`
+	ReqPerSec   float64    `json:"req_per_sec"`
+	// TenantsMeasured is how many completed tenants contributed pause
+	// distributions below.
+	TenantsMeasured int `json:"tenants_measured"`
+	// PauseP50AcrossTenantsNs aggregates each tenant's own p50/p99
+	// pause across the tenant population: [min, p50, p99, max] of the
+	// per-tenant values.
+	PauseP50AcrossTenantsNs [4]int64 `json:"pause_p50_across_tenants_ns"`
+	PauseP99AcrossTenantsNs [4]int64 `json:"pause_p99_across_tenants_ns"`
+	Errors                  []string `json:"errors,omitempty"`
+}
+
+func (c *LoadConfig) fill(workers int) {
+	if c.Clients <= 0 {
+		c.Clients = 2 * workers
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Second
+	}
+	if c.RunPercent <= 0 || c.RunPercent > 100 {
+		c.RunPercent = 50
+	}
+	if c.Grant <= 0 {
+		c.Grant = 2000
+	}
+}
+
+// RunLoad drives s with mixed run/resume traffic and reports achieved
+// throughput plus per-tenant pause quantiles. The server must already
+// have cfg.Program registered.
+func RunLoad(s *Server, cfg LoadConfig) (*LoadReport, error) {
+	cfg.fill(s.cfg.Workers)
+	if _, err := s.lookup(cfg.Program); err != nil {
+		return nil, err
+	}
+
+	var requests, runs, resumes, sessions, traps, refused atomic.Int64
+	var mu sync.Mutex
+	var errs []string
+	fail := func(f string, args ...any) {
+		mu.Lock()
+		if len(errs) < 16 {
+			errs = append(errs, fmt.Sprintf(f, args...))
+		}
+		mu.Unlock()
+	}
+
+	started := time.Now()
+	deadline := started.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			// Each client owns at most one session at a time and
+			// interleaves one-shot runs per RunPercent.
+			var session string
+			seq := c
+			for time.Now().Before(deadline) {
+				seq++
+				if seq%100 < cfg.RunPercent {
+					res, err := s.RunProgram(cfg.Program)
+					requests.Add(1)
+					runs.Add(1)
+					switch {
+					case err == ErrAdmission:
+						refused.Add(1)
+					case err != nil:
+						fail("run: %v", err)
+						return
+					case res.Trap != "":
+						traps.Add(1)
+					case !res.Done:
+						fail("run not done: %+v", res)
+						return
+					}
+					continue
+				}
+				if session == "" {
+					id, err := s.OpenSession(cfg.Program)
+					if err == ErrAdmission {
+						refused.Add(1)
+						continue
+					}
+					if err != nil {
+						fail("open: %v", err)
+						return
+					}
+					session = id
+				}
+				res, err := s.Resume(session, cfg.Grant)
+				requests.Add(1)
+				resumes.Add(1)
+				if err != nil {
+					fail("resume: %v", err)
+					return
+				}
+				if res.Done || res.Trap != "" {
+					sessions.Add(1)
+					if res.Trap != "" {
+						traps.Add(1)
+					}
+					session = ""
+				}
+			}
+			if session != "" {
+				_ = s.CloseSession(session)
+			}
+		}(c)
+	}
+	wg.Wait()
+	elapsed := time.Since(started)
+
+	// Collect per-tenant pause quantiles from the completed ring.
+	z := s.Snapshot()
+	var p50s, p99s []int64
+	for _, row := range z.Tenants {
+		if row.Pauses.Count == 0 {
+			continue
+		}
+		p50s = append(p50s, row.Pauses.P50Ns)
+		p99s = append(p99s, row.Pauses.P99Ns)
+	}
+
+	rep := &LoadReport{
+		Bench:                   "BENCH_6",
+		Config:                  cfg,
+		DurationSec:             elapsed.Seconds(),
+		Requests:                requests.Load(),
+		Runs:                    runs.Load(),
+		Resumes:                 resumes.Load(),
+		SessionsRan:             sessions.Load(),
+		Traps:                   traps.Load(),
+		Refused:                 refused.Load(),
+		TenantsMeasured:         len(p50s),
+		PauseP50AcrossTenantsNs: spread(p50s),
+		PauseP99AcrossTenantsNs: spread(p99s),
+		Errors:                  errs,
+	}
+	if elapsed > 0 {
+		rep.ReqPerSec = float64(rep.Requests) / elapsed.Seconds()
+	}
+	return rep, nil
+}
+
+// spread summarizes vs as [min, p50, p99, max].
+func spread(vs []int64) [4]int64 {
+	if len(vs) == 0 {
+		return [4]int64{}
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	at := func(q float64) int64 {
+		i := int(q * float64(len(vs)-1))
+		return vs[i]
+	}
+	return [4]int64{vs[0], at(0.50), at(0.99), vs[len(vs)-1]}
+}

@@ -1,0 +1,84 @@
+package gcserve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/driver"
+	"repro/internal/gctab"
+)
+
+// program is one registered module: the immutable compile artifact plus
+// the process-wide pinned decoder every tenant machine walks through.
+type program struct {
+	name string
+	c    *driver.Compiled
+	dec  gctab.TableDecoder
+}
+
+// registry maps program names to compile-once artifacts. Registration
+// compiles; instantiation never does.
+type registry struct {
+	mu    sync.RWMutex
+	progs map[string]*program
+}
+
+func newRegistry() *registry {
+	return &registry{progs: make(map[string]*program)}
+}
+
+// DefaultOptions returns the compile options a served program needs:
+// optimizer on, gc support on, and — crucially — Multithreaded, so
+// loops carry gc-polls and the §5.3 bounded-time-to-safepoint
+// guarantee doubles as the scheduler's preemption handshake. Without
+// poll points a fuel budget can never take effect in a tight loop.
+func DefaultOptions() driver.Options {
+	opts := driver.NewOptions()
+	opts.Multithreaded = true
+	return opts
+}
+
+// Register compiles src under opts and stores it as name, replacing
+// any earlier registration. The compiled module's SharedDecoder gets
+// the process tracer attached (once) and is pinned so per-tenant
+// collectors cannot re-target its telemetry.
+func (s *Server) Register(name, src string, opts driver.Options) error {
+	if !opts.Multithreaded {
+		return fmt.Errorf("gcserve: program %q compiled without Multithreaded: loop gc-polls are the scheduler's preemption points", name)
+	}
+	c, err := driver.Compile(name+".m3", src, opts)
+	if err != nil {
+		return fmt.Errorf("gcserve: compile %q: %w", name, err)
+	}
+	shared := c.SharedDecoder()
+	shared.SetTracer(s.tel)
+	p := &program{name: name, c: c, dec: gctab.Pinned(shared)}
+	s.reg.mu.Lock()
+	s.reg.progs[name] = p
+	s.reg.mu.Unlock()
+	return nil
+}
+
+// lookup returns the registered program or an error naming it.
+func (s *Server) lookup(name string) (*program, error) {
+	s.reg.mu.RLock()
+	p := s.reg.progs[name]
+	s.reg.mu.RUnlock()
+	if p == nil {
+		return nil, fmt.Errorf("gcserve: unknown program %q", name)
+	}
+	return p, nil
+}
+
+// Programs returns the registered program names, sorted.
+func (s *Server) Programs() []string {
+	s.reg.mu.RLock()
+	defer s.reg.mu.RUnlock()
+	out := make([]string, 0, len(s.reg.progs))
+	for n := range s.reg.progs {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,421 @@
+package gcserve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/gctab"
+	"repro/internal/telemetry"
+	"repro/internal/vmachine"
+)
+
+// sumSrc sums 1..n through an allocation per iteration, so small heaps
+// force collections while the expected output stays closed-form.
+func sumSrc(n int) string {
+	return fmt.Sprintf(`
+MODULE Work;
+TYPE Cell = REF RECORD v: INTEGER; END;
+VAR p: Cell; i, s: INTEGER;
+BEGIN
+  s := 0;
+  FOR i := 1 TO %d DO
+    p := NEW(Cell);
+    p.v := i;
+    s := s + p.v;
+  END;
+  PutInt(s); PutLn();
+END Work.
+`, n)
+}
+
+func sumWant(n int) string { return fmt.Sprintf("%d\n", n*(n+1)/2) }
+
+// hogSrc retains every cell, so live data grows past any small quota.
+const hogSrc = `
+MODULE Hog;
+TYPE List = REF RECORD head: INTEGER; tail: List; END;
+VAR keep, p: List; i: INTEGER;
+BEGIN
+  keep := NIL;
+  FOR i := 1 TO 200 DO
+    p := NEW(List);
+    p.head := i;
+    p.tail := keep;
+    keep := p;
+  END;
+  PutInt(keep.head); PutLn();
+END Hog.
+`
+
+func newTestServer(t *testing.T, cfg Config) *Server {
+	t.Helper()
+	s := New(cfg)
+	t.Cleanup(s.Close)
+	return s
+}
+
+func mustRegister(t *testing.T, s *Server, name, src string, opts driver.Options) {
+	t.Helper()
+	if err := s.Register(name, src, opts); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunProgramBasic(t *testing.T) {
+	s := newTestServer(t, Config{HeapWords: 1024, Workers: 2, Fuel: 97})
+	mustRegister(t, s, "work", sumSrc(500), DefaultOptions())
+	res, err := s.RunProgram("work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || res.Trap != "" || res.Output != sumWant(500) {
+		t.Fatalf("result %+v, want done with output %q", res, sumWant(500))
+	}
+	if res.Slices < 2 {
+		t.Errorf("slices = %d, want the run sliced by fuel 97", res.Slices)
+	}
+	if _, err := s.RunProgram("nope"); err == nil {
+		t.Error("unknown program did not error")
+	}
+}
+
+// TestServerSlicingDeterministic pins the tentpole invariant: a run
+// sliced by the scheduler's fuel budget is bit-identical — output and
+// step count — to the same program executed unsliced.
+func TestServerSlicingDeterministic(t *testing.T) {
+	const n = 800
+	opts := DefaultOptions()
+	c, err := driver.Compile("work.m3", sumSrc(n), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := vmachine.DefaultConfig()
+	cfg.HeapWords = 1024
+	var sb strings.Builder
+	cfg.Out = &sb
+	m, _, err := c.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(0); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, fuel := range []int64{1, 53, 997, 1 << 20} {
+		s := newTestServer(t, Config{HeapWords: 1024, Workers: 3, Fuel: fuel})
+		mustRegister(t, s, "work", sumSrc(n), opts)
+		res, err := s.RunProgram("work")
+		if err != nil {
+			t.Fatalf("fuel %d: %v", fuel, err)
+		}
+		if res.Output != sb.String() || res.Steps != m.Steps {
+			t.Errorf("fuel %d: (%q, %d steps), unsliced (%q, %d steps)",
+				fuel, res.Output, res.Steps, sb.String(), m.Steps)
+		}
+	}
+}
+
+// TestConcurrentTenantsIsolated is the headline -race suite: ≥100
+// concurrent tenants over mixed programs, mixed table schemes, and
+// mixed run/resume traffic must each produce exactly the output their
+// program produces in isolation, at whatever interleaving the
+// scheduler picks.
+func TestConcurrentTenantsIsolated(t *testing.T) {
+	s := newTestServer(t, Config{
+		HeapWords: 1024, Workers: 8, Fuel: 101, SessionGrant: 5_000,
+	})
+	type variant struct {
+		name string
+		want string
+	}
+	var variants []variant
+	sizes := []int{300, 500, 700}
+	schemes := []gctab.Scheme{gctab.DeltaPP, gctab.FullPlain}
+	for i, n := range sizes {
+		for j, sch := range schemes {
+			opts := DefaultOptions()
+			opts.Scheme = sch
+			name := fmt.Sprintf("work-%d-%d", i, j)
+			mustRegister(t, s, name, sumSrc(n), opts)
+			variants = append(variants, variant{name, sumWant(n)})
+		}
+	}
+
+	const tenants = 120
+	errs := make(chan error, tenants)
+	var wg sync.WaitGroup
+	for k := 0; k < tenants; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			v := variants[k%len(variants)]
+			var res RunResult
+			var err error
+			if k%3 == 0 {
+				// Session path: open, resume in small grants to force
+				// repeated park/resume cycles, close implicitly on done.
+				var id string
+				id, err = s.OpenSession(v.name)
+				if err == nil {
+					for {
+						res, err = s.Resume(id, 2_000)
+						if err != nil || res.Done || res.Trap != "" {
+							break
+						}
+					}
+				}
+			} else {
+				res, err = s.RunProgram(v.name)
+			}
+			if err != nil {
+				errs <- fmt.Errorf("tenant %d (%s): %v", k, v.name, err)
+				return
+			}
+			if !res.Done || res.Trap != "" || res.Output != v.want {
+				errs <- fmt.Errorf("tenant %d (%s): done=%v trap=%q output=%q, want %q",
+					k, v.name, res.Done, res.Trap, res.Output, v.want)
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	z := s.Snapshot()
+	if z.Residents != 0 {
+		t.Errorf("residents = %d after all tenants completed", z.Residents)
+	}
+	if z.Requests < tenants {
+		t.Errorf("requests = %d, want >= %d", z.Requests, tenants)
+	}
+}
+
+// TestSessionResume drives one session through many small grants:
+// output accumulates, steps are monotonic, and the finished session is
+// released.
+func TestSessionResume(t *testing.T) {
+	s := newTestServer(t, Config{HeapWords: 1024, Workers: 2, Fuel: 97})
+	mustRegister(t, s, "work", sumSrc(2000), DefaultOptions())
+	id, err := s.OpenSession("work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last RunResult
+	resumes := 0
+	for {
+		res, err := s.Resume(id, 3_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Steps < last.Steps || !strings.HasPrefix(res.Output, last.Output) {
+			t.Fatalf("resume went backwards: %+v after %+v", res, last)
+		}
+		last = res
+		resumes++
+		if res.Done {
+			break
+		}
+		if resumes > 10_000 {
+			t.Fatal("session never completed")
+		}
+	}
+	if resumes < 3 {
+		t.Errorf("resumes = %d, want the run split across several grants", resumes)
+	}
+	if last.Output != sumWant(2000) {
+		t.Errorf("final output %q, want %q", last.Output, sumWant(2000))
+	}
+	if _, err := s.Resume(id, 0); err == nil {
+		t.Error("resume after completion did not error")
+	}
+	if z := s.Snapshot(); z.Residents != 0 {
+		t.Errorf("residents = %d after session completed", z.Residents)
+	}
+}
+
+// TestQuotaTrapIsolation: a hog tenant exhausting its per-tenant quota
+// traps as a structured tenant failure while sibling tenants run to
+// completion; the server survives and counts the quota trap.
+func TestQuotaTrapIsolation(t *testing.T) {
+	s := newTestServer(t, Config{
+		HeapWords: 4096, HeapQuota: 128, Workers: 4, Fuel: 101,
+	})
+	mustRegister(t, s, "hog", hogSrc, DefaultOptions())
+	mustRegister(t, s, "light", sumSrc(50), DefaultOptions())
+
+	var wg sync.WaitGroup
+	errs := make(chan error, 40)
+	for k := 0; k < 40; k++ {
+		wg.Add(1)
+		go func(k int) {
+			defer wg.Done()
+			if k%2 == 0 {
+				res, err := s.RunProgram("hog")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if res.Done || !res.QuotaTrap || res.Trap != "heap quota exceeded" {
+					errs <- fmt.Errorf("hog %d: %+v, want quota trap", k, res)
+				}
+			} else {
+				res, err := s.RunProgram("light")
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !res.Done || res.Trap != "" || res.Output != sumWant(50) {
+					errs <- fmt.Errorf("light %d hurt by sibling hog: %+v", k, res)
+				}
+			}
+		}(k)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	z := s.Snapshot()
+	if z.QuotaTraps != 20 || z.Traps != 20 {
+		t.Errorf("traps = %d, quota traps = %d, want 20/20", z.Traps, z.QuotaTraps)
+	}
+}
+
+// TestAdmissionControl: the tenant-slot cap and the process word budget
+// both refuse admission rather than queueing, and a released slot is
+// reusable.
+func TestAdmissionControl(t *testing.T) {
+	s := newTestServer(t, Config{HeapWords: 1024, Workers: 1, MaxTenants: 1})
+	mustRegister(t, s, "work", sumSrc(100), DefaultOptions())
+	id, err := s.OpenSession("work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.OpenSession("work"); err != ErrAdmission {
+		t.Errorf("second admit: %v, want ErrAdmission", err)
+	}
+	if _, err := s.RunProgram("work"); err != ErrAdmission {
+		t.Errorf("run while full: %v, want ErrAdmission", err)
+	}
+	if z := s.Snapshot(); z.Refused != 2 {
+		t.Errorf("refused = %d, want 2", z.Refused)
+	}
+	if err := s.CloseSession(id); err != nil {
+		t.Fatal(err)
+	}
+	if res, err := s.RunProgram("work"); err != nil || !res.Done {
+		t.Errorf("run after release: %+v, %v", res, err)
+	}
+
+	// Word budget tighter than the slot cap: two images exceed 1.5×.
+	s2 := newTestServer(t, Config{
+		HeapWords: 1024, StackWords: 256, Workers: 1, MaxTenants: 100,
+		BudgetWords: (1024 + 256 + 64) * 3 / 2,
+	})
+	mustRegister(t, s2, "work", sumSrc(100), DefaultOptions())
+	id, err = s2.OpenSession("work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s2.OpenSession("work"); err != ErrAdmission {
+		t.Errorf("budget admit: %v, want ErrAdmission", err)
+	}
+	if err := s2.CloseSession(id); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSharedDecoderTransparency: the memoizing decoder is shared by
+// every tenant of a program, so each procedure's table segment is
+// decoded at most once per process no matter how many tenants run —
+// more tenants only add cache hits.
+func TestSharedDecoderTransparency(t *testing.T) {
+	tel := telemetry.New(telemetry.Config{RingSize: 1 << 12})
+	opts := DefaultOptions()
+	s := newTestServer(t, Config{HeapWords: 1024, Workers: 4, Fuel: 101, Tel: tel})
+	mustRegister(t, s, "work", sumSrc(500), opts)
+
+	// Independent compile of the same source bounds the segment count.
+	c, err := driver.Compile("work.m3", sumSrc(500), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := int64(len(c.Encoded.Index))
+	missKey := opts.Scheme.CacheMissesCounter()
+	hitKey := opts.Scheme.CacheHitsCounter()
+
+	if res, err := s.RunProgram("work"); err != nil || !res.Done {
+		t.Fatalf("first run: %+v, %v", res, err)
+	}
+	first := tel.Snapshot()
+	if first.Counters[missKey] == 0 {
+		t.Fatalf("no decode misses after a collecting run; counters: %v", first.Counters)
+	}
+	if first.Counters[missKey] > segs {
+		t.Fatalf("misses %d > %d proc segments", first.Counters[missKey], segs)
+	}
+
+	var wg sync.WaitGroup
+	for k := 0; k < 50; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if res, err := s.RunProgram("work"); err != nil || !res.Done {
+				t.Errorf("tenant: %+v, %v", res, err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	after := tel.Snapshot()
+	if after.Counters[missKey] != first.Counters[missKey] {
+		t.Errorf("misses grew %d → %d: tenants re-decoded shared segments",
+			first.Counters[missKey], after.Counters[missKey])
+	}
+	if after.Counters[hitKey] <= first.Counters[hitKey] {
+		t.Errorf("hits did not grow (%d → %d) across 50 tenants",
+			first.Counters[hitKey], after.Counters[hitKey])
+	}
+}
+
+// TestRegisterRejectsNonMultithreaded: without loop gc-polls the fuel
+// budget could never preempt a tight loop, so registration refuses.
+func TestRegisterRejectsNonMultithreaded(t *testing.T) {
+	s := newTestServer(t, Config{})
+	if err := s.Register("work", sumSrc(10), driver.NewOptions()); err == nil {
+		t.Fatal("Register accepted a non-Multithreaded compile")
+	}
+}
+
+// TestStatzTenantRows: completed tenants surface labeled pause
+// histograms and heap counters in the snapshot.
+func TestStatzTenantRows(t *testing.T) {
+	s := newTestServer(t, Config{HeapWords: 512, Workers: 2, Fuel: 101})
+	mustRegister(t, s, "work", sumSrc(800), DefaultOptions())
+	for i := 0; i < 3; i++ {
+		if res, err := s.RunProgram("work"); err != nil || !res.Done {
+			t.Fatalf("run %d: %+v, %v", i, res, err)
+		}
+	}
+	z := s.Snapshot()
+	if len(z.Tenants) != 3 {
+		t.Fatalf("tenant rows = %d, want 3", len(z.Tenants))
+	}
+	for _, row := range z.Tenants {
+		if row.Program != "work" || row.State != "done" {
+			t.Errorf("row %+v, want done work row", row)
+		}
+		if row.Collections == 0 || row.Pauses.Count == 0 || row.Pauses.MaxNs <= 0 {
+			t.Errorf("row %s: collections=%d pauses=%+v, want per-tenant gc history",
+				row.ID, row.Collections, row.Pauses)
+		}
+		if row.AllocBytes == 0 {
+			t.Errorf("row %s: no allocated bytes recorded", row.ID)
+		}
+	}
+}

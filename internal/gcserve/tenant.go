@@ -1,0 +1,181 @@
+package gcserve
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+
+	"repro/internal/gc"
+	"repro/internal/telemetry"
+	"repro/internal/vmachine"
+)
+
+// tenant is one resident machine: its isolated memory image, heap,
+// collector, per-tenant tracer, and scheduling state. A tenant is
+// owned by at most one scheduler worker at a time — it is either
+// queued (once), running a slice, or parked awaiting a resume — so
+// its fields need no lock of their own except the output buffer the
+// HTTP side reads concurrently.
+type tenant struct {
+	id      string
+	prog    *program
+	session bool
+
+	m   *vmachine.Machine
+	col *gc.Collector
+	tel *telemetry.Tracer
+	out lockedBuffer
+
+	grant  int64 // steps remaining for the current request (0 = until done)
+	slices int64
+
+	// waiter receives exactly one result per scheduled request.
+	waiter chan result
+
+	// scheduled marks a tenant with a request in flight (guarded by
+	// Server.mu); a parked session is resident but not scheduled.
+	scheduled bool
+
+	// finished marks a completed (halted or trapped) tenant; parked
+	// sessions are not finished.
+	finished bool
+	err      error
+
+	// stat is the tenant's last slice-boundary snapshot. The owning
+	// worker refreshes it between slices; /statz readers take the cache
+	// instead of racing the live machine.
+	statMu sync.Mutex
+	stat   TenantStat
+}
+
+// updateStat refreshes the cached stat row. Only the goroutine owning
+// the tenant (its scheduler worker, or the request goroutine before
+// first enqueue) may call it, because it reads the live machine.
+func (t *tenant) updateStat(err error) {
+	st := TenantStat{
+		ID:          t.id,
+		Program:     t.prog.name,
+		Session:     t.session,
+		Steps:       t.m.Steps,
+		Collections: t.m.GCCount,
+		Slices:      t.slices,
+		LiveBytes:   t.col.Heap.LiveBytes(),
+		AllocBytes:  t.col.Heap.AllocatedBytes(),
+		Pauses:      pauseStat(t.tel.Snapshot()),
+	}
+	if rte := trapOf(err); rte != nil {
+		st.Trap = rte.Code.String()
+	} else if err != nil {
+		st.Trap = err.Error()
+	}
+	t.statMu.Lock()
+	t.stat = st
+	t.statMu.Unlock()
+}
+
+// snapStat returns the cached stat row with the given state label.
+// Safe from any goroutine.
+func (t *tenant) snapStat(state string) TenantStat {
+	t.statMu.Lock()
+	st := t.stat
+	t.statMu.Unlock()
+	st.State = state
+	return st
+}
+
+// lockedBuffer is the tenant's stdout: the VM writes from a scheduler
+// worker while /statz or a resume response may read it.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// result is what a scheduled request resolves to.
+type result struct {
+	Output      string
+	Steps       int64
+	Collections int64
+	Slices      int64
+	Done        bool
+	Err         error
+}
+
+// resultOf snapshots t after a slice outcome.
+func resultOf(t *tenant, err error) result {
+	return result{
+		Output:      t.out.String(),
+		Steps:       t.m.Steps,
+		Collections: t.m.GCCount,
+		Slices:      t.slices,
+		Done:        err == nil && t.m.Halted(),
+		Err:         err,
+	}
+}
+
+// finish marks the tenant completed and answers the waiting request.
+func (t *tenant) finish(r result) {
+	t.finished = true
+	t.err = r.Err
+	t.waiter <- r
+}
+
+// park answers the waiting request without completing the tenant: the
+// session keeps its machine and resumes on the next grant.
+func (t *tenant) park() {
+	t.waiter <- resultOf(t, nil)
+}
+
+// newTenant instantiates a machine for p from the shared compile
+// artifact: fresh memory image, per-instance heap quota, per-tenant
+// tracer, and the process-shared pinned decoder.
+func (s *Server) newTenant(p *program, id string, session bool) (*tenant, error) {
+	t := &tenant{
+		id:      id,
+		prog:    p,
+		session: session,
+		tel:     telemetry.New(telemetry.Config{RingSize: s.cfg.RingSize}),
+		waiter:  make(chan result, 1),
+	}
+	cfg := vmachine.Config{
+		HeapWords:  s.cfg.HeapWords,
+		HeapQuota:  s.cfg.HeapQuota,
+		StackWords: s.cfg.StackWords,
+		MaxThreads: 1,
+		Out:        &t.out,
+		Tel:        t.tel,
+	}
+	m, col, err := p.c.NewMachineWithDecoder(cfg, p.dec)
+	if err != nil {
+		return nil, err
+	}
+	t.m, t.col = m, col
+	t.updateStat(nil)
+	return t, nil
+}
+
+// IsQuotaTrap reports whether err is the tenant-quota trap.
+func IsQuotaTrap(err error) bool {
+	var rte *vmachine.RuntimeError
+	return errors.As(err, &rte) && rte.Code == vmachine.TrapQuotaExceeded
+}
+
+// trapOf extracts a RuntimeError, or nil.
+func trapOf(err error) *vmachine.RuntimeError {
+	var rte *vmachine.RuntimeError
+	if errors.As(err, &rte) {
+		return rte
+	}
+	return nil
+}

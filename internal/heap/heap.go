@@ -27,6 +27,7 @@ type Heap struct {
 	Descs *types.DescTable
 
 	semi   int64 // words per semispace
+	quota  int64 // usable words per semispace (== semi when uncapped)
 	FromLo int64 // current allocation space base
 	ToLo   int64 // copy space base
 	Alloc  int64 // bump pointer
@@ -53,12 +54,59 @@ const WordBytes = 8
 // New creates a heap over mem[lo:hi). The region is split into two
 // semispaces.
 func New(mem []int64, lo, hi int64, descs *types.DescTable) *Heap {
+	return NewQuota(mem, lo, hi, descs, 0)
+}
+
+// NewQuota creates a heap over mem[lo:hi) whose usable space per
+// semispace is capped at quotaWords (0 or ≥ the semispace size means
+// uncapped). The cap is a per-instance tenant budget, not a sizing: a
+// blocked allocation that would have fit in the full semispace is
+// reported by QuotaBlocked so the host can distinguish "tenant over
+// quota" from "machine out of memory".
+func NewQuota(mem []int64, lo, hi int64, descs *types.DescTable, quotaWords int64) *Heap {
 	h := &Heap{Mem: mem, Lo: lo, Hi: hi, Descs: descs, semi: (hi - lo) / 2}
+	h.quota = h.semi
+	if quotaWords > 0 && quotaWords < h.semi {
+		h.quota = quotaWords
+	}
 	h.FromLo = lo
 	h.ToLo = lo + h.semi
 	h.Alloc = h.FromLo
-	h.Limit = h.FromLo + h.semi
+	h.Limit = h.FromLo + h.quota
 	return h
+}
+
+// Quota returns the usable words per semispace (the per-instance
+// budget; equals the semispace size when uncapped).
+func (h *Heap) Quota() int64 { return h.quota }
+
+// allocSize returns the word size an allocation with the given
+// descriptor and element count would occupy, or ok=false for a
+// negative open-array length.
+func (h *Heap) allocSize(descID int, n int64) (int64, bool) {
+	d := h.Descs.Get(descID)
+	if d.Kind == types.DescOpenArray {
+		if n < 0 {
+			return 0, false
+		}
+		return 2 + n*d.ElemWords, true
+	}
+	return 1 + d.DataWords, true
+}
+
+// QuotaBlocked implements vmachine.QuotaChecker: it reports whether an
+// allocation that just failed was blocked by the per-instance quota
+// rather than by the semispace itself (i.e. it would have fit in the
+// full semispace).
+func (h *Heap) QuotaBlocked(descID int, n int64) bool {
+	if h.quota >= h.semi {
+		return false
+	}
+	size, ok := h.allocSize(descID, n)
+	if !ok {
+		return false
+	}
+	return h.Alloc+size > h.Limit && h.Alloc+size <= h.FromLo+h.semi
 }
 
 // SizeOf returns the total word size (including header and length
@@ -77,14 +125,9 @@ func (h *Heap) SizeOf(addr int64) int64 {
 // is already zeroed.
 func (h *Heap) TryAlloc(descID int, n int64) (addr int64, ok bool) {
 	d := h.Descs.Get(descID)
-	var size int64
-	if d.Kind == types.DescOpenArray {
-		if n < 0 {
-			return 0, false
-		}
-		size = 2 + n*d.ElemWords
-	} else {
-		size = 1 + d.DataWords
+	size, ok := h.allocSize(descID, n)
+	if !ok {
+		return 0, false
 	}
 	if h.Alloc+size > h.Limit {
 		return 0, false
@@ -227,7 +270,7 @@ func (s *MarkSet) Marked(addr int64) bool {
 func (h *Heap) FinishCollection(copyEnd int64) {
 	h.FromLo, h.ToLo = h.ToLo, h.FromLo
 	h.Alloc = copyEnd
-	h.Limit = h.FromLo + h.semi
+	h.Limit = h.FromLo + h.quota
 	for i := h.Alloc; i < h.Limit; i++ {
 		h.Mem[i] = 0
 	}

@@ -204,3 +204,101 @@ func TestCumulativeCounters(t *testing.T) {
 		t.Errorf("after post-gc alloc: live %d total %d, want 3/6", h.LiveObjects, h.AllocatedObjects)
 	}
 }
+
+// TestQuotaCapsAllocation: a quota below the semispace size caps the
+// usable space, QuotaBlocked distinguishes quota failures from true
+// exhaustion, and the cap survives a semispace flip.
+func TestQuotaCapsAllocation(t *testing.T) {
+	mem := make([]int64, 64+256)
+	dt := types.NewDescTable()
+	recID := dt.Intern(types.NewRecord([]types.Field{{Name: "a", Type: types.IntType}}))
+	h := NewQuota(mem, 64, 64+256, dt, 16) // semi = 128, quota = 16
+
+	if h.Quota() != 16 {
+		t.Fatalf("quota %d, want 16", h.Quota())
+	}
+	if h.Limit != h.FromLo+16 {
+		t.Fatalf("limit %d, want %d", h.Limit, h.FromLo+16)
+	}
+	// Each record is 2 words (header + field): 8 fit, the 9th does not.
+	for i := 0; i < 8; i++ {
+		if _, ok := h.TryAlloc(recID, 0); !ok {
+			t.Fatalf("alloc %d failed inside quota", i)
+		}
+	}
+	if _, ok := h.TryAlloc(recID, 0); ok {
+		t.Fatal("allocation beyond quota succeeded")
+	}
+	if !h.QuotaBlocked(recID, 0) {
+		t.Error("QuotaBlocked false for a quota-capped failure")
+	}
+	// An object too big even for the full semispace is not a quota
+	// failure.
+	arrID := dt.Intern(types.NewOpenArray(types.IntType))
+	if h.QuotaBlocked(arrID, 1000) {
+		t.Error("QuotaBlocked true for an allocation no semispace could hold")
+	}
+	// The cap survives FinishCollection's semispace flip.
+	h.FinishCollection(h.BeginCollection())
+	if h.Limit != h.FromLo+16 {
+		t.Errorf("post-flip limit %d, want %d", h.Limit, h.FromLo+16)
+	}
+}
+
+// TestQuotaUncappedNeverBlocked: without a quota, QuotaBlocked is
+// always false — exhaustion is real out-of-memory.
+func TestQuotaUncappedNeverBlocked(t *testing.T) {
+	h, dt := testHeap(t, 64)
+	recID := dt.Intern(types.NewRecord([]types.Field{{Name: "a", Type: types.IntType}}))
+	for {
+		if _, ok := h.TryAlloc(recID, 0); !ok {
+			break
+		}
+	}
+	if h.QuotaBlocked(recID, 0) {
+		t.Error("QuotaBlocked true on an uncapped heap")
+	}
+}
+
+// TestQuotaSiblingIsolation is the multi-tenant regression: one heap
+// exhausting its quota must leave a sibling heap (its own memory, its
+// own quota) completely untouched.
+func TestQuotaSiblingIsolation(t *testing.T) {
+	dt := types.NewDescTable()
+	recID := dt.Intern(types.NewRecord([]types.Field{{Name: "a", Type: types.IntType}}))
+	newTenant := func() *Heap {
+		return NewQuota(make([]int64, 64+256), 64, 64+256, dt, 16)
+	}
+	a, b := newTenant(), newTenant()
+
+	// Fill b with a recognizable pattern first.
+	addr, ok := b.TryAlloc(recID, 0)
+	if !ok {
+		t.Fatal("sibling alloc failed")
+	}
+	b.Mem[addr+1] = 0x5eed
+	snapshot := append([]int64(nil), b.Mem...)
+
+	// Exhaust a past its quota.
+	for {
+		if _, ok := a.TryAlloc(recID, 0); !ok {
+			break
+		}
+	}
+	if !a.QuotaBlocked(recID, 0) {
+		t.Fatal("tenant a's failure not attributed to its quota")
+	}
+
+	// b's memory and accounting are untouched, and it can still allocate.
+	for i, w := range b.Mem {
+		if w != snapshot[i] {
+			t.Fatalf("sibling word %d changed: %d -> %d", i, snapshot[i], w)
+		}
+	}
+	if b.LiveObjects != 1 || b.Mem[addr+1] != 0x5eed {
+		t.Fatal("sibling accounting or payload damaged")
+	}
+	if _, ok := b.TryAlloc(recID, 0); !ok {
+		t.Error("sibling can no longer allocate")
+	}
+}

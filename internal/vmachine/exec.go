@@ -14,12 +14,9 @@ func (m *Machine) step(t *Thread) error {
 	// Rendezvous: while a collection is pending, other threads park at
 	// their next blocking gc-point (allocations and polls) without
 	// executing it; the requester is already parked.
-	if m.GCRequested && t != m.Requester {
-		switch in.Op {
-		case OpNewRec, OpNewArr, OpNewText, OpGcPoll, OpGcCollect:
-			m.park(t)
-			return nil
-		}
+	if m.GCRequested && t != m.Requester && in.IsPollPoint() {
+		m.park(t)
+		return nil
 	}
 
 	// Stress mode: collect at every allocation/poll gc-point before
@@ -242,6 +239,15 @@ func (m *Machine) step(t *Thread) error {
 	return nil
 }
 
+// allocFailure distinguishes a tenant-quota failure from true space
+// exhaustion once an allocation has failed even after a collection.
+func (m *Machine) allocFailure(desc int, n int64) error {
+	if qc, ok := m.Alloc.(QuotaChecker); ok && qc.QuotaBlocked(desc, n) {
+		return m.trap(TrapQuotaExceeded, "")
+	}
+	return m.trap(TrapOutOfMemory, "")
+}
+
 // allocate implements the NEW instructions, triggering collection when
 // the heap is exhausted.
 func (m *Machine) allocate(t *Thread, rd uint8, desc int, n int64) error {
@@ -253,7 +259,7 @@ func (m *Machine) allocate(t *Thread, rd uint8, desc int, n int64) error {
 	}
 	if t.allocRetried {
 		t.allocRetried = false
-		return m.trap(TrapOutOfMemory, "")
+		return m.allocFailure(desc, n)
 	}
 	if len(m.runnable()) > 1 {
 		// Multi-threaded: request a rendezvous and retry the
@@ -272,7 +278,7 @@ func (m *Machine) allocate(t *Thread, rd uint8, desc int, n int64) error {
 		t.PC++
 		return nil
 	}
-	return m.trap(TrapOutOfMemory, "")
+	return m.allocFailure(desc, n)
 }
 
 func (m *Machine) allocateText(t *Thread, rd uint8, lit int) error {
@@ -291,7 +297,7 @@ func (m *Machine) allocateText(t *Thread, rd uint8, lit int) error {
 	}
 	if t.allocRetried {
 		t.allocRetried = false
-		return m.trap(TrapOutOfMemory, "")
+		return m.allocFailure(m.Prog.TextDesc, int64(len(s)))
 	}
 	if len(m.runnable()) > 1 {
 		m.requestGC(t)
@@ -309,7 +315,7 @@ func (m *Machine) allocateText(t *Thread, rd uint8, lit int) error {
 		t.PC++
 		return nil
 	}
-	return m.trap(TrapOutOfMemory, "")
+	return m.allocFailure(m.Prog.TextDesc, int64(len(s)))
 }
 
 func (m *Machine) putText(addr int64) error {
@@ -347,37 +353,77 @@ func (m *Machine) runnable() []*Thread {
 // Run executes until every thread halts, a trap occurs, or maxSteps
 // instructions have executed (0 means no limit).
 func (m *Machine) Run(maxSteps int64) error {
+	_, err := m.run(maxSteps, 0)
+	return err
+}
+
+// RunFuel executes at most roughly fuel instructions (0 uses
+// Config.Fuel; if that is also 0 it runs to completion), then yields at
+// the current thread's next blocking gc-point: done=false, err=nil, and
+// Yielded set, with the machine resumable by another RunFuel call. The
+// overrun past the budget is bounded by the paper's §5.3 gc-point
+// density guarantee — compile with Options.Multithreaded so loops carry
+// gc-polls. The round-robin position survives the yield, so output and
+// final state are identical no matter how the budget is sliced.
+func (m *Machine) RunFuel(fuel int64) (done bool, err error) {
+	if fuel <= 0 {
+		fuel = m.fuel
+	}
+	return m.run(0, fuel)
+}
+
+// Halted reports whether every thread has finished.
+func (m *Machine) Halted() bool {
+	for _, t := range m.Threads {
+		if !t.Done {
+			return false
+		}
+	}
+	return true
+}
+
+// run is the scheduler shared by Run and RunFuel. The round-robin
+// position (passIdx, passQ) and the pass progress flag live on the
+// Machine, not the stack, so a fuel yield mid-pass resumes exactly
+// where it stopped — the interleaving, and therefore every observable
+// result, is independent of budget slicing.
+func (m *Machine) run(maxSteps, fuel int64) (bool, error) {
+	m.Yielded = false
+	executed := int64(0)
 	if m.Tel != nil {
 		stepsBefore := m.Steps
 		defer func() { m.mSteps.Add(m.Steps - stepsBefore) }()
 	}
 	for {
-		liveCount := 0
-		ranAny := false
-		for _, t := range m.Threads {
-			if t.Done {
-				continue
-			}
-			liveCount++
-			if t.Blocked {
+		for ; m.passIdx < len(m.Threads); m.passIdx, m.passQ = m.passIdx+1, 0 {
+			t := m.Threads[m.passIdx]
+			if t.Done || t.Blocked {
 				continue
 			}
 			m.Cur = t
-			for q := int64(0); q < m.quantum; q++ {
-				if err := m.step(t); err != nil {
-					return err
+			for m.passQ < m.quantum {
+				if fuel > 0 && executed >= fuel && m.Prog.Code[t.PC].IsPollPoint() {
+					m.Yielded = true
+					return false, nil
 				}
-				ranAny = true
+				if err := m.step(t); err != nil {
+					return false, err
+				}
+				executed++
+				m.passQ++
+				m.passRan = true
 				if t.Done || t.Blocked {
 					break
 				}
 				if maxSteps > 0 && m.Steps >= maxSteps {
-					return fmt.Errorf("vmachine: step limit %d exceeded", maxSteps)
+					return false, fmt.Errorf("vmachine: step limit %d exceeded", maxSteps)
 				}
 			}
 		}
-		if liveCount == 0 {
-			return nil
+		ran := m.passRan
+		m.passIdx, m.passQ, m.passRan = 0, 0, false
+		if m.Halted() {
+			return true, nil
 		}
 		if m.GCRequested && m.allParked() {
 			if m.Tel != nil {
@@ -395,7 +441,7 @@ func (m *Machine) Run(maxSteps int64) error {
 			}
 			m.Cur = m.Requester
 			if err := m.Collector.Collect(m); err != nil {
-				return err
+				return false, err
 			}
 			m.GCCount++
 			m.GCRequested = false
@@ -417,8 +463,8 @@ func (m *Machine) Run(maxSteps int64) error {
 			m.Requester = nil
 			continue
 		}
-		if !ranAny {
-			return fmt.Errorf("vmachine: no runnable thread (deadlock)")
+		if !ran {
+			return false, fmt.Errorf("vmachine: no runnable thread (deadlock)")
 		}
 	}
 }

@@ -1,0 +1,151 @@
+package vmachine
+
+import (
+	"strings"
+	"testing"
+)
+
+// loopBody builds a counting loop 0..n-1 that prints each value, with a
+// gc-poll on the back edge (the §5.3 shape that bounds time to a
+// safepoint). Instruction indexes include the 2-instruction prelude
+// (halt, enter) buildProgram adds.
+func loopBody(n int64) []Instr {
+	return []Instr{
+		{Op: OpMovI, Rd: 1, Imm: 0},        // 2
+		{Op: OpMovI, Rd: 2, Imm: n},        // 3
+		{Op: OpCmpGE, Rd: 3, Ra: 1, Rb: 2}, // 4: loop head
+		{Op: OpBT, Ra: 3, Target: 10},      // 5: exit
+		{Op: OpGcPoll},                     // 6
+		{Op: OpPutInt, Ra: 1},              // 7
+		{Op: OpAddI, Rd: 1, Ra: 1, Imm: 1}, // 8
+		{Op: OpJmp, Target: 4},             // 9
+		{Op: OpRet},                        // 10
+	}
+}
+
+// newLoopMachine builds a fresh machine over the loop program with the
+// given spare thread slots spawned on the same procedure.
+func newLoopMachine(t *testing.T, threads int, fuel int64) (*Machine, *strings.Builder) {
+	t.Helper()
+	prog := buildProgram(t, loopBody(10), 0, 8)
+	var sb strings.Builder
+	cfg := Config{HeapWords: 4096, StackWords: 256, MaxThreads: threads, Quantum: 3, Out: &sb, Fuel: fuel}
+	m := New(prog, cfg)
+	m.Alloc = &fixedAlloc{next: m.HeapLo}
+	m.Collector = nopCollector{}
+	for i := 0; i < threads; i++ {
+		if _, err := m.Spawn(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m, &sb
+}
+
+// drain resumes the machine with the given per-slice budget until it
+// halts, returning the number of slices that yielded.
+func drain(t *testing.T, m *Machine, fuel int64) int {
+	t.Helper()
+	yields := 0
+	for i := 0; ; i++ {
+		done, err := m.RunFuel(fuel)
+		if err != nil {
+			t.Fatalf("slice %d: %v", i, err)
+		}
+		if done {
+			if m.Yielded {
+				t.Fatal("done slice still marked Yielded")
+			}
+			return yields
+		}
+		if !m.Yielded {
+			t.Fatalf("slice %d: not done but not yielded", i)
+		}
+		yields++
+		if yields > 10_000 {
+			t.Fatal("machine never halts under fuel slicing")
+		}
+	}
+}
+
+// TestRunFuelDeterministicSlicing is the exact-boundary determinism
+// check: any slicing of the step budget must produce the same output
+// and the same total step count as an unsliced run — including budgets
+// of a single instruction, which yield at every blocking gc-point.
+func TestRunFuelDeterministicSlicing(t *testing.T) {
+	for _, threads := range []int{1, 3} {
+		ref, refOut := newLoopMachine(t, threads, 0)
+		if err := ref.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		for _, fuel := range []int64{1, 2, 3, 5, 7, 13, 64, 1 << 20} {
+			m, out := newLoopMachine(t, threads, 0)
+			yields := drain(t, m, fuel)
+			if out.String() != refOut.String() {
+				t.Errorf("threads=%d fuel=%d: output %q, want %q", threads, fuel, out.String(), refOut.String())
+			}
+			if m.Steps != ref.Steps {
+				t.Errorf("threads=%d fuel=%d: %d steps, want %d", threads, fuel, m.Steps, ref.Steps)
+			}
+			if fuel == 1 && yields == 0 {
+				t.Errorf("threads=%d fuel=1: expected at least one yield", threads)
+			}
+		}
+	}
+}
+
+// TestRunFuelConfigDefault checks RunFuel(0) uses Config.Fuel.
+func TestRunFuelConfigDefault(t *testing.T) {
+	m, _ := newLoopMachine(t, 1, 4)
+	done, err := m.RunFuel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if done || !m.Yielded {
+		t.Fatalf("done=%v yielded=%v; want a yield after Config.Fuel=4 steps", done, m.Yielded)
+	}
+	if drain(t, m, 0) == 0 {
+		t.Error("expected further yields while draining with the default budget")
+	}
+}
+
+// TestRunFuelZeroRunsToCompletion checks that a zero budget (no
+// Config.Fuel either) degrades to a full run.
+func TestRunFuelZeroRunsToCompletion(t *testing.T) {
+	m, out := newLoopMachine(t, 1, 0)
+	done, err := m.RunFuel(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done || m.Yielded {
+		t.Fatalf("done=%v yielded=%v; want completion", done, m.Yielded)
+	}
+	if out.String() != "0123456789" {
+		t.Errorf("output %q", out.String())
+	}
+}
+
+// TestRunFuelNoPollPoints: a body with no blocking gc-points never
+// yields — the budget only takes effect at a safepoint.
+func TestRunFuelNoPollPoints(t *testing.T) {
+	body := []Instr{
+		{Op: OpMovI, Rd: 1, Imm: 41},
+		{Op: OpAddI, Rd: 1, Ra: 1, Imm: 1},
+		{Op: OpPutInt, Ra: 1},
+		{Op: OpRet},
+	}
+	prog := buildProgram(t, body, 0, 8)
+	var sb strings.Builder
+	m := New(prog, Config{HeapWords: 4096, StackWords: 256, MaxThreads: 1, Out: &sb})
+	m.Alloc = &fixedAlloc{next: m.HeapLo}
+	m.Collector = nopCollector{}
+	if _, err := m.Spawn(0); err != nil {
+		t.Fatal(err)
+	}
+	done, err := m.RunFuel(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !done || sb.String() != "42" {
+		t.Errorf("done=%v output=%q; want completed run printing 42", done, sb.String())
+	}
+}

@@ -127,6 +127,20 @@ func (in *Instr) IsGCPoint() bool {
 	return false
 }
 
+// IsPollPoint reports whether this instruction is a blocking gc-point:
+// one where a thread may park for a rendezvous (§5.3) and where a
+// fuel-budgeted machine may yield to its host scheduler. Calls are
+// gc-points but not poll points — a collection "at a call" happens
+// inside the callee, so parking before the call would leave the frame
+// undescribed by the tables.
+func (in *Instr) IsPollPoint() bool {
+	switch in.Op {
+	case OpNewRec, OpNewArr, OpNewText, OpGcPoll, OpGcCollect:
+		return true
+	}
+	return false
+}
+
 // ---------- Byte encoding ----------
 //
 // opcode byte, then operands in a fixed order per opcode:

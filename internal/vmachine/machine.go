@@ -70,6 +70,11 @@ const (
 	TrapBadAddress
 	TrapUnreachable
 	TrapNoCase // CASE selector matched no label and there is no ELSE
+	// TrapQuotaExceeded is raised when an allocation fails because the
+	// machine's per-instance heap quota (not the semispace itself) is
+	// exhausted — a tenant-level failure a multi-tenant host can report
+	// without treating it as machine memory exhaustion.
+	TrapQuotaExceeded
 )
 
 var trapNames = map[TrapCode]string{
@@ -82,6 +87,15 @@ var trapNames = map[TrapCode]string{
 	TrapBadAddress:    "bad memory address",
 	TrapUnreachable:   "unreachable code",
 	TrapNoCase:        "CASE selector matched no label",
+	TrapQuotaExceeded: "heap quota exceeded",
+}
+
+// String names the trap code (the text used in RuntimeError messages).
+func (c TrapCode) String() string {
+	if s, ok := trapNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("trap(%d)", int(c))
 }
 
 // RuntimeError is a trap raised during execution.
@@ -104,6 +118,15 @@ func (e *RuntimeError) Error() string {
 // semispace heap and by the conservative collector's free-list heap).
 type Allocator interface {
 	TryAlloc(descID int, n int64) (addr int64, ok bool)
+}
+
+// QuotaChecker is optionally implemented by allocators that enforce a
+// per-instance quota below their real capacity. After a failed
+// allocation that survived a collection, the machine asks whether the
+// quota (rather than true space exhaustion) blocked it, and raises
+// TrapQuotaExceeded instead of TrapOutOfMemory when so.
+type QuotaChecker interface {
+	QuotaBlocked(descID int, n int64) bool
 }
 
 // Collector is invoked when allocation fails (single-threaded) or when
@@ -158,6 +181,17 @@ type Config struct {
 	// StressGC forces a collection at every gc-point (single-threaded
 	// table validation mode).
 	StressGC bool
+	// Fuel is the default step budget for RunFuel(0): after this many
+	// instructions in one slice the machine yields (not traps) at the
+	// next blocking gc-point, resumable by another RunFuel call. 0
+	// means RunFuel(0) runs to completion. Run ignores it.
+	Fuel int64
+	// HeapQuota caps the words usable per semispace below the
+	// semispace size (0 = no cap). Exceeding it raises
+	// TrapQuotaExceeded, distinct from TrapOutOfMemory, so a
+	// multi-tenant host can bill the failure to the tenant. The driver
+	// reads it when building the heap; the machine itself does not.
+	HeapQuota int64
 	// Tel, when non-nil, receives VM telemetry: per-opcode instruction
 	// counts, rendezvous latency, and per-thread gc-point wait times.
 	Tel *telemetry.Tracer
@@ -205,6 +239,22 @@ type Machine struct {
 	stackWords int64
 	quantum    int64
 
+	// Yielded reports that the last RunFuel call stopped at a blocking
+	// gc-point with budget exhausted (resumable), as opposed to the
+	// machine halting.
+	Yielded bool
+	// fuel is Config.Fuel, the default RunFuel slice budget.
+	fuel int64
+	// passIdx/passQ persist the round-robin scheduler position (thread
+	// index within the current pass, steps consumed of that thread's
+	// quantum) across a yield, so a fuel-sliced run interleaves threads
+	// exactly like an unsliced one.
+	passIdx int
+	passQ   int64
+	// passRan records whether any thread made progress this pass (the
+	// deadlock check), surviving a mid-pass yield.
+	passRan bool
+
 	// Tel, when non-nil, enables the VM probes; every probe is guarded
 	// by a nil check so an untraced machine pays one branch per site.
 	Tel           *telemetry.Tracer
@@ -239,6 +289,7 @@ func New(prog *Program, cfg Config) *Machine {
 		stackNext:  stackBase,
 		stackWords: cfg.StackWords,
 		quantum:    cfg.Quantum,
+		fuel:       cfg.Fuel,
 	}
 	m.SetTracer(cfg.Tel)
 	m.pcSampleEvery = cfg.PCSampleEvery
