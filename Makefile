@@ -8,9 +8,9 @@ GO ?= go
 # targets, so the gate costs about twice this.
 FUZZTIME ?= 15s
 
-.PHONY: check fmt vet vet-gcverify build test race test-all bench-telemetry bench-smoke serve-smoke verify-smoke fuzz-smoke diff-smoke cover
+.PHONY: check fmt vet vet-gcverify lint build test race test-all bench-telemetry bench-smoke serve-smoke verify-smoke heaplive-smoke fuzz-smoke diff-smoke cover
 
-check: fmt vet vet-gcverify build race test-all serve-smoke fuzz-smoke
+check: fmt vet vet-gcverify lint build race test-all serve-smoke fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -25,6 +25,12 @@ vet:
 # there is attributed to the package, not the whole tree.
 vet-gcverify:
 	$(GO) vet ./internal/gcverify/... ./cmd/gcverify/...
+
+# Project-specific static checks (internal/lint): range-over-map in the
+# packages where iteration order would leak into generated code or gc
+# tables and break compile determinism.
+lint:
+	$(GO) run ./cmd/gclint
 
 build:
 	$(GO) build ./...
@@ -64,6 +70,17 @@ serve-smoke:
 # seeds) plus a strided seeded-fault sweep. CI runs this on every push.
 verify-smoke:
 	$(GO) test -short -count=1 -run 'TestProgenCorpus|TestSeededFaults' ./internal/gcverify/
+
+# Compile-time GC smoke: the heap-liveness benchmark (compiles the
+# churn workload with the pass off and on, fails if outputs diverge or
+# the baseline never collects, writes the BENCH_7 measurement), then a
+# short differential sweep — every cell of the matrix already carries
+# the heaplive on/off dimension, so the sweep cross-checks the
+# optimized compiles against the unoptimized reference.
+heaplive-smoke:
+	mkdir -p artifacts
+	$(GO) run ./cmd/paperbench -heaplive -bench7 artifacts/BENCH_7.json
+	$(GO) run ./cmd/difffuzz -n 40 -seed 7 -out artifacts/difffuzz-heaplive
 
 # Fuzz smoke: a short budgeted run of both native fuzz targets — the
 # table decoder against damaged bytes, and the differential matrix

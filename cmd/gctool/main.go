@@ -60,7 +60,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 	c, err := driver.Compile(fs.Arg(0), string(src),
-		driver.Options{Optimize: *optimize, GCSupport: true, Scheme: gctab.DeltaPP})
+		driver.Options{Optimize: *optimize, GCSupport: true, HeapLive: *optimize, Scheme: gctab.DeltaPP})
 	if err != nil {
 		return fail(err)
 	}

@@ -147,7 +147,7 @@ func main() {
 // file, or (by basename) one of the embedded paper benchmarks.
 func load(arg string, optimize, generational bool, scheme gctab.Scheme) (*driver.Compiled, string, error) {
 	name := strings.TrimSuffix(filepath.Base(arg), filepath.Ext(arg))
-	opts := driver.Options{Optimize: optimize, GCSupport: true,
+	opts := driver.Options{Optimize: optimize, GCSupport: true, HeapLive: optimize,
 		Generational: generational, Scheme: scheme}
 	if strings.HasSuffix(arg, ".mxo") {
 		f, err := os.Open(arg)

@@ -114,6 +114,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			GCSupport:     true,
 			Multithreaded: *mt,
 			ElideNonAlloc: *elide,
+			HeapLive:      *optimize,
 			Generational:  *gen,
 			Scheme:        scheme,
 		})

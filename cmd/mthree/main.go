@@ -50,6 +50,7 @@ func main() {
 	gcstats := flag.Bool("gcstats", false, "print collector statistics")
 	schemeName := flag.String("scheme", "delta-pp", "gc table encoding scheme")
 	traceWorkers := flag.Int("trace-workers", 0, "trace-copy workers (0 = one per CPU, 1 = serial)")
+	heapLive := flag.Bool("heaplive", true, "compile-time GC: cell reuse and root-set shrinking")
 	verify := flag.Bool("verify", false, "statically verify the gc tables before running")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -82,6 +83,7 @@ func main() {
 			fatal(err)
 		}
 		opts := driver.Options{Optimize: *optimize, GCSupport: true, Scheme: scheme,
+			HeapLive:     *heapLive,
 			Generational: *collector == "generational", Verify: *verify}
 		c, err = driver.Compile(flag.Arg(0), string(src), opts)
 		if err != nil {

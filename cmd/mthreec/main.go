@@ -35,6 +35,7 @@ func main() {
 	mt := flag.Bool("mt", false, "multithreaded gc-point selection")
 	elide := flag.Bool("elide", false, "elide gc-points at non-allocating calls")
 	split := flag.Bool("split", false, "path splitting instead of path variables")
+	heapLive := flag.Bool("heaplive", true, "compile-time GC: cell reuse and root-set shrinking")
 	verify := flag.Bool("verify", false, "statically verify the emitted gc tables")
 	dumpIR := flag.Bool("ir", false, "dump IR")
 	dumpAsm := flag.Bool("asm", false, "dump assembly")
@@ -57,6 +58,7 @@ func main() {
 		Multithreaded: *mt,
 		ElideNonAlloc: *elide,
 		PathSplitting: *split,
+		HeapLive:      *heapLive,
 		Scheme:        gctab.DeltaPP,
 		Verify:        *verify,
 	}

@@ -9,12 +9,15 @@
 //	-decode    decode cost per gc-point per scheme (δ-main vs full-info)
 //	-cache     decode-cache effect on takl: table bytes read per collection
 //	-parallel  parallel trace-copy: pause phases at trace widths 1/2/4/8
+//	-heaplive  compile-time GC: cell reuse + root shrinking, pass off vs on
 //	-all       everything
 //
 // -snapshot FILE writes the cached takl run's telemetry snapshot (cache
 // hit rate, bytes read/saved) as JSON, for CI artifacts. -bench5 FILE
 // writes the -parallel measurement (per-phase times per worker count,
-// equivalence verdicts) as JSON, for the BENCH_5 CI artifact.
+// equivalence verdicts) as JSON, for the BENCH_5 CI artifact. -bench7
+// FILE writes the -heaplive measurement (collections, copied words,
+// pause deltas) as JSON, for the BENCH_7 CI artifact.
 package main
 
 import (
@@ -39,12 +42,14 @@ func main() {
 	gen := flag.Bool("generational", false, "generational scavenging extension vs full copying")
 	cache := flag.Bool("cache", false, "decode-cache effect on takl (table bytes read per collection)")
 	par := flag.Bool("parallel", false, "parallel trace-copy pause phases at trace widths 1/2/4/8")
+	hl := flag.Bool("heaplive", false, "compile-time GC: cell reuse + root shrinking, pass off vs on")
 	snapshot := flag.String("snapshot", "", "write the cached takl run's telemetry snapshot (JSON) to this file")
 	bench5 := flag.String("bench5", "", "write the parallel trace-copy measurement (JSON) to this file")
+	bench7 := flag.String("bench7", "", "write the compile-time GC measurement (JSON) to this file")
 	all := flag.Bool("all", false, "run everything")
 	flag.Parse()
 	if *all {
-		*t1, *t2, *s62, *s63, *cmp, *dec, *ref, *gen, *cache, *par = true, true, true, true, true, true, true, true, true, true
+		*t1, *t2, *s62, *s63, *cmp, *dec, *ref, *gen, *cache, *par, *hl = true, true, true, true, true, true, true, true, true, true, true
 	}
 	if *snapshot != "" {
 		*cache = true
@@ -52,7 +57,10 @@ func main() {
 	if *bench5 != "" {
 		*par = true
 	}
-	if !*t1 && !*t2 && !*s62 && !*s63 && !*cmp && !*dec && !*ref && !*gen && !*cache && !*par {
+	if *bench7 != "" {
+		*hl = true
+	}
+	if !*t1 && !*t2 && !*s62 && !*s63 && !*cmp && !*dec && !*ref && !*gen && !*cache && !*par && !*hl {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -86,6 +94,41 @@ func main() {
 	if *par {
 		parallelTrace(*bench5)
 	}
+	if *hl {
+		heapLive(*bench7)
+	}
+}
+
+func heapLive(bench7Path string) {
+	fmt.Println("== Compile-time GC: cell reuse + root shrinking (pass off vs on) ==")
+	fmt.Println("(interprocedural heap liveness proves cells dead: same-shape NEWs")
+	fmt.Println(" reinitialize the dead cell in place, and dead frame slots drop out")
+	fmt.Println(" of the gc tables; outputs must be identical either way)")
+	r, err := bench.HeapLiveBenchmark(1<<15, 4000)
+	check(err)
+	fmt.Printf("heap %d words\n", r.HeapWords)
+	fmt.Printf("%9s %6s %5s %7s | %4s %10s %9s %8s %8s\n",
+		"heaplive", "reuse", "dead", "tables", "gcs", "pause", "copied", "frames", "dynreuse")
+	for _, row := range r.Rows {
+		fmt.Printf("%9v %6d %5d %6db | %4d %10v %8dw %8d %8d\n",
+			row.HeapLive, row.ReuseSites, row.DeadEntries, row.TableBytes,
+			row.Collections, row.Pause.Round(time.Microsecond),
+			row.CopiedWords, row.FramesTraced, row.DynamicReuses)
+	}
+	fmt.Printf("outputs identical:        %v\n", r.OutputsMatch)
+	fmt.Printf("copied words off/on:      %.1fx\n", r.CopiedWordsRatio)
+	fmt.Printf("pause time off/on:        %.2fx\n", r.PauseRatio)
+	fmt.Printf("collections saved:        %d\n", r.CollectionsSaved)
+	if !r.OutputsMatch {
+		check(fmt.Errorf("compile-time GC changed program output"))
+	}
+	if bench7Path != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		check(err)
+		check(os.WriteFile(bench7Path, append(data, '\n'), 0o644))
+		fmt.Printf("BENCH_7 measurement written: %s\n", bench7Path)
+	}
+	fmt.Println()
 }
 
 func parallelTrace(bench5Path string) {

@@ -1,0 +1,250 @@
+package analysis
+
+import "repro/internal/ir"
+
+// This file holds the two dataflow problems behind the compile-time GC
+// pass (opt.ReuseCells and codegen's root shrinking): an interprocedural
+// capture analysis over the call graph, and an intraprocedural liveness
+// analysis over frame locals.
+//
+// Both answer the same underlying question — "can this heap reference
+// ever be dereferenced again?" — at different granularities. The capture
+// analysis proves a register-held reference has no aliases the analysis
+// cannot see; the local liveness proves a frame slot's reference is
+// never loaded again on any path.
+
+// Captures is the interprocedural may-capture summary: for each
+// procedure and each of its parameters, whether calling the procedure
+// may create an alias of the parameter's *value* that outlives the
+// call — by storing it into the heap, a global, a frame local, by
+// returning it, or by passing it on to a procedure that captures it.
+//
+// A reference passed only at non-capturing positions can be consumed
+// (the callee may read through it) but acquires no aliases, which is
+// what lets the caller reason locally about the cell's liveness.
+type Captures struct {
+	// Param[i][j] is true if procedure i may capture its j-th argument.
+	Param [][]bool
+}
+
+// Captured reports whether procedure callee may capture argument arg.
+// Out-of-range queries answer true (conservative).
+func (c *Captures) Captured(callee, arg int) bool {
+	if callee < 0 || callee >= len(c.Param) {
+		return true
+	}
+	if arg < 0 || arg >= len(c.Param[callee]) {
+		return true
+	}
+	return c.Param[callee][arg]
+}
+
+// ComputeCaptures runs a bottom-up least fixpoint over the call graph.
+// Summaries start at "captures nothing" and only grow, so the result is
+// the least solution of the monotone system — sound for recursion (a
+// self-call contributes captures only when some acyclic path through
+// the body captures, exactly the may-property wanted).
+//
+// Builtins capture nothing: the Put* routines read their argument
+// during the call and retain no reference.
+func ComputeCaptures(prog *ir.Program) *Captures {
+	c := &Captures{Param: make([][]bool, len(prog.Procs))}
+	for i, p := range prog.Procs {
+		c.Param[i] = make([]bool, p.NumParams)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i, p := range prog.Procs {
+			for j := 0; j < p.NumParams; j++ {
+				if !c.Param[i][j] && procCaptures(p, j, c) {
+					c.Param[i][j] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return c
+}
+
+// procCaptures reports whether p may capture its j-th parameter under
+// the current (growing) summaries. It taints the parameter's register
+// and flows the taint forward: any instruction defining a register from
+// a tainted operand taints the definition (deliberately coarse — over-
+// tainting only costs precision, never soundness).
+func procCaptures(p *ir.Proc, j int, c *Captures) bool {
+	tainted := NewBitSet(p.NumRegs())
+	tainted.Add(j) // parameter j is virtual register j
+	var buf []ir.Reg
+	// Taint propagation to a fixpoint (taint only grows; revisiting
+	// blocks until stable handles loops and any block ordering).
+	for changed := true; changed; {
+		changed = false
+		for _, b := range p.Blocks {
+			for ii := range b.Instrs {
+				in := &b.Instrs[ii]
+				if in.Dst == ir.NoReg || tainted.Has(int(in.Dst)) {
+					continue
+				}
+				switch in.Op {
+				case ir.OpLoad, ir.OpLoadLocal, ir.OpLoadGlobal:
+					// A load's result is cell *content*, not an alias of
+					// the cell: memory could hold the cell's own address
+					// only after a capturing store planted it there, and
+					// that store was flagged (here or in a callee summary)
+					// when it happened — the caller-side dirty/capture
+					// checks keep such cells out of reuse regardless.
+					continue
+				case ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE,
+					ir.OpCmpGT, ir.OpCmpGE:
+					// Comparison results are 0/1, never addresses.
+					continue
+				case ir.OpCall:
+					// A callee returning an alias of an argument captures
+					// it by return, so passing a tainted value there trips
+					// the OpCall check below; a non-capturing callee's
+					// result can never alias the argument.
+					continue
+				}
+				hot := false
+				buf = in.Uses(buf[:0])
+				for _, r := range buf {
+					if tainted.Has(int(r)) {
+						hot = true
+						break
+					}
+				}
+				if !hot {
+					// A derivation of a tainted base reconstructs a
+					// reference into the cell even when the base is not
+					// a direct operand.
+					for _, br := range in.Deriv {
+						if tainted.Has(int(br.Reg)) {
+							hot = true
+							break
+						}
+					}
+				}
+				if hot {
+					tainted.Add(int(in.Dst))
+					changed = true
+				}
+			}
+		}
+	}
+	// Capture checks against the tainted set.
+	for _, b := range p.Blocks {
+		for ii := range b.Instrs {
+			in := &b.Instrs[ii]
+			switch in.Op {
+			case ir.OpStore:
+				if in.B != ir.NoReg && tainted.Has(int(in.B)) {
+					return true
+				}
+			case ir.OpStoreGlobal, ir.OpStoreLocal:
+				if in.A != ir.NoReg && tainted.Has(int(in.A)) {
+					return true
+				}
+			case ir.OpRet:
+				if in.A != ir.NoReg && tainted.Has(int(in.A)) {
+					return true
+				}
+			case ir.OpCall:
+				for k, a := range in.Args {
+					if tainted.Has(int(a)) && c.Captured(in.Callee, k) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// LocalLiveness is the backward heap-liveness solution over a
+// procedure's frame locals: which locals may still be *loaded* on some
+// path from each point. A pointer held in a local that is never loaded
+// again can never be dereferenced again, so the local's pointer slots
+// need not be reported as roots (the codegen root-shrinking consumer).
+//
+// Escape hatch: a local whose address is taken (OpAddrLocal — VAR
+// arguments, dynamic indexing) can be read through the address, so it
+// is pinned live everywhere. Stores are not kills: a store writes one
+// word of a possibly multi-word local, and treating it as a kill of
+// nothing is the sound over-approximation.
+type LocalLiveness struct {
+	Proc *ir.Proc
+	// Escaped[l] is true if local l's address is taken anywhere.
+	Escaped []bool
+	// LiveIn/LiveOut are per-block sets over local indices.
+	LiveIn  []BitSet
+	LiveOut []BitSet
+}
+
+// ComputeLocalLiveness solves the frame-local liveness problem for p.
+func ComputeLocalLiveness(p *ir.Proc) *LocalLiveness {
+	ll := &LocalLiveness{
+		Proc:    p,
+		Escaped: make([]bool, len(p.FrameLocals)),
+		LiveIn:  make([]BitSet, len(p.Blocks)),
+		LiveOut: make([]BitSet, len(p.Blocks)),
+	}
+	n := len(p.FrameLocals)
+	for _, b := range p.Blocks {
+		for ii := range b.Instrs {
+			if b.Instrs[ii].Op == ir.OpAddrLocal {
+				ll.Escaped[b.Instrs[ii].LocalID] = true
+			}
+		}
+	}
+	for _, b := range p.Blocks {
+		ll.LiveIn[b.ID] = NewBitSet(n)
+		ll.LiveOut[b.ID] = NewBitSet(n)
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := len(p.Blocks) - 1; i >= 0; i-- {
+			b := p.Blocks[i]
+			out := ll.LiveOut[b.ID]
+			for _, s := range b.Succs {
+				if out.UnionWith(ll.LiveIn[s.ID]) {
+					changed = true
+				}
+			}
+			in := out.Copy()
+			for j := len(b.Instrs) - 1; j >= 0; j-- {
+				ll.transfer(&b.Instrs[j], in)
+			}
+			for wi := range in {
+				if in[wi] != ll.LiveIn[b.ID][wi] {
+					ll.LiveIn[b.ID][wi] = in[wi]
+					changed = true
+				}
+			}
+		}
+	}
+	return ll
+}
+
+func (ll *LocalLiveness) transfer(in *ir.Instr, cur BitSet) {
+	if in.Op == ir.OpLoadLocal {
+		cur.Add(in.LocalID)
+	}
+}
+
+// LiveAfter walks block b backwards and returns, for each instruction
+// index, the set of locals live immediately after that instruction.
+// Escaped locals are included unconditionally.
+func (ll *LocalLiveness) LiveAfter(b *ir.Block) []BitSet {
+	res := make([]BitSet, len(b.Instrs))
+	cur := ll.LiveOut[b.ID].Copy()
+	for l, esc := range ll.Escaped {
+		if esc {
+			cur.Add(l)
+		}
+	}
+	for i := len(b.Instrs) - 1; i >= 0; i-- {
+		res[i] = cur.Copy()
+		ll.transfer(&b.Instrs[i], cur)
+	}
+	return res
+}

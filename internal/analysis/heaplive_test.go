@@ -1,0 +1,260 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irtest"
+)
+
+// prog wraps hand-built procedures into a Program for ComputeCaptures.
+func prog(bs ...*irtest.B) *ir.Program {
+	p := &ir.Program{}
+	for _, b := range bs {
+		p.Procs = append(p.Procs, b.P)
+	}
+	return p
+}
+
+// A callee that only reads through its parameter captures nothing.
+func TestCapturesReaderIsClean(t *testing.T) {
+	b := irtest.NewProc("reader", ir.ClassPointer)
+	v := b.Load(ir.Reg(0), 1, ir.ClassScalar)
+	b.Ret(v)
+	c := ComputeCaptures(prog(b))
+	if c.Captured(0, 0) {
+		t.Fatal("field load marked the parameter captured")
+	}
+}
+
+// Storing the parameter's value into the heap captures it; storing
+// *through* it (as the address) does not.
+func TestCapturesStore(t *testing.T) {
+	sink := irtest.NewProc("sink", ir.ClassPointer, ir.ClassPointer)
+	sink.Store(ir.Reg(0), 1, ir.Reg(1)) // mem[p0+1] = p1
+	sink.Ret(ir.NoReg)
+	c := ComputeCaptures(prog(sink))
+	if c.Captured(0, 0) {
+		t.Fatal("store base wrongly captured")
+	}
+	if !c.Captured(0, 1) {
+		t.Fatal("stored value not captured")
+	}
+}
+
+// Returning the parameter (directly or via a Mov chain) captures it.
+func TestCapturesReturn(t *testing.T) {
+	id := irtest.NewProc("id", ir.ClassPointer)
+	cp := id.Reg(ir.ClassPointer)
+	id.Emit(ir.Instr{Op: ir.OpMov, Dst: cp, A: ir.Reg(0)})
+	id.Ret(cp)
+	c := ComputeCaptures(prog(id))
+	if !c.Captured(0, 0) {
+		t.Fatal("returned parameter not captured")
+	}
+}
+
+// Comparing the parameter yields a scalar, never an alias.
+func TestCapturesComparisonIsClean(t *testing.T) {
+	b := irtest.NewProc("cmp", ir.ClassPointer, ir.ClassPointer)
+	eq := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpCmpEQ, Dst: eq, A: ir.Reg(0), B: ir.Reg(1)})
+	b.Ret(eq)
+	c := ComputeCaptures(prog(b))
+	if c.Captured(0, 0) || c.Captured(0, 1) {
+		t.Fatal("comparison result treated as an alias")
+	}
+}
+
+// Capture flows transitively through the call graph: passing a
+// parameter to a capturing callee captures it too; passing it to a
+// clean callee does not.
+func TestCapturesTransitive(t *testing.T) {
+	glob := irtest.NewProc("glob", ir.ClassPointer)
+	glob.Emit(ir.Instr{Op: ir.OpStoreGlobal, A: ir.Reg(0), Imm: 0})
+	glob.Ret(ir.NoReg)
+
+	fwd := irtest.NewProc("fwd", ir.ClassPointer)
+	fwd.Emit(ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, Callee: 0, Args: []ir.Reg{ir.Reg(0)}})
+	fwd.Ret(ir.NoReg)
+
+	read := irtest.NewProc("read", ir.ClassPointer)
+	v := read.Load(ir.Reg(0), 1, ir.ClassScalar)
+	read.Ret(v)
+
+	fwdClean := irtest.NewProc("fwdclean", ir.ClassPointer)
+	fwdClean.Emit(ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, Callee: 2, Args: []ir.Reg{ir.Reg(0)}})
+	fwdClean.Ret(ir.NoReg)
+
+	c := ComputeCaptures(prog(glob, fwd, read, fwdClean))
+	if !c.Captured(0, 0) {
+		t.Fatal("global store not captured")
+	}
+	if !c.Captured(1, 0) {
+		t.Fatal("forwarding to a capturing callee not captured")
+	}
+	if c.Captured(2, 0) || c.Captured(3, 0) {
+		t.Fatal("clean forwarding wrongly captured")
+	}
+}
+
+// Self-recursion reaches the least fixpoint: a proc that only passes
+// its parameter to itself (and reads it) captures nothing; one that
+// eventually stores it does.
+func TestCapturesRecursion(t *testing.T) {
+	walk := irtest.NewProc("walk", ir.ClassPointer)
+	nxt := walk.Load(ir.Reg(0), 2, ir.ClassPointer)
+	walk.Emit(ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, Callee: 0, Args: []ir.Reg{nxt}})
+	walk.Ret(ir.NoReg)
+	c := ComputeCaptures(prog(walk))
+	if c.Captured(0, 0) {
+		t.Fatal("clean self-recursion wrongly captured")
+	}
+
+	rec := irtest.NewProc("rec", ir.ClassPointer)
+	rec.Emit(ir.Instr{Op: ir.OpStoreGlobal, A: ir.Reg(0), Imm: 0})
+	rec.Emit(ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, Callee: 0, Args: []ir.Reg{ir.Reg(0)}})
+	rec.Ret(ir.NoReg)
+	c = ComputeCaptures(prog(rec))
+	if !c.Captured(0, 0) {
+		t.Fatal("capturing self-recursion missed")
+	}
+}
+
+// Out-of-range queries (unknown callees, variadic confusion) must
+// answer true.
+func TestCapturesOutOfRange(t *testing.T) {
+	b := irtest.NewProc("p", ir.ClassPointer)
+	b.Ret(ir.NoReg)
+	c := ComputeCaptures(prog(b))
+	if !c.Captured(5, 0) || !c.Captured(0, 9) || !c.Captured(-1, 0) {
+		t.Fatal("out-of-range capture query answered false")
+	}
+}
+
+// Deriving a pointer into the cell propagates taint even though the
+// base is carried in the Deriv record, not a plain operand.
+func TestCapturesDerivedAlias(t *testing.T) {
+	b := irtest.NewProc("deriv", ir.ClassPointer)
+	one := b.Const(1)
+	d := b.AddPtr(ir.Reg(0), one)
+	b.Ret(d)
+	c := ComputeCaptures(prog(b))
+	if !c.Captured(0, 0) {
+		t.Fatal("returned derived pointer not captured")
+	}
+}
+
+func localLivenessProc() *irtest.B {
+	b := irtest.NewProc("locals")
+	b.P.FrameLocals = []ir.FrameLocal{
+		{Name: "a", SizeWords: 1, PtrOffsets: []int64{0}},
+		{Name: "b", SizeWords: 1, PtrOffsets: []int64{0}},
+	}
+	return b
+}
+
+// A local stored then loaded later is live between; after its last
+// load it is dead. Stores are not kills.
+func TestLocalLivenessBasic(t *testing.T) {
+	b := localLivenessProc()
+	p := b.New(0)
+	b.Emit(ir.Instr{Op: ir.OpStoreLocal, LocalID: 0, A: p})
+	b.Poll() // local 0 live across this point (loaded below)
+	v := b.Reg(ir.ClassPointer)
+	b.Emit(ir.Instr{Op: ir.OpLoadLocal, Dst: v, LocalID: 0})
+	b.Poll() // local 0 dead here: never loaded again
+	b.Ret(ir.NoReg)
+
+	ll := ComputeLocalLiveness(b.P)
+	after := ll.LiveAfter(b.P.Entry)
+	// Instruction indexes: 0 new, 1 storelocal, 2 poll, 3 loadlocal, 4 poll, 5 ret.
+	if !after[1].Has(0) || !after[2].Has(0) {
+		t.Fatal("local dead while a later load exists")
+	}
+	if after[3].Has(0) || after[4].Has(0) {
+		t.Fatal("local live after its last load")
+	}
+	if after[0].Has(1) || after[4].Has(1) {
+		t.Fatal("never-loaded local reported live")
+	}
+}
+
+// An address-taken local is pinned live everywhere.
+func TestLocalLivenessEscape(t *testing.T) {
+	b := localLivenessProc()
+	a := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpAddrLocal, Dst: a, LocalID: 1})
+	b.Poll()
+	b.Ret(ir.NoReg)
+
+	ll := ComputeLocalLiveness(b.P)
+	if !ll.Escaped[1] {
+		t.Fatal("address-taken local not marked escaped")
+	}
+	after := ll.LiveAfter(b.P.Entry)
+	for i := range after {
+		if !after[i].Has(1) {
+			t.Fatalf("escaped local dead at %d", i)
+		}
+	}
+	if ll.Escaped[0] {
+		t.Fatal("untouched local marked escaped")
+	}
+}
+
+// Liveness joins across branches: a local loaded on only one
+// successor is still live at the split.
+func TestLocalLivenessJoin(t *testing.T) {
+	b := localLivenessProc()
+	p := b.New(0)
+	b.Emit(ir.Instr{Op: ir.OpStoreLocal, LocalID: 0, A: p})
+	cond := b.Const(1)
+	yes := b.P.NewBlock()
+	no := b.P.NewBlock()
+	b.Br(cond, yes, no)
+
+	b.In(yes)
+	v := b.Reg(ir.ClassPointer)
+	b.Emit(ir.Instr{Op: ir.OpLoadLocal, Dst: v, LocalID: 0})
+	b.Ret(ir.NoReg)
+
+	b.In(no)
+	b.Ret(ir.NoReg)
+
+	ll := ComputeLocalLiveness(b.P)
+	if !ll.LiveOut[b.P.Entry.ID].Has(0) {
+		t.Fatal("local dead at a split with a loading successor")
+	}
+	if ll.LiveIn[no.ID].Has(0) {
+		t.Fatal("local live down the non-loading edge")
+	}
+}
+
+// A loop-carried local (loaded at the top of each iteration) stays
+// live around the back edge.
+func TestLocalLivenessLoop(t *testing.T) {
+	b := localLivenessProc()
+	p := b.New(0)
+	b.Emit(ir.Instr{Op: ir.OpStoreLocal, LocalID: 0, A: p})
+	head := b.P.NewBlock()
+	b.Jmp(head)
+
+	b.In(head)
+	v := b.Reg(ir.ClassPointer)
+	b.Emit(ir.Instr{Op: ir.OpLoadLocal, Dst: v, LocalID: 0})
+	cond := b.Const(1)
+	exit := b.P.NewBlock()
+	b.Br(cond, head, exit)
+
+	b.In(exit)
+	b.Ret(ir.NoReg)
+
+	ll := ComputeLocalLiveness(b.P)
+	if !ll.LiveOut[head.ID].Has(0) {
+		t.Fatal("loop-carried local dead around the back edge")
+	}
+	if ll.LiveIn[exit.ID].Has(0) {
+		t.Fatal("local live after the loop exits")
+	}
+}

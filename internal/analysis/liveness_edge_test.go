@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irtest"
+)
+
+// An unreachable block's uses must not leak into the reachable flow:
+// the fixpoint iterates over every block (no reachability pre-pass),
+// so a use in dead code gets live-in there, but nothing propagates it
+// into entry — and the analysis still terminates.
+func TestLivenessUnreachableBlock(t *testing.T) {
+	b := irtest.NewProc("p")
+	r := b.Reg(ir.ClassPointer)
+	b.ConstInto(r, 0)
+	b.Ret(ir.NoReg)
+
+	// An orphan block (no predecessors) that loads through r.
+	orphan := b.P.NewBlock()
+	b.In(orphan)
+	v := b.Load(r, 1, ir.ClassScalar)
+	b.Ret(v)
+
+	lv := ComputeLiveness(b.P)
+	if !lv.LiveIn[orphan.ID].Has(int(r)) {
+		t.Fatal("use inside the unreachable block not recorded locally")
+	}
+	if lv.LiveOut[b.P.Entry.ID].Has(int(r)) {
+		t.Fatal("unreachable use leaked into the entry block's live-out")
+	}
+}
+
+// At a loop-header join, a register live on the back edge must be live
+// at the header even though the header itself never mentions it — and
+// a derived value circulating in the loop keeps its base alive around
+// the whole cycle (the paper's dead-base rule at join points).
+func TestLivenessLoopHeaderJoin(t *testing.T) {
+	b := irtest.NewProc("p")
+	base := b.New(3)
+	one := b.Const(1)
+	d := b.AddPtr(base, one) // derived from base
+	head := b.P.NewBlock()
+	b.Jmp(head)
+
+	b.In(head)
+	cond := b.Const(1)
+	body := b.P.NewBlock()
+	exit := b.P.NewBlock()
+	b.Br(cond, body, exit)
+
+	b.In(body)
+	v := b.Load(d, 0, ir.ClassScalar) // derived use on the back path
+	_ = v
+	b.Jmp(head)
+
+	b.In(exit)
+	b.Ret(ir.NoReg)
+
+	lv := ComputeLiveness(b.P)
+	if !lv.LiveIn[head.ID].Has(int(d)) {
+		t.Fatal("loop-carried derived register dead at the header join")
+	}
+	if !lv.LiveIn[head.ID].Has(int(base)) {
+		t.Fatal("derived register's base dead at the header join (dead-base rule)")
+	}
+	if lv.LiveIn[exit.ID].Has(int(d)) || lv.LiveIn[exit.ID].Has(int(base)) {
+		t.Fatal("loop registers live after the loop exits")
+	}
+}
+
+// The frame-local analogue: an escaped slot stays pinned at a loop
+// header even when no path in the loop loads it.
+func TestLocalLivenessLoopHeaderEscaped(t *testing.T) {
+	b := irtest.NewProc("p")
+	b.P.FrameLocals = []ir.FrameLocal{{Name: "x", SizeWords: 1, PtrOffsets: []int64{0}}}
+	a := b.Reg(ir.ClassScalar)
+	b.Emit(ir.Instr{Op: ir.OpAddrLocal, Dst: a, LocalID: 0})
+	head := b.P.NewBlock()
+	b.Jmp(head)
+
+	b.In(head)
+	b.Poll()
+	cond := b.Const(1)
+	exit := b.P.NewBlock()
+	b.Br(cond, head, exit)
+
+	b.In(exit)
+	b.Ret(ir.NoReg)
+
+	ll := ComputeLocalLiveness(b.P)
+	after := ll.LiveAfter(head)
+	for i := range after {
+		if !after[i].Has(0) {
+			t.Fatalf("escaped slot dropped at loop-header instruction %d", i)
+		}
+	}
+}
+
+// A procedure whose only gc-point is an OpGcPoll sits exactly on the
+// mayCollect elision boundary: the poll makes it interruptible (so
+// loops through it have a guaranteed gc-point) but it still cannot
+// allocate, so call sites into it remain elidable under ElideNonAlloc.
+func TestGcPollOnlyProcedure(t *testing.T) {
+	b := irtest.NewProc("spin")
+	head := b.P.NewBlock()
+	b.Jmp(head)
+
+	b.In(head)
+	b.Poll()
+	cond := b.Const(1)
+	exit := b.P.NewBlock()
+	b.Br(cond, head, exit)
+
+	b.In(exit)
+	b.Ret(ir.NoReg)
+
+	prog := &ir.Program{Procs: []*ir.Proc{b.P}}
+	ai := ComputeAllocInfo(prog)
+	if ai.Allocates[0] {
+		t.Fatal("a poll-only procedure reported as allocating")
+	}
+
+	dom := ComputeDominators(b.P)
+	loops := FindLoops(b.P, dom)
+	if len(loops) != 1 {
+		t.Fatalf("found %d loops, want 1", len(loops))
+	}
+	if !loops[0].HasGuaranteedGCPoint() {
+		t.Fatal("poll not recognized as the loop's guaranteed gc-point")
+	}
+
+	// A caller of the poll-only procedure is itself non-allocating:
+	// polls do not propagate allocation through the call graph.
+	c := irtest.NewProc("caller")
+	c.Emit(ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, Callee: 0, Args: nil})
+	c.Ret(ir.NoReg)
+	prog2 := &ir.Program{Procs: []*ir.Proc{b.P, c.P}}
+	ai2 := ComputeAllocInfo(prog2)
+	if ai2.Allocates[1] {
+		t.Fatal("calling a poll-only procedure wrongly marked the caller allocating")
+	}
+
+	// Stripping the poll flips the loop verdict: no guaranteed gc-point.
+	for _, blk := range b.P.Blocks {
+		for i := range blk.Instrs {
+			if blk.Instrs[i].Op == ir.OpGcPoll {
+				blk.Instrs = append(blk.Instrs[:i], blk.Instrs[i+1:]...)
+				break
+			}
+		}
+	}
+	loops = FindLoops(b.P, ComputeDominators(b.P))
+	if loops[0].HasGuaranteedGCPoint() {
+		t.Fatal("poll-free loop reported a guaranteed gc-point")
+	}
+}

@@ -1,0 +1,190 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/gctab"
+	"repro/internal/vmachine"
+)
+
+// HeapLiveSource is the BENCH_7 workload: allocation-heavy code shaped
+// so both halves of the compile-time GC pass have something to do.
+//
+//   - Churn allocates eight same-shape records back to back, each dead
+//     before the next is born (read once through a non-capturing call).
+//     With the pass on, seven of the eight NEWs become in-place reuses.
+//   - Work parks ballast lists in a frame-local fixed array, reads them
+//     once, then churns. The array slots are indexed only by constants,
+//     so they stay frame-allocated without their address being taken —
+//     and after the last read the root-shrinking analysis drops them
+//     from every later gc-point's tables, so collections during the
+//     churn loop no longer copy the ballast.
+func HeapLiveSource(rounds, ballastLen int) string {
+	return fmt.Sprintf(`
+MODULE HeapLive;
+CONST Rounds = %d; BallastLen = %d;
+TYPE Node = REF RECORD a, b, c: INTEGER; END;
+TYPE List = REF RECORD head: INTEGER; tail: List; END;
+
+PROCEDURE Sum3(p: Node): INTEGER =
+  BEGIN RETURN p.a + p.b + p.c; END Sum3;
+
+PROCEDURE Listn(n: INTEGER): List =
+  VAR l, c: List; i: INTEGER;
+  BEGIN
+    l := NIL;
+    FOR i := 1 TO n DO
+      c := NEW(List);
+      c.head := i;
+      c.tail := l;
+      l := c;
+    END;
+    RETURN l;
+  END Listn;
+
+PROCEDURE SumList(l: List): INTEGER =
+  VAR s: INTEGER;
+  BEGIN
+    s := 0;
+    WHILE l # NIL DO s := s + l.head; l := l.tail; END;
+    RETURN s;
+  END SumList;
+
+PROCEDURE Churn(v: INTEGER): INTEGER =
+  VAR p: Node; s: INTEGER;
+  BEGIN
+    s := v;
+    p := NEW(Node); p.a := s; p.b := s + 1; p.c := s + 2; s := s + Sum3(p);
+    p := NEW(Node); p.a := s; p.b := s + 3; p.c := s + 4; s := s + Sum3(p);
+    p := NEW(Node); p.a := s; p.b := s + 5; p.c := s + 6; s := s + Sum3(p);
+    p := NEW(Node); p.a := s; p.b := s + 7; p.c := s + 8; s := s + Sum3(p);
+    p := NEW(Node); p.a := s; p.b := s + 9; p.c := s + 10; s := s + Sum3(p);
+    p := NEW(Node); p.a := s; p.b := s + 11; p.c := s + 12; s := s + Sum3(p);
+    p := NEW(Node); p.a := s; p.b := s + 13; p.c := s + 14; s := s + Sum3(p);
+    p := NEW(Node); p.a := s; p.b := s + 15; p.c := s + 16; s := s + Sum3(p);
+    RETURN s MOD 65521;
+  END Churn;
+
+PROCEDURE Work(): INTEGER =
+  VAR ballast: ARRAY [0..7] OF List;
+  VAR i, s: INTEGER;
+  BEGIN
+    ballast[0] := Listn(BallastLen);
+    ballast[1] := Listn(BallastLen);
+    ballast[2] := Listn(BallastLen);
+    ballast[3] := Listn(BallastLen);
+    ballast[4] := Listn(BallastLen);
+    ballast[5] := Listn(BallastLen);
+    ballast[6] := Listn(BallastLen);
+    ballast[7] := Listn(BallastLen);
+    s := SumList(ballast[0]) + SumList(ballast[1])
+       + SumList(ballast[2]) + SumList(ballast[3])
+       + SumList(ballast[4]) + SumList(ballast[5])
+       + SumList(ballast[6]) + SumList(ballast[7]);
+    FOR i := 1 TO Rounds DO
+      s := (s + Churn(i)) MOD 65521;
+    END;
+    RETURN s;
+  END Work;
+
+BEGIN
+  PutInt(Work()); PutLn();
+END HeapLive.
+`, rounds, ballastLen)
+}
+
+// HeapLiveRow is one compile variant's measurement.
+type HeapLiveRow struct {
+	HeapLive      bool          `json:"heap_live"`
+	ReuseSites    int           `json:"reuse_sites"`  // static reuse instructions in the code
+	DeadEntries   int           `json:"dead_entries"` // root-set entries dropped by the analysis
+	TableBytes    int           `json:"table_bytes"`  // encoded δ-pp table size
+	Collections   int64         `json:"collections"`
+	Pause         time.Duration `json:"pause_ns"` // total collector time
+	CopiedWords   int64         `json:"copied_words"`
+	FramesTraced  int64         `json:"frames_traced"`
+	DynamicReuses int64         `json:"dynamic_reuses"` // OpReuse executions
+	Output        string        `json:"-"`
+}
+
+// HeapLiveComparison is the BENCH_7 measurement: the same workload
+// compiled with the compile-time GC pass off and on, run under the
+// precise compacting collector with one heap budget. Outputs must be
+// identical; collections, copied words, and pause time are the paper's
+// motivating deltas (fewer cells born, fewer roots reported).
+type HeapLiveComparison struct {
+	Program          string        `json:"program"`
+	HeapWords        int64         `json:"heap_words"`
+	Rows             []HeapLiveRow `json:"rows"`
+	OutputsMatch     bool          `json:"outputs_match"`
+	CopiedWordsRatio float64       `json:"copied_words_ratio"` // off/on (∞-safe: 0 when on-row copied nothing)
+	PauseRatio       float64       `json:"pause_ratio"`        // off/on
+	CollectionsSaved int64         `json:"collections_saved"`  // off − on
+}
+
+// HeapLiveBenchmark compiles the BENCH_7 workload twice (pass off/on)
+// and measures both under the precise collector.
+func HeapLiveBenchmark(heapWords int64, rounds int) (*HeapLiveComparison, error) {
+	src := HeapLiveSource(rounds, 220)
+	res := &HeapLiveComparison{
+		Program:      "heaplive-churn+ballast",
+		HeapWords:    heapWords,
+		OutputsMatch: true,
+	}
+	for _, hl := range []bool{false, true} {
+		c, err := driver.Compile("heaplive.m3", src, driver.Options{
+			Optimize: true, GCSupport: true, Scheme: gctab.DeltaPP,
+			DecodeCache: true, HeapLive: hl, Verify: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("heaplive (hl=%v): %w", hl, err)
+		}
+		row := HeapLiveRow{HeapLive: hl, TableBytes: c.Encoded.Size()}
+		for _, in := range c.Prog.Code {
+			if in.Op == vmachine.OpReuse {
+				row.ReuseSites++
+			}
+		}
+		for _, pr := range c.Tables.Procs {
+			for _, pt := range pr.Points {
+				row.DeadEntries += len(pt.DeadByAnalysis)
+			}
+		}
+		cfg := vmachine.DefaultConfig()
+		cfg.HeapWords = heapWords
+		var out strings.Builder
+		cfg.Out = &out
+		m, col, err := c.NewMachine(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Run(0); err != nil {
+			return nil, fmt.Errorf("heaplive (hl=%v): %w", hl, err)
+		}
+		row.Collections = col.Collections
+		row.Pause = col.TotalTime
+		row.CopiedWords = col.WordsCopied
+		row.FramesTraced = col.FramesTraced
+		row.DynamicReuses = m.Reuses
+		row.Output = out.String()
+		res.Rows = append(res.Rows, row)
+	}
+	off, on := res.Rows[0], res.Rows[1]
+	if off.Collections == 0 {
+		return nil, fmt.Errorf("heaplive baseline never collected; grow rounds or shrink the heap")
+	}
+	if on.Output != off.Output {
+		res.OutputsMatch = false
+	}
+	if on.CopiedWords > 0 {
+		res.CopiedWordsRatio = float64(off.CopiedWords) / float64(on.CopiedWords)
+	}
+	if on.Pause > 0 {
+		res.PauseRatio = float64(off.Pause) / float64(on.Pause)
+	}
+	res.CollectionsSaved = off.Collections - on.Collections
+	return res, nil
+}

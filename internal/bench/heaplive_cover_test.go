@@ -1,0 +1,33 @@
+package bench
+
+import "testing"
+
+// TestHeapLiveBenchmark pins the BENCH_7 entry point in CI with a small
+// heap and round count: the off/on compiles must agree on output, the
+// optimized compile must actually rewrite sites and shrink tables, and
+// the copied-word total must drop.
+func TestHeapLiveBenchmark(t *testing.T) {
+	r, err := HeapLiveBenchmark(1<<14, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OutputsMatch {
+		t.Fatalf("off/on outputs diverge: %q vs %q", r.Rows[0].Output, r.Rows[1].Output)
+	}
+	off, on := r.Rows[0], r.Rows[1]
+	if on.ReuseSites == 0 {
+		t.Error("optimized compile rewrote no allocation sites")
+	}
+	if on.DeadEntries == 0 {
+		t.Error("optimized compile shrank no gc-table entries")
+	}
+	if on.DynamicReuses == 0 {
+		t.Error("optimized run executed no reuses")
+	}
+	if off.Collections == 0 {
+		t.Fatal("baseline never collected; heap too large for the workload")
+	}
+	if on.CopiedWords >= off.CopiedWords {
+		t.Errorf("copied words did not drop: %d -> %d", off.CopiedWords, on.CopiedWords)
+	}
+}

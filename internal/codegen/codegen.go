@@ -40,6 +40,11 @@ type Options struct {
 	// stores into memory — the store checks generational schemes
 	// perform (§6.2).
 	Generational bool
+	// HeapLive shrinks the emitted root sets using frame-local heap
+	// liveness: pointer slots of locals that can never be loaded again
+	// are omitted from gc-point tables (recorded in the tables'
+	// DeadByAnalysis channel for the static verifier).
+	HeapLive bool
 }
 
 // Generate compiles the IR program into a linked VM program plus its gc

@@ -127,6 +127,13 @@ func (pg *procGen) emitInstr(b *ir.Block, ii int, liveAfter analysis.BitSet) err
 		idx := pg.ins(vmachine.Instr{Op: vmachine.OpNewText, Rd: rd, Desc: int(in.Imm)})
 		pg.recordPoint(in, liveAfter, idx)
 		pg.finishDef(in.Dst, rd)
+	case ir.OpReuse:
+		// Compile-time GC: reinitialize a dead same-shape cell in place.
+		// Not a gc-point — no table is recorded.
+		ra := pg.use(in.A, 0)
+		rd := pg.defTarget(in.Dst, 1)
+		pg.ins(vmachine.Instr{Op: vmachine.OpReuse, Rd: rd, Ra: ra, Desc: int(in.Imm)})
+		pg.finishDef(in.Dst, rd)
 	case ir.OpGcPoll:
 		idx := pg.ins(vmachine.Instr{Op: vmachine.OpGcPoll})
 		pg.recordPoint(in, liveAfter, idx)
@@ -212,9 +219,22 @@ func (pg *procGen) recordPoint(in *ir.Instr, liveAfter analysis.BitSet, vmIdx in
 		return
 	}
 	pt := gctab.GCPoint{}
-	// Frame-local pointer slots are always described (they are
-	// nil-initialized at entry).
-	pt.Live = append(pt.Live, pg.frameGrnd...)
+	// Frame-local pointer slots are described whenever the local may
+	// still be read; with root shrinking (Options.HeapLive) the slots of
+	// a local that can never be loaded again are dropped from the live
+	// set and recorded in the never-encoded DeadByAnalysis channel, so
+	// the static verifier knows the omission is a proof, not a bug.
+	if pg.ll == nil {
+		pt.Live = append(pt.Live, pg.frameGrnd...)
+	} else {
+		for li := range pg.p.FrameLocals {
+			if pg.curLocalLive.Has(li) {
+				pt.Live = append(pt.Live, pg.localGrnd[li]...)
+			} else {
+				pt.DeadByAnalysis = append(pt.DeadByAnalysis, pg.localLocs[li]...)
+			}
+		}
+	}
 
 	atCall := in.Op == ir.OpCall
 

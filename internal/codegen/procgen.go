@@ -27,6 +27,14 @@ type procGen struct {
 	ground    []gctab.Location
 	groundIdx map[gctab.Location]int
 	frameGrnd []int // ground indices of frame-local pointer slots (always live)
+
+	// Root shrinking (Options.HeapLive): per-local ground indices and
+	// locations, the frame-local liveness solution, and the local set
+	// live after the instruction currently being emitted.
+	localGrnd    [][]int
+	localLocs    [][]gctab.Location
+	ll           *analysis.LocalLiveness
+	curLocalLive analysis.BitSet
 }
 
 func newProcGen(g *moduleGen, pi int, p *ir.Proc) *procGen {
@@ -63,11 +71,18 @@ func (pg *procGen) emit() ([]int, []pendingPoint, error) {
 
 	// Pre-register frame-local pointer slots in the ground table: they
 	// are zero-initialized by irgen at entry and described at every
-	// gc-point.
+	// gc-point (unless root shrinking proves a local dead).
+	if g.opts.HeapLive && g.opts.GCSupport {
+		pg.ll = analysis.ComputeLocalLiveness(p)
+	}
+	pg.localGrnd = make([][]int, len(p.FrameLocals))
+	pg.localLocs = make([][]gctab.Location, len(p.FrameLocals))
 	for li := range p.FrameLocals {
 		for _, off := range p.FrameLocals[li].PtrOffsets {
 			loc := gctab.Location{Base: gctab.BaseFP, Off: pg.localOff[li] + int32(off)}
 			pg.frameGrnd = append(pg.frameGrnd, pg.groundIndex(loc))
+			pg.localGrnd[li] = append(pg.localGrnd[li], pg.groundIndex(loc))
+			pg.localLocs[li] = append(pg.localLocs[li], loc)
 		}
 	}
 
@@ -75,7 +90,14 @@ func (pg *procGen) emit() ([]int, []pendingPoint, error) {
 	for bi, b := range p.Blocks {
 		starts[b.ID] = len(g.code)
 		liveAfter := pg.lv.LiveAfter(b)
+		var localAfter []analysis.BitSet
+		if pg.ll != nil {
+			localAfter = pg.ll.LiveAfter(b)
+		}
 		for ii := range b.Instrs {
+			if localAfter != nil {
+				pg.curLocalLive = localAfter[ii]
+			}
 			if err := pg.emitInstr(b, ii, liveAfter[ii]); err != nil {
 				return nil, nil, err
 			}

@@ -45,11 +45,18 @@ type Cell struct {
 	// (mark, copy, fixup). Conservative cells ignore it (mark-sweep has
 	// no copy phase); the matrix only varies it for gc and gengc.
 	TraceWorkers int
+	// HeapLive selects the compile with the compile-time GC pass (cell
+	// reuse + root shrinking) enabled. A compile-time dimension: cells
+	// differing only in HeapLive run different code and tables, so they
+	// are compared against the reference output but form separate
+	// determinism groups (reuse changes allocation counts and heap
+	// images by design).
+	HeapLive bool
 }
 
 func (c Cell) String() string {
-	return fmt.Sprintf("%s/%s/cache=%v/workers=%d/tw=%d",
-		c.Collector, c.Scheme, c.Cache, c.Workers, c.TraceWorkers)
+	return fmt.Sprintf("%s/%s/cache=%v/workers=%d/tw=%d/heaplive=%v",
+		c.Collector, c.Scheme, c.Cache, c.Workers, c.TraceWorkers, c.HeapLive)
 }
 
 // traceWidthsFor returns the trace-copy pool widths the matrix explores
@@ -64,7 +71,8 @@ func traceWidthsFor(collector string) []int {
 }
 
 // Matrix returns the full {collector × scheme × cache × workers ×
-// trace-workers} product over the given schemes (AllSchemes when nil).
+// trace-workers × heaplive} product over the given schemes (AllSchemes
+// when nil).
 func Matrix(schemes []gctab.Scheme) []Cell {
 	if schemes == nil {
 		schemes = AllSchemes
@@ -75,8 +83,11 @@ func Matrix(schemes []gctab.Scheme) []Cell {
 			for _, cache := range []bool{false, true} {
 				for _, workers := range []int{1, 8} {
 					for _, tw := range traceWidthsFor(col) {
-						cells = append(cells, Cell{Collector: col, Scheme: s,
-							Cache: cache, Workers: workers, TraceWorkers: tw})
+						for _, hl := range []bool{false, true} {
+							cells = append(cells, Cell{Collector: col, Scheme: s,
+								Cache: cache, Workers: workers, TraceWorkers: tw,
+								HeapLive: hl})
+						}
 					}
 				}
 			}
@@ -266,40 +277,46 @@ func Execute(seed int64, src string, cfg Config) *Result {
 		return res
 	}
 
-	// One compile per scheme, shared by all three collectors (the
-	// generational store checks are inert under the others).
+	// One compile per {scheme, heaplive}, shared by all three collectors
+	// (the generational store checks are inert under the others).
 	compiled := make(map[string]*driver.Compiled)
+	ckey := func(s gctab.Scheme, hl bool) string {
+		return fmt.Sprintf("%s/heaplive=%v", s, hl)
+	}
 	for _, s := range cfg.schemes() {
-		c, err := driver.Compile("fuzz.m3", src, driver.Options{
-			Optimize: true, GCSupport: true, Generational: true, Scheme: s,
-		})
-		if err != nil {
-			add(Finding{Kind: KindCompile, Cell: Cell{Scheme: s}, Detail: err.Error()})
-			return res
-		}
-		if cfg.Corrupt != nil && len(c.Encoded.Bytes) > 0 {
-			c.Encoded.Bytes[cfg.Corrupt.Off%len(c.Encoded.Bytes)] ^= cfg.Corrupt.Mask
-		}
-		compiled[s.String()] = c
-
-		if !cfg.SkipVerify {
-			rep := gcverify.Verify(c.Prog, c.Encoded, gcverify.Options{Object: c.Tables})
-			if !rep.OK() {
-				add(Finding{Kind: KindVerify, Cell: Cell{Scheme: s},
-					Detail: fmt.Sprintf("%d findings; first: %s", len(rep.Findings), rep.Findings[0])})
+		for _, hl := range []bool{false, true} {
+			c, err := driver.Compile("fuzz.m3", src, driver.Options{
+				Optimize: true, GCSupport: true, Generational: true, Scheme: s,
+				HeapLive: hl,
+			})
+			if err != nil {
+				add(Finding{Kind: KindCompile, Cell: Cell{Scheme: s, HeapLive: hl}, Detail: err.Error()})
+				return res
 			}
-		}
-		if !cfg.SkipCacheCheck {
-			if err := gctab.VerifyCacheTransparency(c.Encoded); err != nil {
-				add(Finding{Kind: KindCache, Cell: Cell{Scheme: s}, Detail: err.Error()})
+			if cfg.Corrupt != nil && len(c.Encoded.Bytes) > 0 {
+				c.Encoded.Bytes[cfg.Corrupt.Off%len(c.Encoded.Bytes)] ^= cfg.Corrupt.Mask
+			}
+			compiled[ckey(s, hl)] = c
+
+			if !cfg.SkipVerify {
+				rep := gcverify.Verify(c.Prog, c.Encoded, gcverify.Options{Object: c.Tables})
+				if !rep.OK() {
+					add(Finding{Kind: KindVerify, Cell: Cell{Scheme: s, HeapLive: hl},
+						Detail: fmt.Sprintf("%d findings; first: %s", len(rep.Findings), rep.Findings[0])})
+				}
+			}
+			if !cfg.SkipCacheCheck {
+				if err := gctab.VerifyCacheTransparency(c.Encoded); err != nil {
+					add(Finding{Kind: KindCache, Cell: Cell{Scheme: s, HeapLive: hl}, Detail: err.Error()})
+				}
 			}
 		}
 	}
 
 	// Run the matrix.
-	groups := make(map[string][]cellResult) // collector -> results
+	groups := make(map[string][]cellResult) // collector/heaplive -> results
 	for _, cell := range cfg.cells() {
-		c, ok := compiled[cell.Scheme.String()]
+		c, ok := compiled[ckey(cell.Scheme, cell.HeapLive)]
 		if !ok {
 			continue // scheme outside cfg.Schemes
 		}
@@ -316,12 +333,14 @@ func Execute(seed int64, src string, cfg Config) *Result {
 			add(Finding{Kind: KindOutput, Cell: cell,
 				Detail: fmt.Sprintf("output %q, reference %q", clip(r.out), clip(refOut))})
 		}
-		groups[cell.Collector] = append(groups[cell.Collector], r)
+		gk := fmt.Sprintf("%s/heaplive=%v", cell.Collector, cell.HeapLive)
+		groups[gk] = append(groups[gk], r)
 	}
 
-	// Within a collector, scheme/cache/workers/trace-workers must be
-	// invisible: identical collection counts and bitwise-identical final
-	// heaps.
+	// Within a {collector, heaplive} group, scheme/cache/workers/
+	// trace-workers must be invisible: identical collection counts and
+	// bitwise-identical final heaps. HeapLive splits the groups because
+	// cell reuse legitimately changes both.
 	for _, col := range sortedKeys(groups) {
 		g := groups[col]
 		base := g[0]

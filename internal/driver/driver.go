@@ -44,6 +44,12 @@ type Options struct {
 	// Generational compiles store checks (write barriers) so the
 	// program can run under the generational collector.
 	Generational bool
+	// HeapLive enables the compile-time GC pass (default in
+	// NewOptions): cell reuse for allocations whose descriptor matches
+	// a provably dead cell, and root shrinking for frame locals whose
+	// heap references can never be dereferenced again. Requires
+	// Optimize and GCSupport to have an effect.
+	HeapLive bool
 	// Scheme is the table encoding used by the collector.
 	Scheme gctab.Scheme
 	// Verify runs the static gc-table verifier (internal/gcverify) in
@@ -68,9 +74,10 @@ type Options struct {
 }
 
 // NewOptions returns the default configuration: optimized, gc support
-// on, δ-main with packing and previous-descriptors, decode cache on.
+// on, compile-time GC (heap liveness) on, δ-main with packing and
+// previous-descriptors, decode cache on.
 func NewOptions() Options {
-	return Options{Optimize: true, GCSupport: true, Scheme: gctab.DeltaPP, DecodeCache: true}
+	return Options{Optimize: true, GCSupport: true, HeapLive: true, Scheme: gctab.DeltaPP, DecodeCache: true}
 }
 
 // Compiled is the result of a compilation. One Compiled may instantiate
@@ -110,12 +117,14 @@ func Compile(name, src string, opts Options) (*Compiled, error) {
 		Level:         level,
 		GCSupport:     opts.GCSupport,
 		PathSplitting: opts.PathSplitting,
+		HeapLive:      opts.HeapLive,
 	})
 	vmProg, tables, err := codegen.Generate(irp, codegen.Options{
 		GCSupport:     opts.GCSupport,
 		Multithreaded: opts.Multithreaded,
 		ElideNonAlloc: opts.ElideNonAlloc,
 		Generational:  opts.Generational,
+		HeapLive:      opts.HeapLive,
 	})
 	if err != nil {
 		return nil, err

@@ -79,6 +79,12 @@ type GCPoint struct {
 	// verifier's strict mode uses it to prove a listed slot stale
 	// (a scalar slot in a pointer table would be compacted to garbage).
 	DebugScalars []Location
+	// DeadByAnalysis lists frame slots that hold heap references the
+	// compile-time GC pass proved can never be dereferenced again, and
+	// which were therefore dropped from Live. Never encoded; the static
+	// verifier's strict mode uses it to tell an intentional root
+	// omission from a missing-root bug.
+	DeadByAnalysis []Location
 }
 
 // RegSave records that the procedure's prologue saves a callee-save

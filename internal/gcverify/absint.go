@@ -452,6 +452,11 @@ func (it *interp) transfer(idx int, σ *state) {
 		it.doCall(idx, σ)
 	case vmachine.OpNewRec, vmachine.OpNewArr, vmachine.OpNewText:
 		σ.regs[in.Rd] = symVal(it.getSym(symKey{kind: kAlloc, idx: int32(idx)}, classHeap))
+	case vmachine.OpReuse:
+		// The reused cell keeps its address: the result is the consumed
+		// pointer's value (a tidy heap pointer under the same symbolic
+		// identity).
+		σ.regs[in.Rd] = σ.regs[in.Ra]
 	case vmachine.OpEnter:
 		// Enter only belongs at the procedure's first instruction; the
 		// entry check reports a mid-procedure one.

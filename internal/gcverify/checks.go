@@ -212,7 +212,41 @@ func (ck *procCheck) checkStrict() {
 				ck.addf(KindDebugScalar, rp.PC, "compiler-known scalar at %v listed in the pointer tables", sc)
 			}
 		}
+		// A slot the heap-liveness pass dropped as a root must actually
+		// be absent: an entry for it would mean the shrinking never
+		// happened (or the encoder resurrected it).
+		for _, dl := range pt.DeadByAnalysis {
+			if ck.locListed(rp, dl) {
+				ck.addf(KindDeadRoot, rp.PC, "analysis-dead slot %v still listed in the pointer tables", dl)
+			}
+		}
 	}
+}
+
+// deadByAnalysis returns the compiler's dead-by-analysis set for the
+// in-memory object point matching rp, or nil when unavailable (no
+// strict-mode object, or nothing was dropped at this point).
+func (ck *procCheck) deadByAnalysis(rp *gctab.RawPoint) map[lkey]bool {
+	if ck.obj == nil {
+		return nil
+	}
+	for i := range ck.obj.Points {
+		if ck.obj.Points[i].PC != rp.PC {
+			continue
+		}
+		dba := ck.obj.Points[i].DeadByAnalysis
+		if len(dba) == 0 {
+			return nil
+		}
+		m := make(map[lkey]bool, len(dba))
+		for _, l := range dba {
+			if lk, ok := ck.locKey(l); ok {
+				m[lk] = true
+			}
+		}
+		return m
+	}
+	return nil
 }
 
 // locListed reports whether the decoded point's tables mention l as a
@@ -386,7 +420,10 @@ func (ck *procCheck) checkPoint(rp *gctab.RawPoint) {
 	ck.checkDerivs(rp, idx, σ, atCall, listed)
 
 	// Live tidy pointers must be listed (C1) and live derived values
-	// must have derivation entries (C2).
+	// must have derivation entries (C2). A slot the compiler's
+	// heap-liveness pass proved dead (DeadByAnalysis) is exempt: the
+	// omission is the root-shrinking optimization, not a missing root.
+	dead := ck.deadByAnalysis(rp)
 	var acrossKeys []lkey
 	for lk := range ck.lv.liveAcross(idx) {
 		acrossKeys = append(acrossKeys, lk)
@@ -395,7 +432,7 @@ func (ck *procCheck) checkPoint(rp *gctab.RawPoint) {
 	for _, lk := range acrossKeys {
 		v := σ.get(lk)
 		if s, ok := tidySym(v); ok {
-			if it.ptrClass(s) && !listed[lk] && !derivTargets[lk] {
+			if it.ptrClass(s) && !listed[lk] && !derivTargets[lk] && !dead[lk] {
 				ck.addf(KindMissing, rp.PC, "live tidy pointer in %s not listed", keyName(ck, lk))
 			}
 			continue

@@ -134,7 +134,7 @@ func (lv *liveInfo) usesDefs(idx int) (uses, defs []lkey) {
 		}
 	case vmachine.OpNewRec, vmachine.OpNewText:
 		defs = append(defs, regKey(in.Rd))
-	case vmachine.OpNewArr:
+	case vmachine.OpNewArr, vmachine.OpReuse:
 		uses = append(uses, regKey(in.Ra))
 		defs = append(defs, regKey(in.Rd))
 	case vmachine.OpPutInt, vmachine.OpPutChar, vmachine.OpPutText, vmachine.OpChkNil:

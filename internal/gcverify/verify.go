@@ -44,6 +44,7 @@ const (
 	KindCode                     // code malformed (bad target, missing enter)
 	KindStrict                   // decoded tables differ from compiler's object
 	KindDebugScalar              // compiler-known scalar listed as a pointer
+	KindDeadRoot                 // analysis-dead location still listed in the tables
 )
 
 var kindNames = map[Kind]string{
@@ -53,6 +54,7 @@ var kindNames = map[Kind]string{
 	KindBadDeriv: "bad-deriv", KindDerivOrder: "deriv-order",
 	KindCallerSave: "caller-save", KindSave: "save", KindCode: "code",
 	KindStrict: "strict", KindDebugScalar: "debug-scalar",
+	KindDeadRoot: "dead-root",
 }
 
 func (k Kind) String() string {

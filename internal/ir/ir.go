@@ -93,6 +93,7 @@ const (
 	OpCallBuiltin // Dst? = Builtin(Args...) — runtime routine, statically non-allocating
 	OpNew         // Dst = allocate descriptor Imm (A = element count for open arrays) — gc-point
 	OpText        // Dst = allocate text literal Imm — gc-point
+	OpReuse       // Dst = reinitialize the provably dead cell A (descriptor Imm) in place — NOT a gc-point
 	OpGcPoll      // voluntary gc-point inserted in loops (multithreaded mode)
 
 	OpTrap // unconditional checked runtime error (Imm = trap code)
@@ -112,7 +113,8 @@ var opNames = [...]string{
 	OpAddrLocal: "addrl", OpLoadLocal: "loadl", OpStoreLocal: "storel",
 	OpCheckNil: "checknil", OpCheckRange: "checkrange", OpCheckIdx: "checkidx",
 	OpCall: "call", OpCallBuiltin: "callb", OpNew: "new", OpText: "text",
-	OpGcPoll: "gcpoll", OpTrap: "trap", OpRet: "ret", OpJmp: "jmp", OpBr: "br",
+	OpReuse: "reuse", OpGcPoll: "gcpoll", OpTrap: "trap", OpRet: "ret",
+	OpJmp: "jmp", OpBr: "br",
 }
 
 func (o Op) String() string {
@@ -171,7 +173,7 @@ func (in *Instr) Normalize() {
 	switch in.Op {
 	case OpConst, OpAddrGlobal, OpLoadGlobal, OpAddrLocal, OpLoadLocal, OpText:
 		defsDst = true
-	case OpMov, OpNeg, OpNot, OpAbs, OpLoad, OpAddImm:
+	case OpMov, OpNeg, OpNot, OpAbs, OpLoad, OpAddImm, OpReuse:
 		defsDst, usesA = true, true
 	case OpAdd, OpSub, OpMul, OpDiv, OpMod, OpMin, OpMax,
 		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE:
@@ -470,6 +472,8 @@ func (p *Proc) InstrString(in *Instr, blk *Block) string {
 		if in.A != NoReg {
 			fmt.Fprintf(&b, " len=%s", reg(in.A))
 		}
+	case OpReuse:
+		fmt.Fprintf(&b, " %s desc%d", reg(in.A), in.Imm)
 	case OpText:
 		fmt.Fprintf(&b, " lit%d", in.Imm)
 	case OpJmp:

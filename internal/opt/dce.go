@@ -29,6 +29,7 @@ func DCE(p *ir.Proc, gcSupport bool) {
 			}
 		}
 		if gcSupport {
+			// gclint:ordered commutative use-count increments.
 			for _, pv := range p.PathVars {
 				uses[pv.Sel]++
 				for _, v := range pv.Variants {
@@ -46,7 +47,7 @@ func DCE(p *ir.Proc, gcSupport bool) {
 				if in.Dst == ir.NoReg || uses[in.Dst] > 0 {
 					continue
 				}
-				if isPure(in.Op) || in.Op == ir.OpNew || in.Op == ir.OpText {
+				if isPure(in.Op) || in.Op == ir.OpNew || in.Op == ir.OpText || in.Op == ir.OpReuse {
 					dead[i] = true
 					removed = true
 				}

@@ -1,0 +1,86 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irtest"
+)
+
+func countGCPoints(p *ir.Proc) int {
+	n := 0
+	for _, b := range p.Blocks {
+		for i := range b.Instrs {
+			if b.Instrs[i].IsGCPoint() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// An allocation whose result is never used is deleted outright — the
+// cheapest form of compile-time GC — and with it goes its gc-point, so
+// the emitted tables shrink too. The used allocation stays.
+func TestDCEDeadAllocation(t *testing.T) {
+	b := irtest.NewProc("p")
+	b.New(3) // dead: result unused
+	live := b.New(4)
+	v := b.Load(live, 1, ir.ClassScalar)
+	b.Ret(v)
+
+	before := countGCPoints(b.P)
+	DCE(b.P, true)
+	after := countGCPoints(b.P)
+
+	if c := countOps(b.P, ir.OpNew); c != 1 {
+		t.Fatalf("%d allocations survive, want 1 (dead one deleted)", c)
+	}
+	if after != before-1 {
+		t.Fatalf("gc-points %d -> %d, want exactly the dead allocation's point gone", before, after)
+	}
+}
+
+// A dead reuse site deletes like a dead allocation (it defines a
+// register, allocates nothing, and is not a gc-point).
+func TestDCEDeadReuse(t *testing.T) {
+	b := irtest.NewProc("p")
+	one := b.Const(1)
+	r1 := b.New(7)
+	b.Store(r1, 1, one)
+	r2 := b.New(7)
+	b.Store(r2, 1, one)
+	b.Ret(ir.NoReg)
+	p := &ir.Program{Procs: []*ir.Proc{b.P}}
+	if n := ReuseCells(p); n != 1 {
+		t.Fatalf("setup: rewrites = %d, want 1", n)
+	}
+	// Now make the reuse result dead by deleting its store... instead,
+	// build the dead-reuse shape directly: reuse whose Dst is unused.
+	b2 := irtest.NewProc("q")
+	r := b2.New(7)
+	dead := b2.Reg(ir.ClassPointer)
+	b2.Emit(ir.Instr{Op: ir.OpReuse, Dst: dead, A: r, Imm: 7})
+	b2.Ret(ir.NoReg)
+	DCE(b2.P, true)
+	if c := countOps(b2.P, ir.OpReuse); c != 0 {
+		t.Fatalf("%d dead reuse sites survive DCE", c)
+	}
+}
+
+// The full optimizer pipeline on a procedure whose only allocation is
+// dead leaves zero allocations and zero gc-points — the tables for it
+// are empty.
+func TestOptimizeRemovesDeadAllocationEntirely(t *testing.T) {
+	b := irtest.NewProc("p")
+	b.New(3)
+	b.Ret(ir.NoReg)
+	prog := &ir.Program{Procs: []*ir.Proc{b.P}}
+	Optimize(prog, Options{Level: 1, GCSupport: true})
+	if c := countOps(b.P, ir.OpNew); c != 0 {
+		t.Fatalf("%d dead allocations survive the pipeline", c)
+	}
+	if n := countGCPoints(b.P); n != 0 {
+		t.Fatalf("%d gc-points survive in an allocation-free procedure", n)
+	}
+}

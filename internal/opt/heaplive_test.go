@@ -1,0 +1,249 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/ir"
+	"repro/internal/irtest"
+)
+
+// reuseProg wraps the procedures into a Program and runs the pass.
+func reuseProg(bs ...*irtest.B) int {
+	p := &ir.Program{}
+	for _, b := range bs {
+		p.Procs = append(p.Procs, b.P)
+	}
+	return ReuseCells(p)
+}
+
+// Two same-shape allocations, the first dead before the second: the
+// second becomes an in-place reuse of the first.
+func TestReuseStraightLine(t *testing.T) {
+	b := irtest.NewProc("p")
+	one := b.Const(1)
+	r1 := b.New(7)
+	b.Store(r1, 1, one)
+	r2 := b.New(7)
+	b.Store(r2, 1, one)
+	b.Ret(ir.NoReg)
+
+	if n := reuseProg(b); n != 1 {
+		t.Fatalf("rewrites = %d, want 1", n)
+	}
+	var reuse *ir.Instr
+	for i := range b.P.Entry.Instrs {
+		if b.P.Entry.Instrs[i].Op == ir.OpReuse {
+			reuse = &b.P.Entry.Instrs[i]
+		}
+	}
+	if reuse == nil {
+		t.Fatal("no reuse instruction emitted")
+	}
+	if reuse.Dst != r2 || reuse.A != r1 || reuse.Imm != 7 {
+		t.Fatalf("reuse got %v <- %v desc%d, want %v <- %v desc7", reuse.Dst, reuse.A, reuse.Imm, r2, r1)
+	}
+}
+
+// A chain of dead allocations reuses one cell all the way down, each
+// rewritten site serving as the next site's source.
+func TestReuseChain(t *testing.T) {
+	b := irtest.NewProc("p")
+	one := b.Const(1)
+	for i := 0; i < 4; i++ {
+		r := b.New(3)
+		b.Store(r, 1, one)
+	}
+	b.Ret(ir.NoReg)
+	if n := reuseProg(b); n != 3 {
+		t.Fatalf("rewrites = %d, want 3", n)
+	}
+	if c := countOps(b.P, ir.OpNew); c != 1 {
+		t.Fatalf("%d allocations survive, want 1", c)
+	}
+}
+
+// The first cell is still live at the second allocation (loaded
+// afterwards): no rewrite.
+func TestReuseRefusesLiveCell(t *testing.T) {
+	b := irtest.NewProc("p")
+	one := b.Const(1)
+	r1 := b.New(7)
+	b.Store(r1, 1, one)
+	r2 := b.New(7)
+	b.Store(r2, 1, one)
+	v := b.Load(r1, 1, ir.ClassScalar) // r1 outlives the second new
+	b.Ret(v)
+
+	if n := reuseProg(b); n != 0 {
+		t.Fatalf("rewrote a live cell (%d rewrites)", n)
+	}
+}
+
+// Shape mismatch: different descriptors never share a cell.
+func TestReuseRefusesDifferentShape(t *testing.T) {
+	b := irtest.NewProc("p")
+	r1 := b.New(7)
+	one := b.Const(1)
+	b.Store(r1, 1, one)
+	b.New(8)
+	b.Ret(ir.NoReg)
+	if n := reuseProg(b); n != 0 {
+		t.Fatalf("rewrote across shapes (%d rewrites)", n)
+	}
+}
+
+// A copied cell has an alias the pass cannot track: no rewrite.
+func TestReuseRefusesCopiedCell(t *testing.T) {
+	b := irtest.NewProc("p")
+	r1 := b.New(7)
+	alias := b.Reg(ir.ClassPointer)
+	b.Emit(ir.Instr{Op: ir.OpMov, Dst: alias, A: r1})
+	b.New(7)
+	b.Ret(ir.NoReg)
+	if n := reuseProg(b); n != 0 {
+		t.Fatalf("rewrote a copied cell (%d rewrites)", n)
+	}
+}
+
+// A cell stored into the heap (as a value, not as a base) escapes.
+func TestReuseRefusesStoredCell(t *testing.T) {
+	b := irtest.NewProc("p")
+	r1 := b.New(7)
+	r2 := b.New(9)
+	b.Store(r2, 1, r1) // r1 escapes into r2's cell
+	b.New(7)
+	b.Ret(ir.NoReg)
+	if n := reuseProg(b); n != 0 {
+		t.Fatalf("rewrote an escaped cell (%d rewrites)", n)
+	}
+}
+
+// Passing the cell to a capturing callee dirties it; a non-capturing
+// callee does not.
+func TestReuseCallCapture(t *testing.T) {
+	// Callee 0 stores its parameter to a global: capturing.
+	capt := irtest.NewProc("capt", ir.ClassPointer)
+	capt.Emit(ir.Instr{Op: ir.OpStoreGlobal, A: ir.Reg(0), Imm: 0})
+	capt.Ret(ir.NoReg)
+	// Callee 1 reads a field: clean.
+	read := irtest.NewProc("read", ir.ClassPointer)
+	v := read.Load(ir.Reg(0), 1, ir.ClassScalar)
+	read.Ret(v)
+
+	mkCaller := func(callee int) *irtest.B {
+		b := irtest.NewProc("caller")
+		r1 := b.New(7)
+		b.Emit(ir.Instr{Op: ir.OpCall, Dst: ir.NoReg, Callee: callee, Args: []ir.Reg{r1}})
+		b.New(7)
+		b.Ret(ir.NoReg)
+		return b
+	}
+
+	if n := reuseProg(capt, read, mkCaller(0)); n != 0 {
+		t.Fatalf("rewrote a cell passed to a capturing callee (%d rewrites)", n)
+	}
+	if n := reuseProg(capt, read, mkCaller(1)); n != 1 {
+		t.Fatalf("non-capturing call blocked the rewrite (%d rewrites, want 1)", n)
+	}
+}
+
+// The allocation sits outside a loop, the candidate site inside it:
+// the second iteration would reuse a cell it already handed out, so
+// the rewrite must be refused.
+func TestReuseRefusesLoopCrossing(t *testing.T) {
+	b := irtest.NewProc("p")
+	one := b.Const(1)
+	r1 := b.New(7)
+	b.Store(r1, 1, one)
+	head := b.P.NewBlock()
+	b.Jmp(head)
+
+	b.In(head)
+	r2 := b.New(7)
+	b.Store(r2, 1, one)
+	cond := b.Const(1)
+	exit := b.P.NewBlock()
+	b.Br(cond, head, exit)
+
+	b.In(exit)
+	b.Ret(ir.NoReg)
+
+	if n := reuseProg(b); n != 0 {
+		t.Fatalf("rewrote across a loop boundary (%d rewrites)", n)
+	}
+}
+
+// Both allocations inside the same loop body: each iteration kills and
+// reuses its own cell, which is sound.
+func TestReuseInsideLoop(t *testing.T) {
+	b := irtest.NewProc("p")
+	one := b.Const(1)
+	head := b.P.NewBlock()
+	b.Jmp(head)
+
+	b.In(head)
+	r1 := b.New(7)
+	b.Store(r1, 1, one)
+	r2 := b.New(7)
+	b.Store(r2, 1, one)
+	cond := b.Const(1)
+	exit := b.P.NewBlock()
+	b.Br(cond, head, exit)
+
+	b.In(exit)
+	b.Ret(ir.NoReg)
+
+	if n := reuseProg(b); n != 1 {
+		t.Fatalf("rewrites = %d, want 1 (same-iteration reuse is sound)", n)
+	}
+}
+
+// A returned cell escapes to the caller.
+func TestReuseRefusesReturnedCell(t *testing.T) {
+	b := irtest.NewProc("p")
+	r1 := b.New(7)
+	b.New(7)
+	b.Ret(r1)
+	if n := reuseProg(b); n != 0 {
+		t.Fatalf("rewrote a returned cell (%d rewrites)", n)
+	}
+}
+
+// Sized allocations (NEW with an element count, A != NoReg) never
+// participate: sizes can differ at run time.
+func TestReuseRefusesSizedAllocations(t *testing.T) {
+	b := irtest.NewProc("p")
+	n := b.Const(16)
+	arr := b.Reg(ir.ClassPointer)
+	b.Emit(ir.Instr{Op: ir.OpNew, Dst: arr, A: n, Imm: 7})
+	arr2 := b.Reg(ir.ClassPointer)
+	b.Emit(ir.Instr{Op: ir.OpNew, Dst: arr2, A: n, Imm: 7})
+	b.Ret(ir.NoReg)
+	if got := reuseProg(b); got != 0 {
+		t.Fatalf("rewrote sized allocations (%d rewrites)", got)
+	}
+}
+
+// The allocation only reaches the site on one path (no dominance): the
+// other path would reuse an uninitialized register.
+func TestReuseRequiresDominance(t *testing.T) {
+	b := irtest.NewProc("p")
+	cond := b.Const(1)
+	one := b.Const(1)
+	yes := b.P.NewBlock()
+	join := b.P.NewBlock()
+	b.Br(cond, yes, join)
+
+	b.In(yes)
+	r1 := b.New(7)
+	b.Store(r1, 1, one)
+	b.Jmp(join)
+
+	b.In(join)
+	b.New(7)
+	b.Ret(ir.NoReg)
+
+	if n := reuseProg(b); n != 0 {
+		t.Fatalf("rewrote without dominance (%d rewrites)", n)
+	}
+}

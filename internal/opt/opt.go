@@ -21,12 +21,21 @@ type Options struct {
 	// (Chambers/Ungar style, Figure 2) instead of inserting path
 	// variables. Ablation only.
 	PathSplitting bool
+	// HeapLive enables the compile-time GC pass (ReuseCells): heap
+	// cells proven dead are reinitialized in place instead of
+	// allocated. Requires GCSupport and Level >= 1.
+	HeapLive bool
 }
 
 // Optimize runs the configured pipeline over every procedure.
 func Optimize(prog *ir.Program, opts Options) {
 	for _, p := range prog.Procs {
 		optimizeProc(p, opts)
+	}
+	if opts.HeapLive && opts.GCSupport && opts.Level >= 1 {
+		// Interprocedural (capture summaries), so it runs after every
+		// procedure's intraprocedural pipeline has settled.
+		ReuseCells(prog)
 	}
 }
 

@@ -2,6 +2,7 @@ package opt
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/analysis"
 	"repro/internal/ir"
@@ -75,8 +76,22 @@ func preserveRound(p *ir.Proc) bool {
 	}
 
 	di := analysis.ComputeDerivInfo(p)
-	copies := make(map[pair]ir.Reg)
+	// Allocate the copy registers in a fixed order: map iteration order
+	// would leak into register numbering and make compiles of the same
+	// program differ.
+	prs := make([]pair, 0, len(clobbered))
+	// gclint:ordered keys are collected then sorted; iteration order is erased.
 	for pr := range clobbered {
+		prs = append(prs, pr)
+	}
+	sort.Slice(prs, func(i, j int) bool {
+		if prs[i].r != prs[j].r {
+			return prs[i].r < prs[j].r
+		}
+		return prs[i].base < prs[j].base
+	})
+	copies := make(map[pair]ir.Reg)
+	for _, pr := range prs {
 		copies[pr] = p.NewReg(p.Class(pr.base))
 	}
 

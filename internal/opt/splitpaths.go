@@ -1,6 +1,8 @@
 package opt
 
 import (
+	"sort"
+
 	"repro/internal/analysis"
 	"repro/internal/ir"
 )
@@ -167,9 +169,17 @@ func splitOne(p *ir.Proc, r ir.Reg) bool {
 		renamed[i] = p.NewReg(ir.ClassDerived)
 	}
 
-	// Clone the conflicted region per variant.
-	clones := make(map[*ir.Block][]*ir.Block) // original -> per-variant clone
+	// Clone the conflicted region per variant, visiting originals in
+	// block-ID order: map iteration order would leak into the IDs (and
+	// thus the emitted layout) of the new blocks.
+	dupBlocks := make([]*ir.Block, 0, len(dupSet))
+	// gclint:ordered keys are collected then sorted; iteration order is erased.
 	for b := range dupSet {
+		dupBlocks = append(dupBlocks, b)
+	}
+	sort.Slice(dupBlocks, func(i, j int) bool { return dupBlocks[i].ID < dupBlocks[j].ID })
+	clones := make(map[*ir.Block][]*ir.Block) // original -> per-variant clone
+	for _, b := range dupBlocks {
 		cs := make([]*ir.Block, len(variants))
 		for v := range variants {
 			nb := p.NewBlock()
@@ -179,8 +189,10 @@ func splitOne(p *ir.Proc, r ir.Reg) bool {
 		}
 		clones[b] = cs
 	}
-	// Wire clone successor edges.
-	for b, cs := range clones {
+	// Wire clone successor edges (fixed order: edge insertion order
+	// decides Succs/Preds slice order downstream).
+	for _, b := range dupBlocks {
+		cs := clones[b]
 		for v, nb := range cs {
 			for _, s := range b.Succs {
 				if sc, ok := clones[s]; ok {
@@ -192,7 +204,8 @@ func splitOne(p *ir.Proc, r ir.Reg) bool {
 		}
 	}
 	// Redirect incoming edges from non-duplicated blocks.
-	for b, cs := range clones {
+	for _, b := range dupBlocks {
+		cs := clones[b]
 		preds := append([]*ir.Block(nil), b.Preds...)
 		for _, pr := range preds {
 			if dupSet[pr] {
@@ -230,6 +243,7 @@ func splitOne(p *ir.Proc, r ir.Reg) bool {
 }
 
 func clonesContain(clones map[*ir.Block][]*ir.Block, b *ir.Block) bool {
+	// gclint:ordered pure membership scan; the answer is order-free.
 	for _, cs := range clones {
 		for _, c := range cs {
 			if c == b {

@@ -109,6 +109,7 @@ func stepOf(p *ir.Proc, defs map[ir.Reg][]defSite, site *defSite, r ir.Reg) (int
 // constDefs maps single-def registers defined by OpConst to their value.
 func constDefs(p *ir.Proc, defs map[ir.Reg][]defSite) map[ir.Reg]int64 {
 	m := make(map[ir.Reg]int64)
+	// gclint:ordered builds a map keyed by register; insertion order is invisible.
 	for r, ds := range defs {
 		if len(ds) == 1 {
 			in := &ds[0].block.Instrs[ds[0].idx]
@@ -301,6 +302,7 @@ func insertAfter(b *ir.Block, idx int, seq []ir.Instr) {
 
 // fixSites shifts recorded definition sites in b after idx by n.
 func fixSites(defs map[ir.Reg][]defSite, b *ir.Block, idx, n int) {
+	// gclint:ordered each register's sites are shifted independently in place.
 	for _, ds := range defs {
 		for i := range ds {
 			if ds[i].block == b && ds[i].idx > idx {

@@ -64,6 +64,8 @@ func InstrString(in *Instr) string {
 		return fmt.Sprintf("chkrng %s in [%d..%d]", reg(in.Ra), in.Imm, in.Imm2)
 	case OpChkIdx:
 		return fmt.Sprintf("chkidx %s < %s", reg(in.Ra), reg(in.Rb))
+	case OpReuse:
+		return fmt.Sprintf("%s %s, %s desc%d", in.Op, reg(in.Rd), reg(in.Ra), in.Desc)
 	case OpTrap:
 		return fmt.Sprintf("trap %d", in.Desc)
 	}

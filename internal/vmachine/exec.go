@@ -231,6 +231,24 @@ func (m *Machine) step(t *Thread) error {
 		}
 	case OpTrap:
 		return m.trap(TrapCode(in.Desc), "")
+	case OpReuse:
+		// In-place reinitialization of a cell the compiler proved dead:
+		// keep the header (same descriptor by construction), zero the
+		// payload to match TryAlloc's zeroed-memory contract. Not a
+		// gc-point — the heap is never exhausted here.
+		addr := regs[in.Ra]
+		if addr == 0 {
+			return m.trap(TrapNilDeref, "reuse of NIL")
+		}
+		if addr < m.HeapLo || addr >= m.HeapHi || m.Mem[addr] != int64(in.Desc) {
+			return m.trap(TrapBadAddress, fmt.Sprintf("reuse of non-desc%d cell at %d", in.Desc, addr))
+		}
+		d := m.Prog.Descs.Get(in.Desc)
+		for i := int64(0); i < d.DataWords; i++ {
+			m.Mem[addr+1+i] = 0
+		}
+		regs[in.Rd] = addr
+		m.Reuses++
 	default:
 		return m.trap(TrapUnreachable, in.Op.String())
 	}

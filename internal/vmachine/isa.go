@@ -76,6 +76,7 @@ const (
 	OpChkRng // trap unless Imm <= Ra <= Imm2
 	OpChkIdx // trap unless 0 <= Ra < Rb
 	OpTrap   // unconditional runtime error
+	OpReuse  // Rd <- Ra, reinitializing the dead cell at Ra (header Desc) in place — NOT a gc-point
 	numOps
 )
 
@@ -92,6 +93,7 @@ var opNames = [numOps]string{
 	OpGcPoll: "gcpoll", OpGcCollect: "gccollect",
 	OpPutInt: "putint", OpPutChar: "putchar", OpPutText: "puttext", OpPutLn: "putln",
 	OpChkNil: "chknil", OpChkRng: "chkrng", OpChkIdx: "chkidx", OpTrap: "trap",
+	OpReuse: "reuse",
 }
 
 func (o Op) String() string {
@@ -207,6 +209,9 @@ func AppendInstr(buf []byte, in *Instr) []byte {
 		buf = append(buf, in.Ra, in.Rb)
 	case OpTrap:
 		buf = appendVarint(buf, int64(in.Desc))
+	case OpReuse:
+		buf = append(buf, in.Rd, in.Ra)
+		buf = appendVarint(buf, int64(in.Desc))
 	default:
 		panic("vmachine: cannot encode " + in.Op.String())
 	}
@@ -267,6 +272,9 @@ func DecodeInstr(buf []byte, off int) (Instr, int) {
 	case OpChkIdx:
 		in.Ra, in.Rb = r(), r()
 	case OpTrap:
+		in.Desc = int(v())
+	case OpReuse:
+		in.Rd, in.Ra = r(), r()
 		in.Desc = int(v())
 	default:
 		panic(fmt.Sprintf("vmachine: cannot decode opcode %d at %d", in.Op, off-1))

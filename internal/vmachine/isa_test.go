@@ -53,7 +53,7 @@ func randInstr(rng *rand.Rand, op Op) Instr {
 		in = Instr{Op: op, Imm: rng.Int63n(1 << 20)}
 	case OpNewRec, OpNewText:
 		in = Instr{Op: op, Rd: in.Rd, Desc: in.Desc}
-	case OpNewArr:
+	case OpNewArr, OpReuse:
 		in = Instr{Op: op, Rd: in.Rd, Ra: in.Ra, Desc: in.Desc}
 	case OpPutInt, OpPutChar, OpPutText, OpChkNil:
 		in = Instr{Op: op, Ra: in.Ra}

@@ -232,7 +232,11 @@ type Machine struct {
 	// Requester is the thread that triggered the pending collection.
 	Requester *Thread
 
-	Steps      int64
+	Steps int64
+	// Reuses counts executed OpReuse instructions: allocations the
+	// compile-time heap-liveness pass satisfied in place instead of
+	// bumping the heap.
+	Reuses     int64
 	GCCount    int64
 	StressGC   bool
 	stackNext  int64
