@@ -8,9 +8,9 @@ GO ?= go
 # targets, so the gate costs about twice this.
 FUZZTIME ?= 15s
 
-.PHONY: check fmt vet vet-gcverify lint build test race test-all bench-telemetry bench-smoke serve-smoke verify-smoke heaplive-smoke fuzz-smoke diff-smoke cover
+.PHONY: check fmt vet vet-gcverify lint build test race test-all bench-telemetry bench-smoke serve-smoke verify-smoke heaplive-smoke dispatch-smoke fuzz-smoke diff-smoke cover
 
-check: fmt vet vet-gcverify lint build race test-all serve-smoke fuzz-smoke
+check: fmt vet vet-gcverify lint build race test-all serve-smoke dispatch-smoke fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -81,6 +81,16 @@ heaplive-smoke:
 	mkdir -p artifacts
 	$(GO) run ./cmd/paperbench -heaplive -bench7 artifacts/BENCH_7.json
 	$(GO) run ./cmd/difffuzz -n 40 -seed 7 -out artifacts/difffuzz-heaplive
+
+# Threaded-dispatch smoke: the generated-program sweep plus the
+# difftest slice (whose matrix carries the switch/threaded dimension in
+# every determinism group), then the dispatch benchmark — which fails
+# if any kernel's output, collection count, or final heap diverges
+# between dispatchers — writing the BENCH_8 measurement for CI.
+dispatch-smoke:
+	mkdir -p artifacts
+	$(GO) test -count=1 -run 'TestDispatch|TestDifferentialSeedsClean' ./internal/vmachine/ ./internal/difftest/
+	$(GO) run ./cmd/paperbench -dispatch -bench8 artifacts/BENCH_8.json
 
 # Fuzz smoke: a short budgeted run of both native fuzz targets — the
 # table decoder against damaged bytes, and the differential matrix

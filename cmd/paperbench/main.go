@@ -10,6 +10,7 @@
 //	-cache     decode-cache effect on takl: table bytes read per collection
 //	-parallel  parallel trace-copy: pause phases at trace widths 1/2/4/8
 //	-heaplive  compile-time GC: cell reuse + root shrinking, pass off vs on
+//	-dispatch  threaded dispatch vs switch interpreter, plus the bigram profile
 //	-all       everything
 //
 // -snapshot FILE writes the cached takl run's telemetry snapshot (cache
@@ -17,7 +18,9 @@
 // writes the -parallel measurement (per-phase times per worker count,
 // equivalence verdicts) as JSON, for the BENCH_5 CI artifact. -bench7
 // FILE writes the -heaplive measurement (collections, copied words,
-// pause deltas) as JSON, for the BENCH_7 CI artifact.
+// pause deltas) as JSON, for the BENCH_7 CI artifact. -bench8 FILE
+// writes the -dispatch measurement (per-kernel speedups, equivalence
+// verdicts, hot opcode bigrams) as JSON, for the BENCH_8 CI artifact.
 package main
 
 import (
@@ -43,13 +46,15 @@ func main() {
 	cache := flag.Bool("cache", false, "decode-cache effect on takl (table bytes read per collection)")
 	par := flag.Bool("parallel", false, "parallel trace-copy pause phases at trace widths 1/2/4/8")
 	hl := flag.Bool("heaplive", false, "compile-time GC: cell reuse + root shrinking, pass off vs on")
+	disp := flag.Bool("dispatch", false, "threaded dispatch vs switch interpreter, plus the bigram profile")
 	snapshot := flag.String("snapshot", "", "write the cached takl run's telemetry snapshot (JSON) to this file")
 	bench5 := flag.String("bench5", "", "write the parallel trace-copy measurement (JSON) to this file")
 	bench7 := flag.String("bench7", "", "write the compile-time GC measurement (JSON) to this file")
+	bench8 := flag.String("bench8", "", "write the dispatch measurement (JSON) to this file")
 	all := flag.Bool("all", false, "run everything")
 	flag.Parse()
 	if *all {
-		*t1, *t2, *s62, *s63, *cmp, *dec, *ref, *gen, *cache, *par, *hl = true, true, true, true, true, true, true, true, true, true, true
+		*t1, *t2, *s62, *s63, *cmp, *dec, *ref, *gen, *cache, *par, *hl, *disp = true, true, true, true, true, true, true, true, true, true, true, true
 	}
 	if *snapshot != "" {
 		*cache = true
@@ -60,7 +65,10 @@ func main() {
 	if *bench7 != "" {
 		*hl = true
 	}
-	if !*t1 && !*t2 && !*s62 && !*s63 && !*cmp && !*dec && !*ref && !*gen && !*cache && !*par && !*hl {
+	if *bench8 != "" {
+		*disp = true
+	}
+	if !*t1 && !*t2 && !*s62 && !*s63 && !*cmp && !*dec && !*ref && !*gen && !*cache && !*par && !*hl && !*disp {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -97,6 +105,46 @@ func main() {
 	if *hl {
 		heapLive(*bench7)
 	}
+	if *disp {
+		dispatch(*bench8)
+	}
+}
+
+func dispatch(bench8Path string) {
+	fmt.Println("== Threaded dispatch vs switch interpreter (same compile, same heap) ==")
+	fmt.Println("(per-instruction resolved handlers, superinstructions fused from the")
+	fmt.Println(" telemetry bigram sampler, and the bump-pointer allocation fast path;")
+	fmt.Println(" output, collections, and the final heap image must match bitwise)")
+	r, err := bench.DispatchComparison()
+	check(err)
+	fmt.Printf("%-11s %10s | %10s %10s %8s | %5s %5s %5s\n",
+		"Program", "steps", "switch", "threaded", "speedup", "out", "gcs", "heap")
+	for _, row := range r.Rows {
+		fmt.Printf("%-11s %10d | %10v %10v %7.2fx | %5v %5v %5v\n",
+			row.Program, row.Steps,
+			row.SwitchTime.Round(time.Microsecond), row.ThreadedTime.Round(time.Microsecond),
+			row.Speedup, row.OutputsMatch, row.GCCountsMatch, row.HeapsMatch)
+	}
+	fmt.Println("hot opcode bigrams (takl, sampled every 16 instructions):")
+	for _, b := range r.Bigrams {
+		mark := " "
+		if b.Fusible {
+			mark = "*"
+		}
+		fmt.Printf("  %s %-10s + %-10s %8d\n", mark, b.First, b.Second, b.Count)
+	}
+	fmt.Printf("all observables identical:  %v\n", r.AllMatch)
+	fmt.Printf("kernels at >=1.5x speedup:  %d\n", r.KernelsAtTarget)
+	if !r.AllMatch {
+		check(fmt.Errorf("threaded and switch dispatch diverged"))
+	}
+	if bench8Path != "" {
+		data, err := json.MarshalIndent(r, "", "  ")
+		check(err)
+		check(os.WriteFile(bench8Path, append(data, '\n'), 0o644))
+		fmt.Printf("BENCH_8 measurement written: %s\n", bench8Path)
+	}
+	fmt.Println()
 }
 
 func heapLive(bench7Path string) {

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/driver"
+	"repro/internal/gctab"
+	"repro/internal/telemetry"
+	"repro/internal/vmachine"
+)
+
+// DispatchRow is one kernel's switch-vs-threaded interpreter
+// comparison: the same compiled program runs under both dispatchers,
+// identical but for driver.Options.ThreadedDispatch, and every
+// observable — program output, collection count, final heap image —
+// must match bitwise. Speedup is wall time switch/threaded, best of
+// Reps runs each.
+type DispatchRow struct {
+	Program      string        `json:"program"`
+	Steps        int64         `json:"steps"`
+	SwitchTime   time.Duration `json:"switch_ns"`
+	ThreadedTime time.Duration `json:"threaded_ns"`
+	Speedup      float64       `json:"speedup"`
+	Collections  int64         `json:"collections"`
+	FusedSites   int           `json:"fused_sites"`
+
+	OutputsMatch  bool `json:"outputs_match"`
+	GCCountsMatch bool `json:"gc_counts_match"`
+	HeapsMatch    bool `json:"heaps_match"`
+}
+
+// BigramRow is one hot opcode pair from the telemetry sampler — the
+// measurement DefaultFusions is selected from.
+type BigramRow struct {
+	First   string `json:"first"`
+	Second  string `json:"second"`
+	Count   int64  `json:"count"`
+	Fusible bool   `json:"fusible"`
+}
+
+// DispatchResult is the BENCH_8 measurement.
+type DispatchResult struct {
+	Rows []DispatchRow `json:"rows"`
+	// Bigrams is the hot-pair profile of the takl kernel (sampled every
+	// PCSampleEvery instructions under threaded dispatch).
+	Bigrams []BigramRow `json:"bigrams"`
+	// AllMatch reports that every kernel's output, collection count,
+	// and final heap image were identical under both dispatchers.
+	AllMatch bool `json:"all_match"`
+	// KernelsAtTarget counts kernels with speedup >= 1.5x (the ISSUE 8
+	// acceptance bar asks for at least two).
+	KernelsAtTarget int `json:"kernels_at_speedup_target"`
+}
+
+// dispatchKernels names the measured workloads and their heap budgets.
+// takl runs the GC-pressured loop variant so the comparison covers
+// collection interleaving, not just straight-line dispatch.
+var dispatchKernels = []struct {
+	name string
+	src  func() string
+	heap int64
+}{
+	{name: "takl", src: func() string { return TaklLoopSource(120) }, heap: 1 << 16},
+	{name: "typereg", src: func() string { return Sources()["typereg"] }, heap: 1 << 16},
+	{name: "FieldList", src: func() string { return Sources()["FieldList"] }, heap: 1 << 16},
+	{name: "destroy", src: func() string { return Sources()["destroy"] }, heap: 1 << 18},
+}
+
+// dispatchReps is how many timed runs each (kernel, dispatcher) pair
+// gets; the row records the fastest (the usual best-of-N wall-clock
+// discipline).
+const dispatchReps = 3
+
+type dispatchRun struct {
+	out      string
+	gcs      int64
+	steps    int64
+	heapHash uint64
+	fused    int
+	elapsed  time.Duration
+}
+
+// runDispatch executes one compiled kernel under one dispatcher.
+func runDispatch(c *driver.Compiled, threaded bool, heapWords int64) (*dispatchRun, error) {
+	// Rebuild rather than mutate: Compiled carries a sync.Once, and the
+	// two modes must not share decoder state.
+	cc := &driver.Compiled{Opts: c.Opts, IR: c.IR, Prog: c.Prog, Tables: c.Tables, Encoded: c.Encoded}
+	cc.Opts.ThreadedDispatch = threaded
+	cfg := vmachine.DefaultConfig()
+	cfg.HeapWords = heapWords
+	var sb strings.Builder
+	cfg.Out = &sb
+	m, _, err := cc.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	if err := m.Run(0); err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+	return &dispatchRun{
+		out:      sb.String(),
+		gcs:      m.GCCount,
+		steps:    m.Steps,
+		heapHash: fnvWords(m.Mem[m.HeapLo:m.HeapHi]),
+		fused:    m.Fused,
+		elapsed:  elapsed,
+	}, nil
+}
+
+// DispatchComparison measures threaded dispatch against the switch
+// interpreter over the benchmark kernels, checking bitwise equivalence
+// of every observable, and profiles the opcode bigrams that justify
+// the superinstruction set.
+func DispatchComparison() (*DispatchResult, error) {
+	res := &DispatchResult{AllMatch: true}
+	for _, k := range dispatchKernels {
+		c, err := driver.Compile(k.name+".m3", k.src(), driver.Options{
+			Optimize: true, GCSupport: true, HeapLive: true,
+			Scheme: gctab.DeltaPP, DecodeCache: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("bench: compile %s: %w", k.name, err)
+		}
+		var sw, th *dispatchRun
+		for rep := 0; rep < dispatchReps; rep++ {
+			s, err := runDispatch(c, false, k.heap)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s switch: %w", k.name, err)
+			}
+			t, err := runDispatch(c, true, k.heap)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s threaded: %w", k.name, err)
+			}
+			if sw == nil {
+				sw, th = s, t
+				continue
+			}
+			// Repetitions must reproduce every observable; only the wall
+			// time may vary, and the row keeps the fastest.
+			if s.out != sw.out || t.out != th.out || s.heapHash != sw.heapHash || t.heapHash != th.heapHash {
+				return nil, fmt.Errorf("bench: %s is nondeterministic across repetitions", k.name)
+			}
+			if s.elapsed < sw.elapsed {
+				sw.elapsed = s.elapsed
+			}
+			if t.elapsed < th.elapsed {
+				th.elapsed = t.elapsed
+			}
+		}
+		row := DispatchRow{
+			Program:       k.name,
+			Steps:         th.steps,
+			SwitchTime:    sw.elapsed,
+			ThreadedTime:  th.elapsed,
+			Collections:   th.gcs,
+			FusedSites:    th.fused,
+			OutputsMatch:  sw.out == th.out,
+			GCCountsMatch: sw.gcs == th.gcs,
+			HeapsMatch:    sw.heapHash == th.heapHash,
+		}
+		if th.elapsed > 0 {
+			row.Speedup = float64(sw.elapsed) / float64(th.elapsed)
+		}
+		if sw.steps != th.steps {
+			row.GCCountsMatch = false // step divergence is as fatal as a GC-count one
+		}
+		if !row.OutputsMatch || !row.GCCountsMatch || !row.HeapsMatch {
+			res.AllMatch = false
+		}
+		if row.Speedup >= 1.5 {
+			res.KernelsAtTarget++
+		}
+		res.Rows = append(res.Rows, row)
+	}
+
+	bigrams, err := dispatchBigrams()
+	if err != nil {
+		return nil, err
+	}
+	res.Bigrams = bigrams
+	return res, nil
+}
+
+// dispatchBigrams profiles the takl kernel's opcode pairs through the
+// telemetry sampler — the live version of the measurement that chose
+// vmachine.DefaultFusions.
+func dispatchBigrams() ([]BigramRow, error) {
+	c, err := driver.Compile("takl.m3", TaklLoopSource(400), driver.Options{
+		Optimize: true, GCSupport: true, HeapLive: true,
+		Scheme: gctab.DeltaPP, DecodeCache: true, ThreadedDispatch: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfg := vmachine.DefaultConfig()
+	cfg.HeapWords = 1 << 16
+	var sb strings.Builder
+	cfg.Out = &sb
+	cfg.Tel = telemetry.New(telemetry.Config{})
+	cfg.PCSampleEvery = 16
+	m, _, err := c.NewMachine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Run(0); err != nil {
+		return nil, err
+	}
+	var rows []BigramRow
+	for _, p := range cfg.Tel.HotPairs(16) {
+		rows = append(rows, BigramRow{
+			First:   vmachine.Op(p.A).String(),
+			Second:  vmachine.Op(p.B).String(),
+			Count:   p.Count,
+			Fusible: len(vmachine.FusionsFromPairs([]telemetry.PairSample{p}, 1)) == 1,
+		})
+	}
+	return rows, nil
+}
+
+// fnvWords is FNV-1a over a word image (the same digest the difftest
+// determinism groups compare).
+func fnvWords(ws []int64) uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range ws {
+		for s := 0; s < 64; s += 8 {
+			h ^= uint64(byte(w >> s))
+			h *= 1099511628211
+		}
+	}
+	return h
+}

@@ -52,11 +52,17 @@ type Cell struct {
 	// determinism groups (reuse changes allocation counts and heap
 	// images by design).
 	HeapLive bool
+	// Threaded runs the cell on the vmachine threaded-dispatch table
+	// (superinstruction fusion + allocation fast path) instead of the
+	// switch interpreter. Dispatch must be behaviorally invisible, so
+	// threaded cells stay in the same determinism group as switch cells:
+	// collection counts and final heap images must match bitwise.
+	Threaded bool
 }
 
 func (c Cell) String() string {
-	return fmt.Sprintf("%s/%s/cache=%v/workers=%d/tw=%d/heaplive=%v",
-		c.Collector, c.Scheme, c.Cache, c.Workers, c.TraceWorkers, c.HeapLive)
+	return fmt.Sprintf("%s/%s/cache=%v/workers=%d/tw=%d/heaplive=%v/threaded=%v",
+		c.Collector, c.Scheme, c.Cache, c.Workers, c.TraceWorkers, c.HeapLive, c.Threaded)
 }
 
 // traceWidthsFor returns the trace-copy pool widths the matrix explores
@@ -84,9 +90,11 @@ func Matrix(schemes []gctab.Scheme) []Cell {
 				for _, workers := range []int{1, 8} {
 					for _, tw := range traceWidthsFor(col) {
 						for _, hl := range []bool{false, true} {
-							cells = append(cells, Cell{Collector: col, Scheme: s,
-								Cache: cache, Workers: workers, TraceWorkers: tw,
-								HeapLive: hl})
+							for _, th := range []bool{false, true} {
+								cells = append(cells, Cell{Collector: col, Scheme: s,
+									Cache: cache, Workers: workers, TraceWorkers: tw,
+									HeapLive: hl, Threaded: th})
+							}
 						}
 					}
 				}
@@ -338,9 +346,11 @@ func Execute(seed int64, src string, cfg Config) *Result {
 	}
 
 	// Within a {collector, heaplive} group, scheme/cache/workers/
-	// trace-workers must be invisible: identical collection counts and
-	// bitwise-identical final heaps. HeapLive splits the groups because
-	// cell reuse legitimately changes both.
+	// trace-workers/dispatch must be invisible: identical collection
+	// counts and bitwise-identical final heaps. HeapLive splits the
+	// groups because cell reuse legitimately changes both; Threaded does
+	// NOT split them — the threaded table must be indistinguishable from
+	// the switch.
 	for _, col := range sortedKeys(groups) {
 		g := groups[col]
 		base := g[0]
@@ -380,6 +390,7 @@ func runCell(c *driver.Compiled, cell Cell, maxSteps int64) (r cellResult) {
 	cc.Opts.DecodeCache = cell.Cache
 	cc.Opts.WalkWorkers = cell.Workers
 	cc.Opts.TraceWorkers = cell.TraceWorkers
+	cc.Opts.ThreadedDispatch = cell.Threaded
 
 	vcfg := vmachine.Config{
 		HeapWords:  heapWordsFor(cell.Collector),

@@ -75,15 +75,18 @@ func FailsLike(f Finding, cfg Config) func(string) bool {
 		narrow.Cells = []Cell{}
 	case KindDeterminism:
 		// Determinism is judged within a {collector, heaplive} group:
-		// keep the whole {cache × workers × trace-workers} slice of the
-		// failing collector at the failing cell's HeapLive setting.
+		// keep the whole {cache × workers × trace-workers × dispatch}
+		// slice of the failing collector at the failing cell's HeapLive
+		// setting.
 		var cells []Cell
 		for _, cache := range []bool{false, true} {
 			for _, workers := range []int{1, 8} {
 				for _, tw := range traceWidthsFor(f.Cell.Collector) {
-					cells = append(cells, Cell{Collector: f.Cell.Collector, Scheme: f.Cell.Scheme,
-						Cache: cache, Workers: workers, TraceWorkers: tw,
-						HeapLive: f.Cell.HeapLive})
+					for _, th := range []bool{false, true} {
+						cells = append(cells, Cell{Collector: f.Cell.Collector, Scheme: f.Cell.Scheme,
+							Cache: cache, Workers: workers, TraceWorkers: tw,
+							HeapLive: f.Cell.HeapLive, Threaded: th})
+					}
 				}
 			}
 		}
@@ -117,10 +120,11 @@ type Regression struct {
 	Corrupt *Corruption `json:"corrupt,omitempty"`
 }
 
-// CellSpec is Cell in a JSON-stable spelling. TraceWorkers and HeapLive
-// are omitted when zero/false so sidecars written before those
-// dimensions existed replay unchanged (0 = the collector's default
-// width, false = the pass off, matching the old behavior).
+// CellSpec is Cell in a JSON-stable spelling. TraceWorkers, HeapLive,
+// and Threaded are omitted when zero/false so sidecars written before
+// those dimensions existed replay unchanged (0 = the collector's
+// default width, false = the pass/dispatcher off, matching the old
+// behavior).
 type CellSpec struct {
 	Collector    string `json:"collector"`
 	Full         bool   `json:"full"`
@@ -130,13 +134,14 @@ type CellSpec struct {
 	Workers      int    `json:"workers"`
 	TraceWorkers int    `json:"trace_workers,omitempty"`
 	HeapLive     bool   `json:"heap_live,omitempty"`
+	Threaded     bool   `json:"threaded,omitempty"`
 }
 
 // Spec converts a Cell for serialization.
 func (c Cell) Spec() CellSpec {
 	return CellSpec{Collector: c.Collector, Full: c.Scheme.Full, Packing: c.Scheme.Packing,
 		Previous: c.Scheme.Previous, Cache: c.Cache, Workers: c.Workers,
-		TraceWorkers: c.TraceWorkers, HeapLive: c.HeapLive}
+		TraceWorkers: c.TraceWorkers, HeapLive: c.HeapLive, Threaded: c.Threaded}
 }
 
 // Cell converts back.
@@ -144,7 +149,7 @@ func (s CellSpec) Cell() Cell {
 	return Cell{Collector: s.Collector,
 		Scheme: gctab.Scheme{Full: s.Full, Packing: s.Packing, Previous: s.Previous},
 		Cache:  s.Cache, Workers: s.Workers, TraceWorkers: s.TraceWorkers,
-		HeapLive: s.HeapLive}
+		HeapLive: s.HeapLive, Threaded: s.Threaded}
 }
 
 // WriteRegression stores the reduced program and its replay sidecar

@@ -71,13 +71,25 @@ type Options struct {
 	// available CPU, 1 = serial). Placement is canonical, so the heap
 	// image is bitwise identical at any width.
 	TraceWorkers int
+	// ThreadedDispatch (default in NewOptions) runs machines on the
+	// vmachine threaded-dispatch table — per-instruction resolved
+	// handlers with superinstruction fusion and the bump-pointer
+	// allocation fast path — instead of the switch interpreter. Like
+	// DecodeCache it is behaviorally invisible: outputs, GC counts, and
+	// heap images are bitwise identical either way (the difftest matrix
+	// sweeps both), so off exists for differential testing and for
+	// measuring the dispatch speedup (paperbench -dispatch).
+	ThreadedDispatch bool
 }
 
 // NewOptions returns the default configuration: optimized, gc support
 // on, compile-time GC (heap liveness) on, δ-main with packing and
-// previous-descriptors, decode cache on.
+// previous-descriptors, decode cache on, threaded dispatch on.
 func NewOptions() Options {
-	return Options{Optimize: true, GCSupport: true, HeapLive: true, Scheme: gctab.DeltaPP, DecodeCache: true}
+	return Options{
+		Optimize: true, GCSupport: true, HeapLive: true,
+		Scheme: gctab.DeltaPP, DecodeCache: true, ThreadedDispatch: true,
+	}
 }
 
 // Compiled is the result of a compilation. One Compiled may instantiate
@@ -209,6 +221,11 @@ func (c *Compiled) NewMachineWithDecoder(cfg vmachine.Config, dec gctab.TableDec
 	col.SetTracer(cfg.Tel)
 	m.Alloc = h
 	m.Collector = col
+	if c.Opts.ThreadedDispatch {
+		// After the allocator is attached: the builder snapshots the
+		// concrete heap for the allocation fast path.
+		m.EnableThreadedDispatch(vmachine.DefaultFusions())
+	}
 	if _, err := m.Spawn(c.Prog.MainProc); err != nil {
 		return nil, nil, err
 	}
@@ -234,6 +251,9 @@ func (c *Compiled) NewGenerationalMachine(cfg vmachine.Config) (*vmachine.Machin
 	m.Alloc = h
 	m.Collector = col
 	m.Barrier = col.Barrier
+	if c.Opts.ThreadedDispatch {
+		m.EnableThreadedDispatch(vmachine.DefaultFusions())
+	}
 	if _, err := m.Spawn(c.Prog.MainProc); err != nil {
 		return nil, nil, err
 	}
@@ -249,6 +269,11 @@ func (c *Compiled) NewConservativeMachine(cfg vmachine.Config) (*vmachine.Machin
 	h.SetTracer(cfg.Tel)
 	m.Alloc = h
 	m.Collector = h
+	if c.Opts.ThreadedDispatch {
+		// The conservative free-list heap is not the semispace heap, so
+		// the fast path stays disarmed; dispatch still threads.
+		m.EnableThreadedDispatch(vmachine.DefaultFusions())
+	}
 	if _, err := m.Spawn(c.Prog.MainProc); err != nil {
 		return nil, nil, err
 	}

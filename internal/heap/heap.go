@@ -144,6 +144,47 @@ func (h *Heap) TryAlloc(descID int, n int64) (addr int64, ok bool) {
 	return addr, true
 }
 
+// BumpRec is the record-allocation fast path exported for the threaded
+// interpreter: it allocates size words (header included) for descID
+// without consulting the descriptor table — the caller precomputed the
+// size when it resolved its dispatch table. It is TryAlloc minus the
+// lookup: same counters, same zeroed-memory contract, same failure
+// condition (ok=false leaves collection to the slow path).
+func (h *Heap) BumpRec(descID, size int64) (addr int64, ok bool) {
+	addr = h.Alloc
+	if addr+size > h.Limit {
+		return 0, false
+	}
+	h.Alloc = addr + size
+	h.AllocatedWords += size
+	h.AllocatedObjects++
+	h.LiveObjects++
+	h.Mem[addr] = descID
+	return addr, true
+}
+
+// BumpArr is the open-array fast path: 2+n*elemWords words with the
+// header and length word installed. Negative or absurdly large lengths
+// return ok=false so the slow path owns every trap and every
+// collection decision.
+func (h *Heap) BumpArr(descID, n, elemWords int64) (addr int64, ok bool) {
+	if n < 0 || n > h.semi {
+		return 0, false
+	}
+	size := 2 + n*elemWords
+	addr = h.Alloc
+	if size > h.Limit-addr {
+		return 0, false
+	}
+	h.Alloc = addr + size
+	h.AllocatedWords += size
+	h.AllocatedObjects++
+	h.LiveObjects++
+	h.Mem[addr] = descID
+	h.Mem[addr+1] = n
+	return addr, true
+}
+
 // Contains reports whether addr lies in the current allocation space
 // (i.e. is plausibly a tidy object address).
 func (h *Heap) Contains(addr int64) bool {

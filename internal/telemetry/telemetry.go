@@ -153,8 +153,9 @@ type Tracer struct {
 	gauges map[string]*Gauge
 	hists  map[string]*Histogram
 
-	pcMu sync.Mutex
-	pcs  map[int64]int64
+	pcMu  sync.Mutex
+	pcs   map[int64]int64
+	pairs map[[2]int64]int64
 }
 
 // Config sizes a tracer.
@@ -192,6 +193,7 @@ func newTracer(cfg Config) *Tracer {
 		gauges: make(map[string]*Gauge),
 		hists:  make(map[string]*Histogram),
 		pcs:    make(map[int64]int64),
+		pairs:  make(map[[2]int64]int64),
 	}
 }
 
@@ -238,6 +240,53 @@ func (t *Tracer) SamplePC(pc int64) {
 	t.pcs[pc]++
 	t.pcMu.Unlock()
 	t.Emit(EvPCSample, -1, pc, 0, 0, 0)
+}
+
+// SamplePair records one co-occurrence of an adjacent value pair —
+// the VM samples (previous opcode, current opcode) bigrams on the same
+// cadence as SamplePC, and the dispatch builder reads them back with
+// HotPairs to pick superinstruction fusions from real execution.
+func (t *Tracer) SamplePair(a, b int64) {
+	if t == nil {
+		return
+	}
+	t.pcMu.Lock()
+	t.pairs[[2]int64{a, b}]++
+	t.pcMu.Unlock()
+}
+
+// PairSample is one aggregated pair bucket (an opcode bigram when fed
+// by the VM's dispatch sampler).
+type PairSample struct {
+	A, B  int64
+	Count int64
+}
+
+// HotPairs returns the n most-sampled pairs, hottest first (ties break
+// on the pair values, so the readout is deterministic).
+func (t *Tracer) HotPairs(n int) []PairSample {
+	if t == nil {
+		return nil
+	}
+	t.pcMu.Lock()
+	out := make([]PairSample, 0, len(t.pairs))
+	for k, c := range t.pairs {
+		out = append(out, PairSample{A: k[0], B: k[1], Count: c})
+	}
+	t.pcMu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		if out[i].A != out[j].A {
+			return out[i].A < out[j].A
+		}
+		return out[i].B < out[j].B
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
 }
 
 // PCSample is one aggregated hot-PC bucket.

@@ -1,0 +1,87 @@
+package vmachine_test
+
+// External-package sweep: generated programs (internal/progen) are
+// compiled once and executed under both dispatchers through the real
+// driver stack — semispace heap, decode cache, GC tables — asserting
+// bitwise agreement on every observable. This is the handler/switch
+// agreement test the in-package lockstep test cannot express, because
+// the driver depends on vmachine.
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/gctab"
+	"repro/internal/progen"
+	"repro/internal/vmachine"
+)
+
+type sweepRun struct {
+	out      string
+	steps    int64
+	gcs      int64
+	heapHash uint64
+}
+
+func runSweepCell(t *testing.T, c *driver.Compiled, threaded bool) sweepRun {
+	t.Helper()
+	// Rebuild rather than mutate: Compiled carries the shared-decoder
+	// sync.Once, and the two modes must not share decoder state.
+	cc := &driver.Compiled{Opts: c.Opts, IR: c.IR, Prog: c.Prog, Tables: c.Tables, Encoded: c.Encoded}
+	cc.Opts.ThreadedDispatch = threaded
+	cfg := vmachine.Config{HeapWords: 1 << 14, StackWords: 1 << 14, MaxThreads: 1}
+	var sb strings.Builder
+	cfg.Out = &sb
+	m, _, err := cc.NewMachine(cfg)
+	if err != nil {
+		t.Fatalf("machine: %v", err)
+	}
+	if err := m.Run(20_000_000); err != nil {
+		t.Fatalf("threaded=%v run: %v", threaded, err)
+	}
+	return sweepRun{
+		out:      sb.String(),
+		steps:    m.Steps,
+		gcs:      m.GCCount,
+		heapHash: hashHeap(m),
+	}
+}
+
+func hashHeap(m *vmachine.Machine) uint64 {
+	h := uint64(14695981039346656037)
+	for _, w := range m.Mem[m.HeapLo:m.HeapHi] {
+		for s := 0; s < 64; s += 8 {
+			h ^= uint64(byte(w >> s))
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+func TestDispatchGeneratedProgramSweep(t *testing.T) {
+	for seed := int64(1); seed <= 12; seed++ {
+		src := progen.Program(seed)
+		c, err := driver.Compile("sweep.m3", src, driver.Options{
+			Optimize: true, GCSupport: true, HeapLive: true,
+			Scheme: gctab.DeltaPP, DecodeCache: true,
+		})
+		if err != nil {
+			t.Fatalf("seed %d: compile: %v", seed, err)
+		}
+		sw := runSweepCell(t, c, false)
+		th := runSweepCell(t, c, true)
+		if sw.out != th.out {
+			t.Errorf("seed %d: output diverged:\n  switch   %q\n  threaded %q", seed, sw.out, th.out)
+		}
+		if sw.steps != th.steps {
+			t.Errorf("seed %d: steps %d vs %d", seed, sw.steps, th.steps)
+		}
+		if sw.gcs != th.gcs {
+			t.Errorf("seed %d: collections %d vs %d", seed, sw.gcs, th.gcs)
+		}
+		if sw.heapHash != th.heapHash {
+			t.Errorf("seed %d: final heap hash %#x vs %#x", seed, sw.heapHash, th.heapHash)
+		}
+	}
+}

@@ -6,9 +6,11 @@ import (
 	"repro/internal/telemetry"
 )
 
-// step executes one instruction on thread t. It returns an error for
+// stepSwitch executes one instruction on thread t via the baseline
+// switch interpreter (the reference semantics the threaded dispatch
+// table in dispatch.go must match bitwise). It returns an error for
 // traps; thread state (Done/Blocked) signals everything else.
-func (m *Machine) step(t *Thread) error {
+func (m *Machine) stepSwitch(t *Thread) error {
 	in := &m.Prog.Code[t.PC]
 
 	// Rendezvous: while a collection is pending, other threads park at
@@ -38,7 +40,9 @@ func (m *Machine) step(t *Thread) error {
 		m.opCounts[in.Op]++
 		if m.pcSampleEvery > 0 && m.Steps%m.pcSampleEvery == 0 {
 			m.Tel.SamplePC(int64(m.Prog.PCOf[t.PC]))
+			m.Tel.SamplePair(int64(t.prevOp), int64(in.Op))
 		}
+		t.prevOp = in.Op
 	}
 	regs := &t.Regs
 	baseVal := func(b uint8) int64 {
@@ -269,7 +273,36 @@ func (m *Machine) allocFailure(desc int, n int64) error {
 // allocate implements the NEW instructions, triggering collection when
 // the heap is exhausted.
 func (m *Machine) allocate(t *Thread, rd uint8, desc int, n int64) error {
+	return m.allocCommon(t, rd, desc, n, nil)
+}
+
+// allocateText allocates and fills text literal lit (an ARRAY OF CHAR
+// object) through the same collect-and-retry state machine.
+func (m *Machine) allocateText(t *Thread, rd uint8, lit int) error {
+	s := m.Prog.TextLits[lit]
+	return m.allocCommon(t, rd, m.Prog.TextDesc, int64(len(s)), func(addr int64) {
+		for i := 0; i < len(s); i++ {
+			m.Mem[addr+2+int64(i)] = int64(s[i])
+		}
+	})
+}
+
+// allocCommon is the collect-and-retry state machine shared by every
+// allocation site (records, arrays, text literals; the threaded
+// dispatcher's bump-pointer fast path falls back here on overflow).
+// fill, when non-nil, initializes the payload of a fresh object before
+// the register is written.
+//
+// The allocRetried flag on the thread tracks a rendezvous retry: a
+// failed allocation in a multi-threaded machine requests a rendezvous
+// and re-executes after the collection (PC unchanged); failing again
+// on the retry is a quota or out-of-memory trap, never a second
+// collection.
+func (m *Machine) allocCommon(t *Thread, rd uint8, desc int, n int64, fill func(addr int64)) error {
 	if addr, ok := m.Alloc.TryAlloc(desc, n); ok {
+		if fill != nil {
+			fill(addr)
+		}
 		t.Regs[rd] = addr
 		t.PC++
 		t.allocRetried = false
@@ -292,48 +325,14 @@ func (m *Machine) allocate(t *Thread, rd uint8, desc int, n int64) error {
 	}
 	m.GCCount++
 	if addr, ok := m.Alloc.TryAlloc(desc, n); ok {
+		if fill != nil {
+			fill(addr)
+		}
 		t.Regs[rd] = addr
 		t.PC++
 		return nil
 	}
 	return m.allocFailure(desc, n)
-}
-
-func (m *Machine) allocateText(t *Thread, rd uint8, lit int) error {
-	s := m.Prog.TextLits[lit]
-	fill := func(addr int64) {
-		for i := 0; i < len(s); i++ {
-			m.Mem[addr+2+int64(i)] = int64(s[i])
-		}
-	}
-	if addr, ok := m.Alloc.TryAlloc(m.Prog.TextDesc, int64(len(s))); ok {
-		fill(addr)
-		t.Regs[rd] = addr
-		t.PC++
-		t.allocRetried = false
-		return nil
-	}
-	if t.allocRetried {
-		t.allocRetried = false
-		return m.allocFailure(m.Prog.TextDesc, int64(len(s)))
-	}
-	if len(m.runnable()) > 1 {
-		m.requestGC(t)
-		t.allocRetried = true
-		return nil
-	}
-	m.Cur = t
-	if err := m.Collector.Collect(m); err != nil {
-		return err
-	}
-	m.GCCount++
-	if addr, ok := m.Alloc.TryAlloc(m.Prog.TextDesc, int64(len(s))); ok {
-		fill(addr)
-		t.Regs[rd] = addr
-		t.PC++
-		return nil
-	}
-	return m.allocFailure(m.Prog.TextDesc, int64(len(s)))
 }
 
 func (m *Machine) putText(addr int64) error {
@@ -344,6 +343,14 @@ func (m *Machine) putText(addr int64) error {
 	if err != nil {
 		return err
 	}
+	// A corrupt or adversarial length word must not reach make(): a
+	// negative count panics and a huge one balloons host memory. Any
+	// length whose payload cannot lie inside machine memory is a range
+	// trap. (n is checked against len(Mem) on its own first so addr+2+n
+	// cannot overflow.)
+	if n < 0 || n > int64(len(m.Mem)) || addr+2+n > int64(len(m.Mem)) {
+		return m.trap(TrapRangeError, fmt.Sprintf("text length %d", n))
+	}
 	b := make([]byte, n)
 	for i := int64(0); i < n; i++ {
 		v, err := m.read(addr + 2 + i)
@@ -352,8 +359,9 @@ func (m *Machine) putText(addr int64) error {
 		}
 		b[i] = byte(v)
 	}
-	_, werr := m.Out.Write(b)
-	_ = werr
+	if _, werr := m.Out.Write(b); werr != nil {
+		return fmt.Errorf("vmachine: PutText write: %w", werr)
+	}
 	return nil
 }
 
@@ -361,7 +369,7 @@ func (m *Machine) putText(addr int64) error {
 func (m *Machine) runnable() []*Thread {
 	var out []*Thread
 	for _, t := range m.Threads {
-		if !t.Done {
+		if !t.Done && !t.Blocked {
 			out = append(out, t)
 		}
 	}
@@ -424,11 +432,32 @@ func (m *Machine) run(maxSteps, fuel int64) (bool, error) {
 					m.Yielded = true
 					return false, nil
 				}
-				if err := m.step(t); err != nil {
+				var n int64
+				var err error
+				if m.threaded != nil {
+					// Threaded dispatch executes a whole slice per call;
+					// the budget encodes every boundary (quantum, step
+					// limit, fuel) so the slice can never overrun one,
+					// and the per-step accounting below stays exact.
+					budget := m.quantum - m.passQ
+					if maxSteps > 0 && maxSteps-m.Steps < budget {
+						budget = maxSteps - m.Steps
+					}
+					if fuel > 0 && fuel-executed < budget {
+						budget = fuel - executed
+					}
+					if budget < 1 {
+						budget = 1
+					}
+					n, err = m.stepSlice(t, budget)
+				} else {
+					n, err = 1, m.stepSwitch(t)
+				}
+				if err != nil {
 					return false, err
 				}
-				executed++
-				m.passQ++
+				executed += n
+				m.passQ += n
 				m.passRan = true
 				if t.Done || t.Blocked {
 					break

@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/heap"
 	"repro/internal/telemetry"
 	"repro/internal/types"
 )
@@ -159,6 +160,9 @@ type Thread struct {
 	// stressed marks that the stress-mode collection for the current
 	// instruction already ran (allocations re-execute after GC).
 	stressed bool
+	// prevOp is the previously executed opcode, feeding the telemetry
+	// bigram sampler that picks superinstruction fusions.
+	prevOp Op
 }
 
 // CurrentGCPointPC returns the byte PC identifying the thread's current
@@ -258,6 +262,21 @@ type Machine struct {
 	// passRan records whether any thread made progress this pass (the
 	// deadlock check), surviving a mid-pass yield.
 	passRan bool
+
+	// threaded, when non-nil, is the per-instruction dispatch table
+	// built by EnableThreadedDispatch; nil keeps the switch interpreter
+	// (the zero-value default, so differential runs can compare both).
+	threaded []tentry
+	// retIdx maps byte PCs to instruction indices for RET under
+	// threaded dispatch (-1 = not an instruction start), replacing the
+	// IdxOf map lookup on every return.
+	retIdx []int32
+	// fastHeap is m.Alloc when it is the concrete semispace heap,
+	// enabling the bump-pointer allocation fast path in the threaded
+	// NEW handlers (nil for custom or conservative allocators).
+	fastHeap *heap.Heap
+	// Fused counts the superinstruction sites in the threaded table.
+	Fused int
 
 	// Tel, when non-nil, enables the VM probes; every probe is guarded
 	// by a nil check so an untraced machine pays one branch per site.
