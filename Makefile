@@ -8,9 +8,9 @@ GO ?= go
 # targets, so the gate costs about twice this.
 FUZZTIME ?= 15s
 
-.PHONY: check fmt vet vet-gcverify lint build test race test-all bench-telemetry bench-smoke serve-smoke verify-smoke heaplive-smoke dispatch-smoke fuzz-smoke diff-smoke cover
+.PHONY: check fmt vet vet-gcverify lint build test race test-all bench-telemetry bench-smoke serve-smoke verify-smoke heaplive-smoke dispatch-smoke concurrent-smoke fuzz-smoke diff-smoke cover
 
-check: fmt vet vet-gcverify lint build race test-all serve-smoke dispatch-smoke fuzz-smoke
+check: fmt vet vet-gcverify lint build race test-all serve-smoke dispatch-smoke concurrent-smoke fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -91,6 +91,17 @@ dispatch-smoke:
 	mkdir -p artifacts
 	$(GO) test -count=1 -run 'TestDispatch|TestDifferentialSeedsClean' ./internal/vmachine/ ./internal/difftest/
 	$(GO) run ./cmd/paperbench -dispatch -bench8 artifacts/BENCH_8.json
+
+# Mostly-concurrent marking smoke: the SATB barrier unit tests, the
+# hostile white-object-hiding mutator, the black-allocation regression,
+# the proactive-trigger determinism check, and the four-thread soak
+# (per-cycle heap.Check + strict gcverify), all under -race — then the
+# pause-SLO benchmark, which fails if the two modes diverge on output,
+# writing the BENCH_9 measurement for CI.
+concurrent-smoke:
+	mkdir -p artifacts
+	$(GO) test -race -count=1 -run 'TestConcurrent|TestProactive|TestSATB|TestBlackAlloc|TestMarkStep' ./internal/gc/ ./internal/gengc/
+	$(GO) run ./cmd/paperbench -concurrent -bench9 artifacts/BENCH_9.json
 
 # Fuzz smoke: a short budgeted run of both native fuzz targets — the
 # table decoder against damaged bytes, and the differential matrix

@@ -62,19 +62,21 @@ func main() {
 	quota := flag.Int64("quota", 0, "per-tenant heap quota words (0 = full semispace)")
 	fuel := flag.Int64("fuel", 20_000, "scheduler slice step budget")
 	maxTenants := flag.Int("max-tenants", 4096, "resident tenant cap")
+	concMark := flag.Bool("concmark", false, "tenants mark mostly-concurrently; /statz reports final-pause SLO rows")
 	bench := flag.String("bench", "", "write the load report (JSON) to this file")
 	minRate := flag.Float64("min-rate", 0, "fail load mode below this req/s")
 	flag.Parse()
 
 	tel := telemetry.New(telemetry.Config{RingSize: 1 << 14})
 	s := gcserve.New(gcserve.Config{
-		HeapWords:  *heapWords,
-		HeapQuota:  *quota,
-		Fuel:       *fuel,
-		Workers:    *workers,
-		MaxTenants: *maxTenants,
-		KeepStats:  1 << 14,
-		Tel:        tel,
+		HeapWords:      *heapWords,
+		HeapQuota:      *quota,
+		Fuel:           *fuel,
+		Workers:        *workers,
+		MaxTenants:     *maxTenants,
+		ConcurrentMark: *concMark,
+		KeepStats:      1 << 14,
+		Tel:            tel,
 	})
 	defer s.Close()
 

@@ -26,6 +26,9 @@
 //	-ring N             event ring size (default 64K events)
 //	-scheme S           gc table encoding scheme (default delta-pp)
 //	-stress             collect at every allocation gc-point
+//	-concmark           mostly-concurrent marking: the summary and trace
+//	                    split gc.mark_ns into concurrent mark bursts vs.
+//	                    the bounded final pause
 //	-finalgc            force one collection at exit (default true) so a
 //	                    program that never exhausts the heap — takl keeps
 //	                    every cell live — still records a complete cycle
@@ -66,6 +69,7 @@ func main() {
 	ringSize := flag.Int("ring", 1<<16, "event ring size")
 	schemeName := flag.String("scheme", "delta-pp", "gc table encoding scheme")
 	stress := flag.Bool("stress", false, "collect at every allocation gc-point")
+	concMark := flag.Bool("concmark", false, "mostly-concurrent marking (splits gc.mark_ns into concurrent vs. final-pause time)")
 	finalGC := flag.Bool("finalgc", true, "force one collection at exit")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -77,7 +81,7 @@ func main() {
 		fatal(fmt.Errorf("unknown scheme %q", *schemeName))
 	}
 
-	c, progName, err := load(flag.Arg(0), *optimize, *collector == "generational", scheme)
+	c, progName, err := load(flag.Arg(0), *optimize, *collector == "generational", *concMark, scheme)
 	if err != nil {
 		fatal(err)
 	}
@@ -145,10 +149,10 @@ func main() {
 
 // load resolves the program argument: an .m3 source file, an .mxo object
 // file, or (by basename) one of the embedded paper benchmarks.
-func load(arg string, optimize, generational bool, scheme gctab.Scheme) (*driver.Compiled, string, error) {
+func load(arg string, optimize, generational, concMark bool, scheme gctab.Scheme) (*driver.Compiled, string, error) {
 	name := strings.TrimSuffix(filepath.Base(arg), filepath.Ext(arg))
 	opts := driver.Options{Optimize: optimize, GCSupport: true, HeapLive: optimize,
-		Generational: generational, Scheme: scheme}
+		Generational: generational, ConcurrentMark: concMark, Scheme: scheme}
 	if strings.HasSuffix(arg, ".mxo") {
 		f, err := os.Open(arg)
 		if err != nil {
@@ -156,6 +160,12 @@ func load(arg string, optimize, generational bool, scheme gctab.Scheme) (*driver
 		}
 		defer f.Close()
 		c, err := driver.LoadObject(f)
+		if err == nil && concMark {
+			if !c.Opts.Generational {
+				return nil, "", fmt.Errorf("-concmark: %s was compiled without store checks", arg)
+			}
+			c.Opts.ConcurrentMark = true
+		}
 		return c, name, err
 	}
 	if src, err := os.ReadFile(arg); err == nil {

@@ -18,6 +18,10 @@
 //	-trace-workers N    trace-copy worker pool width for the precise
 //	                    collectors (0 = one per CPU, 1 = serial); the
 //	                    heap image is bitwise identical at any width
+//	-concmark           mostly-concurrent marking for the precise
+//	                    collectors: SATB-barriered stores, incremental
+//	                    mark, short final pause; outputs and heap
+//	                    images stay identical to stop-the-world
 //	-verify             statically verify the gc tables before running
 package main
 
@@ -50,6 +54,7 @@ func main() {
 	gcstats := flag.Bool("gcstats", false, "print collector statistics")
 	schemeName := flag.String("scheme", "delta-pp", "gc table encoding scheme")
 	traceWorkers := flag.Int("trace-workers", 0, "trace-copy workers (0 = one per CPU, 1 = serial)")
+	concMark := flag.Bool("concmark", false, "mostly-concurrent marking (SATB barrier + bounded final pause)")
 	heapLive := flag.Bool("heaplive", true, "compile-time GC: cell reuse and root-set shrinking")
 	verify := flag.Bool("verify", false, "statically verify the gc tables before running")
 	flag.Parse()
@@ -83,8 +88,9 @@ func main() {
 			fatal(err)
 		}
 		opts := driver.Options{Optimize: *optimize, GCSupport: true, Scheme: scheme,
-			HeapLive:     *heapLive,
-			Generational: *collector == "generational", Verify: *verify}
+			HeapLive:       *heapLive,
+			Generational:   *collector == "generational",
+			ConcurrentMark: *concMark, Verify: *verify}
 		c, err = driver.Compile(flag.Arg(0), string(src), opts)
 		if err != nil {
 			fatal(err)
@@ -93,6 +99,15 @@ func main() {
 	// After both paths (compile and .mxo load) so loaded objects honor
 	// the flag too; NewMachine reads it when wiring the collector.
 	c.Opts.TraceWorkers = *traceWorkers
+	if *concMark {
+		// A loaded object records whether barriered stores are in its
+		// code stream; without them the SATB hook never fires and
+		// concurrent marking would be unsound.
+		if !c.Opts.Generational && !c.Opts.ConcurrentMark {
+			fatal(fmt.Errorf("-concmark: %s was compiled without store checks", flag.Arg(0)))
+		}
+		c.Opts.ConcurrentMark = true
+	}
 	cfg := vmachine.DefaultConfig()
 	cfg.HeapWords = *heapWords
 	cfg.StackWords = *stackWords

@@ -12,6 +12,8 @@
 //	-mt           multithreaded gc-point selection (loop gc-polls)
 //	-elide        elide gc-points at calls to non-allocating procedures
 //	-split        disambiguate derivations by path splitting
+//	-concmark     compile barriered stores so the object can run under
+//	              the mostly-concurrent marker (mthree -concmark)
 //	-verify       statically verify the emitted gc tables (strict mode)
 //	-ir           dump the optimized IR
 //	-asm          dump the VM assembly listing
@@ -36,6 +38,7 @@ func main() {
 	elide := flag.Bool("elide", false, "elide gc-points at non-allocating calls")
 	split := flag.Bool("split", false, "path splitting instead of path variables")
 	heapLive := flag.Bool("heaplive", true, "compile-time GC: cell reuse and root-set shrinking")
+	concMark := flag.Bool("concmark", false, "compile barriered stores for concurrent marking")
 	verify := flag.Bool("verify", false, "statically verify the emitted gc tables")
 	dumpIR := flag.Bool("ir", false, "dump IR")
 	dumpAsm := flag.Bool("asm", false, "dump assembly")
@@ -53,14 +56,15 @@ func main() {
 		fatal(err)
 	}
 	opts := driver.Options{
-		Optimize:      *optimize,
-		GCSupport:     *gcSupport,
-		Multithreaded: *mt,
-		ElideNonAlloc: *elide,
-		PathSplitting: *split,
-		HeapLive:      *heapLive,
-		Scheme:        gctab.DeltaPP,
-		Verify:        *verify,
+		Optimize:       *optimize,
+		GCSupport:      *gcSupport,
+		Multithreaded:  *mt,
+		ElideNonAlloc:  *elide,
+		PathSplitting:  *split,
+		HeapLive:       *heapLive,
+		ConcurrentMark: *concMark,
+		Scheme:         gctab.DeltaPP,
+		Verify:         *verify,
 	}
 	c, err := driver.Compile(path, string(src), opts)
 	if err != nil {

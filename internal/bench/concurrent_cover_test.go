@@ -1,0 +1,42 @@
+package bench
+
+import "testing"
+
+// TestConcurrentPauseBenchmark pins the BENCH_9 entry point in CI with
+// a small ballast and one round per cell: both modes must print the
+// closed-form sum at every trace width, the concurrent rows must report
+// actual concurrent cycles with mark time off the pause path, and the
+// comparison must carry an SLO verdict per width. The p99-vs-p99 SLO
+// bar itself is judged on the full-size artifact run (BENCH_9.json),
+// not here — one small round is too jittery to gate merges on.
+func TestConcurrentPauseBenchmark(t *testing.T) {
+	r, err := ConcurrentPauseBenchmark(1<<14, 800, 1, 240)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.OutputsMatch {
+		t.Fatal("modes or widths diverged on program output")
+	}
+	if len(r.Rows) != 8 || len(r.SLO) != 4 {
+		t.Fatalf("rows=%d slo=%d, want 8 rows and 4 verdicts", len(r.Rows), len(r.SLO))
+	}
+	for _, row := range r.Rows {
+		if row.Collections == 0 || row.Pauses == 0 {
+			t.Errorf("%s tw=%d: collections=%d pauses=%d, workload never collected",
+				row.Mode, row.Workers, row.Collections, row.Pauses)
+		}
+		if row.Mode == "concurrent" {
+			if row.Cycles == 0 {
+				t.Errorf("concurrent tw=%d: no concurrent cycles ran", row.Workers)
+			}
+			if row.ConcMark == 0 {
+				t.Errorf("concurrent tw=%d: no mark time recorded off the pause path", row.Workers)
+			}
+		}
+	}
+	for _, v := range r.SLO {
+		if v.StwP99 == 0 || v.ConcP99 == 0 {
+			t.Errorf("width %d: empty SLO verdict %+v", v.Workers, v)
+		}
+	}
+}

@@ -40,6 +40,10 @@ type Options struct {
 	// stores into memory — the store checks generational schemes
 	// perform (§6.2).
 	Generational bool
+	// Barriers emits the same barriered stores without implying a
+	// generational heap — the snapshot-at-the-beginning barrier of the
+	// concurrent marker hangs off OpStB too.
+	Barriers bool
 	// HeapLive shrinks the emitted root sets using frame-local heap
 	// liveness: pointer slots of locals that can never be loaded again
 	// are omitted from gc-point tables (recorded in the tables'

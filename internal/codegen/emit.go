@@ -64,9 +64,10 @@ func (pg *procGen) emitInstr(b *ir.Block, ii int, liveAfter analysis.BitSet) err
 		ra := pg.use(in.A, 0)
 		rb := pg.use(in.B, 1)
 		op := vmachine.OpSt
-		if pg.g.opts.Generational && pg.p.Class(in.B) == ir.ClassPointer {
+		if (pg.g.opts.Generational || pg.g.opts.Barriers) && pg.p.Class(in.B) == ir.ClassPointer {
 			// Store check (§6.2): generational collection needs a write
-			// barrier on pointer stores into heap objects.
+			// barrier on pointer stores into heap objects; the concurrent
+			// marker's SATB barrier shares the hook.
 			op = vmachine.OpStB
 		}
 		pg.ins(vmachine.Instr{Op: op, Base: ra, Imm: in.Imm, Ra: rb})

@@ -58,11 +58,21 @@ type Cell struct {
 	// threaded cells stay in the same determinism group as switch cells:
 	// collection counts and final heap images must match bitwise.
 	Threaded bool
+	// Concurrent runs the precise collectors mostly-concurrently: SATB
+	// write barrier, incremental mark bursts, short final pause. Cells
+	// here are single-threaded, so the split cycle executes back-to-back
+	// at the trigger point — which must be bitwise identical to a
+	// stop-the-world collection. Concurrent cells therefore stay in the
+	// same determinism group as synchronous cells: outputs, collection
+	// counts, and final heap images must match exactly. The conservative
+	// baseline has no precise mark phase to split and ignores the flag;
+	// its cells pin that the option is inert there.
+	Concurrent bool
 }
 
 func (c Cell) String() string {
-	return fmt.Sprintf("%s/%s/cache=%v/workers=%d/tw=%d/heaplive=%v/threaded=%v",
-		c.Collector, c.Scheme, c.Cache, c.Workers, c.TraceWorkers, c.HeapLive, c.Threaded)
+	return fmt.Sprintf("%s/%s/cache=%v/workers=%d/tw=%d/heaplive=%v/threaded=%v/conc=%v",
+		c.Collector, c.Scheme, c.Cache, c.Workers, c.TraceWorkers, c.HeapLive, c.Threaded, c.Concurrent)
 }
 
 // traceWidthsFor returns the trace-copy pool widths the matrix explores
@@ -77,8 +87,8 @@ func traceWidthsFor(collector string) []int {
 }
 
 // Matrix returns the full {collector × scheme × cache × workers ×
-// trace-workers × heaplive} product over the given schemes (AllSchemes
-// when nil).
+// trace-workers × heaplive × dispatch × concurrent} product over the
+// given schemes (AllSchemes when nil).
 func Matrix(schemes []gctab.Scheme) []Cell {
 	if schemes == nil {
 		schemes = AllSchemes
@@ -91,9 +101,11 @@ func Matrix(schemes []gctab.Scheme) []Cell {
 					for _, tw := range traceWidthsFor(col) {
 						for _, hl := range []bool{false, true} {
 							for _, th := range []bool{false, true} {
-								cells = append(cells, Cell{Collector: col, Scheme: s,
-									Cache: cache, Workers: workers, TraceWorkers: tw,
-									HeapLive: hl, Threaded: th})
+								for _, conc := range []bool{false, true} {
+									cells = append(cells, Cell{Collector: col, Scheme: s,
+										Cache: cache, Workers: workers, TraceWorkers: tw,
+										HeapLive: hl, Threaded: th, Concurrent: conc})
+								}
 							}
 						}
 					}
@@ -346,11 +358,12 @@ func Execute(seed int64, src string, cfg Config) *Result {
 	}
 
 	// Within a {collector, heaplive} group, scheme/cache/workers/
-	// trace-workers/dispatch must be invisible: identical collection
-	// counts and bitwise-identical final heaps. HeapLive splits the
-	// groups because cell reuse legitimately changes both; Threaded does
-	// NOT split them — the threaded table must be indistinguishable from
-	// the switch.
+	// trace-workers/dispatch/concurrency must be invisible: identical
+	// collection counts and bitwise-identical final heaps. HeapLive
+	// splits the groups because cell reuse legitimately changes both;
+	// Threaded and Concurrent do NOT split them — the threaded table
+	// must be indistinguishable from the switch, and the split
+	// concurrent cycle must be indistinguishable from stop-the-world.
 	for _, col := range sortedKeys(groups) {
 		g := groups[col]
 		base := g[0]
@@ -391,6 +404,10 @@ func runCell(c *driver.Compiled, cell Cell, maxSteps int64) (r cellResult) {
 	cc.Opts.WalkWorkers = cell.Workers
 	cc.Opts.TraceWorkers = cell.TraceWorkers
 	cc.Opts.ThreadedDispatch = cell.Threaded
+	// No recompile needed: every difftest compile is Generational, so
+	// the barriered stores the concurrent marker hangs off are already
+	// in the code stream.
+	cc.Opts.ConcurrentMark = cell.Concurrent
 
 	vcfg := vmachine.Config{
 		HeapWords:  heapWordsFor(cell.Collector),

@@ -12,9 +12,9 @@ func TestMatrixShape(t *testing.T) {
 	cells := Matrix(nil)
 	// gc and gengc explore trace-worker widths {1,8}; conservative has
 	// no copy phase and runs {1} only. Every cell doubles across the
-	// heaplive compile dimension and again across switch/threaded
-	// dispatch.
-	if want := (2*8*2*2*2 + 1*8*2*2*1) * 2 * 2; len(cells) != want {
+	// heaplive compile dimension, again across switch/threaded dispatch,
+	// and again across synchronous/concurrent marking.
+	if want := (2*8*2*2*2 + 1*8*2*2*1) * 2 * 2 * 2; len(cells) != want {
 		t.Fatalf("full matrix has %d cells, want %d", len(cells), want)
 	}
 	seen := map[string]bool{}
@@ -42,7 +42,7 @@ func TestDifferentialSeedsClean(t *testing.T) {
 			}
 			t.Fatalf("seed %d: %d findings\n%s", seed, len(r.Findings), r.Program)
 		}
-		if want := (2*2 + 1) * len(schemes) * 2 * 2 * 2 * 2; r.Cells != want {
+		if want := (2*2 + 1) * len(schemes) * 2 * 2 * 2 * 2 * 2; r.Cells != want {
 			t.Fatalf("seed %d: ran %d cells, want %d", seed, r.Cells, want)
 		}
 	}

@@ -75,17 +75,19 @@ func FailsLike(f Finding, cfg Config) func(string) bool {
 		narrow.Cells = []Cell{}
 	case KindDeterminism:
 		// Determinism is judged within a {collector, heaplive} group:
-		// keep the whole {cache × workers × trace-workers × dispatch}
-		// slice of the failing collector at the failing cell's HeapLive
-		// setting.
+		// keep the whole {cache × workers × trace-workers × dispatch ×
+		// concurrent} slice of the failing collector at the failing
+		// cell's HeapLive setting.
 		var cells []Cell
 		for _, cache := range []bool{false, true} {
 			for _, workers := range []int{1, 8} {
 				for _, tw := range traceWidthsFor(f.Cell.Collector) {
 					for _, th := range []bool{false, true} {
-						cells = append(cells, Cell{Collector: f.Cell.Collector, Scheme: f.Cell.Scheme,
-							Cache: cache, Workers: workers, TraceWorkers: tw,
-							HeapLive: f.Cell.HeapLive, Threaded: th})
+						for _, conc := range []bool{false, true} {
+							cells = append(cells, Cell{Collector: f.Cell.Collector, Scheme: f.Cell.Scheme,
+								Cache: cache, Workers: workers, TraceWorkers: tw,
+								HeapLive: f.Cell.HeapLive, Threaded: th, Concurrent: conc})
+						}
 					}
 				}
 			}
@@ -121,10 +123,10 @@ type Regression struct {
 }
 
 // CellSpec is Cell in a JSON-stable spelling. TraceWorkers, HeapLive,
-// and Threaded are omitted when zero/false so sidecars written before
-// those dimensions existed replay unchanged (0 = the collector's
-// default width, false = the pass/dispatcher off, matching the old
-// behavior).
+// Threaded, and Concurrent are omitted when zero/false so sidecars
+// written before those dimensions existed replay unchanged (0 = the
+// collector's default width, false = the pass/dispatcher/marker off,
+// matching the old behavior).
 type CellSpec struct {
 	Collector    string `json:"collector"`
 	Full         bool   `json:"full"`
@@ -135,13 +137,15 @@ type CellSpec struct {
 	TraceWorkers int    `json:"trace_workers,omitempty"`
 	HeapLive     bool   `json:"heap_live,omitempty"`
 	Threaded     bool   `json:"threaded,omitempty"`
+	Concurrent   bool   `json:"concurrent,omitempty"`
 }
 
 // Spec converts a Cell for serialization.
 func (c Cell) Spec() CellSpec {
 	return CellSpec{Collector: c.Collector, Full: c.Scheme.Full, Packing: c.Scheme.Packing,
 		Previous: c.Scheme.Previous, Cache: c.Cache, Workers: c.Workers,
-		TraceWorkers: c.TraceWorkers, HeapLive: c.HeapLive, Threaded: c.Threaded}
+		TraceWorkers: c.TraceWorkers, HeapLive: c.HeapLive, Threaded: c.Threaded,
+		Concurrent: c.Concurrent}
 }
 
 // Cell converts back.
@@ -149,7 +153,7 @@ func (s CellSpec) Cell() Cell {
 	return Cell{Collector: s.Collector,
 		Scheme: gctab.Scheme{Full: s.Full, Packing: s.Packing, Previous: s.Previous},
 		Cache:  s.Cache, Workers: s.Workers, TraceWorkers: s.TraceWorkers,
-		HeapLive: s.HeapLive, Threaded: s.Threaded}
+		HeapLive: s.HeapLive, Threaded: s.Threaded, Concurrent: s.Concurrent}
 }
 
 // WriteRegression stores the reduced program and its replay sidecar

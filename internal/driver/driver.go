@@ -44,6 +44,16 @@ type Options struct {
 	// Generational compiles store checks (write barriers) so the
 	// program can run under the generational collector.
 	Generational bool
+	// ConcurrentMark runs the precise collectors mostly-concurrently:
+	// full (and generational major) collections snapshot roots in a
+	// short initial pause, mark in bounded increments interleaved with
+	// mutator execution, and stop the world again only to drain the
+	// SATB buffer and copy. Compiles the same store checks as
+	// Generational so the snapshot barrier has a hook on every heap
+	// pointer store. The heap image, outputs, and collection counts
+	// stay bitwise identical to stop-the-world runs (the difftest
+	// matrix sweeps both).
+	ConcurrentMark bool
 	// HeapLive enables the compile-time GC pass (default in
 	// NewOptions): cell reuse for allocations whose descriptor matches
 	// a provably dead cell, and root shrinking for frame locals whose
@@ -136,6 +146,7 @@ func Compile(name, src string, opts Options) (*Compiled, error) {
 		Multithreaded: opts.Multithreaded,
 		ElideNonAlloc: opts.ElideNonAlloc,
 		Generational:  opts.Generational,
+		Barriers:      opts.ConcurrentMark,
 		HeapLive:      opts.HeapLive,
 	})
 	if err != nil {
@@ -218,6 +229,7 @@ func (c *Compiled) NewMachineWithDecoder(cfg vmachine.Config, dec gctab.TableDec
 	col := gc.NewWith(h, dec)
 	col.WalkWorkers = c.Opts.WalkWorkers
 	col.TraceWorkers = c.Opts.TraceWorkers
+	col.Concurrent = c.Opts.ConcurrentMark
 	col.SetTracer(cfg.Tel)
 	m.Alloc = h
 	m.Collector = col
@@ -247,6 +259,7 @@ func (c *Compiled) NewGenerationalMachine(cfg vmachine.Config) (*vmachine.Machin
 	col := gengc.NewWith(h, c.tableDecoder())
 	col.WalkWorkers = c.Opts.WalkWorkers
 	col.TraceWorkers = c.Opts.TraceWorkers
+	col.Concurrent = c.Opts.ConcurrentMark
 	col.SetTracer(cfg.Tel)
 	m.Alloc = h
 	m.Collector = col
@@ -283,7 +296,9 @@ func (c *Compiled) NewConservativeMachine(cfg vmachine.Config) (*vmachine.Machin
 // WriteObject serializes the compiled module (program + encoded gc
 // tables) as an object file.
 func (c *Compiled) WriteObject(w io.Writer) error {
-	return objfile.Write(w, c.Prog, c.Encoded, c.Opts.Generational)
+	// The object-file flag records "store checks present" — true for
+	// generational and concurrent-mark compiles alike.
+	return objfile.Write(w, c.Prog, c.Encoded, c.Opts.Generational || c.Opts.ConcurrentMark)
 }
 
 // LoadObject reads a previously written object file. The result can run

@@ -1,0 +1,95 @@
+package driver
+
+// Object-file round trip for barriered compiles: a concurrent-mark
+// module must carry the store-check flag through serialization, verify
+// cleanly both with and without the in-memory tables, and produce the
+// same output when the loaded object runs on a barrier-capable
+// (generational) machine.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/vmachine"
+)
+
+func TestObjectRoundTripConcurrentMark(t *testing.T) {
+	src := `
+MODULE T;
+TYPE L = REF RECORD v: INTEGER; next: L; END;
+VAR keep: L; i, s: INTEGER;
+BEGIN
+  FOR i := 1 TO 300 DO
+    WITH c = NEW(L) DO
+      c.v := i;
+      IF i MOD 10 = 0 THEN c.next := keep; keep := c; END;
+    END;
+  END;
+  s := 0;
+  WHILE keep # NIL DO s := s + keep.v; keep := keep.next; END;
+  PutInt(s); PutLn();
+END T.
+`
+	const want = "4650\n" // 10+20+...+300
+	opts := NewOptions()
+	opts.ConcurrentMark = true
+	c, err := Compile("t.m3", src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify(); err != nil {
+		t.Fatalf("strict verify: %v", err)
+	}
+
+	cfg := vmachine.Config{HeapWords: 2048, StackWords: 4096, MaxThreads: 4}
+	var sb strings.Builder
+	cfg.Out = &sb
+	m, col, err := c.NewMachine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Run(10_000_000); err != nil {
+		t.Fatalf("original: %v", err)
+	}
+	if sb.String() != want {
+		t.Fatalf("original output %q, want %q", sb.String(), want)
+	}
+	if !col.Concurrent {
+		t.Error("collector not in concurrent mode")
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteObject(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadObject(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The object flag records "store checks present"; a concurrent-mark
+	// compile loads as a barriered (generational) module.
+	if !loaded.Opts.Generational {
+		t.Error("store-check flag lost in the object round trip")
+	}
+	// Loaded objects carry no in-memory tables: Verify must still pass
+	// in its permissive mode.
+	if err := loaded.Verify(); err != nil {
+		t.Fatalf("loaded verify: %v", err)
+	}
+
+	var sb2 strings.Builder
+	cfg2 := vmachine.Config{HeapWords: 2048, StackWords: 4096, MaxThreads: 4}
+	cfg2.Out = &sb2
+	m2, gcol, err := loaded.NewGenerationalMachine(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gcol.Debug = true
+	if err := m2.Run(10_000_000); err != nil {
+		t.Fatalf("loaded: %v", err)
+	}
+	if sb2.String() != want {
+		t.Errorf("loaded output %q, want %q", sb2.String(), want)
+	}
+}

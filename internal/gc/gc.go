@@ -52,6 +52,17 @@ type Collector struct {
 	// so the resulting heap is bitwise identical at any width.
 	TraceWorkers int
 
+	// Concurrent enables mostly-concurrent marking (concurrent.go):
+	// collections split into an initial root-scan pause, incremental
+	// mark bursts interleaved with mutator execution, and a short final
+	// pause that runs only assign/copy/fixup. Requires barriered stores
+	// in the program (codegen Options.Generational or Options.Barriers).
+	Concurrent bool
+	// MarkBudget bounds the gray objects scanned per mark burst
+	// (0 = DefaultMarkBudget). Smaller budgets mean shorter bursts and
+	// more of them.
+	MarkBudget int
+
 	// Statistics.
 	Collections    int64
 	FramesTraced   int64
@@ -64,6 +75,14 @@ type Collector struct {
 	AssignTime     time.Duration
 	CopyTime       time.Duration
 	FixupTime      time.Duration
+	// Concurrent-mode statistics.
+	Cycles         int64 // completed concurrent cycles
+	SATBLogged     int64 // old values the write barrier claimed
+	ConcMarkTime   time.Duration
+	FinalPauseTime time.Duration
+
+	// cyc is the in-flight concurrent cycle, nil outside one.
+	cyc *concCycle
 
 	// marks is the recycled mark bitmap (one allocation per collector,
 	// not per collection).
@@ -87,6 +106,8 @@ type Collector struct {
 	hAssign      *telemetry.Histogram
 	hCopy        *telemetry.Histogram
 	hFixup       *telemetry.Histogram
+	hConcMark    *telemetry.Histogram
+	hFinal       *telemetry.Histogram
 	gAllocBytes  *telemetry.Gauge
 	gLiveBytes   *telemetry.Gauge
 	gLiveObjects *telemetry.Gauge
@@ -117,6 +138,7 @@ func (c *Collector) SetTracer(t *telemetry.Tracer) {
 		c.mObjects, c.mSteals = nil, nil
 		c.hPause, c.hWalk = nil, nil
 		c.hMark, c.hAssign, c.hCopy, c.hFixup = nil, nil, nil, nil
+		c.hConcMark, c.hFinal = nil, nil
 		c.gAllocBytes, c.gLiveBytes, c.gLiveObjects, c.gCollections = nil, nil, nil, nil
 		return
 	}
@@ -133,6 +155,8 @@ func (c *Collector) SetTracer(t *telemetry.Tracer) {
 	c.hAssign = t.Histogram(telemetry.HistGCAssignNs)
 	c.hCopy = t.Histogram(telemetry.HistGCCopyNs)
 	c.hFixup = t.Histogram(telemetry.HistGCFixupNs)
+	c.hConcMark = t.Histogram(telemetry.HistGCConcMarkNs)
+	c.hFinal = t.Histogram(telemetry.HistGCFinalPauseNs)
 	c.gAllocBytes = t.Gauge(telemetry.GaugeHeapAllocBytes)
 	c.gLiveBytes = t.Gauge(telemetry.GaugeHeapLiveBytes)
 	c.gLiveObjects = t.Gauge(telemetry.GaugeHeapLiveObjects)
@@ -168,8 +192,21 @@ func countDerivs(frames []*Frame) int64 {
 	return n
 }
 
-// Collect implements vmachine.Collector.
+// Collect implements vmachine.Collector. With Concurrent set, a direct
+// call runs the whole split cycle back-to-back (collectSplit) — the
+// single-threaded inline path, bitwise identical to stop-the-world; the
+// multi-threaded scheduler instead drives StartCycle/MarkStep/
+// FinishCycle itself and never calls Collect.
 func (c *Collector) Collect(m *vmachine.Machine) error {
+	if c.cyc != nil {
+		// A direct Collect landed while a cycle is in flight (an
+		// external caller; the machine's own paths finish the cycle
+		// first): drain and finish it rather than starting another.
+		return c.finishActive(m)
+	}
+	if c.ShouldStartCycle() {
+		return c.collectSplit(m)
+	}
 	start := time.Now()
 	defer func() { c.TotalTime += time.Since(start) }()
 	if c.Mode == ModeNull {
@@ -224,7 +261,14 @@ func (c *Collector) Collect(m *vmachine.Machine) error {
 			c.hCopy.Observe(int64(st.Copy))
 			c.hFixup.Observe(int64(st.Fixup))
 		}
-		c.hPause.Observe(c.Tel.Now() - telStart)
+		pause := c.Tel.Now() - telStart
+		c.hPause.Observe(pause)
+		if c.Mode == ModeFull {
+			// A stop-the-world collection's "final pause" is the whole
+			// pause, so concurrent-vs-STW SLO comparisons read one
+			// histogram.
+			c.hFinal.Observe(pause)
+		}
 		c.gAllocBytes.Set(c.Heap.AllocatedBytes())
 		c.gLiveBytes.Set(c.Heap.LiveBytes())
 		c.gLiveObjects.Set(c.Heap.LiveObjects)

@@ -117,7 +117,29 @@ func TraceCopy(roots []*int64, sp CopySpace, workers int) (TraceStats, error) {
 		return st, err
 	}
 
-	t0 = time.Now()
+	fin, err := FinishCopy(markedLists, roots, sp, workers)
+	st.Objects, st.Words, st.Next = fin.Objects, fin.Words, fin.Next
+	st.Assign, st.Copy, st.Fixup = fin.Assign, fin.Copy, fin.Fixup
+	return st, err
+}
+
+// FinishCopy runs the deterministic tail of a collection — assign,
+// copy, fixup — over an already-computed marked set. TraceCopy calls it
+// after its own mark phase; the concurrent collectors call it directly
+// at the final pause, with markedLists accumulated incrementally while
+// mutators ran. The marked lists may be in any order and split across
+// any number of sublists: assignPhase sorts them, so the layout depends
+// only on the set. Mark/Steals in the returned stats are zero.
+func FinishCopy(markedLists [][]int64, roots []*int64, sp CopySpace, workers int) (TraceStats, error) {
+	var st TraceStats
+	if workers <= 0 {
+		workers = DefaultTraceWorkers
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	t0 := time.Now()
 	plan := assignPhase(markedLists, sp)
 	st.Assign = time.Since(t0)
 	st.Objects = int64(len(plan.from))

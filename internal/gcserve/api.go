@@ -200,12 +200,16 @@ type PauseStat struct {
 	MaxNs  int64 `json:"max_ns"`
 }
 
-func pauseStat(snap telemetry.Snapshot) PauseStat {
-	h := snap.Histograms[telemetry.HistGCPauseNs]
+func pauseStat(snap telemetry.Snapshot, hist string) PauseStat {
+	h := snap.Histograms[hist]
 	return PauseStat{Count: h.Count, MeanNs: h.Mean(), P50Ns: h.P50, P99Ns: h.P99, MaxNs: h.Max}
 }
 
-// TenantStat is one tenant's row in the /statz snapshot.
+// TenantStat is one tenant's row in the /statz snapshot. Pauses counts
+// every mutator stall (stop-the-world collections, and under
+// Config.ConcurrentMark also each mark burst and the final pause);
+// FinalPauses is the pause-SLO row — the stop point a request actually
+// waits out per collection, which concurrent marking is meant to bound.
 type TenantStat struct {
 	ID          string    `json:"id"`
 	Program     string    `json:"program"`
@@ -217,6 +221,7 @@ type TenantStat struct {
 	LiveBytes   int64     `json:"live_bytes"`
 	AllocBytes  int64     `json:"allocated_bytes"`
 	Pauses      PauseStat `json:"pause_ns"`
+	FinalPauses PauseStat `json:"final_pause_ns"`
 	Trap        string    `json:"trap,omitempty"`
 }
 

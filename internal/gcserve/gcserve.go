@@ -69,6 +69,12 @@ type Config struct {
 	// KeepStats bounds retained per-tenant stats of completed one-shot
 	// runs (default 1024).
 	KeepStats int
+	// ConcurrentMark runs every tenant's collector mostly-concurrently:
+	// SATB-barriered stores are compiled into registered programs and
+	// marking is split off the allocation pause. Per-tenant /statz rows
+	// then report the final-pause SLO (final_pause_ns) instead of
+	// whole-collection pauses only.
+	ConcurrentMark bool
 	// Tel is the process tracer: shared-decoder counters, rendezvous
 	// events, and anything not attributable to one tenant. Nil
 	// disables process telemetry.

@@ -419,3 +419,49 @@ func TestStatzTenantRows(t *testing.T) {
 		}
 	}
 }
+
+// TestConcurrentMarkServer pins the concurrent serving mode: with
+// Config.ConcurrentMark every registered program carries barriered
+// stores, tenants run and produce the same output as synchronous
+// serving, and /statz rows carry the final-pause SLO distribution the
+// bounded-pause claim is judged by.
+func TestConcurrentMarkServer(t *testing.T) {
+	s := newTestServer(t, Config{HeapWords: 512, Workers: 2, Fuel: 101, ConcurrentMark: true})
+	mustRegister(t, s, "work", sumSrc(800), DefaultOptions())
+	res, err := s.RunProgram("work")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Done || res.Trap != "" || res.Output != sumWant(800) {
+		t.Fatalf("result %+v, want done with output %q", res, sumWant(800))
+	}
+	if res.Collections == 0 {
+		t.Fatal("tenant never collected; shrink the heap so the SLO rows mean something")
+	}
+	z := s.Snapshot()
+	if len(z.Tenants) != 1 {
+		t.Fatalf("tenant rows = %d, want 1", len(z.Tenants))
+	}
+	row := z.Tenants[0]
+	if row.FinalPauses.Count == 0 || row.FinalPauses.MaxNs <= 0 {
+		t.Fatalf("row %s: final_pause_ns %+v, want a populated SLO distribution", row.ID, row.FinalPauses)
+	}
+	if row.FinalPauses.P99Ns < row.FinalPauses.P50Ns {
+		t.Fatalf("row %s: p99 %d below p50 %d", row.ID, row.FinalPauses.P99Ns, row.FinalPauses.P50Ns)
+	}
+}
+
+// TestStatzFinalPauseRowsSynchronous pins that the SLO row is not a
+// concurrent-only feature: stop-the-world collections observe the whole
+// pause as their final pause, so /statz stays comparable across modes.
+func TestStatzFinalPauseRowsSynchronous(t *testing.T) {
+	s := newTestServer(t, Config{HeapWords: 512, Workers: 2, Fuel: 101})
+	mustRegister(t, s, "work", sumSrc(800), DefaultOptions())
+	if res, err := s.RunProgram("work"); err != nil || !res.Done || res.Collections == 0 {
+		t.Fatalf("run: %+v, %v", res, err)
+	}
+	row := s.Snapshot().Tenants[0]
+	if row.FinalPauses.Count == 0 {
+		t.Fatalf("row %s: synchronous tenant has empty final_pause_ns %+v", row.ID, row.FinalPauses)
+	}
+}

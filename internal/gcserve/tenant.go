@@ -52,6 +52,7 @@ type tenant struct {
 // the tenant (its scheduler worker, or the request goroutine before
 // first enqueue) may call it, because it reads the live machine.
 func (t *tenant) updateStat(err error) {
+	snap := t.tel.Snapshot()
 	st := TenantStat{
 		ID:          t.id,
 		Program:     t.prog.name,
@@ -61,7 +62,8 @@ func (t *tenant) updateStat(err error) {
 		Slices:      t.slices,
 		LiveBytes:   t.col.Heap.LiveBytes(),
 		AllocBytes:  t.col.Heap.AllocatedBytes(),
-		Pauses:      pauseStat(t.tel.Snapshot()),
+		Pauses:      pauseStat(snap, telemetry.HistGCPauseNs),
+		FinalPauses: pauseStat(snap, telemetry.HistGCFinalPauseNs),
 	}
 	if rte := trapOf(err); rte != nil {
 		st.Trap = rte.Code.String()

@@ -269,11 +269,24 @@ func (c *CachedDecoder) buildProc(i int, p *cachedProc) {
 		p.segBytes = int64(w.r.off)
 		return
 	}
-	for _, pc := range w.pcs {
+	lastIdx := make(map[int]int, len(w.pcs))
+	for k, pc := range w.pcs {
+		lastIdx[pc] = k
+	}
+	for k, pc := range w.pcs {
 		if !w.next() {
 			p.cause = ErrTruncated
 			if w.badDesc {
 				p.cause = ErrBadDescriptor
+			}
+			// The plain decoder serves a pc's LAST occurrence, so any
+			// pc whose final occurrence sits at or past the damage must
+			// report the damage too — drop the stale earlier views the
+			// replay memoized for them.
+			for _, pc := range w.pcs {
+				if lastIdx[pc] >= k {
+					delete(p.views, pc)
+				}
 			}
 			break
 		}

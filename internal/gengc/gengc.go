@@ -208,11 +208,25 @@ type Collector struct {
 	// the heap is bitwise identical at any width.
 	TraceWorkers int
 
+	// Concurrent enables mostly-concurrent marking for major cycles
+	// (concurrent.go): the escalation that would run a stop-the-world
+	// major instead starts an incremental mark with the SATB barrier
+	// armed, keeping only the copy/flip in the final pause. Minor
+	// collections stay stop-the-world — a nursery scan is already
+	// bounded by the (small) nursery size.
+	Concurrent bool
+	// MarkBudget bounds the gray objects scanned per mark burst
+	// (0 = gc.DefaultMarkBudget).
+	MarkBudget int
+
 	remset map[int64]bool // old-space slot addresses holding young pointers
 
 	// marks is the recycled mark bitmap shared by minor and major
 	// cycles.
 	marks *heap.MarkSet
+
+	// cyc is the in-flight concurrent major cycle, nil outside one.
+	cyc *concCycle
 
 	// Statistics.
 	Minor          int64
@@ -224,12 +238,16 @@ type Collector struct {
 	ObjectsCopied  int64
 	Steals         int64
 	RemsetPeak     int
+	Cycles         int64 // completed concurrent major cycles
+	SATBLogged     int64 // old values the write barrier claimed
 	TotalTime      time.Duration
 	StackTraceTime time.Duration
 	MarkTime       time.Duration
 	AssignTime     time.Duration
 	CopyTime       time.Duration
 	FixupTime      time.Duration
+	ConcMarkTime   time.Duration
+	FinalPauseTime time.Duration
 
 	// Tel, when non-nil, receives per-cycle events and metrics. The
 	// barrier itself stays probe-free (it runs on every barriered
@@ -252,6 +270,8 @@ type Collector struct {
 	hAssign      *telemetry.Histogram
 	hCopy        *telemetry.Histogram
 	hFixup       *telemetry.Histogram
+	hConcMark    *telemetry.Histogram
+	hFinal       *telemetry.Histogram
 	gAllocBytes  *telemetry.Gauge
 	gLiveBytes   *telemetry.Gauge
 	gBarChecks   *telemetry.Gauge
@@ -281,6 +301,7 @@ func (c *Collector) SetTracer(t *telemetry.Tracer) {
 		c.mObjects, c.mSteals = nil, nil
 		c.hPause, c.hWalk = nil, nil
 		c.hMark, c.hAssign, c.hCopy, c.hFixup = nil, nil, nil, nil
+		c.hConcMark, c.hFinal = nil, nil
 		c.gAllocBytes, c.gLiveBytes, c.gBarChecks, c.gBarHits, c.gRemset = nil, nil, nil, nil, nil
 		return
 	}
@@ -300,6 +321,8 @@ func (c *Collector) SetTracer(t *telemetry.Tracer) {
 	c.hAssign = t.Histogram(telemetry.HistGCAssignNs)
 	c.hCopy = t.Histogram(telemetry.HistGCCopyNs)
 	c.hFixup = t.Histogram(telemetry.HistGCFixupNs)
+	c.hConcMark = t.Histogram(telemetry.HistGCConcMarkNs)
+	c.hFinal = t.Histogram(telemetry.HistGCFinalPauseNs)
 	c.gAllocBytes = t.Gauge(telemetry.GaugeHeapAllocBytes)
 	c.gLiveBytes = t.Gauge(telemetry.GaugeHeapLiveBytes)
 	c.gBarChecks = t.Gauge(telemetry.GaugeGenBarrierChecks)
@@ -323,8 +346,18 @@ func (c *Collector) Barrier(slot, val int64) {
 func (c *Collector) RemsetSize() int { return len(c.remset) }
 
 // Collect implements vmachine.Collector: a minor collection, escalating
-// to a major one when the old space cannot absorb the survivors.
+// to a major one when the old space cannot absorb the survivors. With
+// Concurrent set, an escalation called directly runs the whole split
+// major cycle back-to-back (collectSplit); the multi-threaded scheduler
+// drives the split phases itself through the ConcurrentCollector
+// protocol and never reaches this path for them.
 func (c *Collector) Collect(m *vmachine.Machine) error {
+	if c.cyc != nil {
+		return c.finishActive(m)
+	}
+	if c.ShouldStartCycle() {
+		return c.collectSplit(m)
+	}
 	start := time.Now()
 	defer func() { c.TotalTime += time.Since(start) }()
 
@@ -413,7 +446,11 @@ func (c *Collector) Collect(m *vmachine.Machine) error {
 		c.hAssign.Observe(int64(st.Assign))
 		c.hCopy.Observe(int64(st.Copy))
 		c.hFixup.Observe(int64(st.Fixup))
-		c.hPause.Observe(c.Tel.Now() - telStart)
+		pause := c.Tel.Now() - telStart
+		c.hPause.Observe(pause)
+		// A stop-the-world collection's "final pause" is its whole
+		// pause (see telemetry.HistGCFinalPauseNs).
+		c.hFinal.Observe(pause)
 		c.gAllocBytes.Set(h.AllocatedBytes())
 		c.gLiveBytes.Set(h.LiveBytes())
 		c.gBarChecks.Set(c.BarrierChecks)

@@ -122,6 +122,15 @@ const (
 	HistGCCopyNs         = "gc.copy_ns"
 	HistGCFixupNs        = "gc.fixup_ns"
 	HistGCWaitNs         = "vm.gcpoint_wait_ns"
+	// Concurrent-mark split of the pause accounting: mark_concurrent_ns
+	// observes each mark burst that ran while mutators were scheduled
+	// (not a pause), and final_pause_ns observes the stop-the-world
+	// remainder of a cycle — the SATB drain plus assign/copy/fixup. A
+	// fully stop-the-world collection observes its entire pause in
+	// final_pause_ns too, so "final-pause p99, concurrent vs. STW" is a
+	// single-histogram comparison.
+	HistGCConcMarkNs   = "gc.mark_concurrent_ns"
+	HistGCFinalPauseNs = "gc.final_pause_ns"
 
 	CtrGenMinor           = "gengc.minor"
 	CtrGenMajor           = "gengc.major"

@@ -82,6 +82,11 @@ func DefaultFusions() []Fusion {
 		{OpMovI, OpCall}, {OpSt, OpCall}, {OpLd, OpCall}, {OpMov, OpCall},
 		{OpMovI, OpSt}, {OpSt, OpMovI}, {OpLd, OpMovI},
 		{OpMov, OpMov}, {OpMov, OpRet},
+		// Barriered stores fuse like plain ones (generational and
+		// concurrent-mark compiles replace most OpSt with OpStB, so
+		// store-heavy code keeps its superinstructions there too).
+		{OpStB, OpStB}, {OpLd, OpStB}, {OpStB, OpLd},
+		{OpMovI, OpStB}, {OpAddI, OpStB}, {OpStB, OpMovI},
 	}
 }
 
@@ -212,7 +217,7 @@ func (m *Machine) stepSlice(t *Thread, budget int64) (int64, error) {
 		}
 		if m.StressGC && e.stress && !t.stressed {
 			m.Cur = t
-			if err := m.Collector.Collect(m); err != nil {
+			if err := m.collectNow(); err != nil {
 				return consumed, err
 			}
 			m.GCCount++
@@ -319,9 +324,13 @@ func buildHandler(p *Program, i int) (h handlerFn, known bool) {
 			return func(m *Machine, t *Thread, in *Instr) error {
 				if h := m.fastHeap; h != nil {
 					if addr, ok := h.BumpRec(hdr, size); ok {
+						if m.AllocMark != nil {
+							m.AllocMark(addr)
+						}
 						t.Regs[in.Rd] = addr
 						t.PC++
 						t.allocRetried = false
+						t.allocSynced = false
 						return nil
 					}
 				}
@@ -341,9 +350,13 @@ func buildHandler(p *Program, i int) (h handlerFn, known bool) {
 				}
 				if h := m.fastHeap; h != nil {
 					if addr, ok := h.BumpArr(hdr, n, elemWords); ok {
+						if m.AllocMark != nil {
+							m.AllocMark(addr)
+						}
 						t.Regs[in.Rd] = addr
 						t.PC++
 						t.allocRetried = false
+						t.allocSynced = false
 						return nil
 					}
 				}
@@ -496,6 +509,23 @@ func buildFusedPair(in1, in2 *Instr, mid, next int) handlerFn {
 				t.PC = next
 				return nil
 			}
+		case OpStB:
+			b2, o2, ra2 := in2.Base, in2.Imm, in2.Ra
+			return func(m *Machine, t *Thread, _ *Instr) error {
+				v, err := m.read(baseOf(t, b1) + o1)
+				if err != nil {
+					m.Steps--
+					return err
+				}
+				t.Regs[rd1] = v
+				t.PC = mid
+				t.stressed = false
+				if err := m.storeBarriered(baseOf(t, b2)+o2, t.Regs[ra2]); err != nil {
+					return err
+				}
+				t.PC = next
+				return nil
+			}
 		}
 	case OpSt:
 		b1, o1, ra1 := in1.Base, in1.Imm, in1.Ra
@@ -570,6 +600,19 @@ func buildFusedPair(in1, in2 *Instr, mid, next int) handlerFn {
 				return nil
 			}
 		}
+		if in2.Op == OpStB {
+			b2, o2, ra2 := in2.Base, in2.Imm, in2.Ra
+			return func(m *Machine, t *Thread, _ *Instr) error {
+				t.Regs[rd1] = imm1
+				t.PC = mid
+				t.stressed = false
+				if err := m.storeBarriered(baseOf(t, b2)+o2, t.Regs[ra2]); err != nil {
+					return err
+				}
+				t.PC = next
+				return nil
+			}
+		}
 	case OpAddI:
 		rd1, ra1, imm1 := in1.Rd, in1.Ra, in1.Imm
 		switch in2.Op {
@@ -604,6 +647,66 @@ func buildFusedPair(in1, in2 *Instr, mid, next int) handlerFn {
 			return func(m *Machine, t *Thread, _ *Instr) error {
 				t.Regs[rd1] = t.Regs[ra1] + imm1
 				t.Regs[rd2] = t.Regs[ra2] + imm2
+				t.PC = next
+				t.stressed = false
+				return nil
+			}
+		case OpStB:
+			b2, o2, ra2 := in2.Base, in2.Imm, in2.Ra
+			return func(m *Machine, t *Thread, _ *Instr) error {
+				t.Regs[rd1] = t.Regs[ra1] + imm1
+				t.PC = mid
+				t.stressed = false
+				if err := m.storeBarriered(baseOf(t, b2)+o2, t.Regs[ra2]); err != nil {
+					return err
+				}
+				t.PC = next
+				return nil
+			}
+		}
+	case OpStB:
+		b1, o1, ra1 := in1.Base, in1.Imm, in1.Ra
+		switch in2.Op {
+		case OpStB:
+			b2, o2, ra2 := in2.Base, in2.Imm, in2.Ra
+			return func(m *Machine, t *Thread, _ *Instr) error {
+				if err := m.storeBarriered(baseOf(t, b1)+o1, t.Regs[ra1]); err != nil {
+					m.Steps--
+					return err
+				}
+				t.PC = mid
+				t.stressed = false
+				if err := m.storeBarriered(baseOf(t, b2)+o2, t.Regs[ra2]); err != nil {
+					return err
+				}
+				t.PC = next
+				return nil
+			}
+		case OpLd:
+			b2, o2, rd2 := in2.Base, in2.Imm, in2.Rd
+			return func(m *Machine, t *Thread, _ *Instr) error {
+				if err := m.storeBarriered(baseOf(t, b1)+o1, t.Regs[ra1]); err != nil {
+					m.Steps--
+					return err
+				}
+				t.PC = mid
+				t.stressed = false
+				v, err := m.read(baseOf(t, b2) + o2)
+				if err != nil {
+					return err
+				}
+				t.Regs[rd2] = v
+				t.PC = next
+				return nil
+			}
+		case OpMovI:
+			rd2, imm2 := in2.Rd, in2.Imm
+			return func(m *Machine, t *Thread, _ *Instr) error {
+				if err := m.storeBarriered(baseOf(t, b1)+o1, t.Regs[ra1]); err != nil {
+					m.Steps--
+					return err
+				}
+				t.Regs[rd2] = imm2
 				t.PC = next
 				t.stressed = false
 				return nil
@@ -830,11 +933,7 @@ var opHandlers = [numOps]handlerFn{
 		return nil
 	},
 	OpStB: func(m *Machine, t *Thread, in *Instr) error {
-		addr := baseOf(t, in.Base) + in.Imm
-		if m.Barrier != nil {
-			m.Barrier(addr, t.Regs[in.Ra])
-		}
-		if err := m.write(addr, t.Regs[in.Ra]); err != nil {
+		if err := m.storeBarriered(baseOf(t, in.Base)+in.Imm, t.Regs[in.Ra]); err != nil {
 			return err
 		}
 		t.PC++
@@ -921,7 +1020,7 @@ var opHandlers = [numOps]handlerFn{
 			return nil
 		}
 		m.Cur = t
-		if err := m.Collector.Collect(m); err != nil {
+		if err := m.collectNow(); err != nil {
 			return err
 		}
 		m.GCCount++
@@ -989,22 +1088,7 @@ var opHandlers = [numOps]handlerFn{
 		return m.trap(TrapCode(in.Desc), "")
 	},
 	OpReuse: func(m *Machine, t *Thread, in *Instr) error {
-		addr := t.Regs[in.Ra]
-		if addr == 0 {
-			return m.trap(TrapNilDeref, "reuse of NIL")
-		}
-		if addr < m.HeapLo || addr >= m.HeapHi || m.Mem[addr] != int64(in.Desc) {
-			return m.trap(TrapBadAddress, fmt.Sprintf("reuse of non-desc%d cell at %d", in.Desc, addr))
-		}
-		d := m.Prog.Descs.Get(in.Desc)
-		for i := int64(0); i < d.DataWords; i++ {
-			m.Mem[addr+1+i] = 0
-		}
-		t.Regs[in.Rd] = addr
-		m.Reuses++
-		t.PC++
-		t.stressed = false
-		return nil
+		return m.reuseCell(t, in)
 	},
 }
 

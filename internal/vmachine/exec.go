@@ -28,7 +28,7 @@ func (m *Machine) stepSwitch(t *Thread) error {
 	// slots — before the call executes, no frame describes them.
 	if m.StressGC && in.IsGCPoint() && in.Op != OpCall && !t.stressed {
 		m.Cur = t
-		if err := m.Collector.Collect(m); err != nil {
+		if err := m.collectNow(); err != nil {
 			return err
 		}
 		m.GCCount++
@@ -119,11 +119,7 @@ func (m *Machine) stepSwitch(t *Thread) error {
 			return err
 		}
 	case OpStB:
-		addr := baseVal(in.Base) + in.Imm
-		if m.Barrier != nil {
-			m.Barrier(addr, regs[in.Ra])
-		}
-		if err := m.write(addr, regs[in.Ra]); err != nil {
+		if err := m.storeBarriered(baseVal(in.Base)+in.Imm, regs[in.Ra]); err != nil {
 			return err
 		}
 	case OpLea:
@@ -207,7 +203,7 @@ func (m *Machine) stepSwitch(t *Thread) error {
 			return nil
 		}
 		m.Cur = t
-		if err := m.Collector.Collect(m); err != nil {
+		if err := m.collectNow(); err != nil {
 			return err
 		}
 		m.GCCount++
@@ -236,26 +232,45 @@ func (m *Machine) stepSwitch(t *Thread) error {
 	case OpTrap:
 		return m.trap(TrapCode(in.Desc), "")
 	case OpReuse:
-		// In-place reinitialization of a cell the compiler proved dead:
-		// keep the header (same descriptor by construction), zero the
-		// payload to match TryAlloc's zeroed-memory contract. Not a
-		// gc-point — the heap is never exhausted here.
-		addr := regs[in.Ra]
-		if addr == 0 {
-			return m.trap(TrapNilDeref, "reuse of NIL")
-		}
-		if addr < m.HeapLo || addr >= m.HeapHi || m.Mem[addr] != int64(in.Desc) {
-			return m.trap(TrapBadAddress, fmt.Sprintf("reuse of non-desc%d cell at %d", in.Desc, addr))
-		}
-		d := m.Prog.Descs.Get(in.Desc)
-		for i := int64(0); i < d.DataWords; i++ {
-			m.Mem[addr+1+i] = 0
-		}
-		regs[in.Rd] = addr
-		m.Reuses++
+		return m.reuseCell(t, in)
 	default:
 		return m.trap(TrapUnreachable, in.Op.String())
 	}
+	t.PC++
+	t.stressed = false
+	return nil
+}
+
+// reuseCell implements OpReuse for both dispatchers: in-place
+// reinitialization of a cell the compiler proved dead — keep the header
+// (same descriptor by construction), zero the payload to match
+// TryAlloc's zeroed-memory contract. Not a gc-point — the heap is never
+// exhausted here. During a concurrent mark cycle the cell's old pointer
+// fields are SATB-logged before being zeroed (they are part of the
+// snapshot) and the cell itself is black-allocated like any other
+// allocation, since its new contents will only be seen by the barrier.
+func (m *Machine) reuseCell(t *Thread, in *Instr) error {
+	addr := t.Regs[in.Ra]
+	if addr == 0 {
+		return m.trap(TrapNilDeref, "reuse of NIL")
+	}
+	if addr < m.HeapLo || addr >= m.HeapHi || m.Mem[addr] != int64(in.Desc) {
+		return m.trap(TrapBadAddress, fmt.Sprintf("reuse of non-desc%d cell at %d", in.Desc, addr))
+	}
+	d := m.Prog.Descs.Get(in.Desc)
+	if m.SATB != nil {
+		for _, off := range d.PtrOffsets {
+			m.SATB(m.Mem[addr+1+off])
+		}
+	}
+	for i := int64(0); i < d.DataWords; i++ {
+		m.Mem[addr+1+i] = 0
+	}
+	if m.AllocMark != nil {
+		m.AllocMark(addr)
+	}
+	t.Regs[in.Rd] = addr
+	m.Reuses++
 	t.PC++
 	t.stressed = false
 	return nil
@@ -295,21 +310,66 @@ func (m *Machine) allocateText(t *Thread, rd uint8, lit int) error {
 //
 // The allocRetried flag on the thread tracks a rendezvous retry: a
 // failed allocation in a multi-threaded machine requests a rendezvous
-// and re-executes after the collection (PC unchanged); failing again
-// on the retry is a quota or out-of-memory trap, never a second
-// collection.
+// and re-executes after the collection (PC unchanged). Under a
+// stop-the-world collector, failing again on the retry is a quota or
+// out-of-memory trap, never a second collection — the collection was
+// complete. A concurrent cycle is not: objects allocated during its
+// marking survive it black, so a failed retry is owed one complete
+// synchronous collection (allocSynced + syncGC) before the trap.
 func (m *Machine) allocCommon(t *Thread, rd uint8, desc int, n int64, fill func(addr int64)) error {
 	if addr, ok := m.Alloc.TryAlloc(desc, n); ok {
+		if m.AllocMark != nil {
+			m.AllocMark(addr)
+		}
 		if fill != nil {
 			fill(addr)
 		}
 		t.Regs[rd] = addr
 		t.PC++
 		t.allocRetried = false
+		t.allocSynced = false
 		return nil
 	}
 	if t.allocRetried {
 		t.allocRetried = false
+		if m.concCollector() != nil {
+			if len(m.runnable()) > 1 {
+				// The collection just waited through may have been a
+				// concurrent cycle that retained its floating garbage;
+				// rendezvous again with syncGC set so the next one
+				// collects synchronously and completely. Stay in this
+				// state while syncGC is pending — an unrelated cycle's
+				// final pause can consume a rendezvous without
+				// honoring it.
+				if !t.allocSynced || m.syncGC {
+					t.allocSynced = true
+					m.syncGC = true
+					m.requestGC(t)
+					t.allocRetried = true
+					return nil
+				}
+			} else if !t.allocSynced {
+				// Sole runnable thread: nothing to rendezvous with.
+				// Finish any active cycle and collect completely inline.
+				m.Cur = t
+				if err := m.collectFully(); err != nil {
+					return err
+				}
+				if addr, ok := m.Alloc.TryAlloc(desc, n); ok {
+					if m.AllocMark != nil {
+						m.AllocMark(addr)
+					}
+					if fill != nil {
+						fill(addr)
+					}
+					t.Regs[rd] = addr
+					t.PC++
+					t.allocSynced = false
+					return nil
+				}
+			}
+		}
+		t.allocSynced = false
 		return m.allocFailure(desc, n)
 	}
 	if len(m.runnable()) > 1 {
@@ -320,17 +380,41 @@ func (m *Machine) allocCommon(t *Thread, rd uint8, desc int, n int64, fill func(
 		return nil
 	}
 	m.Cur = t
-	if err := m.Collector.Collect(m); err != nil {
+	wasConc := m.concActive
+	if err := m.collectNow(); err != nil {
 		return err
 	}
 	m.GCCount++
 	if addr, ok := m.Alloc.TryAlloc(desc, n); ok {
+		if m.AllocMark != nil {
+			m.AllocMark(addr)
+		}
 		if fill != nil {
 			fill(addr)
 		}
 		t.Regs[rd] = addr
 		t.PC++
 		return nil
+	}
+	if wasConc {
+		// The finished cycle retained its black-allocated garbage; a
+		// complete collection (no cycle is active now) gets one more
+		// chance before the trap.
+		if err := m.collectNow(); err != nil {
+			return err
+		}
+		m.GCCount++
+		if addr, ok := m.Alloc.TryAlloc(desc, n); ok {
+			if m.AllocMark != nil {
+				m.AllocMark(addr)
+			}
+			if fill != nil {
+				fill(addr)
+			}
+			t.Regs[rd] = addr
+			t.PC++
+			return nil
+		}
 	}
 	return m.allocFailure(desc, n)
 }
@@ -470,48 +554,155 @@ func (m *Machine) run(maxSteps, fuel int64) (bool, error) {
 		ran := m.passRan
 		m.passIdx, m.passQ, m.passRan = 0, 0, false
 		if m.Halted() {
+			if m.concActive {
+				// The program ended mid-cycle: finish it so the heap is
+				// consistent (hooks disarmed, survivors compacted) for
+				// post-run inspection.
+				if err := m.finishConcCycle(); err != nil {
+					return false, err
+				}
+				m.GCCount++
+			}
 			return true, nil
+		}
+		if m.concActive {
+			// A cycle is marking while mutators run: one bounded mark
+			// increment per completed scheduler pass. Pass boundaries are
+			// invariant under fuel slicing (passIdx/passQ persist across
+			// yields), so the burst schedule — and therefore every
+			// observable result — is too.
+			if !m.allParked() {
+				done, err := m.concCollector().MarkStep(m)
+				if err != nil {
+					return false, err
+				}
+				if done && !m.GCRequested {
+					// Marking is complete: rendezvous for the final pause.
+					m.GCRequested = true
+					m.Requester = m.concRequester
+					if m.Tel != nil {
+						m.gcRequestNs = m.Tel.Now()
+					}
+				}
+			}
+			if m.allParked() {
+				// Final pause: drain the barrier buffer, then
+				// assign/copy/fixup only.
+				if m.Tel != nil && m.GCRequested && m.Requester != nil {
+					m.emitRendezvous()
+				}
+				if m.Requester != nil {
+					m.Cur = m.Requester
+				}
+				if err := m.finishConcCycle(); err != nil {
+					return false, err
+				}
+				m.GCCount++
+				m.GCRequested = false
+				m.unparkBlocked(nil)
+				m.Requester = nil
+				continue
+			}
+			if !ran {
+				return false, fmt.Errorf("vmachine: no runnable thread (deadlock)")
+			}
+			continue
+		}
+		if !m.GCRequested && !m.syncGC {
+			// Proactive cycle start: when the collector's trigger fires
+			// (typically a heap-occupancy threshold), request a rendezvous
+			// now so marking runs while allocation headroom remains.
+			// Occupancy at a pass boundary is deterministic, so the
+			// trigger schedule is too.
+			if cc := m.concCollector(); cc != nil && cc.ShouldStartCycle() {
+				if tr, ok := m.Collector.(CycleTrigger); ok && tr.ShouldTriggerCycle() && len(m.runnable()) > 1 {
+					// No requester thread: the rendezvous park exemption
+					// (`t != m.Requester`) assumes the requester is already
+					// parked at a gc-point, which no running thread is. With
+					// a nil requester every thread parks at its next poll.
+					m.GCRequested = true
+					if m.Tel != nil {
+						m.gcRequestNs = m.Tel.Now()
+					}
+				}
+			}
 		}
 		if m.GCRequested && m.allParked() {
 			if m.Tel != nil {
-				parked := int64(0)
-				for _, t := range m.Threads {
-					if t.Blocked {
-						parked++
-					}
-				}
-				// Latency from the GC request to the moment every live
-				// thread has reached a gc-point (the paper's worry about
-				// gc-point density, §5).
-				m.Tel.Emit(telemetry.EvRendezvous, int32(m.Requester.ID),
-					m.Tel.Now()-m.gcRequestNs, parked, 0, 0)
+				m.emitRendezvous()
 			}
 			m.Cur = m.Requester
+			if cc := m.concCollector(); cc != nil && cc.ShouldStartCycle() && !m.syncGC {
+				// Initial pause: scan roots, arm the barrier, and let
+				// mutators run again while marking proceeds. Threads that
+				// parked passively at poll points resume now; threads
+				// whose park IS a pending collection (a failed allocation
+				// retry, a forced OpGcCollect) stay parked until the
+				// cycle finishes and memory is actually reclaimed.
+				if err := cc.StartCycle(m); err != nil {
+					return false, err
+				}
+				m.concActive = true
+				m.concRequester = m.Requester
+				m.GCRequested = false
+				m.Requester = nil
+				m.unparkBlocked(func(t *Thread) bool {
+					return !t.allocRetried && !t.resumeSkip
+				})
+				continue
+			}
 			if err := m.Collector.Collect(m); err != nil {
 				return false, err
 			}
 			m.GCCount++
+			m.syncGC = false
 			m.GCRequested = false
-			for _, t := range m.Threads {
-				if t.Blocked {
-					t.Blocked = false
-					if m.Tel != nil {
-						wait := m.Tel.Now() - t.parkNs
-						m.Tel.Emit(telemetry.EvGCWait, int32(t.ID), wait, 0, 0, 0)
-						m.hWait.Observe(wait)
-						t.parkNs = 0
-					}
-					if t.resumeSkip {
-						t.resumeSkip = false
-						t.PC++
-					}
-				}
-			}
+			m.unparkBlocked(nil)
 			m.Requester = nil
 			continue
 		}
 		if !ran {
 			return false, fmt.Errorf("vmachine: no runnable thread (deadlock)")
+		}
+	}
+}
+
+// emitRendezvous records the latency from the GC request to the moment
+// every live thread has reached a gc-point (the paper's worry about
+// gc-point density, §5). Caller guarantees Tel and Requester are set.
+func (m *Machine) emitRendezvous() {
+	parked := int64(0)
+	for _, t := range m.Threads {
+		if t.Blocked {
+			parked++
+		}
+	}
+	tid := int32(-1) // proactively triggered cycles have no requester
+	if m.Requester != nil {
+		tid = int32(m.Requester.ID)
+	}
+	m.Tel.Emit(telemetry.EvRendezvous, tid,
+		m.Tel.Now()-m.gcRequestNs, parked, 0, 0)
+}
+
+// unparkBlocked resumes blocked threads (all of them when keep is nil,
+// else those keep approves), observing each thread's gc-point wait and
+// advancing past a forced collection's instruction.
+func (m *Machine) unparkBlocked(keep func(*Thread) bool) {
+	for _, t := range m.Threads {
+		if !t.Blocked || (keep != nil && !keep(t)) {
+			continue
+		}
+		t.Blocked = false
+		if m.Tel != nil {
+			wait := m.Tel.Now() - t.parkNs
+			m.Tel.Emit(telemetry.EvGCWait, int32(t.ID), wait, 0, 0, 0)
+			m.hWait.Observe(wait)
+			t.parkNs = 0
+		}
+		if t.resumeSkip {
+			t.resumeSkip = false
+			t.PC++
 		}
 	}
 }

@@ -136,6 +136,46 @@ type Collector interface {
 	Collect(m *Machine) error
 }
 
+// ConcurrentCollector is optionally implemented by collectors that can
+// split a collection into an initial root-scan pause, incremental mark
+// steps interleaved with execution, and a final pause that finishes the
+// cycle. The machine drives the protocol from its scheduler: because
+// every thread is a green thread on one scheduler goroutine, a
+// MarkStep runs between instruction slices — never concurrently with a
+// mutator — so the collector needs no synchronization against mutator
+// writes beyond the SATB hook.
+type ConcurrentCollector interface {
+	Collector
+	// ShouldStartCycle reports whether the next collection should run
+	// as a concurrent cycle (false falls back to a synchronous Collect
+	// — e.g. a generational minor, or concurrent marking disabled).
+	ShouldStartCycle() bool
+	// StartCycle begins a cycle at a safepoint (every live thread
+	// parked): it snapshots the roots, arms the machine's SATB and
+	// AllocMark hooks, and returns with marking in progress.
+	StartCycle(m *Machine) error
+	// MarkStep performs one bounded mark increment, returning done
+	// when no gray objects remain (including barrier-logged ones).
+	MarkStep(m *Machine) (done bool, err error)
+	// FinishCycle completes the cycle at a safepoint: drains any
+	// remaining mark work, copies survivors, patches roots, and
+	// disarms the hooks.
+	FinishCycle(m *Machine) error
+}
+
+// CycleTrigger is an optional ConcurrentCollector extension. The
+// scheduler polls it at pass boundaries on multi-threaded machines and
+// starts a cycle proactively when it reports true — before any
+// allocation fails. A cycle that instead waits for exhaustion begins
+// with no allocation runway: mutators park on failed allocations almost
+// immediately and the final pause inherits most of the mark backlog.
+// Single-threaded machines never poll (a proactive cycle would just run
+// back-to-back anyway), which keeps their collection schedule — and the
+// difftest matrix — identical to a stop-the-world collector's.
+type CycleTrigger interface {
+	ShouldTriggerCycle() bool
+}
+
 // Thread is one execution context.
 type Thread struct {
 	ID      int
@@ -155,8 +195,14 @@ type Thread struct {
 	// rendezvous (used by forced collections, which must not re-run).
 	resumeSkip bool
 	// allocRetried marks an allocation that already survived one
-	// collection; a second failure is an out-of-memory trap.
+	// collection; a second failure is an out-of-memory trap — except
+	// under a concurrent collector, where the first collection retains
+	// objects allocated black during its marking, so the thread is owed
+	// one complete synchronous collection (allocSynced) before the trap.
 	allocRetried bool
+	// allocSynced marks that the pending allocation already got its
+	// post-concurrent synchronous collection; the next failure traps.
+	allocSynced bool
 	// stressed marks that the stress-mode collection for the current
 	// instruction already ran (allocations re-execute after GC).
 	stressed bool
@@ -227,6 +273,17 @@ type Machine struct {
 	// pointer store with the target slot address and the stored value
 	// (the generational collector's store check).
 	Barrier func(slot, val int64)
+	// SATB, when set, receives the overwritten old value of every
+	// barriered pointer store (and of the pointer fields OpReuse zeroes)
+	// — the snapshot-at-the-beginning write barrier. A concurrent
+	// collector arms it in StartCycle and disarms it in FinishCycle, so
+	// outside an active cycle every store pays exactly one nil check.
+	SATB func(old int64)
+	// AllocMark, when set, receives the address of every freshly
+	// allocated (or compile-time-reused) object so allocations during a
+	// concurrent mark cycle are black-allocated: they survive the cycle
+	// without being scanned. Armed and disarmed with SATB.
+	AllocMark func(addr int64)
 
 	Threads []*Thread
 	Cur     *Thread // thread currently executing (set during Step)
@@ -235,6 +292,21 @@ type Machine struct {
 	GCRequested bool
 	// Requester is the thread that triggered the pending collection.
 	Requester *Thread
+	// concActive is set while a concurrent mark cycle is in progress:
+	// the collector's StartCycle has run, mutators are executing with
+	// the SATB barrier armed, and the scheduler calls MarkStep at pass
+	// boundaries until marking is done, then rendezvouses for the final
+	// pause.
+	concActive bool
+	// concRequester is the thread whose rendezvous started the active
+	// cycle; the final pause resumes it the way a synchronous
+	// collection would have.
+	concRequester *Thread
+	// syncGC forces the next rendezvous to collect synchronously
+	// instead of starting a concurrent cycle: an allocation that failed
+	// even after a full cycle needs a collection with no floating
+	// garbage before it may trap out-of-memory.
+	syncGC bool
 
 	Steps int64
 	// Reuses counts executed OpReuse instructions: allocations the
@@ -417,6 +489,105 @@ func (m *Machine) trap(code TrapCode, detail string) *RuntimeError {
 		tid = m.Cur.ID
 	}
 	return &RuntimeError{Code: code, PC: pc, Thread: tid, Detail: detail}
+}
+
+// concCollector returns the attached collector's concurrent interface,
+// or nil when the collector is synchronous-only.
+func (m *Machine) concCollector() ConcurrentCollector {
+	cc, _ := m.Collector.(ConcurrentCollector)
+	return cc
+}
+
+// ConcMarkActive reports whether a concurrent mark cycle is in
+// progress (tests and hosts observe it; mutator code never needs to).
+func (m *Machine) ConcMarkActive() bool { return m.concActive }
+
+// storeBarriered performs a barriered pointer store: the generational
+// store check sees the new value, the SATB hook sees the overwritten
+// one, then the word is written. Shared by the switch interpreter, the
+// threaded OpStB handler, and the fused superinstruction bodies so all
+// four dispatch paths have identical barrier semantics.
+func (m *Machine) storeBarriered(addr, v int64) *RuntimeError {
+	if addr < guardWords || addr >= int64(len(m.Mem)) {
+		return m.trap(TrapBadAddress, fmt.Sprintf("write of %d", addr))
+	}
+	if m.Barrier != nil {
+		m.Barrier(addr, v)
+	}
+	if m.SATB != nil {
+		m.SATB(m.Mem[addr])
+	}
+	m.Mem[addr] = v
+	return nil
+}
+
+// collectNow runs a full synchronous collection on behalf of the
+// current thread — the single-threaded / inline path. If a concurrent
+// cycle is active it is drained and finished (so the collector and
+// machine state never desynchronize); if the collector wants to run
+// concurrently but no other thread is running, the whole split cycle
+// executes back-to-back here, which is bitwise identical to a
+// stop-the-world collection because zero mutator instructions
+// intervene.
+func (m *Machine) collectNow() error {
+	if m.concActive {
+		return m.finishConcCycle()
+	}
+	return m.Collector.Collect(m)
+}
+
+// finishConcCycle drains remaining mark work and runs the final pause
+// of the active concurrent cycle, then clears the cycle state. The
+// caller counts the collection.
+func (m *Machine) finishConcCycle() error {
+	cc := m.concCollector()
+	if cc == nil {
+		m.concActive = false
+		m.concRequester = nil
+		return fmt.Errorf("vmachine: concurrent cycle active without a concurrent collector")
+	}
+	for {
+		done, err := cc.MarkStep(m)
+		if err != nil {
+			return err
+		}
+		if done {
+			break
+		}
+	}
+	err := cc.FinishCycle(m)
+	m.concActive = false
+	m.concRequester = nil
+	if err == nil {
+		// Memory is reclaimed: release every thread parked waiting on
+		// it (threads whose park IS a pending collection stay parked
+		// through StartCycle and depend on this). The scheduler's own
+		// finish path re-runs this; it is idempotent. Inline finishes
+		// (allocation retry, OpGcCollect, stress) need it here or the
+		// waiters would sleep forever.
+		m.GCRequested = false
+		m.Requester = nil
+		m.unparkBlocked(nil)
+	}
+	return err
+}
+
+// collectFully finishes any active concurrent cycle, then runs one
+// complete synchronous collection — the strongest reclamation the
+// machine can perform, used before an allocation gives up. Counts
+// every collection it runs.
+func (m *Machine) collectFully() error {
+	if m.concActive {
+		if err := m.finishConcCycle(); err != nil {
+			return err
+		}
+		m.GCCount++
+	}
+	if err := m.Collector.Collect(m); err != nil {
+		return err
+	}
+	m.GCCount++
+	return nil
 }
 
 // read and write check the guard region and machine bounds.
