@@ -1,0 +1,78 @@
+package gengc_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/vmachine"
+)
+
+// Review repro: tree-shaped (fan-out 2) live data under concurrent
+// generational majors. Mirrors TestConcurrentMajorSplitMatchesSTW but
+// with a binary tree kept live across rounds.
+func TestReviewGengcTreeMatchesSTW(t *testing.T) {
+	src := `
+MODULE T;
+TYPE N = REF RECORD v: INTEGER; l, r: N; END;
+VAR keep: N; i, s: INTEGER;
+
+PROCEDURE Build(d: INTEGER): N =
+  VAR n: N;
+  BEGIN
+    n := NEW(N);
+    n.v := d;
+    IF d > 0 THEN
+      n.l := Build(d - 1);
+      n.r := Build(d - 1);
+    END;
+    RETURN n;
+  END Build;
+
+PROCEDURE Sum(n: N): INTEGER =
+  BEGIN
+    IF n = NIL THEN RETURN 0; END;
+    RETURN n.v + Sum(n.l) + Sum(n.r);
+  END Sum;
+
+BEGIN
+  s := 0;
+  FOR i := 1 TO 8 DO
+    keep := Build(6);
+    s := s + Sum(keep);
+  END;
+  PutInt(s); PutLn();
+END T.
+`
+	run := func(concurrent bool) (string, int64, int64) {
+		t.Helper()
+		opts := driver.NewOptions()
+		opts.Generational = true
+		opts.ConcurrentMark = concurrent
+		c, err := driver.Compile("t.m3", src, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := vmachine.DefaultConfig()
+		cfg.HeapWords = 3072
+		var sb strings.Builder
+		cfg.Out = &sb
+		m, col, err := c.NewGenerationalMachine(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col.Debug = true
+		if err := m.Run(100_000_000); err != nil {
+			t.Fatalf("concurrent=%v: %v (out %q)", concurrent, err, sb.String())
+		}
+		return sb.String(), col.Minor, col.Major
+	}
+	outSTW, _, majorSTW := run(false)
+	if majorSTW == 0 {
+		t.Skip("workload never escalated to a major")
+	}
+	outConc, _, _ := run(true)
+	if outConc != outSTW {
+		t.Errorf("concurrent output %q, stop-the-world %q", outConc, outSTW)
+	}
+}
