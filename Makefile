@@ -8,9 +8,9 @@ GO ?= go
 # targets, so the gate costs about twice this.
 FUZZTIME ?= 15s
 
-.PHONY: check fmt vet vet-gcverify lint build test race test-all bench-telemetry bench-smoke serve-smoke verify-smoke heaplive-smoke dispatch-smoke concurrent-smoke fuzz-smoke diff-smoke cover
+.PHONY: check fmt vet vet-gcverify lint build test race test-all bench-telemetry bench-smoke serve-smoke verify-smoke heaplive-smoke dispatch-smoke concurrent-smoke workload-smoke fuzz-smoke diff-smoke cover
 
-check: fmt vet vet-gcverify lint build race test-all serve-smoke dispatch-smoke concurrent-smoke fuzz-smoke
+check: fmt vet vet-gcverify lint build race test-all serve-smoke dispatch-smoke concurrent-smoke workload-smoke fuzz-smoke
 
 fmt:
 	@out=$$(gofmt -l .); \
@@ -102,6 +102,21 @@ concurrent-smoke:
 	mkdir -p artifacts
 	$(GO) test -race -count=1 -run 'TestConcurrent|TestProactive|TestSATB|TestBlackAlloc|TestMarkStep' ./internal/gc/ ./internal/gengc/
 	$(GO) run ./cmd/paperbench -concurrent -bench9 artifacts/BENCH_9.json
+
+# Server-shaped workload smoke: the generational session load drive
+# under -race (≥64 tenants, outputs checked bit-exact against the
+# serial reference, per-tenant pause quantiles populated), the
+# paperbench exit-code contract tests, then the full-size BENCH_10
+# workload suite — server sessions, deep-recursion stack stress,
+# adversarial derived-pointer kernels, and the 2^20-word ballast
+# sweep, every one divergence-fatal (~3 min; the in-suite
+# TestRunBench10Quick covers the smoke-sized path). CI uploads the
+# resulting BENCH_10.json.
+workload-smoke:
+	mkdir -p artifacts
+	$(GO) test -race -count=1 -run 'TestLoadGenerationalSessions' ./internal/gcserve/
+	$(GO) test -count=1 -run 'TestRunExitCodes' ./cmd/paperbench/
+	$(GO) run ./cmd/paperbench -workloads -bench10 artifacts/BENCH_10.json
 
 # Fuzz smoke: a short budgeted run of both native fuzz targets — the
 # table decoder against damaged bytes, and the differential matrix

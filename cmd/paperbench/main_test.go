@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes pins the harness exit-code contract: 0 for a clean
+// measurement, 1 for a measurement failure, 2 for usage errors. CI
+// gates on these codes, so a harness that prints a divergence but
+// exits 0 would green-light a broken collector.
+func TestRunExitCodes(t *testing.T) {
+	tests := []struct {
+		name string
+		args []string
+		want int
+		// out must appear on stdout (skipped when empty).
+		out string
+		// errOut must appear on stderr (skipped when empty).
+		errOut string
+	}{
+		{name: "no flags is usage", args: nil, want: 2, errOut: "Usage"},
+		{name: "unknown flag is usage", args: []string{"-nope"}, want: 2, errOut: "flag provided but not defined"},
+		{name: "bad flag value is usage", args: []string{"-table1=maybe"}, want: 2},
+		{name: "table1", args: []string{"-table1"}, want: 0, out: "Table 1"},
+		{name: "table2", args: []string{"-table2"}, want: 0, out: "Table 2"},
+		{name: "refine", args: []string{"-refine"}, want: 0, out: "refinements"},
+		{name: "decode", args: []string{"-decode"}, want: 0, out: "decode cost"},
+		{name: "compare checks outputs", args: []string{"-compare"}, want: 0, out: "conservative"},
+		{name: "generational checks outputs", args: []string{"-generational"}, want: 0, out: "scavenging"},
+		{
+			name: "bad artifact path is a failure",
+			args: []string{"-table1", "-snapshot", filepath.Join("no", "such", "dir", "x.json")},
+			want: 1, errOut: "paperbench:",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			got := run(tc.args, &stdout, &stderr)
+			if got != tc.want {
+				t.Fatalf("run(%v) = %d, want %d\nstderr: %s", tc.args, got, tc.want, stderr.String())
+			}
+			if tc.out != "" && !strings.Contains(stdout.String(), tc.out) {
+				t.Errorf("stdout missing %q:\n%s", tc.out, stdout.String())
+			}
+			if tc.errOut != "" && !strings.Contains(stderr.String(), tc.errOut) {
+				t.Errorf("stderr missing %q:\n%s", tc.errOut, stderr.String())
+			}
+		})
+	}
+}
+
+// TestWorkloadsQuickArtifact runs the BENCH_10 suite end-to-end at
+// smoke sizes and checks the artifact lands where -bench10 points.
+func TestWorkloadsQuickArtifact(t *testing.T) {
+	if testing.Short() {
+		t.Skip("workload suite in -short mode")
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_10.json")
+	var stdout, stderr bytes.Buffer
+	got := run([]string{"-quick", "-bench10", path}, &stdout, &stderr)
+	if got != 0 {
+		t.Fatalf("run -quick -bench10 = %d\nstderr: %s", got, stderr.String())
+	}
+	for _, want := range []string{"BENCH_10", "server", "kernel", "ballast", "divergence checks: 0 failures"} {
+		if !strings.Contains(stdout.String(), want) {
+			t.Errorf("stdout missing %q", want)
+		}
+	}
+}

@@ -305,6 +305,9 @@ type CompareRow struct {
 	PreciseCollections      int64
 	ConservativeTime        time.Duration
 	ConservativeCollections int64
+	// OutputsMatch reports the two collectors printed identical output;
+	// the paperbench harness treats false as a divergence failure.
+	OutputsMatch bool
 }
 
 // PreciseVsConservative runs each benchmark under both collectors with
@@ -322,7 +325,8 @@ func PreciseVsConservative(heapWords int64) ([]CompareRow, error) {
 		if name == "destroy" {
 			cfg.HeapWords = heapWords * 8
 		}
-		cfg.Out = io.Discard
+		var outP strings.Builder
+		cfg.Out = &outP
 
 		// Both runs report their collection counts through telemetry
 		// snapshots (both collectors feed the same gc.collections
@@ -341,6 +345,8 @@ func PreciseVsConservative(heapWords int64) ([]CompareRow, error) {
 
 		// The conservative heap is one contiguous region (no
 		// semispaces), so give it the same total budget.
+		var outC strings.Builder
+		cfg.Out = &outC
 		cfg.Tel = telemetry.New(telemetry.Config{})
 		m2, _, err := c.NewConservativeMachine(cfg)
 		if err != nil {
@@ -357,6 +363,7 @@ func PreciseVsConservative(heapWords int64) ([]CompareRow, error) {
 			PreciseCollections:      preciseSnap.Counter(telemetry.CtrGCCollections),
 			ConservativeTime:        time.Since(t1),
 			ConservativeCollections: consSnap.Counter(telemetry.CtrGCCollections),
+			OutputsMatch:            outP.String() == outC.String(),
 		})
 	}
 	return rows, nil
@@ -378,6 +385,9 @@ type GenRow struct {
 	GenMajorWords int64
 	BarrierChecks int64
 	BarrierHits   int64
+	// OutputsMatch reports the two collectors printed identical output;
+	// the paperbench harness treats false as a divergence failure.
+	OutputsMatch bool
 }
 
 // GenerationalComparison runs each benchmark under the full copying
@@ -399,7 +409,8 @@ func GenerationalComparison(heapWords int64) ([]GenRow, error) {
 		}
 		cfg := vmachine.DefaultConfig()
 		cfg.HeapWords = hw
-		cfg.Out = io.Discard
+		var outF strings.Builder
+		cfg.Out = &outF
 		m1, col1, err := full.NewMachine(cfg)
 		if err != nil {
 			return nil, err
@@ -419,6 +430,8 @@ func GenerationalComparison(heapWords int64) ([]GenRow, error) {
 		if err != nil {
 			return nil, err
 		}
+		var outG strings.Builder
+		cfg.Out = &outG
 		m2, col2, err := gcc.NewGenerationalMachine(cfg)
 		if err != nil {
 			return nil, err
@@ -434,6 +447,7 @@ func GenerationalComparison(heapWords int64) ([]GenRow, error) {
 		row.GenMajorWords = col2.MajorCopied
 		row.BarrierChecks = col2.BarrierChecks
 		row.BarrierHits = col2.BarrierHits
+		row.OutputsMatch = outF.String() == outG.String()
 		rows = append(rows, row)
 	}
 	return rows, nil

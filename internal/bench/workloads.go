@@ -1,0 +1,515 @@
+// BENCH_10: the server-shaped workload suite. Where BENCH_1..9 each
+// isolate one mechanism, this file composes them into the shapes the
+// paper argues a production collector meets: request/response serving
+// over session caches (the generational sweet spot), stack-walk-bound
+// deep recursion (the decode-cache sweet spot), adversarial
+// derived-pointer kernels promoted from the fuzzer (the gc-map
+// correctness frontier), and a large-heap ballast sweep that gives the
+// parallel trace-copy phases enough live data to show a scaling
+// trajectory. Every workload is divergence-fatal: outputs are diffed
+// bit-exactly against a serial reference (closed-form or
+// reference-machine), so the suite doubles as an end-to-end
+// correctness gate, not just a stopwatch.
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/difftest"
+	"repro/internal/driver"
+	"repro/internal/gcserve"
+	"repro/internal/gctab"
+	"repro/internal/telemetry"
+	"repro/internal/vmachine"
+)
+
+// DeepWalkSource recurses to depth with a live pointer pinned in every
+// frame across the nested call, collects at the bottom of the stack,
+// and repeats for rounds — so every collection's stack walk decodes
+// depth+ frames of gc maps. With the decode cache off the walk pays
+// the table-decode cost per frame per collection (the §6.3 worst
+// case); with it on, each procedure's segment decodes once. The
+// printed total is closed-form (DeepWalkWant).
+func DeepWalkSource(depth, rounds int) string {
+	return fmt.Sprintf(`
+MODULE DeepWalk;
+CONST Depth = %d; Rounds = %d;
+TYPE List = REF RECORD head: INTEGER; tail: List; END;
+VAR r, i: INTEGER;
+
+PROCEDURE Leaf(): INTEGER =
+  VAR p: List;
+  BEGIN
+    p := NEW(List);
+    p.head := 1;
+    p.tail := NIL;
+    GcCollect();
+    RETURN p.head;
+  END Leaf;
+
+PROCEDURE Walk(d: INTEGER): INTEGER =
+  VAR p: List; t: INTEGER;
+  BEGIN
+    IF d = 0 THEN RETURN Leaf(); END;
+    p := NEW(List);
+    p.head := d;
+    p.tail := NIL;
+    t := Walk(d - 1);
+    RETURN p.head + t;
+  END Walk;
+
+BEGIN
+  r := 0;
+  FOR i := 1 TO Rounds DO
+    r := r + Walk(Depth);
+  END;
+  PutInt(r); PutLn();
+END DeepWalk.
+`, depth, rounds)
+}
+
+// DeepWalkWant is the closed-form output: rounds·(1 + Σ_{d=1..depth} d).
+func DeepWalkWant(depth, rounds int) string {
+	return fmt.Sprintf("%d\n", rounds*(1+depth*(depth+1)/2))
+}
+
+// StackStressResult is the deep-recursion measurement: the same
+// program run with the decode cache defeated (off) and exercised (on),
+// tracking the table bytes the stack walker read in each mode.
+type StackStressResult struct {
+	Depth  int `json:"depth"`
+	Rounds int `json:"rounds"`
+	// Collections and FramesWalked are from the cached run; the
+	// uncached run must report the same collection count.
+	Collections      int64 `json:"collections"`
+	FramesWalked     int64 `json:"frames_walked"`
+	CollectionsMatch bool  `json:"collections_match"`
+	UncachedBytes    int64 `json:"uncached_decode_bytes"`
+	CachedBytes      int64 `json:"cached_decode_bytes"`
+	// BytesRatio is uncached/cached decode bytes — how much table
+	// decoding the cache amortized away under a deep stack.
+	BytesRatio   float64       `json:"bytes_ratio"`
+	CacheHits    int64         `json:"cache_hits"`
+	CacheMisses  int64         `json:"cache_misses"`
+	UncachedTime time.Duration `json:"uncached_ns"`
+	CachedTime   time.Duration `json:"cached_ns"`
+	// OutputsMatch: both runs printed exactly the closed-form total.
+	OutputsMatch bool `json:"outputs_match"`
+}
+
+// StackStress runs DeepWalkSource(depth, rounds) twice — decode cache
+// off, then on — under a deliberately small heap so collections also
+// strike mid-recursion, and reports the decode-byte ratio.
+func StackStress(depth, rounds int, heapWords int64) (*StackStressResult, error) {
+	src := DeepWalkSource(depth, rounds)
+	want := DeepWalkWant(depth, rounds)
+	c, err := driver.Compile("deepwalk.m3", src, driver.Options{
+		Optimize: true, GCSupport: true, Scheme: gctab.DeltaPP,
+	})
+	if err != nil {
+		return nil, err
+	}
+	run := func(cache bool) (telemetry.Snapshot, time.Duration, bool, error) {
+		c.Opts.DecodeCache = cache
+		cfg := vmachine.DefaultConfig()
+		cfg.HeapWords = heapWords
+		// Room for the full recursion plus call overhead per frame.
+		cfg.StackWords = int64(depth)*32 + 4096
+		var out strings.Builder
+		cfg.Out = &out
+		cfg.Tel = telemetry.New(telemetry.Config{})
+		m, _, err := c.NewMachine(cfg)
+		if err != nil {
+			return telemetry.Snapshot{}, 0, false, err
+		}
+		t0 := time.Now()
+		if err := m.Run(0); err != nil {
+			return telemetry.Snapshot{}, 0, false, fmt.Errorf("deepwalk (cache=%v): %w", cache, err)
+		}
+		return cfg.Tel.Snapshot(), time.Since(t0), out.String() == want, nil
+	}
+	snapU, timeU, okU, err := run(false)
+	if err != nil {
+		return nil, err
+	}
+	snapC, timeC, okC, err := run(true)
+	if err != nil {
+		return nil, err
+	}
+	s := c.Encoded.Scheme
+	res := &StackStressResult{
+		Depth:            depth,
+		Rounds:           rounds,
+		Collections:      snapC.Counter(telemetry.CtrGCCollections),
+		FramesWalked:     snapC.Counter(telemetry.CtrGCFramesWalked),
+		CollectionsMatch: snapU.Counter(telemetry.CtrGCCollections) == snapC.Counter(telemetry.CtrGCCollections),
+		UncachedBytes:    snapU.Counter(s.DecodeBytesCounter()),
+		CachedBytes:      snapC.Counter(s.DecodeBytesCounter()),
+		CacheHits:        snapC.Counter(s.CacheHitsCounter()),
+		CacheMisses:      snapC.Counter(s.CacheMissesCounter()),
+		UncachedTime:     timeU,
+		CachedTime:       timeC,
+		OutputsMatch:     okU && okC,
+	}
+	if res.Collections == 0 {
+		return nil, fmt.Errorf("deepwalk never collected; shrink the heap")
+	}
+	if res.CachedBytes > 0 {
+		res.BytesRatio = float64(res.UncachedBytes) / float64(res.CachedBytes)
+	}
+	return res, nil
+}
+
+// KernelResult is one adversarial derived-pointer kernel driven
+// through the full difftest matrix: any finding is a divergence.
+type KernelResult struct {
+	Name      string        `json:"name"`
+	Construct string        `json:"construct"`
+	Cells     int           `json:"cells"`
+	Findings  int           `json:"findings"`
+	Details   []string      `json:"details,omitempty"`
+	Time      time.Duration `json:"matrix_ns"`
+}
+
+// AdversarialKernels runs every promoted difftest kernel (SUBARRAY
+// window over a moving array, WITH aliases over objects that move
+// mid-scope, interior-pointer chase through compacting collections)
+// through the {collector × trace-width × dispatch × concurrent} cell
+// matrix against the serial unoptimized reference.
+func AdversarialKernels() ([]KernelResult, error) {
+	var out []KernelResult
+	for _, k := range difftest.Kernels() {
+		cfg := difftest.Config{
+			Schemes: []gctab.Scheme{difftest.DefaultKernelScheme},
+			Cells:   difftest.KernelCells(),
+		}
+		t0 := time.Now()
+		r := difftest.Execute(0, k.Source, cfg)
+		kr := KernelResult{
+			Name:      k.Name,
+			Construct: k.Construct,
+			Cells:     r.Cells,
+			Findings:  len(r.Findings),
+			Time:      time.Since(t0),
+		}
+		for i, f := range r.Findings {
+			if i == 4 {
+				kr.Details = append(kr.Details, "...")
+				break
+			}
+			kr.Details = append(kr.Details, f.String())
+		}
+		if kr.Cells == 0 {
+			return nil, fmt.Errorf("kernel %s ran no cells", k.Name)
+		}
+		out = append(out, kr)
+	}
+	return out, nil
+}
+
+// BallastRow is one {mode, trace-width} cell of the large-heap sweep,
+// with the collector's per-phase breakdown.
+type BallastRow struct {
+	Mode        string        `json:"mode"` // "stw" or "concurrent"
+	Workers     int           `json:"workers"`
+	Collections int64         `json:"collections"`
+	Total       time.Duration `json:"total_ns"`
+	Mark        time.Duration `json:"mark_ns"`
+	Assign      time.Duration `json:"assign_ns"`
+	Copy        time.Duration `json:"copy_ns"`
+	Fixup       time.Duration `json:"fixup_ns"`
+	ConcMark    time.Duration `json:"concurrent_mark_ns,omitempty"`
+	FinalPause  time.Duration `json:"final_pause_ns,omitempty"`
+	CopiedWords int64         `json:"copied_words"`
+	Steals      int64         `json:"steals"`
+	HeapHash    uint64        `json:"heap_hash"`
+	Output      string        `json:"-"`
+}
+
+// BallastSweep is the large-heap trajectory: per-phase times at trace
+// widths 1/2/4/8 under both collection modes, on a heap at least 8×
+// the BENCH_5 budget, with bitwise divergence checks across every
+// cell. One compile (with barriered stores) serves all cells, so the
+// allocation sequence — and therefore the final heap image — is
+// identical everywhere; a hash mismatch is a collector bug.
+type BallastSweep struct {
+	Program    string       `json:"program"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	HeapWords  int64        `json:"heap_words"`
+	Slabs      int          `json:"slabs"`
+	SlabLen    int          `json:"slab_len"`
+	Iters      int          `json:"iters"`
+	Rows       []BallastRow `json:"rows"`
+	// OutputsMatch and HeapsMatch cover all 8 cells, stw and
+	// concurrent alike.
+	OutputsMatch     bool `json:"outputs_match"`
+	HeapsMatch       bool `json:"heaps_match"`
+	CollectionsMatch bool `json:"collections_match"`
+	// MarkCopySpeedup is (mark+copy @tw=1)/(mark+copy @tw=8) within
+	// the stop-the-world rows — the multicore scaling trajectory.
+	MarkCopySpeedup float64 `json:"mark_copy_speedup"`
+}
+
+// LargeHeapBallastSweep runs the ballasted takl workload across
+// {stw, concurrent} × trace widths {1,2,4,8}. heapWords must be at
+// least 1<<20 (8× the BENCH_5 heap) unless the caller is a smoke test
+// passing smaller sizes explicitly; slabs and slabLen set the retained
+// live set the trace phases have to move every collection.
+func LargeHeapBallastSweep(heapWords int64, iters, slabs, slabLen int) (*BallastSweep, error) {
+	src := TaklBallastSource(iters, slabs, slabLen)
+	// Generational: true compiles the barriered stores the concurrent
+	// marker hangs off (inert under stop-the-world), so ConcurrentMark
+	// toggles per cell below without recompiling — same code stream,
+	// same allocation sequence, comparable heap hashes.
+	c, err := driver.Compile("takl.m3", src, driver.Options{
+		Optimize: true, GCSupport: true, Generational: true,
+		Scheme: gctab.DeltaPP, DecodeCache: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &BallastSweep{
+		Program:          "takl+ballast",
+		GoMaxProcs:       runtime.GOMAXPROCS(0),
+		HeapWords:        heapWords,
+		Slabs:            slabs,
+		SlabLen:          slabLen,
+		Iters:            iters,
+		OutputsMatch:     true,
+		HeapsMatch:       true,
+		CollectionsMatch: true,
+	}
+	for _, conc := range []bool{false, true} {
+		mode := "stw"
+		if conc {
+			mode = "concurrent"
+		}
+		for _, workers := range []int{1, 2, 4, 8} {
+			// Rebuild rather than mutate: Compiled carries the
+			// shared-decoder sync.Once (the difftest cell pattern).
+			cc := &driver.Compiled{
+				Opts: c.Opts, IR: c.IR, Prog: c.Prog,
+				Tables: c.Tables, Encoded: c.Encoded,
+			}
+			cc.Opts.ConcurrentMark = conc
+			cc.Opts.TraceWorkers = workers
+			cfg := vmachine.DefaultConfig()
+			cfg.HeapWords = heapWords
+			var out strings.Builder
+			cfg.Out = &out
+			m, col, err := cc.NewMachine(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if err := m.Run(0); err != nil {
+				return nil, fmt.Errorf("takl+ballast (%s tw=%d): %w", mode, workers, err)
+			}
+			res.Rows = append(res.Rows, BallastRow{
+				Mode:        mode,
+				Workers:     workers,
+				Collections: col.Collections,
+				Total:       col.TotalTime,
+				Mark:        col.MarkTime,
+				Assign:      col.AssignTime,
+				Copy:        col.CopyTime,
+				Fixup:       col.FixupTime,
+				ConcMark:    col.ConcMarkTime,
+				FinalPause:  col.FinalPauseTime,
+				CopiedWords: col.WordsCopied,
+				Steals:      col.Steals,
+				HeapHash:    hashWords(m.Mem[m.HeapLo:m.HeapHi]),
+				Output:      out.String(),
+			})
+		}
+	}
+	base := res.Rows[0]
+	if base.Collections == 0 {
+		return nil, fmt.Errorf("takl+ballast never collected; grow iters or shrink the heap")
+	}
+	for _, r := range res.Rows[1:] {
+		if r.Output != base.Output {
+			res.OutputsMatch = false
+		}
+		if r.HeapHash != base.HeapHash {
+			res.HeapsMatch = false
+		}
+		if r.Collections != base.Collections {
+			res.CollectionsMatch = false
+		}
+	}
+	// Scaling trajectory over the stop-the-world rows (rows 0..3).
+	tw1, tw8 := res.Rows[0], res.Rows[3]
+	if mc := tw8.Mark + tw8.Copy; mc > 0 {
+		res.MarkCopySpeedup = float64(tw1.Mark+tw1.Copy) / float64(mc)
+	}
+	return res, nil
+}
+
+// ServerWorkload drives a generational gcserve instance with the
+// session-cache program under mixed run/resume traffic, every
+// completed request diffed bit-exactly against the serial reference.
+func ServerWorkload(clients int, duration time.Duration) (*gcserve.LoadReport, error) {
+	const (
+		requests   = 120
+		cacheEvery = 8
+		perReq     = 16
+	)
+	src := gcserve.SessionWorkloadSource(requests, cacheEvery, perReq)
+	want := gcserve.SessionWorkloadWant(requests, cacheEvery, perReq)
+
+	// Serial reference: the driver runs the program once, unsliced; it
+	// must agree with the closed form before the server result means
+	// anything.
+	refOut, err := driver.Run("session.m3", src, gcserve.DefaultOptions(),
+		vmachine.Config{HeapWords: 1 << 13, StackWords: 1 << 12, MaxThreads: 1})
+	if err != nil {
+		return nil, fmt.Errorf("session serial reference: %w", err)
+	}
+	if refOut != want {
+		return nil, fmt.Errorf("session serial reference %q, closed form %q", refOut, want)
+	}
+
+	s := gcserve.New(gcserve.Config{
+		HeapWords:    1 << 13,
+		Workers:      4,
+		Fuel:         2500,
+		Generational: true,
+		MaxTenants:   512,
+		KeepStats:    4096,
+	})
+	defer s.Close()
+	if err := s.Register("session", src, gcserve.DefaultOptions()); err != nil {
+		return nil, err
+	}
+	rep, err := gcserve.RunLoad(s, gcserve.LoadConfig{
+		Program:    "session",
+		Clients:    clients,
+		Duration:   duration,
+		RunPercent: 40,
+		Grant:      5000,
+		Bench:      "BENCH_10",
+		WantOutput: want,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// Bench10Config sizes the suite; zero values take the full BENCH_10
+// parameters (the smoke test passes smaller ones).
+type Bench10Config struct {
+	ServerClients    int
+	ServerDuration   time.Duration
+	StackDepth       int
+	StackRounds      int
+	StackHeapWords   int64
+	BallastHeapWords int64
+	BallastIters     int
+	BallastSlabs     int
+	BallastSlabLen   int
+}
+
+func (c *Bench10Config) fill() {
+	if c.ServerClients <= 0 {
+		c.ServerClients = 16
+	}
+	if c.ServerDuration <= 0 {
+		c.ServerDuration = 2 * time.Second
+	}
+	if c.StackDepth <= 0 {
+		c.StackDepth = 220
+	}
+	if c.StackRounds <= 0 {
+		c.StackRounds = 6
+	}
+	if c.StackHeapWords <= 0 {
+		c.StackHeapWords = 1 << 12
+	}
+	if c.BallastHeapWords <= 0 {
+		// ≥8× the BENCH_5 heap (1<<17): the large-heap regime where a
+		// collection moves hundreds of thousands of words.
+		c.BallastHeapWords = 1 << 20
+	}
+	if c.BallastIters <= 0 {
+		c.BallastIters = 2400
+	}
+	if c.BallastSlabs <= 0 {
+		// ~470k live words: most of the 512k-word to-space, so every
+		// collection moves a large-heap-sized live set.
+		c.BallastSlabs = 13000
+	}
+	if c.BallastSlabLen <= 0 {
+		c.BallastSlabLen = 30
+	}
+}
+
+// Bench10 aggregates the workload suite for artifacts/BENCH_10.json.
+type Bench10 struct {
+	Bench      string              `json:"bench"`
+	GoMaxProcs int                 `json:"gomaxprocs"`
+	Server     *gcserve.LoadReport `json:"server"`
+	Stack      *StackStressResult  `json:"stack"`
+	Kernels    []KernelResult      `json:"kernels"`
+	Ballast    *BallastSweep       `json:"ballast"`
+	// Divergence lists every bit-exactness failure across the suite;
+	// empty means every workload matched its serial reference.
+	Divergence []string `json:"divergence,omitempty"`
+}
+
+// Diverged reports whether any workload failed a bit-exactness check.
+func (b *Bench10) Diverged() bool { return len(b.Divergence) > 0 }
+
+// RunBench10 runs the four workloads and folds their divergence
+// verdicts into one list the harness can gate its exit code on.
+func RunBench10(cfg Bench10Config) (*Bench10, error) {
+	cfg.fill()
+	b := &Bench10{Bench: "BENCH_10", GoMaxProcs: runtime.GOMAXPROCS(0)}
+
+	srv, err := ServerWorkload(cfg.ServerClients, cfg.ServerDuration)
+	if err != nil {
+		return nil, err
+	}
+	b.Server = srv
+	if !srv.OutputsMatch || len(srv.Errors) > 0 {
+		b.Divergence = append(b.Divergence,
+			fmt.Sprintf("server: outputs_match=%v errors=%v", srv.OutputsMatch, srv.Errors))
+	}
+
+	st, err := StackStress(cfg.StackDepth, cfg.StackRounds, cfg.StackHeapWords)
+	if err != nil {
+		return nil, err
+	}
+	b.Stack = st
+	if !st.OutputsMatch || !st.CollectionsMatch {
+		b.Divergence = append(b.Divergence,
+			fmt.Sprintf("stack: outputs_match=%v collections_match=%v", st.OutputsMatch, st.CollectionsMatch))
+	}
+
+	ks, err := AdversarialKernels()
+	if err != nil {
+		return nil, err
+	}
+	b.Kernels = ks
+	for _, k := range ks {
+		if k.Findings > 0 {
+			b.Divergence = append(b.Divergence,
+				fmt.Sprintf("kernel %s: %d findings: %v", k.Name, k.Findings, k.Details))
+		}
+	}
+
+	bl, err := LargeHeapBallastSweep(cfg.BallastHeapWords, cfg.BallastIters, cfg.BallastSlabs, cfg.BallastSlabLen)
+	if err != nil {
+		return nil, err
+	}
+	b.Ballast = bl
+	if !bl.OutputsMatch || !bl.HeapsMatch || !bl.CollectionsMatch {
+		b.Divergence = append(b.Divergence,
+			fmt.Sprintf("ballast: outputs_match=%v heaps_match=%v collections_match=%v",
+				bl.OutputsMatch, bl.HeapsMatch, bl.CollectionsMatch))
+	}
+	return b, nil
+}

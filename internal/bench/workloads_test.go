@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStackStress(t *testing.T) {
+	st, err := StackStress(100, 3, 1<<12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.OutputsMatch {
+		t.Error("deepwalk output diverged from closed form")
+	}
+	if !st.CollectionsMatch {
+		t.Error("collection counts differ between cache off and on")
+	}
+	if st.Collections < 3 {
+		t.Errorf("collections = %d, want at least one per round", st.Collections)
+	}
+	// Every explicit bottom-of-stack collection walks ~depth frames.
+	if st.FramesWalked < int64(3*100) {
+		t.Errorf("frames walked = %d, want >= %d", st.FramesWalked, 3*100)
+	}
+	if st.BytesRatio <= 1 {
+		t.Errorf("decode-byte ratio = %.2f, want > 1 (cache must amortize the deep walk)", st.BytesRatio)
+	}
+	if st.CacheHits == 0 {
+		t.Error("cached run recorded no cache hits")
+	}
+}
+
+func TestLargeHeapBallastSweep(t *testing.T) {
+	bl, err := LargeHeapBallastSweep(1<<13, 60, 150, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bl.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8 ({stw,concurrent} x tw{1,2,4,8})", len(bl.Rows))
+	}
+	if !bl.OutputsMatch || !bl.HeapsMatch || !bl.CollectionsMatch {
+		t.Fatalf("divergence across cells: outputs=%v heaps=%v collections=%v",
+			bl.OutputsMatch, bl.HeapsMatch, bl.CollectionsMatch)
+	}
+	for _, r := range bl.Rows {
+		if r.Collections == 0 {
+			t.Fatalf("%s tw=%d never collected", r.Mode, r.Workers)
+		}
+		if r.Mode == "stw" && r.Mark+r.Copy == 0 {
+			t.Errorf("%s tw=%d reported no mark/copy time", r.Mode, r.Workers)
+		}
+	}
+	if bl.MarkCopySpeedup <= 0 {
+		t.Errorf("mark/copy speedup = %v, want > 0", bl.MarkCopySpeedup)
+	}
+}
+
+func TestAdversarialKernels(t *testing.T) {
+	ks, err := AdversarialKernels()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ks) != 3 {
+		t.Fatalf("kernels = %d, want 3", len(ks))
+	}
+	for _, k := range ks {
+		if k.Findings != 0 {
+			t.Errorf("kernel %s diverged: %v", k.Name, k.Details)
+		}
+		if k.Cells < 17 {
+			t.Errorf("kernel %s ran %d cells, want the full matrix", k.Name, k.Cells)
+		}
+	}
+}
+
+func TestRunBench10Quick(t *testing.T) {
+	b, err := RunBench10(Bench10Config{
+		ServerClients:    4,
+		ServerDuration:   300 * time.Millisecond,
+		StackDepth:       80,
+		StackRounds:      2,
+		StackHeapWords:   1 << 12,
+		BallastHeapWords: 1 << 13,
+		BallastIters:     60,
+		BallastSlabs:     150,
+		BallastSlabLen:   10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Diverged() {
+		t.Fatalf("workload suite diverged: %v", b.Divergence)
+	}
+	if b.Server == nil || b.Stack == nil || b.Ballast == nil || len(b.Kernels) != 3 {
+		t.Fatalf("incomplete suite: %+v", b)
+	}
+	if b.Server.Requests == 0 {
+		t.Error("server workload issued no requests")
+	}
+	if b.Server.MinorTotal == 0 {
+		t.Error("generational server saw no minor collections")
+	}
+}

@@ -251,12 +251,23 @@ func (c *Compiled) NewGenerationalMachine(cfg vmachine.Config) (*vmachine.Machin
 	if c.Encoded == nil {
 		return nil, nil, fmt.Errorf("driver: program compiled without gc support")
 	}
+	return c.NewGenerationalMachineWithDecoder(cfg, c.tableDecoder())
+}
+
+// NewGenerationalMachineWithDecoder builds a machine like
+// NewGenerationalMachine but walking stacks through dec — typically
+// gctab.Pinned(c.SharedDecoder()), the same one-decode-per-process
+// sharing NewMachineWithDecoder gives the full collector.
+func (c *Compiled) NewGenerationalMachineWithDecoder(cfg vmachine.Config, dec gctab.TableDecoder) (*vmachine.Machine, *gengc.Collector, error) {
+	if c.Encoded == nil {
+		return nil, nil, fmt.Errorf("driver: program compiled without gc support")
+	}
 	if !c.Opts.Generational {
 		return nil, nil, fmt.Errorf("driver: program compiled without store checks (Options.Generational)")
 	}
 	m := vmachine.New(c.Prog, cfg)
 	h := gengc.NewHeap(m.Mem, m.HeapLo, m.HeapHi, c.Prog.Descs)
-	col := gengc.NewWith(h, c.tableDecoder())
+	col := gengc.NewWith(h, dec)
 	col.WalkWorkers = c.Opts.WalkWorkers
 	col.TraceWorkers = c.Opts.TraceWorkers
 	col.Concurrent = c.Opts.ConcurrentMark

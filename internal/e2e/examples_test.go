@@ -17,6 +17,7 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/difftest"
 	"repro/internal/driver"
 	"repro/internal/vmachine"
 )
@@ -148,6 +149,33 @@ func TestMultithread(t *testing.T) {
 	}
 	out, m := runExample(t, src, opts, cfg, "Worker")
 	checkGolden(t, "multithread", fmt.Sprintf("%scollections: %d\n", out, m.GCCount))
+}
+
+// The adversarial example embeds the subarray-walk kernel promoted
+// from the fuzzer; it must stay byte-identical to the difftest copy
+// (the whole point of the example is showing the *same* program the
+// fuzzer replays), and its behavior is pinned at trace widths 1 and 8.
+func TestAdversarial(t *testing.T) {
+	src := exampleSource(t, "adversarial")
+	if want := difftest.Kernels()[0].Source; src != want {
+		t.Fatalf("examples/adversarial drifted from difftest's subarray-walk kernel:\n--- example ---\n%s--- kernel ---\n%s", src, want)
+	}
+	opts := driver.NewOptions()
+	var outs []string
+	var gcs []int64
+	for _, workers := range []int{1, 8} {
+		opts.TraceWorkers = workers
+		cfg := vmachine.DefaultConfig()
+		cfg.HeapWords = 4096
+		out, m := runExample(t, src, opts, cfg, "")
+		outs = append(outs, out)
+		gcs = append(gcs, m.GCCount)
+	}
+	if outs[0] != outs[1] || gcs[0] != gcs[1] {
+		t.Fatalf("trace widths diverged: tw=1 (%q, %d gcs), tw=8 (%q, %d gcs)",
+			outs[0], gcs[0], outs[1], gcs[1])
+	}
+	checkGolden(t, "adversarial", fmt.Sprintf("%scollections: %d\n", outs[0], gcs[0]))
 }
 
 func TestDestroy(t *testing.T) {

@@ -1,0 +1,166 @@
+package e2e
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/driver"
+	"repro/internal/gctab"
+	"repro/internal/vmachine"
+)
+
+// The difftest reducer's checked-in reproducers (derived-pointer
+// programs that once exposed real bugs) are promoted here into named
+// golden tests: each runs under {full gc, generational} × {threaded
+// dispatch on/off} × {concurrent mark on/off}, the output must be
+// identical across all eight configurations, and the per-collector
+// collection counts are pinned in the golden file. The difftest replay
+// (internal/difftest/regressions_test.go) asserts "no findings"; this
+// suite additionally freezes WHAT the programs print and how often
+// each collector runs, so a silent behavioral shift that difftest's
+// reference happens to share cannot slip through.
+//
+// One compile serves all configurations (the difftest cell pattern):
+// Generational compiles the barriered stores both the remembered set
+// and the SATB hook hang off, so dispatch and concurrency toggle at
+// machine-build time without recompiling.
+
+// regressionSource reads a promoted reproducer from the difftest
+// testdata, so the two suites can never drift apart.
+func regressionSource(t *testing.T, name string) string {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "difftest", "testdata", "regressions", name+".m3"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// regressionConfig is one cell of the promoted matrix.
+type regressionConfig struct {
+	collector  string // "gc" or "gengc"
+	threaded   bool
+	concurrent bool
+}
+
+func (c regressionConfig) String() string {
+	return fmt.Sprintf("%s/dispatch=%v/concurrent=%v", c.collector, c.threaded, c.concurrent)
+}
+
+func regressionMatrix() []regressionConfig {
+	var out []regressionConfig
+	for _, col := range []string{"gc", "gengc"} {
+		for _, th := range []bool{false, true} {
+			for _, conc := range []bool{false, true} {
+				out = append(out, regressionConfig{collector: col, threaded: th, concurrent: conc})
+			}
+		}
+	}
+	return out
+}
+
+// runRegression executes src under every matrix cell, asserts the
+// output is identical across all of them, and returns the golden body:
+// the output plus each collector's collection count.
+func runRegression(t *testing.T, src string) string {
+	t.Helper()
+	c, err := driver.Compile("regression.m3", src, driver.Options{
+		Optimize: true, GCSupport: true, Generational: true,
+		Scheme: gctab.DeltaPP, DecodeCache: true, HeapLive: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseOut string
+	gcs := map[string]int64{}
+	for i, rc := range regressionMatrix() {
+		// Rebuild rather than mutate: Compiled carries the
+		// shared-decoder sync.Once.
+		cc := &driver.Compiled{
+			Opts: c.Opts, IR: c.IR, Prog: c.Prog,
+			Tables: c.Tables, Encoded: c.Encoded,
+		}
+		cc.Opts.ThreadedDispatch = rc.threaded
+		cc.Opts.ConcurrentMark = rc.concurrent
+		cfg := vmachine.Config{HeapWords: 1 << 14, StackWords: 1 << 14, MaxThreads: 1}
+		var sb strings.Builder
+		cfg.Out = &sb
+
+		var m *vmachine.Machine
+		switch rc.collector {
+		case "gc":
+			mm, col, err := cc.NewMachine(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", rc, err)
+			}
+			col.Debug = true
+			m = mm
+		case "gengc":
+			mm, col, err := cc.NewGenerationalMachine(cfg)
+			if err != nil {
+				t.Fatalf("%s: %v", rc, err)
+			}
+			col.Debug = true
+			m = mm
+		}
+		if err := m.Run(0); err != nil {
+			t.Fatalf("%s: %v", rc, err)
+		}
+		if i == 0 {
+			baseOut = sb.String()
+		} else if sb.String() != baseOut {
+			t.Fatalf("%s: output %q, first cell had %q", rc, sb.String(), baseOut)
+		}
+		// Collection counts must agree within a collector no matter the
+		// dispatch or concurrency mode (the difftest determinism rule).
+		if prev, ok := gcs[rc.collector]; ok && prev != m.GCCount {
+			t.Fatalf("%s: %d collections, earlier %s cell had %d", rc, m.GCCount, rc.collector, prev)
+		}
+		gcs[rc.collector] = m.GCCount
+	}
+	return fmt.Sprintf("%sgc collections: %d\ngengc collections: %d\n", baseOut, gcs["gc"], gcs["gengc"])
+}
+
+func checkRegressionGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", "regressions", name+".golden")
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update-golden to create)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("behavior drifted from %s:\n--- got ---\n%s--- want ---\n%s", path, got, want)
+	}
+}
+
+// TestRegressionSeed5Determinism: SUBARRAY windows and stacked WITH
+// aliases over a list that grows — and moves — across explicit
+// collections. Once diverged between trace widths (the seed-5
+// determinism finding); now its exact output and collection counts are
+// frozen under every collector × dispatch × concurrency combination.
+func TestRegressionSeed5Determinism(t *testing.T) {
+	got := runRegression(t, regressionSource(t, "seed5-determinism"))
+	checkRegressionGolden(t, "seed5-determinism", got)
+}
+
+// TestRegressionSeed222Verify: the gcverify finding's reproducer — a
+// procedure whose WITH-alias derived pointers once produced gc tables
+// that failed static verification. It prints nothing; the golden pins
+// that it keeps compiling and running silently with zero collections
+// under every configuration.
+func TestRegressionSeed222Verify(t *testing.T) {
+	got := runRegression(t, regressionSource(t, "seed222-verify"))
+	checkRegressionGolden(t, "seed222-verify", got)
+}

@@ -73,6 +73,13 @@ type CopySpace struct {
 	Copy func(from, to, size int64)
 	// ToBase is the first free to-space address.
 	ToBase int64
+	// ToLimit, when nonzero, bounds the to-space: if the survivors'
+	// total footprint would run past it, the collection aborts with an
+	// error before the copy phase touches memory. The semispace
+	// collector never needs it (from- and to-space are the same size),
+	// but the generational heap funnels nursery + old survivors into
+	// one old semispace, which a large enough live set can overflow.
+	ToLimit int64
 	// Marks, when non-nil, is recycled instead of allocating a bitmap
 	// per collection. It must already be Reset to [SpanLo, SpanHi).
 	Marks *heap.MarkSet
@@ -145,6 +152,10 @@ func FinishCopy(markedLists [][]int64, roots []*int64, sp CopySpace, workers int
 	st.Objects = int64(len(plan.from))
 	st.Words = plan.total
 	st.Next = sp.ToBase + plan.total
+	if sp.ToLimit != 0 && st.Next > sp.ToLimit {
+		return st, fmt.Errorf("gc: %d live words overflow the %d-word copy target (heap too small for the live set)",
+			plan.total, sp.ToLimit-sp.ToBase)
+	}
 
 	t0 = time.Now()
 	runChunks(plan, workers, func(lo, hi int) {

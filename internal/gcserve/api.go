@@ -211,12 +211,16 @@ func pauseStat(snap telemetry.Snapshot, hist string) PauseStat {
 // FinalPauses is the pause-SLO row — the stop point a request actually
 // waits out per collection, which concurrent marking is meant to bound.
 type TenantStat struct {
-	ID          string    `json:"id"`
-	Program     string    `json:"program"`
-	State       string    `json:"state"`
-	Session     bool      `json:"session,omitempty"`
-	Steps       int64     `json:"steps"`
-	Collections int64     `json:"collections"`
+	ID          string `json:"id"`
+	Program     string `json:"program"`
+	State       string `json:"state"`
+	Session     bool   `json:"session,omitempty"`
+	Steps       int64  `json:"steps"`
+	Collections int64  `json:"collections"`
+	// Minor and Major split Collections when the server runs its
+	// tenants generationally (Config.Generational); zero otherwise.
+	Minor       int64     `json:"minor,omitempty"`
+	Major       int64     `json:"major,omitempty"`
 	Slices      int64     `json:"slices"`
 	LiveBytes   int64     `json:"live_bytes"`
 	AllocBytes  int64     `json:"allocated_bytes"`

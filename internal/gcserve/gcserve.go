@@ -69,6 +69,15 @@ type Config struct {
 	// KeepStats bounds retained per-tenant stats of completed one-shot
 	// runs (default 1024).
 	KeepStats int
+	// Generational runs every tenant under the generational collector:
+	// registered programs are compiled with store checks, per-request
+	// garbage dies in minor collections and session caches promote to
+	// the old space — the server-shaped sweet spot the BENCH_10
+	// workload suite measures. Per-tenant /statz rows then carry the
+	// minor/major split. The generational heap does not enforce
+	// HeapQuota (quota attribution is a semispace-heap feature);
+	// admission control still bounds process-wide residency.
+	Generational bool
 	// ConcurrentMark runs every tenant's collector mostly-concurrently:
 	// SATB-barriered stores are compiled into registered programs and
 	// marking is split off the allocation pause. Per-tenant /statz rows

@@ -22,6 +22,15 @@ type LoadConfig struct {
 	RunPercent int `json:"run_percent"`
 	// Grant is the per-resume step grant (default 2000).
 	Grant int64 `json:"grant"`
+	// Bench labels the report ("BENCH_6" by default; the workload
+	// suite passes "BENCH_10").
+	Bench string `json:"-"`
+	// WantOutput, when non-empty, makes the drive divergence-fatal:
+	// every completed request's output (cumulative, for sessions) must
+	// equal it bit-exactly — the serial-execution reference the caller
+	// computed by running the program once through the driver. A
+	// mismatch is recorded as an error and clears OutputsMatch.
+	WantOutput string `json:"-"`
 }
 
 // LoadReport is the BENCH_6 measurement: sustained request throughput
@@ -38,6 +47,14 @@ type LoadReport struct {
 	Traps       int64      `json:"traps"`
 	Refused     int64      `json:"admission_refused"`
 	ReqPerSec   float64    `json:"req_per_sec"`
+	// OutputsChecked counts completed requests diffed against
+	// LoadConfig.WantOutput; OutputsMatch is false if any diverged.
+	OutputsChecked int64 `json:"outputs_checked,omitempty"`
+	OutputsMatch   bool  `json:"outputs_match"`
+	// MinorTotal and MajorTotal sum the per-tenant generational split
+	// across the measured tenants (zero unless Config.Generational).
+	MinorTotal int64 `json:"minor_total,omitempty"`
+	MajorTotal int64 `json:"major_total,omitempty"`
 	// TenantsMeasured is how many completed tenants contributed pause
 	// distributions below.
 	TenantsMeasured int `json:"tenants_measured"`
@@ -62,6 +79,9 @@ func (c *LoadConfig) fill(workers int) {
 	if c.Grant <= 0 {
 		c.Grant = 2000
 	}
+	if c.Bench == "" {
+		c.Bench = "BENCH_6"
+	}
 }
 
 // RunLoad drives s with mixed run/resume traffic and reports achieved
@@ -74,6 +94,7 @@ func RunLoad(s *Server, cfg LoadConfig) (*LoadReport, error) {
 	}
 
 	var requests, runs, resumes, sessions, traps, refused atomic.Int64
+	var checked, diverged atomic.Int64
 	var mu sync.Mutex
 	var errs []string
 	fail := func(f string, args ...any) {
@@ -82,6 +103,20 @@ func RunLoad(s *Server, cfg LoadConfig) (*LoadReport, error) {
 			errs = append(errs, fmt.Sprintf(f, args...))
 		}
 		mu.Unlock()
+	}
+	// checkOutput diffs a completed request's output against the serial
+	// reference: any divergence — between tenants, between one-shot and
+	// resumed execution, or across gc activity — is a correctness bug in
+	// the collector/scheduler stack, not load noise.
+	checkOutput := func(kind, got string) {
+		if cfg.WantOutput == "" {
+			return
+		}
+		checked.Add(1)
+		if got != cfg.WantOutput {
+			diverged.Add(1)
+			fail("%s output diverged: got %d bytes %q, want %d bytes", kind, len(got), truncate(got, 64), len(cfg.WantOutput))
+		}
 	}
 
 	started := time.Now()
@@ -97,7 +132,11 @@ func RunLoad(s *Server, cfg LoadConfig) (*LoadReport, error) {
 			seq := c
 			for time.Now().Before(deadline) {
 				seq++
-				if seq%100 < cfg.RunPercent {
+				// Interleave runs and resumes at the requested ratio
+				// (seq·P mod 100 lands below P exactly P times per 100,
+				// spread evenly) instead of a block pattern, so short or
+				// slowed drives still exercise both request kinds.
+				if (seq*cfg.RunPercent)%100 < cfg.RunPercent {
 					res, err := s.RunProgram(cfg.Program)
 					requests.Add(1)
 					runs.Add(1)
@@ -112,6 +151,8 @@ func RunLoad(s *Server, cfg LoadConfig) (*LoadReport, error) {
 					case !res.Done:
 						fail("run not done: %+v", res)
 						return
+					default:
+						checkOutput("run", res.Output)
 					}
 					continue
 				}
@@ -138,6 +179,10 @@ func RunLoad(s *Server, cfg LoadConfig) (*LoadReport, error) {
 					sessions.Add(1)
 					if res.Trap != "" {
 						traps.Add(1)
+					} else {
+						// Session output is cumulative, so a completed
+						// session must match the serial run bit-exactly.
+						checkOutput("session", res.Output)
 					}
 					session = ""
 				}
@@ -150,10 +195,14 @@ func RunLoad(s *Server, cfg LoadConfig) (*LoadReport, error) {
 	wg.Wait()
 	elapsed := time.Since(started)
 
-	// Collect per-tenant pause quantiles from the completed ring.
+	// Collect per-tenant pause quantiles and the generational
+	// minor/major split from the completed ring.
 	z := s.Snapshot()
 	var p50s, p99s []int64
+	var minor, major int64
 	for _, row := range z.Tenants {
+		minor += row.Minor
+		major += row.Major
 		if row.Pauses.Count == 0 {
 			continue
 		}
@@ -162,7 +211,7 @@ func RunLoad(s *Server, cfg LoadConfig) (*LoadReport, error) {
 	}
 
 	rep := &LoadReport{
-		Bench:                   "BENCH_6",
+		Bench:                   cfg.Bench,
 		Config:                  cfg,
 		DurationSec:             elapsed.Seconds(),
 		Requests:                requests.Load(),
@@ -171,6 +220,10 @@ func RunLoad(s *Server, cfg LoadConfig) (*LoadReport, error) {
 		SessionsRan:             sessions.Load(),
 		Traps:                   traps.Load(),
 		Refused:                 refused.Load(),
+		OutputsChecked:          checked.Load(),
+		OutputsMatch:            diverged.Load() == 0,
+		MinorTotal:              minor,
+		MajorTotal:              major,
 		TenantsMeasured:         len(p50s),
 		PauseP50AcrossTenantsNs: spread(p50s),
 		PauseP99AcrossTenantsNs: spread(p99s),
@@ -180,6 +233,14 @@ func RunLoad(s *Server, cfg LoadConfig) (*LoadReport, error) {
 		rep.ReqPerSec = float64(rep.Requests) / elapsed.Seconds()
 	}
 	return rep, nil
+}
+
+// truncate bounds s for an error message.
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
 }
 
 // spread summarizes vs as [min, p50, p99, max].

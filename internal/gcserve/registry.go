@@ -48,10 +48,14 @@ func (s *Server) Register(name, src string, opts driver.Options) error {
 		return fmt.Errorf("gcserve: program %q compiled without Multithreaded: loop gc-polls are the scheduler's preemption points", name)
 	}
 	// The server, not the caller, decides whether tenants mark
-	// concurrently: the compile must carry the barriered stores the SATB
-	// hook hangs off, and the option flows from Compiled.Opts into every
-	// tenant collector at instantiation.
+	// concurrently or generationally: the compile must carry the
+	// barriered stores the SATB hook and the remembered-set checks hang
+	// off, and the option flows from Compiled.Opts into every tenant
+	// collector at instantiation.
 	opts.ConcurrentMark = s.cfg.ConcurrentMark
+	if s.cfg.Generational {
+		opts.Generational = true
+	}
 	c, err := driver.Compile(name+".m3", src, opts)
 	if err != nil {
 		return fmt.Errorf("gcserve: compile %q: %w", name, err)

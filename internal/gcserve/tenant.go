@@ -5,10 +5,17 @@ import (
 	"errors"
 	"sync"
 
-	"repro/internal/gc"
 	"repro/internal/telemetry"
 	"repro/internal/vmachine"
 )
+
+// heapStats is the slice of a tenant heap the /statz rows read; both
+// the semispace heap (full collector) and the generational heap
+// satisfy it.
+type heapStats interface {
+	LiveBytes() int64
+	AllocatedBytes() int64
+}
 
 // tenant is one resident machine: its isolated memory image, heap,
 // collector, per-tenant tracer, and scheduling state. A tenant is
@@ -21,10 +28,10 @@ type tenant struct {
 	prog    *program
 	session bool
 
-	m   *vmachine.Machine
-	col *gc.Collector
-	tel *telemetry.Tracer
-	out lockedBuffer
+	m    *vmachine.Machine
+	heap heapStats
+	tel  *telemetry.Tracer
+	out  lockedBuffer
 
 	grant  int64 // steps remaining for the current request (0 = until done)
 	slices int64
@@ -60,8 +67,10 @@ func (t *tenant) updateStat(err error) {
 		Steps:       t.m.Steps,
 		Collections: t.m.GCCount,
 		Slices:      t.slices,
-		LiveBytes:   t.col.Heap.LiveBytes(),
-		AllocBytes:  t.col.Heap.AllocatedBytes(),
+		LiveBytes:   t.heap.LiveBytes(),
+		AllocBytes:  t.heap.AllocatedBytes(),
+		Minor:       snap.Counter(telemetry.CtrGenMinor),
+		Major:       snap.Counter(telemetry.CtrGenMajor),
 		Pauses:      pauseStat(snap, telemetry.HistGCPauseNs),
 		FinalPauses: pauseStat(snap, telemetry.HistGCFinalPauseNs),
 	}
@@ -158,11 +167,19 @@ func (s *Server) newTenant(p *program, id string, session bool) (*tenant, error)
 		Out:        &t.out,
 		Tel:        t.tel,
 	}
-	m, col, err := p.c.NewMachineWithDecoder(cfg, p.dec)
-	if err != nil {
-		return nil, err
+	if s.cfg.Generational {
+		m, col, err := p.c.NewGenerationalMachineWithDecoder(cfg, p.dec)
+		if err != nil {
+			return nil, err
+		}
+		t.m, t.heap = m, col.Heap
+	} else {
+		m, col, err := p.c.NewMachineWithDecoder(cfg, p.dec)
+		if err != nil {
+			return nil, err
+		}
+		t.m, t.heap = m, col.Heap
 	}
-	t.m, t.col = m, col
 	t.updateStat(nil)
 	return t, nil
 }

@@ -164,8 +164,14 @@ func (c *Collector) MarkStep(m *vmachine.Machine) (bool, error) {
 	if n > budget {
 		n = budget
 	}
-	batch := cyc.gray[len(cyc.gray)-n:]
-	cyc.gray = cyc.gray[:len(cyc.gray)-n]
+	// Cap the remainder's capacity (full slice expression) so scanBatch's
+	// appends reallocate instead of aliasing the unread batch tail —
+	// tree-shaped graphs discover faster than the batch read cursor
+	// advances, and an aliased append silently overwrites unscanned
+	// entries (the same bug internal/gc/concurrent.go MarkStep had).
+	keep := len(cyc.gray) - n
+	batch := cyc.gray[keep:]
+	cyc.gray = cyc.gray[:keep:keep]
 	c.scanBatch(batch)
 	c.ConcMarkTime += time.Since(t0)
 	if c.Tel != nil {
@@ -253,6 +259,7 @@ func (c *Collector) FinishCycle(m *vmachine.Machine) error {
 		PtrOffsets: h.PointerOffsets,
 		Copy:       h.copyObjectSized,
 		ToBase:     h.oldTo,
+		ToLimit:    h.oldTo + h.oldSemi,
 		Marks:      c.marks,
 	}
 	st, err := gc.FinishCopy([][]int64{cyc.marked}, roots, sp, c.TraceWorkers)

@@ -505,6 +505,7 @@ func (c *Collector) minor(m *vmachine.Machine, frames []*gc.Frame) (gc.TraceStat
 		PtrOffsets: h.PointerOffsets,
 		Copy:       h.copyObjectSized,
 		ToBase:     h.oldAlloc,
+		ToLimit:    h.oldFrom + h.oldSemi,
 		Marks:      c.resetMarks(h.Lo, h.nurseryAlloc),
 	}
 	st, err := gc.TraceCopy(c.rootsWithRemset(m, frames), sp, c.TraceWorkers)
@@ -539,6 +540,7 @@ func (c *Collector) major(m *vmachine.Machine, frames []*gc.Frame) (gc.TraceStat
 		PtrOffsets: h.PointerOffsets,
 		Copy:       h.copyObjectSized,
 		ToBase:     h.oldTo,
+		ToLimit:    h.oldTo + h.oldSemi,
 		Marks:      c.resetMarks(h.Lo, h.oldAlloc),
 	}
 	if c.Debug {
